@@ -1,0 +1,129 @@
+// Ablation (paper §3.5): incremental update versus from-scratch
+// topology computation.
+//
+// D-GMC is algorithm-independent; §3.5 argues implementations should
+// prefer incremental updates (attach/prune a branch) and rebuild only
+// on drift. This ablation runs identical bursty workloads under both
+// algorithms and reports: protocol cost (computations and floodings
+// per event — these should match, the protocol doesn't change),
+// convergence, and the quality of the final agreed tree relative to a
+// fresh KMB tree on the final member list (cost ratio >= 1; the price
+// of incrementality).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+#include "sim/workload.hpp"
+#include "trees/steiner.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dgmc;
+
+constexpr mc::McId kMc = 0;
+
+struct Outcome {
+  double computations_per_event;
+  double floodings_per_event;
+  double tree_cost_ratio;  // agreed tree vs fresh KMB on final members
+  double convergence_rounds;  // rounds of Tf + Tc(full)
+};
+
+Outcome run_one(int n, int index, bool incremental) {
+  util::RngStream topo = util::RngStream::derive(
+      11, "abl/" + std::to_string(n) + "/" + std::to_string(index));
+  util::RngStream load = util::RngStream::derive(
+      12, "abl/" + std::to_string(n) + "/" + std::to_string(index));
+  graph::Graph g = graph::waxman(n, graph::WaxmanParams{}, topo);
+  g.set_uniform_delay(1e-6);
+  const graph::Graph reference = g;
+
+  sim::DgmcNetwork::Params params;
+  params.per_hop_overhead = 4e-6;
+  params.dgmc.computation_time = 25e-3;
+  // §3.5's payoff: a branch attach/prune is far cheaper than a Steiner
+  // computation. Model it as 2 ms vs 25 ms for the incremental arm.
+  if (incremental) params.dgmc.incremental_computation_time = 2e-3;
+  sim::DgmcNetwork net(std::move(g), params,
+                       incremental ? mc::make_incremental_algorithm()
+                                   : mc::make_from_scratch_algorithm());
+
+  const auto members = sim::random_members(n, 8, load);
+  for (graph::NodeId m : members) {
+    net.join(m, kMc, mc::McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+  const double round = net.flooding_diameter() + 25e-3;
+  const int events = 12;
+  const auto burst = sim::bursty_membership(n, members, events, 0.5 * round,
+                                            mc::MemberRole::kBoth, load);
+  const auto before = net.totals();
+  const des::SimTime t0 = net.scheduler().now();
+  for (const auto& e : burst) {
+    net.scheduler().schedule_at(t0 + e.at, [&net, e] {
+      if (e.join) net.join(e.node, kMc, mc::McType::kSymmetric);
+      else net.leave(e.node, kMc);
+    });
+  }
+  net.run_to_quiescence();
+  const auto after = net.totals();
+
+  Outcome out;
+  out.computations_per_event =
+      double(after.computations - before.computations) / events;
+  out.floodings_per_event =
+      double(after.mc_lsa_floodings - before.mc_lsa_floodings) / events;
+  out.convergence_rounds = (net.last_install_time() - t0) / round;
+  const trees::Topology agreed = net.agreed_topology(kMc);
+  const auto final_members = net.switch_at(0).members(kMc)->all();
+  const double fresh =
+      trees::topology_cost(reference, trees::kmb_steiner(reference,
+                                                         final_members));
+  out.tree_cost_ratio =
+      fresh > 0 ? trees::topology_cost(reference, agreed) / fresh : 1.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("DGMC_QUICK") != nullptr &&
+                     std::getenv("DGMC_QUICK")[0] != '\0';
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{30} : std::vector<int>{30, 60, 120};
+  const int graphs = quick ? 3 : 10;
+
+  std::printf(
+      "# Ablation: incremental (Tc=2ms) vs from-scratch (Tc=25ms) "
+      "topology computation (bursty workload, %d graphs/size)\n",
+      graphs);
+  std::printf("%6s %12s  %14s  %14s  %16s  %18s\n", "size", "algorithm",
+              "comp/event", "flood/event", "tree cost ratio",
+              "convergence (rds)");
+  for (int n : sizes) {
+    for (bool incremental : {true, false}) {
+      util::OnlineStats comp, flood, ratio, conv;
+      for (int i = 0; i < graphs; ++i) {
+        const Outcome o = run_one(n, i, incremental);
+        comp.add(o.computations_per_event);
+        flood.add(o.floodings_per_event);
+        ratio.add(o.tree_cost_ratio);
+        conv.add(o.convergence_rounds);
+      }
+      std::printf("%6d %12s  %14s  %14s  %16s  %18s\n", n,
+                  incremental ? "incremental" : "from-scratch",
+                  util::Summary::of(comp).to_string(2).c_str(),
+                  util::Summary::of(flood).to_string(2).c_str(),
+                  util::Summary::of(ratio).to_string(3).c_str(),
+                  util::Summary::of(conv).to_string(2).c_str());
+    }
+  }
+  std::printf(
+      "# Shape check: incremental trades a small tree-cost ratio "
+      "(< the 2.0 drift guard) for markedly faster convergence; "
+      "flooding costs stay comparable.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Burst-size sweep (companion to Figure 6): how the per-event costs
+// and convergence scale with the number of conflicting events in the
+// burst — the knob the paper's "very busy periods" narrative varies
+// implicitly but never sweeps.
+//
+// Expected shape: computations per event stay bounded (the withdrawal
+// machinery coalesces conflicts), floodings per event stay near 1 (one
+// event LSA each plus a shared handful of winning proposals), and
+// convergence grows sublinearly with burst size.
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace dgmc::sim;
+  for (int burst : {2, 5, 10, 20, 40}) {
+    ExperimentConfig cfg;
+    cfg.name = "Burst sweep — " + std::to_string(burst) +
+               " conflicting events (computation-dominant regime)";
+    cfg.timing = computation_dominant();
+    cfg.workload = WorkloadKind::kBursty;
+    cfg.events = burst;
+    cfg.initial_members = 8;
+    cfg.network_sizes = {100};
+    cfg = apply_quick_mode(cfg);
+    cfg.network_sizes = {100};  // single size; sweep is over burst
+    print_points(cfg, run_experiment(cfg));
+    std::printf("\n");
+  }
+  return 0;
+}

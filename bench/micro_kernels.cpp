@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) for the building blocks the
+// simulation spends its time in: the event calendar, LSA flooding,
+// shortest paths, Steiner heuristics, incremental updates, routing
+// table construction, and vector-timestamp operations.
+#include <benchmark/benchmark.h>
+
+#include "core/timestamp.hpp"
+#include "des/scheduler.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "lsr/flooding.hpp"
+#include "lsr/routing.hpp"
+#include "trees/incremental.hpp"
+#include "trees/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgmc;
+
+graph::Graph bench_graph(int n) {
+  util::RngStream rng(1234);
+  return graph::random_connected(n, 4.0, rng);
+}
+
+std::vector<graph::NodeId> bench_terminals(int n, int k) {
+  util::RngStream rng(99);
+  std::vector<graph::NodeId> all(n);
+  for (graph::NodeId i = 0; i < n; ++i) all[i] = i;
+  rng.shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Scheduler sched;
+    long sum = 0;
+    for (int i = 0; i < events; ++i) {
+      sched.schedule_at(static_cast<double>(i % 97), [&sum] { ++sum; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SchedulerScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_FloodingOperation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const graph::Graph g = bench_graph(n);
+  for (auto _ : state) {
+    des::Scheduler sched;
+    lsr::FloodingNetwork<int> net(sched, g, 1e-6);
+    int deliveries = 0;
+    net.set_receiver(
+        [&](const lsr::FloodingNetwork<int>::Delivery&) { ++deliveries; });
+    net.flood(0, 7);
+    sched.run();
+    benchmark::DoNotOptimize(deliveries);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FloodingOperation)->Arg(50)->Arg(200);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const graph::Graph g = bench_graph(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::dijkstra(g, 0));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(50)->Arg(200);
+
+void BM_KmbSteiner(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const graph::Graph g = bench_graph(n);
+  const auto terminals = bench_terminals(n, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trees::kmb_steiner(g, terminals));
+  }
+}
+BENCHMARK(BM_KmbSteiner)->Arg(50)->Arg(200);
+
+void BM_GreedyAttach(benchmark::State& state) {
+  const int n = 200;
+  const graph::Graph g = bench_graph(n);
+  const auto terminals = bench_terminals(n, 10);
+  const trees::Topology tree = trees::kmb_steiner(g, terminals);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trees::greedy_attach(g, tree, n - 1));
+  }
+}
+BENCHMARK(BM_GreedyAttach);
+
+void BM_RoutingTableCompute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const graph::Graph g = bench_graph(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsr::RoutingTable::compute(g, 0));
+  }
+}
+BENCHMARK(BM_RoutingTableCompute)->Arg(50)->Arg(200);
+
+void BM_VectorTimestampOps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::VectorTimestamp a(n), b(n);
+  for (int i = 0; i < n; i += 3) a.increment(i);
+  for (int i = 0; i < n; i += 5) b.increment(i);
+  for (auto _ : state) {
+    core::VectorTimestamp m = a;
+    m.merge_max(b);
+    benchmark::DoNotOptimize(m.dominates(b));
+    benchmark::DoNotOptimize(m.strictly_dominates(a));
+  }
+}
+BENCHMARK(BM_VectorTimestampOps)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,174 @@
+// Hierarchical vs flat D-GMC (extension; paper §2 names hierarchy as
+// the scalability path and "ongoing work").
+//
+// Same physical network — k Waxman areas chained by two inter-area
+// links per adjacent pair — and the same well-separated membership
+// events, run once under flat D-GMC (LSAs flood everywhere) and once
+// under the two-level hierarchy (LSAs flood within the member's area;
+// borders run a backbone instance). Reported per event: LSA copies
+// per link (transmissions), LSA deliveries, topology computations.
+//
+// Expected shape: flat grows linearly with network size; hierarchical
+// stays near the area size — the Θ(n) -> Θ(n/k) scalability argument.
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/network.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dgmc;
+
+constexpr mc::McId kMc = 0;
+
+graph::Graph areaed_network(int area_count, int area_size,
+                            std::vector<int>* areas,
+                            util::RngStream& rng) {
+  const int n = area_count * area_size;
+  graph::Graph g(n);
+  areas->assign(n, 0);
+  // Each area: a Waxman graph embedded at its offset.
+  for (int a = 0; a < area_count; ++a) {
+    util::RngStream sub = util::RngStream::derive(
+        rng.engine()(), "area/" + std::to_string(a));
+    const graph::Graph part =
+        graph::waxman(area_size, graph::WaxmanParams{}, sub);
+    for (const graph::Link& l : part.links()) {
+      g.add_link(a * area_size + l.u, a * area_size + l.v, l.cost,
+                 l.delay);
+    }
+    for (int i = 0; i < area_size; ++i) (*areas)[a * area_size + i] = a;
+  }
+  // Chain adjacent areas with two random inter-area links each.
+  for (int a = 0; a + 1 < area_count; ++a) {
+    for (int k = 0; k < 2; ++k) {
+      while (true) {
+        const graph::NodeId u = static_cast<graph::NodeId>(
+            a * area_size + rng.index(area_size));
+        const graph::NodeId v = static_cast<graph::NodeId>(
+            (a + 1) * area_size + rng.index(area_size));
+        if (!g.has_link(u, v)) {
+          g.add_link(u, v);
+          break;
+        }
+      }
+    }
+  }
+  g.set_uniform_delay(1e-6);
+  return g;
+}
+
+struct Row {
+  util::OnlineStats flat_trans, flat_comp;
+  util::OnlineStats hier_trans, hier_comp;
+};
+
+void run_trial(int area_count, int area_size, int index, Row& row) {
+  util::RngStream rng = util::RngStream::derive(
+      17, "hier/" + std::to_string(area_count * area_size) + "/" +
+              std::to_string(index));
+  std::vector<int> areas;
+  graph::Graph g = areaed_network(area_count, area_size, &areas, rng);
+  const int n = g.node_count();
+
+  sim::DgmcNetwork::Params flat_params;
+  flat_params.per_hop_overhead = 4e-6;
+  flat_params.dgmc.computation_time = 25e-3;
+  sim::DgmcNetwork flat(g, flat_params, mc::make_incremental_algorithm());
+
+  sim::HierarchicalNetwork::Params hier_params;
+  hier_params.per_hop_overhead = 4e-6;
+  hier_params.dgmc.computation_time = 25e-3;
+  sim::HierarchicalNetwork hier(g, areas, hier_params,
+                                mc::make_incremental_algorithm());
+
+  // Workload: 4 initial members and 12 well-separated events, all
+  // drawn uniformly over the whole network.
+  std::set<graph::NodeId> current;
+  while (current.size() < 4) {
+    current.insert(static_cast<graph::NodeId>(rng.index(n)));
+  }
+  for (graph::NodeId m : current) {
+    flat.join(m, kMc, mc::McType::kSymmetric);
+    flat.run_to_quiescence();
+    hier.join(m, kMc, mc::McType::kSymmetric);
+    hier.run_to_quiescence();
+  }
+
+  const auto flat_before = flat.totals();
+  const std::uint64_t flat_trans_before = flat.lsa_link_transmissions();
+  const auto hier_before = hier.totals();
+
+  const int events = 12;
+  for (int e = 0; e < events; ++e) {
+    const graph::NodeId node = static_cast<graph::NodeId>(rng.index(n));
+    if (current.count(node) && current.size() > 2) {
+      current.erase(node);
+      flat.leave(node, kMc);
+      hier.leave(node, kMc);
+    } else {
+      current.insert(node);
+      flat.join(node, kMc, mc::McType::kSymmetric);
+      hier.join(node, kMc, mc::McType::kSymmetric);
+    }
+    flat.run_to_quiescence();
+    hier.run_to_quiescence();
+  }
+  DGMC_ASSERT(flat.converged(kMc));
+  DGMC_ASSERT(hier.converged(kMc));
+  DGMC_ASSERT(hier.serves_members(kMc));
+
+  row.flat_trans.add(
+      double(flat.lsa_link_transmissions() - flat_trans_before) / events);
+  row.flat_comp.add(
+      double(flat.totals().computations - flat_before.computations) /
+      events);
+  row.hier_trans.add(double(hier.totals().link_transmissions -
+                            hier_before.link_transmissions) /
+                     events);
+  row.hier_comp.add(
+      double(hier.totals().computations - hier_before.computations) /
+      events);
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("DGMC_QUICK") != nullptr &&
+                     std::getenv("DGMC_QUICK")[0] != '\0';
+  const int graphs = quick ? 3 : 10;
+  const std::vector<std::pair<int, int>> shapes =
+      quick ? std::vector<std::pair<int, int>>{{2, 15}, {4, 15}}
+            : std::vector<std::pair<int, int>>{
+                  {2, 15}, {4, 15}, {6, 15}, {8, 15}, {12, 15}};
+
+  std::printf(
+      "# Hierarchical vs flat D-GMC — LSA link copies and computations "
+      "per membership event (%d graphs/shape, area size 15)\n",
+      graphs);
+  std::printf("%6s %6s  %18s %18s | %18s %18s\n", "size", "areas",
+              "flat LSA/ev", "hier LSA/ev", "flat comp/ev",
+              "hier comp/ev");
+  for (auto [area_count, area_size] : shapes) {
+    Row row;
+    for (int i = 0; i < graphs; ++i) {
+      run_trial(area_count, area_size, i, row);
+    }
+    std::printf("%6d %6d  %18s %18s | %18s %18s\n",
+                area_count * area_size, area_count,
+                util::Summary::of(row.flat_trans).to_string(1).c_str(),
+                util::Summary::of(row.hier_trans).to_string(1).c_str(),
+                util::Summary::of(row.flat_comp).to_string(2).c_str(),
+                util::Summary::of(row.hier_comp).to_string(2).c_str());
+  }
+  std::printf(
+      "# Shape check: flat LSA copies grow ~linearly with network size; "
+      "hierarchical stays near the area size.\n");
+  return 0;
+}

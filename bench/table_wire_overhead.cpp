@@ -1,0 +1,57 @@
+// Wire overhead of the n-component vector timestamps.
+//
+// The paper (§2) concedes that LSR-based MC protocols target networks
+// of "a few hundred switches"; the timestamp in every MC LSA costs 4
+// bytes per switch, which is the concrete scalability bill. This table
+// encodes representative LSAs with the production codec and reports
+// bytes per LSA versus network size and tree size — flat hierarchy vs
+// the two-level extension (whose per-area instances need only
+// area-sized stamps in a full implementation; shown as area size 15).
+#include <cstdio>
+
+#include "core/codec.hpp"
+#include "graph/generators.hpp"
+#include "trees/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgmc;
+
+core::McLsa sample(int network_size, int tree_edges, bool with_proposal) {
+  core::McLsa lsa;
+  lsa.source = 0;
+  lsa.event = core::McEventType::kJoin;
+  lsa.mc = 1;
+  lsa.stamp = core::VectorTimestamp(network_size);
+  lsa.stamp.increment(0);
+  if (with_proposal) {
+    std::vector<graph::Edge> edges;
+    for (int i = 0; i < tree_edges; ++i) edges.emplace_back(i, i + 1);
+    lsa.proposal = trees::Topology(std::move(edges));
+  }
+  return lsa;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# MC LSA wire size (bytes) vs network size; tree proposals sized "
+      "at ~n/10 edges\n");
+  std::printf("%8s  %14s  %18s  %22s\n", "size", "event LSA",
+              "event+proposal", "hierarchical (area=15)");
+  for (int n : {25, 50, 100, 200, 400}) {
+    const auto plain = core::encode(sample(n, 0, false));
+    const auto with_tree = core::encode(sample(n, n / 10, true));
+    // Per-area instance: stamps sized to the area, trees to the area's
+    // share of the members.
+    const auto area = core::encode(sample(15, 3, true));
+    std::printf("%8d  %14zu  %18zu  %22zu\n", n, plain.size(),
+                with_tree.size(), area.size());
+  }
+  std::printf(
+      "# Shape check: flat LSA size grows ~4 bytes/switch; the "
+      "hierarchical per-area LSA is constant.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Receiver-only MCs two ways: D-GMC's Steiner shared tree versus the
+// CBT baseline's core-rooted tree (paper §2/§5). Demonstrates the
+// two-stage delivery model (Fig 1(b)) — a non-member source unicasts to
+// a contact node, which forwards over the tree — and the core-placement
+// sensitivity D-GMC avoids.
+#include <cstdio>
+
+#include "baselines/cbt.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "mc/validation.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgmc;
+
+constexpr mc::McId kGroup = 0;
+
+}  // namespace
+
+int main() {
+  util::RngStream rng(7);
+  graph::Graph g = graph::waxman(50, graph::WaxmanParams{}, rng);
+  g.scale_delays(1e-6 / graph::mean_link_delay(g));
+  const std::vector<graph::NodeId> receivers = {4, 17, 26, 41, 47};
+
+  // --- D-GMC receiver-only MC ---
+  sim::DgmcNetwork::Params params;
+  params.per_hop_overhead = 4e-6;
+  params.dgmc.computation_time = 25e-3;
+  sim::DgmcNetwork net(g, params, mc::make_incremental_algorithm());
+  for (graph::NodeId r : receivers) {
+    net.join(r, kGroup, mc::McType::kReceiverOnly,
+             mc::MemberRole::kReceiver);
+    net.run_to_quiescence();
+  }
+  const trees::Topology steiner = net.agreed_topology(kGroup);
+  std::printf("D-GMC shared tree: %zu edges, cost %.0f\n",
+              steiner.edge_count(), trees::topology_cost(g, steiner));
+
+  // Two-stage delivery from an arbitrary non-member source.
+  const graph::NodeId source = 0;
+  const graph::NodeId contact = mc::contact_node(
+      g, *net.switch_at(0).members(kGroup), steiner, source);
+  std::printf(
+      "Packet from non-member switch %d enters the tree at contact node "
+      "%d, then reaches all %zu receivers.\n\n",
+      source, contact, receivers.size());
+
+  // --- CBT with three core choices ---
+  std::printf("%-24s %10s  %s\n", "CBT core placement", "tree cost",
+              "vs D-GMC");
+  for (graph::NodeId core : {contact, receivers.front(),
+                             static_cast<graph::NodeId>(49)}) {
+    baselines::CbtNetwork cbt(g, core);
+    for (graph::NodeId r : receivers) cbt.join(r);
+    cbt.run_to_quiescence();
+    const double cost = trees::topology_cost(g, cbt.tree());
+    std::printf("core = switch %-10d %10.0f  %.2fx\n", core, cost,
+                cost / trees::topology_cost(g, steiner));
+  }
+  std::printf(
+      "\nD-GMC needs no core: every switch can compute the Steiner tree "
+      "from its own link-state image.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "baselines/bruteforce.hpp"
+
+#include "util/assert.hpp"
+
+namespace dgmc::baselines {
+
+BruteForceNetwork::BruteForceNetwork(
+    graph::Graph physical, Params params,
+    std::unique_ptr<mc::TopologyAlgorithm> algorithm)
+    : physical_(std::move(physical)),
+      params_(params),
+      algorithm_(std::move(algorithm)),
+      flooding_(sched_, physical_, params.per_hop_overhead) {
+  DGMC_ASSERT(algorithm_ != nullptr);
+  hosts_.reserve(physical_.node_count());
+  for (int i = 0; i < physical_.node_count(); ++i) {
+    hosts_.push_back(std::make_unique<Host>(sched_));
+  }
+  flooding_.set_receiver(
+      [this](const lsr::FloodingNetwork<MembershipLsa>::Delivery& d) {
+        on_event(d.at, d.payload);
+      });
+}
+
+void BruteForceNetwork::join(graph::NodeId at, mc::MemberRole role) {
+  DGMC_ASSERT(physical_.valid_node(at));
+  const MembershipLsa lsa{at, true, role};
+  on_event(at, lsa);  // apply locally, then advertise
+  flooding_.flood(at, lsa);
+}
+
+void BruteForceNetwork::leave(graph::NodeId at) {
+  DGMC_ASSERT(physical_.valid_node(at));
+  const MembershipLsa lsa{at, false, mc::MemberRole::kBoth};
+  on_event(at, lsa);
+  flooding_.flood(at, lsa);
+}
+
+void BruteForceNetwork::on_event(graph::NodeId at, const MembershipLsa& lsa) {
+  Host& host = *hosts_[at];
+  if (lsa.join) {
+    host.members.join(lsa.source, lsa.role);
+  } else {
+    host.members.leave(lsa.source);
+  }
+  host.dirty = true;
+  maybe_compute(at);
+}
+
+void BruteForceNetwork::maybe_compute(graph::NodeId at) {
+  Host& host = *hosts_[at];
+  if (host.computing || !host.dirty) return;
+  host.computing = true;
+  host.dirty = false;
+  ++host.computations;
+
+  // Snapshot inputs now; the result installs when the CPU finishes.
+  mc::TopologyRequest req;
+  req.type = params_.mc_type;
+  req.members = &host.members;
+  // previous is deliberately withheld: with no proposal mechanism, the
+  // only way n independent computations agree is for each to be a pure
+  // function of the shared (image, member list) inputs.
+  req.previous = nullptr;
+  trees::Topology result = algorithm_->compute(physical_, req);
+
+  host.cpu.submit(params_.computation_time,
+                  [this, at, result = std::move(result)]() mutable {
+                    Host& h = *hosts_[at];
+                    h.installed = std::move(result);
+                    h.computing = false;
+                    last_install_time_ = sched_.now();
+                    maybe_compute(at);  // coalesced recomputation
+                  });
+}
+
+BruteForceNetwork::Totals BruteForceNetwork::totals() const {
+  Totals t;
+  for (const auto& h : hosts_) t.computations += h->computations;
+  t.floodings = flooding_.floodings_originated();
+  return t;
+}
+
+bool BruteForceNetwork::converged() const {
+  for (std::size_t i = 1; i < hosts_.size(); ++i) {
+    if (!(hosts_[i]->members == hosts_[0]->members)) return false;
+    if (!(hosts_[i]->installed == hosts_[0]->installed)) return false;
+  }
+  return true;
+}
+
+const trees::Topology& BruteForceNetwork::topology_at(graph::NodeId n) const {
+  DGMC_ASSERT(physical_.valid_node(n));
+  return hosts_[n]->installed;
+}
+
+const mc::MemberList& BruteForceNetwork::members_at(graph::NodeId n) const {
+  DGMC_ASSERT(physical_.valid_node(n));
+  return hosts_[n]->members;
+}
+
+}  // namespace dgmc::baselines

@@ -1,0 +1,90 @@
+// The "brute-force LSR-based MC protocol" (paper §2): membership LSAs
+// are flooded and *every* switch recomputes the MC topology for every
+// event — "in a network with n switches, a single event could trigger n
+// redundant computations for every existing MC. Such high overhead
+// renders this protocol impractical."
+//
+// This is the yardstick D-GMC's "computations per event" is judged
+// against. One charitable refinement is included: recomputations are
+// coalesced per switch (a computation running when further LSAs arrive
+// is followed by one recomputation, not one per LSA), so bursty numbers
+// are a lower bound on the naive protocol's cost.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/resource.hpp"
+#include "des/scheduler.hpp"
+#include "graph/graph.hpp"
+#include "lsr/flooding.hpp"
+#include "mc/algorithm.hpp"
+#include "trees/topology.hpp"
+
+namespace dgmc::baselines {
+
+class BruteForceNetwork {
+ public:
+  struct Params {
+    double per_hop_overhead = 0.0;
+    des::SimTime computation_time = 25 * des::kMillisecond;
+    mc::McType mc_type = mc::McType::kSymmetric;
+  };
+
+  BruteForceNetwork(graph::Graph physical, Params params,
+                    std::unique_ptr<mc::TopologyAlgorithm> algorithm);
+
+  BruteForceNetwork(const BruteForceNetwork&) = delete;
+  BruteForceNetwork& operator=(const BruteForceNetwork&) = delete;
+
+  des::Scheduler& scheduler() { return sched_; }
+  const graph::Graph& physical() const { return physical_; }
+
+  /// Local membership events; each floods one membership LSA.
+  void join(graph::NodeId at, mc::MemberRole role = mc::MemberRole::kBoth);
+  void leave(graph::NodeId at);
+
+  void run_to_quiescence() { sched_.run(); }
+
+  struct Totals {
+    std::uint64_t computations = 0;
+    std::uint64_t floodings = 0;
+  };
+  Totals totals() const;
+  des::SimTime last_install_time() const { return last_install_time_; }
+
+  /// All switches agree on members and topology (call at quiescence).
+  bool converged() const;
+  const trees::Topology& topology_at(graph::NodeId n) const;
+  const mc::MemberList& members_at(graph::NodeId n) const;
+
+ private:
+  struct MembershipLsa {
+    graph::NodeId source;
+    bool join;
+    mc::MemberRole role;
+  };
+
+  struct Host {
+    explicit Host(des::Scheduler& sched) : cpu(sched) {}
+    mc::MemberList members;
+    trees::Topology installed;
+    des::SerialResource cpu;
+    bool dirty = false;      // events arrived while computing
+    bool computing = false;
+    std::uint64_t computations = 0;
+  };
+
+  void on_event(graph::NodeId at, const MembershipLsa& lsa);
+  void maybe_compute(graph::NodeId at);
+
+  des::Scheduler sched_;
+  graph::Graph physical_;
+  Params params_;
+  std::unique_ptr<mc::TopologyAlgorithm> algorithm_;
+  lsr::FloodingNetwork<MembershipLsa> flooding_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  des::SimTime last_install_time_ = 0.0;
+};
+
+}  // namespace dgmc::baselines

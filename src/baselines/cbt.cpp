@@ -1,0 +1,133 @@
+#include "baselines/cbt.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dgmc::baselines {
+
+CbtNetwork::CbtNetwork(graph::Graph physical, graph::NodeId core,
+                       Params params)
+    : physical_(std::move(physical)), core_(core), params_(params) {
+  DGMC_ASSERT(physical_.valid_node(core));
+  hosts_.resize(physical_.node_count());
+  for (graph::NodeId n = 0; n < physical_.node_count(); ++n) {
+    hosts_[n].routes = lsr::RoutingTable::compute(physical_, n);
+  }
+  hosts_[core_].tree_node = true;  // the core anchors the tree
+}
+
+double CbtNetwork::hop_delay(graph::NodeId from, graph::NodeId to) const {
+  const graph::LinkId id = physical_.find_link(from, to);
+  DGMC_ASSERT(id != graph::kInvalidLink);
+  return physical_.link(id).delay + params_.per_hop_overhead;
+}
+
+void CbtNetwork::join(graph::NodeId at) {
+  DGMC_ASSERT(physical_.valid_node(at));
+  if (hosts_[at].member) return;
+  hosts_[at].member = true;
+  ++totals_.joins;
+  forward_join(at, {at});
+}
+
+void CbtNetwork::forward_join(graph::NodeId at,
+                              std::vector<graph::NodeId> path) {
+  if (hosts_[at].tree_node) {
+    // Reached the tree (possibly the core): ACK walks the path back,
+    // instantiating the branch hop by hop.
+    const std::size_t anchor_index = path.size();
+    graft(std::move(path), anchor_index);
+    return;
+  }
+  const graph::NodeId next = hosts_[at].routes.next_hop(core_);
+  DGMC_ASSERT_MSG(next != graph::kInvalidNode, "core unreachable");
+  ++totals_.control_hops;
+  path.push_back(next);
+  const double delay = hop_delay(at, next);
+  sched_.schedule_after(delay, [this, next, p = std::move(path)]() mutable {
+    forward_join(next, std::move(p));
+  });
+}
+
+void CbtNetwork::graft(std::vector<graph::NodeId> path, std::size_t index) {
+  // path = joiner .. anchor; index counts down from the anchor.
+  DGMC_ASSERT(index >= 1 && index <= path.size());
+  if (index >= 2) {
+    // Instantiate the edge between path[index-2] (downstream) and
+    // path[index-1] (upstream).
+    const graph::NodeId down = path[index - 2];
+    const graph::NodeId up = path[index - 1];
+    Host& d = hosts_[down];
+    if (!d.tree_node) {
+      d.tree_node = true;
+      d.parent = up;
+      ++hosts_[up].child_count;
+    }
+    ++totals_.control_hops;
+    const double delay = hop_delay(up, down);
+    sched_.schedule_after(delay,
+                          [this, p = std::move(path), index]() mutable {
+                            graft(std::move(p), index - 1);
+                          });
+    return;
+  }
+  // ACK arrived at the joiner: nothing further to instantiate.
+}
+
+void CbtNetwork::leave(graph::NodeId at) {
+  DGMC_ASSERT(physical_.valid_node(at));
+  if (!hosts_[at].member) return;
+  hosts_[at].member = false;
+  ++totals_.leaves;
+  maybe_prune(at);
+}
+
+void CbtNetwork::maybe_prune(graph::NodeId at) {
+  Host& h = hosts_[at];
+  if (at == core_ || !h.tree_node || h.member || h.child_count > 0) return;
+  // Leaf, non-member, not the core: QUIT to the parent.
+  const graph::NodeId parent = h.parent;
+  DGMC_ASSERT(parent != graph::kInvalidNode);
+  h.tree_node = false;
+  h.parent = graph::kInvalidNode;
+  ++totals_.control_hops;
+  const double delay = hop_delay(at, parent);
+  sched_.schedule_after(delay, [this, parent] {
+    --hosts_[parent].child_count;
+    DGMC_ASSERT(hosts_[parent].child_count >= 0);
+    maybe_prune(parent);
+  });
+}
+
+trees::Topology CbtNetwork::tree() const {
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId n = 0; n < physical_.node_count(); ++n) {
+    if (hosts_[n].tree_node && hosts_[n].parent != graph::kInvalidNode) {
+      edges.emplace_back(n, hosts_[n].parent);
+    }
+  }
+  return trees::Topology(std::move(edges));
+}
+
+bool CbtNetwork::is_member(graph::NodeId n) const {
+  DGMC_ASSERT(physical_.valid_node(n));
+  return hosts_[n].member;
+}
+
+bool CbtNetwork::on_tree(graph::NodeId n) const {
+  DGMC_ASSERT(physical_.valid_node(n));
+  return hosts_[n].tree_node;
+}
+
+std::vector<graph::NodeId> CbtNetwork::members() const {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId n = 0; n < physical_.node_count(); ++n) {
+    if (hosts_[n].member) out.push_back(n);
+  }
+  return out;
+}
+
+CbtNetwork::Totals CbtNetwork::totals() const { return totals_; }
+
+}  // namespace dgmc::baselines

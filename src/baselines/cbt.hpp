@@ -1,0 +1,86 @@
+// CBT-like baseline (paper §2, §5; Ballardie's core-based trees):
+// receiver-only MCs built as a shared tree rooted at a designated core.
+//
+// Joins travel hop-by-hop toward the core along unicast routes; the
+// branch is instantiated by the acknowledgment walking back. Leaves
+// prune leaf branches recursively. No flooding and no topology
+// computations are involved — the trade-offs the paper calls out are
+// (a) tree quality / traffic concentration versus D-GMC's Steiner
+// trees and (b) the core placement problem, both measured by the
+// comparison bench.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <memory>
+#include <vector>
+
+#include "des/scheduler.hpp"
+#include "graph/graph.hpp"
+#include "lsr/routing.hpp"
+#include "trees/topology.hpp"
+
+namespace dgmc::baselines {
+
+class CbtNetwork {
+ public:
+  struct Params {
+    double per_hop_overhead = 0.0;
+  };
+
+  CbtNetwork(graph::Graph physical, graph::NodeId core, Params params);
+  CbtNetwork(graph::Graph physical, graph::NodeId core)
+      : CbtNetwork(std::move(physical), core, Params{}) {}
+
+  CbtNetwork(const CbtNetwork&) = delete;
+  CbtNetwork& operator=(const CbtNetwork&) = delete;
+
+  des::Scheduler& scheduler() { return sched_; }
+  graph::NodeId core() const { return core_; }
+
+  /// Sends a JOIN-REQUEST from `at` toward the core. The member is
+  /// grafted when the ACK returns.
+  void join(graph::NodeId at);
+
+  /// Prunes `at` (and any branch it leaves dangling).
+  void leave(graph::NodeId at);
+
+  void run_to_quiescence() { sched_.run(); }
+
+  /// The current shared tree (edges between on-tree switches).
+  trees::Topology tree() const;
+
+  bool is_member(graph::NodeId n) const;
+  bool on_tree(graph::NodeId n) const;
+  std::vector<graph::NodeId> members() const;
+
+  struct Totals {
+    std::uint64_t joins = 0;
+    std::uint64_t leaves = 0;
+    std::uint64_t control_hops = 0;  // unicast hops of JOIN/ACK/QUIT
+  };
+  Totals totals() const;
+
+ private:
+  struct Host {
+    bool member = false;
+    bool tree_node = false;
+    graph::NodeId parent = graph::kInvalidNode;  // toward the core
+    int child_count = 0;
+    lsr::RoutingTable routes;
+  };
+
+  void forward_join(graph::NodeId at, std::vector<graph::NodeId> path);
+  void graft(std::vector<graph::NodeId> path, std::size_t index);
+  void maybe_prune(graph::NodeId at);
+  double hop_delay(graph::NodeId from, graph::NodeId to) const;
+
+  des::Scheduler sched_;
+  graph::Graph physical_;
+  graph::NodeId core_;
+  Params params_;
+  std::vector<Host> hosts_;
+  Totals totals_;
+};
+
+}  // namespace dgmc::baselines

@@ -1,0 +1,113 @@
+#include "baselines/mospf.hpp"
+
+#include "trees/spt.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::baselines {
+
+MospfNetwork::MospfNetwork(graph::Graph physical, Params params)
+    : physical_(std::move(physical)),
+      params_(params),
+      flooding_(sched_, physical_, params.per_hop_overhead) {
+  hosts_.reserve(physical_.node_count());
+  for (int i = 0; i < physical_.node_count(); ++i) {
+    hosts_.push_back(std::make_unique<Host>(sched_));
+  }
+  flooding_.set_receiver(
+      [this](const lsr::FloodingNetwork<MembershipLsa>::Delivery& d) {
+        apply_membership(d.at, d.payload);
+      });
+}
+
+void MospfNetwork::join(graph::NodeId at) {
+  DGMC_ASSERT(physical_.valid_node(at));
+  const MembershipLsa lsa{at, true};
+  apply_membership(at, lsa);
+  flooding_.flood(at, lsa);
+}
+
+void MospfNetwork::leave(graph::NodeId at) {
+  DGMC_ASSERT(physical_.valid_node(at));
+  const MembershipLsa lsa{at, false};
+  apply_membership(at, lsa);
+  flooding_.flood(at, lsa);
+}
+
+void MospfNetwork::apply_membership(graph::NodeId at,
+                                    const MembershipLsa& lsa) {
+  Host& host = *hosts_[at];
+  if (lsa.join) {
+    host.members.join(lsa.source, mc::MemberRole::kReceiver);
+  } else {
+    host.members.leave(lsa.source);
+  }
+  // Membership changed: every cached tree for the group is stale.
+  host.cache.clear();
+}
+
+void MospfNetwork::send_datagram(graph::NodeId source) {
+  DGMC_ASSERT(physical_.valid_node(source));
+  ++datagrams_sent_;
+  handle_datagram(source, Datagram{source, graph::kInvalidNode});
+}
+
+void MospfNetwork::handle_datagram(graph::NodeId at, const Datagram& d) {
+  Host& host = *hosts_[at];
+  if (host.members.contains(at)) ++datagrams_delivered_;
+
+  auto it = host.cache.find(d.source);
+  if (it != host.cache.end()) {
+    forward_datagram(at, d, it->second);
+    return;
+  }
+  // Cache miss: compute the source-rooted pruned SPT on the CPU, then
+  // forward. Datagram waits for the computation (MOSPF queues it).
+  ++host.computations;
+  trees::Topology tree =
+      trees::pruned_spt(physical_, d.source, host.members.all());
+  host.cpu.submit(params_.computation_time,
+                  [this, at, d, tree = std::move(tree)]() mutable {
+                    Host& h = *hosts_[at];
+                    auto [pos, inserted] =
+                        h.cache.emplace(d.source, std::move(tree));
+                    (void)inserted;
+                    forward_datagram(at, d, pos->second);
+                  });
+}
+
+void MospfNetwork::forward_datagram(graph::NodeId at, const Datagram& d,
+                                    const trees::Topology& tree) {
+  for (graph::NodeId next : tree.neighbors(at)) {
+    if (next == d.from) continue;
+    const graph::LinkId id = physical_.find_link(at, next);
+    if (id == graph::kInvalidLink || !physical_.link(id).up) continue;
+    const double delay =
+        physical_.link(id).delay + params_.per_hop_overhead;
+    sched_.schedule_after(delay, [this, next, at, src = d.source] {
+      handle_datagram(next, Datagram{src, at});
+    });
+  }
+}
+
+MospfNetwork::Totals MospfNetwork::totals() const {
+  Totals t;
+  for (const auto& h : hosts_) t.computations += h->computations;
+  t.membership_floodings = flooding_.floodings_originated();
+  t.datagrams_sent = datagrams_sent_;
+  t.datagrams_delivered = datagrams_delivered_;
+  return t;
+}
+
+const mc::MemberList& MospfNetwork::members_at(graph::NodeId n) const {
+  DGMC_ASSERT(physical_.valid_node(n));
+  return hosts_[n]->members;
+}
+
+const trees::Topology* MospfNetwork::cached_tree(graph::NodeId at,
+                                                 graph::NodeId source) const {
+  DGMC_ASSERT(physical_.valid_node(at));
+  auto it = hosts_[at]->cache.find(source);
+  return it == hosts_[at]->cache.end() ? nullptr : &it->second;
+}
+
+}  // namespace dgmc::baselines

@@ -1,0 +1,100 @@
+// MOSPF-like baseline (paper §2; Moy, RFC 1584): data-driven,
+// on-demand topology computation.
+//
+// Group membership is flooded in group-membership LSAs; routers store
+// member lists but compute nothing on receipt (they only flush the
+// routing cache for the group). When a datagram for the group arrives
+// at a router with no cache entry for (source, group), the router
+// computes the shortest-path tree rooted at the datagram's source,
+// caches it, and forwards along the tree — "this forwarding will
+// trigger further topology computations at other routers."
+//
+// The comparison metric is the paper §4 claim: MOSPF "requires a
+// topology computation at every switch involved in the MC", versus
+// D-GMC's one-per-event.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "des/resource.hpp"
+#include "des/scheduler.hpp"
+#include "graph/graph.hpp"
+#include "lsr/flooding.hpp"
+#include "mc/member_list.hpp"
+#include "trees/topology.hpp"
+
+namespace dgmc::baselines {
+
+class MospfNetwork {
+ public:
+  struct Params {
+    double per_hop_overhead = 0.0;
+    des::SimTime computation_time = 25 * des::kMillisecond;
+  };
+
+  MospfNetwork(graph::Graph physical, Params params);
+
+  MospfNetwork(const MospfNetwork&) = delete;
+  MospfNetwork& operator=(const MospfNetwork&) = delete;
+
+  des::Scheduler& scheduler() { return sched_; }
+
+  /// Membership events (flooded as group-membership LSAs; receivers
+  /// flush their routing caches for the group).
+  void join(graph::NodeId at);
+  void leave(graph::NodeId at);
+
+  /// Injects a multicast datagram at `source`'s ingress switch.
+  void send_datagram(graph::NodeId source);
+
+  void run_to_quiescence() { sched_.run(); }
+
+  struct Totals {
+    std::uint64_t computations = 0;        // on-demand SPT computations
+    std::uint64_t membership_floodings = 0;
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_delivered = 0;  // copies handed to members
+  };
+  Totals totals() const;
+
+  const mc::MemberList& members_at(graph::NodeId n) const;
+
+  /// The (source, group) tree cached at a switch, nullptr if none.
+  const trees::Topology* cached_tree(graph::NodeId at,
+                                     graph::NodeId source) const;
+
+ private:
+  struct MembershipLsa {
+    graph::NodeId source;
+    bool join;
+  };
+  struct Datagram {
+    graph::NodeId source;    // multicast source (tree root)
+    graph::NodeId from;      // previous-hop switch
+  };
+
+  struct Host {
+    explicit Host(des::Scheduler& sched) : cpu(sched) {}
+    mc::MemberList members;
+    std::map<graph::NodeId, trees::Topology> cache;  // per source
+    des::SerialResource cpu;
+    std::uint64_t computations = 0;
+  };
+
+  void apply_membership(graph::NodeId at, const MembershipLsa& lsa);
+  void handle_datagram(graph::NodeId at, const Datagram& d);
+  void forward_datagram(graph::NodeId at, const Datagram& d,
+                        const trees::Topology& tree);
+
+  des::Scheduler sched_;
+  graph::Graph physical_;
+  Params params_;
+  lsr::FloodingNetwork<MembershipLsa> flooding_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_delivered_ = 0;
+};
+
+}  // namespace dgmc::baselines

@@ -1,0 +1,253 @@
+#include "core/codec.hpp"
+
+namespace dgmc::core {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+/// Bounds-checked sequential reader.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+  std::uint8_t u8() {
+    if (pos_ + 1 > bytes_.size()) return fail<std::uint8_t>();
+    return bytes_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    if (pos_ + 4 > bytes_.size()) return fail<std::uint32_t>();
+    std::uint32_t v = bytes_[pos_] | (bytes_[pos_ + 1] << 8) |
+                      (bytes_[pos_ + 2] << 16) |
+                      (static_cast<std::uint32_t>(bytes_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+ private:
+  template <typename T>
+  T fail() {
+    ok_ = false;
+    return T{};
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void put_stamp(std::vector<std::uint8_t>& out, const VectorTimestamp& t) {
+  put_u32(out, static_cast<std::uint32_t>(t.size()));
+  for (int i = 0; i < t.size(); ++i) put_u32(out, t[i]);
+}
+
+std::optional<VectorTimestamp> read_stamp(Reader& r) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > 1u << 20) return std::nullopt;  // sanity cap
+  std::vector<std::uint32_t> counts(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    counts[i] = r.u32();
+    if (!r.ok()) return std::nullopt;
+  }
+  return VectorTimestamp::from_counts(std::move(counts));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const McLsa& lsa) {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(lsa));
+  put_u8(out, static_cast<std::uint8_t>(WireType::kMcLsa));
+  put_i32(out, lsa.source);
+  put_u8(out, static_cast<std::uint8_t>(lsa.event));
+  put_i32(out, lsa.mc);
+  put_u8(out, static_cast<std::uint8_t>(lsa.mc_type));
+  put_u8(out, static_cast<std::uint8_t>(lsa.join_role));
+  put_i32(out, lsa.link);
+  put_stamp(out, lsa.stamp);
+  put_u8(out, lsa.proposal.has_value() ? 1 : 0);
+  if (lsa.proposal.has_value()) {
+    put_u32(out, static_cast<std::uint32_t>(lsa.proposal->edge_count()));
+    for (const graph::Edge& e : lsa.proposal->edges()) {
+      put_i32(out, e.a);
+      put_i32(out, e.b);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const lsr::LinkEventAd& ad) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(WireType::kLinkEvent));
+  put_i32(out, ad.link);
+  put_u8(out, ad.up ? 1 : 0);
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const McSync& sync) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(WireType::kMcSync));
+  put_i32(out, sync.source);
+  put_i32(out, sync.mc);
+  put_u8(out, static_cast<std::uint8_t>(sync.mc_type));
+  put_u32(out, static_cast<std::uint32_t>(sync.entries.size()));
+  for (const McSyncEntry& e : sync.entries) {
+    put_i32(out, e.node);
+    put_u32(out, e.events_heard);
+    put_u32(out, e.member_event_index);
+    put_u8(out, e.is_member ? 1 : 0);
+    put_u8(out, static_cast<std::uint8_t>(e.role));
+  }
+  return out;
+}
+
+std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return std::nullopt;
+  switch (bytes[0]) {
+    case static_cast<std::uint8_t>(WireType::kMcLsa):
+      return WireType::kMcLsa;
+    case static_cast<std::uint8_t>(WireType::kLinkEvent):
+      return WireType::kLinkEvent;
+    case static_cast<std::uint8_t>(WireType::kMcSync):
+      return WireType::kMcSync;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<McLsa> decode_mc_lsa(const std::vector<std::uint8_t>& bytes) {
+  if (peek_type(bytes) != WireType::kMcLsa) return std::nullopt;
+  Reader r(bytes);
+  (void)r.u8();  // type byte
+
+  McLsa lsa;
+  lsa.source = r.i32();
+  const std::uint8_t event = r.u8();
+  lsa.mc = r.i32();
+  const std::uint8_t mc_type = r.u8();
+  const std::uint8_t role = r.u8();
+  lsa.link = r.i32();
+  if (!r.ok()) return std::nullopt;
+
+  if (lsa.source < 0 || lsa.mc < 0) return std::nullopt;
+  if (event > static_cast<std::uint8_t>(McEventType::kLink)) {
+    return std::nullopt;
+  }
+  lsa.event = static_cast<McEventType>(event);
+  if (mc_type > static_cast<std::uint8_t>(mc::McType::kAsymmetric)) {
+    return std::nullopt;
+  }
+  lsa.mc_type = static_cast<mc::McType>(mc_type);
+  if (role == 0 || role > static_cast<std::uint8_t>(mc::MemberRole::kBoth)) {
+    return std::nullopt;
+  }
+  lsa.join_role = static_cast<mc::MemberRole>(role);
+
+  std::optional<VectorTimestamp> stamp = read_stamp(r);
+  if (!stamp.has_value() || lsa.source >= stamp->size()) {
+    return std::nullopt;
+  }
+  lsa.stamp = std::move(*stamp);
+
+  const std::uint8_t has_proposal = r.u8();
+  if (!r.ok() || has_proposal > 1) return std::nullopt;
+  if (has_proposal == 1) {
+    const std::uint32_t edges = r.u32();
+    if (!r.ok() || edges > 1u << 20) return std::nullopt;
+    std::vector<graph::Edge> es;
+    es.reserve(edges);
+    for (std::uint32_t i = 0; i < edges; ++i) {
+      const graph::NodeId a = r.i32();
+      const graph::NodeId b = r.i32();
+      if (!r.ok() || a < 0 || b < 0 || a == b) return std::nullopt;
+      es.emplace_back(a, b);
+    }
+    lsa.proposal = trees::Topology(std::move(es));
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;  // trailing junk
+  return lsa;
+}
+
+std::optional<lsr::LinkEventAd> decode_link_event(
+    const std::vector<std::uint8_t>& bytes) {
+  if (peek_type(bytes) != WireType::kLinkEvent) return std::nullopt;
+  Reader r(bytes);
+  (void)r.u8();
+  lsr::LinkEventAd ad;
+  ad.link = r.i32();
+  const std::uint8_t up = r.u8();
+  if (!r.ok() || !r.exhausted() || ad.link < 0 || up > 1) {
+    return std::nullopt;
+  }
+  ad.up = up == 1;
+  return ad;
+}
+
+std::optional<McSync> decode_mc_sync(
+    const std::vector<std::uint8_t>& bytes) {
+  if (peek_type(bytes) != WireType::kMcSync) return std::nullopt;
+  Reader r(bytes);
+  (void)r.u8();
+  McSync sync;
+  sync.source = r.i32();
+  sync.mc = r.i32();
+  const std::uint8_t mc_type = r.u8();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || sync.source < 0 || sync.mc < 0 ||
+      mc_type > static_cast<std::uint8_t>(mc::McType::kAsymmetric) ||
+      count > 1u << 20) {
+    return std::nullopt;
+  }
+  sync.mc_type = static_cast<mc::McType>(mc_type);
+  sync.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    McSyncEntry e;
+    e.node = r.i32();
+    e.events_heard = r.u32();
+    e.member_event_index = r.u32();
+    const std::uint8_t member = r.u8();
+    const std::uint8_t role = r.u8();
+    if (!r.ok() || e.node < 0 || member > 1 ||
+        role > static_cast<std::uint8_t>(mc::MemberRole::kBoth)) {
+      return std::nullopt;
+    }
+    e.is_member = member == 1;
+    e.role = static_cast<mc::MemberRole>(role);
+    // A member entry must carry a usable role.
+    if (e.is_member && role == 0) return std::nullopt;
+    sync.entries.push_back(e);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return sync;
+}
+
+std::size_t encoded_size(const McLsa& lsa) {
+  std::size_t size = 1 + 4 + 1 + 4 + 1 + 1 + 4;        // header fields
+  size += 4 + 4 * static_cast<std::size_t>(lsa.stamp.size());  // stamp
+  size += 1;                                            // proposal flag
+  if (lsa.proposal.has_value()) {
+    size += 4 + 8 * lsa.proposal->edge_count();
+  }
+  return size;
+}
+
+}  // namespace dgmc::core

@@ -1,0 +1,45 @@
+// Wire codec for the LSA formats of paper §3.1.
+//
+// An MC LSA is the tuple (S, F, V, G, P, T); a non-MC LSA is (S, F, D)
+// with D a link-status description. The F flag is the leading type
+// byte. All integers are little-endian; the vector timestamp is
+// length-prefixed; the topology proposal is an optional edge list.
+//
+// decode_* returns nullopt on any malformed input (truncation, bad
+// enum values, negative ids, self-loop edges) — never asserts, so the
+// codec is safe on untrusted bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/mc_lsa.hpp"
+#include "core/sync.hpp"
+#include "lsr/link_lsa.hpp"
+
+namespace dgmc::core {
+
+/// Leading type byte (the paper's F flag).
+enum class WireType : std::uint8_t {
+  kMcLsa = 0xD6,
+  kLinkEvent = 0xD7,
+  kMcSync = 0xD8,
+};
+
+std::vector<std::uint8_t> encode(const McLsa& lsa);
+std::vector<std::uint8_t> encode(const lsr::LinkEventAd& ad);
+std::vector<std::uint8_t> encode(const McSync& sync);
+
+/// Type of an encoded buffer, or nullopt if empty/unknown.
+std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes);
+
+std::optional<McLsa> decode_mc_lsa(const std::vector<std::uint8_t>& bytes);
+std::optional<lsr::LinkEventAd> decode_link_event(
+    const std::vector<std::uint8_t>& bytes);
+std::optional<McSync> decode_mc_sync(const std::vector<std::uint8_t>& bytes);
+
+/// Encoded size in bytes (diagnostic; equals encode(lsa).size()).
+std::size_t encoded_size(const McLsa& lsa);
+
+}  // namespace dgmc::core

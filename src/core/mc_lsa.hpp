@@ -1,0 +1,54 @@
+// The MC LSA (paper §3.1): "an MC LSA is a tuple (S, F, V, G, P, T)
+// where S is the source address, F flags it as an MC LSA, V specifies
+// an event {join, leave, link, none}, G identifies the MC, P is a
+// (possibly NULL) topology proposal, and T is a timestamp."
+//
+// The F flag is realized by the transport-level variant (MC LSAs and
+// non-MC link LSAs are distinct alternatives of the flooded payload).
+// We additionally carry the MC's type and the joiner's role so that a
+// switch hearing of an MC for the first time can allocate state — the
+// paper's "when the first member advertises its presence, the other
+// switches allocate necessary data structures".
+#pragma once
+
+#include <optional>
+
+#include "core/timestamp.hpp"
+#include "mc/types.hpp"
+#include "trees/topology.hpp"
+
+namespace dgmc::core {
+
+enum class McEventType : std::uint8_t {
+  kNone = 0,   // triggered LSA: proposal only
+  kJoin = 1,
+  kLeave = 2,
+  kLink = 3,   // a link/nodal event affected this MC's topology
+};
+
+const char* to_string(McEventType e);
+
+struct McLsa {
+  graph::NodeId source = graph::kInvalidNode;  // S
+  McEventType event = McEventType::kNone;      // V
+  mc::McId mc = mc::kInvalidMc;                // G
+  mc::McType mc_type = mc::McType::kSymmetric;
+  // Role the joining switch takes; meaningful when event == kJoin.
+  mc::MemberRole join_role = mc::MemberRole::kBoth;
+  // The link whose status change triggered this LSA; kLink events only.
+  graph::LinkId link = graph::kInvalidLink;
+  std::optional<trees::Topology> proposal;     // P
+  VectorTimestamp stamp;                       // T
+};
+
+inline const char* to_string(McEventType e) {
+  switch (e) {
+    case McEventType::kNone: return "none";
+    case McEventType::kJoin: return "join";
+    case McEventType::kLeave: return "leave";
+    case McEventType::kLink: return "link";
+  }
+  return "?";
+}
+
+}  // namespace dgmc::core

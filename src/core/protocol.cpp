@@ -1,0 +1,460 @@
+#include "core/protocol.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace dgmc::core {
+
+DgmcSwitch::DgmcSwitch(graph::NodeId self, int network_size,
+                       des::Scheduler& sched,
+                       const mc::TopologyAlgorithm& algorithm,
+                       DgmcConfig config, Hooks hooks)
+    : self_(self),
+      network_size_(network_size),
+      sched_(sched),
+      algorithm_(algorithm),
+      config_(config),
+      hooks_(std::move(hooks)) {
+  DGMC_ASSERT(self >= 0 && self < network_size);
+  DGMC_ASSERT(hooks_.flood != nullptr);
+  DGMC_ASSERT(hooks_.local_image != nullptr);
+  DGMC_ASSERT(config_.computation_time >= 0.0);
+}
+
+DgmcSwitch::McState& DgmcSwitch::get_or_create(mc::McId mcid,
+                                               mc::McType type) {
+  auto it = states_.find(mcid);
+  if (it != states_.end()) {
+    DGMC_ASSERT_MSG(it->second.type == type, "MC type mismatch");
+    return it->second;
+  }
+  McState st;
+  st.type = type;
+  st.r = VectorTimestamp(network_size_);
+  st.e = VectorTimestamp(network_size_);
+  st.c = VectorTimestamp(network_size_);
+  st.member_event_applied.assign(network_size_, 0);
+  return states_.emplace(mcid, std::move(st)).first->second;
+}
+
+DgmcSwitch::McState* DgmcSwitch::find(mc::McId mcid) {
+  auto it = states_.find(mcid);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+const DgmcSwitch::McState* DgmcSwitch::find(mc::McId mcid) const {
+  auto it = states_.find(mcid);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+// --- Local events (paper Figure 4) ---
+
+void DgmcSwitch::local_join(mc::McId mcid, mc::McType type,
+                            mc::MemberRole role) {
+  McState& st = get_or_create(mcid, type);
+  st.members.join(self_, role);
+  event_handler(mcid, st, McEventType::kJoin, role, graph::kInvalidLink);
+}
+
+void DgmcSwitch::local_leave(mc::McId mcid) {
+  McState* st = find(mcid);
+  if (st == nullptr || !st->members.contains(self_)) return;
+  st->members.leave(self_);
+  event_handler(mcid, *st, McEventType::kLeave, mc::MemberRole::kBoth,
+                graph::kInvalidLink);
+  maybe_destroy(mcid);
+}
+
+int DgmcSwitch::local_link_event(graph::LinkId link) {
+  const graph::Graph& image = hooks_.local_image();
+  DGMC_ASSERT(link >= 0 && link < image.link_count());
+  const graph::Link& l = image.link(link);
+  const graph::Edge edge(l.u, l.v);
+
+  // "k MC LSAs, where k is the number of MCs whose topologies are
+  // affected by the event" (paper §3.1). A restored link affects no
+  // installed topology, so k = 0 for up events by this definition; the
+  // unicast LSR layer still floods its non-MC LSA.
+  std::vector<mc::McId> affected;
+  for (auto& [mcid, st] : states_) {
+    if (!l.up && st.installed.contains(edge)) affected.push_back(mcid);
+  }
+  for (mc::McId mcid : affected) {
+    McState* st = find(mcid);
+    if (st == nullptr) continue;  // destroyed by an earlier iteration
+    event_handler(mcid, *st, McEventType::kLink, mc::MemberRole::kBoth, link);
+  }
+  return static_cast<int>(affected.size());
+}
+
+void DgmcSwitch::event_handler(mc::McId mcid, McState& st, McEventType ev,
+                               mc::MemberRole join_role, graph::LinkId link) {
+  // Fig 4 line 1: R[x]++, E[x]++.
+  st.r.increment(self_);
+  st.e.increment(self_);
+  // Record that this switch's own membership change (already applied by
+  // the caller) corresponds to event index R[x].
+  st.member_event_applied[self_] = st.r[self_];
+
+  // Fig 4 line 2: compute only when no LSAs are known outstanding — and,
+  // in our single-CPU model, when the CPU is free (otherwise defer via
+  // the make_proposal_flag exactly as lines 15-17 do).
+  if (!current_.has_value() && st.r.dominates(st.e)) {
+    Computation c;
+    c.mcid = mcid;
+    c.event_path = true;
+    c.event = ev;
+    c.join_role = join_role;
+    c.link = link;
+    c.old_r = st.r;  // line 4: save current R
+    c.arrivals_at_start = st.lsa_arrivals;
+    auto result = compute_topology(st);  // line 5 (occupies the CPU)
+    c.proposal = std::move(result.topology);
+    c.from_scratch = result.from_scratch;
+    start_computation(std::move(c));
+  } else {
+    // Fig 4 lines 15-17: flood the event, defer the proposal.
+    McLsa lsa;
+    lsa.source = self_;
+    lsa.event = ev;
+    lsa.mc = mcid;
+    lsa.mc_type = st.type;
+    lsa.join_role = join_role;
+    lsa.link = link;
+    lsa.stamp = st.r;
+    flood(std::move(lsa));
+    st.make_proposal_flag = true;
+  }
+}
+
+// --- LSA reception (paper Figure 5) ---
+
+void DgmcSwitch::receive(const McLsa& lsa) {
+  DGMC_ASSERT(lsa.source != self_);
+  ++counters_.lsas_received;
+  McState& st = get_or_create(lsa.mc, lsa.mc_type);
+  ++st.lsa_arrivals;
+
+  // Fig 5 lines 5-9: event LSAs advance R and the member list.
+  if (lsa.event != McEventType::kNone) {
+    st.r.increment(lsa.source);
+    if (lsa.event != McEventType::kLink) {
+      // The stamp's own component is the index of this event at its
+      // origin; apply the membership change only if we have not already
+      // applied a later one (reordered-flooding guard).
+      const std::uint32_t index = lsa.stamp[lsa.source];
+      if (index > st.member_event_applied[lsa.source]) {
+        st.member_event_applied[lsa.source] = index;
+        if (lsa.event == McEventType::kJoin) {
+          st.members.join(lsa.source, lsa.join_role);
+        } else {
+          st.members.leave(lsa.source);
+        }
+      }
+    }
+  }
+
+  // Fig 5 line 10: E[i] = max(E[i], T[i]).
+  st.e.merge_max(lsa.stamp);
+
+  // Fig 5 lines 11-17: accept an up-to-date proposal, else look for an
+  // inconsistency.
+  if (lsa.proposal.has_value() && lsa.stamp.dominates(st.e)) {
+    // T >= E: the proposal reflects every event this switch knows of.
+    // Equal-stamp tie-break (see header): lower proposer id wins.
+    const bool fresher = lsa.stamp.strictly_dominates(st.c);
+    const bool tie = lsa.stamp == st.c;
+    const bool tie_accept =
+        tie && (!config_.equal_stamp_tie_break ||
+                st.c_origin == graph::kInvalidNode ||
+                lsa.source <= st.c_origin);
+    if (fresher || tie_accept) {
+      install(lsa.mc, st, *lsa.proposal, lsa.stamp, lsa.source);
+      ++counters_.proposals_accepted;
+    } else {
+      ++counters_.proposals_ignored;
+    }
+    st.make_proposal_flag = false;  // line 14
+  } else {
+    if (lsa.proposal.has_value()) ++counters_.proposals_ignored;
+    if (st.r[self_] > lsa.stamp[self_]) {
+      // Line 15: the sender did not know all our local events.
+      st.make_proposal_flag = true;
+      ++counters_.inconsistencies_detected;
+    }
+  }
+
+  evaluate_trigger_gate(lsa.mc);
+  maybe_destroy(lsa.mc);
+}
+
+std::vector<mc::McId> DgmcSwitch::known_mcs() const {
+  std::vector<mc::McId> out;
+  out.reserve(states_.size());
+  for (const auto& [mcid, st] : states_) {
+    (void)st;
+    out.push_back(mcid);
+  }
+  return out;
+}
+
+McSync DgmcSwitch::export_sync(mc::McId mcid) const {
+  const McState* st = find(mcid);
+  DGMC_ASSERT(st != nullptr);
+  McSync sync;
+  sync.source = self_;
+  sync.mc = mcid;
+  sync.mc_type = st->type;
+  for (graph::NodeId y = 0; y < network_size_; ++y) {
+    const bool member = st->members.contains(y);
+    if (st->r[y] == 0 && !member) continue;  // no history for y
+    McSyncEntry entry;
+    entry.node = y;
+    entry.events_heard = st->r[y];
+    entry.member_event_index = st->member_event_applied[y];
+    entry.is_member = member;
+    entry.role = st->members.role_of(y);
+    sync.entries.push_back(entry);
+  }
+  return sync;
+}
+
+void DgmcSwitch::apply_sync(const McSync& sync) {
+  if (sync.source == self_) return;
+  McState& st = get_or_create(sync.mc, sync.mc_type);
+  bool learned_anything = false;
+  for (const McSyncEntry& entry : sync.entries) {
+    DGMC_ASSERT(entry.node >= 0 && entry.node < network_size_);
+    if (entry.node == self_) {
+      // Nobody can know more about our own events than we do.
+      DGMC_ASSERT(entry.events_heard <= st.r[self_]);
+      continue;
+    }
+    if (entry.events_heard > st.r[entry.node]) {
+      // The sender's partition saw more of this origin's history; its
+      // view of the origin is authoritative (each switch's events all
+      // happen on its own side of a partition).
+      st.r.raise_to(entry.node, entry.events_heard);
+      learned_anything = true;
+      if (entry.member_event_index >= st.member_event_applied[entry.node]) {
+        st.member_event_applied[entry.node] = entry.member_event_index;
+        if (entry.is_member) {
+          st.members.join(entry.node, entry.role);
+        } else {
+          st.members.leave(entry.node);
+        }
+      }
+    }
+    st.e.raise_to(entry.node, entry.events_heard);
+  }
+  ++st.lsa_arrivals;  // invalidates any in-flight computation here
+  if (learned_anything) {
+    // The installed topology predates the merged history; propose.
+    st.make_proposal_flag = true;
+  }
+  evaluate_trigger_gate(sync.mc);
+  maybe_destroy(sync.mc);
+}
+
+void DgmcSwitch::evaluate_trigger_gate(mc::McId mcid) {
+  if (current_.has_value()) return;  // CPU busy; re-run when it frees
+  McState* stp = find(mcid);
+  if (stp == nullptr) return;
+  McState& st = *stp;
+  // A member-less connection is about to be destroyed everywhere
+  // (§3.4); proposing a topology for it would be pure noise.
+  if (st.members.empty()) return;
+  // Fig 5 line 19: make_proposal_flag AND R >= E AND R > C.
+  if (!st.make_proposal_flag) return;
+  if (!st.r.dominates(st.e)) return;
+  if (!st.r.strictly_dominates(st.c)) return;
+
+  Computation c;
+  c.mcid = mcid;
+  c.event_path = false;
+  c.old_r = st.r;  // line 20
+  c.arrivals_at_start = st.lsa_arrivals;
+  auto result = compute_topology(st);  // line 21
+  c.proposal = std::move(result.topology);
+  c.from_scratch = result.from_scratch;
+  start_computation(std::move(c));
+}
+
+void DgmcSwitch::evaluate_all_trigger_gates() {
+  for (auto& [mcid, st] : states_) {
+    if (current_.has_value()) return;
+    (void)st;
+    evaluate_trigger_gate(mcid);
+  }
+}
+
+// --- Computation lifecycle ---
+
+des::SimTime DgmcSwitch::computation_duration(bool from_scratch) const {
+  if (from_scratch || config_.incremental_computation_time < 0.0) {
+    return config_.computation_time;
+  }
+  return config_.incremental_computation_time;
+}
+
+void DgmcSwitch::start_computation(Computation c) {
+  DGMC_ASSERT(!current_.has_value());
+  ++counters_.computations_started;
+  if (hooks_.on_computation) hooks_.on_computation(c.mcid);
+  const des::SimTime duration = computation_duration(c.from_scratch);
+  current_ = std::move(c);
+  sched_.schedule_after(duration, [this] { finish_computation(); });
+}
+
+void DgmcSwitch::finish_computation() {
+  DGMC_ASSERT(current_.has_value());
+  Computation c = std::move(*current_);
+  current_.reset();
+
+  McState* stp = find(c.mcid);
+  if (stp == nullptr) {
+    // The MC was destroyed while we computed (last member left).
+    ++counters_.computations_withdrawn;
+    evaluate_all_trigger_gates();
+    return;
+  }
+  McState& st = *stp;
+
+  if (c.event_path) {
+    McLsa lsa;
+    lsa.source = self_;
+    lsa.event = c.event;
+    lsa.mc = c.mcid;
+    lsa.mc_type = st.type;
+    lsa.join_role = c.join_role;
+    lsa.link = c.link;
+    lsa.stamp = c.old_r;
+    if (st.r == c.old_r) {
+      // Fig 4 lines 6-10: proposal still valid.
+      lsa.proposal = c.proposal;
+      flood(std::move(lsa));
+      st.make_proposal_flag = false;
+      install(c.mcid, st, c.proposal, c.old_r, self_);
+    } else {
+      // Fig 4 lines 11-13: obsolete; flood the event alone, defer.
+      ++counters_.computations_withdrawn;
+      flood(std::move(lsa));
+      st.make_proposal_flag = true;
+    }
+  } else {
+    // Fig 5 line 22: still up to date only if R is unchanged and no MC
+    // LSA for this connection arrived during the computation window.
+    if (st.r == c.old_r && st.lsa_arrivals == c.arrivals_at_start) {
+      McLsa lsa;
+      lsa.source = self_;
+      lsa.event = McEventType::kNone;
+      lsa.mc = c.mcid;
+      lsa.mc_type = st.type;
+      lsa.stamp = st.r;
+      lsa.proposal = c.proposal;
+      flood(std::move(lsa));
+      st.e = st.r;  // line 24: bring E up to date
+      st.make_proposal_flag = false;
+      install(c.mcid, st, c.proposal, c.old_r, self_);
+    } else {
+      // Line 29: withdraw; the flag stays set and the gate re-runs.
+      ++counters_.computations_withdrawn;
+    }
+  }
+
+  maybe_destroy(c.mcid);
+  evaluate_all_trigger_gates();
+}
+
+// --- Helpers ---
+
+void DgmcSwitch::install(mc::McId mcid, McState& st,
+                         const trees::Topology& topo,
+                         const VectorTimestamp& stamp, graph::NodeId origin) {
+  st.installed = topo;
+  st.c = stamp;
+  st.c_origin = origin;
+  if (hooks_.on_install) hooks_.on_install(mcid, topo);
+}
+
+void DgmcSwitch::flood(McLsa lsa) {
+  ++counters_.lsas_flooded;
+  if (lsa.proposal.has_value()) ++counters_.proposals_flooded;
+  if (lsa.event != McEventType::kNone) ++counters_.event_lsas_flooded;
+  hooks_.flood(lsa);
+}
+
+mc::TopologyAlgorithm::Result DgmcSwitch::compute_topology(
+    const McState& st) const {
+  mc::TopologyRequest req;
+  req.type = st.type;
+  req.members = &st.members;
+  req.previous = st.installed.empty() ? nullptr : &st.installed;
+  return algorithm_.compute_with_info(hooks_.local_image(), req);
+}
+
+void DgmcSwitch::maybe_destroy(mc::McId mcid) {
+  if (!config_.destroy_on_empty) return;
+  McState* st = find(mcid);
+  if (st == nullptr || !st->members.empty()) return;
+  if (current_.has_value() && current_->mcid == mcid) return;  // defer
+  states_.erase(mcid);
+}
+
+// --- Introspection ---
+
+bool DgmcSwitch::has_state(mc::McId mcid) const {
+  return find(mcid) != nullptr;
+}
+
+const trees::Topology* DgmcSwitch::installed(mc::McId mcid) const {
+  const McState* st = find(mcid);
+  return st == nullptr ? nullptr : &st->installed;
+}
+
+const mc::MemberList* DgmcSwitch::members(mc::McId mcid) const {
+  const McState* st = find(mcid);
+  return st == nullptr ? nullptr : &st->members;
+}
+
+mc::McType DgmcSwitch::mc_type(mc::McId mcid) const {
+  const McState* st = find(mcid);
+  DGMC_ASSERT(st != nullptr);
+  return st->type;
+}
+
+const VectorTimestamp* DgmcSwitch::stamp_r(mc::McId mcid) const {
+  const McState* st = find(mcid);
+  return st == nullptr ? nullptr : &st->r;
+}
+
+const VectorTimestamp* DgmcSwitch::stamp_e(mc::McId mcid) const {
+  const McState* st = find(mcid);
+  return st == nullptr ? nullptr : &st->e;
+}
+
+const VectorTimestamp* DgmcSwitch::stamp_c(mc::McId mcid) const {
+  const McState* st = find(mcid);
+  return st == nullptr ? nullptr : &st->c;
+}
+
+bool DgmcSwitch::proposal_flag(mc::McId mcid) const {
+  const McState* st = find(mcid);
+  return st != nullptr && st->make_proposal_flag;
+}
+
+std::vector<graph::LinkId> DgmcSwitch::routing_entries(
+    mc::McId mcid, const graph::Graph& image) const {
+  std::vector<graph::LinkId> out;
+  const McState* st = find(mcid);
+  if (st == nullptr) return out;
+  for (graph::LinkId id : image.links_of(self_)) {
+    const graph::Link& l = image.link(id);
+    if (st->installed.contains(graph::Edge(l.u, l.v))) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace dgmc::core

@@ -1,0 +1,237 @@
+// DgmcSwitch: the D-GMC protocol entity running at one network switch
+// (paper §3.3, Figures 4 and 5).
+//
+// The paper defines two concurrently running entities per switch that
+// share state through atomic accesses:
+//   EventHandler() — invoked when a local event (member join/leave at
+//     an attached host, or a link/nodal change) occurs; floods an event
+//     LSA and possibly computes a topology proposal.
+//   ReceiveLSA()   — invoked when MC LSAs are present in the mailbox;
+//     ingests them, detects inconsistencies, and possibly computes and
+//     floods a *triggered* proposal.
+//
+// Simulation model (documented deviations from the two-thread fiction,
+// chosen to be equivalent under the paper's atomicity assumption):
+//   * LSA bookkeeping (paper ReceiveLSA lines 4-17) executes instantly
+//     at LSA arrival time — per-LSA processing cost is negligible next
+//     to topology computations, as in the paper's experiments.
+//   * Topology computations occupy the switch's single CPU for Tc
+//     simulated seconds; at most one runs per switch at a time. The
+//     paper's revalidation guards map directly:
+//       - EventHandler line 6 "IF (old_R = R)": R advanced during the
+//         computation window => flood the event without the proposal.
+//       - ReceiveLSA line 22 "no LSAs in mailbox AND old_R = R": any MC
+//         LSA arrival for this MC during the window withdraws the
+//         triggered proposal.
+//   * If the CPU is busy when an event occurs, the event LSA is flooded
+//     immediately without a proposal and make_proposal_flag is set —
+//     the same "defer to ReceiveLSA" path the paper takes when LSAs are
+//     outstanding (lines 15-17); the trigger gate re-runs when the CPU
+//     frees.
+//
+// One deliberate extension: the paper leaves unresolved the race where
+// two switches flood proposals with *equal* timestamps (possible when
+// both detect the same inconsistency and both pass R >= E). Both pass
+// the acceptance test T >= E, so switches could install different
+// topologies in different orders and never reconcile. We break the tie
+// deterministically by proposer id: an equal-stamp proposal replaces
+// the installed one only if its proposer id is lower. See
+// DESIGN.md "Key design decisions".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/mc_lsa.hpp"
+#include "core/sync.hpp"
+#include "des/scheduler.hpp"
+#include "mc/algorithm.hpp"
+#include "mc/member_list.hpp"
+
+namespace dgmc::core {
+
+struct DgmcConfig {
+  /// Tc: time one from-scratch topology computation occupies the
+  /// switch CPU.
+  des::SimTime computation_time = 25 * des::kMillisecond;
+  /// Time an *incremental* update occupies the CPU (§3.5's motivation:
+  /// attaching/pruning a branch is far cheaper than a Steiner
+  /// computation). Negative (the default) means "same as
+  /// computation_time", preserving the paper's single-Tc model.
+  des::SimTime incremental_computation_time = -1.0;
+  /// Delete per-MC state when the member list empties (paper §3.4).
+  /// Disable to keep tombstones (useful for post-run inspection).
+  bool destroy_on_empty = true;
+  /// Extension: flood McSync summaries when a link is restored so that
+  /// healed partitions reconcile (see core/sync.hpp). Off by default —
+  /// the base paper protocol has no such mechanism.
+  bool partition_resync = false;
+  /// Accept an equal-stamp proposal only from a proposer with an id no
+  /// higher than the installed one's (the deterministic tie-break this
+  /// implementation adds; see the class comment). Disabling reverts to
+  /// the paper's literal rule — any proposal with T >= E replaces the
+  /// installed topology — which can leave switches permanently
+  /// disagreeing when equal-stamp proposals cross (the ablation
+  /// bench/ablation_tiebreak quantifies how often).
+  bool equal_stamp_tie_break = true;
+};
+
+/// Per-switch, per-MC protocol counters (the paper's metrics inputs).
+struct DgmcCounters {
+  std::uint64_t computations_started = 0;
+  std::uint64_t computations_withdrawn = 0;
+  std::uint64_t proposals_flooded = 0;    // LSAs carrying P != NULL
+  std::uint64_t event_lsas_flooded = 0;   // LSAs with V != none
+  std::uint64_t lsas_flooded = 0;         // all MC LSAs originated
+  std::uint64_t lsas_received = 0;
+  std::uint64_t proposals_accepted = 0;
+  std::uint64_t proposals_ignored = 0;    // stale (T >= E failed)
+  std::uint64_t inconsistencies_detected = 0;  // R[x] > T[x]
+};
+
+class DgmcSwitch {
+ public:
+  struct Hooks {
+    /// Originates a flooding of the LSA (required).
+    std::function<void(const McLsa&)> flood;
+    /// The switch's current local image of the network (required);
+    /// called at computation start.
+    std::function<const graph::Graph&()> local_image;
+    /// Observer: a topology was installed for the MC (optional).
+    std::function<void(mc::McId, const trees::Topology&)> on_install;
+    /// Observer: a topology computation started (optional).
+    std::function<void(mc::McId)> on_computation;
+  };
+
+  DgmcSwitch(graph::NodeId self, int network_size, des::Scheduler& sched,
+             const mc::TopologyAlgorithm& algorithm, DgmcConfig config,
+             Hooks hooks);
+
+  DgmcSwitch(const DgmcSwitch&) = delete;
+  DgmcSwitch& operator=(const DgmcSwitch&) = delete;
+
+  // --- Local events (paper EventHandler, Figure 4) ---
+
+  /// An attached host joined the MC; `type` is used when this switch
+  /// creates the MC (first member), and must match for existing MCs.
+  void local_join(mc::McId mcid, mc::McType type,
+                  mc::MemberRole role = mc::MemberRole::kBoth);
+
+  /// An attached host left the MC; no-op if this switch is not a member.
+  void local_leave(mc::McId mcid);
+
+  /// A link status change was detected locally (after the local image
+  /// has been updated). Runs EventHandler for every MC whose installed
+  /// topology uses the link, and returns how many MCs were affected —
+  /// the paper's "k MC LSAs per link event".
+  int local_link_event(graph::LinkId link);
+
+  // --- LSA reception (paper ReceiveLSA, Figure 5) ---
+
+  void receive(const McLsa& lsa);
+
+  // --- Partition resynchronization (extension, see core/sync.hpp) ---
+
+  /// Connections this switch holds state for, ascending.
+  std::vector<mc::McId> known_mcs() const;
+
+  /// Summarizes this switch's view of `mcid` for flooding after a link
+  /// restoration. Asserts the MC is known here.
+  McSync export_sync(mc::McId mcid) const;
+
+  /// Merges a flooded sync: adopts the authoritative (higher event
+  /// count) view per origin, then lets the normal proposal machinery
+  /// reconcile the topology. No-op for the sync's own originator.
+  void apply_sync(const McSync& sync);
+
+  // --- Introspection ---
+
+  graph::NodeId self() const { return self_; }
+  bool has_state(mc::McId mcid) const;
+  /// Installed topology; nullptr if the MC is unknown here.
+  const trees::Topology* installed(mc::McId mcid) const;
+  const mc::MemberList* members(mc::McId mcid) const;
+  /// The MC's type; asserts the MC is known here.
+  mc::McType mc_type(mc::McId mcid) const;
+  const VectorTimestamp* stamp_r(mc::McId mcid) const;
+  const VectorTimestamp* stamp_e(mc::McId mcid) const;
+  const VectorTimestamp* stamp_c(mc::McId mcid) const;
+  bool proposal_flag(mc::McId mcid) const;
+  /// The switch's multicast routing entries for an MC: its incident
+  /// links that belong to the installed topology ("update routing
+  /// entries for incident links in m according to P", Figs 4/5).
+  /// `image` must be the switch's local image. Empty if the MC is
+  /// unknown or the switch is not on the tree.
+  std::vector<graph::LinkId> routing_entries(mc::McId mcid,
+                                             const graph::Graph& image) const;
+  bool computing() const { return current_.has_value(); }
+  const DgmcCounters& counters() const { return counters_; }
+
+ private:
+  struct McState {
+    mc::McType type = mc::McType::kSymmetric;
+    mc::MemberList members;
+    VectorTimestamp r, e, c;
+    graph::NodeId c_origin = graph::kInvalidNode;  // proposer of installed
+    trees::Topology installed;
+    bool make_proposal_flag = false;
+    std::uint64_t lsa_arrivals = 0;  // guard for triggered computations
+    // Highest per-origin event index whose membership change has been
+    // applied. Guards against reordered join/leave LSAs from the same
+    // origin (possible when the topology changes between two floodings)
+    // corrupting the member list: a membership change applies only if
+    // its event index exceeds this watermark.
+    std::vector<std::uint32_t> member_event_applied;
+  };
+
+  /// One in-flight topology computation (at most one per switch).
+  struct Computation {
+    mc::McId mcid;
+    bool event_path;          // EventHandler (true) vs triggered (false)
+    McEventType event = McEventType::kNone;  // event_path only
+    mc::MemberRole join_role = mc::MemberRole::kBoth;
+    graph::LinkId link = graph::kInvalidLink;
+    VectorTimestamp old_r;
+    std::uint64_t arrivals_at_start = 0;
+    trees::Topology proposal;  // computed from the snapshot at start
+    bool from_scratch = true;  // selects the modeled duration
+  };
+
+  McState& get_or_create(mc::McId mcid, mc::McType type);
+  McState* find(mc::McId mcid);
+  const McState* find(mc::McId mcid) const;
+
+  /// Paper Figure 4. `ev` describes the local event already applied to
+  /// the member list / local image.
+  void event_handler(mc::McId mcid, McState& st, McEventType ev,
+                     mc::MemberRole join_role, graph::LinkId link);
+
+  /// Paper Figure 5 lines 19-31: decide whether to compute a triggered
+  /// proposal.
+  void evaluate_trigger_gate(mc::McId mcid);
+  void evaluate_all_trigger_gates();
+
+  void start_computation(Computation c);
+  void finish_computation();
+
+  void install(mc::McId mcid, McState& st, const trees::Topology& topo,
+               const VectorTimestamp& stamp, graph::NodeId origin);
+  void flood(McLsa lsa);
+  mc::TopologyAlgorithm::Result compute_topology(const McState& st) const;
+  des::SimTime computation_duration(bool from_scratch) const;
+  void maybe_destroy(mc::McId mcid);
+
+  graph::NodeId self_;
+  int network_size_;
+  des::Scheduler& sched_;
+  const mc::TopologyAlgorithm& algorithm_;
+  DgmcConfig config_;
+  Hooks hooks_;
+  std::map<mc::McId, McState> states_;  // ordered: deterministic iteration
+  std::optional<Computation> current_;
+  DgmcCounters counters_;
+};
+
+}  // namespace dgmc::core

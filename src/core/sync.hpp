@@ -1,0 +1,52 @@
+// Partition-heal resynchronization (extension).
+//
+// Paper §6 leaves open "the ability of the protocol to survive
+// disastrous situations, such as network partitioning". The gap: while
+// partitioned, each side floods events only internally; after the
+// partition heals, the first LSA crossing the boundary carries a
+// timestamp reflecting events the other side never received, so E
+// races ahead of R there and the proposal gate (R >= E) jams forever —
+// the missed LSAs will never be retransmitted.
+//
+// The fix mirrors OSPF's database exchange on adjacency bring-up: when
+// a link comes up, each endpoint floods one McSync per connection it
+// knows. A sync summarizes, per origin switch y: how many events the
+// sender has heard from y (its R[y]), the index of the last membership
+// change from y it applied, and y's current membership/role in the
+// sender's view.
+//
+// Merging is conflict-free because every switch's events occur in
+// exactly one partition: whichever side reports more events from y has
+// seen *all* of y's events, so its view of y is authoritative. The
+// receiver adopts, per component, the view with the higher event
+// count, then raises its make_proposal_flag so the normal proposal
+// machinery reconciles the topology.
+#pragma once
+
+#include <vector>
+
+#include "core/timestamp.hpp"
+#include "mc/types.hpp"
+
+namespace dgmc::core {
+
+/// Per-origin summary inside a sync.
+struct McSyncEntry {
+  graph::NodeId node = graph::kInvalidNode;
+  std::uint32_t events_heard = 0;        // sender's R[node]
+  std::uint32_t member_event_index = 0;  // sender's applied watermark
+  bool is_member = false;
+  mc::MemberRole role = mc::MemberRole::kNone;
+
+  friend bool operator==(const McSyncEntry&, const McSyncEntry&) = default;
+};
+
+/// Flooded on link restoration, one per known connection.
+struct McSync {
+  graph::NodeId source = graph::kInvalidNode;
+  mc::McId mc = mc::kInvalidMc;
+  mc::McType mc_type = mc::McType::kSymmetric;
+  std::vector<McSyncEntry> entries;  // every origin with any history
+};
+
+}  // namespace dgmc::core

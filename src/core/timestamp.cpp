@@ -1,0 +1,40 @@
+#include "core/timestamp.hpp"
+
+namespace dgmc::core {
+
+void VectorTimestamp::merge_max(const VectorTimestamp& other) {
+  DGMC_ASSERT(size() == other.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (other.counts_[i] > counts_[i]) counts_[i] = other.counts_[i];
+  }
+}
+
+bool VectorTimestamp::dominates(const VectorTimestamp& other) const {
+  DGMC_ASSERT(size() == other.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] < other.counts_[i]) return false;
+  }
+  return true;
+}
+
+bool VectorTimestamp::strictly_dominates(const VectorTimestamp& other) const {
+  return dominates(other) && !(*this == other);
+}
+
+std::uint64_t VectorTimestamp::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint32_t c : counts_) sum += c;
+  return sum;
+}
+
+std::string VectorTimestamp::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(counts_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dgmc::core

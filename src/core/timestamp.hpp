@@ -1,0 +1,77 @@
+// Vector timestamps (paper §3: "A timestamp T is an n-tuple of natural
+// numbers, where n is the number of switches in the network. The x-th
+// component of T specifies how many events have been heard from switch
+// x.").
+//
+// Comparison is componentwise, i.e. a *partial* order:
+//   A >= B  iff  A[i] >= B[i] for all i       (dominates)
+//   A >  B  iff  A >= B and A != B            (strictly_dominates)
+// Incomparable pairs are exactly the concurrent-event conflicts the
+// protocol must reconcile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgmc::core {
+
+class VectorTimestamp {
+ public:
+  VectorTimestamp() = default;
+
+  /// All-zero timestamp of the given dimension (network size).
+  explicit VectorTimestamp(int network_size)
+      : counts_(static_cast<std::size_t>(network_size), 0) {}
+
+  /// Builds a timestamp from raw per-switch event counts (codec use).
+  static VectorTimestamp from_counts(std::vector<std::uint32_t> counts) {
+    VectorTimestamp t;
+    t.counts_ = std::move(counts);
+    return t;
+  }
+
+  int size() const { return static_cast<int>(counts_.size()); }
+
+  std::uint32_t operator[](graph::NodeId i) const {
+    DGMC_ASSERT(i >= 0 && i < size());
+    return counts_[i];
+  }
+
+  /// Records one more event heard from switch i.
+  void increment(graph::NodeId i) {
+    DGMC_ASSERT(i >= 0 && i < size());
+    ++counts_[i];
+  }
+
+  /// Raises component i to at least `value` (partition resync merge).
+  void raise_to(graph::NodeId i, std::uint32_t value) {
+    DGMC_ASSERT(i >= 0 && i < size());
+    if (value > counts_[i]) counts_[i] = value;
+  }
+
+  /// Componentwise maximum with `other` (paper ReceiveLSA line 10:
+  /// "For every element E[i], set E[i] = max(E[i], T[i])").
+  void merge_max(const VectorTimestamp& other);
+
+  /// this >= other componentwise.
+  bool dominates(const VectorTimestamp& other) const;
+
+  /// this >= other and this != other.
+  bool strictly_dominates(const VectorTimestamp& other) const;
+
+  /// Sum of all components (total events reflected).
+  std::uint64_t total() const;
+
+  friend bool operator==(const VectorTimestamp&,
+                         const VectorTimestamp&) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace dgmc::core

@@ -1,0 +1,62 @@
+// Mailbox: typed message queue with arrival notification.
+//
+// The CSIM-style abstraction used by switch processes: senders deliver
+// (optionally after a delay), the owner drains with try_receive(). The
+// notification callback fires once per delivery at delivery time, which
+// lets a reactive process model "invoked whenever LSAs are present in
+// the mailbox" (paper §3.3) without polling.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "des/scheduler.hpp"
+
+namespace dgmc::des {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Scheduler& sched) : sched_(sched) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Registers the arrival notification. At most one handler is
+  /// supported; it runs after the message is enqueued.
+  void on_message(std::function<void()> handler) {
+    handler_ = std::move(handler);
+  }
+
+  /// Enqueues a message now and fires the notification.
+  void deliver(T msg) {
+    queue_.push_back(std::move(msg));
+    if (handler_) handler_();
+  }
+
+  /// Enqueues a message after `delay` simulated seconds.
+  void deliver_after(SimTime delay, T msg) {
+    sched_.schedule_after(
+        delay, [this, m = std::move(msg)]() mutable { deliver(std::move(m)); });
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Removes and returns the oldest message, or nullopt if empty.
+  std::optional<T> try_receive() {
+    if (queue_.empty()) return std::nullopt;
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+ private:
+  Scheduler& sched_;
+  std::deque<T> queue_;
+  std::function<void()> handler_;
+};
+
+}  // namespace dgmc::des

@@ -1,0 +1,67 @@
+// SerialResource: a single-server FIFO queue over the event calendar.
+//
+// Models a switch CPU: jobs (e.g. topology computations of duration Tc)
+// submitted while the resource is busy wait in FIFO order. The paper's
+// protocol behaviour under bursts hinges on this serialization — LSAs
+// that arrive while a computation is in flight invalidate its proposal.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "des/scheduler.hpp"
+
+namespace dgmc::des {
+
+class SerialResource {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit SerialResource(Scheduler& sched) : sched_(sched) {}
+
+  SerialResource(const SerialResource&) = delete;
+  SerialResource& operator=(const SerialResource&) = delete;
+
+  /// Enqueues a job occupying the resource for `duration`; `on_complete`
+  /// runs at the moment the job finishes.
+  void submit(SimTime duration, Callback on_complete) {
+    queue_.push_back({duration, std::move(on_complete)});
+    if (!busy_) start_next();
+  }
+
+  bool busy() const { return busy_; }
+
+  /// Jobs waiting (not counting the one in service).
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// Total jobs completed (diagnostic / metrics).
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct Job {
+    SimTime duration;
+    Callback on_complete;
+  };
+
+  void start_next() {
+    if (queue_.empty()) return;
+    busy_ = true;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    sched_.schedule_after(job.duration,
+                          [this, cb = std::move(job.on_complete)]() mutable {
+                            busy_ = false;
+                            ++completed_;
+                            cb();
+                            if (!busy_) start_next();
+                          });
+  }
+
+  Scheduler& sched_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace dgmc::des

@@ -1,0 +1,89 @@
+#include "des/scheduler.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace dgmc::des {
+
+Scheduler::EventId Scheduler::schedule_at(SimTime t, Callback cb) {
+  DGMC_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  DGMC_ASSERT(cb != nullptr);
+  const std::uint64_t id = next_id_++;
+  heap_.push(Node{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++pending_;
+  return EventId{id};
+}
+
+Scheduler::EventId Scheduler::schedule_after(SimTime delay, Callback cb) {
+  DGMC_ASSERT_MSG(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::cancel(EventId id) {
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --pending_;
+  // The heap node is left in place and skipped lazily on pop.
+  return true;
+}
+
+bool Scheduler::pop_next(Node& out) {
+  while (!heap_.empty()) {
+    Node n = heap_.top();
+    heap_.pop();
+    if (callbacks_.count(n.id) != 0) {
+      out = n;
+      return true;
+    }
+    // Cancelled node: drop it.
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  Node n;
+  if (!pop_next(n)) return false;
+  auto it = callbacks_.find(n.id);
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  --pending_;
+  now_ = n.time;
+  ++executed_;
+  cb();
+  return true;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::size_t Scheduler::run_until(SimTime t) {
+  DGMC_ASSERT(t >= now_);
+  std::size_t count = 0;
+  while (true) {
+    Node n;
+    if (!pop_next(n)) break;
+    if (n.time > t) {
+      // Peeked too far: push it back untouched.
+      heap_.push(n);
+      break;
+    }
+    auto it = callbacks_.find(n.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --pending_;
+    now_ = n.time;
+    ++executed_;
+    cb();
+    ++count;
+  }
+  now_ = t;
+  return count;
+}
+
+}  // namespace dgmc::des

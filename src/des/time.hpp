@@ -1,0 +1,18 @@
+// Simulated time.
+//
+// Time is a double in seconds. Events separated by less than kTimeEps
+// are considered simultaneous for reporting purposes; ordering between
+// equal-time events is deterministic (FIFO by schedule order).
+#pragma once
+
+namespace dgmc::des {
+
+using SimTime = double;
+
+inline constexpr SimTime kMicrosecond = 1e-6;
+inline constexpr SimTime kMillisecond = 1e-3;
+inline constexpr SimTime kSecond = 1.0;
+
+inline constexpr SimTime kTimeEps = 1e-12;
+
+}  // namespace dgmc::des

@@ -1,0 +1,128 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dgmc::graph {
+
+std::vector<NodeId> ShortestPaths::path_to(NodeId dest) const {
+  if (!reachable(dest)) return {};
+  std::vector<NodeId> path;
+  for (NodeId n = dest; n != kInvalidNode; n = parent[n]) path.push_back(n);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double cost_weight(const Link& l) { return l.cost; }
+
+double delay_weight(const Link& l) { return l.delay; }
+
+ShortestPaths dijkstra(const Graph& g, NodeId source,
+                       const LinkWeight& weight) {
+  DGMC_ASSERT(g.valid_node(source));
+  const int n = g.node_count();
+  ShortestPaths sp;
+  sp.source = source;
+  sp.dist.assign(n, kInfiniteDistance);
+  sp.parent.assign(n, kInvalidNode);
+  sp.parent_link.assign(n, kInvalidLink);
+  sp.dist[source] = 0.0;
+
+  // (dist, node); deterministic tie-break on node id via the pair order.
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.push({0.0, source});
+  std::vector<bool> done(n, false);
+
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    for (LinkId id : g.links_of(u)) {
+      const Link& l = g.link(id);
+      if (!l.up) continue;
+      const double w = weight(l);
+      DGMC_ASSERT_MSG(w >= 0.0, "negative link weight");
+      const NodeId v = g.other_end(id, u);
+      const double nd = d + w;
+      // Strict improvement, or an equal-cost path through a lower-id
+      // predecessor: keeps tree computations identical across switches.
+      if (nd < sp.dist[v] ||
+          (nd == sp.dist[v] && !done[v] && u < sp.parent[v])) {
+        sp.dist[v] = nd;
+        sp.parent[v] = u;
+        sp.parent_link[v] = id;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return sp;
+}
+
+std::vector<int> components(const Graph& g) {
+  const int n = g.node_count();
+  std::vector<int> comp(n, -1);
+  int next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != -1) continue;
+    const int label = next++;
+    comp[s] = label;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (LinkId id : g.links_of(u)) {
+        if (!g.link(id).up) continue;
+        NodeId v = g.other_end(id, u);
+        if (comp[v] == -1) {
+          comp[v] = label;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto comp = components(g);
+  return std::all_of(comp.begin(), comp.end(),
+                     [](int c) { return c == 0; });
+}
+
+namespace {
+
+double eccentricity_max(const Graph& g, const LinkWeight& weight) {
+  double worst = 0.0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const ShortestPaths sp = dijkstra(g, s, weight);
+    for (double d : sp.dist) {
+      if (d < kInfiniteDistance) worst = std::max(worst, d);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+double diameter_cost(const Graph& g) {
+  return eccentricity_max(g, cost_weight);
+}
+
+double flooding_diameter(const Graph& g, double per_hop_overhead) {
+  return eccentricity_max(g, [per_hop_overhead](const Link& l) {
+    return l.delay + per_hop_overhead;
+  });
+}
+
+double mean_link_delay(const Graph& g) {
+  if (g.link_count() == 0) return 0.0;
+  double sum = 0.0;
+  for (const Link& l : g.links()) sum += l.delay;
+  return sum / g.link_count();
+}
+
+}  // namespace dgmc::graph

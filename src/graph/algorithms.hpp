@@ -1,0 +1,66 @@
+// Graph algorithms shared by the routing substrate and the tree
+// algorithms: Dijkstra single-source shortest paths (with pluggable
+// link weight), connectivity, and delay-based diameters. Down links are
+// invisible to every algorithm here.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgmc::graph {
+
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+/// Result of a single-source shortest-path computation. Unreachable
+/// nodes have dist == kInfiniteDistance and parent == kInvalidNode.
+struct ShortestPaths {
+  NodeId source = kInvalidNode;
+  std::vector<double> dist;
+  std::vector<NodeId> parent;       // predecessor on the shortest path
+  std::vector<LinkId> parent_link;  // link to the predecessor
+
+  bool reachable(NodeId n) const { return dist[n] < kInfiniteDistance; }
+
+  /// Nodes from source to `dest` inclusive; empty if unreachable.
+  std::vector<NodeId> path_to(NodeId dest) const;
+};
+
+/// Link weight functor; must return a positive weight for an up link.
+using LinkWeight = std::function<double(const Link&)>;
+
+/// Default routing weight: the link's cost metric.
+double cost_weight(const Link& l);
+
+/// Simulation weight: propagation delay (+ fixed per-hop overhead via
+/// delay_weight_with_overhead).
+double delay_weight(const Link& l);
+
+/// Dijkstra from `source` using `weight` (defaults to cost_weight);
+/// ties between equal-cost paths break toward the lower node id, so all
+/// switches computing the same tree agree on it.
+ShortestPaths dijkstra(const Graph& g, NodeId source,
+                       const LinkWeight& weight = cost_weight);
+
+/// True if all nodes are mutually reachable over up links.
+bool is_connected(const Graph& g);
+
+/// Component label per node (labels are 0-based, assigned in node order).
+std::vector<int> components(const Graph& g);
+
+/// Worst-case cost-metric eccentricity over all sources.
+double diameter_cost(const Graph& g);
+
+/// Flooding diameter Tf: the worst-case time for a flooded message to
+/// reach every node, where each hop costs link delay + per_hop_overhead
+/// (paper §4.1: Tf is "the time to complete a flooding operation in the
+/// worst case").
+double flooding_diameter(const Graph& g, double per_hop_overhead = 0.0);
+
+/// Mean propagation delay over all links (0 for an edgeless graph).
+double mean_link_delay(const Graph& g);
+
+}  // namespace dgmc::graph

@@ -1,0 +1,153 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace dgmc::graph {
+
+namespace {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+// Joins graph components by linking the closest pair of nodes across
+// component boundaries until the graph is connected.
+void connect_components(Graph& g, const std::vector<Point>& pts,
+                        const WaxmanParams& params) {
+  while (true) {
+    const std::vector<int> comp = components(g);
+    const int ncomp = 1 + *std::max_element(comp.begin(), comp.end());
+    if (ncomp <= 1) return;
+    // Closest cross-component pair, merging component 0 with any other.
+    NodeId best_u = kInvalidNode;
+    NodeId best_v = kInvalidNode;
+    double best_d = kInfiniteDistance;
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if (comp[u] != 0) continue;
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (comp[v] == 0) continue;
+        const double d = distance(pts[u], pts[v]);
+        if (d < best_d) {
+          best_d = d;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    DGMC_ASSERT(best_u != kInvalidNode);
+    const double cost = params.euclidean_costs ? std::max(best_d, 1e-6) : 1.0;
+    g.add_link(best_u, best_v, cost,
+               std::max(best_d, 1e-3) * params.delay_scale);
+  }
+}
+
+}  // namespace
+
+Graph waxman(int node_count, const WaxmanParams& params,
+             util::RngStream& rng) {
+  DGMC_ASSERT(node_count >= 2);
+  Graph g(node_count);
+  std::vector<Point> pts(node_count);
+  for (Point& p : pts) {
+    p.x = rng.uniform01();
+    p.y = rng.uniform01();
+  }
+  const double scale_l = std::sqrt(2.0);  // max distance in unit square
+  for (NodeId u = 0; u < node_count; ++u) {
+    for (NodeId v = u + 1; v < node_count; ++v) {
+      const double d = distance(pts[u], pts[v]);
+      const double p =
+          params.alpha * std::exp(-d / (params.beta * scale_l));
+      if (rng.bernoulli(std::min(p, 1.0))) {
+        const double cost = params.euclidean_costs ? std::max(d, 1e-6) : 1.0;
+        g.add_link(u, v, cost, std::max(d, 1e-3) * params.delay_scale);
+      }
+    }
+  }
+  connect_components(g, pts, params);
+  return g;
+}
+
+Graph random_connected(int node_count, double avg_degree,
+                       util::RngStream& rng) {
+  DGMC_ASSERT(node_count >= 2);
+  DGMC_ASSERT(avg_degree >= 2.0);
+  Graph g(node_count);
+  // Random spanning tree: attach each node to a uniformly random
+  // already-attached node (random recursive tree).
+  std::vector<NodeId> order(node_count);
+  for (NodeId i = 0; i < node_count; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (int i = 1; i < node_count; ++i) {
+    const NodeId u = order[i];
+    const NodeId v = order[rng.index(static_cast<std::size_t>(i))];
+    g.add_link(u, v);
+  }
+  // Extra links to reach the target mean degree (tree gives ~2 - 2/n).
+  const int target_links =
+      static_cast<int>(avg_degree * node_count / 2.0 + 0.5);
+  int attempts = 0;
+  const int max_attempts = 50 * target_links + 100;
+  while (g.link_count() < target_links && attempts++ < max_attempts) {
+    const NodeId u = static_cast<NodeId>(rng.index(node_count));
+    const NodeId v = static_cast<NodeId>(rng.index(node_count));
+    if (u == v || g.has_link(u, v)) continue;
+    g.add_link(u, v);
+  }
+  DGMC_ASSERT(is_connected(g));
+  return g;
+}
+
+Graph line(int node_count) {
+  DGMC_ASSERT(node_count >= 1);
+  Graph g(node_count);
+  for (NodeId i = 0; i + 1 < node_count; ++i) g.add_link(i, i + 1);
+  return g;
+}
+
+Graph ring(int node_count) {
+  DGMC_ASSERT(node_count >= 3);
+  Graph g = line(node_count);
+  g.add_link(node_count - 1, 0);
+  return g;
+}
+
+Graph star(int node_count) {
+  DGMC_ASSERT(node_count >= 2);
+  Graph g(node_count);
+  for (NodeId i = 1; i < node_count; ++i) g.add_link(0, i);
+  return g;
+}
+
+Graph grid(int rows, int cols) {
+  DGMC_ASSERT(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return static_cast<NodeId>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_link(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_link(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph complete(int node_count) {
+  DGMC_ASSERT(node_count >= 2);
+  Graph g(node_count);
+  for (NodeId u = 0; u < node_count; ++u) {
+    for (NodeId v = u + 1; v < node_count; ++v) g.add_link(u, v);
+  }
+  return g;
+}
+
+}  // namespace dgmc::graph

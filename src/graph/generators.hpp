@@ -1,0 +1,43 @@
+// Random and regular topology generators.
+//
+// The paper evaluates on randomly generated graphs ("20 graphs were
+// generated randomly for each network size"); the exact generator is
+// unspecified, so we provide the Waxman model — the standard topology
+// model in 1990s multicast routing studies — plus a degree-targeted
+// flat random model and small regular topologies for tests. All
+// generators return connected graphs.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::graph {
+
+struct WaxmanParams {
+  double alpha = 0.25;  // link density knob
+  double beta = 0.4;    // long-link likelihood knob
+  // Side length of the square in which nodes are placed; link delays are
+  // proportional to euclidean distance / side (so <= 1.0 * delay_scale).
+  double delay_scale = 1.0;
+  bool euclidean_costs = false;  // cost = distance instead of hop count
+};
+
+/// Waxman random graph: nodes uniform in a unit square; link (u,v) with
+/// probability alpha * exp(-d(u,v) / (beta * L)). Connectivity is
+/// guaranteed by joining components with their closest node pairs.
+Graph waxman(int node_count, const WaxmanParams& params,
+             util::RngStream& rng);
+
+/// Random connected graph with approximately `avg_degree` mean degree:
+/// a uniform random spanning tree plus random extra links.
+Graph random_connected(int node_count, double avg_degree,
+                       util::RngStream& rng);
+
+/// Simple regular topologies (unit cost and delay), mainly for tests.
+Graph line(int node_count);
+Graph ring(int node_count);
+Graph star(int node_count);  // node 0 is the hub
+Graph grid(int rows, int cols);
+Graph complete(int node_count);
+
+}  // namespace dgmc::graph

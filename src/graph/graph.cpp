@@ -1,0 +1,35 @@
+#include "graph/graph.hpp"
+
+namespace dgmc::graph {
+
+LinkId Graph::add_link(NodeId u, NodeId v, double cost, double delay) {
+  DGMC_ASSERT(valid_node(u) && valid_node(v));
+  DGMC_ASSERT_MSG(u != v, "self-loop");
+  DGMC_ASSERT_MSG(!has_link(u, v), "parallel link");
+  DGMC_ASSERT(cost > 0.0 && delay >= 0.0);
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{u, v, cost, delay, true});
+  adjacency_[u].push_back(id);
+  adjacency_[v].push_back(id);
+  return id;
+}
+
+LinkId Graph::find_link(NodeId u, NodeId v) const {
+  if (!valid_node(u) || !valid_node(v)) return kInvalidLink;
+  for (LinkId id : adjacency_[u]) {
+    if (other_end(id, u) == v) return id;
+  }
+  return kInvalidLink;
+}
+
+void Graph::scale_delays(double factor) {
+  DGMC_ASSERT(factor > 0.0);
+  for (Link& l : links_) l.delay *= factor;
+}
+
+void Graph::set_uniform_delay(double delay) {
+  DGMC_ASSERT(delay >= 0.0);
+  for (Link& l : links_) l.delay = delay;
+}
+
+}  // namespace dgmc::graph

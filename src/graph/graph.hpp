@@ -1,0 +1,119 @@
+// Undirected network graph: switches (nodes) joined by point-to-point
+// links. Each link carries a routing cost (used by topology algorithms)
+// and a propagation delay (used by the discrete-event simulator), plus
+// an up/down flag so link failures can be injected at runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dgmc::graph {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+struct Link {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double cost = 1.0;    // routing metric
+  double delay = 1.0;   // propagation delay (simulated seconds)
+  bool up = true;
+};
+
+/// An undirected edge with normalized endpoints (a <= b); the unit in
+/// which multipoint-connection topologies are described.
+struct Edge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+
+  Edge() = default;
+  Edge(NodeId x, NodeId y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+struct EdgeHash {
+  std::size_t operator()(const Edge& e) const {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.a)) << 32) |
+        static_cast<std::uint32_t>(e.b));
+  }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int node_count) : adjacency_(node_count) {
+    DGMC_ASSERT(node_count >= 0);
+  }
+
+  int node_count() const { return static_cast<int>(adjacency_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+
+  /// Adds an undirected link; parallel links and self-loops are rejected.
+  LinkId add_link(NodeId u, NodeId v, double cost = 1.0, double delay = 1.0);
+
+  const Link& link(LinkId id) const {
+    DGMC_ASSERT(id >= 0 && id < link_count());
+    return links_[id];
+  }
+
+  /// Incident link ids of a node (up and down links alike).
+  const std::vector<LinkId>& links_of(NodeId n) const {
+    DGMC_ASSERT(valid_node(n));
+    return adjacency_[n];
+  }
+
+  /// The endpoint of `id` that is not `from`.
+  NodeId other_end(LinkId id, NodeId from) const {
+    const Link& l = link(id);
+    DGMC_ASSERT(l.u == from || l.v == from);
+    return l.u == from ? l.v : l.u;
+  }
+
+  /// Finds the link joining u and v, or kInvalidLink.
+  LinkId find_link(NodeId u, NodeId v) const;
+
+  bool has_link(NodeId u, NodeId v) const {
+    return find_link(u, v) != kInvalidLink;
+  }
+
+  void set_link_up(LinkId id, bool up) {
+    DGMC_ASSERT(id >= 0 && id < link_count());
+    links_[id].up = up;
+  }
+
+  void set_link_cost(LinkId id, double cost) {
+    DGMC_ASSERT(id >= 0 && id < link_count());
+    links_[id].cost = cost;
+  }
+
+  void set_link_delay(LinkId id, double delay) {
+    DGMC_ASSERT(id >= 0 && id < link_count());
+    links_[id].delay = delay;
+  }
+
+  /// Multiplies every link delay by `factor` (used by experiment presets
+  /// to realize a target per-hop LSA transmission time).
+  void scale_delays(double factor);
+
+  /// Sets every link delay to `delay`.
+  void set_uniform_delay(double delay);
+
+  bool valid_node(NodeId n) const { return n >= 0 && n < node_count(); }
+
+  const std::vector<Link>& links() const { return links_; }
+
+ private:
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+};
+
+}  // namespace dgmc::graph

@@ -1,0 +1,125 @@
+// Reliable LSA flooding over the event calendar (paper §1: "the local
+// status of each switch is learned by the network via the flooding of
+// link-state advertisements").
+//
+// Classic LSR flooding: the originator sends on all up incident links;
+// each switch, on first receipt of an (origin, seq) pair, delivers the
+// payload to its protocol layer and forwards on every other up link;
+// duplicates are dropped. Per-hop latency = link propagation delay +
+// a fixed per-hop processing overhead (the knob that realizes the
+// paper's Tf regimes).
+//
+// The engine is templated on the payload type so the same transport
+// carries non-MC link LSAs and D-GMC MC LSAs (the sim layer instantiates
+// it with a variant of both).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "des/scheduler.hpp"
+#include "graph/graph.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::lsr {
+
+template <typename Payload>
+class FloodingNetwork {
+ public:
+  struct Delivery {
+    graph::NodeId at;      // switch receiving the LSA
+    graph::NodeId origin;  // switch that originated the flooding
+    std::uint32_t seq;     // per-origin sequence number
+    const Payload& payload;
+  };
+
+  /// Invoked once per (switch, LSA) on first receipt; never at the
+  /// originator.
+  using Receiver = std::function<void(const Delivery&)>;
+
+  FloodingNetwork(des::Scheduler& sched, const graph::Graph& physical,
+                  double per_hop_overhead)
+      : sched_(sched),
+        physical_(physical),
+        per_hop_overhead_(per_hop_overhead),
+        seen_(physical.node_count()),
+        next_seq_(physical.node_count(), 0) {
+    DGMC_ASSERT(per_hop_overhead >= 0.0);
+  }
+
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  /// Originates one flooding operation. Counted once regardless of the
+  /// number of per-link copies (the paper's "floodings per event" unit).
+  void flood(graph::NodeId origin, Payload payload) {
+    DGMC_ASSERT(physical_.valid_node(origin));
+    auto msg = std::make_shared<const Message>(
+        Message{origin, next_seq_[origin]++, std::move(payload)});
+    ++floodings_originated_;
+    mark_seen(origin, msg->origin, msg->seq);
+    forward(origin, msg);
+  }
+
+  std::uint64_t floodings_originated() const { return floodings_originated_; }
+  std::uint64_t link_transmissions() const { return link_transmissions_; }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  std::uint64_t in_flight() const { return in_flight_; }
+
+ private:
+  struct Message {
+    graph::NodeId origin;
+    std::uint32_t seq;
+    Payload payload;
+  };
+  using MessagePtr = std::shared_ptr<const Message>;
+
+  static std::uint64_t key(graph::NodeId origin, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin))
+            << 32) |
+           seq;
+  }
+
+  bool mark_seen(graph::NodeId at, graph::NodeId origin, std::uint32_t seq) {
+    return seen_[at].insert(key(origin, seq)).second;
+  }
+
+  void forward(graph::NodeId from, const MessagePtr& msg) {
+    for (graph::LinkId id : physical_.links_of(from)) {
+      const graph::Link& l = physical_.link(id);
+      if (!l.up) continue;
+      const graph::NodeId to = physical_.other_end(id, from);
+      ++link_transmissions_;
+      ++in_flight_;
+      sched_.schedule_after(l.delay + per_hop_overhead_,
+                            [this, to, msg] { arrive(to, msg); });
+    }
+  }
+
+  void arrive(graph::NodeId at, const MessagePtr& msg) {
+    --in_flight_;
+    if (!mark_seen(at, msg->origin, msg->seq)) {
+      ++duplicates_dropped_;
+      return;
+    }
+    if (receiver_) {
+      receiver_(Delivery{at, msg->origin, msg->seq, msg->payload});
+    }
+    forward(at, msg);
+  }
+
+  des::Scheduler& sched_;
+  const graph::Graph& physical_;
+  double per_hop_overhead_;
+  Receiver receiver_;
+  std::vector<std::unordered_set<std::uint64_t>> seen_;
+  std::vector<std::uint32_t> next_seq_;
+  std::uint64_t floodings_originated_ = 0;
+  std::uint64_t link_transmissions_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t in_flight_ = 0;
+};
+
+}  // namespace dgmc::lsr

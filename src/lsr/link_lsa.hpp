@@ -1,0 +1,19 @@
+// Non-MC LSA payload (paper §3.1): "a non-MC LSA is a tuple (S, F, D)
+// where ... D encodes a description of the event. The exact format of
+// link/nodal event descriptions is defined by the underlying unicast
+// LSR protocol." Ours describes one link's status change. A nodal
+// failure is advertised as the set of its incident links going down.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dgmc::lsr {
+
+struct LinkEventAd {
+  graph::LinkId link = graph::kInvalidLink;
+  bool up = false;
+
+  friend bool operator==(const LinkEventAd&, const LinkEventAd&) = default;
+};
+
+}  // namespace dgmc::lsr

@@ -1,0 +1,37 @@
+// LocalImage: a switch's private copy of the network map (paper §1:
+// "each switch maintains a complete local image of the network").
+//
+// Seeded from the physical graph at startup (standing in for the
+// initial LSR database synchronization) and updated by applying non-MC
+// link LSAs as they arrive, so a switch's view can lag reality by the
+// flooding latency — exactly the inconsistency window the D-GMC
+// timestamps must tolerate.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "lsr/link_lsa.hpp"
+
+namespace dgmc::lsr {
+
+class LocalImage {
+ public:
+  explicit LocalImage(const graph::Graph& physical) : image_(physical) {}
+
+  const graph::Graph& graph() const { return image_; }
+
+  /// Applies a link-status advertisement to the image.
+  void apply(const LinkEventAd& ad) {
+    image_.set_link_up(ad.link, ad.up);
+  }
+
+  /// True if the image already reflects the advertisement (duplicate or
+  /// locally detected event).
+  bool reflects(const LinkEventAd& ad) const {
+    return image_.link(ad.link).up == ad.up;
+  }
+
+ private:
+  graph::Graph image_;
+};
+
+}  // namespace dgmc::lsr

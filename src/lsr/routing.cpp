@@ -1,0 +1,40 @@
+#include "lsr/routing.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace dgmc::lsr {
+
+RoutingTable RoutingTable::compute(const graph::Graph& g,
+                                   graph::NodeId self) {
+  DGMC_ASSERT(g.valid_node(self));
+  const graph::ShortestPaths sp = graph::dijkstra(g, self);
+  RoutingTable rt;
+  rt.self_ = self;
+  rt.dist_ = sp.dist;
+  rt.next_hop_.assign(g.node_count(), graph::kInvalidNode);
+  for (graph::NodeId dest = 0; dest < g.node_count(); ++dest) {
+    if (dest == self || !sp.reachable(dest)) continue;
+    // Climb the shortest-path tree from dest until the parent is self.
+    graph::NodeId hop = dest;
+    while (sp.parent[hop] != self) hop = sp.parent[hop];
+    rt.next_hop_[dest] = hop;
+  }
+  return rt;
+}
+
+graph::NodeId RoutingTable::next_hop(graph::NodeId dest) const {
+  DGMC_ASSERT(dest >= 0 &&
+              dest < static_cast<graph::NodeId>(next_hop_.size()));
+  return next_hop_[dest];
+}
+
+double RoutingTable::distance(graph::NodeId dest) const {
+  DGMC_ASSERT(dest >= 0 && dest < static_cast<graph::NodeId>(dist_.size()));
+  return dist_[dest];
+}
+
+bool RoutingTable::reachable(graph::NodeId dest) const {
+  return distance(dest) < graph::kInfiniteDistance;
+}
+
+}  // namespace dgmc::lsr

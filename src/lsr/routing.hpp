@@ -1,0 +1,34 @@
+// Unicast routing tables computed from a switch's local image (the
+// OSPF role in the paper's architecture: "an MC protocol may take
+// advantage of the underlying unicast routing protocol").
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgmc::lsr {
+
+class RoutingTable {
+ public:
+  /// Builds the table for `self` by shortest-path-first over `g`
+  /// (cost metric, deterministic equal-cost tie-break).
+  static RoutingTable compute(const graph::Graph& g, graph::NodeId self);
+
+  graph::NodeId self() const { return self_; }
+
+  /// First hop toward `dest`; kInvalidNode if unreachable or dest==self.
+  graph::NodeId next_hop(graph::NodeId dest) const;
+
+  /// Shortest-path cost to `dest` (kInfiniteDistance if unreachable).
+  double distance(graph::NodeId dest) const;
+
+  bool reachable(graph::NodeId dest) const;
+
+ private:
+  graph::NodeId self_ = graph::kInvalidNode;
+  std::vector<graph::NodeId> next_hop_;
+  std::vector<double> dist_;
+};
+
+}  // namespace dgmc::lsr

@@ -1,0 +1,101 @@
+// Hop-by-hop unicast message delivery over the event calendar, used by
+// the CBT baseline (join/leave requests travel toward the core along
+// unicast paths) and the MOSPF baseline (datagram forwarding).
+//
+// Each hop consults the *current switch's* routing table, so routing
+// follows each switch's possibly stale local image — as in a real LSR
+// network.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "des/scheduler.hpp"
+#include "graph/graph.hpp"
+#include "lsr/routing.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::lsr {
+
+template <typename Message>
+class UnicastNetwork {
+ public:
+  /// Supplies the routing table a given switch currently uses.
+  using TableProvider = std::function<const RoutingTable&(graph::NodeId)>;
+  /// Invoked when a message reaches its destination.
+  using Receiver = std::function<void(graph::NodeId at, graph::NodeId from,
+                                      const Message&)>;
+  /// Invoked at every switch a message transits (including the
+  /// destination), before forwarding; optional.
+  using TransitHook = std::function<void(graph::NodeId at, const Message&)>;
+
+  UnicastNetwork(des::Scheduler& sched, const graph::Graph& physical,
+                 double per_hop_overhead, TableProvider tables)
+      : sched_(sched),
+        physical_(physical),
+        per_hop_overhead_(per_hop_overhead),
+        tables_(std::move(tables)) {}
+
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+  void set_transit_hook(TransitHook h) { transit_ = std::move(h); }
+
+  /// Sends a message; it is delivered after traversing each hop's link
+  /// delay + per-hop overhead, or silently dropped (and counted) if some
+  /// switch on the way has no route.
+  void send(graph::NodeId from, graph::NodeId to, Message msg) {
+    DGMC_ASSERT(physical_.valid_node(from) && physical_.valid_node(to));
+    auto env = std::make_shared<Envelope>(Envelope{from, to, std::move(msg)});
+    ++messages_sent_;
+    step(from, env);
+  }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t hops_traversed() const { return hops_traversed_; }
+
+ private:
+  struct Envelope {
+    graph::NodeId src;
+    graph::NodeId dst;
+    Message msg;
+  };
+  using EnvelopePtr = std::shared_ptr<Envelope>;
+
+  void step(graph::NodeId at, const EnvelopePtr& env) {
+    if (transit_) transit_(at, env->msg);
+    if (at == env->dst) {
+      ++messages_delivered_;
+      if (receiver_) receiver_(at, env->src, env->msg);
+      return;
+    }
+    const graph::NodeId hop = tables_(at).next_hop(env->dst);
+    if (hop == graph::kInvalidNode) {
+      ++messages_dropped_;
+      return;
+    }
+    const graph::LinkId id = physical_.find_link(at, hop);
+    if (id == graph::kInvalidLink || !physical_.link(id).up) {
+      // Stale table points across a dead link.
+      ++messages_dropped_;
+      return;
+    }
+    ++hops_traversed_;
+    sched_.schedule_after(physical_.link(id).delay + per_hop_overhead_,
+                          [this, hop, env] { step(hop, env); });
+  }
+
+  des::Scheduler& sched_;
+  const graph::Graph& physical_;
+  double per_hop_overhead_;
+  TableProvider tables_;
+  Receiver receiver_;
+  TransitHook transit_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t hops_traversed_ = 0;
+};
+
+}  // namespace dgmc::lsr

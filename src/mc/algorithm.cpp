@@ -1,0 +1,113 @@
+#include "mc/algorithm.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "trees/incremental.hpp"
+#include "trees/spt.hpp"
+#include "trees/steiner.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::mc {
+
+namespace {
+
+using trees::Topology;
+
+/// The terminal set a shared tree must span for the given MC type.
+std::vector<graph::NodeId> shared_tree_terminals(const TopologyRequest& req) {
+  // Symmetric: all members. Receiver-only: the receivers (== members).
+  return req.members->all();
+}
+
+Topology from_scratch(const graph::Graph& g, const TopologyRequest& req) {
+  switch (req.type) {
+    case McType::kSymmetric:
+    case McType::kReceiverOnly:
+      return trees::kmb_steiner(g, shared_tree_terminals(req));
+    case McType::kAsymmetric:
+      return trees::source_rooted_union(g, req.members->senders(),
+                                        req.members->receivers());
+  }
+  DGMC_ASSERT_MSG(false, "unknown MC type");
+  return Topology{};
+}
+
+class FromScratchAlgorithm final : public TopologyAlgorithm {
+ public:
+  Result compute_with_info(const graph::Graph& g,
+                           const TopologyRequest& req) const override {
+    DGMC_ASSERT(req.members != nullptr);
+    return Result{from_scratch(g, req), /*from_scratch=*/true};
+  }
+
+  std::string_view name() const override { return "from-scratch"; }
+};
+
+class IncrementalAlgorithm final : public TopologyAlgorithm {
+ public:
+  explicit IncrementalAlgorithm(double rebuild_factor)
+      : rebuild_factor_(rebuild_factor) {
+    DGMC_ASSERT(rebuild_factor >= 1.0);
+  }
+
+  Result compute_with_info(const graph::Graph& g,
+                           const TopologyRequest& req) const override {
+    DGMC_ASSERT(req.members != nullptr);
+    if (req.type == McType::kAsymmetric) {
+      return Result{from_scratch(g, req), true};
+    }
+
+    const std::vector<graph::NodeId> terminals = shared_tree_terminals(req);
+    if (terminals.size() <= 1) return Result{Topology{}, false};
+
+    const Topology* prev = req.previous;
+    if (prev == nullptr || !trees::uses_only_live_links(g, *prev) ||
+        !trees::is_forest(*prev)) {
+      return Result{from_scratch(g, req), true};
+    }
+
+    // Reconcile: prune branches that served departed members, then
+    // attach members the remaining tree does not reach.
+    Topology t = trees::prune_after_leave(*prev, terminals);
+    const graph::NodeId anchor = terminals.front();
+    for (graph::NodeId m : terminals) {
+      t = trees::greedy_attach(g, t, m, anchor);
+    }
+    if (!trees::is_steiner_tree(t, terminals)) {
+      // Partition healed elsewhere, or the previous tree was split
+      // across components: rebuild.
+      return Result{from_scratch(g, req), true};
+    }
+
+    // Drift guard (paper §3.5: rebuild "when the present topology
+    // deviates significantly from an optimal one"). Evaluating the
+    // guard costs a fresh computation in this simulator, but a real
+    // implementation would track drift from cheap incremental deltas,
+    // so the *protocol-visible* cost of this path stays incremental.
+    const Topology fresh = from_scratch(g, req);
+    if (!fresh.empty() && trees::topology_cost(g, t) >
+                              rebuild_factor_ * trees::topology_cost(g, fresh)) {
+      return Result{fresh, true};
+    }
+    return Result{std::move(t), false};
+  }
+
+  std::string_view name() const override { return "incremental"; }
+
+ private:
+  double rebuild_factor_;
+};
+
+}  // namespace
+
+std::unique_ptr<TopologyAlgorithm> make_from_scratch_algorithm() {
+  return std::make_unique<FromScratchAlgorithm>();
+}
+
+std::unique_ptr<TopologyAlgorithm> make_incremental_algorithm(
+    double rebuild_factor) {
+  return std::make_unique<IncrementalAlgorithm>(rebuild_factor);
+}
+
+}  // namespace dgmc::mc

@@ -1,0 +1,71 @@
+// Pluggable topology computation (paper §3.5).
+//
+// D-GMC is independent of the algorithm that turns a member list into a
+// topology; correctness only requires that the algorithm be a pure,
+// deterministic function of its inputs, because any switch may become
+// the proposer and all proposals for the same event history must be
+// interchangeable. Implementations distinguish *incremental update*
+// (extend/prune the previous topology) from *from-scratch* computation,
+// exactly as §3.5 prescribes.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "mc/member_list.hpp"
+#include "trees/topology.hpp"
+
+namespace dgmc::mc {
+
+struct TopologyRequest {
+  McType type = McType::kSymmetric;
+  const MemberList* members = nullptr;        // required
+  const trees::Topology* previous = nullptr;  // proposer's current; optional
+};
+
+class TopologyAlgorithm {
+ public:
+  /// A computed topology plus how it was computed — the §3.5
+  /// distinction that drives the simulated computation cost: "whenever
+  /// possible, an implementation should invoke an incremental update
+  /// algorithm ... brand-new MC topologies are computed only when"
+  /// necessary.
+  struct Result {
+    trees::Topology topology;
+    bool from_scratch = true;
+  };
+
+  virtual ~TopologyAlgorithm() = default;
+
+  /// Computes a topology for the request on graph `g`. Must be pure and
+  /// deterministic. Must return a topology valid for the member list and
+  /// MC type whenever the live part of `g` permits one.
+  virtual trees::Topology compute(const graph::Graph& g,
+                                  const TopologyRequest& req) const {
+    return compute_with_info(g, req).topology;
+  }
+
+  /// Like compute(), also reporting whether the result came from an
+  /// incremental update or a from-scratch computation.
+  virtual Result compute_with_info(const graph::Graph& g,
+                                   const TopologyRequest& req) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// From-scratch algorithm: KMB Steiner tree for symmetric and
+/// receiver-only MCs, union of source-rooted pruned SPTs for asymmetric
+/// MCs. Ignores `previous`.
+std::unique_ptr<TopologyAlgorithm> make_from_scratch_algorithm();
+
+/// Incremental algorithm: reconciles `previous` with the member list by
+/// greedy attach / leaf pruning; falls back to from-scratch when there
+/// is no previous topology, when the previous topology uses dead links,
+/// or when its cost drifts beyond `rebuild_factor` times the
+/// from-scratch cost estimate (cheap drift guard evaluated per call).
+/// Asymmetric MCs always recompute the source-rooted union (per-source
+/// SPTs are already incremental in spirit and cheap to rebuild).
+std::unique_ptr<TopologyAlgorithm> make_incremental_algorithm(
+    double rebuild_factor = 2.0);
+
+}  // namespace dgmc::mc

@@ -1,0 +1,31 @@
+// Leader election over a converged MC (the authors' companion
+// application: "Group Leader Election under Link-State Routing" builds
+// leadership consensus on exactly this property).
+//
+// Because D-GMC drives every switch to the *same* member list, electing
+// a leader needs no extra protocol: any deterministic function of the
+// member list yields network-wide agreement for free. The default rule
+// is "lowest-id member with the required role"; leadership migrates
+// automatically when the leader leaves or its partition splits away
+// (each side elects from the members it can reach).
+#pragma once
+
+#include "mc/member_list.hpp"
+
+namespace dgmc::mc {
+
+/// The member with the lowest id holding `required_role`;
+/// kInvalidNode if no member qualifies.
+inline graph::NodeId elect_leader(
+    const MemberList& members,
+    MemberRole required_role = MemberRole::kNone) {
+  for (const MemberList::Entry& e : members.entries()) {
+    if (required_role == MemberRole::kNone ||
+        has_role(e.role, required_role)) {
+      return e.node;  // entries are sorted by node id
+    }
+  }
+  return graph::kInvalidNode;
+}
+
+}  // namespace dgmc::mc

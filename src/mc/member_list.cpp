@@ -1,0 +1,90 @@
+#include "mc/member_list.hpp"
+
+#include <algorithm>
+
+namespace dgmc::mc {
+
+const char* to_string(McType t) {
+  switch (t) {
+    case McType::kSymmetric: return "symmetric";
+    case McType::kReceiverOnly: return "receiver-only";
+    case McType::kAsymmetric: return "asymmetric";
+  }
+  return "?";
+}
+
+const char* to_string(MemberRole r) {
+  switch (r) {
+    case MemberRole::kNone: return "none";
+    case MemberRole::kSender: return "sender";
+    case MemberRole::kReceiver: return "receiver";
+    case MemberRole::kBoth: return "sender+receiver";
+  }
+  return "?";
+}
+
+namespace {
+auto lower_bound_node(std::vector<MemberList::Entry>& es, graph::NodeId n) {
+  return std::lower_bound(
+      es.begin(), es.end(), n,
+      [](const MemberList::Entry& e, graph::NodeId id) { return e.node < id; });
+}
+auto lower_bound_node(const std::vector<MemberList::Entry>& es,
+                      graph::NodeId n) {
+  return std::lower_bound(
+      es.begin(), es.end(), n,
+      [](const MemberList::Entry& e, graph::NodeId id) { return e.node < id; });
+}
+}  // namespace
+
+void MemberList::join(graph::NodeId node, MemberRole role) {
+  DGMC_ASSERT(node >= 0);
+  DGMC_ASSERT(role != MemberRole::kNone);
+  auto it = lower_bound_node(entries_, node);
+  if (it != entries_.end() && it->node == node) {
+    it->role = it->role | role;
+  } else {
+    entries_.insert(it, Entry{node, role});
+  }
+}
+
+void MemberList::leave(graph::NodeId node) {
+  auto it = lower_bound_node(entries_, node);
+  if (it != entries_.end() && it->node == node) entries_.erase(it);
+}
+
+bool MemberList::contains(graph::NodeId node) const {
+  auto it = lower_bound_node(entries_, node);
+  return it != entries_.end() && it->node == node;
+}
+
+MemberRole MemberList::role_of(graph::NodeId node) const {
+  auto it = lower_bound_node(entries_, node);
+  if (it != entries_.end() && it->node == node) return it->role;
+  return MemberRole::kNone;
+}
+
+std::vector<graph::NodeId> MemberList::all() const {
+  std::vector<graph::NodeId> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.node);
+  return out;
+}
+
+std::vector<graph::NodeId> MemberList::senders() const {
+  std::vector<graph::NodeId> out;
+  for (const Entry& e : entries_) {
+    if (has_role(e.role, MemberRole::kSender)) out.push_back(e.node);
+  }
+  return out;
+}
+
+std::vector<graph::NodeId> MemberList::receivers() const {
+  std::vector<graph::NodeId> out;
+  for (const Entry& e : entries_) {
+    if (has_role(e.role, MemberRole::kReceiver)) out.push_back(e.node);
+  }
+  return out;
+}
+
+}  // namespace dgmc::mc

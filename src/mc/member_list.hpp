@@ -1,0 +1,50 @@
+// MemberList: the per-MC membership view every switch maintains.
+//
+// Kept as a sorted vector so that two switches which have processed the
+// same set of membership LSAs hold structurally equal lists (operator==
+// is part of the protocol's consensus invariant checks).
+#pragma once
+
+#include <vector>
+
+#include "mc/types.hpp"
+
+namespace dgmc::mc {
+
+class MemberList {
+ public:
+  struct Entry {
+    graph::NodeId node;
+    MemberRole role;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// Adds or updates a member. Joining an existing member ORs the roles
+  /// (a receiver that starts sending becomes kBoth).
+  void join(graph::NodeId node, MemberRole role);
+
+  /// Removes a member entirely; no-op if absent.
+  void leave(graph::NodeId node);
+
+  bool contains(graph::NodeId node) const;
+  MemberRole role_of(graph::NodeId node) const;  // kNone if absent
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// All member nodes, ascending.
+  std::vector<graph::NodeId> all() const;
+  /// Members with the sender role, ascending.
+  std::vector<graph::NodeId> senders() const;
+  /// Members with the receiver role, ascending.
+  std::vector<graph::NodeId> receivers() const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  friend bool operator==(const MemberList&, const MemberList&) = default;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by node
+};
+
+}  // namespace dgmc::mc

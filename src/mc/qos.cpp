@@ -1,0 +1,116 @@
+#include "mc/qos.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace dgmc::mc {
+
+CapacityMap::CapacityMap(int link_count, double default_capacity)
+    : available_(link_count, default_capacity) {
+  DGMC_ASSERT(link_count >= 0);
+  DGMC_ASSERT(default_capacity >= 0.0);
+}
+
+double CapacityMap::available(graph::LinkId link) const {
+  DGMC_ASSERT(link >= 0 && link < link_count());
+  return available_[link];
+}
+
+void CapacityMap::set(graph::LinkId link, double capacity) {
+  DGMC_ASSERT(link >= 0 && link < link_count());
+  DGMC_ASSERT(capacity >= 0.0);
+  available_[link] = capacity;
+}
+
+void CapacityMap::reserve(graph::LinkId link, double amount) {
+  DGMC_ASSERT(link >= 0 && link < link_count());
+  DGMC_ASSERT(amount >= 0.0);
+  DGMC_ASSERT_MSG(available_[link] >= amount, "over-reservation");
+  available_[link] -= amount;
+}
+
+void CapacityMap::release(graph::LinkId link, double amount) {
+  DGMC_ASSERT(link >= 0 && link < link_count());
+  DGMC_ASSERT(amount >= 0.0);
+  available_[link] += amount;
+}
+
+bool CapacityMap::can_carry(const graph::Graph& g, const trees::Topology& t,
+                            double demand) const {
+  for (const graph::Edge& e : t.edges()) {
+    const graph::LinkId link = g.find_link(e.a, e.b);
+    if (link == graph::kInvalidLink || available(link) < demand) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CapacityMap::reserve_topology(const graph::Graph& g,
+                                   const trees::Topology& t,
+                                   double demand) {
+  DGMC_ASSERT_MSG(can_carry(g, t, demand), "insufficient capacity");
+  for (const graph::Edge& e : t.edges()) {
+    reserve(g.find_link(e.a, e.b), demand);
+  }
+}
+
+void CapacityMap::release_topology(const graph::Graph& g,
+                                   const trees::Topology& t,
+                                   double demand) {
+  for (const graph::Edge& e : t.edges()) {
+    release(g.find_link(e.a, e.b), demand);
+  }
+}
+
+namespace {
+
+class QosAlgorithm final : public TopologyAlgorithm {
+ public:
+  QosAlgorithm(double demand, std::shared_ptr<const CapacityMap> capacities,
+               std::unique_ptr<TopologyAlgorithm> inner)
+      : demand_(demand),
+        capacities_(std::move(capacities)),
+        inner_(std::move(inner)),
+        name_(std::string("qos(") + std::string(inner_->name()) + ")") {
+    DGMC_ASSERT(demand_ >= 0.0);
+    DGMC_ASSERT(capacities_ != nullptr);
+    DGMC_ASSERT(inner_ != nullptr);
+  }
+
+  Result compute_with_info(const graph::Graph& g,
+                           const TopologyRequest& req) const override {
+    // Admission filter: links without headroom look down to the inner
+    // algorithm. (A per-call graph copy; topology computations are the
+    // modeled-expensive operation anyway.)
+    graph::Graph filtered = g;
+    DGMC_ASSERT(capacities_->link_count() >= g.link_count());
+    for (graph::LinkId id = 0; id < g.link_count(); ++id) {
+      if (capacities_->available(id) < demand_) {
+        filtered.set_link_up(id, false);
+      }
+    }
+    return inner_->compute_with_info(filtered, req);
+  }
+
+  std::string_view name() const override { return name_; }
+
+ private:
+  double demand_;
+  std::shared_ptr<const CapacityMap> capacities_;
+  std::unique_ptr<TopologyAlgorithm> inner_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<TopologyAlgorithm> make_qos_algorithm(
+    double demand, std::shared_ptr<const CapacityMap> capacities,
+    std::unique_ptr<TopologyAlgorithm> inner) {
+  return std::make_unique<QosAlgorithm>(demand, std::move(capacities),
+                                        std::move(inner));
+}
+
+}  // namespace dgmc::mc

@@ -1,0 +1,62 @@
+// QoS-constrained topology computation (extension).
+//
+// Paper §2 motivates event-driven computation over MOSPF's data-driven
+// scheme with QoS: "an on-demand approach cannot be applied if quality
+// of service (QoS) negotiation is needed prior to data transmission."
+// D-GMC computes topologies *before* data flows, so the computation can
+// honor bandwidth constraints. This module adds exactly that: a
+// TopologyAlgorithm decorator that refuses links without enough spare
+// capacity for the connection's demand.
+//
+// Capacity knowledge is modeled as a shared CapacityMap — the stand-in
+// for traffic-engineering LSAs (OSPF-TE style) that would flood each
+// link's unreserved bandwidth to every switch; since LSR gives every
+// switch the same view, a shared map preserves the property proposals
+// rely on (all switches would compute from the same inputs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mc/algorithm.hpp"
+
+namespace dgmc::mc {
+
+/// Available bandwidth per link, with reservation bookkeeping.
+class CapacityMap {
+ public:
+  CapacityMap(int link_count, double default_capacity);
+
+  double available(graph::LinkId link) const;
+  void set(graph::LinkId link, double capacity);
+
+  /// Reserves bandwidth on a link; asserts it fits.
+  void reserve(graph::LinkId link, double amount);
+  /// Releases a prior reservation.
+  void release(graph::LinkId link, double amount);
+
+  /// True if every edge of `t` has at least `demand` available.
+  bool can_carry(const graph::Graph& g, const trees::Topology& t,
+                 double demand) const;
+  /// Reserves `demand` on every edge of `t` (asserts can_carry).
+  void reserve_topology(const graph::Graph& g, const trees::Topology& t,
+                        double demand);
+  void release_topology(const graph::Graph& g, const trees::Topology& t,
+                        double demand);
+
+  int link_count() const { return static_cast<int>(available_.size()); }
+
+ private:
+  std::vector<double> available_;
+};
+
+/// Wraps `inner` so it only sees links with available capacity >=
+/// demand (links below the bar appear down). If the constraint makes
+/// members unreachable, the result is the best-effort forest the inner
+/// algorithm produces — i.e. admission fails, detectable via
+/// mc::is_valid_topology.
+std::unique_ptr<TopologyAlgorithm> make_qos_algorithm(
+    double demand, std::shared_ptr<const CapacityMap> capacities,
+    std::unique_ptr<TopologyAlgorithm> inner);
+
+}  // namespace dgmc::mc

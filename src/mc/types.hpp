@@ -1,0 +1,52 @@
+// Multipoint-connection (MC) core vocabulary (paper §1).
+//
+// An MC is a virtual topology over the switches; its *type* determines
+// which members may send and receive and therefore which topology shape
+// is appropriate:
+//  - Symmetric:     every member both sends and receives (teleconference)
+//                   -> one shared Steiner tree.
+//  - Receiver-only: members are receivers; any node may inject a packet
+//                   by unicasting it to a contact node on the tree (the
+//                   CBT generalization) -> Steiner tree over receivers.
+//  - Asymmetric:    members are explicitly senders and/or receivers
+//                   (video broadcast) -> union of source-rooted trees.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace dgmc::mc {
+
+using McId = std::int32_t;
+inline constexpr McId kInvalidMc = -1;
+
+enum class McType : std::uint8_t {
+  kSymmetric = 0,
+  kReceiverOnly = 1,
+  kAsymmetric = 2,
+};
+
+const char* to_string(McType t);
+
+/// Bitmask of what a member does on the connection.
+enum class MemberRole : std::uint8_t {
+  kNone = 0,
+  kSender = 1,
+  kReceiver = 2,
+  kBoth = 3,
+};
+
+constexpr MemberRole operator|(MemberRole a, MemberRole b) {
+  return static_cast<MemberRole>(static_cast<std::uint8_t>(a) |
+                                 static_cast<std::uint8_t>(b));
+}
+
+constexpr bool has_role(MemberRole r, MemberRole wanted) {
+  return (static_cast<std::uint8_t>(r) & static_cast<std::uint8_t>(wanted)) !=
+         0;
+}
+
+const char* to_string(MemberRole r);
+
+}  // namespace dgmc::mc

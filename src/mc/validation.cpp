@@ -1,0 +1,71 @@
+#include "mc/validation.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace dgmc::mc {
+
+namespace {
+
+bool connects_pairwise(const trees::Topology& t,
+                       const std::vector<graph::NodeId>& senders,
+                       const std::vector<graph::NodeId>& receivers) {
+  for (graph::NodeId s : senders) {
+    for (graph::NodeId r : receivers) {
+      if (s == r) continue;
+      if (!trees::connects(t, {s, r})) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_valid_topology(const graph::Graph& g, McType type,
+                       const MemberList& members, const trees::Topology& t) {
+  if (!trees::uses_only_live_links(g, t)) return false;
+
+  switch (type) {
+    case McType::kSymmetric:
+    case McType::kReceiverOnly: {
+      const auto terminals = members.all();
+      if (terminals.size() <= 1) return t.empty();
+      return trees::is_steiner_tree(t, terminals);
+    }
+    case McType::kAsymmetric: {
+      const auto senders = members.senders();
+      const auto receivers = members.receivers();
+      // Count distinct endpoints that must talk; with fewer than two
+      // parties there is nothing to connect.
+      std::vector<graph::NodeId> parties = senders;
+      parties.insert(parties.end(), receivers.begin(), receivers.end());
+      std::sort(parties.begin(), parties.end());
+      parties.erase(std::unique(parties.begin(), parties.end()),
+                    parties.end());
+      if (senders.empty() || receivers.empty() || parties.size() <= 1) {
+        return t.empty();
+      }
+      return connects_pairwise(t, senders, receivers);
+    }
+  }
+  return false;
+}
+
+graph::NodeId contact_node(const graph::Graph& g, const MemberList& members,
+                           const trees::Topology& t, graph::NodeId source) {
+  if (t.empty()) {
+    // Degenerate single-receiver MC: the receiver is its own contact.
+    const auto all = members.all();
+    return all.size() == 1 ? all.front() : graph::kInvalidNode;
+  }
+  const graph::ShortestPaths sp = graph::dijkstra(g, source);
+  graph::NodeId best = graph::kInvalidNode;
+  for (graph::NodeId n : t.nodes()) {
+    if (!sp.reachable(n)) continue;
+    if (best == graph::kInvalidNode || sp.dist[n] < sp.dist[best]) best = n;
+  }
+  return best;
+}
+
+}  // namespace dgmc::mc

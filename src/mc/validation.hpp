@@ -1,0 +1,29 @@
+// Topology validity per MC type (paper §1, Figure 1): the predicate an
+// installed topology must satisfy for the connection to deliver data.
+#pragma once
+
+#include "mc/member_list.hpp"
+#include "trees/topology.hpp"
+
+namespace dgmc::mc {
+
+/// True if `t` lets the MC operate:
+///  - Symmetric: a Steiner tree over all members (any member reaches
+///    all others).
+///  - Receiver-only: a Steiner tree over the receivers; sources contact
+///    the tree by unicast, so only receiver connectivity matters.
+///  - Asymmetric: every sender reaches every receiver within `t`
+///    (cycles permitted; union-of-SPTs shape).
+/// All edges must exist and be up in `g`. MCs with <= 1 relevant member
+/// are valid exactly when the topology is empty.
+bool is_valid_topology(const graph::Graph& g, McType type,
+                       const MemberList& members, const trees::Topology& t);
+
+/// For receiver-only MCs: the first-stage delivery target (paper Fig
+/// 1(b)) — the topology node nearest to `source` by the cost metric, or
+/// kInvalidNode if the topology is empty/unreachable. For a single
+/// receiver (empty topology) returns that receiver.
+graph::NodeId contact_node(const graph::Graph& g, const MemberList& members,
+                           const trees::Topology& t, graph::NodeId source);
+
+}  // namespace dgmc::mc

@@ -1,0 +1,126 @@
+#include "sim/dataplane.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "mc/validation.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::sim {
+
+DataPlane::DataPlane(DgmcNetwork& net, Params params)
+    : net_(net), params_(params) {}
+
+std::uint64_t DataPlane::send(mc::McId mcid, graph::NodeId source) {
+  DGMC_ASSERT(net_.physical().valid_node(source));
+  const std::uint64_t id = next_id_++;
+  InFlight& p = packets_[id];
+  p.report.id = id;
+  p.report.mcid = mcid;
+  p.report.source = source;
+
+  const core::DgmcSwitch& sw = net_.switch_at(source);
+  if (!sw.has_state(mcid)) return id;  // unknown MC here: dropped
+
+  if (sw.mc_type(mcid) == mc::McType::kReceiverOnly &&
+      !sw.installed(mcid)->empty()) {
+    // Stage 1: unicast to the contact node chosen from the source
+    // switch's own view (paper Fig 1(b)).
+    const graph::NodeId contact =
+        mc::contact_node(net_.image_at(source).graph(), *sw.members(mcid),
+                         *sw.installed(mcid), source);
+    if (contact == graph::kInvalidNode) return id;
+    unicast_then_tree(id, source, contact);
+    return id;
+  }
+  process_at(id, source, graph::kInvalidNode);
+  return id;
+}
+
+void DataPlane::unicast_then_tree(std::uint64_t id, graph::NodeId at,
+                                  graph::NodeId contact) {
+  if (at == contact) {
+    process_at(id, at, graph::kInvalidNode);
+    return;
+  }
+  // One unicast hop toward the contact along the source image's
+  // shortest path, then recurse.
+  const graph::ShortestPaths sp =
+      graph::dijkstra(net_.image_at(at).graph(), at);
+  if (!sp.reachable(contact)) return;
+  const std::vector<graph::NodeId> path = sp.path_to(contact);
+  DGMC_ASSERT(path.size() >= 2);
+  const graph::NodeId next = path[1];
+  const graph::LinkId link = net_.physical().find_link(at, next);
+  InFlight& p = packets_.at(id);
+  if (link == graph::kInvalidLink || !net_.physical().link(link).up) {
+    ++p.report.dead_drops;
+    return;
+  }
+  ++p.report.hops;
+  const double delay =
+      net_.physical().link(link).delay + params_.per_hop_overhead;
+  net_.scheduler().schedule_after(delay, [this, id, next, contact] {
+    unicast_then_tree(id, next, contact);
+  });
+}
+
+void DataPlane::process_at(std::uint64_t id, graph::NodeId at,
+                           graph::NodeId from) {
+  InFlight& p = packets_.at(id);
+  if (!p.seen.insert(at).second) {
+    ++p.report.duplicates;
+    return;
+  }
+  const core::DgmcSwitch& sw = net_.switch_at(at);
+  if (sw.has_state(p.report.mcid) &&
+      sw.members(p.report.mcid)->contains(at)) {
+    p.report.delivered_to.push_back(at);
+  }
+  forward(id, at, from);
+}
+
+void DataPlane::forward(std::uint64_t id, graph::NodeId at,
+                        graph::NodeId from) {
+  const core::DgmcSwitch& sw = net_.switch_at(at);
+  const mc::McId mcid = packets_.at(id).report.mcid;
+  if (!sw.has_state(mcid)) return;  // no routing entries here
+  // Forward over THIS switch's installed topology — its routing state.
+  for (graph::NodeId next : sw.installed(mcid)->neighbors(at)) {
+    if (next == from) continue;
+    const graph::LinkId link = net_.physical().find_link(at, next);
+    InFlight& p = packets_.at(id);
+    if (link == graph::kInvalidLink || !net_.physical().link(link).up) {
+      ++p.report.dead_drops;
+      continue;
+    }
+    ++p.report.hops;
+    const double delay =
+        net_.physical().link(link).delay + params_.per_hop_overhead;
+    net_.scheduler().schedule_after(
+        delay, [this, id, next, at] { process_at(id, next, at); });
+  }
+}
+
+const DataPlane::PacketReport& DataPlane::report(
+    std::uint64_t packet_id) const {
+  auto it = packets_.find(packet_id);
+  DGMC_ASSERT_MSG(it != packets_.end(), "unknown packet id");
+  return it->second.report;
+}
+
+bool DataPlane::delivered_to_all(
+    std::uint64_t packet_id,
+    const std::vector<graph::NodeId>& members) const {
+  const PacketReport& r = report(packet_id);
+  for (graph::NodeId m : members) {
+    if (m == r.source) continue;  // the source trivially has the data
+    if (std::find(r.delivered_to.begin(), r.delivered_to.end(), m) ==
+        r.delivered_to.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dgmc::sim

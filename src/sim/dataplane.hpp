@@ -1,0 +1,81 @@
+// Multicast data plane: forwards packets over the MC topologies the
+// switches have *installed* ("update routing entries for incident
+// links in m according to P" — paper Figs 4/5).
+//
+// Forwarding is fully distributed: each switch consults its own current
+// installed topology and member list, so during reconfiguration
+// windows switches can disagree — packets may be lost (a switch whose
+// topology lacks the edge drops the copy) or travel redundant edges.
+// That transient disruption is a measurable property of the protocol
+// (bench/table_dataplane_disruption) rather than an error.
+//
+// Delivery semantics by MC type:
+//  * symmetric / asymmetric: the packet starts at the source switch and
+//    spreads over topology edges with per-switch duplicate suppression
+//    (so a cyclic asymmetric union still delivers exactly once per
+//    switch).
+//  * receiver-only: two-stage (paper Fig 1(b)) — the source unicasts to
+//    its contact node (nearest topology node by its own image), which
+//    then forwards over the tree.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace dgmc::sim {
+
+class DataPlane {
+ public:
+  struct Params {
+    double per_hop_overhead = 0.0;
+  };
+
+  struct PacketReport {
+    std::uint64_t id = 0;
+    mc::McId mcid = mc::kInvalidMc;
+    graph::NodeId source = graph::kInvalidNode;
+    std::vector<graph::NodeId> delivered_to;  // member switches reached
+    std::uint64_t hops = 0;                   // link traversals
+    std::uint64_t duplicates = 0;             // copies dropped by dedup
+    std::uint64_t dead_drops = 0;  // copies dropped at a dead link
+  };
+
+  DataPlane(DgmcNetwork& net, Params params);
+
+  DataPlane(const DataPlane&) = delete;
+  DataPlane& operator=(const DataPlane&) = delete;
+
+  /// Injects one multicast packet at `source`'s switch. Returns the
+  /// packet id; the report is complete once the network quiesces.
+  std::uint64_t send(mc::McId mcid, graph::NodeId source);
+
+  const PacketReport& report(std::uint64_t packet_id) const;
+
+  /// Convenience: did the packet reach every switch in `members`?
+  bool delivered_to_all(std::uint64_t packet_id,
+                        const std::vector<graph::NodeId>& members) const;
+
+  std::uint64_t packets_sent() const { return next_id_; }
+
+ private:
+  struct InFlight {
+    PacketReport report;
+    std::unordered_set<graph::NodeId> seen;  // per-switch dedup
+  };
+
+  void process_at(std::uint64_t id, graph::NodeId at, graph::NodeId from);
+  void forward(std::uint64_t id, graph::NodeId at, graph::NodeId from);
+  void unicast_then_tree(std::uint64_t id, graph::NodeId at,
+                         graph::NodeId contact);
+
+  DgmcNetwork& net_;
+  Params params_;
+  std::uint64_t next_id_ = 0;
+  std::unordered_map<std::uint64_t, InFlight> packets_;
+};
+
+}  // namespace dgmc::sim

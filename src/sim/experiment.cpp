@@ -1,0 +1,175 @@
+#include "sim/experiment.hpp"
+
+#include <cstdlib>
+#include <memory>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+#include "sim/workload.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::sim {
+
+namespace {
+
+mc::MemberRole workload_role(mc::McType type) {
+  switch (type) {
+    case mc::McType::kSymmetric: return mc::MemberRole::kBoth;
+    case mc::McType::kReceiverOnly: return mc::MemberRole::kReceiver;
+    case mc::McType::kAsymmetric: return mc::MemberRole::kReceiver;
+  }
+  return mc::MemberRole::kBoth;
+}
+
+}  // namespace
+
+RunResult run_single(const ExperimentConfig& cfg, int network_size,
+                     int graph_index) {
+  DGMC_ASSERT(network_size >= 3);
+  const std::string tag = cfg.name + "/" + std::to_string(network_size) +
+                          "/" + std::to_string(graph_index);
+  util::RngStream topo_rng =
+      util::RngStream::derive(cfg.seed, tag + "/topology");
+  util::RngStream load_rng =
+      util::RngStream::derive(cfg.seed, tag + "/workload");
+
+  graph::Graph g =
+      graph::waxman(network_size, graph::WaxmanParams{}, topo_rng);
+  // Keep the Waxman model's distance-proportional delays, normalized so
+  // the mean per-link propagation delay hits the preset's target.
+  g.scale_delays(cfg.timing.link_delay / graph::mean_link_delay(g));
+
+  DgmcNetwork::Params params;
+  params.per_hop_overhead = cfg.timing.per_hop_overhead;
+  params.dgmc.computation_time = cfg.timing.computation_time;
+  DgmcNetwork net(std::move(g), params,
+                  cfg.incremental_algorithm
+                      ? mc::make_incremental_algorithm()
+                      : mc::make_from_scratch_algorithm());
+
+  const mc::McId mcid = 0;
+  const mc::MemberRole role = workload_role(cfg.mc_type);
+  const double round = net.flooding_diameter() + cfg.timing.computation_time;
+
+  // --- Setup phase (not measured): establish the initial MC. ---
+  const int initial =
+      std::min(cfg.initial_members, std::max(2, network_size / 2));
+  std::vector<graph::NodeId> members =
+      random_members(network_size, initial, load_rng);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const graph::NodeId node = members[i];
+    mc::MemberRole r = role;
+    // Asymmetric MCs need at least one sender: the first member sends.
+    if (cfg.mc_type == mc::McType::kAsymmetric && i == 0) {
+      r = mc::MemberRole::kSender;
+    }
+    net.scheduler().schedule_after(static_cast<double>(i) * 2.0 * round,
+                                   [&net, node, mcid, r, &cfg] {
+                                     net.join(node, mcid, cfg.mc_type, r);
+                                   });
+  }
+  net.run_to_quiescence();
+  DGMC_ASSERT_MSG(net.converged(mcid), "setup phase failed to converge");
+
+  // --- Measured phase. ---
+  const DgmcNetwork::Totals before = net.totals();
+  const des::SimTime t0 = net.scheduler().now();
+
+  std::vector<MembershipEvent> events;
+  if (cfg.workload == WorkloadKind::kBursty) {
+    events = bursty_membership(network_size, members, cfg.events,
+                               cfg.burst_spread_rounds * round, role,
+                               load_rng);
+  } else {
+    events = poisson_membership(network_size, members, cfg.events,
+                                cfg.normal_gap_rounds * round, role,
+                                load_rng);
+  }
+  for (const MembershipEvent& e : events) {
+    net.scheduler().schedule_at(
+        t0 + e.at, [&net, e, mcid, &cfg] {
+          if (e.join) {
+            net.join(e.node, mcid, cfg.mc_type, e.role);
+          } else {
+            net.leave(e.node, mcid);
+          }
+        });
+  }
+  net.run_to_quiescence();
+
+  const DgmcNetwork::Totals after = net.totals();
+  RunResult out;
+  const double n_events = static_cast<double>(cfg.events);
+  out.computations_per_event =
+      static_cast<double>(after.computations - before.computations) /
+      n_events;
+  out.floodings_per_event =
+      static_cast<double>(after.mc_lsa_floodings - before.mc_lsa_floodings) /
+      n_events;
+  out.convergence_rounds = (net.last_install_time() - t0) / round;
+  out.converged = net.converged(mcid);
+  return out;
+}
+
+std::vector<ExperimentPoint> run_experiment(const ExperimentConfig& cfg) {
+  std::vector<ExperimentPoint> points;
+  points.reserve(cfg.network_sizes.size());
+  for (int size : cfg.network_sizes) {
+    util::OnlineStats comp, flood, conv;
+    int converged = 0;
+    for (int g = 0; g < cfg.graphs_per_size; ++g) {
+      const RunResult r = run_single(cfg, size, g);
+      comp.add(r.computations_per_event);
+      flood.add(r.floodings_per_event);
+      conv.add(r.convergence_rounds);
+      if (r.converged) ++converged;
+    }
+    ExperimentPoint p;
+    p.network_size = size;
+    p.computations_per_event = util::Summary::of(comp);
+    p.floodings_per_event = util::Summary::of(flood);
+    p.convergence_rounds = util::Summary::of(conv);
+    p.converged_fraction =
+        static_cast<double>(converged) / cfg.graphs_per_size;
+    points.push_back(p);
+  }
+  return points;
+}
+
+void print_points(const ExperimentConfig& cfg,
+                  const std::vector<ExperimentPoint>& points,
+                  std::FILE* out) {
+  std::fprintf(out, "# %s\n", cfg.name.c_str());
+  std::fprintf(out,
+               "# workload=%s events=%d initial_members=%d mc_type=%s "
+               "Tc=%.3gms per_hop=%.3gms graphs/size=%d seed=%llu\n",
+               cfg.workload == WorkloadKind::kBursty ? "bursty" : "normal",
+               cfg.events, cfg.initial_members, mc::to_string(cfg.mc_type),
+               cfg.timing.computation_time / des::kMillisecond,
+               (cfg.timing.per_hop_overhead + cfg.timing.link_delay) /
+                   des::kMillisecond,
+               cfg.graphs_per_size,
+               static_cast<unsigned long long>(cfg.seed));
+  std::fprintf(out, "%8s  %24s  %24s  %24s  %10s\n", "size",
+               "computations/event", "floodings/event",
+               "convergence (rounds)", "converged");
+  for (const ExperimentPoint& p : points) {
+    std::fprintf(out, "%8d  %24s  %24s  %24s  %9.0f%%\n", p.network_size,
+                 p.computations_per_event.to_string().c_str(),
+                 p.floodings_per_event.to_string().c_str(),
+                 p.convergence_rounds.to_string().c_str(),
+                 100.0 * p.converged_fraction);
+  }
+}
+
+ExperimentConfig apply_quick_mode(ExperimentConfig cfg) {
+  const char* quick = std::getenv("DGMC_QUICK");
+  if (quick != nullptr && quick[0] != '\0') {
+    cfg.network_sizes = {25, 50, 100};
+    cfg.graphs_per_size = std::min(cfg.graphs_per_size, 5);
+  }
+  return cfg;
+}
+
+}  // namespace dgmc::sim

@@ -1,0 +1,74 @@
+// Experiment runner reproducing the paper's evaluation (§4): sweeps
+// network sizes, simulates 20 random graphs per size, and reports the
+// three metrics of §4.1 with 95% confidence intervals:
+//   * topology computations per event (computational overhead),
+//   * flooding operations per event (communication overhead),
+//   * convergence time in rounds (responsiveness), where a round is
+//     Tf + Tc.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mc/types.hpp"
+#include "sim/params.hpp"
+#include "util/stats.hpp"
+
+namespace dgmc::sim {
+
+enum class WorkloadKind {
+  kBursty,  // Experiments 1 and 2: conflicting events in a short window
+  kNormal,  // Experiment 3: events well separated
+};
+
+struct ExperimentConfig {
+  std::string name = "experiment";
+  std::vector<int> network_sizes = {25, 50, 75, 100, 125, 150, 175, 200};
+  int graphs_per_size = 20;
+  TimingParams timing = computation_dominant();
+  WorkloadKind workload = WorkloadKind::kBursty;
+  int events = 10;           // membership events measured per run
+  int initial_members = 8;   // MC size before the measured phase
+  mc::McType mc_type = mc::McType::kSymmetric;
+  bool incremental_algorithm = true;
+  /// Normal-traffic mean gap between events, in rounds (Tf + Tc).
+  double normal_gap_rounds = 10.0;
+  /// Bursty window width, in fractions of a round.
+  double burst_spread_rounds = 0.5;
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentPoint {
+  int network_size = 0;
+  util::Summary computations_per_event;  // "proposals per event"
+  util::Summary floodings_per_event;
+  util::Summary convergence_rounds;      // bursty runs only
+  double converged_fraction = 0.0;       // sanity: must be 1.0
+};
+
+/// One simulation run's raw metrics (exposed for tests).
+struct RunResult {
+  double computations_per_event = 0.0;
+  double floodings_per_event = 0.0;
+  double convergence_rounds = 0.0;
+  bool converged = false;
+};
+
+/// Runs a single (network size, graph index) trial.
+RunResult run_single(const ExperimentConfig& cfg, int network_size,
+                     int graph_index);
+
+/// Full sweep: every size, `graphs_per_size` random graphs each.
+std::vector<ExperimentPoint> run_experiment(const ExperimentConfig& cfg);
+
+/// Prints the sweep as an aligned table (the paper's figure series).
+void print_points(const ExperimentConfig& cfg,
+                  const std::vector<ExperimentPoint>& points,
+                  std::FILE* out = stdout);
+
+/// Honors the DGMC_QUICK environment variable: when set (non-empty),
+/// shrinks sizes/graph counts so the full bench suite stays fast.
+ExperimentConfig apply_quick_mode(ExperimentConfig cfg);
+
+}  // namespace dgmc::sim

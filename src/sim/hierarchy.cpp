@@ -1,0 +1,282 @@
+#include "sim/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "mc/validation.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::sim {
+
+HierarchicalNetwork::HierarchicalNetwork(
+    graph::Graph physical, std::vector<int> areas, Params params,
+    std::unique_ptr<mc::TopologyAlgorithm> algorithm)
+    : physical_(std::move(physical)),
+      areas_(std::move(areas)),
+      params_(params),
+      algorithm_(std::move(algorithm)) {
+  const int n = physical_.node_count();
+  DGMC_ASSERT(static_cast<int>(areas_.size()) == n);
+  DGMC_ASSERT(algorithm_ != nullptr);
+  for (int a : areas_) DGMC_ASSERT(a >= 0);
+  area_count_ = 1 + *std::max_element(areas_.begin(), areas_.end());
+
+  // --- Area subgraphs (intra-area links only) and border switches. ---
+  area_nets_.resize(area_count_);
+  borders_.assign(area_count_, graph::kInvalidNode);
+  for (Area& area : area_nets_) area.subgraph = graph::Graph(n);
+  for (const graph::Link& l : physical_.links()) {
+    if (areas_[l.u] == areas_[l.v]) {
+      area_nets_[areas_[l.u]].subgraph.add_link(l.u, l.v, l.cost, l.delay);
+    } else {
+      // Inter-area link: the lowest-id endpoint with any inter-area
+      // link becomes its area's border switch.
+      for (graph::NodeId end : {l.u, l.v}) {
+        graph::NodeId& border = borders_[areas_[end]];
+        if (border == graph::kInvalidNode || end < border) border = end;
+      }
+    }
+  }
+  for (int a = 0; a < area_count_; ++a) {
+    DGMC_ASSERT_MSG(borders_[a] != graph::kInvalidNode,
+                    "area has no inter-area link");
+  }
+
+  // --- Backbone: virtual links between borders of adjacent areas. ---
+  backbone_graph_ = graph::Graph(n);
+  const double overhead = params_.per_hop_overhead;
+  std::vector<graph::ShortestPaths> border_paths(area_count_);
+  for (int a = 0; a < area_count_; ++a) {
+    border_paths[a] =
+        graph::dijkstra(physical_, borders_[a],
+                        [overhead](const graph::Link& l) {
+                          return l.delay + overhead;
+                        });
+  }
+  std::set<std::pair<int, int>> adjacent;
+  for (const graph::Link& l : physical_.links()) {
+    const int au = areas_[l.u];
+    const int av = areas_[l.v];
+    if (au != av) adjacent.insert({std::min(au, av), std::max(au, av)});
+  }
+  for (auto [a, b] : adjacent) {
+    const graph::NodeId u = borders_[a];
+    const graph::NodeId v = borders_[b];
+    const graph::ShortestPaths& sp = border_paths[a];
+    DGMC_ASSERT(sp.reachable(v));
+    // The virtual link's delay aggregates the physical path; its cost
+    // is the hop count so backbone trees minimize real path length.
+    const std::vector<graph::NodeId> path = sp.path_to(v);
+    backbone_graph_.add_link(u, v,
+                             static_cast<double>(path.size() - 1),
+                             sp.dist[v]);
+    std::vector<graph::Edge>& expansion =
+        virtual_paths_[graph::Edge(u, v)];
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      expansion.emplace_back(path[i], path[i + 1]);
+    }
+  }
+
+  // --- Flooding transports. ---
+  for (int a = 0; a < area_count_; ++a) {
+    area_nets_[a].flooding = std::make_unique<Flooding>(
+        sched_, area_nets_[a].subgraph, params_.per_hop_overhead);
+    area_nets_[a].flooding->set_receiver(
+        [this](const Flooding::Delivery& d) {
+          area_dgmc_[d.at]->receive(d.payload);
+        });
+  }
+  // The virtual-link delay already includes per-hop overheads.
+  backbone_flooding_ =
+      std::make_unique<Flooding>(sched_, backbone_graph_, 0.0);
+  backbone_flooding_->set_receiver([this](const Flooding::Delivery& d) {
+    backbone_dgmc_[areas_[d.at]]->receive(d.payload);
+  });
+
+  // --- Protocol instances. ---
+  area_dgmc_.resize(n);
+  for (graph::NodeId id = 0; id < n; ++id) {
+    const int a = areas_[id];
+    core::DgmcSwitch::Hooks hooks;
+    hooks.flood = [this, a, id](const core::McLsa& lsa) {
+      area_nets_[a].flooding->flood(id, lsa);
+    };
+    hooks.local_image = [this, a]() -> const graph::Graph& {
+      return area_nets_[a].subgraph;
+    };
+    area_dgmc_[id] = std::make_unique<core::DgmcSwitch>(
+        id, n, sched_, *algorithm_, params_.dgmc, std::move(hooks));
+  }
+  backbone_dgmc_.resize(area_count_);
+  for (int a = 0; a < area_count_; ++a) {
+    const graph::NodeId id = borders_[a];
+    core::DgmcSwitch::Hooks hooks;
+    hooks.flood = [this, id](const core::McLsa& lsa) {
+      backbone_flooding_->flood(id, lsa);
+    };
+    hooks.local_image = [this]() -> const graph::Graph& {
+      return backbone_graph_;
+    };
+    backbone_dgmc_[a] = std::make_unique<core::DgmcSwitch>(
+        id, n, sched_, *algorithm_, params_.dgmc, std::move(hooks));
+  }
+}
+
+void HierarchicalNetwork::ensure_area_engaged(int area, mc::McId mcid,
+                                              mc::McType type) {
+  // The border switch anchors the area tree and represents the area on
+  // the backbone. It joins with both roles: it must receive from the
+  // backbone and send into the area (and vice versa).
+  area_switch(borders_[area]).local_join(mcid, type, mc::MemberRole::kBoth);
+  backbone_switch(area).local_join(mcid, type, mc::MemberRole::kBoth);
+}
+
+void HierarchicalNetwork::maybe_disengage_area(int area, mc::McId mcid) {
+  auto it = books_.find(mcid);
+  if (it == books_.end()) return;
+  if (!it->second.per_area[area].empty()) return;
+  area_switch(borders_[area]).local_leave(mcid);
+  backbone_switch(area).local_leave(mcid);
+}
+
+void HierarchicalNetwork::join(graph::NodeId at, mc::McId mcid,
+                               mc::McType type, mc::MemberRole role) {
+  DGMC_ASSERT(physical_.valid_node(at));
+  auto [it, created] = books_.try_emplace(mcid);
+  McBook& book = it->second;
+  if (created) {
+    book.type = type;
+    book.per_area.resize(area_count_);
+  }
+  DGMC_ASSERT_MSG(book.type == type, "MC type mismatch");
+  const int area = areas_[at];
+  const bool first_in_area = book.per_area[area].empty();
+  book.per_area[area].insert(at);
+  if (first_in_area) ensure_area_engaged(area, mcid, type);
+  // The border may be the joining switch itself; the role merge below
+  // widens it as needed.
+  area_switch(at).local_join(mcid, type, role);
+}
+
+void HierarchicalNetwork::leave(graph::NodeId at, mc::McId mcid) {
+  auto it = books_.find(mcid);
+  if (it == books_.end()) return;
+  McBook& book = it->second;
+  const int area = areas_[at];
+  if (book.per_area[area].erase(at) == 0) return;
+  if (at != borders_[area]) {
+    area_switch(at).local_leave(mcid);
+  }
+  // else: the border stays joined while the area is engaged; if the
+  // area just emptied, the disengage below removes it too.
+  maybe_disengage_area(area, mcid);
+}
+
+HierarchicalNetwork::Totals HierarchicalNetwork::totals() const {
+  Totals t;
+  for (const auto& sw : area_dgmc_) {
+    t.computations += sw->counters().computations_started;
+    t.mc_lsa_floodings += sw->counters().lsas_flooded;
+  }
+  for (const auto& sw : backbone_dgmc_) {
+    t.computations += sw->counters().computations_started;
+    t.mc_lsa_floodings += sw->counters().lsas_flooded;
+  }
+  for (const Area& area : area_nets_) {
+    t.link_transmissions += area.flooding->link_transmissions();
+    t.lsa_deliveries +=
+        area.flooding->link_transmissions() -
+        area.flooding->duplicates_dropped();
+  }
+  t.link_transmissions += backbone_flooding_->link_transmissions();
+  t.lsa_deliveries += backbone_flooding_->link_transmissions() -
+                      backbone_flooding_->duplicates_dropped();
+  return t;
+}
+
+bool HierarchicalNetwork::converged(mc::McId mcid) const {
+  auto it = books_.find(mcid);
+  if (it == books_.end()) return true;
+  const McBook& book = it->second;
+
+  // Backbone agreement among engaged borders.
+  const core::DgmcSwitch* reference = nullptr;
+  for (int a = 0; a < area_count_; ++a) {
+    const core::DgmcSwitch& bb = *backbone_dgmc_[a];
+    if (!bb.has_state(mcid)) continue;
+    if (reference == nullptr) {
+      reference = &bb;
+      continue;
+    }
+    if (!(*bb.installed(mcid) == *reference->installed(mcid)) ||
+        !(*bb.members(mcid) == *reference->members(mcid))) {
+      return false;
+    }
+  }
+
+  // Per-area agreement among the area's switches.
+  for (int a = 0; a < area_count_; ++a) {
+    const core::DgmcSwitch* area_ref = nullptr;
+    for (graph::NodeId id = 0; id < physical_.node_count(); ++id) {
+      if (areas_[id] != a) continue;
+      const core::DgmcSwitch& sw = *area_dgmc_[id];
+      if (!sw.has_state(mcid)) continue;
+      if (area_ref == nullptr) {
+        area_ref = &sw;
+        continue;
+      }
+      if (!(*sw.installed(mcid) == *area_ref->installed(mcid)) ||
+          !(*sw.members(mcid) == *area_ref->members(mcid))) {
+        return false;
+      }
+    }
+    // Engaged areas must actually have state.
+    if (!book.per_area[a].empty() && area_ref == nullptr) return false;
+  }
+  return true;
+}
+
+trees::Topology HierarchicalNetwork::global_topology(mc::McId mcid) const {
+  DGMC_ASSERT(converged(mcid));
+  trees::Topology glued;
+  // Area trees.
+  for (int a = 0; a < area_count_; ++a) {
+    const core::DgmcSwitch& border = *area_dgmc_[borders_[a]];
+    if (border.has_state(mcid)) {
+      glued = trees::Topology::merge(glued, *border.installed(mcid));
+    }
+  }
+  // Backbone tree, expanded into physical paths.
+  for (int a = 0; a < area_count_; ++a) {
+    const core::DgmcSwitch& bb = *backbone_dgmc_[a];
+    if (!bb.has_state(mcid)) continue;
+    for (const graph::Edge& virt : bb.installed(mcid)->edges()) {
+      auto it = virtual_paths_.find(virt);
+      DGMC_ASSERT(it != virtual_paths_.end());
+      glued = trees::Topology::merge(glued,
+                                     trees::Topology(it->second));
+    }
+    break;  // all engaged borders agree; one suffices
+  }
+  return glued;
+}
+
+std::vector<graph::NodeId> HierarchicalNetwork::members(
+    mc::McId mcid) const {
+  std::vector<graph::NodeId> out;
+  auto it = books_.find(mcid);
+  if (it == books_.end()) return out;
+  for (const auto& area_members : it->second.per_area) {
+    out.insert(out.end(), area_members.begin(), area_members.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool HierarchicalNetwork::serves_members(mc::McId mcid) const {
+  const std::vector<graph::NodeId> ms = members(mcid);
+  if (ms.size() <= 1) return true;
+  return trees::connects(global_topology(mcid), ms);
+}
+
+}  // namespace dgmc::sim

@@ -1,0 +1,143 @@
+// Hierarchical D-GMC (extension).
+//
+// Paper §2: "LSR-based MC protocols ... are not intended for direct
+// implementation in very large networks ... Scalability can be
+// addressed by introducing a routing hierarchy into large networks.
+// The combination of an LSR protocol and routing hierarchy is under
+// consideration for the ATM PNNI standard. In this paper, we present
+// the 'basic' D-GMC protocol; its extension to hierarchical networks
+// is part of our ongoing work."
+//
+// This module realizes a two-level hierarchy in the PNNI style:
+//
+//  * The switches are partitioned into *areas* (peer groups). Each area
+//    runs an independent D-GMC instance whose LSAs flood only across
+//    intra-area links, and whose topology computations see only the
+//    area's subgraph.
+//  * One *border switch* per area represents it at level 2. Border
+//    switches run a second D-GMC instance over an aggregated backbone
+//    graph: one virtual link per pair of physically adjacent areas,
+//    with delay equal to the physical shortest-path delay between the
+//    border switches (PNNI-style aggregation).
+//  * An MC with members in an area is realized as an intra-area MC over
+//    {members of the area} ∪ {the area's border switch}, plus a
+//    backbone MC over the border switches of all involved areas. The
+//    global delivery tree is the union of the area trees with the
+//    backbone tree's virtual edges expanded into physical paths.
+//
+// The payoff measured by bench/table_hierarchy: a membership event
+// floods one LSA across its area (plus, on the first/last member of an
+// area, one across the backbone) instead of across the whole network —
+// per-event LSA deliveries drop from Θ(n) to Θ(area size).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "des/scheduler.hpp"
+#include "graph/graph.hpp"
+#include "lsr/flooding.hpp"
+#include "mc/algorithm.hpp"
+
+namespace dgmc::sim {
+
+class HierarchicalNetwork {
+ public:
+  struct Params {
+    double per_hop_overhead = 0.0;
+    core::DgmcConfig dgmc;
+  };
+
+  /// `areas[n]` is node n's area id (0-based, contiguous). Every area's
+  /// subgraph must be connected and every area must touch another area
+  /// (single-area networks degenerate to flat D-GMC).
+  HierarchicalNetwork(graph::Graph physical, std::vector<int> areas,
+                      Params params,
+                      std::unique_ptr<mc::TopologyAlgorithm> algorithm);
+
+  HierarchicalNetwork(const HierarchicalNetwork&) = delete;
+  HierarchicalNetwork& operator=(const HierarchicalNetwork&) = delete;
+
+  des::Scheduler& scheduler() { return sched_; }
+  const graph::Graph& physical() const { return physical_; }
+  int size() const { return physical_.node_count(); }
+  int area_count() const { return area_count_; }
+  int area_of(graph::NodeId n) const { return areas_[n]; }
+  graph::NodeId border_of(int area) const { return borders_[area]; }
+
+  void join(graph::NodeId at, mc::McId mcid, mc::McType type,
+            mc::MemberRole role = mc::MemberRole::kBoth);
+  void leave(graph::NodeId at, mc::McId mcid);
+
+  void run_to_quiescence() { sched_.run(); }
+
+  struct Totals {
+    std::uint64_t computations = 0;
+    std::uint64_t mc_lsa_floodings = 0;
+    std::uint64_t lsa_deliveries = 0;         // per-switch LSA receptions
+    std::uint64_t link_transmissions = 0;     // per-link LSA copies
+  };
+  Totals totals() const;
+
+  /// All involved area MCs and the backbone MC are internally
+  /// converged.
+  bool converged(mc::McId mcid) const;
+
+  /// The glued global delivery topology: union of agreed area trees
+  /// plus the backbone tree with virtual edges expanded into physical
+  /// shortest paths. Asserts converged().
+  trees::Topology global_topology(mc::McId mcid) const;
+
+  /// The real members (excluding infrastructure border joins).
+  std::vector<graph::NodeId> members(mc::McId mcid) const;
+
+  /// Does the glued topology connect all members (the end-to-end
+  /// service check)?
+  bool serves_members(mc::McId mcid) const;
+
+ private:
+  using Payload = core::McLsa;
+  using Flooding = lsr::FloodingNetwork<Payload>;
+
+  struct Area {
+    graph::Graph subgraph;  // all node ids, intra-area links only
+    std::unique_ptr<Flooding> flooding;
+  };
+
+  core::DgmcSwitch& area_switch(graph::NodeId n) { return *area_dgmc_[n]; }
+  core::DgmcSwitch& backbone_switch(int area) {
+    return *backbone_dgmc_[area];
+  }
+
+  void ensure_area_engaged(int area, mc::McId mcid, mc::McType type);
+  void maybe_disengage_area(int area, mc::McId mcid);
+
+  des::Scheduler sched_;
+  graph::Graph physical_;
+  std::vector<int> areas_;
+  int area_count_ = 0;
+  Params params_;
+  std::unique_ptr<mc::TopologyAlgorithm> algorithm_;
+
+  std::vector<Area> area_nets_;
+  std::vector<graph::NodeId> borders_;       // per area
+  graph::Graph backbone_graph_;              // virtual links over borders
+  std::unique_ptr<Flooding> backbone_flooding_;
+  // Physical expansion of each virtual backbone link.
+  std::map<graph::Edge, std::vector<graph::Edge>> virtual_paths_;
+
+  std::vector<std::unique_ptr<core::DgmcSwitch>> area_dgmc_;  // per node
+  std::vector<std::unique_ptr<core::DgmcSwitch>> backbone_dgmc_;  // /area
+
+  // Ground truth of real (host-driven) membership per MC and area.
+  struct McBook {
+    mc::McType type = mc::McType::kSymmetric;
+    std::vector<std::set<graph::NodeId>> per_area;  // real members
+  };
+  std::map<mc::McId, McBook> books_;
+};
+
+}  // namespace dgmc::sim

@@ -1,0 +1,118 @@
+#include "sim/hosts.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dgmc::sim {
+
+void HostLayer::attach(HostId host, graph::NodeId ingress) {
+  DGMC_ASSERT(net_.physical().valid_node(ingress));
+  DGMC_ASSERT_MSG(hosts_.find(host) == hosts_.end(),
+                  "host already attached");
+  hosts_[host].ingress = ingress;
+}
+
+void HostLayer::detach(HostId host) {
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) return;
+  // Leave every subscription first (may generate protocol events).
+  const std::vector<Subscription> subs = it->second.subscriptions;
+  for (const Subscription& s : subs) host_leave(host, s.mcid);
+  hosts_.erase(host);
+}
+
+bool HostLayer::host_join(HostId host, mc::McId mcid, mc::McType type,
+                          mc::MemberRole role) {
+  auto it = hosts_.find(host);
+  DGMC_ASSERT_MSG(it != hosts_.end(), "host not attached");
+  DGMC_ASSERT(role != mc::MemberRole::kNone);
+  HostState& hs = it->second;
+
+  const mc::MemberRole before = aggregate_role(hs.ingress, mcid);
+
+  auto sub = std::find_if(hs.subscriptions.begin(), hs.subscriptions.end(),
+                          [mcid](const Subscription& s) {
+                            return s.mcid == mcid;
+                          });
+  if (sub != hs.subscriptions.end()) {
+    DGMC_ASSERT_MSG(sub->type == type, "MC type mismatch");
+    sub->role = sub->role | role;
+  } else {
+    hs.subscriptions.push_back(Subscription{mcid, type, role});
+  }
+
+  const mc::MemberRole after = aggregate_role(hs.ingress, mcid);
+  if (after == before) return false;  // no new capability at the switch
+  // First interested host, or a host widened the switch's role: the
+  // ingress switch (re-)joins; DgmcSwitch merges roles on re-join.
+  net_.join(hs.ingress, mcid, type, after);
+  return true;
+}
+
+bool HostLayer::host_leave(HostId host, mc::McId mcid) {
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) return false;
+  HostState& hs = it->second;
+  auto sub = std::find_if(hs.subscriptions.begin(), hs.subscriptions.end(),
+                          [mcid](const Subscription& s) {
+                            return s.mcid == mcid;
+                          });
+  if (sub == hs.subscriptions.end()) return false;
+  hs.subscriptions.erase(sub);
+
+  if (aggregate_role(hs.ingress, mcid) == mc::MemberRole::kNone) {
+    // Last interested host at this switch: the switch leaves.
+    net_.leave(hs.ingress, mcid);
+    return true;
+  }
+  // Other hosts remain interested. Role *narrowing* (e.g. the only
+  // sending host left while receivers stay) is deliberately not
+  // advertised: D-GMC's member list supports join/leave only, so the
+  // switch keeps its widest role until it leaves entirely. The surplus
+  // capability is harmless — topologies stay valid, at worst slightly
+  // larger than necessary for asymmetric MCs.
+  return false;
+}
+
+graph::NodeId HostLayer::ingress_of(HostId host) const {
+  auto it = hosts_.find(host);
+  return it == hosts_.end() ? graph::kInvalidNode : it->second.ingress;
+}
+
+bool HostLayer::subscribed(HostId host, mc::McId mcid) const {
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) return false;
+  return std::any_of(
+      it->second.subscriptions.begin(), it->second.subscriptions.end(),
+      [mcid](const Subscription& s) { return s.mcid == mcid; });
+}
+
+std::vector<HostId> HostLayer::subscribers(graph::NodeId ingress,
+                                           mc::McId mcid) const {
+  std::vector<HostId> out;
+  for (const auto& [host, hs] : hosts_) {
+    if (hs.ingress != ingress) continue;
+    for (const Subscription& s : hs.subscriptions) {
+      if (s.mcid == mcid) {
+        out.push_back(host);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+mc::MemberRole HostLayer::aggregate_role(graph::NodeId ingress,
+                                         mc::McId mcid) const {
+  mc::MemberRole role = mc::MemberRole::kNone;
+  for (const auto& [host, hs] : hosts_) {
+    if (hs.ingress != ingress) continue;
+    for (const Subscription& s : hs.subscriptions) {
+      if (s.mcid == mcid) role = role | s.role;
+    }
+  }
+  return role;
+}
+
+}  // namespace dgmc::sim

@@ -1,0 +1,73 @@
+// Host/ingress layer (paper §1): "The switch (or switches) that
+// connect a particular host to the rest of the network is referred to
+// as the ingress switch of that host... A switch is said to be a
+// member of a connection if one or more of its attached hosts are
+// interested in the connection. When a host wants to join or leave a
+// connection, it sends this request to its ingress switch, which takes
+// an appropriate action according to the MC protocol."
+//
+// HostLayer aggregates per-switch host interest and drives the
+// protocol: the switch joins the MC when its first host subscribes
+// (with the union of host roles), re-joins with a widened role when a
+// later host adds a capability, and leaves when the last host goes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace dgmc::sim {
+
+using HostId = std::int32_t;
+
+class HostLayer {
+ public:
+  explicit HostLayer(DgmcNetwork& net) : net_(net) {}
+
+  HostLayer(const HostLayer&) = delete;
+  HostLayer& operator=(const HostLayer&) = delete;
+
+  /// Attaches a host to its ingress switch. A host has exactly one
+  /// ingress switch; re-attaching elsewhere requires detach first.
+  void attach(HostId host, graph::NodeId ingress);
+
+  /// Detaches a host, leaving every MC it subscribed to.
+  void detach(HostId host);
+
+  /// Host subscribes to an MC; the ingress switch joins (or widens its
+  /// role) if needed. Returns true if a protocol event was generated.
+  bool host_join(HostId host, mc::McId mcid, mc::McType type,
+                 mc::MemberRole role = mc::MemberRole::kBoth);
+
+  /// Host unsubscribes; the ingress switch leaves when it was the last
+  /// interested host. Returns true if a protocol event was generated.
+  bool host_leave(HostId host, mc::McId mcid);
+
+  graph::NodeId ingress_of(HostId host) const;
+  bool subscribed(HostId host, mc::McId mcid) const;
+
+  /// Hosts at `ingress` currently subscribed to `mcid`.
+  std::vector<HostId> subscribers(graph::NodeId ingress,
+                                  mc::McId mcid) const;
+
+  /// Union of subscribed-host roles for (ingress, mcid); kNone if none.
+  mc::MemberRole aggregate_role(graph::NodeId ingress, mc::McId mcid) const;
+
+ private:
+  struct Subscription {
+    mc::McId mcid;
+    mc::McType type;
+    mc::MemberRole role;
+  };
+  struct HostState {
+    graph::NodeId ingress = graph::kInvalidNode;
+    std::vector<Subscription> subscriptions;
+  };
+
+  DgmcNetwork& net_;
+  std::map<HostId, HostState> hosts_;
+};
+
+}  // namespace dgmc::sim

@@ -1,0 +1,197 @@
+#include "sim/network.hpp"
+
+#include <utility>
+
+#include "graph/algorithms.hpp"
+#include "mc/validation.hpp"
+
+namespace dgmc::sim {
+
+DgmcNetwork::DgmcNetwork(graph::Graph physical, Params params,
+                         std::unique_ptr<mc::TopologyAlgorithm> algorithm)
+    : physical_(std::move(physical)),
+      params_(params),
+      algorithm_(std::move(algorithm)),
+      flooding_(sched_, physical_, params.per_hop_overhead) {
+  DGMC_ASSERT(algorithm_ != nullptr);
+  const int n = physical_.node_count();
+  hosts_.reserve(n);
+  for (graph::NodeId id = 0; id < n; ++id) {
+    hosts_.emplace_back(physical_);
+    Host& host = hosts_.back();
+    core::DgmcSwitch::Hooks hooks;
+    hooks.flood = [this, id](const core::McLsa& lsa) {
+      flooding_.flood(id, Payload{lsa});
+    };
+    hooks.local_image = [&host]() -> const graph::Graph& {
+      return host.image.graph();
+    };
+    hooks.on_install = [this](mc::McId, const trees::Topology&) {
+      ++installs_;
+      last_install_time_ = sched_.now();
+    };
+    host.dgmc = std::make_unique<core::DgmcSwitch>(
+        id, n, sched_, *algorithm_, params.dgmc, std::move(hooks));
+  }
+  flooding_.set_receiver(
+      [this](const lsr::FloodingNetwork<Payload>::Delivery& d) {
+        deliver(d);
+      });
+}
+
+core::DgmcSwitch& DgmcNetwork::switch_at(graph::NodeId n) {
+  DGMC_ASSERT(physical_.valid_node(n));
+  return *hosts_[n].dgmc;
+}
+
+const core::DgmcSwitch& DgmcNetwork::switch_at(graph::NodeId n) const {
+  DGMC_ASSERT(physical_.valid_node(n));
+  return *hosts_[n].dgmc;
+}
+
+const lsr::LocalImage& DgmcNetwork::image_at(graph::NodeId n) const {
+  DGMC_ASSERT(physical_.valid_node(n));
+  return hosts_[n].image;
+}
+
+void DgmcNetwork::deliver(
+    const lsr::FloodingNetwork<Payload>::Delivery& d) {
+  if (const auto* link_ad = std::get_if<lsr::LinkEventAd>(&d.payload)) {
+    hosts_[d.at].image.apply(*link_ad);
+    return;
+  }
+  if (const auto* sync = std::get_if<core::McSync>(&d.payload)) {
+    hosts_[d.at].dgmc->apply_sync(*sync);
+    return;
+  }
+  hosts_[d.at].dgmc->receive(std::get<core::McLsa>(d.payload));
+}
+
+void DgmcNetwork::join(graph::NodeId at, mc::McId mcid, mc::McType type,
+                       mc::MemberRole role) {
+  switch_at(at).local_join(mcid, type, role);
+}
+
+void DgmcNetwork::leave(graph::NodeId at, mc::McId mcid) {
+  switch_at(at).local_leave(mcid);
+}
+
+graph::NodeId DgmcNetwork::pick_detector(graph::LinkId link,
+                                         graph::NodeId requested) const {
+  const graph::Link& l = physical_.link(link);
+  if (requested == graph::kInvalidNode) return std::min(l.u, l.v);
+  DGMC_ASSERT_MSG(requested == l.u || requested == l.v,
+                  "detector must be a link endpoint");
+  return requested;
+}
+
+int DgmcNetwork::fail_link(graph::LinkId link, graph::NodeId detector) {
+  DGMC_ASSERT(link >= 0 && link < physical_.link_count());
+  DGMC_ASSERT_MSG(physical_.link(link).up, "link already down");
+  const graph::NodeId det = pick_detector(link, detector);
+  physical_.set_link_up(link, false);
+
+  if (params_.dual_link_detection) {
+    // Both endpoints notice the dead adjacency: each fixes its image,
+    // floods a non-MC LSA, and repairs the MCs its topologies lose —
+    // necessary when this failure partitions the network, because the
+    // primary detector's floodings cannot cross the cut.
+    const graph::Link& l = physical_.link(link);
+    int k = 0;
+    for (graph::NodeId endpoint : {std::min(l.u, l.v), std::max(l.u, l.v)}) {
+      hosts_[endpoint].image.apply(lsr::LinkEventAd{link, false});
+      ++nonmc_floodings_;
+      flooding_.flood(endpoint, Payload{lsr::LinkEventAd{link, false}});
+      const int affected = hosts_[endpoint].dgmc->local_link_event(link);
+      if (endpoint == det) k = affected;
+    }
+    return k;
+  }
+
+  hosts_[det].image.apply(lsr::LinkEventAd{link, false});
+  // One non-MC LSA, then k MC LSAs (paper §3.1, Figure 2).
+  ++nonmc_floodings_;
+  flooding_.flood(det, Payload{lsr::LinkEventAd{link, false}});
+  return hosts_[det].dgmc->local_link_event(link);
+}
+
+void DgmcNetwork::restore_link(graph::LinkId link, graph::NodeId detector) {
+  DGMC_ASSERT(link >= 0 && link < physical_.link_count());
+  DGMC_ASSERT_MSG(!physical_.link(link).up, "link already up");
+  const graph::NodeId det = pick_detector(link, detector);
+  physical_.set_link_up(link, true);
+  const graph::Link& restored = physical_.link(link);
+  for (graph::NodeId endpoint :
+       {std::min(restored.u, restored.v), std::max(restored.u, restored.v)}) {
+    if (!params_.dual_link_detection && endpoint != det) continue;
+    hosts_[endpoint].image.apply(lsr::LinkEventAd{link, true});
+    ++nonmc_floodings_;
+    flooding_.flood(endpoint, Payload{lsr::LinkEventAd{link, true}});
+    const int affected = hosts_[endpoint].dgmc->local_link_event(link);
+    DGMC_ASSERT(affected == 0);  // an up event affects no topology
+  }
+
+  if (params_.dgmc.partition_resync) {
+    // Database exchange on adjacency bring-up (core/sync.hpp): both
+    // endpoints summarize every connection they know and flood the
+    // summaries, letting a healed partition reconcile.
+    const graph::Link& l = physical_.link(link);
+    for (graph::NodeId endpoint : {l.u, l.v}) {
+      for (mc::McId mcid : hosts_[endpoint].dgmc->known_mcs()) {
+        ++sync_floodings_;
+        flooding_.flood(endpoint,
+                        Payload{hosts_[endpoint].dgmc->export_sync(mcid)});
+      }
+    }
+  }
+}
+
+DgmcNetwork::Totals DgmcNetwork::totals() const {
+  Totals t;
+  for (const Host& h : hosts_) {
+    const core::DgmcCounters& c = h.dgmc->counters();
+    t.computations += c.computations_started;
+    t.mc_lsa_floodings += c.lsas_flooded;
+    t.proposals_flooded += c.proposals_flooded;
+    t.proposals_accepted += c.proposals_accepted;
+  }
+  t.nonmc_lsa_floodings = nonmc_floodings_;
+  t.sync_floodings = sync_floodings_;
+  t.installs = installs_;
+  return t;
+}
+
+double DgmcNetwork::flooding_diameter() const {
+  return graph::flooding_diameter(physical_, params_.per_hop_overhead);
+}
+
+bool DgmcNetwork::converged(mc::McId mcid) const {
+  const core::DgmcSwitch* reference = nullptr;
+  for (const Host& h : hosts_) {
+    if (!h.dgmc->has_state(mcid)) continue;
+    if (reference == nullptr) {
+      reference = h.dgmc.get();
+      continue;
+    }
+    if (!(*h.dgmc->installed(mcid) == *reference->installed(mcid))) {
+      return false;
+    }
+    if (!(*h.dgmc->members(mcid) == *reference->members(mcid))) return false;
+    if (!(*h.dgmc->stamp_c(mcid) == *reference->stamp_c(mcid))) return false;
+  }
+  if (reference == nullptr) return true;  // destroyed everywhere
+  // The agreed topology must actually serve the agreed member list.
+  return mc::is_valid_topology(physical_, reference->mc_type(mcid),
+                               *reference->members(mcid),
+                               *reference->installed(mcid));
+}
+
+trees::Topology DgmcNetwork::agreed_topology(mc::McId mcid) const {
+  DGMC_ASSERT(converged(mcid));
+  for (const Host& h : hosts_) {
+    if (h.dgmc->has_state(mcid)) return *h.dgmc->installed(mcid);
+  }
+  return trees::Topology{};
+}
+
+}  // namespace dgmc::sim

@@ -1,0 +1,133 @@
+// DgmcNetwork: a complete simulated network running the D-GMC protocol —
+// the physical graph, one DgmcSwitch + LocalImage per switch, and the
+// flooding transport carrying both non-MC link LSAs and MC LSAs.
+#pragma once
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "des/scheduler.hpp"
+#include "graph/graph.hpp"
+#include "lsr/flooding.hpp"
+#include "lsr/link_lsa.hpp"
+#include "lsr/local_image.hpp"
+#include "mc/algorithm.hpp"
+
+namespace dgmc::sim {
+
+class DgmcNetwork {
+ public:
+  /// Payload of a flooding: F = mc selects the McLsa alternative;
+  /// McSync is the partition-resync extension (core/sync.hpp).
+  using Payload = std::variant<lsr::LinkEventAd, core::McLsa, core::McSync>;
+
+  struct Params {
+    double per_hop_overhead = 0.0;
+    core::DgmcConfig dgmc;
+    /// When true, BOTH endpoints of a failed/restored link detect the
+    /// event, update their images, and flood non-MC LSAs (OSPF-like;
+    /// required for correct knowledge propagation when the event
+    /// partitions the network). When false — the default — a single
+    /// detector acts, matching the paper's "exactly one non-MC LSA,
+    /// followed by k MC LSAs" accounting (§3.1), which is exact as long
+    /// as the network stays connected.
+    bool dual_link_detection = false;
+  };
+
+  DgmcNetwork(graph::Graph physical, Params params,
+              std::unique_ptr<mc::TopologyAlgorithm> algorithm);
+
+  DgmcNetwork(const DgmcNetwork&) = delete;
+  DgmcNetwork& operator=(const DgmcNetwork&) = delete;
+
+  des::Scheduler& scheduler() { return sched_; }
+  const graph::Graph& physical() const { return physical_; }
+  int size() const { return physical_.node_count(); }
+
+  core::DgmcSwitch& switch_at(graph::NodeId n);
+  const core::DgmcSwitch& switch_at(graph::NodeId n) const;
+  const lsr::LocalImage& image_at(graph::NodeId n) const;
+
+  // --- Event injection (at current simulated time) ---
+
+  void join(graph::NodeId at, mc::McId mcid, mc::McType type,
+            mc::MemberRole role = mc::MemberRole::kBoth);
+  void leave(graph::NodeId at, mc::McId mcid);
+
+  /// Fails a link: marks it down in the physical graph, lets `detector`
+  /// (default: the lower-id endpoint, matching the paper's one-detector
+  /// accounting) update its image, flood one non-MC LSA, and run
+  /// EventHandler for each affected MC. Returns k, the number of MC
+  /// LSAs the event triggers.
+  int fail_link(graph::LinkId link,
+                graph::NodeId detector = graph::kInvalidNode);
+
+  /// Restores a link (floods the non-MC LSA; affects no installed
+  /// topology, so k = 0).
+  void restore_link(graph::LinkId link,
+                    graph::NodeId detector = graph::kInvalidNode);
+
+  /// Runs the calendar dry. With no pending injections this reaches
+  /// protocol quiescence: no LSAs in flight, no computations running.
+  void run_to_quiescence() { sched_.run(); }
+
+  // --- Metrics ---
+
+  struct Totals {
+    std::uint64_t computations = 0;       // topology computations started
+    std::uint64_t mc_lsa_floodings = 0;   // MC LSA flooding operations
+    std::uint64_t nonmc_lsa_floodings = 0;
+    std::uint64_t sync_floodings = 0;     // partition-resync extension
+    std::uint64_t proposals_flooded = 0;
+    std::uint64_t proposals_accepted = 0;
+    std::uint64_t installs = 0;
+  };
+  Totals totals() const;
+
+  /// Per-link LSA copies sent by the flooding transport (both MC and
+  /// non-MC), for scope comparisons with the hierarchical extension.
+  std::uint64_t lsa_link_transmissions() const {
+    return flooding_.link_transmissions();
+  }
+
+  /// Simulated time of the most recent topology installation anywhere.
+  des::SimTime last_install_time() const { return last_install_time_; }
+
+  /// Tf for this network at the configured per-hop overhead.
+  double flooding_diameter() const;
+
+  /// True if every switch holding state for `mcid` has the same member
+  /// list, timestamp C and installed topology (or no switch holds
+  /// state). Call at quiescence.
+  bool converged(mc::McId mcid) const;
+
+  /// The agreed topology at quiescence (asserts converged); empty if
+  /// the MC is destroyed or has <= 1 member.
+  trees::Topology agreed_topology(mc::McId mcid) const;
+
+ private:
+  struct Host {
+    explicit Host(const graph::Graph& physical) : image(physical) {}
+    lsr::LocalImage image;
+    std::unique_ptr<core::DgmcSwitch> dgmc;
+  };
+
+  void deliver(const lsr::FloodingNetwork<Payload>::Delivery& d);
+  graph::NodeId pick_detector(graph::LinkId link,
+                              graph::NodeId requested) const;
+
+  des::Scheduler sched_;
+  graph::Graph physical_;
+  Params params_;
+  std::unique_ptr<mc::TopologyAlgorithm> algorithm_;
+  lsr::FloodingNetwork<Payload> flooding_;
+  std::vector<Host> hosts_;
+  std::uint64_t nonmc_floodings_ = 0;
+  std::uint64_t sync_floodings_ = 0;
+  std::uint64_t installs_ = 0;
+  des::SimTime last_install_time_ = 0.0;
+};
+
+}  // namespace dgmc::sim

@@ -1,0 +1,43 @@
+// Timing presets for the paper's three experiments (§4.1).
+//
+// A *round* is Tf + Tc, where Tc is the topology computation time and
+// Tf the flooding diameter. The experiments differ only in the
+// Tf-to-Tc ratio:
+//   Experiment 1 — computation dominates: per-hop LSA time ~4 us
+//     (AAL-5, 53-byte cell on the authors' ATM testbed), Tc = 25 ms
+//     (their 10-50 ms per-member signaling figure, midpoint).
+//   Experiment 2 — communication dominates (WAN): per-hop ~5 ms,
+//     Tc = 1 ms.
+//   Experiment 3 — normal traffic: same timing as Experiment 1, events
+//     spread far apart instead of bursty.
+#pragma once
+
+#include "core/protocol.hpp"
+#include "des/time.hpp"
+
+namespace dgmc::sim {
+
+struct TimingParams {
+  /// Per-hop LSA latency added on top of each link's propagation delay.
+  double per_hop_overhead = 4 * des::kMicrosecond;
+  /// Target *mean* link propagation delay for generated graphs (the
+  /// Waxman model's distance-proportional delays are normalized to it);
+  /// the effective per-hop time is link delay + per_hop_overhead.
+  double link_delay = 1 * des::kMicrosecond;
+  /// Tc: topology computation time.
+  des::SimTime computation_time = 25 * des::kMillisecond;
+};
+
+/// Experiment 1 regime: Tc >> per-hop LSA time (ATM testbed values).
+inline TimingParams computation_dominant() {
+  return TimingParams{4 * des::kMicrosecond, 1 * des::kMicrosecond,
+                      25 * des::kMillisecond};
+}
+
+/// Experiment 2 regime: Tf >> Tc (WAN-like per-hop latency).
+inline TimingParams communication_dominant() {
+  return TimingParams{5 * des::kMillisecond, 1 * des::kMillisecond,
+                      1 * des::kMillisecond};
+}
+
+}  // namespace dgmc::sim

@@ -1,0 +1,387 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <set>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/dataplane.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::sim {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::optional<long> parse_int(std::string_view s) {
+  long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// Splits "key=value"; returns nullopt if there is no '='.
+std::optional<std::pair<std::string_view, std::string_view>> split_kv(
+    std::string_view token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos) return std::nullopt;
+  return std::make_pair(token.substr(0, eq), token.substr(eq + 1));
+}
+
+}  // namespace
+
+std::optional<double> parse_time(std::string_view token) {
+  double scale = 1.0;
+  std::string_view digits = token;
+  if (token.size() >= 2 && token.substr(token.size() - 2) == "ms") {
+    scale = 1e-3;
+    digits = token.substr(0, token.size() - 2);
+  } else if (token.size() >= 2 && token.substr(token.size() - 2) == "us") {
+    scale = 1e-6;
+    digits = token.substr(0, token.size() - 2);
+  } else if (token.size() >= 1 && token.back() == 's') {
+    digits = token.substr(0, token.size() - 1);
+  }
+  if (digits.empty()) return std::nullopt;
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), v);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  if (v < 0.0) return std::nullopt;
+  return v * scale;
+}
+
+std::variant<Scenario, ScenarioError> Scenario::parse(
+    std::string_view text) {
+  Scenario sc;
+  int line_no = 0;
+  int sequence = 0;
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+
+  auto fail = [&](std::string message) {
+    return ScenarioError{line_no, std::move(message)};
+  };
+
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::vector<std::string> tok = tokenize(raw);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "network") {
+      if (tok.size() < 3) return fail("network needs a kind and size");
+      const auto n = parse_int(tok[2]);
+      if (!n || *n < 2 || *n > 10000) return fail("bad network size");
+      sc.network_size_ = static_cast<int>(*n);
+      if (tok[1] == "waxman") sc.topo_ = Topo::kWaxman;
+      else if (tok[1] == "ring") sc.topo_ = Topo::kRing;
+      else if (tok[1] == "line") sc.topo_ = Topo::kLine;
+      else if (tok[1] == "star") sc.topo_ = Topo::kStar;
+      else if (tok[1] == "complete") sc.topo_ = Topo::kComplete;
+      else if (tok[1] == "grid") {
+        sc.topo_ = Topo::kGrid;
+        if (tok.size() < 4) return fail("grid needs rows and cols");
+        const auto cols = parse_int(tok[3]);
+        if (!cols || *cols < 1) return fail("bad grid cols");
+        sc.grid_rows_ = static_cast<int>(*n);
+        sc.grid_cols_ = static_cast<int>(*cols);
+        sc.network_size_ = sc.grid_rows_ * sc.grid_cols_;
+      } else {
+        return fail("unknown network kind '" + tok[1] + "'");
+      }
+      for (std::size_t i = 3 + (sc.topo_ == Topo::kGrid ? 1 : 0);
+           i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv || kv->first != "seed") return fail("unknown network arg");
+        const auto seed = parse_int(kv->second);
+        if (!seed || *seed < 0) return fail("bad seed");
+        sc.seed_ = static_cast<std::uint64_t>(*seed);
+      }
+    } else if (tok[0] == "delay") {
+      if (tok.size() != 3) return fail("delay needs mode and value");
+      const auto t = parse_time(tok[2]);
+      if (!t) return fail("bad delay value");
+      if (tok[1] == "uniform") sc.uniform_delay_ = *t;
+      else if (tok[1] == "mean") sc.mean_delay_ = *t;
+      else return fail("delay mode must be uniform|mean");
+    } else if (tok[0] == "timing") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv) return fail("timing args are key=value");
+        const auto t = parse_time(kv->second);
+        if (!t) return fail("bad time value");
+        if (kv->first == "tc") sc.tc_ = *t;
+        else if (kv->first == "perhop") sc.per_hop_ = *t;
+        else return fail("unknown timing key");
+      }
+    } else if (tok[0] == "option") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv) return fail("option args are key=value");
+        if (kv->first == "algorithm") {
+          if (kv->second == "incremental") sc.incremental_ = true;
+          else if (kv->second == "fromscratch") sc.incremental_ = false;
+          else return fail("algorithm must be incremental|fromscratch");
+        } else if (kv->first == "resync" || kv->first == "dualdetect") {
+          bool value;
+          if (kv->second == "on") value = true;
+          else if (kv->second == "off") value = false;
+          else return fail("expected on|off");
+          if (kv->first == "resync") sc.resync_ = value;
+          else sc.dual_detect_ = value;
+        } else {
+          return fail("unknown option '" + std::string(kv->first) + "'");
+        }
+      }
+    } else if (tok[0] == "at") {
+      if (tok.size() < 3) return fail("at needs a time and a command");
+      const auto t = parse_time(tok[1]);
+      if (!t) return fail("bad event time");
+      Event ev;
+      ev.at = *t;
+      ev.sequence = sequence++;
+      const std::string& cmd = tok[2];
+      if (cmd == "join" || cmd == "leave" || cmd == "send") {
+        if (tok.size() < 4) return fail(cmd + " needs a switch id");
+        const auto node = parse_int(tok[3]);
+        if (!node || *node < 0) return fail("bad switch id");
+        ev.node = static_cast<graph::NodeId>(*node);
+        ev.kind = cmd == "join"    ? Kind::kJoin
+                  : cmd == "leave" ? Kind::kLeave
+                                   : Kind::kSend;
+        for (std::size_t i = 4; i < tok.size(); ++i) {
+          const auto kv = split_kv(tok[i]);
+          if (!kv) return fail("event args are key=value");
+          if (kv->first == "mc") {
+            const auto mcid = parse_int(kv->second);
+            if (!mcid || *mcid < 0) return fail("bad mc id");
+            ev.mcid = static_cast<mc::McId>(*mcid);
+          } else if (kv->first == "type" && cmd == "join") {
+            if (kv->second == "symmetric") {
+              ev.type = mc::McType::kSymmetric;
+            } else if (kv->second == "receiver") {
+              ev.type = mc::McType::kReceiverOnly;
+              ev.role = mc::MemberRole::kReceiver;
+            } else if (kv->second == "asymmetric") {
+              ev.type = mc::McType::kAsymmetric;
+            } else {
+              return fail("unknown MC type");
+            }
+          } else if (kv->first == "role" && cmd == "join") {
+            if (kv->second == "sender") ev.role = mc::MemberRole::kSender;
+            else if (kv->second == "receiver") {
+              ev.role = mc::MemberRole::kReceiver;
+            } else if (kv->second == "both") {
+              ev.role = mc::MemberRole::kBoth;
+            } else {
+              return fail("unknown role");
+            }
+          } else {
+            return fail("unknown event arg '" + std::string(kv->first) +
+                        "'");
+          }
+        }
+      } else if (cmd == "fail" || cmd == "restore") {
+        if (tok.size() != 5) return fail(cmd + " needs two endpoints");
+        const auto u = parse_int(tok[3]);
+        const auto v = parse_int(tok[4]);
+        if (!u || !v || *u < 0 || *v < 0 || *u == *v) {
+          return fail("bad link endpoints");
+        }
+        ev.kind = cmd == "fail" ? Kind::kFail : Kind::kRestore;
+        ev.node = static_cast<graph::NodeId>(*u);
+        ev.peer = static_cast<graph::NodeId>(*v);
+      } else {
+        return fail("unknown command '" + cmd + "'");
+      }
+      sc.events_.push_back(ev);
+    } else if (tok[0] == "run") {
+      sc.run_points_.push_back(static_cast<int>(sc.events_.size()));
+      ++sc.checkpoints_;
+    } else {
+      return fail("unknown statement '" + tok[0] + "'");
+    }
+  }
+
+  // Validate event switch ids against the network size.
+  for (const Event& ev : sc.events_) {
+    if (ev.node >= sc.network_size_ ||
+        (ev.peer != graph::kInvalidNode && ev.peer >= sc.network_size_)) {
+      return ScenarioError{0, "event references a switch beyond the "
+                              "network size"};
+    }
+  }
+  return sc;
+}
+
+graph::Graph Scenario::build_graph() const {
+  graph::Graph g;
+  switch (topo_) {
+    case Topo::kWaxman: {
+      util::RngStream rng = util::RngStream::derive(seed_, "scenario");
+      g = graph::waxman(network_size_, graph::WaxmanParams{}, rng);
+      break;
+    }
+    case Topo::kRing: g = graph::ring(network_size_); break;
+    case Topo::kLine: g = graph::line(network_size_); break;
+    case Topo::kStar: g = graph::star(network_size_); break;
+    case Topo::kComplete: g = graph::complete(network_size_); break;
+    case Topo::kGrid: g = graph::grid(grid_rows_, grid_cols_); break;
+  }
+  if (uniform_delay_.has_value()) {
+    g.set_uniform_delay(*uniform_delay_);
+  } else if (mean_delay_.has_value() && graph::mean_link_delay(g) > 0) {
+    g.scale_delays(*mean_delay_ / graph::mean_link_delay(g));
+  } else {
+    g.set_uniform_delay(1e-6);
+  }
+  return g;
+}
+
+bool Scenario::execute(std::FILE* out) const {
+  DgmcNetwork::Params params;
+  params.per_hop_overhead = per_hop_;
+  params.dgmc.computation_time = tc_;
+  params.dgmc.partition_resync = resync_;
+  params.dual_link_detection = dual_detect_;
+  DgmcNetwork net(build_graph(), params,
+                  incremental_ ? mc::make_incremental_algorithm()
+                               : mc::make_from_scratch_algorithm());
+  DataPlane dp(net, DataPlane::Params{per_hop_});
+
+  std::set<mc::McId> mcids;
+  for (const Event& ev : events_) mcids.insert(ev.mcid);
+
+  std::vector<std::uint64_t> packets;
+  auto play = [&](const Event& ev) {
+    net.scheduler().schedule_after(ev.at, [&net, &dp, &packets, ev] {
+      switch (ev.kind) {
+        case Kind::kJoin:
+          net.join(ev.node, ev.mcid, ev.type, ev.role);
+          break;
+        case Kind::kLeave:
+          net.leave(ev.node, ev.mcid);
+          break;
+        case Kind::kSend:
+          packets.push_back(dp.send(ev.mcid, ev.node));
+          break;
+        case Kind::kFail: {
+          const graph::LinkId link =
+              net.physical().find_link(ev.node, ev.peer);
+          if (link != graph::kInvalidLink && net.physical().link(link).up) {
+            net.fail_link(link);
+          }
+          break;
+        }
+        case Kind::kRestore: {
+          const graph::LinkId link =
+              net.physical().find_link(ev.node, ev.peer);
+          if (link != graph::kInvalidLink &&
+              !net.physical().link(link).up) {
+            net.restore_link(link);
+          }
+          break;
+        }
+      }
+    });
+  };
+
+  bool all_converged = true;
+  std::size_t next_event = 0;
+  int checkpoint = 0;
+
+  auto report = [&]() {
+    ++checkpoint;
+    std::fprintf(out, "== checkpoint %d (t=%.6fs) ==\n", checkpoint,
+                 net.scheduler().now());
+    for (mc::McId mcid : mcids) {
+      bool known = false;
+      for (graph::NodeId n = 0; n < net.size() && !known; ++n) {
+        known = net.switch_at(n).has_state(mcid);
+      }
+      if (!known) {
+        std::fprintf(out, "mc %d: destroyed\n", mcid);
+        continue;
+      }
+      const bool converged = net.converged(mcid);
+      all_converged = all_converged && converged;
+      std::fprintf(out, "mc %d: ", mcid);
+      graph::NodeId witness = 0;
+      while (!net.switch_at(witness).has_state(mcid)) ++witness;
+      std::fprintf(out, "members");
+      for (graph::NodeId m :
+           net.switch_at(witness).members(mcid)->all()) {
+        std::fprintf(out, " %d", m);
+      }
+      std::fprintf(out, " | %zu edges | converged %s\n",
+                   net.switch_at(witness).installed(mcid)->edge_count(),
+                   converged ? "yes" : "NO");
+    }
+    if (!packets.empty()) {
+      std::size_t full = 0;
+      for (std::uint64_t id : packets) {
+        const auto& r = dp.report(id);
+        const auto* members =
+            net.switch_at(r.source).has_state(r.mcid)
+                ? net.switch_at(r.source).members(r.mcid)
+                : nullptr;
+        if (members != nullptr &&
+            dp.delivered_to_all(id, members->all())) {
+          ++full;
+        }
+      }
+      std::fprintf(out, "packets: %zu sent, %zu fully delivered\n",
+                   packets.size(), full);
+      packets.clear();
+    }
+  };
+
+  std::vector<int> boundaries = run_points_;
+  if (boundaries.empty() ||
+      boundaries.back() != static_cast<int>(events_.size())) {
+    boundaries.push_back(static_cast<int>(events_.size()));
+  }
+  for (int boundary : boundaries) {
+    for (; next_event < static_cast<std::size_t>(boundary); ++next_event) {
+      play(events_[next_event]);
+    }
+    net.run_to_quiescence();
+    report();
+  }
+
+  const auto totals = net.totals();
+  std::fprintf(out,
+               "== totals == computations=%llu mc_floodings=%llu "
+               "nonmc_floodings=%llu syncs=%llu\n",
+               static_cast<unsigned long long>(totals.computations),
+               static_cast<unsigned long long>(totals.mc_lsa_floodings),
+               static_cast<unsigned long long>(totals.nonmc_lsa_floodings),
+               static_cast<unsigned long long>(totals.sync_floodings));
+  return all_converged;
+}
+
+}  // namespace dgmc::sim

@@ -1,0 +1,98 @@
+// Scenario DSL: drive a whole D-GMC simulation from a small text
+// script (ns-style tooling). Grammar, one statement per line,
+// '#' starts a comment:
+//
+//   network waxman <n> [seed=<u64>]      — or: ring|line|star <n>,
+//   network grid <rows> <cols>             complete <n>
+//   delay uniform <time>                 — every link's propagation delay
+//   delay mean <time>                    — scale generator delays to mean
+//   timing tc=<time> perhop=<time>       — computation time, per-hop LSA
+//   option algorithm=incremental|fromscratch
+//   option resync=on|off                 — partition resynchronization
+//   option dualdetect=on|off             — both endpoints detect links
+//   at <time> join <switch> mc=<id> [type=symmetric|receiver|asymmetric]
+//                            [role=sender|receiver|both]
+//   at <time> leave <switch> mc=<id>
+//   at <time> fail <u> <v>
+//   at <time> restore <u> <v>
+//   at <time> send <switch> mc=<id>      — multicast data packet
+//   run                                  — run to quiescence, report MCs
+//
+// `at` times are relative to the end of the previous `run` checkpoint,
+// so scripts read top-to-bottom; a final `run` is implicit. Times
+// accept s/ms/us suffixes ("25ms", "4us", "1.5s", bare seconds).
+// Parsing is total: errors carry the line number and reason.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "des/time.hpp"
+#include "graph/graph.hpp"
+#include "mc/types.hpp"
+
+namespace dgmc::sim {
+
+struct ScenarioError {
+  int line = 0;
+  std::string message;
+};
+
+/// A parsed, executable scenario.
+class Scenario {
+ public:
+  /// Parses the script; returns the scenario or the first error.
+  static std::variant<Scenario, ScenarioError> parse(std::string_view text);
+
+  /// Builds the network, plays every event, and writes a report of each
+  /// `run` checkpoint plus a final summary to `out`. Returns false if
+  /// any checkpoint found an unconverged MC.
+  bool execute(std::FILE* out) const;
+
+  // --- Introspection for tests ---
+  int network_size() const { return network_size_; }
+  std::size_t event_count() const { return events_.size(); }
+  std::size_t checkpoint_count() const { return checkpoints_; }
+
+ private:
+  enum class Kind { kJoin, kLeave, kFail, kRestore, kSend };
+  struct Event {
+    des::SimTime at = 0.0;
+    Kind kind = Kind::kJoin;
+    graph::NodeId node = graph::kInvalidNode;  // join/leave/send switch
+    graph::NodeId peer = graph::kInvalidNode;  // fail/restore other end
+    mc::McId mcid = 0;
+    mc::McType type = mc::McType::kSymmetric;
+    mc::MemberRole role = mc::MemberRole::kBoth;
+    int sequence = 0;  // statement order for `run` interleaving
+  };
+
+  enum class Topo { kWaxman, kRing, kLine, kStar, kGrid, kComplete };
+
+  graph::Graph build_graph() const;
+
+  Topo topo_ = Topo::kWaxman;
+  int network_size_ = 20;
+  int grid_rows_ = 0;
+  int grid_cols_ = 0;
+  std::uint64_t seed_ = 1;
+  std::optional<double> uniform_delay_;
+  std::optional<double> mean_delay_;
+  des::SimTime tc_ = 25e-3;
+  double per_hop_ = 4e-6;
+  bool incremental_ = true;
+  bool resync_ = false;
+  bool dual_detect_ = false;
+  std::vector<Event> events_;
+  std::vector<int> run_points_;  // event sequence numbers of `run`
+  std::size_t checkpoints_ = 0;
+};
+
+/// Parses "25ms" / "4us" / "1.5s" / "0.25" (seconds). nullopt on junk.
+std::optional<double> parse_time(std::string_view token);
+
+}  // namespace dgmc::sim

@@ -1,0 +1,112 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dgmc::sim {
+
+namespace {
+
+/// Draws event targets against an evolving membership set. Each node is
+/// used at most once per workload, so sorting events by time later
+/// cannot invert a node's join/leave order. Times are filled in by the
+/// caller.
+std::vector<MembershipEvent> draw_events(
+    int network_size, const std::vector<graph::NodeId>& initial_members,
+    int count, mc::MemberRole role, util::RngStream& rng) {
+  DGMC_ASSERT(network_size >= 3);
+  DGMC_ASSERT(count >= 0);
+  std::vector<bool> is_member(network_size, false);
+  std::vector<bool> used(network_size, false);
+  int member_count = 0;
+  for (graph::NodeId m : initial_members) {
+    DGMC_ASSERT(m >= 0 && m < network_size);
+    if (!is_member[m]) {
+      is_member[m] = true;
+      ++member_count;
+    }
+  }
+
+  auto eligible = [&](bool join) {
+    std::vector<graph::NodeId> out;
+    for (graph::NodeId n = 0; n < network_size; ++n) {
+      if (!used[n] && is_member[n] != join) out.push_back(n);
+    }
+    return out;
+  };
+
+  // Cap total leaves so that at least two members survive under ANY
+  // execution order: the caller may time-sort the events, so the
+  // worst-case prefix executes every leave before any join.
+  const int max_leaves = std::max(0, member_count - 2);
+  int leaves_drawn = 0;
+
+  std::vector<MembershipEvent> events;
+  events.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const std::vector<graph::NodeId> joiners = eligible(true);
+    std::vector<graph::NodeId> leavers = eligible(false);
+    if (leaves_drawn >= max_leaves) leavers.clear();
+    DGMC_ASSERT_MSG(!joiners.empty() || !leavers.empty(),
+                    "workload exhausted eligible nodes");
+    bool join;
+    if (leavers.empty()) join = true;
+    else if (joiners.empty()) join = false;
+    else join = rng.bernoulli(0.5);
+
+    const std::vector<graph::NodeId>& pool = join ? joiners : leavers;
+    const graph::NodeId node = pool[rng.index(pool.size())];
+    used[node] = true;
+    is_member[node] = join;
+    member_count += join ? 1 : -1;
+    if (!join) ++leaves_drawn;
+    events.push_back(MembershipEvent{0.0, node, join, role});
+  }
+  return events;
+}
+
+}  // namespace
+
+std::vector<MembershipEvent> bursty_membership(
+    int network_size, const std::vector<graph::NodeId>& initial_members,
+    int count, des::SimTime spread, mc::MemberRole role,
+    util::RngStream& rng) {
+  DGMC_ASSERT(spread >= 0.0);
+  std::vector<MembershipEvent> events =
+      draw_events(network_size, initial_members, count, role, rng);
+  for (MembershipEvent& e : events) e.at = rng.uniform_real(0.0, spread);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const MembershipEvent& a, const MembershipEvent& b) {
+                     return a.at < b.at;
+                   });
+  return events;
+}
+
+std::vector<MembershipEvent> poisson_membership(
+    int network_size, const std::vector<graph::NodeId>& initial_members,
+    int count, des::SimTime mean_gap, mc::MemberRole role,
+    util::RngStream& rng) {
+  DGMC_ASSERT(mean_gap > 0.0);
+  std::vector<MembershipEvent> events =
+      draw_events(network_size, initial_members, count, role, rng);
+  des::SimTime t = 0.0;
+  for (MembershipEvent& e : events) {
+    t += rng.exponential(mean_gap);
+    e.at = t;
+  }
+  return events;
+}
+
+std::vector<graph::NodeId> random_members(int network_size, int count,
+                                          util::RngStream& rng) {
+  DGMC_ASSERT(count <= network_size);
+  std::vector<graph::NodeId> all(network_size);
+  for (graph::NodeId i = 0; i < network_size; ++i) all[i] = i;
+  rng.shuffle(all);
+  all.resize(count);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace dgmc::sim

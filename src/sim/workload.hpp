@@ -1,0 +1,46 @@
+// Workload generators (paper §4.1): "Two event-generating methods are
+// used. In the first, events are clustered in a short period of time
+// and conflict with each other ... In the second, events are relatively
+// evenly distributed over long periods of time."
+#pragma once
+
+#include <vector>
+
+#include "des/time.hpp"
+#include "graph/graph.hpp"
+#include "mc/types.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::sim {
+
+struct MembershipEvent {
+  des::SimTime at = 0.0;  // offset from injection start
+  graph::NodeId node = graph::kInvalidNode;
+  bool join = true;  // false => leave
+  mc::MemberRole role = mc::MemberRole::kBoth;
+};
+
+/// Generates `count` membership events against the evolving member set
+/// starting from `initial_members`: joins pick non-members, leaves pick
+/// members, chosen so at least two members always remain (mid-burst MC
+/// destruction is exercised by dedicated tests, not the experiments).
+/// Event times are uniform in [0, spread) — the paper's "very busy
+/// period" — and returned sorted by time.
+std::vector<MembershipEvent> bursty_membership(
+    int network_size, const std::vector<graph::NodeId>& initial_members,
+    int count, des::SimTime spread, mc::MemberRole role,
+    util::RngStream& rng);
+
+/// Same membership dynamics, but with exponentially distributed gaps of
+/// the given mean between consecutive events — the paper's "normal
+/// traffic periods" where events seldom conflict.
+std::vector<MembershipEvent> poisson_membership(
+    int network_size, const std::vector<graph::NodeId>& initial_members,
+    int count, des::SimTime mean_gap, mc::MemberRole role,
+    util::RngStream& rng);
+
+/// Picks `count` distinct nodes as the initial member set.
+std::vector<graph::NodeId> random_members(int network_size, int count,
+                                          util::RngStream& rng);
+
+}  // namespace dgmc::sim

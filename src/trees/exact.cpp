@@ -1,0 +1,47 @@
+#include "trees/exact.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "trees/steiner.hpp"
+
+namespace dgmc::trees {
+
+Topology exact_steiner(const Graph& g, const std::vector<NodeId>& terminals_in) {
+  std::vector<NodeId> terminals = terminals_in;
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  if (terminals.size() <= 1) return Topology{};
+
+  std::vector<NodeId> optional;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (!std::binary_search(terminals.begin(), terminals.end(), n)) {
+      optional.push_back(n);
+    }
+  }
+  DGMC_ASSERT_MSG(optional.size() <= 20, "exact_steiner: instance too large");
+
+  Topology best;
+  double best_cost = graph::kInfiniteDistance;
+  const std::uint32_t limit = 1u << optional.size();
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    std::vector<NodeId> nodes = terminals;
+    for (std::size_t i = 0; i < optional.size(); ++i) {
+      if (mask & (1u << i)) nodes.push_back(optional[i]);
+    }
+    Topology mst = induced_mst(g, nodes);
+    if (mst.empty() && nodes.size() > 1) continue;  // disconnected subset
+    mst = prune_non_terminal_leaves(std::move(mst), terminals);
+    const double cost = topology_cost(g, mst);
+    if (cost < best_cost && is_steiner_tree(mst, terminals)) {
+      best_cost = cost;
+      best = std::move(mst);
+    }
+  }
+  DGMC_ASSERT_MSG(best_cost < graph::kInfiniteDistance,
+                  "terminals not mutually reachable");
+  return best;
+}
+
+}  // namespace dgmc::trees

@@ -1,0 +1,17 @@
+// Exact (exponential-time) Steiner tree, used by tests and benches to
+// measure heuristic quality on small instances. Enumerates all subsets
+// of candidate Steiner nodes and takes the cheapest induced MST.
+#pragma once
+
+#include <vector>
+
+#include "trees/topology.hpp"
+
+namespace dgmc::trees {
+
+/// Optimal Steiner tree over the cost metric. Only feasible for graphs
+/// with (node_count - |terminals|) <= ~20 non-terminals; asserts on
+/// larger inputs to prevent accidental blow-ups.
+Topology exact_steiner(const Graph& g, const std::vector<NodeId>& terminals);
+
+}  // namespace dgmc::trees

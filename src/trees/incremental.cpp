@@ -1,0 +1,47 @@
+#include "trees/incremental.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "trees/steiner.hpp"
+
+namespace dgmc::trees {
+
+Topology greedy_attach(const Graph& g, const Topology& tree, NodeId member,
+                       NodeId fallback_anchor) {
+  DGMC_ASSERT(g.valid_node(member));
+  std::vector<NodeId> targets = tree.nodes();
+  if (targets.empty() && fallback_anchor != graph::kInvalidNode &&
+      fallback_anchor != member) {
+    targets.push_back(fallback_anchor);
+  }
+  if (targets.empty()) return tree;  // first member: a lone node, no edges
+  if (std::binary_search(targets.begin(), targets.end(), member)) {
+    return tree;  // already on the tree
+  }
+
+  const graph::ShortestPaths sp = graph::dijkstra(g, member);
+  NodeId best = graph::kInvalidNode;
+  for (NodeId t : targets) {
+    if (!sp.reachable(t)) continue;
+    if (best == graph::kInvalidNode || sp.dist[t] < sp.dist[best]) best = t;
+  }
+  if (best == graph::kInvalidNode) return tree;  // partitioned; caller's duty
+
+  Topology out = tree;
+  // Walk the shortest path from `best` back to `member`. No interior
+  // node of this path can already be on the tree: it would be strictly
+  // nearer than `best` (positive link costs), so the result stays a tree.
+  NodeId n = best;
+  while (sp.parent[n] != graph::kInvalidNode) {
+    out.add(Edge(n, sp.parent[n]));
+    n = sp.parent[n];
+  }
+  return out;
+}
+
+Topology prune_after_leave(Topology tree, const std::vector<NodeId>& members) {
+  return prune_non_terminal_leaves(std::move(tree), members);
+}
+
+}  // namespace dgmc::trees

@@ -1,0 +1,27 @@
+// Incremental topology updates (paper §3.5): "an implementation should
+// invoke an incremental update algorithm, which adds a tree branch to
+// reach a new member or removes a branch from a leaving member".
+//
+// greedy_attach is the GREEDY heuristic of the dynamic Steiner problem
+// (Imase & Waxman [9]): join the new member to the *nearest* node of
+// the existing tree by a shortest path.
+#pragma once
+
+#include <vector>
+
+#include "trees/topology.hpp"
+
+namespace dgmc::trees {
+
+/// Connects `member` to the existing tree by the cheapest shortest path
+/// ending at any current tree node (or at `fallback_anchor` if the tree
+/// is empty). Returns the augmented topology. If `member` already lies
+/// on the tree, returns `tree` unchanged.
+Topology greedy_attach(const Graph& g, const Topology& tree, NodeId member,
+                       NodeId fallback_anchor = graph::kInvalidNode);
+
+/// Removes the branch serving a departed member: prunes non-terminal
+/// leaves with respect to the remaining `members`.
+Topology prune_after_leave(Topology tree, const std::vector<NodeId>& members);
+
+}  // namespace dgmc::trees

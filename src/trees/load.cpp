@@ -1,0 +1,72 @@
+#include "trees/load.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace dgmc::trees {
+
+void add_topology_load(EdgeLoadMap& loads, const Topology& t) {
+  for (const Edge& e : t.edges()) ++loads[e];
+}
+
+void add_path_load(EdgeLoadMap& loads, const Graph& g, NodeId from,
+                   NodeId to) {
+  if (from == to) return;
+  const graph::ShortestPaths sp = graph::dijkstra(g, from);
+  if (!sp.reachable(to)) return;
+  for (NodeId n = to; sp.parent[n] != graph::kInvalidNode;
+       n = sp.parent[n]) {
+    ++loads[Edge(n, sp.parent[n])];
+  }
+}
+
+int max_load(const EdgeLoadMap& loads) {
+  int best = 0;
+  for (const auto& [edge, load] : loads) best = std::max(best, load);
+  return best;
+}
+
+long total_load(const EdgeLoadMap& loads) {
+  long sum = 0;
+  for (const auto& [edge, load] : loads) sum += load;
+  return sum;
+}
+
+EdgeLoadMap shared_tree_loads(const Graph& g, const Topology& t,
+                              const std::vector<NodeId>& sources) {
+  EdgeLoadMap loads;
+  const std::vector<NodeId> tree_nodes = t.nodes();
+  for (NodeId s : sources) {
+    add_topology_load(loads, t);
+    if (t.empty() ||
+        std::binary_search(tree_nodes.begin(), tree_nodes.end(), s)) {
+      continue;  // on-tree source: no first-stage unicast leg
+    }
+    // Off-tree source: unicast to the nearest tree node (first-stage
+    // delivery of the receiver-only MC model, paper Fig 1(b)).
+    const graph::ShortestPaths sp = graph::dijkstra(g, s);
+    NodeId contact = graph::kInvalidNode;
+    for (NodeId n : tree_nodes) {
+      if (!sp.reachable(n)) continue;
+      if (contact == graph::kInvalidNode || sp.dist[n] < sp.dist[contact]) {
+        contact = n;
+      }
+    }
+    if (contact != graph::kInvalidNode) {
+      for (NodeId n = contact; sp.parent[n] != graph::kInvalidNode;
+           n = sp.parent[n]) {
+        ++loads[Edge(n, sp.parent[n])];
+      }
+    }
+  }
+  return loads;
+}
+
+EdgeLoadMap per_source_tree_loads(const std::vector<Topology>& trees) {
+  EdgeLoadMap loads;
+  for (const Topology& t : trees) add_topology_load(loads, t);
+  return loads;
+}
+
+}  // namespace dgmc::trees

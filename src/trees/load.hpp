@@ -1,0 +1,46 @@
+// Link-load accounting for the traffic-concentration comparison
+// (paper §5: shared CBT trees have "the advantage of efficient use of
+// network resources, but suffer from traffic concentration" versus
+// per-source trees — Wei & Estrin [17]).
+//
+// Model: every source multicasts one unit to the whole group. On a
+// shared tree, each source's packet covers every tree edge (plus the
+// unicast path from the source to its contact node if the source is
+// off-tree). On per-source trees, each source's packet covers only its
+// own tree's edges. The maximum per-edge load is the concentration
+// figure.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "trees/topology.hpp"
+
+namespace dgmc::trees {
+
+using EdgeLoadMap = std::unordered_map<Edge, int, graph::EdgeHash>;
+
+/// Adds one unit of load on every edge of `t`.
+void add_topology_load(EdgeLoadMap& loads, const Topology& t);
+
+/// Adds one unit of load along the shortest path (cost metric) from
+/// `from` to `to` in `g`; no-op if from == to or unreachable.
+void add_path_load(EdgeLoadMap& loads, const Graph& g, NodeId from,
+                   NodeId to);
+
+/// The largest per-edge load; 0 if empty.
+int max_load(const EdgeLoadMap& loads);
+
+/// Sum of all per-edge loads (total link traversals).
+long total_load(const EdgeLoadMap& loads);
+
+/// Loads when each source multicasts once over the *shared* tree `t`:
+/// every tree edge per source, plus the source's unicast path to the
+/// nearest tree node when it is off-tree.
+EdgeLoadMap shared_tree_loads(const Graph& g, const Topology& t,
+                              const std::vector<NodeId>& sources);
+
+/// Loads when each source multicasts once over its own tree.
+EdgeLoadMap per_source_tree_loads(const std::vector<Topology>& trees);
+
+}  // namespace dgmc::trees

@@ -1,0 +1,40 @@
+#include "trees/spt.hpp"
+
+namespace dgmc::trees {
+
+Topology shortest_path_tree(const Graph& g, NodeId root) {
+  const graph::ShortestPaths sp = graph::dijkstra(g, root);
+  std::vector<Edge> edges;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (sp.parent[n] != graph::kInvalidNode) {
+      edges.emplace_back(n, sp.parent[n]);
+    }
+  }
+  return Topology(std::move(edges));
+}
+
+Topology pruned_spt(const Graph& g, NodeId root,
+                    const std::vector<NodeId>& terminals) {
+  const graph::ShortestPaths sp = graph::dijkstra(g, root);
+  std::vector<Edge> edges;
+  for (NodeId t : terminals) {
+    if (!sp.reachable(t)) continue;
+    for (NodeId n = t; sp.parent[n] != graph::kInvalidNode;
+         n = sp.parent[n]) {
+      edges.emplace_back(n, sp.parent[n]);
+    }
+  }
+  return Topology(std::move(edges));
+}
+
+Topology source_rooted_union(const Graph& g,
+                             const std::vector<NodeId>& sources,
+                             const std::vector<NodeId>& receivers) {
+  Topology out;
+  for (NodeId s : sources) {
+    out = Topology::merge(out, pruned_spt(g, s, receivers));
+  }
+  return out;
+}
+
+}  // namespace dgmc::trees

@@ -1,0 +1,28 @@
+// Source-rooted shortest-path trees (the MOSPF-style topology), plus
+// the pruned variant that keeps only branches leading to terminals.
+#pragma once
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "trees/topology.hpp"
+
+namespace dgmc::trees {
+
+/// Full shortest-path tree rooted at `root` (all reachable nodes).
+Topology shortest_path_tree(const Graph& g, NodeId root);
+
+/// Shortest-path tree rooted at `root`, pruned to the union of the
+/// shortest paths from root to each terminal. Terminals unreachable
+/// from root are skipped. `root` itself need not be in `terminals`.
+Topology pruned_spt(const Graph& g, NodeId root,
+                    const std::vector<NodeId>& terminals);
+
+/// Union of pruned SPTs, one per source, each reaching all receivers:
+/// the asymmetric-MC topology (paper Fig 1(c); MOSPF-style per-source
+/// trees toward a common receiver set). May contain cycles.
+Topology source_rooted_union(const Graph& g,
+                             const std::vector<NodeId>& sources,
+                             const std::vector<NodeId>& receivers);
+
+}  // namespace dgmc::trees

@@ -1,0 +1,204 @@
+#include "trees/steiner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+
+namespace dgmc::trees {
+
+namespace {
+
+std::vector<NodeId> dedup(std::vector<NodeId> ns) {
+  std::sort(ns.begin(), ns.end());
+  ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
+  return ns;
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(int x, int y) {
+    x = find(x);
+    y = find(y);
+    if (x == y) return false;
+    parent_[x] = y;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Topology induced_mst(const Graph& g, const std::vector<NodeId>& nodes_in) {
+  const std::vector<NodeId> nodes = dedup(nodes_in);
+  if (nodes.size() <= 1) return Topology{};
+
+  std::unordered_map<NodeId, int> index;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    index[nodes[i]] = static_cast<int>(i);
+  }
+
+  struct Candidate {
+    double cost;
+    Edge edge;
+  };
+  std::vector<Candidate> candidates;
+  for (const graph::Link& l : g.links()) {
+    if (!l.up) continue;
+    if (index.count(l.u) && index.count(l.v)) {
+      candidates.push_back({l.cost, Edge(l.u, l.v)});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.cost != b.cost) return a.cost < b.cost;
+                     return a.edge < b.edge;  // determinism across switches
+                   });
+
+  UnionFind uf(static_cast<int>(nodes.size()));
+  std::vector<Edge> chosen;
+  for (const Candidate& c : candidates) {
+    if (uf.unite(index[c.edge.a], index[c.edge.b])) {
+      chosen.push_back(c.edge);
+    }
+  }
+  if (chosen.size() + 1 != nodes.size()) return Topology{};  // disconnected
+  return Topology(std::move(chosen));
+}
+
+Topology prune_non_terminal_leaves(Topology t,
+                                   const std::vector<NodeId>& terminals_in) {
+  const std::vector<NodeId> terminals = dedup(terminals_in);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId n : t.nodes()) {
+      if (t.degree(n) == 1 &&
+          !std::binary_search(terminals.begin(), terminals.end(), n)) {
+        const NodeId peer = t.neighbors(n).front();
+        t.remove(Edge(n, peer));
+        changed = true;
+      }
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// KMB on terminals known to be mutually reachable.
+Topology kmb_connected(const Graph& g, const std::vector<NodeId>& terminals);
+
+}  // namespace
+
+Topology kmb_steiner(const Graph& g, const std::vector<NodeId>& terminals_in) {
+  const std::vector<NodeId> terminals = dedup(terminals_in);
+  if (terminals.size() <= 1) return Topology{};
+  for (NodeId t : terminals) DGMC_ASSERT(g.valid_node(t));
+
+  // Partitioned terminals: build one tree per component (Steiner
+  // forest) so each side of a partition keeps its members connected.
+  const std::vector<int> comp = graph::components(g);
+  bool split = false;
+  for (std::size_t i = 1; i < terminals.size(); ++i) {
+    if (comp[terminals[i]] != comp[terminals[0]]) {
+      split = true;
+      break;
+    }
+  }
+  if (split) {
+    Topology forest;
+    std::vector<NodeId> group;
+    std::vector<bool> done(terminals.size(), false);
+    for (std::size_t i = 0; i < terminals.size(); ++i) {
+      if (done[i]) continue;
+      group.clear();
+      for (std::size_t j = i; j < terminals.size(); ++j) {
+        if (comp[terminals[j]] == comp[terminals[i]]) {
+          group.push_back(terminals[j]);
+          done[j] = true;
+        }
+      }
+      if (group.size() >= 2) {
+        forest = Topology::merge(forest, kmb_connected(g, group));
+      }
+    }
+    return forest;
+  }
+  return kmb_connected(g, terminals);
+}
+
+namespace {
+
+Topology kmb_connected(const Graph& g, const std::vector<NodeId>& terminals) {
+  // Step 1: metric closure over terminals — all-pairs shortest paths
+  // among terminals (one Dijkstra per terminal).
+  const std::size_t k = terminals.size();
+  std::vector<graph::ShortestPaths> sps;
+  sps.reserve(k);
+  for (NodeId t : terminals) sps.push_back(graph::dijkstra(g, t));
+
+  // Step 2: MST of the closure (Prim over the k x k distances).
+  std::vector<bool> in_tree(k, false);
+  std::vector<double> best(k, graph::kInfiniteDistance);
+  std::vector<std::size_t> best_from(k, 0);
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < k; ++j) {
+    best[j] = sps[0].dist[terminals[j]];
+    best_from[j] = 0;
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> closure_edges;
+  for (std::size_t round = 1; round < k; ++round) {
+    std::size_t pick = k;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!in_tree[j] && (pick == k || best[j] < best[pick])) pick = j;
+    }
+    DGMC_ASSERT_MSG(pick < k && best[pick] < graph::kInfiniteDistance,
+                    "terminals not mutually reachable");
+    in_tree[pick] = true;
+    closure_edges.push_back({best_from[pick], pick});
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!in_tree[j] && sps[pick].dist[terminals[j]] < best[j]) {
+        best[j] = sps[pick].dist[terminals[j]];
+        best_from[j] = pick;
+      }
+    }
+  }
+
+  // Step 3: expand closure edges into shortest paths.
+  std::vector<Edge> expanded;
+  for (auto [i, j] : closure_edges) {
+    for (NodeId n = terminals[j]; sps[i].parent[n] != graph::kInvalidNode;
+         n = sps[i].parent[n]) {
+      expanded.emplace_back(n, sps[i].parent[n]);
+    }
+  }
+  const Topology expansion(std::move(expanded));
+
+  // Step 4: MST of the subgraph induced by the expansion's nodes.
+  Topology mst = induced_mst(g, expansion.nodes());
+  if (mst.empty() && expansion.nodes().size() > 1) {
+    // Induced subgraph disconnected (possible only with down links that
+    // appeared mid-computation); fall back to the expansion itself.
+    mst = expansion;
+  }
+
+  // Step 5: prune non-terminal leaves.
+  return prune_non_terminal_leaves(std::move(mst), terminals);
+}
+
+}  // namespace
+
+}  // namespace dgmc::trees

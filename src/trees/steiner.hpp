@@ -1,0 +1,35 @@
+// Steiner-tree heuristics for symmetric and receiver-only MCs.
+//
+// KMB (Kou, Markowsky & Berman 1981) — the classic 2-approximation the
+// dynamic-Steiner literature cited by the paper [6,9] builds on:
+//   1. metric closure over the terminals,
+//   2. MST of the closure,
+//   3. expand closure edges into shortest paths,
+//   4. MST of the expansion,
+//   5. prune non-terminal leaves.
+#pragma once
+
+#include <vector>
+
+#include "trees/topology.hpp"
+
+namespace dgmc::trees {
+
+/// KMB heuristic Steiner tree connecting `terminals` (cost metric).
+/// Duplicates are tolerated; fewer than two distinct terminals yield an
+/// empty topology. When the terminals are not mutually reachable (the
+/// network is partitioned), the result is a Steiner *forest*: one tree
+/// per connected component that holds two or more terminals — each side
+/// of a partition keeps serving its own members (paper §6).
+Topology kmb_steiner(const Graph& g, const std::vector<NodeId>& terminals);
+
+/// Minimum spanning tree of the subgraph induced by `nodes` (Kruskal,
+/// deterministic tie-break on edge order). Returns an empty topology if
+/// the induced subgraph is disconnected.
+Topology induced_mst(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Repeatedly removes non-terminal leaves.
+Topology prune_non_terminal_leaves(Topology t,
+                                   const std::vector<NodeId>& terminals);
+
+}  // namespace dgmc::trees

@@ -1,0 +1,177 @@
+#include "trees/topology.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+
+namespace dgmc::trees {
+
+Topology::Topology(std::vector<Edge> edges) : edges_(std::move(edges)) {
+  canonicalize();
+}
+
+Topology::Topology(std::initializer_list<Edge> edges) : edges_(edges) {
+  canonicalize();
+}
+
+void Topology::canonicalize() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  for (const Edge& e : edges_) {
+    DGMC_ASSERT_MSG(e.a != e.b && e.a >= 0, "malformed edge");
+  }
+}
+
+bool Topology::contains(const Edge& e) const {
+  return std::binary_search(edges_.begin(), edges_.end(), e);
+}
+
+std::vector<NodeId> Topology::nodes() const {
+  std::vector<NodeId> ns;
+  ns.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    ns.push_back(e.a);
+    ns.push_back(e.b);
+  }
+  std::sort(ns.begin(), ns.end());
+  ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
+  return ns;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  for (const Edge& e : edges_) {
+    if (e.a == n) out.push_back(e.b);
+    else if (e.b == n) out.push_back(e.a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int Topology::degree(NodeId n) const {
+  int d = 0;
+  for (const Edge& e : edges_) {
+    if (e.a == n || e.b == n) ++d;
+  }
+  return d;
+}
+
+void Topology::add(const Edge& e) {
+  DGMC_ASSERT(e.a != e.b && e.a >= 0);
+  auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+  if (it != edges_.end() && *it == e) return;
+  edges_.insert(it, e);
+}
+
+void Topology::remove(const Edge& e) {
+  auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+  if (it != edges_.end() && *it == e) edges_.erase(it);
+}
+
+Topology Topology::merge(const Topology& a, const Topology& b) {
+  std::vector<Edge> all = a.edges_;
+  all.insert(all.end(), b.edges_.begin(), b.edges_.end());
+  return Topology(std::move(all));
+}
+
+double topology_cost(const Graph& g, const Topology& t) {
+  double total = 0.0;
+  for (const Edge& e : t.edges()) {
+    const graph::LinkId id = g.find_link(e.a, e.b);
+    if (id == graph::kInvalidLink || !g.link(id).up) {
+      return graph::kInfiniteDistance;
+    }
+    total += g.link(id).cost;
+  }
+  return total;
+}
+
+bool uses_only_live_links(const Graph& g, const Topology& t) {
+  for (const Edge& e : t.edges()) {
+    const graph::LinkId id = g.find_link(e.a, e.b);
+    if (id == graph::kInvalidLink || !g.link(id).up) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Union-find over arbitrary node ids.
+class UnionFind {
+ public:
+  NodeId find(NodeId x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    NodeId root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      NodeId next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Returns false if x and y were already joined (i.e. a cycle).
+  bool unite(NodeId x, NodeId y) {
+    NodeId rx = find(x);
+    NodeId ry = find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+  bool same(NodeId x, NodeId y) { return find(x) == find(y); }
+
+ private:
+  std::unordered_map<NodeId, NodeId> parent_;
+};
+
+}  // namespace
+
+bool is_forest(const Topology& t) {
+  UnionFind uf;
+  for (const Edge& e : t.edges()) {
+    if (!uf.unite(e.a, e.b)) return false;
+  }
+  return true;
+}
+
+bool connects(const Topology& t, const std::vector<NodeId>& required) {
+  if (required.size() <= 1) return true;
+  UnionFind uf;
+  for (const Edge& e : t.edges()) uf.unite(e.a, e.b);
+  // A required node absent from the topology is connected to nothing —
+  // unless it equals another required node, which dedup below handles.
+  const auto present = t.nodes();
+  for (std::size_t i = 1; i < required.size(); ++i) {
+    if (required[i] == required[0]) continue;
+    if (!std::binary_search(present.begin(), present.end(), required[i]) ||
+        !std::binary_search(present.begin(), present.end(), required[0])) {
+      return false;
+    }
+    if (!uf.same(required[0], required[i])) return false;
+  }
+  return true;
+}
+
+bool is_steiner_tree(const Topology& t, const std::vector<NodeId>& required) {
+  // Deduplicate required nodes.
+  std::vector<NodeId> req = required;
+  std::sort(req.begin(), req.end());
+  req.erase(std::unique(req.begin(), req.end()), req.end());
+
+  if (req.size() <= 1) return t.empty();
+  if (!is_forest(t)) return false;
+  if (!connects(t, req)) return false;
+  // Single component: a forest connecting all terminals with no
+  // superfluous component has exactly nodes-1 edges.
+  const auto ns = t.nodes();
+  return t.edge_count() + 1 == ns.size();
+}
+
+}  // namespace dgmc::trees

@@ -1,0 +1,79 @@
+// Topology: the value type in which multipoint-connection topologies
+// are proposed, flooded, compared and installed.
+//
+// A Topology is a canonical (sorted, deduplicated) edge set over the
+// network graph. Canonical form matters: the D-GMC consensus invariant
+// is "all switches install the same topology", which we check with
+// operator==. A Topology is usually a tree, but asymmetric MCs built as
+// unions of source-rooted trees may contain cycles, so tree-ness is a
+// validation predicate rather than a representation invariant.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgmc::trees {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::vector<Edge> edges);
+  Topology(std::initializer_list<Edge> edges);
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  bool empty() const { return edges_.empty(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  bool contains(const Edge& e) const;
+
+  /// All nodes touched by at least one edge, ascending.
+  std::vector<NodeId> nodes() const;
+
+  /// Neighbors of `n` within the topology, ascending.
+  std::vector<NodeId> neighbors(NodeId n) const;
+
+  /// Degree of `n` within the topology.
+  int degree(NodeId n) const;
+
+  /// Adds an edge (no-op if already present).
+  void add(const Edge& e);
+
+  /// Removes an edge (no-op if absent).
+  void remove(const Edge& e);
+
+  /// Edge-set union.
+  static Topology merge(const Topology& a, const Topology& b);
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+
+ private:
+  void canonicalize();
+  std::vector<Edge> edges_;  // sorted, unique
+};
+
+/// Sum of graph costs of the topology's edges. Edges absent from the
+/// graph or down are charged kInfiniteDistance.
+double topology_cost(const Graph& g, const Topology& t);
+
+/// True if every edge exists in the graph and is up.
+bool uses_only_live_links(const Graph& g, const Topology& t);
+
+/// True if the topology's edge set is acyclic.
+bool is_forest(const Topology& t);
+
+/// True if the topology is a single connected acyclic component
+/// containing every node in `required` (a Steiner tree for `required`).
+/// An empty topology qualifies only when `required` has <= 1 node.
+bool is_steiner_tree(const Topology& t, const std::vector<NodeId>& required);
+
+/// True if every pair of `required` nodes is connected within the
+/// topology (weaker than is_steiner_tree: cycles allowed).
+bool connects(const Topology& t, const std::vector<NodeId>& required);
+
+}  // namespace dgmc::trees

@@ -1,0 +1,30 @@
+// Lightweight always-on assertion macro for protocol invariants.
+//
+// Unlike <cassert>, these checks stay enabled in release builds: the
+// simulator's correctness rests on protocol invariants (timestamp
+// monotonicity, tree validity) that are cheap to check relative to
+// topology computations, and a silent violation would corrupt every
+// downstream measurement.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dgmc::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "DGMC_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace dgmc::util
+
+#define DGMC_ASSERT(expr)                                            \
+  ((expr) ? static_cast<void>(0)                                     \
+          : ::dgmc::util::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define DGMC_ASSERT_MSG(expr, msg)                                   \
+  ((expr) ? static_cast<void>(0)                                     \
+          : ::dgmc::util::assert_fail(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,31 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded; the logger is a thin veneer over
+// stderr with a process-global level so that protocol traces can be
+// switched on in tests/examples without recompiling.
+#pragma once
+
+#include <cstdarg>
+
+namespace dgmc::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging at a given level.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace dgmc::util
+
+#define DGMC_TRACE(...) \
+  ::dgmc::util::logf(::dgmc::util::LogLevel::kTrace, __VA_ARGS__)
+#define DGMC_DEBUG(...) \
+  ::dgmc::util::logf(::dgmc::util::LogLevel::kDebug, __VA_ARGS__)
+#define DGMC_INFO(...) \
+  ::dgmc::util::logf(::dgmc::util::LogLevel::kInfo, __VA_ARGS__)
+#define DGMC_WARN(...) \
+  ::dgmc::util::logf(::dgmc::util::LogLevel::kWarn, __VA_ARGS__)

@@ -1,0 +1,63 @@
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace dgmc::util {
+
+namespace {
+
+// FNV-1a, used only to mix a stream name into the root seed.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// SplitMix64 finalizer: spreads correlated seeds across the state space.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RngStream RngStream::derive(std::uint64_t root_seed, std::string_view name) {
+  return RngStream(mix(root_seed ^ fnv1a(name)));
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DGMC_ASSERT(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double RngStream::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double RngStream::uniform_real(double lo, double hi) {
+  DGMC_ASSERT(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double RngStream::exponential(double mean) {
+  DGMC_ASSERT(mean > 0.0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+bool RngStream::bernoulli(double p) {
+  DGMC_ASSERT(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::size_t RngStream::index(std::size_t size) {
+  DGMC_ASSERT(size > 0);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+}  // namespace dgmc::util

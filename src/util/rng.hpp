@@ -1,0 +1,59 @@
+// Deterministic random-number streams.
+//
+// Every source of randomness in the simulator draws from a named
+// RngStream so that a whole experiment is reproducible from a single
+// root seed. Independent streams are derived by hashing the root seed
+// with the stream name, which decouples e.g. topology generation from
+// workload generation: adding a draw to one stream never perturbs the
+// other.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace dgmc::util {
+
+/// A self-contained pseudo-random stream (mt19937_64 based).
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent stream from a root seed and a stream name.
+  static RngStream derive(std::uint64_t root_seed, std::string_view name);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Picks a uniformly random element index of a container of given size.
+  /// Requires size > 0.
+  std::size_t index(std::size_t size);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dgmc::util

@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace dgmc::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return mean_; }
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  DGMC_ASSERT(n_ > 0);
+  return min_;
+}
+
+double OnlineStats::max() const {
+  DGMC_ASSERT(n_ > 0);
+  return max_;
+}
+
+double OnlineStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  const double se = stddev() / std::sqrt(static_cast<double>(n_));
+  return t_critical_95(n_ - 1) * se;
+}
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95% critical values; exact table for small df, asymptotic
+  // (normal) value beyond. Sufficient for reporting CIs over 10-30 runs.
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262,  2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101,  2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052,  2.048,  2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+Summary Summary::of(const OnlineStats& s) {
+  return Summary{s.mean(), s.ci95_halfwidth(), s.count()};
+}
+
+std::string Summary::to_string(int precision) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f ± %.*f", precision, mean, precision,
+                ci95);
+  return buf;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace dgmc::util

@@ -1,0 +1,55 @@
+// Summary statistics for experiment reporting.
+//
+// The paper reports means with 95% confidence intervals over 20 random
+// graphs per network size; OnlineStats (Welford) accumulates samples and
+// Summary renders mean ± half-width using the Student t distribution.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dgmc::util {
+
+/// Numerically stable accumulator for mean/variance (Welford's method).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Half-width of the 95% confidence interval for the mean
+  /// (Student t with n-1 degrees of freedom); 0 for fewer than 2 samples.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided 95% Student t critical value for the given degrees of freedom.
+double t_critical_95(std::size_t degrees_of_freedom);
+
+/// A rendered statistic: "mean ± ci" with raw fields available.
+struct Summary {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  std::size_t n = 0;
+
+  static Summary of(const OnlineStats& s);
+  std::string to_string(int precision = 3) const;
+};
+
+/// Mean of a vector (0 for empty), convenience for tests.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace dgmc::util

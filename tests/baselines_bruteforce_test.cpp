@@ -1,0 +1,100 @@
+#include "baselines/bruteforce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mc/validation.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::baselines {
+namespace {
+
+BruteForceNetwork::Params test_params() {
+  BruteForceNetwork::Params p;
+  p.per_hop_overhead = 4e-6;
+  p.computation_time = 10e-3;
+  return p;
+}
+
+graph::Graph unit_delay(graph::Graph g) {
+  g.set_uniform_delay(1e-6);
+  return g;
+}
+
+TEST(BruteForce, SingleEventTriggersComputationAtEverySwitch) {
+  const int n = 10;
+  BruteForceNetwork net(unit_delay(graph::ring(n)), test_params(),
+                        mc::make_from_scratch_algorithm());
+  net.join(3);
+  net.run_to_quiescence();
+  // The §2 claim: one event, n computations, one flooding.
+  EXPECT_EQ(net.totals().computations, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(net.totals().floodings, 1u);
+  EXPECT_TRUE(net.converged());
+}
+
+TEST(BruteForce, SequentialEventsCostNComputationsEach) {
+  const int n = 8;
+  BruteForceNetwork net(unit_delay(graph::ring(n)), test_params(),
+                        mc::make_from_scratch_algorithm());
+  des::SimTime t = 0.0;
+  for (graph::NodeId j : {0, 2, 5}) {
+    net.scheduler().schedule_at(t, [&net, j] { net.join(j); });
+    t += 1.0;
+  }
+  net.run_to_quiescence();
+  EXPECT_EQ(net.totals().computations, static_cast<std::uint64_t>(3 * n));
+  EXPECT_TRUE(net.converged());
+  EXPECT_TRUE(trees::is_steiner_tree(net.topology_at(0), {0, 2, 5}));
+}
+
+TEST(BruteForce, BurstCoalescesButStaysExpensive) {
+  const int n = 12;
+  BruteForceNetwork net(unit_delay(graph::grid(3, 4)), test_params(),
+                        mc::make_from_scratch_algorithm());
+  // Burst of 4 joins inside one computation window.
+  for (graph::NodeId j : {0, 5, 7, 11}) {
+    net.scheduler().schedule_at(1e-5 * (j + 1), [&net, j] { net.join(j); });
+  }
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged());
+  // At least one computation per switch; coalescing caps it well below
+  // events x n.
+  EXPECT_GE(net.totals().computations, static_cast<std::uint64_t>(n));
+  EXPECT_LE(net.totals().computations, static_cast<std::uint64_t>(4 * n));
+}
+
+TEST(BruteForce, LeaveShrinksTopologyEverywhere) {
+  BruteForceNetwork net(unit_delay(graph::line(6)), test_params(),
+                        mc::make_from_scratch_algorithm());
+  net.join(0);
+  net.run_to_quiescence();
+  net.join(5);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.topology_at(3).edge_count(), 5u);
+  net.leave(5);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged());
+  EXPECT_TRUE(net.topology_at(3).empty());  // single member left
+  EXPECT_EQ(net.members_at(2).all(), (std::vector<graph::NodeId>{0}));
+}
+
+TEST(BruteForce, AgreesWithValidSteinerTree) {
+  util::RngStream rng(5);
+  graph::Graph g = graph::random_connected(20, 3.0, rng);
+  g.set_uniform_delay(1e-6);
+  BruteForceNetwork net(std::move(g), test_params(),
+                        mc::make_from_scratch_algorithm());
+  const std::vector<graph::NodeId> members = {1, 7, 13, 19};
+  des::SimTime t = 0.0;
+  for (graph::NodeId m : members) {
+    net.scheduler().schedule_at(t, [&net, m] { net.join(m); });
+    t += 1.0;
+  }
+  net.run_to_quiescence();
+  ASSERT_TRUE(net.converged());
+  EXPECT_TRUE(trees::is_steiner_tree(net.topology_at(0), members));
+}
+
+}  // namespace
+}  // namespace dgmc::baselines

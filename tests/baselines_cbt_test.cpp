@@ -1,0 +1,130 @@
+#include "baselines/cbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "trees/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::baselines {
+namespace {
+
+TEST(Cbt, FirstJoinBuildsPathToCore) {
+  CbtNetwork net(graph::line(5), /*core=*/0);
+  net.join(4);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.is_member(4));
+  EXPECT_EQ(net.tree(), trees::Topology({graph::Edge(0, 1), graph::Edge(1, 2),
+                                         graph::Edge(2, 3),
+                                         graph::Edge(3, 4)}));
+  for (graph::NodeId n = 0; n < 5; ++n) EXPECT_TRUE(net.on_tree(n));
+}
+
+TEST(Cbt, SecondJoinGraftsAtNearestTreePoint) {
+  // Star: spokes join directly to the hub/core.
+  CbtNetwork net(graph::star(6), /*core=*/0);
+  net.join(2);
+  net.run_to_quiescence();
+  net.join(5);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.tree(),
+            trees::Topology({graph::Edge(0, 2), graph::Edge(0, 5)}));
+}
+
+TEST(Cbt, JoinOfCoreIsTrivial) {
+  CbtNetwork net(graph::line(4), /*core=*/1);
+  net.join(1);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.is_member(1));
+  EXPECT_TRUE(net.tree().empty());  // core alone: no branches
+}
+
+TEST(Cbt, LeavePrunesDanglingBranch) {
+  CbtNetwork net(graph::line(5), /*core=*/0);
+  net.join(2);
+  net.run_to_quiescence();
+  net.join(4);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.tree().edge_count(), 4u);
+  net.leave(4);
+  net.run_to_quiescence();
+  // Branch 2-3-4 prunes back to member 2.
+  EXPECT_EQ(net.tree(),
+            trees::Topology({graph::Edge(0, 1), graph::Edge(1, 2)}));
+  net.leave(2);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.tree().empty());
+}
+
+TEST(Cbt, LeaveOfMidTreeMemberKeepsBranchForDownstream) {
+  CbtNetwork net(graph::line(5), /*core=*/0);
+  net.join(2);
+  net.run_to_quiescence();
+  net.join(4);
+  net.run_to_quiescence();
+  net.leave(2);  // still transit for member 4
+  net.run_to_quiescence();
+  EXPECT_EQ(net.tree().edge_count(), 4u);
+  EXPECT_FALSE(net.is_member(2));
+  EXPECT_TRUE(net.on_tree(2));
+}
+
+TEST(Cbt, DuplicateJoinLeaveAreIdempotent) {
+  CbtNetwork net(graph::ring(6), /*core=*/0);
+  net.join(3);
+  net.join(3);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.totals().joins, 1u);
+  net.leave(3);
+  net.leave(3);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.totals().leaves, 1u);
+  EXPECT_TRUE(net.tree().empty());
+}
+
+TEST(Cbt, TreeIsSteinerTreeOverMembersAndCore) {
+  util::RngStream rng(3);
+  const graph::Graph g = graph::random_connected(30, 3.0, rng);
+  CbtNetwork net(g, /*core=*/0);
+  std::vector<graph::NodeId> members = {4, 11, 19, 27};
+  for (graph::NodeId m : members) {
+    net.join(m);
+    net.run_to_quiescence();
+  }
+  std::vector<graph::NodeId> required = members;
+  required.push_back(0);
+  EXPECT_TRUE(trees::is_steiner_tree(net.tree(), required));
+}
+
+TEST(Cbt, CorePlacementAffectsTreeCost) {
+  // The §5 core-selection problem: a poor core inflates the tree
+  // versus the Steiner tree D-GMC would build.
+  const graph::Graph g = graph::line(10);
+  const std::vector<graph::NodeId> members = {0, 1, 2};
+
+  CbtNetwork good(g, /*core=*/1);
+  CbtNetwork bad(g, /*core=*/9);
+  for (graph::NodeId m : members) {
+    good.join(m);
+    bad.join(m);
+  }
+  good.run_to_quiescence();
+  bad.run_to_quiescence();
+  const double good_cost = trees::topology_cost(g, good.tree());
+  const double bad_cost = trees::topology_cost(g, bad.tree());
+  const double steiner_cost =
+      trees::topology_cost(g, trees::kmb_steiner(g, members));
+  EXPECT_DOUBLE_EQ(good_cost, steiner_cost);
+  EXPECT_GT(bad_cost, 3.0 * steiner_cost);
+}
+
+TEST(Cbt, ControlTrafficIsLocalNotFlooded) {
+  CbtNetwork net(graph::line(8), /*core=*/0);
+  net.join(7);
+  net.run_to_quiescence();
+  // 7 hops of JOIN + 7 hops of ACK — no network-wide flooding.
+  EXPECT_EQ(net.totals().control_hops, 14u);
+}
+
+}  // namespace
+}  // namespace dgmc::baselines

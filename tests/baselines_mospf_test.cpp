@@ -1,0 +1,105 @@
+#include "baselines/mospf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "trees/spt.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::baselines {
+namespace {
+
+MospfNetwork::Params test_params() {
+  MospfNetwork::Params p;
+  p.per_hop_overhead = 4e-6;
+  p.computation_time = 10e-3;
+  return p;
+}
+
+graph::Graph unit_delay(graph::Graph g) {
+  g.set_uniform_delay(1e-6);
+  return g;
+}
+
+TEST(Mospf, MembershipFloodsButComputesNothing) {
+  MospfNetwork net(unit_delay(graph::ring(8)), test_params());
+  net.join(2);
+  net.join(6);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.totals().membership_floodings, 2u);
+  EXPECT_EQ(net.totals().computations, 0u);  // data-driven: no datagram yet
+  EXPECT_TRUE(net.members_at(0).contains(2));
+  EXPECT_TRUE(net.members_at(0).contains(6));
+}
+
+TEST(Mospf, FirstDatagramTriggersComputationsAlongTree) {
+  MospfNetwork net(unit_delay(graph::line(6)), test_params());
+  net.join(5);
+  net.run_to_quiescence();
+  net.send_datagram(0);
+  net.run_to_quiescence();
+  // Every switch on the 0..5 path computed once.
+  EXPECT_EQ(net.totals().computations, 6u);
+  EXPECT_EQ(net.totals().datagrams_delivered, 1u);
+}
+
+TEST(Mospf, CachedTreesSuppressRecomputation) {
+  MospfNetwork net(unit_delay(graph::line(6)), test_params());
+  net.join(5);
+  net.run_to_quiescence();
+  net.send_datagram(0);
+  net.run_to_quiescence();
+  const auto after_first = net.totals();
+  net.send_datagram(0);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.totals().computations, after_first.computations);
+  EXPECT_EQ(net.totals().datagrams_delivered, 2u);
+}
+
+TEST(Mospf, MembershipChangeFlushesCaches) {
+  MospfNetwork net(unit_delay(graph::line(6)), test_params());
+  net.join(5);
+  net.run_to_quiescence();
+  net.send_datagram(0);
+  net.run_to_quiescence();
+  const auto before = net.totals();
+  net.join(3);  // flushes every cache as the LSA spreads
+  net.run_to_quiescence();
+  net.send_datagram(0);
+  net.run_to_quiescence();
+  // The paper's complaint: each membership event re-triggers a
+  // computation at every switch involved in forwarding.
+  EXPECT_GT(net.totals().computations, before.computations);
+  EXPECT_EQ(net.totals().datagrams_delivered,
+            before.datagrams_delivered + 2);  // members 3 and 5
+}
+
+TEST(Mospf, DeliversToAllMembersOnRandomGraphs) {
+  util::RngStream rng(9);
+  graph::Graph g = graph::random_connected(25, 3.0, rng);
+  g.set_uniform_delay(1e-6);
+  const graph::Graph reference = g;  // keep a copy for the oracle below
+  MospfNetwork net(std::move(g), test_params());
+  const std::vector<graph::NodeId> members = {2, 11, 17, 23};
+  for (graph::NodeId m : members) net.join(m);
+  net.run_to_quiescence();
+  net.send_datagram(5);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.totals().datagrams_delivered, members.size());
+  // The source's cached tree matches the pruned SPT oracle.
+  const trees::Topology* cached = net.cached_tree(5, 5);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(*cached, trees::pruned_spt(reference, 5, members));
+}
+
+TEST(Mospf, SenderNeedNotBeMember) {
+  MospfNetwork net(unit_delay(graph::star(6)), test_params());
+  net.join(3);
+  net.run_to_quiescence();
+  net.send_datagram(5);  // non-member source
+  net.run_to_quiescence();
+  EXPECT_EQ(net.totals().datagrams_delivered, 1u);
+}
+
+}  // namespace
+}  // namespace dgmc::baselines

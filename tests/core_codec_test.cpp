@@ -1,0 +1,201 @@
+#include "core/codec.hpp"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace dgmc::core {
+namespace {
+
+using trees::Topology;
+
+McLsa sample_lsa() {
+  McLsa lsa;
+  lsa.source = 3;
+  lsa.event = McEventType::kJoin;
+  lsa.mc = 7;
+  lsa.mc_type = mc::McType::kReceiverOnly;
+  lsa.join_role = mc::MemberRole::kReceiver;
+  lsa.link = graph::kInvalidLink;
+  VectorTimestamp t(6);
+  t.increment(3);
+  t.increment(3);
+  t.increment(0);
+  lsa.stamp = t;
+  lsa.proposal = Topology({graph::Edge(0, 3), graph::Edge(3, 5)});
+  return lsa;
+}
+
+bool lsa_equal(const McLsa& a, const McLsa& b) {
+  return a.source == b.source && a.event == b.event && a.mc == b.mc &&
+         a.mc_type == b.mc_type && a.join_role == b.join_role &&
+         a.link == b.link && a.stamp == b.stamp &&
+         a.proposal.has_value() == b.proposal.has_value() &&
+         (!a.proposal.has_value() || *a.proposal == *b.proposal);
+}
+
+TEST(Codec, McLsaRoundTrip) {
+  const McLsa original = sample_lsa();
+  const auto bytes = encode(original);
+  EXPECT_EQ(bytes.size(), encoded_size(original));
+  EXPECT_EQ(peek_type(bytes), WireType::kMcLsa);
+  const auto decoded = decode_mc_lsa(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(lsa_equal(original, *decoded));
+}
+
+TEST(Codec, McLsaWithoutProposalRoundTrip) {
+  McLsa lsa = sample_lsa();
+  lsa.proposal.reset();
+  lsa.event = McEventType::kLeave;
+  const auto bytes = encode(lsa);
+  const auto decoded = decode_mc_lsa(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(lsa_equal(lsa, *decoded));
+}
+
+TEST(Codec, LinkEventRoundTrip) {
+  for (bool up : {true, false}) {
+    const lsr::LinkEventAd ad{42, up};
+    const auto bytes = encode(ad);
+    EXPECT_EQ(peek_type(bytes), WireType::kLinkEvent);
+    const auto decoded = decode_link_event(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, ad);
+  }
+}
+
+TEST(Codec, EmptyProposalIsDistinctFromAbsent) {
+  McLsa with_empty = sample_lsa();
+  with_empty.proposal = Topology{};
+  McLsa absent = sample_lsa();
+  absent.proposal.reset();
+  const auto a = decode_mc_lsa(encode(with_empty));
+  const auto b = decode_mc_lsa(encode(absent));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_TRUE(a->proposal.has_value());
+  EXPECT_TRUE(a->proposal->empty());
+  EXPECT_FALSE(b->proposal.has_value());
+}
+
+TEST(Codec, RejectsWrongTypeByte) {
+  const auto mc_bytes = encode(sample_lsa());
+  EXPECT_FALSE(decode_link_event(mc_bytes).has_value());
+  const auto link_bytes = encode(lsr::LinkEventAd{1, true});
+  EXPECT_FALSE(decode_mc_lsa(link_bytes).has_value());
+  EXPECT_FALSE(decode_mc_lsa({}).has_value());
+  EXPECT_FALSE(peek_type({0x00}).has_value());
+}
+
+TEST(Codec, RejectsTruncation) {
+  const auto bytes = encode(sample_lsa());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + cut);
+    EXPECT_FALSE(decode_mc_lsa(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Codec, RejectsTrailingJunk) {
+  auto bytes = encode(sample_lsa());
+  bytes.push_back(0xFF);
+  EXPECT_FALSE(decode_mc_lsa(bytes).has_value());
+}
+
+TEST(Codec, RejectsBadEnumValues) {
+  auto bytes = encode(sample_lsa());
+  // Byte layout: [0]=type, [1..4]=source, [5]=event.
+  bytes[5] = 9;
+  EXPECT_FALSE(decode_mc_lsa(bytes).has_value());
+  bytes = encode(sample_lsa());
+  // [6..9]=mc, [10]=mc_type.
+  bytes[10] = 7;
+  EXPECT_FALSE(decode_mc_lsa(bytes).has_value());
+  bytes = encode(sample_lsa());
+  // [11]=join_role: zero is invalid.
+  bytes[11] = 0;
+  EXPECT_FALSE(decode_mc_lsa(bytes).has_value());
+}
+
+TEST(Codec, RejectsSelfLoopProposalEdge) {
+  McLsa lsa = sample_lsa();
+  auto bytes = encode(lsa);
+  // Overwrite the first proposal edge (last 16 bytes are two edges of
+  // 8 bytes each) to make it a self-loop 2-2.
+  const std::size_t first_edge = bytes.size() - 16;
+  for (int i = 0; i < 8; ++i) bytes[first_edge + i] = 0;
+  bytes[first_edge] = 2;
+  bytes[first_edge + 4] = 2;
+  EXPECT_FALSE(decode_mc_lsa(bytes).has_value());
+}
+
+TEST(Codec, RejectsSourceOutsideStamp) {
+  McLsa lsa = sample_lsa();
+  lsa.source = 6;  // stamp has 6 components: valid ids are 0..5
+  EXPECT_FALSE(decode_mc_lsa(encode(lsa)).has_value());
+}
+
+TEST(Codec, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng() % 64);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    if (!bytes.empty() && trial % 2 == 0) {
+      bytes[0] = static_cast<std::uint8_t>(WireType::kMcLsa);
+    }
+    (void)decode_mc_lsa(bytes);
+    (void)decode_link_event(bytes);
+  }
+  SUCCEED();
+}
+
+TEST(Codec, EncodedSizeScalesWithStampDimension) {
+  // The timestamp is the generality's wire cost: 4 bytes per switch.
+  McLsa a = sample_lsa();
+  a.stamp = VectorTimestamp(10);
+  McLsa b = sample_lsa();
+  b.stamp = VectorTimestamp(110);
+  EXPECT_EQ(encode(a).size() + 4 * 100, encode(b).size());
+  EXPECT_EQ(encode(a).size(), encoded_size(a));
+}
+
+
+TEST(Codec, McSyncRoundTrip) {
+  McSync sync;
+  sync.source = 2;
+  sync.mc = 5;
+  sync.mc_type = mc::McType::kAsymmetric;
+  sync.entries.push_back(McSyncEntry{0, 3, 3, true, mc::MemberRole::kSender});
+  sync.entries.push_back(
+      McSyncEntry{4, 1, 1, false, mc::MemberRole::kNone});
+  const auto bytes = encode(sync);
+  EXPECT_EQ(peek_type(bytes), WireType::kMcSync);
+  const auto decoded = decode_mc_sync(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->source, sync.source);
+  EXPECT_EQ(decoded->mc, sync.mc);
+  EXPECT_EQ(decoded->mc_type, sync.mc_type);
+  EXPECT_EQ(decoded->entries, sync.entries);
+}
+
+TEST(Codec, McSyncRejectsMalformedInput) {
+  McSync sync;
+  sync.source = 1;
+  sync.mc = 0;
+  sync.entries.push_back(McSyncEntry{0, 1, 1, true, mc::MemberRole::kBoth});
+  auto bytes = encode(sync);
+  // Truncations.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> t(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(decode_mc_sync(t).has_value()) << cut;
+  }
+  // Member entry with role kNone.
+  bytes = encode(sync);
+  bytes.back() = 0;
+  EXPECT_FALSE(decode_mc_sync(bytes).has_value());
+  // Wrong type byte.
+  EXPECT_FALSE(decode_mc_sync(encode(sample_lsa())).has_value());
+}
+
+}  // namespace
+}  // namespace dgmc::core

@@ -1,0 +1,521 @@
+// Unit tests for DgmcSwitch against the paper's Figures 4 and 5,
+// driving a single switch with hand-crafted LSAs and a controlled
+// local image.
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dgmc::core {
+namespace {
+
+using graph::Edge;
+using trees::Topology;
+
+constexpr des::SimTime kTc = 1.0;
+
+struct Fixture {
+  explicit Fixture(graph::Graph graph, graph::NodeId self = 0)
+      : image(std::move(graph)),
+        algorithm(mc::make_from_scratch_algorithm()) {
+    DgmcSwitch::Hooks hooks;
+    hooks.flood = [this](const McLsa& lsa) { flooded.push_back(lsa); };
+    hooks.local_image = [this]() -> const graph::Graph& { return image; };
+    hooks.on_install = [this](mc::McId, const trees::Topology&) {
+      ++installs;
+    };
+    DgmcConfig cfg;
+    cfg.computation_time = kTc;
+    sw = std::make_unique<DgmcSwitch>(self, image.node_count(), sched,
+                                      *algorithm, cfg, std::move(hooks));
+  }
+
+  VectorTimestamp stamp(std::initializer_list<std::uint32_t> counts) {
+    VectorTimestamp t(image.node_count());
+    int i = 0;
+    for (std::uint32_t c : counts) {
+      for (std::uint32_t k = 0; k < c; ++k) t.increment(i);
+      ++i;
+    }
+    return t;
+  }
+
+  McLsa join_lsa(graph::NodeId source, VectorTimestamp t,
+                 std::optional<Topology> proposal = std::nullopt) {
+    McLsa lsa;
+    lsa.source = source;
+    lsa.event = McEventType::kJoin;
+    lsa.mc = 0;
+    lsa.mc_type = mc::McType::kSymmetric;
+    lsa.join_role = mc::MemberRole::kBoth;
+    lsa.stamp = std::move(t);
+    lsa.proposal = std::move(proposal);
+    return lsa;
+  }
+
+  McLsa triggered_lsa(graph::NodeId source, VectorTimestamp t,
+                      Topology proposal) {
+    McLsa lsa;
+    lsa.source = source;
+    lsa.event = McEventType::kNone;
+    lsa.mc = 0;
+    lsa.mc_type = mc::McType::kSymmetric;
+    lsa.stamp = std::move(t);
+    lsa.proposal = std::move(proposal);
+    return lsa;
+  }
+
+  des::Scheduler sched;
+  graph::Graph image;
+  std::unique_ptr<mc::TopologyAlgorithm> algorithm;
+  std::unique_ptr<DgmcSwitch> sw;
+  std::vector<McLsa> flooded;
+  int installs = 0;
+};
+
+TEST(EventHandler, FirstJoinComputesThenFloodsProposal) {
+  Fixture f(graph::line(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  // Computation in flight; nothing flooded yet (Fig 4 lines 2-7).
+  EXPECT_TRUE(f.sw->computing());
+  EXPECT_TRUE(f.flooded.empty());
+  f.sched.run();
+  ASSERT_EQ(f.flooded.size(), 1u);
+  const McLsa& lsa = f.flooded[0];
+  EXPECT_EQ(lsa.event, McEventType::kJoin);
+  EXPECT_EQ(lsa.source, 0);
+  ASSERT_TRUE(lsa.proposal.has_value());
+  EXPECT_TRUE(lsa.proposal->empty());  // single member: empty topology
+  EXPECT_EQ(lsa.stamp, f.stamp({1}));
+  // Installed locally with C = old_R (Fig 4 lines 8-10).
+  EXPECT_EQ(*f.sw->stamp_c(0), f.stamp({1}));
+  EXPECT_FALSE(f.sw->proposal_flag(0));
+  EXPECT_EQ(f.installs, 1);
+  EXPECT_EQ(f.sw->counters().computations_started, 1u);
+}
+
+TEST(ReceiveLsa, AcceptsUpToDateProposal) {
+  Fixture f(graph::line(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  // Switch 1 joined and proposed 0-1 knowing our join.
+  const Topology p({Edge(0, 1)});
+  f.sw->receive(f.join_lsa(1, f.stamp({1, 1}), p));
+  EXPECT_EQ(*f.sw->installed(0), p);
+  EXPECT_EQ(*f.sw->stamp_c(0), f.stamp({1, 1}));
+  EXPECT_EQ(f.sw->members(0)->all(), (std::vector<graph::NodeId>{0, 1}));
+  EXPECT_FALSE(f.sw->computing());  // accepted, nothing to propose
+  EXPECT_EQ(f.sw->counters().proposals_accepted, 1u);
+}
+
+TEST(ReceiveLsa, DetectsInconsistencyAndCounterProposes) {
+  Fixture f(graph::line(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  f.flooded.clear();
+  // Switch 1's join proposal does NOT reflect our join (T[0] = 0):
+  // Fig 5 line 15 — R[x] > T[x] sets make_proposal_flag.
+  f.sw->receive(f.join_lsa(1, f.stamp({0, 1}), Topology{}));
+  EXPECT_EQ(f.sw->counters().inconsistencies_detected, 1u);
+  EXPECT_TRUE(f.sw->computing());  // trigger gate fired
+  f.sched.run();
+  ASSERT_EQ(f.flooded.size(), 1u);
+  const McLsa& lsa = f.flooded[0];
+  EXPECT_EQ(lsa.event, McEventType::kNone);  // triggered LSA
+  ASSERT_TRUE(lsa.proposal.has_value());
+  EXPECT_EQ(*lsa.proposal, Topology({Edge(0, 1)}));
+  EXPECT_EQ(lsa.stamp, f.stamp({1, 1}));
+  // E = R and C = R after the triggered flood (Fig 5 lines 23-26).
+  EXPECT_EQ(*f.sw->stamp_e(0), f.stamp({1, 1}));
+  EXPECT_EQ(*f.sw->stamp_c(0), f.stamp({1, 1}));
+  EXPECT_FALSE(f.sw->proposal_flag(0));
+}
+
+TEST(ReceiveLsa, StaleProposalIgnoredWithoutFlagWhenConsistent) {
+  Fixture f(graph::line(4));
+  // We are not a member; hear joins from 1 then 2, then a proposal from
+  // 1 that missed 2's join: not accepted (T >= E fails), but no
+  // inconsistency either (our R[0] = 0 is reflected).
+  f.sw->receive(f.join_lsa(1, f.stamp({0, 1})));
+  f.sw->receive(f.join_lsa(2, f.stamp({0, 0, 1})));
+  f.sw->receive(f.triggered_lsa(1, f.stamp({0, 1}), Topology{}));
+  EXPECT_EQ(f.sw->counters().proposals_ignored, 1u);
+  EXPECT_FALSE(f.sw->proposal_flag(0));
+  EXPECT_FALSE(f.sw->computing());
+  EXPECT_TRUE(f.sw->installed(0)->empty());
+}
+
+TEST(ReceiveLsa, EqualStampTieBreakPrefersLowerProposer) {
+  Fixture f(graph::line(4));
+  f.sw->receive(f.join_lsa(1, f.stamp({0, 1})));
+  f.sw->receive(f.join_lsa(2, f.stamp({0, 1, 1})));
+  const VectorTimestamp full = f.stamp({0, 1, 1});
+  const Topology p2({Edge(1, 2)});
+  const Topology p1({Edge(1, 2), Edge(2, 3)});
+  const Topology p3({Edge(0, 1), Edge(1, 2)});
+  f.sw->receive(f.triggered_lsa(2, full, p2));
+  EXPECT_EQ(*f.sw->installed(0), p2);
+  // Lower proposer id with the same stamp replaces...
+  f.sw->receive(f.triggered_lsa(1, full, p1));
+  EXPECT_EQ(*f.sw->installed(0), p1);
+  // ...higher id does not.
+  f.sw->receive(f.triggered_lsa(3, full, p3));
+  EXPECT_EQ(*f.sw->installed(0), p1);
+  EXPECT_EQ(f.sw->counters().proposals_ignored, 1u);
+}
+
+TEST(EventHandler, WithdrawsProposalWhenEventsArriveMidComputation) {
+  Fixture f(graph::line(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  EXPECT_TRUE(f.sw->computing());
+  // A join from switch 1 lands while we compute: R advances past old_R.
+  f.sched.run_until(kTc / 2);
+  f.sw->receive(f.join_lsa(1, f.stamp({0, 1})));
+  f.sched.run();
+  // Fig 4 lines 11-13: the event LSA goes out WITHOUT the proposal...
+  ASSERT_GE(f.flooded.size(), 1u);
+  EXPECT_EQ(f.flooded[0].event, McEventType::kJoin);
+  EXPECT_FALSE(f.flooded[0].proposal.has_value());
+  EXPECT_EQ(f.flooded[0].stamp, f.stamp({1}));  // old_R
+  EXPECT_EQ(f.sw->counters().computations_withdrawn, 1u);
+  // ...and the trigger gate then produces the up-to-date proposal.
+  ASSERT_EQ(f.flooded.size(), 2u);
+  EXPECT_EQ(f.flooded[1].event, McEventType::kNone);
+  ASSERT_TRUE(f.flooded[1].proposal.has_value());
+  EXPECT_EQ(*f.flooded[1].proposal, Topology({Edge(0, 1)}));
+  EXPECT_EQ(f.flooded[1].stamp, f.stamp({1, 1}));
+}
+
+TEST(ReceiveLsa, TriggeredComputationWithdrawnOnMidFlightArrival) {
+  Fixture f(graph::line(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  f.flooded.clear();
+  // Inconsistent proposal starts a triggered computation...
+  f.sw->receive(f.join_lsa(1, f.stamp({0, 1}), Topology{}));
+  EXPECT_TRUE(f.sw->computing());
+  // ...but an acceptable proposal arrives before it completes
+  // (Fig 5 line 22's mailbox check): ours must be withdrawn.
+  f.sched.run_until(f.sched.now() + kTc / 2);
+  f.sw->receive(f.triggered_lsa(1, f.stamp({1, 1}), Topology({Edge(0, 1)})));
+  f.sched.run();
+  EXPECT_TRUE(f.flooded.empty());  // nothing flooded by us
+  EXPECT_EQ(f.sw->counters().computations_withdrawn, 1u);
+  EXPECT_EQ(*f.sw->installed(0), Topology({Edge(0, 1)}));
+}
+
+TEST(EventHandler, DefersWhenExpectingOutstandingLsas) {
+  Fixture f(graph::line(4));
+  // Switch 1's join carries a stamp that also reflects an event from
+  // switch 2 we have not seen: after processing, E[2]=1 while R[2]=0.
+  f.sw->receive(f.join_lsa(1, f.stamp({0, 1, 1})));
+  f.flooded.clear();
+  // Our own join now finds R < E: flood event immediately, no
+  // computation (Fig 4 lines 15-17).
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  EXPECT_FALSE(f.sw->computing());
+  ASSERT_EQ(f.flooded.size(), 1u);
+  EXPECT_EQ(f.flooded[0].event, McEventType::kJoin);
+  EXPECT_FALSE(f.flooded[0].proposal.has_value());
+  EXPECT_TRUE(f.sw->proposal_flag(0));
+  // When the missing join from 2 arrives, the gate opens.
+  f.sw->receive(f.join_lsa(2, f.stamp({0, 1, 1})));
+  EXPECT_TRUE(f.sw->computing());
+  f.sched.run();
+  EXPECT_FALSE(f.sw->proposal_flag(0));
+  EXPECT_EQ(f.flooded.back().event, McEventType::kNone);
+  EXPECT_TRUE(f.flooded.back().proposal.has_value());
+}
+
+TEST(EventHandler, CpuContentionAcrossMcsDefersSecondProposal) {
+  Fixture f(graph::line(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);   // MC 0: computing
+  EXPECT_TRUE(f.sw->computing());
+  f.sw->local_join(1, mc::McType::kSymmetric);   // MC 1: CPU busy
+  // MC 1's join flooded immediately without a proposal.
+  ASSERT_EQ(f.flooded.size(), 1u);
+  EXPECT_EQ(f.flooded[0].mc, 1);
+  EXPECT_FALSE(f.flooded[0].proposal.has_value());
+  EXPECT_TRUE(f.sw->proposal_flag(1));
+  f.sched.run();
+  // After MC 0's computation, MC 1's gate fires and proposes.
+  ASSERT_EQ(f.flooded.size(), 3u);
+  EXPECT_EQ(f.flooded[1].mc, 0);
+  EXPECT_EQ(f.flooded[2].mc, 1);
+  EXPECT_TRUE(f.flooded[2].proposal.has_value());
+  EXPECT_EQ(f.sw->counters().computations_started, 2u);
+}
+
+TEST(Destruction, LastLeaveDeletesState) {
+  Fixture f(graph::line(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  EXPECT_TRUE(f.sw->has_state(0));
+  f.sw->local_leave(0);
+  f.sched.run();
+  // Leave advertised (with the empty-topology proposal), then state
+  // deleted (paper §3.4).
+  EXPECT_EQ(f.flooded.back().event, McEventType::kLeave);
+  EXPECT_FALSE(f.sw->has_state(0));
+}
+
+TEST(Destruction, RemoteLeaveEmptyingMemberListDeletesState) {
+  Fixture f(graph::line(4));
+  f.sw->receive(f.join_lsa(2, f.stamp({0, 0, 1}), Topology{}));
+  EXPECT_TRUE(f.sw->has_state(0));
+  McLsa leave;
+  leave.source = 2;
+  leave.event = McEventType::kLeave;
+  leave.mc = 0;
+  leave.mc_type = mc::McType::kSymmetric;
+  leave.stamp = f.stamp({0, 0, 2});
+  leave.proposal = Topology{};
+  f.sw->receive(leave);
+  EXPECT_FALSE(f.sw->has_state(0));
+}
+
+TEST(Destruction, LeaveOfNonMemberIsNoOp) {
+  Fixture f(graph::line(4));
+  f.sw->local_leave(7);
+  EXPECT_FALSE(f.sw->has_state(7));
+  EXPECT_TRUE(f.flooded.empty());
+}
+
+TEST(LinkEvent, AffectedMcsGetLinkLsasWithNewProposal) {
+  Fixture f(graph::ring(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  // Install a topology using edge 0-1 (members {0, 1}).
+  f.sw->receive(f.join_lsa(1, f.stamp({1, 1}), Topology({Edge(0, 1)})));
+  f.flooded.clear();
+  // Link 0-1 dies; the local image learns first, then EventHandler.
+  const graph::LinkId dead = f.image.find_link(0, 1);
+  f.image.set_link_up(dead, false);
+  EXPECT_EQ(f.sw->local_link_event(dead), 1);  // k = 1 affected MC
+  f.sched.run();
+  ASSERT_EQ(f.flooded.size(), 1u);
+  EXPECT_EQ(f.flooded[0].event, McEventType::kLink);
+  EXPECT_EQ(f.flooded[0].link, dead);
+  ASSERT_TRUE(f.flooded[0].proposal.has_value());
+  // New topology routes around the dead link.
+  EXPECT_FALSE(f.flooded[0].proposal->contains(Edge(0, 1)));
+  EXPECT_TRUE(trees::is_steiner_tree(*f.flooded[0].proposal, {0, 1}));
+}
+
+TEST(LinkEvent, UnaffectedMcsStaySilent) {
+  Fixture f(graph::ring(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  f.sw->receive(f.join_lsa(1, f.stamp({1, 1}), Topology({Edge(0, 1)})));
+  f.flooded.clear();
+  // A link the topology does not use.
+  const graph::LinkId unused = f.image.find_link(2, 3);
+  f.image.set_link_up(unused, false);
+  EXPECT_EQ(f.sw->local_link_event(unused), 0);
+  f.sched.run();
+  EXPECT_TRUE(f.flooded.empty());
+}
+
+TEST(MembershipWatermark, ReorderedJoinLeaveDoesNotResurrectMember) {
+  Fixture f(graph::line(4));
+  // Switch 2 is a stable member, so the MC survives switch 1's churn.
+  f.sw->receive(f.join_lsa(2, f.stamp({0, 0, 1})));
+  // Switch 1's leave (its event #2) arrives before its join (event #1).
+  McLsa leave;
+  leave.source = 1;
+  leave.event = McEventType::kLeave;
+  leave.mc = 0;
+  leave.mc_type = mc::McType::kSymmetric;
+  leave.stamp = f.stamp({0, 2, 1});
+  f.sw->receive(leave);
+  f.sw->receive(f.join_lsa(1, f.stamp({0, 1})));
+  // The stale join must not re-add the member.
+  ASSERT_TRUE(f.sw->has_state(0));
+  EXPECT_FALSE(f.sw->members(0)->contains(1));
+  EXPECT_TRUE(f.sw->members(0)->contains(2));
+  // R still counted both of switch 1's events.
+  EXPECT_EQ((*f.sw->stamp_r(0))[1], 2u);
+}
+
+TEST(Counters, FloodingBreakdown) {
+  Fixture f(graph::line(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  const DgmcCounters& c = f.sw->counters();
+  EXPECT_EQ(c.lsas_flooded, 1u);
+  EXPECT_EQ(c.event_lsas_flooded, 1u);
+  EXPECT_EQ(c.proposals_flooded, 1u);
+  EXPECT_EQ(c.lsas_received, 0u);
+}
+
+
+TEST(ReceiveLsa, WithoutTieBreakEqualStampProposalsSplitTheNetwork) {
+  // Deterministic demonstration of the race the tie-break closes: two
+  // proposals with identical timestamps but different content arrive in
+  // opposite orders at two switches. Under the paper's literal rule
+  // (accept any T >= E), each switch keeps the one that arrived last.
+  auto make_switch = [](Fixture& f, bool tie_break) {
+    DgmcSwitch::Hooks hooks;
+    hooks.flood = [&f](const McLsa& lsa) { f.flooded.push_back(lsa); };
+    hooks.local_image = [&f]() -> const graph::Graph& { return f.image; };
+    DgmcConfig cfg;
+    cfg.computation_time = kTc;
+    cfg.equal_stamp_tie_break = tie_break;
+    return std::make_unique<DgmcSwitch>(0, f.image.node_count(), f.sched,
+                                        *f.algorithm, cfg,
+                                        std::move(hooks));
+  };
+
+  for (bool tie_break : {false, true}) {
+    Fixture fa(graph::line(4));
+    Fixture fb(graph::line(4));
+    fa.sw = make_switch(fa, tie_break);
+    fb.sw = make_switch(fb, tie_break);
+
+    // Both switches observe the same two joins...
+    for (Fixture* f : {&fa, &fb}) {
+      f->sw->receive(f->join_lsa(1, f->stamp({0, 1})));
+      f->sw->receive(f->join_lsa(2, f->stamp({0, 1, 1})));
+    }
+    // ...then two concurrent triggered proposals with the same stamp
+    // arrive in opposite orders.
+    const Topology p1({Edge(1, 2)});
+    const Topology p2({Edge(1, 2), Edge(2, 3)});
+    fa.sw->receive(fa.triggered_lsa(1, fa.stamp({0, 1, 1}), p1));
+    fa.sw->receive(fa.triggered_lsa(2, fa.stamp({0, 1, 1}), p2));
+    fb.sw->receive(fb.triggered_lsa(2, fb.stamp({0, 1, 1}), p2));
+    fb.sw->receive(fb.triggered_lsa(1, fb.stamp({0, 1, 1}), p1));
+
+    const bool agree = *fa.sw->installed(0) == *fb.sw->installed(0);
+    if (tie_break) {
+      EXPECT_TRUE(agree);  // both keep proposer 1's topology
+      EXPECT_EQ(*fa.sw->installed(0), p1);
+    } else {
+      EXPECT_FALSE(agree);  // last writer wins at each switch
+      EXPECT_EQ(*fa.sw->installed(0), p2);
+      EXPECT_EQ(*fb.sw->installed(0), p1);
+    }
+  }
+}
+
+
+TEST(RoutingEntries, ReflectInstalledTopology) {
+  Fixture f(graph::ring(4));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  // Not on any tree yet (single member): no entries.
+  EXPECT_TRUE(f.sw->routing_entries(0, f.image).empty());
+  // Install a tree using both of switch 0's incident ring links.
+  f.sw->receive(f.join_lsa(1, f.stamp({1, 1}),
+                           Topology({Edge(0, 1), Edge(0, 3)})));
+  const auto entries = f.sw->routing_entries(0, f.image);
+  ASSERT_EQ(entries.size(), 2u);
+  for (graph::LinkId id : entries) {
+    const graph::Link& l = f.image.link(id);
+    EXPECT_TRUE(l.u == 0 || l.v == 0);
+  }
+  // Unknown MC: empty.
+  EXPECT_TRUE(f.sw->routing_entries(9, f.image).empty());
+}
+
+TEST(Destruction, TombstonesWhenDestroyOnEmptyDisabled) {
+  Fixture f(graph::line(4));
+  DgmcSwitch::Hooks hooks;
+  hooks.flood = [&f](const McLsa& lsa) { f.flooded.push_back(lsa); };
+  hooks.local_image = [&f]() -> const graph::Graph& { return f.image; };
+  DgmcConfig cfg;
+  cfg.computation_time = kTc;
+  cfg.destroy_on_empty = false;
+  f.sw = std::make_unique<DgmcSwitch>(0, f.image.node_count(), f.sched,
+                                      *f.algorithm, cfg, std::move(hooks));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  f.sw->local_leave(0);
+  f.sched.run();
+  // State is kept as a tombstone for post-run inspection.
+  ASSERT_TRUE(f.sw->has_state(0));
+  EXPECT_TRUE(f.sw->members(0)->empty());
+  EXPECT_EQ((*f.sw->stamp_r(0))[0], 2u);
+}
+
+TEST(Counters, ReceiveSideBreakdown) {
+  Fixture f(graph::line(4));
+  f.sw->receive(f.join_lsa(1, f.stamp({0, 1}), Topology{}));   // accepted
+  f.sw->receive(f.join_lsa(2, f.stamp({0, 1, 1})));            // event only
+  f.sw->receive(f.triggered_lsa(1, f.stamp({0, 1}), Topology{}));  // stale
+  const DgmcCounters& c = f.sw->counters();
+  EXPECT_EQ(c.lsas_received, 3u);
+  EXPECT_EQ(c.proposals_accepted, 1u);
+  EXPECT_EQ(c.proposals_ignored, 1u);
+  EXPECT_EQ(c.inconsistencies_detected, 0u);  // we had no local events
+}
+
+
+TEST(ComputationCost, IncrementalUpdatesUseTheShorterDuration) {
+  // Tc(full) = 1.0, Tc(incremental) = 0.25: the modeled cost follows
+  // the algorithm's reported path (paper §3.5).
+  des::Scheduler sched;
+  graph::Graph image = graph::line(4);
+  auto algorithm = mc::make_incremental_algorithm();
+  std::vector<double> flood_times;
+  std::vector<McLsa> flooded;
+  DgmcSwitch::Hooks hooks;
+  hooks.flood = [&](const McLsa& lsa) {
+    flooded.push_back(lsa);
+    flood_times.push_back(sched.now());
+  };
+  hooks.local_image = [&image]() -> const graph::Graph& { return image; };
+  DgmcConfig cfg;
+  cfg.computation_time = 1.0;
+  cfg.incremental_computation_time = 0.25;
+  DgmcSwitch sw(0, 4, sched, *algorithm, cfg, std::move(hooks));
+
+  auto stamp = [&](std::initializer_list<std::uint32_t> counts) {
+    VectorTimestamp t(4);
+    int i = 0;
+    for (std::uint32_t c : counts) {
+      for (std::uint32_t k = 0; k < c; ++k) t.increment(i);
+      ++i;
+    }
+    return t;
+  };
+
+  // 1) Own join: single member, a trivially-incremental empty topology
+  //    -> short duration.
+  sw.local_join(0, mc::McType::kSymmetric);
+  sched.run();
+  ASSERT_EQ(flood_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(flood_times[0], 0.25);
+
+  // 2) Join from 1 that missed our event: the counter-proposal has no
+  //    previous tree (installed is empty) -> from scratch, full Tc.
+  McLsa join1;
+  join1.source = 1;
+  join1.event = McEventType::kJoin;
+  join1.mc = 0;
+  join1.stamp = stamp({0, 1});
+  const double t1 = sched.now();
+  sw.receive(join1);
+  sched.run();
+  ASSERT_EQ(flood_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(flood_times[1] - t1, 1.0);
+  EXPECT_EQ(*sw.installed(0), Topology({Edge(0, 1)}));
+
+  // 3) Join from 2: extending the installed 0-1 tree is incremental ->
+  //    short duration again.
+  McLsa join2;
+  join2.source = 2;
+  join2.event = McEventType::kJoin;
+  join2.mc = 0;
+  join2.stamp = stamp({0, 0, 1});
+  const double t2 = sched.now();
+  sw.receive(join2);
+  sched.run();
+  ASSERT_EQ(flood_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(flood_times[2] - t2, 0.25);
+  EXPECT_TRUE(trees::is_steiner_tree(*sw.installed(0), {0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace dgmc::core

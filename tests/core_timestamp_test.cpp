@@ -1,0 +1,106 @@
+#include "core/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dgmc::core {
+namespace {
+
+TEST(VectorTimestamp, StartsAtZero) {
+  const VectorTimestamp t(4);
+  EXPECT_EQ(t.size(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(t[i], 0u);
+  EXPECT_EQ(t.total(), 0u);
+}
+
+TEST(VectorTimestamp, IncrementAndTotal) {
+  VectorTimestamp t(3);
+  t.increment(1);
+  t.increment(1);
+  t.increment(2);
+  EXPECT_EQ(t[0], 0u);
+  EXPECT_EQ(t[1], 2u);
+  EXPECT_EQ(t[2], 1u);
+  EXPECT_EQ(t.total(), 3u);
+}
+
+TEST(VectorTimestamp, DominatesIsComponentwise) {
+  VectorTimestamp a(3), b(3);
+  a.increment(0);
+  a.increment(1);
+  b.increment(1);
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  EXPECT_TRUE(a.dominates(a));  // reflexive
+}
+
+TEST(VectorTimestamp, StrictDominanceExcludesEquality) {
+  VectorTimestamp a(2), b(2);
+  a.increment(0);
+  b.increment(0);
+  EXPECT_FALSE(a.strictly_dominates(b));
+  a.increment(1);
+  EXPECT_TRUE(a.strictly_dominates(b));
+}
+
+TEST(VectorTimestamp, IncomparablePairs) {
+  // The partial order: (1,0) and (0,1) are concurrent.
+  VectorTimestamp a(2), b(2);
+  a.increment(0);
+  b.increment(1);
+  EXPECT_FALSE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  EXPECT_NE(a, b);
+}
+
+TEST(VectorTimestamp, MergeMaxIsLeastUpperBound) {
+  VectorTimestamp a(3), b(3);
+  a.increment(0);
+  a.increment(0);
+  b.increment(0);
+  b.increment(2);
+  a.merge_max(b);
+  EXPECT_EQ(a[0], 2u);
+  EXPECT_EQ(a[1], 0u);
+  EXPECT_EQ(a[2], 1u);
+  // The merge dominates both inputs.
+  EXPECT_TRUE(a.dominates(b));
+}
+
+TEST(VectorTimestamp, MergeIsIdempotentAndCommutative) {
+  VectorTimestamp a(3), b(3);
+  a.increment(0);
+  b.increment(1);
+  VectorTimestamp ab = a;
+  ab.merge_max(b);
+  VectorTimestamp ba = b;
+  ba.merge_max(a);
+  EXPECT_EQ(ab, ba);
+  VectorTimestamp again = ab;
+  again.merge_max(b);
+  EXPECT_EQ(again, ab);
+}
+
+TEST(VectorTimestamp, EqualityAndToString) {
+  VectorTimestamp a(3), b(3);
+  EXPECT_EQ(a, b);
+  a.increment(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.to_string(), "(0,0,1)");
+  EXPECT_EQ(VectorTimestamp(0).to_string(), "()");
+}
+
+TEST(VectorTimestamp, DominanceIsTransitiveOnSamples) {
+  VectorTimestamp a(3), b(3), c(3);
+  a.increment(0);
+  a.increment(1);
+  a.increment(2);
+  b.increment(0);
+  b.increment(1);
+  c.increment(0);
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_TRUE(b.dominates(c));
+  EXPECT_TRUE(a.dominates(c));
+}
+
+}  // namespace
+}  // namespace dgmc::core

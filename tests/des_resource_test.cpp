@@ -1,0 +1,122 @@
+#include "des/resource.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/mailbox.hpp"
+
+namespace dgmc::des {
+namespace {
+
+TEST(SerialResource, SingleJobCompletesAfterDuration) {
+  Scheduler s;
+  SerialResource cpu(s);
+  double done_at = -1.0;
+  cpu.submit(2.5, [&] { done_at = s.now(); });
+  EXPECT_TRUE(cpu.busy());
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 2.5);
+  EXPECT_FALSE(cpu.busy());
+  EXPECT_EQ(cpu.completed(), 1u);
+}
+
+TEST(SerialResource, JobsSerializeFifo) {
+  Scheduler s;
+  SerialResource cpu(s);
+  std::vector<std::pair<int, double>> completions;
+  cpu.submit(1.0, [&] { completions.push_back({1, s.now()}); });
+  cpu.submit(2.0, [&] { completions.push_back({2, s.now()}); });
+  cpu.submit(0.5, [&] { completions.push_back({3, s.now()}); });
+  EXPECT_EQ(cpu.queue_length(), 2u);
+  s.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], (std::pair<int, double>{1, 1.0}));
+  EXPECT_EQ(completions[1], (std::pair<int, double>{2, 3.0}));
+  EXPECT_EQ(completions[2], (std::pair<int, double>{3, 3.5}));
+}
+
+TEST(SerialResource, SubmitFromCompletionCallback) {
+  Scheduler s;
+  SerialResource cpu(s);
+  double second_done = -1.0;
+  cpu.submit(1.0, [&] {
+    cpu.submit(1.0, [&] { second_done = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(second_done, 2.0);
+  EXPECT_EQ(cpu.completed(), 2u);
+}
+
+TEST(SerialResource, ZeroDurationJob) {
+  Scheduler s;
+  SerialResource cpu(s);
+  bool ran = false;
+  cpu.submit(0.0, [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(SerialResource, InterleavesWithOtherEvents) {
+  Scheduler s;
+  SerialResource cpu(s);
+  std::vector<int> order;
+  cpu.submit(2.0, [&] { order.push_back(100); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 100, 3}));
+}
+
+TEST(Mailbox, DeliverAndReceive) {
+  Scheduler s;
+  Mailbox<int> mb(s);
+  EXPECT_TRUE(mb.empty());
+  mb.deliver(7);
+  mb.deliver(8);
+  EXPECT_EQ(mb.size(), 2u);
+  EXPECT_EQ(mb.try_receive().value(), 7);
+  EXPECT_EQ(mb.try_receive().value(), 8);
+  EXPECT_FALSE(mb.try_receive().has_value());
+}
+
+TEST(Mailbox, NotificationFiresPerDelivery) {
+  Scheduler s;
+  Mailbox<int> mb(s);
+  int notifications = 0;
+  mb.on_message([&] { ++notifications; });
+  mb.deliver(1);
+  mb.deliver(2);
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(Mailbox, DeliverAfterUsesSimTime) {
+  Scheduler s;
+  Mailbox<std::string> mb(s);
+  double arrival = -1.0;
+  mb.on_message([&] { arrival = s.now(); });
+  mb.deliver_after(4.0, "hello");
+  EXPECT_TRUE(mb.empty());
+  s.run();
+  EXPECT_DOUBLE_EQ(arrival, 4.0);
+  EXPECT_EQ(mb.try_receive().value(), "hello");
+}
+
+TEST(Mailbox, DrainPatternWhileHandling) {
+  // A handler that drains the mailbox completely models the paper's
+  // ReceiveLSA "WHILE there are LSAs in mailbox" loop.
+  Scheduler s;
+  Mailbox<int> mb(s);
+  std::vector<int> seen;
+  mb.on_message([&] {
+    while (auto m = mb.try_receive()) seen.push_back(*m);
+  });
+  mb.deliver(1);
+  mb.deliver(2);
+  mb.deliver(3);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace dgmc::des

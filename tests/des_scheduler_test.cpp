@@ -1,0 +1,127 @@
+#include "des/scheduler.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dgmc::des {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZeroAndEmpty) {
+  Scheduler s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Scheduler, EqualTimesRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  double fired_at = -1.0;
+  s.schedule_at(10.0, [&] {
+    s.schedule_after(5.0, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Scheduler, NestedSchedulingDuringCallback) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(1.0, recurse);
+  };
+  s.schedule_at(0.0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 4.0);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const auto id = s.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel fails
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelOneOfMany) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  const auto id = s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Scheduler, PendingCountsNonCancelled) {
+  Scheduler s;
+  const auto a = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  EXPECT_EQ(s.run_until(2.5), 2u);
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  s.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Scheduler, RunUntilInclusiveOfBoundaryTime) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(2.0, [&] { ++count; });
+  s.run_until(2.0);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(SchedulerDeath, RejectsSchedulingIntoPast) {
+  Scheduler s;
+  s.schedule_at(5.0, [] {});
+  s.run();
+  EXPECT_DEATH(s.schedule_at(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace dgmc::des

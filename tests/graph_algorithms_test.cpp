@@ -1,0 +1,132 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::graph {
+namespace {
+
+TEST(Dijkstra, LineGraphDistances) {
+  const Graph g = line(5);
+  const ShortestPaths sp = dijkstra(g, 0);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_DOUBLE_EQ(sp.dist[n], static_cast<double>(n));
+  }
+  EXPECT_EQ(sp.path_to(4), (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Dijkstra, PrefersCheaperWeightedPath) {
+  // 0-1-2 costs 1+1=2; direct 0-2 costs 5.
+  Graph g(3);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 1.0);
+  g.add_link(0, 2, 5.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 2.0);
+  EXPECT_EQ(sp.parent[2], 1);
+}
+
+TEST(Dijkstra, IgnoresDownLinks) {
+  Graph g(3);
+  g.add_link(0, 1);
+  const LinkId direct = g.add_link(0, 2);
+  g.add_link(1, 2);
+  g.set_link_up(direct, false);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 2.0);
+}
+
+TEST(Dijkstra, UnreachableNodes) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_TRUE(sp.reachable(1));
+  EXPECT_FALSE(sp.reachable(2));
+  EXPECT_EQ(sp.parent[2], kInvalidNode);
+  EXPECT_TRUE(sp.path_to(3).empty());
+}
+
+TEST(Dijkstra, CustomWeightFunction) {
+  Graph g(3);
+  g.add_link(0, 1, /*cost=*/10.0, /*delay=*/1.0);
+  g.add_link(1, 2, /*cost=*/10.0, /*delay=*/1.0);
+  g.add_link(0, 2, /*cost=*/1.0, /*delay=*/100.0);
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0, cost_weight).dist[2], 1.0);
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0, delay_weight).dist[2], 2.0);
+}
+
+TEST(Dijkstra, DeterministicEqualCostTieBreak) {
+  // Two equal-cost paths 0-1-3 and 0-2-3: the tie-break must pick the
+  // lower-id parent at 3, identically for repeated runs.
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(1, 3);
+  g.add_link(2, 3);
+  const ShortestPaths a = dijkstra(g, 0);
+  const ShortestPaths b = dijkstra(g, 0);
+  EXPECT_EQ(a.parent[3], b.parent[3]);
+  EXPECT_EQ(a.parent[3], 1);
+}
+
+TEST(Connectivity, DetectsConnectedAndDisconnected) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  EXPECT_FALSE(is_connected(g));
+  g.add_link(2, 3);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, DownLinkSplitsGraph) {
+  Graph g = line(4);
+  EXPECT_TRUE(is_connected(g));
+  g.set_link_up(g.find_link(1, 2), false);
+  EXPECT_FALSE(is_connected(g));
+  const auto comp = components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(Connectivity, EmptyGraphIsConnected) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+}
+
+TEST(Diameter, LineAndRing) {
+  EXPECT_DOUBLE_EQ(diameter_cost(line(5)), 4.0);
+  EXPECT_DOUBLE_EQ(diameter_cost(ring(6)), 3.0);
+}
+
+TEST(FloodingDiameter, UsesDelaysPlusOverhead) {
+  Graph g = line(4);  // 3 hops, unit delay each
+  EXPECT_DOUBLE_EQ(flooding_diameter(g, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(flooding_diameter(g, 0.5), 4.5);
+  g.set_uniform_delay(2.0);
+  EXPECT_DOUBLE_EQ(flooding_diameter(g, 0.0), 6.0);
+}
+
+TEST(FloodingDiameter, StarIsTwoHops) {
+  const Graph g = star(10);
+  EXPECT_DOUBLE_EQ(flooding_diameter(g, 0.0), 2.0);
+}
+
+TEST(DijkstraProperty, TriangleInequalityOnRandomGraphs) {
+  util::RngStream rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = random_connected(30, 3.0, rng);
+    const ShortestPaths from0 = dijkstra(g, 0);
+    for (NodeId u = 1; u < g.node_count(); ++u) {
+      const ShortestPaths fromu = dijkstra(g, u);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_LE(from0.dist[v], from0.dist[u] + fromu.dist[v] + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgmc::graph

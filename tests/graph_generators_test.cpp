@@ -1,0 +1,95 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace dgmc::graph {
+namespace {
+
+TEST(Regular, LineRingStarGridComplete) {
+  EXPECT_EQ(line(5).link_count(), 4);
+  EXPECT_EQ(ring(5).link_count(), 5);
+  EXPECT_EQ(star(5).link_count(), 4);
+  EXPECT_EQ(grid(3, 4).node_count(), 12);
+  EXPECT_EQ(grid(3, 4).link_count(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(complete(5).link_count(), 10);
+  for (const Graph& g :
+       {line(5), ring(5), star(5), grid(3, 4), complete(5)}) {
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Waxman, ProducesConnectedGraphsAcrossSizes) {
+  util::RngStream rng(1);
+  for (int n : {5, 20, 60, 120}) {
+    const Graph g = waxman(n, WaxmanParams{}, rng);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_TRUE(is_connected(g)) << "n=" << n;
+    // Connected ⇒ at least a spanning tree's worth of links.
+    EXPECT_GE(g.link_count(), n - 1);
+  }
+}
+
+TEST(Waxman, DeterministicGivenSeed) {
+  util::RngStream a(7), b(7);
+  const Graph ga = waxman(40, WaxmanParams{}, a);
+  const Graph gb = waxman(40, WaxmanParams{}, b);
+  ASSERT_EQ(ga.link_count(), gb.link_count());
+  for (LinkId i = 0; i < ga.link_count(); ++i) {
+    EXPECT_EQ(ga.link(i).u, gb.link(i).u);
+    EXPECT_EQ(ga.link(i).v, gb.link(i).v);
+    EXPECT_DOUBLE_EQ(ga.link(i).delay, gb.link(i).delay);
+  }
+}
+
+TEST(Waxman, HigherAlphaDenser) {
+  util::RngStream a(3), b(3);
+  WaxmanParams sparse;
+  sparse.alpha = 0.1;
+  WaxmanParams dense;
+  dense.alpha = 0.9;
+  const Graph gs = waxman(60, sparse, a);
+  const Graph gd = waxman(60, dense, b);
+  EXPECT_LT(gs.link_count(), gd.link_count());
+}
+
+TEST(Waxman, EuclideanCostsArePositive) {
+  util::RngStream rng(5);
+  WaxmanParams p;
+  p.euclidean_costs = true;
+  const Graph g = waxman(30, p, rng);
+  for (const Link& l : g.links()) {
+    EXPECT_GT(l.cost, 0.0);
+    EXPECT_GT(l.delay, 0.0);
+  }
+}
+
+TEST(RandomConnected, MeetsTargetDegreeApproximately) {
+  util::RngStream rng(9);
+  const int n = 100;
+  const double target = 4.0;
+  const Graph g = random_connected(n, target, rng);
+  EXPECT_TRUE(is_connected(g));
+  const double avg_degree = 2.0 * g.link_count() / n;
+  EXPECT_NEAR(avg_degree, target, 0.5);
+}
+
+TEST(RandomConnected, NoParallelLinksOrSelfLoops) {
+  util::RngStream rng(10);
+  const Graph g = random_connected(50, 5.0, rng);
+  for (const Link& l : g.links()) EXPECT_NE(l.u, l.v);
+  // add_link enforces no parallels; double-check via find_link identity.
+  for (LinkId i = 0; i < g.link_count(); ++i) {
+    EXPECT_EQ(g.find_link(g.link(i).u, g.link(i).v), i);
+  }
+}
+
+TEST(RandomConnected, SmallestSupportedSize) {
+  util::RngStream rng(2);
+  const Graph g = random_connected(2, 2.0, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace dgmc::graph

@@ -1,0 +1,97 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dgmc::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.link_count(), 0);
+}
+
+TEST(Graph, AddAndQueryLinks) {
+  Graph g(4);
+  const LinkId ab = g.add_link(0, 1, 2.0, 0.5);
+  const LinkId bc = g.add_link(1, 2);
+  EXPECT_EQ(g.link_count(), 2);
+  EXPECT_EQ(g.link(ab).cost, 2.0);
+  EXPECT_EQ(g.link(ab).delay, 0.5);
+  EXPECT_TRUE(g.link(ab).up);
+  EXPECT_EQ(g.find_link(0, 1), ab);
+  EXPECT_EQ(g.find_link(1, 0), ab);  // undirected
+  EXPECT_EQ(g.find_link(2, 1), bc);
+  EXPECT_EQ(g.find_link(0, 2), kInvalidLink);
+  EXPECT_FALSE(g.has_link(0, 3));
+}
+
+TEST(Graph, OtherEnd) {
+  Graph g(3);
+  const LinkId id = g.add_link(0, 2);
+  EXPECT_EQ(g.other_end(id, 0), 2);
+  EXPECT_EQ(g.other_end(id, 2), 0);
+}
+
+TEST(Graph, AdjacencyLists) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(0, 3);
+  EXPECT_EQ(g.links_of(0).size(), 3u);
+  EXPECT_EQ(g.links_of(1).size(), 1u);
+}
+
+TEST(Graph, LinkUpDown) {
+  Graph g(2);
+  const LinkId id = g.add_link(0, 1);
+  g.set_link_up(id, false);
+  EXPECT_FALSE(g.link(id).up);
+  g.set_link_up(id, true);
+  EXPECT_TRUE(g.link(id).up);
+}
+
+TEST(Graph, DelayScaling) {
+  Graph g(3);
+  g.add_link(0, 1, 1.0, 2.0);
+  g.add_link(1, 2, 1.0, 3.0);
+  g.scale_delays(0.5);
+  EXPECT_DOUBLE_EQ(g.link(0).delay, 1.0);
+  EXPECT_DOUBLE_EQ(g.link(1).delay, 1.5);
+  g.set_uniform_delay(7.0);
+  EXPECT_DOUBLE_EQ(g.link(0).delay, 7.0);
+  EXPECT_DOUBLE_EQ(g.link(1).delay, 7.0);
+}
+
+TEST(Graph, CopyIsIndependent) {
+  Graph g(2);
+  const LinkId id = g.add_link(0, 1);
+  Graph copy = g;
+  copy.set_link_up(id, false);
+  EXPECT_TRUE(g.link(id).up);
+  EXPECT_FALSE(copy.link(id).up);
+}
+
+TEST(GraphDeath, RejectsSelfLoopAndParallel) {
+  Graph g(3);
+  g.add_link(0, 1);
+  EXPECT_DEATH(g.add_link(1, 1), "self-loop");
+  EXPECT_DEATH(g.add_link(1, 0), "parallel");
+}
+
+TEST(Edge, NormalizesEndpoints) {
+  const Edge a(3, 1);
+  const Edge b(1, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.a, 1);
+  EXPECT_EQ(a.b, 3);
+  EXPECT_EQ(EdgeHash{}(a), EdgeHash{}(b));
+}
+
+TEST(Edge, Ordering) {
+  EXPECT_LT(Edge(0, 1), Edge(0, 2));
+  EXPECT_LT(Edge(0, 5), Edge(1, 2));
+}
+
+}  // namespace
+}  // namespace dgmc::graph

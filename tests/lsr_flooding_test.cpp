@@ -1,0 +1,148 @@
+#include "lsr/flooding.hpp"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "des/scheduler.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::lsr {
+namespace {
+
+using Net = FloodingNetwork<std::string>;
+
+TEST(Flooding, ReachesEveryNodeExactlyOnce) {
+  des::Scheduler sched;
+  const graph::Graph g = graph::ring(8);
+  Net net(sched, g, 0.0);
+  std::multiset<graph::NodeId> receivers;
+  net.set_receiver([&](const Net::Delivery& d) {
+    receivers.insert(d.at);
+    EXPECT_EQ(d.origin, 0);
+    EXPECT_EQ(d.payload, "hello");
+  });
+  net.flood(0, "hello");
+  sched.run();
+  EXPECT_EQ(receivers.size(), 7u);  // everyone but the origin
+  for (graph::NodeId n = 1; n < 8; ++n) EXPECT_EQ(receivers.count(n), 1u);
+  EXPECT_EQ(net.floodings_originated(), 1u);
+  EXPECT_GT(net.duplicates_dropped(), 0u);  // ring floods collide
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(Flooding, DeliveryTimeIsShortestDelayPath) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(4);
+  g.set_uniform_delay(2.0);
+  Net net(sched, g, 0.5);  // per-hop 2.5
+  std::vector<std::pair<graph::NodeId, double>> arrivals;
+  net.set_receiver([&](const Net::Delivery& d) {
+    arrivals.push_back({d.at, sched.now()});
+  });
+  net.flood(0, "x");
+  sched.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], (std::pair<graph::NodeId, double>{1, 2.5}));
+  EXPECT_EQ(arrivals[1], (std::pair<graph::NodeId, double>{2, 5.0}));
+  EXPECT_EQ(arrivals[2], (std::pair<graph::NodeId, double>{3, 7.5}));
+}
+
+TEST(Flooding, WorstCaseTimeMatchesFloodingDiameter) {
+  util::RngStream rng(3);
+  graph::Graph g = graph::random_connected(30, 3.0, rng);
+  g.set_uniform_delay(1.0);
+  des::Scheduler sched;
+  Net net(sched, g, 0.25);
+  double last_arrival = 0.0;
+  int count = 0;
+  net.set_receiver([&](const Net::Delivery&) {
+    last_arrival = sched.now();
+    ++count;
+  });
+  net.flood(5, "x");
+  sched.run();
+  EXPECT_EQ(count, 29);
+  const graph::ShortestPaths sp = graph::dijkstra(
+      g, 5, [](const graph::Link& l) { return l.delay + 0.25; });
+  double ecc = 0.0;
+  for (double d : sp.dist) ecc = std::max(ecc, d);
+  EXPECT_DOUBLE_EQ(last_arrival, ecc);
+  EXPECT_LE(last_arrival, graph::flooding_diameter(g, 0.25));
+}
+
+TEST(Flooding, DistinctFloodingsAreIndependent) {
+  des::Scheduler sched;
+  const graph::Graph g = graph::star(5);
+  Net net(sched, g, 0.0);
+  int deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  net.flood(1, "a");
+  net.flood(1, "b");
+  net.flood(2, "c");
+  sched.run();
+  EXPECT_EQ(deliveries, 3 * 4);
+  EXPECT_EQ(net.floodings_originated(), 3u);
+}
+
+TEST(Flooding, SequenceNumbersPerOrigin) {
+  des::Scheduler sched;
+  const graph::Graph g = graph::line(2);
+  Net net(sched, g, 0.0);
+  std::vector<std::uint32_t> seqs;
+  net.set_receiver([&](const Net::Delivery& d) { seqs.push_back(d.seq); });
+  net.flood(0, "a");
+  net.flood(0, "b");
+  net.flood(1, "c");
+  sched.run();
+  EXPECT_EQ(seqs, (std::vector<std::uint32_t>{0, 1, 0}));
+}
+
+TEST(Flooding, RoutesAroundDownLinks) {
+  des::Scheduler sched;
+  graph::Graph g = graph::ring(6);
+  g.set_link_up(g.find_link(0, 1), false);
+  Net net(sched, g, 0.0);
+  std::set<graph::NodeId> reached;
+  net.set_receiver([&](const Net::Delivery& d) { reached.insert(d.at); });
+  net.flood(0, "x");
+  sched.run();
+  EXPECT_EQ(reached.size(), 5u);  // still everyone, the long way
+  EXPECT_TRUE(reached.count(1));
+}
+
+TEST(Flooding, PartitionLimitsReach) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(4);
+  g.set_link_up(g.find_link(1, 2), false);
+  Net net(sched, g, 0.0);
+  std::set<graph::NodeId> reached;
+  net.set_receiver([&](const Net::Delivery& d) { reached.insert(d.at); });
+  net.flood(0, "x");
+  sched.run();
+  EXPECT_EQ(reached, (std::set<graph::NodeId>{1}));
+}
+
+TEST(Flooding, SameOriginDeliveryPreservesOrder) {
+  // Two floodings from the same origin must arrive everywhere in
+  // origination order (static delays ⇒ wavefronts cannot overtake).
+  util::RngStream rng(9);
+  graph::Graph g = graph::random_connected(25, 3.0, rng);
+  g.set_uniform_delay(1.0);
+  des::Scheduler sched;
+  Net net(sched, g, 0.0);
+  std::vector<std::string> order_at_20;
+  net.set_receiver([&](const Net::Delivery& d) {
+    if (d.at == 20) order_at_20.push_back(d.payload);
+  });
+  net.flood(3, "first");
+  sched.schedule_after(0.5, [&] { net.flood(3, "second"); });
+  sched.run();
+  EXPECT_EQ(order_at_20, (std::vector<std::string>{"first", "second"}));
+}
+
+}  // namespace
+}  // namespace dgmc::lsr

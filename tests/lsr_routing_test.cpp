@@ -1,0 +1,171 @@
+#include "lsr/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "des/scheduler.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "lsr/local_image.hpp"
+#include "lsr/unicast.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::lsr {
+namespace {
+
+TEST(RoutingTable, NextHopsOnLine) {
+  const graph::Graph g = graph::line(5);
+  const RoutingTable rt = RoutingTable::compute(g, 2);
+  EXPECT_EQ(rt.self(), 2);
+  EXPECT_EQ(rt.next_hop(0), 1);
+  EXPECT_EQ(rt.next_hop(1), 1);
+  EXPECT_EQ(rt.next_hop(3), 3);
+  EXPECT_EQ(rt.next_hop(4), 3);
+  EXPECT_EQ(rt.next_hop(2), graph::kInvalidNode);  // self
+  EXPECT_DOUBLE_EQ(rt.distance(4), 2.0);
+}
+
+TEST(RoutingTable, UnreachableDestinations) {
+  graph::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  const RoutingTable rt = RoutingTable::compute(g, 0);
+  EXPECT_EQ(rt.next_hop(3), graph::kInvalidNode);
+  EXPECT_FALSE(rt.reachable(3));
+  EXPECT_TRUE(rt.reachable(1));
+}
+
+TEST(RoutingTable, FirstHopLiesOnShortestPath) {
+  util::RngStream rng(3);
+  const graph::Graph g = graph::random_connected(30, 3.0, rng);
+  for (graph::NodeId self : {0, 7, 29}) {
+    const RoutingTable rt = RoutingTable::compute(g, self);
+    const graph::ShortestPaths sp = graph::dijkstra(g, self);
+    for (graph::NodeId dest = 0; dest < 30; ++dest) {
+      if (dest == self) continue;
+      const graph::NodeId hop = rt.next_hop(dest);
+      ASSERT_NE(hop, graph::kInvalidNode);
+      const double w = g.link(g.find_link(self, hop)).cost;
+      const graph::ShortestPaths from_hop = graph::dijkstra(g, hop);
+      EXPECT_NEAR(sp.dist[dest], w + from_hop.dist[dest], 1e-9);
+    }
+  }
+}
+
+TEST(LocalImage, AppliesLinkEvents) {
+  const graph::Graph g = graph::ring(4);
+  LocalImage img(g);
+  const graph::LinkId id = g.find_link(0, 1);
+  EXPECT_TRUE(img.graph().link(id).up);
+  EXPECT_TRUE(img.reflects(LinkEventAd{id, true}));
+  img.apply(LinkEventAd{id, false});
+  EXPECT_FALSE(img.graph().link(id).up);
+  EXPECT_TRUE(img.reflects(LinkEventAd{id, false}));
+  // The physical graph is untouched.
+  EXPECT_TRUE(g.link(id).up);
+}
+
+TEST(Unicast, DeliversAlongShortestPath) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(4);
+  g.set_uniform_delay(1.0);
+  std::vector<RoutingTable> tables;
+  for (graph::NodeId n = 0; n < 4; ++n) {
+    tables.push_back(RoutingTable::compute(g, n));
+  }
+  UnicastNetwork<int> net(
+      sched, g, 0.5,
+      [&](graph::NodeId n) -> const RoutingTable& { return tables[n]; });
+  graph::NodeId delivered_at = graph::kInvalidNode;
+  double delivered_time = -1.0;
+  net.set_receiver([&](graph::NodeId at, graph::NodeId from, const int& m) {
+    delivered_at = at;
+    delivered_time = sched.now();
+    EXPECT_EQ(from, 0);
+    EXPECT_EQ(m, 42);
+  });
+  net.send(0, 3, 42);
+  sched.run();
+  EXPECT_EQ(delivered_at, 3);
+  EXPECT_DOUBLE_EQ(delivered_time, 3 * 1.5);
+  EXPECT_EQ(net.hops_traversed(), 3u);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(Unicast, TransitHookSeesEveryHop) {
+  des::Scheduler sched;
+  const graph::Graph g = graph::line(4);
+  std::vector<RoutingTable> tables;
+  for (graph::NodeId n = 0; n < 4; ++n) {
+    tables.push_back(RoutingTable::compute(g, n));
+  }
+  UnicastNetwork<int> net(
+      sched, g, 0.0,
+      [&](graph::NodeId n) -> const RoutingTable& { return tables[n]; });
+  std::vector<graph::NodeId> transits;
+  net.set_transit_hook(
+      [&](graph::NodeId at, const int&) { transits.push_back(at); });
+  net.send(0, 3, 1);
+  sched.run();
+  EXPECT_EQ(transits, (std::vector<graph::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Unicast, SelfDeliveryIsImmediate) {
+  des::Scheduler sched;
+  const graph::Graph g = graph::line(3);
+  std::vector<RoutingTable> tables;
+  for (graph::NodeId n = 0; n < 3; ++n) {
+    tables.push_back(RoutingTable::compute(g, n));
+  }
+  UnicastNetwork<int> net(
+      sched, g, 0.0,
+      [&](graph::NodeId n) -> const RoutingTable& { return tables[n]; });
+  bool got = false;
+  net.set_receiver([&](graph::NodeId at, graph::NodeId, const int&) {
+    got = true;
+    EXPECT_EQ(at, 1);
+  });
+  net.send(1, 1, 9);
+  EXPECT_TRUE(got);  // no scheduling needed
+}
+
+TEST(Unicast, DropsWhenNoRoute) {
+  des::Scheduler sched;
+  graph::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  std::vector<RoutingTable> tables;
+  for (graph::NodeId n = 0; n < 4; ++n) {
+    tables.push_back(RoutingTable::compute(g, n));
+  }
+  UnicastNetwork<int> net(
+      sched, g, 0.0,
+      [&](graph::NodeId n) -> const RoutingTable& { return tables[n]; });
+  int deliveries = 0;
+  net.set_receiver(
+      [&](graph::NodeId, graph::NodeId, const int&) { ++deliveries; });
+  net.send(0, 3, 1);
+  sched.run();
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(Unicast, StaleTablePointingAtDeadLinkDrops) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(3);
+  // Tables computed before the failure...
+  std::vector<RoutingTable> tables;
+  for (graph::NodeId n = 0; n < 3; ++n) {
+    tables.push_back(RoutingTable::compute(g, n));
+  }
+  // ...then the link 1-2 dies.
+  g.set_link_up(g.find_link(1, 2), false);
+  UnicastNetwork<int> net(
+      sched, g, 0.0,
+      [&](graph::NodeId n) -> const RoutingTable& { return tables[n]; });
+  net.send(0, 2, 1);
+  sched.run();
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace dgmc::lsr

@@ -1,0 +1,188 @@
+#include "mc/algorithm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mc/validation.hpp"
+#include "trees/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::mc {
+namespace {
+
+MemberList make_members(const std::vector<graph::NodeId>& nodes,
+                        MemberRole role = MemberRole::kBoth) {
+  MemberList ml;
+  for (graph::NodeId n : nodes) ml.join(n, role);
+  return ml;
+}
+
+TEST(FromScratch, SymmetricBuildsSteinerTree) {
+  util::RngStream rng(1);
+  const graph::Graph g = graph::random_connected(25, 3.0, rng);
+  const MemberList ml = make_members({2, 9, 17, 23});
+  const auto algo = make_from_scratch_algorithm();
+  const trees::Topology t =
+      algo->compute(g, {McType::kSymmetric, &ml, nullptr});
+  EXPECT_TRUE(is_valid_topology(g, McType::kSymmetric, ml, t));
+  EXPECT_EQ(t, trees::kmb_steiner(g, ml.all()));
+}
+
+TEST(FromScratch, ReceiverOnlySpansReceivers) {
+  util::RngStream rng(2);
+  const graph::Graph g = graph::random_connected(20, 3.0, rng);
+  const MemberList ml = make_members({1, 8, 15}, MemberRole::kReceiver);
+  const auto algo = make_from_scratch_algorithm();
+  const trees::Topology t =
+      algo->compute(g, {McType::kReceiverOnly, &ml, nullptr});
+  EXPECT_TRUE(is_valid_topology(g, McType::kReceiverOnly, ml, t));
+}
+
+TEST(FromScratch, AsymmetricConnectsSendersToReceivers) {
+  util::RngStream rng(3);
+  const graph::Graph g = graph::random_connected(20, 3.0, rng);
+  MemberList ml;
+  ml.join(0, MemberRole::kSender);
+  ml.join(7, MemberRole::kReceiver);
+  ml.join(13, MemberRole::kReceiver);
+  const auto algo = make_from_scratch_algorithm();
+  const trees::Topology t =
+      algo->compute(g, {McType::kAsymmetric, &ml, nullptr});
+  EXPECT_TRUE(is_valid_topology(g, McType::kAsymmetric, ml, t));
+}
+
+TEST(FromScratch, SingleMemberYieldsEmpty) {
+  const graph::Graph g = graph::line(4);
+  const MemberList ml = make_members({2});
+  const auto algo = make_from_scratch_algorithm();
+  EXPECT_TRUE(algo->compute(g, {McType::kSymmetric, &ml, nullptr}).empty());
+}
+
+TEST(Incremental, NoPreviousFallsBackToFromScratch) {
+  util::RngStream rng(4);
+  const graph::Graph g = graph::random_connected(25, 3.0, rng);
+  const MemberList ml = make_members({2, 9, 17});
+  const auto inc = make_incremental_algorithm();
+  const auto scratch = make_from_scratch_algorithm();
+  EXPECT_EQ(inc->compute(g, {McType::kSymmetric, &ml, nullptr}),
+            scratch->compute(g, {McType::kSymmetric, &ml, nullptr}));
+}
+
+TEST(Incremental, ExtendsPreviousTreeForJoin) {
+  const graph::Graph g = graph::line(6);
+  const MemberList before = make_members({0, 2});
+  const auto inc = make_incremental_algorithm();
+  const trees::Topology t0 =
+      inc->compute(g, {McType::kSymmetric, &before, nullptr});
+  const MemberList after = make_members({0, 2, 5});
+  const trees::Topology t1 =
+      inc->compute(g, {McType::kSymmetric, &after, &t0});
+  // The old branch must be preserved and the new member attached.
+  for (const trees::Edge& e : t0.edges()) EXPECT_TRUE(t1.contains(e));
+  EXPECT_TRUE(is_valid_topology(g, McType::kSymmetric, after, t1));
+}
+
+TEST(Incremental, PrunesPreviousTreeForLeave) {
+  const graph::Graph g = graph::line(6);
+  const MemberList before = make_members({0, 2, 5});
+  const auto inc = make_incremental_algorithm();
+  const trees::Topology t0 =
+      inc->compute(g, {McType::kSymmetric, &before, nullptr});
+  const MemberList after = make_members({0, 2});
+  const trees::Topology t1 =
+      inc->compute(g, {McType::kSymmetric, &after, &t0});
+  EXPECT_TRUE(is_valid_topology(g, McType::kSymmetric, after, t1));
+  EXPECT_LT(t1.edge_count(), t0.edge_count());
+}
+
+TEST(Incremental, RebuildsWhenPreviousUsesDeadLink) {
+  graph::Graph g = graph::ring(6);
+  const MemberList ml = make_members({0, 3});
+  const auto inc = make_incremental_algorithm();
+  const trees::Topology t0 =
+      inc->compute(g, {McType::kSymmetric, &ml, nullptr});
+  // Kill a link the tree uses.
+  const trees::Edge used = t0.edges().front();
+  g.set_link_up(g.find_link(used.a, used.b), false);
+  const trees::Topology t1 = inc->compute(g, {McType::kSymmetric, &ml, &t0});
+  EXPECT_TRUE(is_valid_topology(g, McType::kSymmetric, ml, t1));
+  EXPECT_FALSE(t1.contains(used));
+}
+
+TEST(Incremental, DriftGuardRebuildsBadTrees) {
+  // A previous "tree" that wanders the whole ring is > 2x the optimal
+  // two-member path; the drift guard must rebuild.
+  const graph::Graph g = graph::ring(12);
+  const MemberList ml = make_members({0, 1});
+  // Wandering tree: the long way around (11 edges for neighbors 0-1).
+  std::vector<trees::Edge> longway;
+  for (int i = 1; i < 12; ++i) longway.emplace_back(i, (i + 1) % 12);
+  const trees::Topology bad(std::move(longway));
+  const auto inc = make_incremental_algorithm(2.0);
+  const trees::Topology t = inc->compute(g, {McType::kSymmetric, &ml, &bad});
+  EXPECT_EQ(t, trees::Topology({trees::Edge(0, 1)}));
+}
+
+TEST(Incremental, AsymmetricAlwaysFromScratch) {
+  util::RngStream rng(5);
+  const graph::Graph g = graph::random_connected(20, 3.0, rng);
+  MemberList ml;
+  ml.join(0, MemberRole::kSender);
+  ml.join(5, MemberRole::kReceiver);
+  ml.join(11, MemberRole::kReceiver);
+  const auto inc = make_incremental_algorithm();
+  const auto scratch = make_from_scratch_algorithm();
+  const trees::Topology prev({trees::Edge(0, 1)});
+  EXPECT_EQ(inc->compute(g, {McType::kAsymmetric, &ml, &prev}),
+            scratch->compute(g, {McType::kAsymmetric, &ml, nullptr}));
+}
+
+TEST(Algorithms, PureAndDeterministic) {
+  util::RngStream rng(6);
+  const graph::Graph g = graph::random_connected(30, 3.0, rng);
+  const MemberList ml = make_members({3, 12, 21, 28});
+  for (const auto& algo :
+       {make_from_scratch_algorithm(), make_incremental_algorithm()}) {
+    const TopologyRequest req{McType::kSymmetric, &ml, nullptr};
+    EXPECT_EQ(algo->compute(g, req), algo->compute(g, req));
+  }
+}
+
+TEST(Algorithms, Names) {
+  EXPECT_EQ(make_from_scratch_algorithm()->name(), "from-scratch");
+  EXPECT_EQ(make_incremental_algorithm()->name(), "incremental");
+}
+
+
+TEST(ComputeWithInfo, ReportsIncrementalVsFromScratch) {
+  const graph::Graph g = graph::line(6);
+  const auto inc = make_incremental_algorithm();
+  const MemberList two = make_members({0, 2});
+  // No previous topology: from scratch.
+  const auto fresh =
+      inc->compute_with_info(g, {McType::kSymmetric, &two, nullptr});
+  EXPECT_TRUE(fresh.from_scratch);
+  // Extending the previous tree: incremental.
+  const MemberList three = make_members({0, 2, 5});
+  const auto extended = inc->compute_with_info(
+      g, {McType::kSymmetric, &three, &fresh.topology});
+  EXPECT_FALSE(extended.from_scratch);
+  EXPECT_TRUE(is_valid_topology(g, McType::kSymmetric, three,
+                                extended.topology));
+  // Dead link in the previous tree: back to from scratch.
+  graph::Graph broken = graph::ring(6);
+  broken.set_link_up(broken.find_link(0, 1), false);
+  const auto rebuilt = inc->compute_with_info(
+      broken, {McType::kSymmetric, &two, &fresh.topology});
+  EXPECT_TRUE(rebuilt.from_scratch);
+  // From-scratch algorithm always reports from scratch.
+  const auto scratch = make_from_scratch_algorithm()->compute_with_info(
+      g, {McType::kSymmetric, &three, &fresh.topology});
+  EXPECT_TRUE(scratch.from_scratch);
+  // compute() and compute_with_info() agree.
+  EXPECT_EQ(inc->compute(g, {McType::kSymmetric, &three, &fresh.topology}),
+            extended.topology);
+}
+
+}  // namespace
+}  // namespace dgmc::mc

@@ -1,0 +1,62 @@
+#include "mc/leader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+
+namespace dgmc::mc {
+namespace {
+
+TEST(ElectLeader, LowestMemberWins) {
+  MemberList ml;
+  ml.join(7, MemberRole::kBoth);
+  ml.join(3, MemberRole::kBoth);
+  ml.join(9, MemberRole::kBoth);
+  EXPECT_EQ(elect_leader(ml), 3);
+}
+
+TEST(ElectLeader, RoleFilterApplies) {
+  MemberList ml;
+  ml.join(2, MemberRole::kReceiver);
+  ml.join(5, MemberRole::kSender);
+  ml.join(8, MemberRole::kBoth);
+  EXPECT_EQ(elect_leader(ml), 2);
+  EXPECT_EQ(elect_leader(ml, MemberRole::kSender), 5);
+  EXPECT_EQ(elect_leader(ml, MemberRole::kReceiver), 2);
+}
+
+TEST(ElectLeader, EmptyOrUnqualifiedYieldsInvalid) {
+  MemberList ml;
+  EXPECT_EQ(elect_leader(ml), graph::kInvalidNode);
+  ml.join(4, MemberRole::kReceiver);
+  EXPECT_EQ(elect_leader(ml, MemberRole::kSender), graph::kInvalidNode);
+}
+
+TEST(ElectLeader, NetworkWideAgreementAndMigrationOnLeave) {
+  // D-GMC's converged member lists make the election consistent at
+  // every switch, and leadership migrates when the leader leaves.
+  graph::Graph g = graph::ring(8);
+  g.set_uniform_delay(1e-6);
+  sim::DgmcNetwork::Params params;
+  params.per_hop_overhead = 4e-6;
+  params.dgmc.computation_time = 1e-3;
+  sim::DgmcNetwork net(std::move(g), params,
+                       make_incremental_algorithm());
+  for (graph::NodeId m : {2, 5, 7}) {
+    net.join(m, 0, McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+  for (graph::NodeId n = 0; n < 8; ++n) {
+    ASSERT_TRUE(net.switch_at(n).has_state(0));
+    EXPECT_EQ(elect_leader(*net.switch_at(n).members(0)), 2) << n;
+  }
+  net.leave(2, 0);
+  net.run_to_quiescence();
+  for (graph::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(elect_leader(*net.switch_at(n).members(0)), 5) << n;
+  }
+}
+
+}  // namespace
+}  // namespace dgmc::mc

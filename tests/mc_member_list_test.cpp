@@ -1,0 +1,70 @@
+#include "mc/member_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dgmc::mc {
+namespace {
+
+TEST(MemberRole, BitmaskSemantics) {
+  EXPECT_TRUE(has_role(MemberRole::kBoth, MemberRole::kSender));
+  EXPECT_TRUE(has_role(MemberRole::kBoth, MemberRole::kReceiver));
+  EXPECT_FALSE(has_role(MemberRole::kSender, MemberRole::kReceiver));
+  EXPECT_EQ(MemberRole::kSender | MemberRole::kReceiver, MemberRole::kBoth);
+}
+
+TEST(MemberList, JoinLeaveBasics) {
+  MemberList ml;
+  EXPECT_TRUE(ml.empty());
+  ml.join(3, MemberRole::kBoth);
+  ml.join(1, MemberRole::kReceiver);
+  EXPECT_EQ(ml.size(), 2u);
+  EXPECT_TRUE(ml.contains(3));
+  EXPECT_FALSE(ml.contains(2));
+  ml.leave(3);
+  EXPECT_FALSE(ml.contains(3));
+  ml.leave(3);  // idempotent
+  EXPECT_EQ(ml.size(), 1u);
+}
+
+TEST(MemberList, KeptSortedForCanonicalEquality) {
+  MemberList a, b;
+  a.join(5, MemberRole::kBoth);
+  a.join(2, MemberRole::kBoth);
+  b.join(2, MemberRole::kBoth);
+  b.join(5, MemberRole::kBoth);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.all(), (std::vector<graph::NodeId>{2, 5}));
+}
+
+TEST(MemberList, RejoinMergesRoles) {
+  MemberList ml;
+  ml.join(4, MemberRole::kReceiver);
+  ml.join(4, MemberRole::kSender);
+  EXPECT_EQ(ml.size(), 1u);
+  EXPECT_EQ(ml.role_of(4), MemberRole::kBoth);
+}
+
+TEST(MemberList, RoleOfAbsentIsNone) {
+  MemberList ml;
+  EXPECT_EQ(ml.role_of(9), MemberRole::kNone);
+}
+
+TEST(MemberList, SendersAndReceiversFiltered) {
+  MemberList ml;
+  ml.join(1, MemberRole::kSender);
+  ml.join(2, MemberRole::kReceiver);
+  ml.join(3, MemberRole::kBoth);
+  EXPECT_EQ(ml.senders(), (std::vector<graph::NodeId>{1, 3}));
+  EXPECT_EQ(ml.receivers(), (std::vector<graph::NodeId>{2, 3}));
+  EXPECT_EQ(ml.all(), (std::vector<graph::NodeId>{1, 2, 3}));
+}
+
+TEST(MemberList, TypeNames) {
+  EXPECT_STREQ(to_string(McType::kSymmetric), "symmetric");
+  EXPECT_STREQ(to_string(McType::kReceiverOnly), "receiver-only");
+  EXPECT_STREQ(to_string(McType::kAsymmetric), "asymmetric");
+  EXPECT_STREQ(to_string(MemberRole::kBoth), "sender+receiver");
+}
+
+}  // namespace
+}  // namespace dgmc::mc

@@ -1,0 +1,137 @@
+#include "mc/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mc/validation.hpp"
+#include "sim/network.hpp"
+
+namespace dgmc::mc {
+namespace {
+
+using trees::Edge;
+using trees::Topology;
+
+MemberList make_members(const std::vector<graph::NodeId>& nodes) {
+  MemberList ml;
+  for (graph::NodeId n : nodes) ml.join(n, MemberRole::kBoth);
+  return ml;
+}
+
+TEST(CapacityMap, ReserveReleaseBookkeeping) {
+  CapacityMap caps(3, 10.0);
+  EXPECT_DOUBLE_EQ(caps.available(0), 10.0);
+  caps.reserve(0, 4.0);
+  EXPECT_DOUBLE_EQ(caps.available(0), 6.0);
+  caps.release(0, 4.0);
+  EXPECT_DOUBLE_EQ(caps.available(0), 10.0);
+  caps.set(2, 1.5);
+  EXPECT_DOUBLE_EQ(caps.available(2), 1.5);
+}
+
+TEST(CapacityMapDeath, OverReservationAborts) {
+  CapacityMap caps(1, 1.0);
+  EXPECT_DEATH(caps.reserve(0, 2.0), "over-reservation");
+}
+
+TEST(CapacityMap, TopologyOperations) {
+  const graph::Graph g = graph::line(4);
+  CapacityMap caps(g.link_count(), 5.0);
+  const Topology t({Edge(0, 1), Edge(1, 2)});
+  EXPECT_TRUE(caps.can_carry(g, t, 5.0));
+  EXPECT_FALSE(caps.can_carry(g, t, 5.1));
+  caps.reserve_topology(g, t, 3.0);
+  EXPECT_DOUBLE_EQ(caps.available(g.find_link(0, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(caps.available(g.find_link(2, 3)), 5.0);  // untouched
+  caps.release_topology(g, t, 3.0);
+  EXPECT_TRUE(caps.can_carry(g, t, 5.0));
+}
+
+TEST(QosAlgorithm, RoutesAroundSaturatedLinks) {
+  // Ring: direct edge 0-1 is saturated; the tree must go the long way.
+  const graph::Graph g = graph::ring(5);
+  auto caps = std::make_shared<CapacityMap>(g.link_count(), 10.0);
+  caps->set(g.find_link(0, 1), 0.5);
+  const auto algo =
+      make_qos_algorithm(1.0, caps, make_from_scratch_algorithm());
+  const MemberList ml = make_members({0, 1});
+  const Topology t = algo->compute(g, {McType::kSymmetric, &ml, nullptr});
+  EXPECT_FALSE(t.contains(Edge(0, 1)));
+  EXPECT_TRUE(trees::is_steiner_tree(t, {0, 1}));
+  EXPECT_TRUE(caps->can_carry(g, t, 1.0));
+}
+
+TEST(QosAlgorithm, ZeroDemandIsUnconstrained) {
+  const graph::Graph g = graph::ring(5);
+  auto caps = std::make_shared<CapacityMap>(g.link_count(), 0.0);
+  const auto qos =
+      make_qos_algorithm(0.0, caps, make_from_scratch_algorithm());
+  const auto plain = make_from_scratch_algorithm();
+  const MemberList ml = make_members({0, 2});
+  EXPECT_EQ(qos->compute(g, {McType::kSymmetric, &ml, nullptr}),
+            plain->compute(g, {McType::kSymmetric, &ml, nullptr}));
+}
+
+TEST(QosAlgorithm, AdmissionFailureYieldsInvalidTopology) {
+  // Every link saturated: no tree exists at this demand.
+  const graph::Graph g = graph::line(4);
+  auto caps = std::make_shared<CapacityMap>(g.link_count(), 1.0);
+  const auto algo =
+      make_qos_algorithm(2.0, caps, make_from_scratch_algorithm());
+  const MemberList ml = make_members({0, 3});
+  const Topology t = algo->compute(g, {McType::kSymmetric, &ml, nullptr});
+  EXPECT_FALSE(is_valid_topology(g, McType::kSymmetric, ml, t));
+}
+
+TEST(QosAlgorithm, IncrementalInnerRebuildsWhenBranchSaturates) {
+  const graph::Graph g = graph::ring(6);
+  auto caps = std::make_shared<CapacityMap>(g.link_count(), 10.0);
+  const auto algo =
+      make_qos_algorithm(1.0, caps, make_incremental_algorithm());
+  const MemberList ml = make_members({0, 2});
+  const Topology before =
+      algo->compute(g, {McType::kSymmetric, &ml, nullptr});
+  ASSERT_TRUE(trees::is_steiner_tree(before, {0, 2}));
+  // Saturate one of the edges the tree uses; the next computation must
+  // abandon it even though `previous` contains it.
+  const Edge used = before.edges().front();
+  caps->set(g.find_link(used.a, used.b), 0.1);
+  const Topology after =
+      algo->compute(g, {McType::kSymmetric, &ml, &before});
+  EXPECT_FALSE(after.contains(used));
+  EXPECT_TRUE(trees::is_steiner_tree(after, {0, 2}));
+}
+
+TEST(QosAlgorithm, EndToEndInsideDgmcNetwork) {
+  // The whole network computes QoS-constrained topologies from the
+  // shared capacity view (the TE-LSA stand-in).
+  graph::Graph g = graph::ring(6);
+  g.set_uniform_delay(1e-6);
+  auto caps = std::make_shared<CapacityMap>(g.link_count(), 10.0);
+  caps->set(g.find_link(2, 3), 0.5);  // a congested trunk
+
+  sim::DgmcNetwork::Params params;
+  params.per_hop_overhead = 4e-6;
+  params.dgmc.computation_time = 1e-3;
+  sim::DgmcNetwork net(
+      std::move(g), params,
+      make_qos_algorithm(1.0, caps, make_incremental_algorithm()));
+  net.join(2, 0, McType::kSymmetric);
+  net.run_to_quiescence();
+  net.join(3, 0, McType::kSymmetric);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(0));
+  const Topology agreed = net.agreed_topology(0);
+  EXPECT_FALSE(agreed.contains(Edge(2, 3)));  // avoided the trunk
+  EXPECT_EQ(agreed.edge_count(), 5u);         // the long way round
+}
+
+TEST(QosAlgorithm, NameReflectsInner) {
+  auto caps = std::make_shared<CapacityMap>(1, 1.0);
+  EXPECT_EQ(
+      make_qos_algorithm(1.0, caps, make_incremental_algorithm())->name(),
+      "qos(incremental)");
+}
+
+}  // namespace
+}  // namespace dgmc::mc

@@ -1,0 +1,133 @@
+#include "mc/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dgmc::mc {
+namespace {
+
+using trees::Edge;
+using trees::Topology;
+
+MemberList make_members(
+    const std::vector<std::pair<graph::NodeId, MemberRole>>& entries) {
+  MemberList ml;
+  for (auto [n, r] : entries) ml.join(n, r);
+  return ml;
+}
+
+TEST(Validation, SymmetricNeedsSteinerTreeOverAllMembers) {
+  const graph::Graph g = graph::line(5);
+  const MemberList ml = make_members(
+      {{0, MemberRole::kBoth}, {3, MemberRole::kBoth}});
+  EXPECT_TRUE(is_valid_topology(
+      g, McType::kSymmetric, ml,
+      Topology({Edge(0, 1), Edge(1, 2), Edge(2, 3)})));
+  // Missing a segment.
+  EXPECT_FALSE(is_valid_topology(g, McType::kSymmetric, ml,
+                                 Topology({Edge(0, 1)})));
+  // Cycle (not a tree).
+  const graph::Graph ring = graph::ring(4);
+  const MemberList two = make_members(
+      {{0, MemberRole::kBoth}, {2, MemberRole::kBoth}});
+  EXPECT_FALSE(is_valid_topology(
+      ring, McType::kSymmetric, two,
+      Topology({Edge(0, 1), Edge(1, 2), Edge(2, 3), Edge(0, 3)})));
+}
+
+TEST(Validation, SingleMemberWantsEmptyTopology) {
+  const graph::Graph g = graph::line(4);
+  const MemberList ml = make_members({{1, MemberRole::kBoth}});
+  EXPECT_TRUE(is_valid_topology(g, McType::kSymmetric, ml, Topology{}));
+  EXPECT_FALSE(is_valid_topology(g, McType::kSymmetric, ml,
+                                 Topology({Edge(0, 1)})));
+}
+
+TEST(Validation, RejectsDeadOrNonexistentEdges) {
+  graph::Graph g = graph::line(4);
+  const MemberList ml = make_members(
+      {{0, MemberRole::kBoth}, {1, MemberRole::kBoth}});
+  EXPECT_FALSE(is_valid_topology(g, McType::kSymmetric, ml,
+                                 Topology({Edge(0, 2)})));  // no such link
+  g.set_link_up(g.find_link(0, 1), false);
+  EXPECT_FALSE(is_valid_topology(g, McType::kSymmetric, ml,
+                                 Topology({Edge(0, 1)})));
+}
+
+TEST(Validation, ReceiverOnlySpansReceivers) {
+  const graph::Graph g = graph::star(6);
+  const MemberList ml = make_members(
+      {{1, MemberRole::kReceiver}, {4, MemberRole::kReceiver}});
+  EXPECT_TRUE(is_valid_topology(g, McType::kReceiverOnly, ml,
+                                Topology({Edge(0, 1), Edge(0, 4)})));
+}
+
+TEST(Validation, AsymmetricAllowsCycles) {
+  const graph::Graph g = graph::ring(4);
+  MemberList ml;
+  ml.join(0, MemberRole::kSender);
+  ml.join(2, MemberRole::kSender);
+  ml.join(1, MemberRole::kReceiver);
+  ml.join(3, MemberRole::kReceiver);
+  // Union of both senders' SPTs uses all four ring edges — cyclic but
+  // valid for an asymmetric MC.
+  const Topology all({Edge(0, 1), Edge(1, 2), Edge(2, 3), Edge(0, 3)});
+  EXPECT_TRUE(is_valid_topology(g, McType::kAsymmetric, ml, all));
+}
+
+TEST(Validation, AsymmetricRequiresSenderReceiverPaths) {
+  const graph::Graph g = graph::line(4);
+  MemberList ml;
+  ml.join(0, MemberRole::kSender);
+  ml.join(3, MemberRole::kReceiver);
+  EXPECT_FALSE(is_valid_topology(g, McType::kAsymmetric, ml,
+                                 Topology({Edge(0, 1)})));
+  EXPECT_TRUE(is_valid_topology(
+      g, McType::kAsymmetric, ml,
+      Topology({Edge(0, 1), Edge(1, 2), Edge(2, 3)})));
+}
+
+TEST(Validation, AsymmetricDegenerateCases) {
+  const graph::Graph g = graph::line(4);
+  // No receivers: empty topology is the only valid one.
+  MemberList senders_only;
+  senders_only.join(0, MemberRole::kSender);
+  senders_only.join(1, MemberRole::kSender);
+  EXPECT_TRUE(
+      is_valid_topology(g, McType::kAsymmetric, senders_only, Topology{}));
+  EXPECT_FALSE(is_valid_topology(g, McType::kAsymmetric, senders_only,
+                                 Topology({Edge(0, 1)})));
+  // A lone node that both sends and receives.
+  MemberList lone;
+  lone.join(2, MemberRole::kBoth);
+  EXPECT_TRUE(is_valid_topology(g, McType::kAsymmetric, lone, Topology{}));
+}
+
+TEST(ContactNode, PicksNearestTreeNode) {
+  const graph::Graph g = graph::line(6);
+  const MemberList ml = make_members(
+      {{0, MemberRole::kReceiver}, {2, MemberRole::kReceiver}});
+  const Topology tree({Edge(0, 1), Edge(1, 2)});
+  EXPECT_EQ(contact_node(g, ml, tree, 5), 2);
+  EXPECT_EQ(contact_node(g, ml, tree, 0), 0);  // on-tree source
+}
+
+TEST(ContactNode, SingleReceiverIsItsOwnContact) {
+  const graph::Graph g = graph::line(4);
+  const MemberList ml = make_members({{3, MemberRole::kReceiver}});
+  EXPECT_EQ(contact_node(g, ml, Topology{}, 0), 3);
+}
+
+TEST(ContactNode, UnreachableYieldsInvalid) {
+  graph::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  const MemberList ml = make_members(
+      {{2, MemberRole::kReceiver}, {3, MemberRole::kReceiver}});
+  const Topology tree({Edge(2, 3)});
+  EXPECT_EQ(contact_node(g, ml, tree, 0), graph::kInvalidNode);
+}
+
+}  // namespace
+}  // namespace dgmc::mc

@@ -1,0 +1,164 @@
+#include "sim/dataplane.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::sim {
+namespace {
+
+constexpr mc::McId kMc = 0;
+
+DgmcNetwork::Params fast_params() {
+  DgmcNetwork::Params p;
+  p.per_hop_overhead = 4e-6;
+  p.dgmc.computation_time = 1e-3;
+  return p;
+}
+
+graph::Graph unit_delay(graph::Graph g) {
+  g.set_uniform_delay(1e-6);
+  return g;
+}
+
+TEST(DataPlane, DeliversToAllMembersOnConvergedSymmetricMc) {
+  DgmcNetwork net(unit_delay(graph::grid(3, 4)), fast_params(),
+                  mc::make_incremental_algorithm());
+  DataPlane dp(net, DataPlane::Params{4e-6});
+  const std::vector<graph::NodeId> members = {0, 5, 11};
+  for (graph::NodeId m : members) {
+    net.join(m, kMc, mc::McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+  const auto id = dp.send(kMc, /*source=*/0);
+  net.run_to_quiescence();
+  EXPECT_TRUE(dp.delivered_to_all(id, members));
+  const auto& r = dp.report(id);
+  EXPECT_EQ(r.duplicates, 0u);  // converged tree: no redundant copies
+  EXPECT_EQ(r.dead_drops, 0u);
+}
+
+TEST(DataPlane, EverySenderCanUseTheSymmetricTree) {
+  util::RngStream rng(3);
+  graph::Graph g = graph::random_connected(20, 3.0, rng);
+  DgmcNetwork net(unit_delay(std::move(g)), fast_params(),
+                  mc::make_incremental_algorithm());
+  DataPlane dp(net, DataPlane::Params{});
+  const std::vector<graph::NodeId> members = {2, 8, 14, 19};
+  for (graph::NodeId m : members) {
+    net.join(m, kMc, mc::McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+  for (graph::NodeId sender : members) {
+    const auto id = dp.send(kMc, sender);
+    net.run_to_quiescence();
+    EXPECT_TRUE(dp.delivered_to_all(id, members)) << "sender " << sender;
+  }
+}
+
+TEST(DataPlane, ReceiverOnlyTwoStageDeliveryFromNonMember) {
+  DgmcNetwork net(unit_delay(graph::line(8)), fast_params(),
+                  mc::make_incremental_algorithm());
+  DataPlane dp(net, DataPlane::Params{});
+  // Receivers at 4, 6; tree is the 4-5-6 segment.
+  for (graph::NodeId r : {4, 6}) {
+    net.join(r, kMc, mc::McType::kReceiverOnly, mc::MemberRole::kReceiver);
+    net.run_to_quiescence();
+  }
+  // A source at switch 0 (never a member) sends: stage 1 unicasts
+  // 0->4 (the contact), stage 2 covers the tree.
+  const auto id = dp.send(kMc, 0);
+  net.run_to_quiescence();
+  EXPECT_TRUE(dp.delivered_to_all(id, {4, 6}));
+  // 4 unicast hops + 2 tree hops.
+  EXPECT_EQ(dp.report(id).hops, 6u);
+}
+
+TEST(DataPlane, UnknownMcAtSourceIsDropped) {
+  DgmcNetwork net(unit_delay(graph::line(4)), fast_params(),
+                  mc::make_incremental_algorithm());
+  DataPlane dp(net, DataPlane::Params{});
+  const auto id = dp.send(kMc, 1);
+  net.run_to_quiescence();
+  EXPECT_TRUE(dp.report(id).delivered_to.empty());
+  EXPECT_EQ(dp.report(id).hops, 0u);
+}
+
+TEST(DataPlane, SingleMemberMcDeliversToSourceOnly) {
+  DgmcNetwork net(unit_delay(graph::line(4)), fast_params(),
+                  mc::make_incremental_algorithm());
+  DataPlane dp(net, DataPlane::Params{});
+  net.join(2, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  const auto id = dp.send(kMc, 2);
+  net.run_to_quiescence();
+  EXPECT_EQ(dp.report(id).delivered_to,
+            (std::vector<graph::NodeId>{2}));
+}
+
+TEST(DataPlane, AsymmetricUnionWithCyclesDeliversOncePerSwitch) {
+  DgmcNetwork net(unit_delay(graph::ring(6)), fast_params(),
+                  mc::make_incremental_algorithm());
+  DataPlane dp(net, DataPlane::Params{});
+  // Two senders on opposite sides force a cyclic union topology.
+  net.join(0, kMc, mc::McType::kAsymmetric, mc::MemberRole::kSender);
+  net.run_to_quiescence();
+  net.join(3, kMc, mc::McType::kAsymmetric, mc::MemberRole::kSender);
+  net.run_to_quiescence();
+  for (graph::NodeId r : {1, 4}) {
+    net.join(r, kMc, mc::McType::kAsymmetric, mc::MemberRole::kReceiver);
+    net.run_to_quiescence();
+  }
+  const auto id = dp.send(kMc, 0);
+  net.run_to_quiescence();
+  EXPECT_TRUE(dp.delivered_to_all(id, {1, 4}));
+  // Per-switch dedup: duplicates counted, not delivered twice.
+  const auto& delivered = dp.report(id).delivered_to;
+  EXPECT_EQ(std::count(delivered.begin(), delivered.end(), 1), 1);
+  EXPECT_EQ(std::count(delivered.begin(), delivered.end(), 4), 1);
+}
+
+TEST(DataPlane, PacketDuringReconfigurationMayLoseButLaterOnesRecover) {
+  DgmcNetwork net(unit_delay(graph::ring(8)), fast_params(),
+                  mc::make_incremental_algorithm());
+  DataPlane dp(net, DataPlane::Params{});
+  for (graph::NodeId m : {0, 2}) {
+    net.join(m, kMc, mc::McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+  // Kick off a join and immediately send a packet mid-reconfiguration.
+  net.join(5, kMc, mc::McType::kSymmetric);
+  const auto during = dp.send(kMc, 0);
+  net.run_to_quiescence();
+  const auto after = dp.send(kMc, 0);
+  net.run_to_quiescence();
+  // The steady-state packet always reaches everyone.
+  EXPECT_TRUE(dp.delivered_to_all(after, {0, 2, 5}));
+  // The mid-burst packet reached at least the old tree's members.
+  EXPECT_TRUE(dp.delivered_to_all(during, {0, 2}));
+}
+
+TEST(DataPlane, DeadLinkDropsAreCounted) {
+  DgmcNetwork net(unit_delay(graph::ring(6)), fast_params(),
+                  mc::make_incremental_algorithm());
+  DataPlane dp(net, DataPlane::Params{});
+  for (graph::NodeId m : {0, 1}) {
+    net.join(m, kMc, mc::McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+  // Fail the tree link and send before the protocol repairs: the
+  // forwarding hits the dead link and drops.
+  const graph::LinkId link = net.physical().find_link(0, 1);
+  net.fail_link(link);
+  const auto id = dp.send(kMc, 0);
+  net.run_to_quiescence();
+  EXPECT_GE(dp.report(id).dead_drops, 1u);
+  // After repair, delivery works again.
+  const auto healed = dp.send(kMc, 0);
+  net.run_to_quiescence();
+  EXPECT_TRUE(dp.delivered_to_all(healed, {0, 1}));
+}
+
+}  // namespace
+}  // namespace dgmc::sim

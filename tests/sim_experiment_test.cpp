@@ -1,0 +1,118 @@
+#include "sim/experiment.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace dgmc::sim {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.name = "test";
+  cfg.network_sizes = {15};
+  cfg.graphs_per_size = 3;
+  cfg.events = 6;
+  cfg.initial_members = 4;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(RunSingle, BurstyRunConvergesWithSaneMetrics) {
+  const RunResult r = run_single(small_config(), 15, 0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.computations_per_event, 0.5);
+  EXPECT_LT(r.computations_per_event, 15.0);  // far below brute force (n)
+  EXPECT_GE(r.floodings_per_event, 1.0);
+  EXPECT_GT(r.convergence_rounds, 0.0);
+}
+
+TEST(RunSingle, NormalWorkloadCostsAboutOneComputationPerEvent) {
+  ExperimentConfig cfg = small_config();
+  cfg.workload = WorkloadKind::kNormal;
+  cfg.normal_gap_rounds = 20.0;
+  const RunResult r = run_single(cfg, 15, 0);
+  EXPECT_TRUE(r.converged);
+  // Paper Experiment 3: both ratios very close to one.
+  EXPECT_NEAR(r.computations_per_event, 1.0, 0.35);
+  EXPECT_NEAR(r.floodings_per_event, 1.0, 0.35);
+}
+
+TEST(RunSingle, DeterministicForSameSeed) {
+  const ExperimentConfig cfg = small_config();
+  const RunResult a = run_single(cfg, 15, 1);
+  const RunResult b = run_single(cfg, 15, 1);
+  EXPECT_DOUBLE_EQ(a.computations_per_event, b.computations_per_event);
+  EXPECT_DOUBLE_EQ(a.floodings_per_event, b.floodings_per_event);
+  EXPECT_DOUBLE_EQ(a.convergence_rounds, b.convergence_rounds);
+}
+
+TEST(RunSingle, DifferentGraphIndexDiffers) {
+  const ExperimentConfig cfg = small_config();
+  const RunResult a = run_single(cfg, 15, 0);
+  const RunResult b = run_single(cfg, 15, 2);
+  // Different random graph and workload: metrics almost surely differ.
+  EXPECT_TRUE(a.computations_per_event != b.computations_per_event ||
+              a.floodings_per_event != b.floodings_per_event ||
+              a.convergence_rounds != b.convergence_rounds);
+}
+
+TEST(RunExperiment, ProducesOnePointPerSizeAllConverged) {
+  ExperimentConfig cfg = small_config();
+  cfg.network_sizes = {12, 18};
+  cfg.graphs_per_size = 3;
+  const auto points = run_experiment(cfg);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    EXPECT_DOUBLE_EQ(p.converged_fraction, 1.0);
+    EXPECT_EQ(p.computations_per_event.n, 3u);
+    EXPECT_GT(p.computations_per_event.mean, 0.0);
+    EXPECT_GT(p.floodings_per_event.mean, 0.0);
+  }
+  EXPECT_EQ(points[0].network_size, 12);
+  EXPECT_EQ(points[1].network_size, 18);
+}
+
+TEST(RunExperiment, ReceiverOnlyAndAsymmetricTypesWork) {
+  for (mc::McType type :
+       {mc::McType::kReceiverOnly, mc::McType::kAsymmetric}) {
+    ExperimentConfig cfg = small_config();
+    cfg.mc_type = type;
+    cfg.graphs_per_size = 2;
+    const auto points = run_experiment(cfg);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_DOUBLE_EQ(points[0].converged_fraction, 1.0)
+        << mc::to_string(type);
+  }
+}
+
+TEST(QuickMode, ShrinksConfigWhenEnvSet) {
+  ExperimentConfig cfg;
+  cfg.graphs_per_size = 20;
+  setenv("DGMC_QUICK", "1", 1);
+  const ExperimentConfig quick = apply_quick_mode(cfg);
+  EXPECT_LE(quick.graphs_per_size, 5);
+  EXPECT_LE(quick.network_sizes.back(), 100);
+  unsetenv("DGMC_QUICK");
+  const ExperimentConfig full = apply_quick_mode(cfg);
+  EXPECT_EQ(full.graphs_per_size, 20);
+}
+
+TEST(PrintPoints, WritesTableWithHeader) {
+  ExperimentConfig cfg = small_config();
+  cfg.network_sizes = {12};
+  cfg.graphs_per_size = 2;
+  const auto points = run_experiment(cfg);
+  char buf[4096] = {};
+  std::FILE* mem = fmemopen(buf, sizeof buf, "w");
+  ASSERT_NE(mem, nullptr);
+  print_points(cfg, points, mem);
+  std::fclose(mem);
+  const std::string out(buf);
+  EXPECT_NE(out.find("computations/event"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  EXPECT_NE(out.find("±"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dgmc::sim

@@ -1,0 +1,210 @@
+#include "sim/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::sim {
+namespace {
+
+constexpr mc::McId kMc = 0;
+
+// Three 4-node ring areas in a chain, bridged 3-4 and 7-8.
+//   area 0: 0..3   area 1: 4..7   area 2: 8..11
+graph::Graph three_areas(std::vector<int>* areas) {
+  graph::Graph g(12);
+  for (int base : {0, 4, 8}) {
+    for (int i = 0; i < 4; ++i) {
+      g.add_link(base + i, base + ((i + 1) % 4));
+    }
+  }
+  g.add_link(3, 4);
+  g.add_link(7, 8);
+  g.set_uniform_delay(1e-6);
+  areas->assign({0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2});
+  return g;
+}
+
+HierarchicalNetwork::Params fast_params() {
+  HierarchicalNetwork::Params p;
+  p.per_hop_overhead = 4e-6;
+  p.dgmc.computation_time = 1e-3;
+  return p;
+}
+
+TEST(Hierarchy, BordersAndBackboneConstruction) {
+  std::vector<int> areas;
+  graph::Graph g = three_areas(&areas);
+  HierarchicalNetwork net(std::move(g), areas, fast_params(),
+                          mc::make_incremental_algorithm());
+  EXPECT_EQ(net.area_count(), 3);
+  EXPECT_EQ(net.border_of(0), 3);  // endpoint of 3-4
+  EXPECT_EQ(net.border_of(1), 4);  // lowest inter-area endpoint in area 1
+  EXPECT_EQ(net.border_of(2), 8);
+  EXPECT_EQ(net.area_of(5), 1);
+}
+
+TEST(Hierarchy, SingleAreaMcStaysLocal) {
+  std::vector<int> areas;
+  graph::Graph g = three_areas(&areas);
+  HierarchicalNetwork net(std::move(g), areas, fast_params(),
+                          mc::make_incremental_algorithm());
+  net.join(0, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  net.join(2, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  EXPECT_TRUE(net.serves_members(kMc));
+  // Interior switches of the other areas never heard of the MC.
+  for (graph::NodeId n : {5, 6, 9, 10}) {
+    // n is not a border; its area switch must hold no state.
+    SCOPED_TRACE(n);
+    EXPECT_EQ(net.members(kMc), (std::vector<graph::NodeId>{0, 2}));
+  }
+}
+
+TEST(Hierarchy, CrossAreaMcGluesThroughBackbone) {
+  std::vector<int> areas;
+  graph::Graph g = three_areas(&areas);
+  HierarchicalNetwork net(std::move(g), areas, fast_params(),
+                          mc::make_incremental_algorithm());
+  for (graph::NodeId m : {1, 6, 10}) {
+    net.join(m, kMc, mc::McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+  ASSERT_TRUE(net.converged(kMc));
+  EXPECT_TRUE(net.serves_members(kMc));
+  const trees::Topology glued = net.global_topology(kMc);
+  // Members of all three areas are mutually connected.
+  EXPECT_TRUE(trees::connects(glued, {1, 6, 10}));
+  // The glue crosses both bridges.
+  EXPECT_TRUE(glued.contains(graph::Edge(3, 4)));
+  EXPECT_TRUE(glued.contains(graph::Edge(7, 8)));
+}
+
+TEST(Hierarchy, LeavesDisengageAreasAndBackbone) {
+  std::vector<int> areas;
+  graph::Graph g = three_areas(&areas);
+  HierarchicalNetwork net(std::move(g), areas, fast_params(),
+                          mc::make_incremental_algorithm());
+  for (graph::NodeId m : {1, 6}) {
+    net.join(m, kMc, mc::McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+  net.leave(6, kMc);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  EXPECT_EQ(net.members(kMc), (std::vector<graph::NodeId>{1}));
+  EXPECT_TRUE(net.serves_members(kMc));
+  net.leave(1, kMc);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  EXPECT_TRUE(net.members(kMc).empty());
+}
+
+TEST(Hierarchy, BorderSwitchAsRealMember) {
+  std::vector<int> areas;
+  graph::Graph g = three_areas(&areas);
+  HierarchicalNetwork net(std::move(g), areas, fast_params(),
+                          mc::make_incremental_algorithm());
+  net.join(3, kMc, mc::McType::kSymmetric);  // the area-0 border itself
+  net.run_to_quiescence();
+  net.join(6, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  EXPECT_TRUE(net.serves_members(kMc));
+  // The border leaving as a member keeps it engaged only if other
+  // area-0 members remain; here none do.
+  net.leave(3, kMc);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  EXPECT_EQ(net.members(kMc), (std::vector<graph::NodeId>{6}));
+}
+
+TEST(Hierarchy, ReceiverOnlyAndAsymmetricTypes) {
+  for (mc::McType type :
+       {mc::McType::kReceiverOnly, mc::McType::kAsymmetric}) {
+    std::vector<int> areas;
+    graph::Graph g = three_areas(&areas);
+    HierarchicalNetwork net(std::move(g), areas, fast_params(),
+                            mc::make_incremental_algorithm());
+    const mc::MemberRole first = type == mc::McType::kAsymmetric
+                                     ? mc::MemberRole::kBoth
+                                     : mc::MemberRole::kReceiver;
+    net.join(1, kMc, type, first);
+    net.run_to_quiescence();
+    net.join(9, kMc, type, mc::MemberRole::kReceiver);
+    net.run_to_quiescence();
+    EXPECT_TRUE(net.converged(kMc)) << mc::to_string(type);
+    EXPECT_TRUE(net.serves_members(kMc)) << mc::to_string(type);
+  }
+}
+
+TEST(Hierarchy, LsaScopeIsSmallerThanFlatFlooding) {
+  // Identical 3-area topology and event stream, flat vs hierarchical:
+  // the hierarchy must deliver far fewer LSA copies.
+  std::vector<int> areas;
+  graph::Graph g = three_areas(&areas);
+
+  HierarchicalNetwork hier(g, areas, fast_params(),
+                           mc::make_incremental_algorithm());
+  DgmcNetwork::Params flat_params;
+  flat_params.per_hop_overhead = 4e-6;
+  flat_params.dgmc.computation_time = 1e-3;
+  DgmcNetwork flat(g, flat_params, mc::make_incremental_algorithm());
+
+  // Churn entirely inside area 0.
+  for (graph::NodeId m : {0, 1, 2}) {
+    hier.join(m, kMc, mc::McType::kSymmetric);
+    hier.run_to_quiescence();
+    flat.join(m, kMc, mc::McType::kSymmetric);
+    flat.run_to_quiescence();
+  }
+  hier.leave(1, kMc);
+  hier.run_to_quiescence();
+  flat.leave(1, kMc);
+  flat.run_to_quiescence();
+
+  // Flat: every LSA floods all 17 links; hierarchical: area 0's 4
+  // links, plus a one-time border/backbone engagement on the first
+  // join. On this toy network that one-time cost eats part of the
+  // margin; the asymptotic Θ(n) -> Θ(area) gap is measured at scale by
+  // bench/table_hierarchy.
+  EXPECT_LT(hier.totals().link_transmissions,
+            flat.lsa_link_transmissions());
+  EXPECT_TRUE(hier.converged(kMc));
+  EXPECT_TRUE(flat.converged(kMc));
+}
+
+TEST(Hierarchy, RandomCrossAreaChurnConverges) {
+  for (int seed = 1; seed <= 5; ++seed) {
+    util::RngStream rng(seed);
+    std::vector<int> areas;
+    graph::Graph g = three_areas(&areas);
+    HierarchicalNetwork net(std::move(g), areas, fast_params(),
+                            mc::make_incremental_algorithm());
+    std::set<graph::NodeId> current;
+    for (int step = 0; step < 12; ++step) {
+      const graph::NodeId n = static_cast<graph::NodeId>(rng.index(12));
+      if (current.count(n)) {
+        net.leave(n, kMc);
+        current.erase(n);
+      } else {
+        net.join(n, kMc, mc::McType::kSymmetric);
+        current.insert(n);
+      }
+      net.run_to_quiescence();
+      ASSERT_TRUE(net.converged(kMc)) << "seed=" << seed
+                                      << " step=" << step;
+      ASSERT_TRUE(net.serves_members(kMc)) << "seed=" << seed
+                                           << " step=" << step;
+      ASSERT_EQ(net.members(kMc),
+                std::vector<graph::NodeId>(current.begin(), current.end()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgmc::sim

@@ -1,0 +1,153 @@
+#include "sim/hosts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dgmc::sim {
+namespace {
+
+constexpr mc::McId kMc = 0;
+
+struct Fixture {
+  Fixture()
+      : net(make_graph(), make_params(), mc::make_incremental_algorithm()),
+        hosts(net) {}
+
+  static graph::Graph make_graph() {
+    graph::Graph g = graph::ring(6);
+    g.set_uniform_delay(1e-6);
+    return g;
+  }
+  static DgmcNetwork::Params make_params() {
+    DgmcNetwork::Params p;
+    p.per_hop_overhead = 4e-6;
+    p.dgmc.computation_time = 1e-3;
+    return p;
+  }
+
+  DgmcNetwork net;
+  HostLayer hosts;
+};
+
+TEST(HostLayer, FirstHostJoinsSwitch) {
+  Fixture f;
+  f.hosts.attach(100, /*ingress=*/2);
+  EXPECT_TRUE(f.hosts.host_join(100, kMc, mc::McType::kSymmetric));
+  f.net.run_to_quiescence();
+  EXPECT_TRUE(f.net.switch_at(2).members(kMc)->contains(2));
+  EXPECT_TRUE(f.hosts.subscribed(100, kMc));
+  EXPECT_EQ(f.hosts.ingress_of(100), 2);
+}
+
+TEST(HostLayer, SecondHostAtSameSwitchIsLocalOnly) {
+  Fixture f;
+  f.hosts.attach(100, 2);
+  f.hosts.attach(101, 2);
+  f.hosts.host_join(100, kMc, mc::McType::kSymmetric);
+  f.net.run_to_quiescence();
+  const auto before = f.net.totals();
+  // Same switch, same role: the network hears nothing.
+  EXPECT_FALSE(f.hosts.host_join(101, kMc, mc::McType::kSymmetric));
+  f.net.run_to_quiescence();
+  EXPECT_EQ(f.net.totals().mc_lsa_floodings, before.mc_lsa_floodings);
+  EXPECT_EQ(f.hosts.subscribers(2, kMc).size(), 2u);
+}
+
+TEST(HostLayer, SwitchLeavesOnlyWhenLastHostLeaves) {
+  Fixture f;
+  f.hosts.attach(100, 2);
+  f.hosts.attach(101, 2);
+  f.hosts.attach(102, 4);
+  f.hosts.host_join(100, kMc, mc::McType::kSymmetric);
+  f.hosts.host_join(101, kMc, mc::McType::kSymmetric);
+  f.hosts.host_join(102, kMc, mc::McType::kSymmetric);
+  f.net.run_to_quiescence();
+  EXPECT_EQ(f.net.switch_at(0).members(kMc)->all(),
+            (std::vector<graph::NodeId>{2, 4}));
+
+  EXPECT_FALSE(f.hosts.host_leave(100, kMc));  // 101 still interested
+  f.net.run_to_quiescence();
+  EXPECT_TRUE(f.net.switch_at(0).members(kMc)->contains(2));
+
+  EXPECT_TRUE(f.hosts.host_leave(101, kMc));  // last host at switch 2
+  f.net.run_to_quiescence();
+  EXPECT_FALSE(f.net.switch_at(0).members(kMc)->contains(2));
+  EXPECT_TRUE(f.net.converged(kMc));
+}
+
+TEST(HostLayer, RoleWideningReadvertises) {
+  Fixture f;
+  f.hosts.attach(100, 1);
+  f.hosts.attach(101, 1);
+  f.hosts.attach(102, 5);
+  f.hosts.host_join(102, kMc, mc::McType::kAsymmetric,
+                    mc::MemberRole::kReceiver);
+  f.hosts.host_join(100, kMc, mc::McType::kAsymmetric,
+                    mc::MemberRole::kReceiver);
+  f.net.run_to_quiescence();
+  EXPECT_EQ(f.net.switch_at(3).members(kMc)->role_of(1),
+            mc::MemberRole::kReceiver);
+  // A sending host appears behind switch 1: the switch re-joins kBoth.
+  EXPECT_TRUE(f.hosts.host_join(101, kMc, mc::McType::kAsymmetric,
+                                mc::MemberRole::kSender));
+  f.net.run_to_quiescence();
+  EXPECT_EQ(f.net.switch_at(3).members(kMc)->role_of(1),
+            mc::MemberRole::kBoth);
+  EXPECT_TRUE(f.net.converged(kMc));
+}
+
+TEST(HostLayer, RoleNarrowingIsNotAdvertised) {
+  Fixture f;
+  f.hosts.attach(100, 1);
+  f.hosts.attach(101, 1);
+  f.hosts.host_join(100, kMc, mc::McType::kAsymmetric,
+                    mc::MemberRole::kSender);
+  f.hosts.host_join(101, kMc, mc::McType::kAsymmetric,
+                    mc::MemberRole::kReceiver);
+  f.net.run_to_quiescence();
+  // The sender host leaves; receivers remain. Documented behavior: the
+  // switch keeps its widest role until it leaves entirely.
+  EXPECT_FALSE(f.hosts.host_leave(100, kMc));
+  f.net.run_to_quiescence();
+  EXPECT_EQ(f.net.switch_at(1).members(kMc)->role_of(1),
+            mc::MemberRole::kBoth);
+  EXPECT_EQ(f.hosts.aggregate_role(1, kMc), mc::MemberRole::kReceiver);
+}
+
+TEST(HostLayer, DetachLeavesEverything) {
+  Fixture f;
+  f.hosts.attach(100, 3);
+  f.hosts.host_join(100, 0, mc::McType::kSymmetric);
+  f.hosts.host_join(100, 1, mc::McType::kSymmetric);
+  f.net.run_to_quiescence();
+  f.hosts.detach(100);
+  f.net.run_to_quiescence();
+  // Sole member left both MCs: state destroyed network-wide.
+  EXPECT_FALSE(f.net.switch_at(0).has_state(0));
+  EXPECT_FALSE(f.net.switch_at(0).has_state(1));
+  EXPECT_EQ(f.hosts.ingress_of(100), graph::kInvalidNode);
+}
+
+TEST(HostLayer, LeaveOfUnknownHostOrMcIsNoOp) {
+  Fixture f;
+  EXPECT_FALSE(f.hosts.host_leave(999, kMc));
+  f.hosts.attach(100, 0);
+  EXPECT_FALSE(f.hosts.host_leave(100, kMc));
+}
+
+TEST(HostLayer, AggregateRoleUnionsAcrossHosts) {
+  Fixture f;
+  f.hosts.attach(1, 0);
+  f.hosts.attach(2, 0);
+  EXPECT_EQ(f.hosts.aggregate_role(0, kMc), mc::MemberRole::kNone);
+  f.hosts.host_join(1, kMc, mc::McType::kAsymmetric,
+                    mc::MemberRole::kSender);
+  f.hosts.host_join(2, kMc, mc::McType::kAsymmetric,
+                    mc::MemberRole::kReceiver);
+  EXPECT_EQ(f.hosts.aggregate_role(0, kMc), mc::MemberRole::kBoth);
+  f.net.run_to_quiescence();
+}
+
+}  // namespace
+}  // namespace dgmc::sim

@@ -1,0 +1,256 @@
+// Integration tests: full networks of DgmcSwitches over the flooding
+// transport, exercising joins, leaves, bursts, link failures, and all
+// three MC types end to end.
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mc/validation.hpp"
+#include "sim/params.hpp"
+
+namespace dgmc::sim {
+namespace {
+
+constexpr mc::McId kMc = 0;
+
+DgmcNetwork::Params test_params(des::SimTime tc = 10 * des::kMillisecond) {
+  DgmcNetwork::Params p;
+  p.per_hop_overhead = 4 * des::kMicrosecond;
+  p.dgmc.computation_time = tc;
+  return p;
+}
+
+graph::Graph unit_delay(graph::Graph g) {
+  g.set_uniform_delay(1 * des::kMicrosecond);
+  return g;
+}
+
+TEST(DgmcNetwork, SingleJoinEstablishesMcEverywhere) {
+  DgmcNetwork net(unit_delay(graph::ring(6)), test_params(),
+                  mc::make_incremental_algorithm());
+  net.join(2, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  for (graph::NodeId n = 0; n < 6; ++n) {
+    ASSERT_TRUE(net.switch_at(n).has_state(kMc));
+    EXPECT_EQ(net.switch_at(n).members(kMc)->all(),
+              (std::vector<graph::NodeId>{2}));
+    EXPECT_TRUE(net.switch_at(n).installed(kMc)->empty());
+  }
+  // Exactly one computation and one flooding for the lone event.
+  EXPECT_EQ(net.totals().computations, 1u);
+  EXPECT_EQ(net.totals().mc_lsa_floodings, 1u);
+}
+
+TEST(DgmcNetwork, SequentialJoinsOneComputationEach) {
+  DgmcNetwork net(unit_delay(graph::ring(8)), test_params(),
+                  mc::make_incremental_algorithm());
+  // Paper Experiment 3's claim: well-separated events cost ~1
+  // computation and ~1 flooding each.
+  const std::vector<graph::NodeId> joiners = {0, 3, 5, 7};
+  des::SimTime t = 0.0;
+  for (graph::NodeId j : joiners) {
+    net.scheduler().schedule_at(t, [&net, j] {
+      net.join(j, kMc, mc::McType::kSymmetric);
+    });
+    t += 1.0;  // far larger than Tf + Tc
+  }
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  EXPECT_EQ(net.totals().computations, joiners.size());
+  EXPECT_EQ(net.totals().mc_lsa_floodings, joiners.size());
+  const trees::Topology agreed = net.agreed_topology(kMc);
+  EXPECT_TRUE(trees::is_steiner_tree(agreed, joiners));
+}
+
+TEST(DgmcNetwork, ConcurrentConflictingJoinsConverge) {
+  // The paper's motivating race: several switches join within a window
+  // shorter than Tc; proposals conflict and the timestamp machinery
+  // must reconcile them.
+  DgmcNetwork net(unit_delay(graph::grid(4, 5)), test_params(),
+                  mc::make_incremental_algorithm());
+  const std::vector<graph::NodeId> joiners = {0, 7, 13, 19, 10};
+  for (std::size_t i = 0; i < joiners.size(); ++i) {
+    const graph::NodeId j = joiners[i];
+    net.scheduler().schedule_at(i * 0.001 * des::kMillisecond, [&net, j] {
+      net.join(j, kMc, mc::McType::kSymmetric);
+    });
+  }
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  const trees::Topology agreed = net.agreed_topology(kMc);
+  EXPECT_TRUE(trees::is_steiner_tree(agreed, joiners));
+  // The burst costs more than one computation, but far fewer than the
+  // brute-force n-per-event.
+  EXPECT_GT(net.totals().computations, joiners.size() - 1);
+  EXPECT_LT(net.totals().computations,
+            joiners.size() * static_cast<std::uint64_t>(20));
+}
+
+TEST(DgmcNetwork, LeaveShrinksTree) {
+  DgmcNetwork net(unit_delay(graph::line(7)), test_params(),
+                  mc::make_incremental_algorithm());
+  net.join(0, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  net.join(3, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  net.join(6, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.agreed_topology(kMc).edge_count(), 6u);
+  net.leave(6, kMc);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  EXPECT_EQ(net.agreed_topology(kMc).edge_count(), 3u);
+  EXPECT_EQ(net.switch_at(0).members(kMc)->all(),
+            (std::vector<graph::NodeId>{0, 3}));
+}
+
+TEST(DgmcNetwork, LastLeaveDestroysEverywhere) {
+  DgmcNetwork net(unit_delay(graph::ring(5)), test_params(),
+                  mc::make_incremental_algorithm());
+  net.join(1, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  net.join(4, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  net.leave(1, kMc);
+  net.run_to_quiescence();
+  net.leave(4, kMc);
+  net.run_to_quiescence();
+  for (graph::NodeId n = 0; n < 5; ++n) {
+    EXPECT_FALSE(net.switch_at(n).has_state(kMc)) << "switch " << n;
+  }
+  EXPECT_TRUE(net.converged(kMc));  // vacuously: destroyed everywhere
+}
+
+TEST(DgmcNetwork, LinkFailureRepairsTopology) {
+  DgmcNetwork net(unit_delay(graph::ring(6)), test_params(),
+                  mc::make_incremental_algorithm());
+  net.join(0, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  net.join(1, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  ASSERT_EQ(net.agreed_topology(kMc), trees::Topology({graph::Edge(0, 1)}));
+
+  const graph::LinkId dead = net.physical().find_link(0, 1);
+  const auto before = net.totals();
+  const int affected = net.fail_link(dead);
+  EXPECT_EQ(affected, 1);  // k = 1 MC LSA for the link event
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  const trees::Topology repaired = net.agreed_topology(kMc);
+  EXPECT_FALSE(repaired.contains(graph::Edge(0, 1)));
+  EXPECT_TRUE(trees::is_steiner_tree(repaired, {0, 1}));
+  // One non-MC LSA was flooded alongside the MC LSAs.
+  EXPECT_EQ(net.totals().nonmc_lsa_floodings,
+            before.nonmc_lsa_floodings + 1);
+}
+
+TEST(DgmcNetwork, LinkFailureNotOnTreeCausesNoMcTraffic) {
+  DgmcNetwork net(unit_delay(graph::ring(6)), test_params(),
+                  mc::make_incremental_algorithm());
+  net.join(0, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  net.join(1, kMc, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  const auto before = net.totals();
+  EXPECT_EQ(net.fail_link(net.physical().find_link(3, 4)), 0);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.totals().computations, before.computations);
+  EXPECT_EQ(net.totals().mc_lsa_floodings, before.mc_lsa_floodings);
+  // Local images everywhere learned of the failure regardless.
+  for (graph::NodeId n = 0; n < 6; ++n) {
+    EXPECT_FALSE(net.image_at(n)
+                     .graph()
+                     .link(net.physical().find_link(3, 4))
+                     .up);
+  }
+}
+
+TEST(DgmcNetwork, LinkRestoreFloodsOnlyUnicastLsa) {
+  DgmcNetwork net(unit_delay(graph::ring(6)), test_params(),
+                  mc::make_incremental_algorithm());
+  const graph::LinkId link = net.physical().find_link(2, 3);
+  net.fail_link(link);
+  net.run_to_quiescence();
+  const auto before = net.totals();
+  net.restore_link(link);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.totals().mc_lsa_floodings, before.mc_lsa_floodings);
+  EXPECT_EQ(net.totals().nonmc_lsa_floodings,
+            before.nonmc_lsa_floodings + 1);
+  EXPECT_TRUE(net.image_at(5).graph().link(link).up);
+}
+
+TEST(DgmcNetwork, ReceiverOnlyMcConvergesAndHasContactNode) {
+  DgmcNetwork net(unit_delay(graph::grid(3, 4)), test_params(),
+                  mc::make_incremental_algorithm());
+  for (graph::NodeId r : {1, 6, 11}) {
+    net.join(r, kMc, mc::McType::kReceiverOnly, mc::MemberRole::kReceiver);
+    net.run_to_quiescence();
+  }
+  EXPECT_TRUE(net.converged(kMc));
+  const trees::Topology t = net.agreed_topology(kMc);
+  EXPECT_TRUE(trees::is_steiner_tree(t, {1, 6, 11}));
+  // Any non-member can find a contact node (first-stage delivery).
+  const graph::NodeId contact = mc::contact_node(
+      net.physical(), *net.switch_at(0).members(kMc), t, /*source=*/0);
+  EXPECT_NE(contact, graph::kInvalidNode);
+}
+
+TEST(DgmcNetwork, AsymmetricMcConnectsSendersToReceivers) {
+  DgmcNetwork net(unit_delay(graph::grid(3, 4)), test_params(),
+                  mc::make_incremental_algorithm());
+  net.join(0, kMc, mc::McType::kAsymmetric, mc::MemberRole::kSender);
+  net.run_to_quiescence();
+  for (graph::NodeId r : {5, 10, 11}) {
+    net.join(r, kMc, mc::McType::kAsymmetric, mc::MemberRole::kReceiver);
+    net.run_to_quiescence();
+  }
+  EXPECT_TRUE(net.converged(kMc));
+  const trees::Topology t = net.agreed_topology(kMc);
+  for (graph::NodeId r : {5, 10, 11}) {
+    EXPECT_TRUE(trees::connects(t, {0, r}));
+  }
+}
+
+TEST(DgmcNetwork, TwoMcsProceedIndependently) {
+  DgmcNetwork net(unit_delay(graph::ring(8)), test_params(),
+                  mc::make_incremental_algorithm());
+  net.join(0, 0, mc::McType::kSymmetric);
+  net.join(4, 1, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  net.join(2, 0, mc::McType::kSymmetric);
+  net.join(6, 1, mc::McType::kSymmetric);
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(0));
+  EXPECT_TRUE(net.converged(1));
+  EXPECT_TRUE(
+      trees::is_steiner_tree(net.agreed_topology(0), {0, 2}));
+  EXPECT_TRUE(
+      trees::is_steiner_tree(net.agreed_topology(1), {4, 6}));
+}
+
+TEST(DgmcNetwork, CommunicationDominantRegimeAlsoConverges) {
+  // Experiment 2 regime: Tf >> Tc.
+  DgmcNetwork::Params p;
+  p.per_hop_overhead = 5 * des::kMillisecond;
+  p.dgmc.computation_time = 1 * des::kMillisecond;
+  graph::Graph g = graph::grid(4, 4);
+  g.set_uniform_delay(1 * des::kMillisecond);
+  DgmcNetwork net(std::move(g), p, mc::make_incremental_algorithm());
+  const std::vector<graph::NodeId> joiners = {0, 5, 10, 15};
+  for (std::size_t i = 0; i < joiners.size(); ++i) {
+    const graph::NodeId j = joiners[i];
+    net.scheduler().schedule_at(static_cast<double>(i) * 0.0001,
+                                [&net, j] {
+                                  net.join(j, kMc, mc::McType::kSymmetric);
+                                });
+  }
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  EXPECT_TRUE(trees::is_steiner_tree(net.agreed_topology(kMc), joiners));
+}
+
+}  // namespace
+}  // namespace dgmc::sim

@@ -1,0 +1,208 @@
+// Partition survival (extension; paper §6 leaves it open): the network
+// splits, each side keeps serving its members independently, and on
+// heal the McSync database exchange reconciles both sides into one
+// agreed topology.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::sim {
+namespace {
+
+constexpr mc::McId kMc = 0;
+
+// Two rings of 4, joined by exactly two bridge links 3-4 and 0-7:
+// cutting both partitions the network into {0..3} and {4..7}.
+graph::Graph dumbbell() {
+  graph::Graph g(8);
+  // Left ring.
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  g.add_link(3, 0);
+  // Right ring.
+  g.add_link(4, 5);
+  g.add_link(5, 6);
+  g.add_link(6, 7);
+  g.add_link(7, 4);
+  // Bridges.
+  g.add_link(3, 4);
+  g.add_link(0, 7);
+  g.set_uniform_delay(1e-6);
+  return g;
+}
+
+DgmcNetwork::Params resync_params(bool resync = true) {
+  DgmcNetwork::Params p;
+  p.per_hop_overhead = 4e-6;
+  p.dgmc.computation_time = 1e-3;
+  p.dgmc.partition_resync = resync;
+  // Both endpoints must detect a failure that partitions the network;
+  // the single-detector idealization cannot inform the far side.
+  p.dual_link_detection = true;
+  return p;
+}
+
+struct Partitioned {
+  explicit Partitioned(bool resync)
+      : net(dumbbell(), resync_params(resync),
+            mc::make_incremental_algorithm()) {
+    // Members on both sides, converged before the split.
+    for (graph::NodeId m : {1, 2, 5, 6}) {
+      net.join(m, kMc, mc::McType::kSymmetric);
+      net.run_to_quiescence();
+    }
+    bridge_a = net.physical().find_link(3, 4);
+    bridge_b = net.physical().find_link(0, 7);
+    net.fail_link(bridge_a);
+    net.run_to_quiescence();
+    net.fail_link(bridge_b);
+    net.run_to_quiescence();
+  }
+
+  DgmcNetwork net;
+  graph::LinkId bridge_a = graph::kInvalidLink;
+  graph::LinkId bridge_b = graph::kInvalidLink;
+};
+
+TEST(Partition, EachSideKeepsServingItsMembers) {
+  Partitioned p(/*resync=*/true);
+  // Events on both sides while split.
+  p.net.join(0, kMc, mc::McType::kSymmetric);
+  p.net.run_to_quiescence();
+  p.net.join(7, kMc, mc::McType::kSymmetric);
+  p.net.run_to_quiescence();
+
+  // Left side agrees among itself. Its topology is a Steiner *forest*:
+  // the member list still carries the unreachable right-side members,
+  // so the proposal covers each side's members per component.
+  const trees::Topology* left = p.net.switch_at(1).installed(kMc);
+  ASSERT_NE(left, nullptr);
+  for (graph::NodeId n : {0, 2, 3}) {
+    EXPECT_EQ(*p.net.switch_at(n).installed(kMc), *left) << n;
+  }
+  EXPECT_TRUE(trees::is_forest(*left));
+  EXPECT_TRUE(trees::connects(*left, {0, 1, 2}));
+  // Right side likewise serves its local members.
+  const trees::Topology* right = p.net.switch_at(5).installed(kMc);
+  ASSERT_NE(right, nullptr);
+  EXPECT_TRUE(trees::is_forest(*right));
+  EXPECT_TRUE(trees::connects(*right, {5, 6, 7}));
+  // The sides disagree, as they must.
+  EXPECT_FALSE(*left == *right);
+}
+
+TEST(Partition, HealWithResyncReconcilesBothSides) {
+  Partitioned p(/*resync=*/true);
+  p.net.join(0, kMc, mc::McType::kSymmetric);
+  p.net.run_to_quiescence();
+  p.net.join(7, kMc, mc::McType::kSymmetric);
+  p.net.run_to_quiescence();
+
+  p.net.restore_link(p.bridge_a);
+  p.net.run_to_quiescence();
+
+  EXPECT_TRUE(p.net.converged(kMc));
+  const trees::Topology agreed = p.net.agreed_topology(kMc);
+  EXPECT_TRUE(trees::is_steiner_tree(agreed, {0, 1, 2, 5, 6, 7}));
+  // Everyone sees the merged member list.
+  EXPECT_EQ(p.net.switch_at(4).members(kMc)->all(),
+            (std::vector<graph::NodeId>{0, 1, 2, 5, 6, 7}));
+  EXPECT_GT(p.net.totals().sync_floodings, 0u);
+}
+
+TEST(Partition, HealWithResyncWhenOnlyOneSideChanged) {
+  Partitioned p(/*resync=*/true);
+  p.net.join(0, kMc, mc::McType::kSymmetric);  // left-side change only
+  p.net.run_to_quiescence();
+  p.net.restore_link(p.bridge_b);
+  p.net.run_to_quiescence();
+  EXPECT_TRUE(p.net.converged(kMc));
+  EXPECT_TRUE(trees::is_steiner_tree(p.net.agreed_topology(kMc),
+                                     {0, 1, 2, 5, 6}));
+}
+
+TEST(Partition, LeavesDuringPartitionMergeCorrectly) {
+  Partitioned p(/*resync=*/true);
+  // 2 leaves on the left; 5 leaves on the right; 4 joins on the right.
+  p.net.leave(2, kMc);
+  p.net.run_to_quiescence();
+  p.net.leave(5, kMc);
+  p.net.run_to_quiescence();
+  p.net.join(4, kMc, mc::McType::kSymmetric);
+  p.net.run_to_quiescence();
+
+  p.net.restore_link(p.bridge_a);
+  p.net.run_to_quiescence();
+  EXPECT_TRUE(p.net.converged(kMc));
+  EXPECT_EQ(p.net.switch_at(0).members(kMc)->all(),
+            (std::vector<graph::NodeId>{1, 4, 6}));
+}
+
+TEST(Partition, WithoutResyncHealedSidesStayStale) {
+  // Documents the gap the extension closes: without sync flooding, the
+  // healed sides never exchange their partition-era histories.
+  Partitioned p(/*resync=*/false);
+  p.net.join(0, kMc, mc::McType::kSymmetric);
+  p.net.run_to_quiescence();
+  p.net.restore_link(p.bridge_a);
+  p.net.run_to_quiescence();
+  // Right side never learned of 0's join.
+  EXPECT_FALSE(p.net.switch_at(6).members(kMc)->contains(0));
+  EXPECT_FALSE(p.net.converged(kMc));
+}
+
+TEST(Partition, ResyncIsIdempotentOnHealthyNetworks) {
+  // Restoring a non-partitioning link floods syncs that teach nobody
+  // anything: no proposals, no topology churn.
+  DgmcNetwork net(dumbbell(), resync_params(true),
+                  mc::make_incremental_algorithm());
+  for (graph::NodeId m : {1, 6}) {
+    net.join(m, kMc, mc::McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+  const graph::LinkId bridge = net.physical().find_link(3, 4);
+  net.fail_link(bridge);  // 0-7 still connects the sides
+  net.run_to_quiescence();
+  EXPECT_TRUE(net.converged(kMc));
+  const auto before = net.totals();
+  const trees::Topology tree_before = net.agreed_topology(kMc);
+  net.restore_link(bridge);
+  net.run_to_quiescence();
+  EXPECT_GT(net.totals().sync_floodings, 0u);
+  EXPECT_EQ(net.totals().computations, before.computations);
+  EXPECT_EQ(net.agreed_topology(kMc), tree_before);
+}
+
+TEST(Partition, RandomChurnAcrossSplitAndHeal) {
+  for (int seed = 1; seed <= 6; ++seed) {
+    util::RngStream rng(seed);
+    Partitioned p(/*resync=*/true);
+    // Random membership churn on both sides while split.
+    for (int i = 0; i < 4; ++i) {
+      const graph::NodeId left =
+          static_cast<graph::NodeId>(rng.index(4));       // 0..3
+      const graph::NodeId right =
+          static_cast<graph::NodeId>(4 + rng.index(4));   // 4..7
+      for (graph::NodeId n : {left, right}) {
+        if (p.net.switch_at(n).has_state(kMc) &&
+            p.net.switch_at(n).members(kMc)->contains(n)) {
+          p.net.leave(n, kMc);
+        } else {
+          p.net.join(n, kMc, mc::McType::kSymmetric);
+        }
+        p.net.run_to_quiescence();
+      }
+    }
+    p.net.restore_link(p.bridge_a);
+    p.net.run_to_quiescence();
+    p.net.restore_link(p.bridge_b);
+    p.net.run_to_quiescence();
+    EXPECT_TRUE(p.net.converged(kMc)) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dgmc::sim

@@ -1,0 +1,168 @@
+// Property tests: for randomized topologies, memberships and event
+// timings, after the network quiesces every switch agrees on the same
+// valid topology — the protocol's end-to-end safety invariant (the
+// paper's omitted correctness proof, checked by simulation).
+#include <gtest/gtest.h>
+#include <set>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "mc/validation.hpp"
+#include "sim/network.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::sim {
+namespace {
+
+constexpr mc::McId kMc = 0;
+
+struct PropertyCase {
+  std::string label;
+  mc::McType type;
+  bool incremental;
+  double per_hop_overhead;  // seconds
+  des::SimTime tc;
+  double spread_seconds;  // burst window
+};
+
+std::string CaseName(const testing::TestParamInfo<PropertyCase>& info) {
+  return info.param.label;
+}
+
+class ConvergenceProperty : public testing::TestWithParam<PropertyCase> {};
+
+mc::MemberRole role_for(mc::McType type, bool first) {
+  if (type == mc::McType::kAsymmetric) {
+    return first ? mc::MemberRole::kBoth : mc::MemberRole::kReceiver;
+  }
+  return type == mc::McType::kReceiverOnly ? mc::MemberRole::kReceiver
+                                           : mc::MemberRole::kBoth;
+}
+
+TEST_P(ConvergenceProperty, RandomWorkloadsConvergeToValidTopology) {
+  const PropertyCase& pc = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::RngStream rng = util::RngStream::derive(seed, pc.label);
+    const int n = 12 + static_cast<int>(rng.index(20));  // 12..31 switches
+    graph::Graph g = graph::random_connected(n, 3.0, rng);
+    g.set_uniform_delay(1 * des::kMicrosecond);
+
+    DgmcNetwork::Params params;
+    params.per_hop_overhead = pc.per_hop_overhead;
+    params.dgmc.computation_time = pc.tc;
+    DgmcNetwork net(std::move(g), params,
+                    pc.incremental ? mc::make_incremental_algorithm()
+                                   : mc::make_from_scratch_algorithm());
+
+    // Seed members one at a time (always converges).
+    const int initial = 2 + static_cast<int>(rng.index(3));
+    const auto members = random_members(n, initial, rng);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      net.join(members[i], kMc, pc.type, role_for(pc.type, i == 0));
+      net.run_to_quiescence();
+    }
+    ASSERT_TRUE(net.converged(kMc)) << pc.label << " seed=" << seed;
+
+    // Conflicting burst.
+    const int burst = 4 + static_cast<int>(rng.index(5));
+    const auto events = bursty_membership(
+        n, members, burst, pc.spread_seconds,
+        role_for(pc.type, false), rng);
+    const des::SimTime t0 = net.scheduler().now();
+    for (const auto& e : events) {
+      net.scheduler().schedule_at(t0 + e.at, [&net, e, &pc] {
+        if (e.join) {
+          net.join(e.node, kMc, pc.type, e.role);
+        } else {
+          net.leave(e.node, kMc);
+        }
+      });
+    }
+    net.run_to_quiescence();
+
+    ASSERT_TRUE(net.converged(kMc)) << pc.label << " seed=" << seed;
+
+    // Cross-check the agreed member list against ground truth.
+    std::set<graph::NodeId> expected(members.begin(), members.end());
+    for (const auto& e : events) {
+      if (e.join) expected.insert(e.node);
+      else expected.erase(e.node);
+    }
+    const auto got = net.switch_at(0).members(kMc)->all();
+    EXPECT_EQ(std::set<graph::NodeId>(got.begin(), got.end()), expected)
+        << pc.label << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegimes, ConvergenceProperty,
+    testing::Values(
+        PropertyCase{"symmetric_compute_dominant_incremental",
+                     mc::McType::kSymmetric, true, 4e-6, 10e-3, 1e-3},
+        PropertyCase{"symmetric_compute_dominant_fromscratch",
+                     mc::McType::kSymmetric, false, 4e-6, 10e-3, 1e-3},
+        PropertyCase{"symmetric_comm_dominant", mc::McType::kSymmetric,
+                     true, 5e-3, 1e-3, 10e-3},
+        PropertyCase{"receiver_only_compute_dominant",
+                     mc::McType::kReceiverOnly, true, 4e-6, 10e-3, 1e-3},
+        PropertyCase{"asymmetric_compute_dominant",
+                     mc::McType::kAsymmetric, true, 4e-6, 10e-3, 1e-3},
+        PropertyCase{"symmetric_instant_events", mc::McType::kSymmetric,
+                     true, 4e-6, 10e-3, 0.0},
+        PropertyCase{"symmetric_slow_events", mc::McType::kSymmetric,
+                     true, 4e-6, 1e-3, 1.0}),
+    CaseName);
+
+class LinkFailureProperty : public testing::TestWithParam<int> {};
+
+TEST_P(LinkFailureProperty, FailuresDuringChurnStillConverge) {
+  const int seed = GetParam();
+  util::RngStream rng(seed);
+  const int n = 16;
+  // Ring + chords: stays connected after any single link failure.
+  graph::Graph g = graph::ring(n);
+  for (int i = 0; i < n / 2; i += 4) g.add_link(i, (i + n / 2) % n);
+  g.set_uniform_delay(1 * des::kMicrosecond);
+
+  DgmcNetwork::Params params;
+  params.per_hop_overhead = 4e-6;
+  params.dgmc.computation_time = 5e-3;
+  DgmcNetwork net(std::move(g), params, mc::make_incremental_algorithm());
+
+  const auto members = random_members(n, 5, rng);
+  for (graph::NodeId m : members) {
+    net.join(m, kMc, mc::McType::kSymmetric);
+    net.run_to_quiescence();
+  }
+
+  // Fail a link the tree uses (if any) mid-burst.
+  const trees::Topology tree = net.agreed_topology(kMc);
+  ASSERT_FALSE(tree.edges().empty());
+  const graph::Edge victim =
+      tree.edges()[rng.index(tree.edges().size())];
+  const graph::LinkId link = net.physical().find_link(victim.a, victim.b);
+
+  const auto events = bursty_membership(n, members, 4, 2e-3,
+                                        mc::MemberRole::kBoth, rng);
+  const des::SimTime t0 = net.scheduler().now();
+  for (const auto& e : events) {
+    net.scheduler().schedule_at(t0 + e.at, [&net, e] {
+      if (e.join) net.join(e.node, kMc, mc::McType::kSymmetric);
+      else net.leave(e.node, kMc);
+    });
+  }
+  net.scheduler().schedule_at(t0 + 1e-3, [&net, link] {
+    net.fail_link(link);
+  });
+  net.run_to_quiescence();
+
+  ASSERT_TRUE(net.converged(kMc)) << "seed=" << seed;
+  EXPECT_FALSE(net.agreed_topology(kMc).contains(victim));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkFailureProperty,
+                         testing::Range(1, 11));
+
+}  // namespace
+}  // namespace dgmc::sim

@@ -1,0 +1,173 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dgmc::sim {
+namespace {
+
+Scenario parse_ok(std::string_view text) {
+  auto result = Scenario::parse(text);
+  const auto* err = std::get_if<ScenarioError>(&result);
+  EXPECT_EQ(err, nullptr)
+      << "line " << (err ? err->line : 0) << ": "
+      << (err ? err->message : "");
+  return std::get<Scenario>(std::move(result));
+}
+
+ScenarioError parse_err(std::string_view text) {
+  auto result = Scenario::parse(text);
+  if (auto* err = std::get_if<ScenarioError>(&result)) return *err;
+  ADD_FAILURE() << "expected a parse error";
+  return {};
+}
+
+std::string run_to_string(const Scenario& sc, bool* ok = nullptr) {
+  char buf[8192] = {};
+  std::FILE* mem = fmemopen(buf, sizeof buf, "w");
+  const bool converged = sc.execute(mem);
+  std::fclose(mem);
+  if (ok != nullptr) *ok = converged;
+  return buf;
+}
+
+TEST(ParseTime, SuffixesAndBareSeconds) {
+  EXPECT_DOUBLE_EQ(parse_time("25ms").value(), 0.025);
+  EXPECT_DOUBLE_EQ(parse_time("4us").value(), 4e-6);
+  EXPECT_DOUBLE_EQ(parse_time("1.5s").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_time("2").value(), 2.0);
+  EXPECT_DOUBLE_EQ(parse_time("0").value(), 0.0);
+  EXPECT_FALSE(parse_time("").has_value());
+  EXPECT_FALSE(parse_time("ms").has_value());
+  EXPECT_FALSE(parse_time("abc").has_value());
+  EXPECT_FALSE(parse_time("-5ms").has_value());
+}
+
+TEST(ScenarioParse, MinimalScript) {
+  const Scenario sc = parse_ok(R"(
+network ring 6
+at 0ms join 2 mc=0
+run
+)");
+  EXPECT_EQ(sc.network_size(), 6);
+  EXPECT_EQ(sc.event_count(), 1u);
+  EXPECT_EQ(sc.checkpoint_count(), 1u);
+}
+
+TEST(ScenarioParse, CommentsAndCaseInsensitivity) {
+  parse_ok(R"(
+# a comment
+NETWORK Ring 6   # trailing comment
+AT 1ms JOIN 0 MC=0
+)");
+}
+
+TEST(ScenarioParse, GridAndOptions) {
+  const Scenario sc = parse_ok(R"(
+network grid 3 4 seed=9
+timing tc=5ms perhop=10us
+option algorithm=fromscratch resync=on dualdetect=on
+delay uniform 2us
+at 0 join 5 mc=1 type=receiver
+)");
+  EXPECT_EQ(sc.network_size(), 12);
+}
+
+TEST(ScenarioParse, ErrorsCarryLineNumbers) {
+  EXPECT_EQ(parse_err("bogus statement").line, 1);
+  EXPECT_EQ(parse_err("network ring 6\nat xx join 1 mc=0").line, 2);
+  EXPECT_EQ(parse_err("network waxman 1").line, 1);   // size too small
+  EXPECT_EQ(parse_err("network ring 6\nat 0 fail 1 1").line, 2);
+  EXPECT_EQ(parse_err("network ring 6\nat 0 join 1 mc=0 role=boss").line,
+            2);
+  EXPECT_EQ(parse_err("network ring 6\noption resync=maybe").line, 2);
+  EXPECT_EQ(parse_err("delay uniform fast").line, 1);
+}
+
+TEST(ScenarioParse, RejectsOutOfRangeSwitchIds) {
+  const ScenarioError err = parse_err(R"(
+network ring 4
+at 0 join 9 mc=0
+)");
+  EXPECT_NE(err.message.find("beyond"), std::string::npos);
+}
+
+TEST(ScenarioExecute, JoinsConvergeAndReport) {
+  const Scenario sc = parse_ok(R"(
+network ring 8
+timing tc=1ms perhop=4us
+at 0ms join 1 mc=0
+at 50ms join 5 mc=0
+run
+)");
+  bool ok = false;
+  const std::string out = run_to_string(sc, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(out.find("members 1 5"), std::string::npos);
+  EXPECT_NE(out.find("converged yes"), std::string::npos);
+  EXPECT_NE(out.find("== totals =="), std::string::npos);
+}
+
+TEST(ScenarioExecute, MultipleCheckpointsAndLeaveToDestruction) {
+  const Scenario sc = parse_ok(R"(
+network line 5
+timing tc=1ms perhop=4us
+at 0 join 0 mc=0
+run
+at 0 join 4 mc=0
+run
+at 0 leave 0 mc=0
+at 20ms leave 4 mc=0
+run
+)");
+  bool ok = false;
+  const std::string out = run_to_string(sc, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(out.find("checkpoint 3"), std::string::npos);
+  EXPECT_NE(out.find("mc 0: destroyed"), std::string::npos);
+}
+
+TEST(ScenarioExecute, FailRestoreAndDataPackets) {
+  const Scenario sc = parse_ok(R"(
+network ring 6
+timing tc=1ms perhop=4us
+at 0 join 0 mc=0
+at 20ms join 1 mc=0
+run
+at 0 fail 0 1
+at 30ms send 0 mc=0
+run
+at 0 restore 0 1
+run
+)");
+  bool ok = false;
+  const std::string out = run_to_string(sc, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(out.find("packets: 1 sent, 1 fully delivered"),
+            std::string::npos);
+}
+
+TEST(ScenarioExecute, UnknownLinkFailIsIgnored) {
+  const Scenario sc = parse_ok(R"(
+network line 4
+at 0 join 1 mc=0
+at 0 fail 0 3
+run
+)");
+  bool ok = false;
+  run_to_string(sc, &ok);
+  EXPECT_TRUE(ok);
+}
+
+TEST(ScenarioExecute, ImplicitFinalRun) {
+  const Scenario sc = parse_ok(R"(
+network ring 5
+at 0 join 2 mc=0
+)");
+  bool ok = false;
+  const std::string out = run_to_string(sc, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(out.find("checkpoint 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dgmc::sim

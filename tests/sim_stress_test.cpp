@@ -1,0 +1,112 @@
+// Long-run randomized soak: several MCs of different types share one
+// network through interleaved membership churn, link failures and
+// repairs; after every quiescence the global safety invariant must
+// hold for every connection. This is the widest net in the suite —
+// anything the targeted tests miss tends to wash up here.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mc/validation.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::sim {
+namespace {
+
+struct McProfile {
+  mc::McId id;
+  mc::McType type;
+};
+
+class SoakTest : public testing::TestWithParam<int> {};
+
+TEST_P(SoakTest, InterleavedChurnFailuresAndRepairs) {
+  const int seed = GetParam();
+  util::RngStream rng(seed * 7919);
+  const int n = 24;
+
+  // 2-edge-connected base so any single failure leaves it connected:
+  // ring + chords.
+  graph::Graph g = graph::ring(n);
+  for (int i = 0; i < n / 2; i += 3) g.add_link(i, i + n / 2);
+  g.set_uniform_delay(1e-6);
+
+  DgmcNetwork::Params params;
+  params.per_hop_overhead = 4e-6;
+  params.dgmc.computation_time = 2e-3;
+  params.dgmc.partition_resync = true;
+  params.dual_link_detection = true;
+  DgmcNetwork net(std::move(g), params, mc::make_incremental_algorithm());
+
+  const std::vector<McProfile> mcs = {
+      {0, mc::McType::kSymmetric},
+      {1, mc::McType::kReceiverOnly},
+      {2, mc::McType::kAsymmetric},
+  };
+  std::map<mc::McId, std::set<graph::NodeId>> membership;
+  // Asymmetric MCs need a stable sender.
+  net.join(0, 2, mc::McType::kAsymmetric, mc::MemberRole::kSender);
+  membership[2].insert(0);
+  net.run_to_quiescence();
+
+  graph::LinkId down_link = graph::kInvalidLink;
+
+  for (int step = 0; step < 60; ++step) {
+    const int dice = static_cast<int>(rng.index(10));
+    if (dice < 7) {
+      // Membership churn on a random MC.
+      const McProfile& mcp = mcs[rng.index(mcs.size())];
+      const graph::NodeId node = static_cast<graph::NodeId>(rng.index(n));
+      auto& members = membership[mcp.id];
+      if (members.count(node) && !(mcp.id == 2 && node == 0)) {
+        net.leave(node, mcp.id);
+        members.erase(node);
+      } else if (!members.count(node)) {
+        const mc::MemberRole role =
+            mcp.type == mc::McType::kSymmetric ? mc::MemberRole::kBoth
+                                               : mc::MemberRole::kReceiver;
+        net.join(node, mcp.id, mcp.type, role);
+        members.insert(node);
+      }
+    } else if (dice < 9) {
+      // Fail a random up link (at most one down at a time, keeping the
+      // network connected).
+      if (down_link == graph::kInvalidLink) {
+        const graph::LinkId link = static_cast<graph::LinkId>(
+            rng.index(net.physical().link_count()));
+        if (net.physical().link(link).up) {
+          net.fail_link(link);
+          down_link = link;
+        }
+      }
+    } else {
+      if (down_link != graph::kInvalidLink) {
+        net.restore_link(down_link);
+        down_link = graph::kInvalidLink;
+      }
+    }
+    net.run_to_quiescence();
+
+    // --- Invariant check after every quiescence. ---
+    for (const McProfile& mcp : mcs) {
+      ASSERT_TRUE(net.converged(mcp.id))
+          << "seed=" << seed << " step=" << step << " mc=" << mcp.id;
+      const auto& expected = membership[mcp.id];
+      if (expected.empty()) continue;
+      // Member lists match ground truth everywhere that has state.
+      const auto got = net.switch_at(0).members(mcp.id);
+      ASSERT_NE(got, nullptr) << "seed=" << seed << " step=" << step;
+      const auto all = got->all();
+      ASSERT_EQ(std::set<graph::NodeId>(all.begin(), all.end()), expected)
+          << "seed=" << seed << " step=" << step << " mc=" << mcp.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest, testing::Range(1, 9));
+
+}  // namespace
+}  // namespace dgmc::sim

@@ -1,0 +1,124 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dgmc::sim {
+namespace {
+
+TEST(RandomMembers, DistinctSortedWithinRange) {
+  util::RngStream rng(1);
+  const auto m = random_members(50, 10, rng);
+  EXPECT_EQ(m.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+  EXPECT_EQ(std::set<graph::NodeId>(m.begin(), m.end()).size(), 10u);
+  for (graph::NodeId n : m) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 50);
+  }
+}
+
+TEST(BurstyMembership, EventsSortedWithinSpread) {
+  util::RngStream rng(2);
+  const auto members = random_members(40, 8, rng);
+  const auto events =
+      bursty_membership(40, members, 12, 5.0, mc::MemberRole::kBoth, rng);
+  EXPECT_EQ(events.size(), 12u);
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    EXPECT_LE(events[i].at, events[i + 1].at);
+  }
+  for (const auto& e : events) {
+    EXPECT_GE(e.at, 0.0);
+    EXPECT_LT(e.at, 5.0);
+  }
+}
+
+TEST(BurstyMembership, NodesAreDistinctAcrossEvents) {
+  util::RngStream rng(3);
+  const auto members = random_members(60, 10, rng);
+  const auto events =
+      bursty_membership(60, members, 20, 1.0, mc::MemberRole::kBoth, rng);
+  std::set<graph::NodeId> nodes;
+  for (const auto& e : events) nodes.insert(e.node);
+  EXPECT_EQ(nodes.size(), events.size());
+}
+
+TEST(BurstyMembership, JoinsTargetNonMembersLeavesTargetMembers) {
+  util::RngStream rng(4);
+  const auto members = random_members(30, 6, rng);
+  const auto events =
+      bursty_membership(30, members, 15, 1.0, mc::MemberRole::kBoth, rng);
+  const std::set<graph::NodeId> initial(members.begin(), members.end());
+  for (const auto& e : events) {
+    if (e.join) {
+      EXPECT_FALSE(initial.count(e.node)) << "join of existing member";
+    } else {
+      EXPECT_TRUE(initial.count(e.node)) << "leave of non-member";
+    }
+  }
+}
+
+TEST(BurstyMembership, NeverDrainsBelowTwoMembers) {
+  util::RngStream rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto members = random_members(20, 3, rng);
+    const auto events =
+        bursty_membership(20, members, 10, 1.0, mc::MemberRole::kBoth, rng);
+    std::set<graph::NodeId> current(members.begin(), members.end());
+    // Replay in draw order: distinct nodes make time order irrelevant.
+    for (const auto& e : events) {
+      if (e.join) current.insert(e.node);
+      else current.erase(e.node);
+      EXPECT_GE(current.size(), 2u);
+    }
+  }
+}
+
+TEST(PoissonMembership, StrictlyIncreasingTimesWithRoughMeanGap) {
+  util::RngStream rng(6);
+  const auto members = random_members(100, 10, rng);
+  const double mean_gap = 4.0;
+  const auto events = poisson_membership(100, members, 60, mean_gap,
+                                         mc::MemberRole::kBoth, rng);
+  ASSERT_EQ(events.size(), 60u);
+  double prev = 0.0;
+  double sum_gap = 0.0;
+  for (const auto& e : events) {
+    EXPECT_GT(e.at, prev);
+    sum_gap += e.at - prev;
+    prev = e.at;
+  }
+  EXPECT_NEAR(sum_gap / 60.0, mean_gap, 2.0);
+}
+
+TEST(Workloads, RoleIsPropagated) {
+  util::RngStream rng(7);
+  const auto members = random_members(20, 4, rng);
+  const auto events = bursty_membership(20, members, 5, 1.0,
+                                        mc::MemberRole::kReceiver, rng);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.role, mc::MemberRole::kReceiver);
+  }
+}
+
+TEST(Workloads, DeterministicForSameStream) {
+  util::RngStream a(8), b(8);
+  const auto ma = random_members(30, 5, a);
+  const auto mb = random_members(30, 5, b);
+  EXPECT_EQ(ma, mb);
+  const auto ea =
+      bursty_membership(30, ma, 10, 2.0, mc::MemberRole::kBoth, a);
+  const auto eb =
+      bursty_membership(30, mb, 10, 2.0, mc::MemberRole::kBoth, b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].node, eb[i].node);
+    EXPECT_EQ(ea[i].join, eb[i].join);
+    EXPECT_DOUBLE_EQ(ea[i].at, eb[i].at);
+  }
+}
+
+}  // namespace
+}  // namespace dgmc::sim

@@ -1,0 +1,94 @@
+#include "trees/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "trees/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::trees {
+namespace {
+
+TEST(GreedyAttach, AttachesViaNearestTreeNode) {
+  // Line 0-1-2-3-4; tree {0-1}; member 4 attaches through 1-2-3-4.
+  const Graph g = graph::line(5);
+  const Topology t({Edge(0, 1)});
+  const Topology out = greedy_attach(g, t, 4);
+  EXPECT_EQ(out, Topology({Edge(0, 1), Edge(1, 2), Edge(2, 3), Edge(3, 4)}));
+}
+
+TEST(GreedyAttach, NoOpWhenAlreadyOnTree) {
+  const Graph g = graph::line(4);
+  const Topology t({Edge(0, 1), Edge(1, 2)});
+  EXPECT_EQ(greedy_attach(g, t, 1), t);
+  EXPECT_EQ(greedy_attach(g, t, 2), t);
+}
+
+TEST(GreedyAttach, EmptyTreeUsesFallbackAnchor) {
+  const Graph g = graph::line(4);
+  const Topology out = greedy_attach(g, Topology{}, 3, /*fallback=*/0);
+  EXPECT_EQ(out, Topology({Edge(0, 1), Edge(1, 2), Edge(2, 3)}));
+}
+
+TEST(GreedyAttach, EmptyTreeNoAnchorStaysEmpty) {
+  const Graph g = graph::line(4);
+  EXPECT_TRUE(greedy_attach(g, Topology{}, 3).empty());
+  // Anchor equal to the member is also degenerate.
+  EXPECT_TRUE(greedy_attach(g, Topology{}, 3, 3).empty());
+}
+
+TEST(GreedyAttach, PicksCheapestAttachmentPoint) {
+  // Member 5 is 1 hop from tree node 3 but 3 hops from tree node 0.
+  Graph g(6);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  g.add_link(3, 5);
+  g.add_link(0, 4);
+  g.add_link(4, 5);  // alternative 2-hop path to 0's side
+  const Topology t({Edge(0, 1), Edge(1, 2), Edge(2, 3)});
+  const Topology out = greedy_attach(g, t, 5);
+  EXPECT_TRUE(out.contains(Edge(3, 5)));
+  EXPECT_EQ(out.edge_count(), 4u);
+}
+
+TEST(GreedyAttach, ResultStaysForest) {
+  util::RngStream rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::random_connected(30, 3.0, rng);
+    Topology t = kmb_steiner(g, {0, 10, 20});
+    for (NodeId m : {5, 15, 25, 29}) {
+      t = greedy_attach(g, t, m);
+      EXPECT_TRUE(is_forest(t)) << "trial=" << trial << " member=" << m;
+    }
+    EXPECT_TRUE(is_steiner_tree(t, {0, 10, 20, 5, 15, 25, 29}));
+  }
+}
+
+TEST(PruneAfterLeave, RemovesServingBranch) {
+  // Tree 0-1-2 with members {0, 2}; 2 leaves -> only 0 remains, tree
+  // prunes to empty (single member).
+  Topology t({Edge(0, 1), Edge(1, 2)});
+  const Topology out = prune_after_leave(std::move(t), {0});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PruneAfterLeave, KeepsSteinerNodesOnTrunk) {
+  // Y-shape: hub 1 joins terminals 0, 2, 3; if 3 leaves, hub stays.
+  Topology t({Edge(0, 1), Edge(1, 2), Edge(1, 3)});
+  const Topology out = prune_after_leave(std::move(t), {0, 2});
+  EXPECT_EQ(out, Topology({Edge(0, 1), Edge(1, 2)}));
+}
+
+TEST(JoinLeaveRoundTrip, ReturnsToEquivalentTree) {
+  const Graph g = graph::line(6);
+  Topology t = kmb_steiner(g, {0, 2});
+  const Topology before = t;
+  t = greedy_attach(g, t, 5);
+  EXPECT_TRUE(is_steiner_tree(t, {0, 2, 5}));
+  t = prune_after_leave(std::move(t), {0, 2});
+  EXPECT_EQ(t, before);
+}
+
+}  // namespace
+}  // namespace dgmc::trees

@@ -1,0 +1,102 @@
+#include "trees/load.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "trees/spt.hpp"
+#include "trees/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::trees {
+namespace {
+
+TEST(Load, AddTopologyLoadCountsEveryEdge) {
+  EdgeLoadMap loads;
+  const Topology t({Edge(0, 1), Edge(1, 2)});
+  add_topology_load(loads, t);
+  add_topology_load(loads, t);
+  EXPECT_EQ(loads[Edge(0, 1)], 2);
+  EXPECT_EQ(loads[Edge(1, 2)], 2);
+  EXPECT_EQ(max_load(loads), 2);
+  EXPECT_EQ(total_load(loads), 4);
+}
+
+TEST(Load, AddPathLoadFollowsShortestPath) {
+  const Graph g = graph::line(5);
+  EdgeLoadMap loads;
+  add_path_load(loads, g, 0, 3);
+  EXPECT_EQ(loads[Edge(0, 1)], 1);
+  EXPECT_EQ(loads[Edge(1, 2)], 1);
+  EXPECT_EQ(loads[Edge(2, 3)], 1);
+  EXPECT_EQ(loads.count(Edge(3, 4)), 0u);
+  add_path_load(loads, g, 3, 3);  // self: no-op
+  EXPECT_EQ(total_load(loads), 3);
+}
+
+TEST(Load, EmptyMapBasics) {
+  EdgeLoadMap loads;
+  EXPECT_EQ(max_load(loads), 0);
+  EXPECT_EQ(total_load(loads), 0);
+}
+
+TEST(SharedTreeLoads, OnTreeSourcesLoadEveryTreeEdgeOnce) {
+  const Graph g = graph::line(4);
+  const Topology tree({Edge(0, 1), Edge(1, 2), Edge(2, 3)});
+  const EdgeLoadMap loads = shared_tree_loads(g, tree, {0, 3});
+  // Two on-tree sources, each covering all 3 edges.
+  EXPECT_EQ(max_load(loads), 2);
+  EXPECT_EQ(total_load(loads), 6);
+}
+
+TEST(SharedTreeLoads, OffTreeSourceAddsUnicastLeg) {
+  // Tree on 0-1; source 3 is off-tree, two hops from node 1.
+  const Graph g = graph::line(4);
+  const Topology tree({Edge(0, 1)});
+  const EdgeLoadMap loads = shared_tree_loads(g, tree, {3});
+  EXPECT_EQ(loads.at(Edge(0, 1)), 1);  // tree coverage
+  EXPECT_EQ(loads.at(Edge(2, 3)), 1);  // unicast leg
+  EXPECT_EQ(loads.at(Edge(1, 2)), 1);
+}
+
+TEST(PerSourceTreeLoads, DistributesAcrossTrees) {
+  const Graph g = graph::ring(6);
+  // Sources 0 and 3 each reach receivers {1, 4} by their own trees.
+  const std::vector<Topology> trees = {
+      pruned_spt(g, 0, {1, 4}),
+      pruned_spt(g, 3, {1, 4}),
+  };
+  const EdgeLoadMap loads = per_source_tree_loads(trees);
+  EXPECT_GT(total_load(loads), 0);
+  // No edge should carry more than both sources' traffic.
+  EXPECT_LE(max_load(loads), 2);
+}
+
+TEST(TrafficConcentration, SharedTreeConcentratesMoreThanPerSource) {
+  // The §5 comparison: with many senders, every shared-tree edge
+  // carries every sender's traffic; per-source trees spread the load.
+  util::RngStream rng(41);
+  const Graph g = graph::random_connected(30, 3.0, rng);
+  std::vector<NodeId> members;
+  for (int i = 0; i < 8; ++i) {
+    members.push_back(static_cast<NodeId>(rng.index(30)));
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+
+  const Topology shared = kmb_steiner(g, members);
+  const EdgeLoadMap shared_loads = shared_tree_loads(g, shared, members);
+
+  std::vector<Topology> per_source;
+  for (NodeId s : members) {
+    per_source.push_back(pruned_spt(g, s, members));
+  }
+  const EdgeLoadMap spread_loads = per_source_tree_loads(per_source);
+
+  EXPECT_EQ(max_load(shared_loads), static_cast<int>(members.size()));
+  EXPECT_LE(max_load(spread_loads), max_load(shared_loads));
+}
+
+}  // namespace
+}  // namespace dgmc::trees

@@ -1,0 +1,106 @@
+#include "trees/spt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::trees {
+namespace {
+
+TEST(ShortestPathTree, SpansAllReachableNodes) {
+  util::RngStream rng(1);
+  const Graph g = graph::random_connected(25, 3.0, rng);
+  const Topology t = shortest_path_tree(g, 0);
+  EXPECT_EQ(t.edge_count(), 24u);  // spanning tree
+  EXPECT_TRUE(is_forest(t));
+  std::vector<NodeId> all(25);
+  for (NodeId i = 0; i < 25; ++i) all[i] = i;
+  EXPECT_TRUE(is_steiner_tree(t, all));
+}
+
+TEST(ShortestPathTree, PreservesShortestDistances) {
+  util::RngStream rng(2);
+  const Graph g = graph::random_connected(20, 3.0, rng);
+  const Topology t = shortest_path_tree(g, 0);
+  const graph::ShortestPaths sp = graph::dijkstra(g, 0);
+  // Walking the tree from any node toward the root must follow a
+  // shortest path: the parent edge of n connects it to a node whose
+  // distance is dist[n] - cost(edge).
+  for (const Edge& e : t.edges()) {
+    const double w = g.link(g.find_link(e.a, e.b)).cost;
+    const double da = sp.dist[e.a];
+    const double db = sp.dist[e.b];
+    EXPECT_NEAR(std::abs(da - db), w, 1e-9);
+  }
+}
+
+TEST(PrunedSpt, KeepsOnlyTerminalPaths) {
+  // Line 0-1-2-3-4; terminals {2}: the pruned SPT from 0 is 0-1-2.
+  const Graph g = graph::line(5);
+  const Topology t = pruned_spt(g, 0, {2});
+  EXPECT_EQ(t, Topology({Edge(0, 1), Edge(1, 2)}));
+}
+
+TEST(PrunedSpt, MultipleTerminalsShareTrunk) {
+  // Star with hub 0: terminals 1 and 2 yield exactly two spokes.
+  const Graph g = graph::star(6);
+  const Topology t = pruned_spt(g, 0, {1, 2});
+  EXPECT_EQ(t, Topology({Edge(0, 1), Edge(0, 2)}));
+}
+
+TEST(PrunedSpt, RootIsTerminalOnlyNoEdges) {
+  const Graph g = graph::line(4);
+  EXPECT_TRUE(pruned_spt(g, 1, {1}).empty());
+  EXPECT_TRUE(pruned_spt(g, 1, {}).empty());
+}
+
+TEST(PrunedSpt, SkipsUnreachableTerminals) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  const Topology t = pruned_spt(g, 0, {1, 3});
+  EXPECT_EQ(t, Topology({Edge(0, 1)}));
+}
+
+TEST(PrunedSpt, IsSteinerTreeOverTerminalsPlusRoot) {
+  util::RngStream rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::random_connected(30, 3.0, rng);
+    std::vector<NodeId> terminals;
+    for (NodeId n = 5; n < 30; n += 7) terminals.push_back(n);
+    const Topology t = pruned_spt(g, 0, terminals);
+    terminals.push_back(0);
+    EXPECT_TRUE(is_steiner_tree(t, terminals)) << "trial=" << trial;
+  }
+}
+
+TEST(SourceRootedUnion, SingleSourceEqualsPrunedSpt) {
+  util::RngStream rng(4);
+  const Graph g = graph::random_connected(20, 3.0, rng);
+  const std::vector<NodeId> receivers = {3, 9, 15};
+  EXPECT_EQ(source_rooted_union(g, {0}, receivers),
+            pruned_spt(g, 0, receivers));
+}
+
+TEST(SourceRootedUnion, EverySenderReachesEveryReceiver) {
+  util::RngStream rng(5);
+  const Graph g = graph::random_connected(25, 3.0, rng);
+  const std::vector<NodeId> sources = {0, 12};
+  const std::vector<NodeId> receivers = {4, 8, 20};
+  const Topology t = source_rooted_union(g, sources, receivers);
+  for (NodeId s : sources) {
+    for (NodeId r : receivers) {
+      EXPECT_TRUE(connects(t, {s, r})) << s << "->" << r;
+    }
+  }
+}
+
+TEST(SourceRootedUnion, EmptySourcesOrReceivers) {
+  const Graph g = graph::line(4);
+  EXPECT_TRUE(source_rooted_union(g, {}, {1, 2}).empty());
+  EXPECT_TRUE(source_rooted_union(g, {0}, {}).empty());
+}
+
+}  // namespace
+}  // namespace dgmc::trees

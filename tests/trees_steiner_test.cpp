@@ -1,0 +1,121 @@
+#include "trees/steiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "trees/exact.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::trees {
+namespace {
+
+TEST(InducedMst, SimpleTriangle) {
+  graph::Graph g(3);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 2.0);
+  g.add_link(0, 2, 3.0);
+  const Topology t = induced_mst(g, {0, 1, 2});
+  EXPECT_EQ(t, Topology({Edge(0, 1), Edge(1, 2)}));
+}
+
+TEST(InducedMst, DisconnectedInducedSubgraphIsEmpty) {
+  graph::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  // Nodes {0, 3} induce no edges.
+  EXPECT_TRUE(induced_mst(g, {0, 3}).empty());
+}
+
+TEST(InducedMst, SingleOrNoNodes) {
+  const graph::Graph g = graph::line(3);
+  EXPECT_TRUE(induced_mst(g, {1}).empty());
+  EXPECT_TRUE(induced_mst(g, {}).empty());
+}
+
+TEST(PruneNonTerminalLeaves, RemovesDanglingBranches) {
+  // Path 0-1-2-3 with terminals {0, 2}: edge 2-3 dangles.
+  Topology t({Edge(0, 1), Edge(1, 2), Edge(2, 3)});
+  const Topology pruned = prune_non_terminal_leaves(std::move(t), {0, 2});
+  EXPECT_EQ(pruned, Topology({Edge(0, 1), Edge(1, 2)}));
+}
+
+TEST(PruneNonTerminalLeaves, CascadesThroughChains) {
+  // 0-1-2-3-4 with terminals {0, 1}: 2,3,4 all prune away.
+  Topology t({Edge(0, 1), Edge(1, 2), Edge(2, 3), Edge(3, 4)});
+  const Topology pruned = prune_non_terminal_leaves(std::move(t), {0, 1});
+  EXPECT_EQ(pruned, Topology({Edge(0, 1)}));
+}
+
+TEST(KmbSteiner, TrivialCases) {
+  const graph::Graph g = graph::line(4);
+  EXPECT_TRUE(kmb_steiner(g, {}).empty());
+  EXPECT_TRUE(kmb_steiner(g, {2}).empty());
+  EXPECT_TRUE(kmb_steiner(g, {2, 2}).empty());  // duplicates collapse
+}
+
+TEST(KmbSteiner, LineEndpoints) {
+  const graph::Graph g = graph::line(5);
+  const Topology t = kmb_steiner(g, {0, 4});
+  EXPECT_EQ(t.edge_count(), 4u);
+  EXPECT_TRUE(is_steiner_tree(t, {0, 4}));
+}
+
+TEST(KmbSteiner, UsesSteinerNodeWhenCheaper) {
+  // Star: terminals are three leaves; the hub is a Steiner node.
+  const graph::Graph g = graph::star(5);
+  const Topology t = kmb_steiner(g, {1, 2, 3});
+  EXPECT_EQ(t, Topology({Edge(0, 1), Edge(0, 2), Edge(0, 3)}));
+}
+
+TEST(KmbSteiner, ValidOnRandomGraphs) {
+  util::RngStream rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::Graph g = graph::random_connected(40, 3.0, rng);
+    std::vector<NodeId> terminals;
+    for (int i = 0; i < 8; ++i) {
+      terminals.push_back(static_cast<NodeId>(rng.index(40)));
+    }
+    const Topology t = kmb_steiner(g, terminals);
+    EXPECT_TRUE(is_steiner_tree(t, terminals)) << "trial=" << trial;
+    EXPECT_TRUE(uses_only_live_links(g, t));
+  }
+}
+
+TEST(KmbSteiner, AvoidsDownLinks) {
+  graph::Graph g = graph::ring(6);
+  g.set_link_up(g.find_link(0, 1), false);
+  const Topology t = kmb_steiner(g, {0, 1});
+  EXPECT_TRUE(is_steiner_tree(t, {0, 1}));
+  EXPECT_FALSE(t.contains(Edge(0, 1)));
+  EXPECT_EQ(t.edge_count(), 5u);  // the long way around
+}
+
+TEST(ExactSteiner, MatchesHandComputedOptimum) {
+  // Terminals {1,2,3} on a star: optimum uses the hub, cost 3.
+  const graph::Graph g = graph::star(5);
+  const Topology t = exact_steiner(g, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(topology_cost(g, t), 3.0);
+}
+
+TEST(KmbVsExact, WithinTwoApproximationOnSmallGraphs) {
+  util::RngStream rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::Graph g = graph::random_connected(12, 3.0, rng);
+    std::vector<NodeId> terminals = {0, 3, 7, 11};
+    const double kmb = topology_cost(g, kmb_steiner(g, terminals));
+    const double opt = topology_cost(g, exact_steiner(g, terminals));
+    EXPECT_LE(kmb, 2.0 * opt + 1e-9) << "trial=" << trial;
+    EXPECT_GE(kmb, opt - 1e-9);
+  }
+}
+
+TEST(KmbSteiner, DeterministicAcrossCalls) {
+  util::RngStream rng(29);
+  const graph::Graph g = graph::random_connected(30, 3.0, rng);
+  const std::vector<NodeId> terminals = {1, 5, 9, 13, 22};
+  EXPECT_EQ(kmb_steiner(g, terminals), kmb_steiner(g, terminals));
+}
+
+}  // namespace
+}  // namespace dgmc::trees

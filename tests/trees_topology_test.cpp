@@ -1,0 +1,121 @@
+#include "trees/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace dgmc::trees {
+namespace {
+
+TEST(Topology, CanonicalFormDeduplicatesAndSorts) {
+  const Topology t({Edge(3, 2), Edge(0, 1), Edge(2, 3), Edge(1, 0)});
+  EXPECT_EQ(t.edge_count(), 2u);
+  EXPECT_EQ(t.edges()[0], Edge(0, 1));
+  EXPECT_EQ(t.edges()[1], Edge(2, 3));
+}
+
+TEST(Topology, EqualityIsStructural) {
+  const Topology a({Edge(0, 1), Edge(1, 2)});
+  const Topology b({Edge(2, 1), Edge(1, 0)});
+  const Topology c({Edge(0, 1)});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Topology, NodesNeighborsDegree) {
+  const Topology t({Edge(0, 1), Edge(1, 2), Edge(1, 3)});
+  EXPECT_EQ(t.nodes(), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(t.neighbors(1), (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_EQ(t.degree(1), 3);
+  EXPECT_EQ(t.degree(2), 1);
+  EXPECT_EQ(t.degree(9), 0);
+}
+
+TEST(Topology, AddRemoveIdempotent) {
+  Topology t;
+  t.add(Edge(0, 1));
+  t.add(Edge(0, 1));
+  EXPECT_EQ(t.edge_count(), 1u);
+  t.remove(Edge(0, 1));
+  t.remove(Edge(0, 1));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Topology, ContainsUsesNormalizedEdges) {
+  Topology t;
+  t.add(Edge(5, 2));
+  EXPECT_TRUE(t.contains(Edge(2, 5)));
+  EXPECT_FALSE(t.contains(Edge(2, 4)));
+}
+
+TEST(Topology, MergeIsUnion) {
+  const Topology a({Edge(0, 1), Edge(1, 2)});
+  const Topology b({Edge(1, 2), Edge(2, 3)});
+  const Topology m = Topology::merge(a, b);
+  EXPECT_EQ(m.edge_count(), 3u);
+}
+
+TEST(TopologyCost, SumsLinkCosts) {
+  graph::Graph g(3);
+  g.add_link(0, 1, 2.0);
+  g.add_link(1, 2, 3.0);
+  const Topology t({Edge(0, 1), Edge(1, 2)});
+  EXPECT_DOUBLE_EQ(topology_cost(g, t), 5.0);
+}
+
+TEST(TopologyCost, InfiniteForMissingOrDownEdges) {
+  graph::Graph g(3);
+  const graph::LinkId id = g.add_link(0, 1, 2.0);
+  EXPECT_EQ(topology_cost(g, Topology({Edge(0, 2)})),
+            graph::kInfiniteDistance);
+  g.set_link_up(id, false);
+  EXPECT_EQ(topology_cost(g, Topology({Edge(0, 1)})),
+            graph::kInfiniteDistance);
+  EXPECT_FALSE(uses_only_live_links(g, Topology({Edge(0, 1)})));
+}
+
+TEST(IsForest, DetectsCycles) {
+  EXPECT_TRUE(is_forest(Topology{}));
+  EXPECT_TRUE(is_forest(Topology({Edge(0, 1), Edge(2, 3)})));
+  EXPECT_FALSE(
+      is_forest(Topology({Edge(0, 1), Edge(1, 2), Edge(2, 0)})));
+}
+
+TEST(Connects, RequiresSharedComponent) {
+  const Topology t({Edge(0, 1), Edge(2, 3)});
+  EXPECT_TRUE(connects(t, {0, 1}));
+  EXPECT_FALSE(connects(t, {0, 2}));
+  EXPECT_FALSE(connects(t, {0, 5}));  // 5 absent entirely
+  EXPECT_TRUE(connects(t, {0}));      // single terminal is trivial
+  EXPECT_TRUE(connects(Topology{}, {}));
+}
+
+TEST(IsSteinerTree, AcceptsMinimalTreeShapes) {
+  EXPECT_TRUE(is_steiner_tree(Topology({Edge(0, 1)}), {0, 1}));
+  // Steiner node 1 connecting terminals 0 and 2.
+  EXPECT_TRUE(is_steiner_tree(Topology({Edge(0, 1), Edge(1, 2)}), {0, 2}));
+  // Duplicate terminals tolerated.
+  EXPECT_TRUE(is_steiner_tree(Topology({Edge(0, 1)}), {0, 1, 0}));
+}
+
+TEST(IsSteinerTree, RejectsCyclesDisconnectionAndGarbage) {
+  // Cycle.
+  EXPECT_FALSE(is_steiner_tree(
+      Topology({Edge(0, 1), Edge(1, 2), Edge(2, 0)}), {0, 1}));
+  // Terminals in different components.
+  EXPECT_FALSE(
+      is_steiner_tree(Topology({Edge(0, 1), Edge(2, 3)}), {0, 2}));
+  // Detached extra component.
+  EXPECT_FALSE(is_steiner_tree(
+      Topology({Edge(0, 1), Edge(5, 6)}), {0, 1}));
+}
+
+TEST(IsSteinerTree, SingleTerminalNeedsEmptyTopology) {
+  EXPECT_TRUE(is_steiner_tree(Topology{}, {3}));
+  EXPECT_TRUE(is_steiner_tree(Topology{}, {}));
+  EXPECT_FALSE(is_steiner_tree(Topology({Edge(0, 1)}), {0}));
+}
+
+}  // namespace
+}  // namespace dgmc::trees

@@ -1,0 +1,109 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dgmc::util {
+namespace {
+
+TEST(RngStream, DeterministicForSameSeed) {
+  RngStream a(123);
+  RngStream b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(RngStream, DerivedStreamsAreIndependent) {
+  RngStream a = RngStream::derive(7, "topology");
+  RngStream b = RngStream::derive(7, "workload");
+  // Not a statistical test: just require the streams differ.
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngStream, DeriveIsStableAcrossCalls) {
+  RngStream a = RngStream::derive(99, "x");
+  RngStream b = RngStream::derive(99, "x");
+  EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+}
+
+TEST(RngStream, UniformIntRespectsBounds) {
+  RngStream r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+  // Degenerate range.
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(RngStream, UniformIntCoversRange) {
+  RngStream r(2);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngStream, Uniform01InRange) {
+  RngStream r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngStream, ExponentialIsPositiveWithRoughMean) {
+  RngStream r(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.exponential(2.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngStream, BernoulliExtremes) {
+  RngStream r(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(RngStream, IndexWithinBounds) {
+  RngStream r(6);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(r.index(13), 13u);
+}
+
+TEST(RngStream, ShuffleIsPermutation) {
+  RngStream r(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(RngStream, ShuffleHandlesSmallInputs) {
+  RngStream r(8);
+  std::vector<int> empty;
+  r.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  r.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace dgmc::util

@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dgmc::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, KnownDataset) {
+  // Mean 5, sample variance 4 for {3, 5, 7} -> stddev 2.
+  OnlineStats s;
+  for (double x : {3.0, 5.0, 7.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(OnlineStats, MatchesTwoPassComputation) {
+  OnlineStats s;
+  std::vector<double> xs = {1.5, -2.25, 8.0, 0.0, 3.5, 3.5, -1.0};
+  for (double x : xs) s.add(x);
+  const double mean = mean_of(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  const double var = ss / (xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+}
+
+TEST(OnlineStats, Ci95UsesStudentT) {
+  // n=20 -> t(19) = 2.093; samples with stddev 1 centered at 0.
+  OnlineStats s;
+  for (int i = 0; i < 10; ++i) {
+    s.add(1.0);
+    s.add(-1.0);
+  }
+  const double se = s.stddev() / std::sqrt(20.0);
+  EXPECT_NEAR(s.ci95_halfwidth(), 2.093 * se, 1e-9);
+}
+
+TEST(TCritical, TableValues) {
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical_95(19), 2.093);
+  EXPECT_DOUBLE_EQ(t_critical_95(30), 2.042);
+  EXPECT_DOUBLE_EQ(t_critical_95(200), 1.960);
+  EXPECT_DOUBLE_EQ(t_critical_95(0), 0.0);
+}
+
+TEST(TCritical, MonotoneNonIncreasing) {
+  double prev = t_critical_95(1);
+  for (std::size_t df = 2; df <= 150; ++df) {
+    const double cur = t_critical_95(df);
+    EXPECT_LE(cur, prev) << "df=" << df;
+    prev = cur;
+  }
+}
+
+TEST(Summary, Rendering) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  const Summary sum = Summary::of(s);
+  EXPECT_EQ(sum.n, 2u);
+  EXPECT_DOUBLE_EQ(sum.mean, 2.0);
+  EXPECT_EQ(sum.to_string(1).substr(0, 3), "2.0");
+  EXPECT_NE(sum.to_string().find("±"), std::string::npos);
+}
+
+TEST(MeanOf, EmptyAndNonEmpty) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace dgmc::util
