@@ -1,0 +1,124 @@
+// Unreliable network: the same membership workload run over a lossy,
+// flapping, crashing network — first with the paper's lossless
+// assumption left in place (floodings silently vanish), then with the
+// per-link ack/retransmit extension that earns the paper's "every LSA
+// eventually reaches every switch" premise.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/unreliable_network
+#include <cstdio>
+
+#include "fault/fault.hpp"
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+#include "sim/params.hpp"
+
+namespace {
+
+using namespace dgmc;
+
+constexpr mc::McId kConference = 0;
+constexpr std::uint64_t kSeed = 7;
+
+fault::FaultPlan disaster_plan() {
+  fault::FaultPlan plan;
+  plan.iid_loss = 0.10;               // every transmission: 10% gone
+  plan.use_burst = true;              // plus clustered outages
+  plan.burst.p_good_to_bad = 0.002;
+  plan.burst.p_bad_to_good = 0.2;     // mean burst ~5 transmissions
+  plan.burst.loss_bad = 1.0;
+  plan.max_extra_delay = 20 * des::kMicrosecond;  // reordering jitter
+  plan.flaps.push_back({2, 40 * des::kMillisecond, 90 * des::kMillisecond});
+  plan.crashes.push_back({5, 60 * des::kMillisecond, 150 * des::kMillisecond});
+  return plan;
+}
+
+struct Outcome {
+  bool converged = false;
+  std::uint64_t dropped = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t give_ups = 0;
+};
+
+Outcome run(bool reliable) {
+  graph::Graph g = graph::ring(12);
+  g.set_uniform_delay(1 * des::kMicrosecond);
+
+  sim::DgmcNetwork::Params params;
+  params.per_hop_overhead = 4 * des::kMicrosecond;
+  params.dgmc.computation_time = 1 * des::kMillisecond;
+  params.dgmc.partition_resync = true;  // crash recovery needs McSync
+  params.dual_link_detection = true;
+  params.reliable.enabled = reliable;
+  params.reliable.initial_rto = 200 * des::kMicrosecond;
+  params.reliable.max_retransmits = 12;
+  sim::DgmcNetwork net(std::move(g), params,
+                       mc::make_incremental_algorithm());
+  net.install_faults(disaster_plan(), kSeed);
+
+  // Membership churn spread across the disaster window, including a
+  // join at switch 5 *before* it crashes — its own membership must
+  // survive the crash via neighbor resync.
+  const struct {
+    double at_ms;
+    graph::NodeId node;
+    bool join;
+  } events[] = {{0, 0, true},  {0, 5, true},   {10, 8, true},
+                {30, 3, true}, {70, 10, true}, {80, 3, false},
+                {110, 6, true}};
+  for (const auto& ev : events) {
+    net.scheduler().schedule_at(ev.at_ms * des::kMillisecond, [&net, ev] {
+      if (!net.switch_alive(ev.node)) return;
+      if (ev.join) {
+        net.join(ev.node, kConference, mc::McType::kSymmetric);
+      } else {
+        net.leave(ev.node, kConference);
+      }
+    });
+  }
+  net.run_to_quiescence();
+
+  Outcome out;
+  out.converged = net.quiescent() && net.converged(kConference);
+  out.dropped = net.transport().messages_dropped();
+  out.retransmissions = net.transport().retransmissions();
+  out.acks = net.transport().acks_sent();
+  out.give_ups = net.transport().give_ups();
+  return out;
+}
+
+void report(const char* label, const Outcome& o) {
+  std::printf("%s\n", label);
+  std::printf("  messages lost to faults : %llu\n",
+              static_cast<unsigned long long>(o.dropped));
+  std::printf("  retransmissions         : %llu\n",
+              static_cast<unsigned long long>(o.retransmissions));
+  std::printf("  acks sent               : %llu\n",
+              static_cast<unsigned long long>(o.acks));
+  std::printf("  links given up on       : %llu\n",
+              static_cast<unsigned long long>(o.give_ups));
+  std::printf("  network converged       : %s\n\n",
+              o.converged ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "A 12-switch ring suffers 10%% uniform loss, burst outages,\n"
+      "reordering jitter, one link flap, and one switch crash/restart\n"
+      "while seven membership events land (seed %llu).\n\n",
+      static_cast<unsigned long long>(kSeed));
+
+  report("== Lossless-model flooding (paper assumption, faults real) ==",
+         run(/*reliable=*/false));
+  report("== Ack/retransmit flooding (reliability extension) ==",
+         run(/*reliable=*/true));
+
+  std::printf(
+      "The paper's vector-timestamp machinery is only correct on top of\n"
+      "reliable flooding; the ack/retransmit layer is what supplies it\n"
+      "when the network itself does not.\n");
+  return 0;
+}

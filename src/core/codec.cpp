@@ -117,6 +117,13 @@ std::vector<std::uint8_t> encode(const McSync& sync) {
     put_u8(out, e.is_member ? 1 : 0);
     put_u8(out, static_cast<std::uint8_t>(e.role));
   }
+  put_stamp(out, sync.c);
+  put_i32(out, sync.c_origin);
+  put_u32(out, static_cast<std::uint32_t>(sync.installed.edge_count()));
+  for (const graph::Edge& e : sync.installed.edges()) {
+    put_i32(out, e.a);
+    put_i32(out, e.b);
+  }
   return out;
 }
 
@@ -236,6 +243,23 @@ std::optional<McSync> decode_mc_sync(
     if (e.is_member && role == 0) return std::nullopt;
     sync.entries.push_back(e);
   }
+  std::optional<VectorTimestamp> c = read_stamp(r);
+  if (!c.has_value()) return std::nullopt;
+  sync.c = std::move(*c);
+  sync.c_origin = r.i32();
+  const std::uint32_t edges = r.u32();
+  if (!r.ok() || sync.c_origin < graph::kInvalidNode || edges > 1u << 20) {
+    return std::nullopt;
+  }
+  std::vector<graph::Edge> es;
+  es.reserve(edges);
+  for (std::uint32_t i = 0; i < edges; ++i) {
+    const graph::NodeId a = r.i32();
+    const graph::NodeId b = r.i32();
+    if (!r.ok() || a < 0 || b < 0 || a == b) return std::nullopt;
+    es.emplace_back(a, b);
+  }
+  sync.installed = trees::Topology(std::move(es));
   if (!r.exhausted()) return std::nullopt;
   return sync;
 }

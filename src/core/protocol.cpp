@@ -53,12 +53,14 @@ const DgmcSwitch::McState* DgmcSwitch::find(mc::McId mcid) const {
 
 void DgmcSwitch::local_join(mc::McId mcid, mc::McType type,
                             mc::MemberRole role) {
+  if (!alive_) return;
   McState& st = get_or_create(mcid, type);
   st.members.join(self_, role);
   event_handler(mcid, st, McEventType::kJoin, role, graph::kInvalidLink);
 }
 
 void DgmcSwitch::local_leave(mc::McId mcid) {
+  if (!alive_) return;
   McState* st = find(mcid);
   if (st == nullptr || !st->members.contains(self_)) return;
   st->members.leave(self_);
@@ -68,6 +70,7 @@ void DgmcSwitch::local_leave(mc::McId mcid) {
 }
 
 int DgmcSwitch::local_link_event(graph::LinkId link) {
+  if (!alive_) return 0;
   const graph::Graph& image = hooks_.local_image();
   DGMC_ASSERT(link >= 0 && link < image.link_count());
   const graph::Link& l = image.link(link);
@@ -133,6 +136,7 @@ void DgmcSwitch::event_handler(mc::McId mcid, McState& st, McEventType ev,
 
 void DgmcSwitch::receive(const McLsa& lsa) {
   DGMC_ASSERT(lsa.source != self_);
+  if (!alive_) return;
   ++counters_.lsas_received;
   McState& st = get_or_create(lsa.mc, lsa.mc_type);
   ++st.lsa_arrivals;
@@ -190,6 +194,28 @@ void DgmcSwitch::receive(const McLsa& lsa) {
   maybe_destroy(lsa.mc);
 }
 
+// --- Crash / recovery ---
+
+void DgmcSwitch::crash() {
+  DGMC_ASSERT_MSG(alive_, "switch already crashed");
+  alive_ = false;
+  ++counters_.crashes;
+  states_.clear();
+  if (current_.has_value()) {
+    // The in-flight computation dies with the CPU; reclaim its
+    // completion event so a ghost finish cannot fire post-restart.
+    sched_.cancel(current_event_);
+    current_.reset();
+    ++counters_.computations_withdrawn;
+  }
+}
+
+void DgmcSwitch::restart() {
+  DGMC_ASSERT_MSG(!alive_, "switch is not crashed");
+  DGMC_ASSERT(states_.empty());
+  alive_ = true;
+}
+
 std::vector<mc::McId> DgmcSwitch::known_mcs() const {
   std::vector<mc::McId> out;
   out.reserve(states_.size());
@@ -218,18 +244,41 @@ McSync DgmcSwitch::export_sync(mc::McId mcid) const {
     entry.role = st->members.role_of(y);
     sync.entries.push_back(entry);
   }
+  sync.installed = st->installed;
+  sync.c = st->c;
+  sync.c_origin = st->c_origin;
   return sync;
 }
 
 void DgmcSwitch::apply_sync(const McSync& sync) {
-  if (sync.source == self_) return;
+  if (sync.source == self_ || !alive_) return;
   McState& st = get_or_create(sync.mc, sync.mc_type);
   bool learned_anything = false;
+  bool recovered_membership = false;
+  mc::MemberRole recovered_role = mc::MemberRole::kNone;
   for (const McSyncEntry& entry : sync.entries) {
     DGMC_ASSERT(entry.node >= 0 && entry.node < network_size_);
     if (entry.node == self_) {
-      // Nobody can know more about our own events than we do.
-      DGMC_ASSERT(entry.events_heard <= st.r[self_]);
+      // In steady state nobody can know more about our own events than
+      // we do. A peer that does is reporting history we lost in a
+      // crash: adopt it — including our own pre-crash membership — so
+      // our next event index exceeds every watermark peers hold, and
+      // continuity of R[self] is restored from the network's memory.
+      if (entry.events_heard > st.r[self_]) {
+        st.r.raise_to(self_, entry.events_heard);
+        st.e.raise_to(self_, entry.events_heard);
+        learned_anything = true;
+        if (entry.member_event_index >= st.member_event_applied[self_]) {
+          st.member_event_applied[self_] = entry.member_event_index;
+          if (entry.is_member) {
+            st.members.join(self_, entry.role);
+            recovered_membership = true;
+            recovered_role = entry.role;
+          } else {
+            st.members.leave(self_);
+          }
+        }
+      }
       continue;
     }
     if (entry.events_heard > st.r[entry.node]) {
@@ -250,7 +299,32 @@ void DgmcSwitch::apply_sync(const McSync& sync) {
     st.e.raise_to(entry.node, entry.events_heard);
   }
   ++st.lsa_arrivals;  // invalidates any in-flight computation here
-  if (learned_anything) {
+
+  // Adopt the sender's accepted topology when it is fresher than ours
+  // (or ties and wins the same tie-break receive() uses). This is the
+  // relay of an already-accepted proposal: a restarted switch gets the
+  // network's current tree and matching C without proposing, so it
+  // cannot fork the tie-break against switches that kept their state.
+  if (sync.c_origin != graph::kInvalidNode) {
+    const bool fresher = sync.c.strictly_dominates(st.c);
+    const bool tie = sync.c == st.c;
+    const bool tie_adopt =
+        tie && (!config_.equal_stamp_tie_break ||
+                st.c_origin == graph::kInvalidNode ||
+                sync.c_origin < st.c_origin);
+    if (fresher || tie_adopt) {
+      install(sync.mc, st, sync.installed, sync.c, sync.c_origin);
+    }
+  }
+
+  if (recovered_membership) {
+    // We are a member the network pruned while we were down: announce
+    // recovery as a fresh membership event. It raises R[self] past the
+    // adopted C everywhere, so the proposal gate reopens and the event
+    // machinery re-attaches us to the tree.
+    event_handler(sync.mc, st, McEventType::kJoin, recovered_role,
+                  graph::kInvalidLink);
+  } else if (learned_anything) {
     // The installed topology predates the merged history; propose.
     st.make_proposal_flag = true;
   }
@@ -305,7 +379,8 @@ void DgmcSwitch::start_computation(Computation c) {
   if (hooks_.on_computation) hooks_.on_computation(c.mcid);
   const des::SimTime duration = computation_duration(c.from_scratch);
   current_ = std::move(c);
-  sched_.schedule_after(duration, [this] { finish_computation(); });
+  current_event_ =
+      sched_.schedule_after(duration, [this] { finish_computation(); });
 }
 
 void DgmcSwitch::finish_computation() {

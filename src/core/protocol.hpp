@@ -89,6 +89,7 @@ struct DgmcCounters {
   std::uint64_t proposals_accepted = 0;
   std::uint64_t proposals_ignored = 0;    // stale (T >= E failed)
   std::uint64_t inconsistencies_detected = 0;  // R[x] > T[x]
+  std::uint64_t crashes = 0;              // volatile-state wipes
 };
 
 class DgmcSwitch {
@@ -131,6 +132,27 @@ class DgmcSwitch {
   // --- LSA reception (paper ReceiveLSA, Figure 5) ---
 
   void receive(const McLsa& lsa);
+
+  // --- Crash / recovery (robustness extension) ---
+
+  /// Models a switch failure: every per-MC state (member lists,
+  /// timestamps, installed topologies) is volatile and wiped, and any
+  /// in-flight topology computation is torn down (its completion event
+  /// is cancelled). While crashed, every protocol entry point is a
+  /// no-op. Counters survive — they are the experimenter's, not the
+  /// switch's.
+  void crash();
+
+  /// Brings a crashed switch back with empty volatile state. Recovery
+  /// of MC state rides on neighbor-triggered McSync floods (the
+  /// partition-resync path): apply_sync treats a peer that reports
+  /// more of *our own* history than we hold as authoritative, which
+  /// restores the event counter R[self] (and our pre-crash
+  /// memberships) from the network's memory, so post-restart events
+  /// get indices peers will not discard as stale.
+  void restart();
+
+  bool alive() const { return alive_; }
 
   // --- Partition resynchronization (extension, see core/sync.hpp) ---
 
@@ -231,6 +253,8 @@ class DgmcSwitch {
   Hooks hooks_;
   std::map<mc::McId, McState> states_;  // ordered: deterministic iteration
   std::optional<Computation> current_;
+  des::Scheduler::EventId current_event_;  // completion event of current_
+  bool alive_ = true;
   DgmcCounters counters_;
 };
 

@@ -27,6 +27,7 @@
 
 #include "core/timestamp.hpp"
 #include "mc/types.hpp"
+#include "trees/topology.hpp"
 
 namespace dgmc::core {
 
@@ -47,6 +48,15 @@ struct McSync {
   mc::McId mc = mc::kInvalidMc;
   mc::McType mc_type = mc::McType::kSymmetric;
   std::vector<McSyncEntry> entries;  // every origin with any history
+  /// The sender's accepted topology and its stamp — the relay of an
+  /// already-accepted proposal. A receiver with no (or staler)
+  /// installed state adopts it directly instead of racing a fresh
+  /// proposal through the equal-stamp tie-break; this is what hands a
+  /// restarted switch the network's current tree. `c_origin` is
+  /// kInvalidNode when the sender has never installed.
+  trees::Topology installed;
+  VectorTimestamp c;
+  graph::NodeId c_origin = graph::kInvalidNode;
 };
 
 }  // namespace dgmc::core

@@ -1,0 +1,96 @@
+// Fault injection for the simulated network (robustness extension).
+//
+// The paper's correctness argument assumes reliable flooding ("every
+// LSA eventually reaches every switch", §3.2) and defers "disastrous
+// situations" to future work (§6). This module supplies the disasters:
+// a seeded FaultPlan describes per-transmission message loss (i.i.d.
+// and Gilbert–Elliott burst models), bounded extra-delay jitter (which
+// reorders messages), scheduled link flaps, and switch crash/restart
+// events. A FaultInjector evaluates the stochastic parts from one
+// named RngStream, so a whole chaos run is reproducible from a single
+// root seed; the scheduled parts (flaps, crashes) are driven through
+// the ordinary DES calendar by the sim layer.
+//
+// Layering: this module depends only on graph/des/util. The flooding
+// transport consumes loss/jitter decisions through std::function hooks
+// (lsr never includes fault headers), and DgmcNetwork::install_faults
+// wires both halves together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/time.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::fault {
+
+/// Two-state Gilbert–Elliott burst-loss model. Each transmission first
+/// advances the per-link channel state (good <-> bad), then draws loss
+/// with the state's probability — so losses cluster in bursts whose
+/// mean length is 1 / p_bad_to_good transmissions.
+struct GilbertElliott {
+  double p_good_to_bad = 0.0;  ///< per-transmission transition G -> B
+  double p_bad_to_good = 1.0;  ///< per-transmission transition B -> G
+  double loss_good = 0.0;      ///< loss probability in the good state
+  double loss_bad = 1.0;       ///< loss probability in the bad state
+};
+
+/// One scheduled down/up cycle of a link. `up_at` must exceed `down_at`.
+struct LinkFlap {
+  graph::LinkId link = graph::kInvalidLink;
+  des::SimTime down_at = 0.0;
+  des::SimTime up_at = 0.0;
+};
+
+/// One scheduled crash/restart cycle of a switch. The crash wipes the
+/// switch's volatile MC state; `restart_at` must exceed `crash_at`.
+struct SwitchCrash {
+  graph::NodeId node = graph::kInvalidNode;
+  des::SimTime crash_at = 0.0;
+  des::SimTime restart_at = 0.0;
+};
+
+/// Declarative description of every fault a run should suffer.
+struct FaultPlan {
+  /// Per-transmission i.i.d. loss probability, applied to every link.
+  double iid_loss = 0.0;
+  /// Burst loss; only consulted when `use_burst` is set. Combined with
+  /// `iid_loss` as independent loss causes.
+  bool use_burst = false;
+  GilbertElliott burst;
+  /// Extra per-transmission delay, uniform in [0, max_extra_delay).
+  /// Nonzero values reorder messages that share a link.
+  double max_extra_delay = 0.0;
+  std::vector<LinkFlap> flaps;
+  std::vector<SwitchCrash> crashes;
+};
+
+/// Evaluates the stochastic faults of a FaultPlan deterministically:
+/// the same (plan, link_count, seed) triple yields the same decision
+/// sequence. Decisions are consumed in event-execution order, which
+/// the DES calendar already makes deterministic.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, int link_count, std::uint64_t seed);
+
+  /// Draws the fate of one transmission on `link`: true = lost.
+  bool drop(graph::LinkId link);
+
+  /// Draws the extra delay for one transmission on `link` (>= 0).
+  des::SimTime extra_delay(graph::LinkId link);
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  FaultPlan plan_;
+  util::RngStream rng_;
+  std::vector<std::uint8_t> bad_;  // per-link Gilbert–Elliott state
+  std::uint64_t decisions_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace dgmc::fault

@@ -9,6 +9,26 @@
 // a fixed per-hop processing overhead (the knob that realizes the
 // paper's Tf regimes).
 //
+// The paper assumes this layer is lossless. Two optional extensions
+// make it survive an unreliable network (see DESIGN.md "Reliability
+// model"):
+//   * Fault hooks — per-transmission loss and extra-delay decisions
+//     injected by the fault module (std::function, so lsr does not
+//     depend on fault). A lost copy is simply never scheduled.
+//   * Reliable mode — OSPF-style per-link acknowledgment: every data
+//     copy expects an ack from the far end; the sender arms a
+//     retransmission timer with exponential backoff and retransmits
+//     until acked, the link reports down, or a retry cap is reached
+//     (Scheduler::cancel reclaims timers when acks arrive). Receivers
+//     ack duplicates too, since a duplicate usually means our previous
+//     ack was lost.
+// Both are strictly opt-in: with no hooks and reliable mode off the
+// event sequence is identical to the lossless transport.
+//
+// Crashed switches are modeled with a per-node up flag: a down node
+// neither receives (in-flight copies addressed to it evaporate) nor
+// acks, and its pending retransmissions are abandoned.
+//
 // The engine is templated on the payload type so the same transport
 // carries non-MC link LSAs and D-GMC MC LSAs (the sim layer instantiates
 // it with a variant of both).
@@ -16,7 +36,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <unordered_set>
 #include <vector>
 
@@ -25,6 +47,29 @@
 #include "util/assert.hpp"
 
 namespace dgmc::lsr {
+
+/// Per-link ack + retransmission parameters (reliable mode).
+struct ReliableFloodingConfig {
+  bool enabled = false;
+  /// First retransmission fires this long after a transmission; must
+  /// exceed the round-trip (2 * (link delay + per-hop overhead) + max
+  /// jitter) or every copy is retransmitted at least once.
+  des::SimTime initial_rto = 10 * des::kMillisecond;
+  /// RTO multiplier per retry (exponential backoff).
+  double backoff = 2.0;
+  /// Retransmissions per (link, LSA) before the sender gives up. A
+  /// give-up breaks the delivery guarantee; the protocol layer's
+  /// resync-on-restore machinery is the backstop.
+  int max_retransmits = 10;
+};
+
+/// Loss/jitter decision sources, typically bound to a
+/// fault::FaultInjector. Both are consulted once per transmission
+/// (data and ack copies alike); either may be null.
+struct FaultHooks {
+  std::function<bool(graph::LinkId)> drop;
+  std::function<des::SimTime(graph::LinkId)> extra_delay;
+};
 
 template <typename Payload>
 class FloodingNetwork {
@@ -45,17 +90,46 @@ class FloodingNetwork {
       : sched_(sched),
         physical_(physical),
         per_hop_overhead_(per_hop_overhead),
-        seen_(physical.node_count()),
+        seen_(physical.node_count(),
+              std::vector<OriginDedup>(physical.node_count())),
+        node_up_(physical.node_count(), 1),
         next_seq_(physical.node_count(), 0) {
     DGMC_ASSERT(per_hop_overhead >= 0.0);
   }
 
   void set_receiver(Receiver r) { receiver_ = std::move(r); }
 
+  void set_reliable(const ReliableFloodingConfig& cfg) {
+    DGMC_ASSERT(cfg.initial_rto > 0.0);
+    DGMC_ASSERT(cfg.backoff >= 1.0);
+    DGMC_ASSERT(cfg.max_retransmits >= 0);
+    reliable_ = cfg;
+  }
+
+  void set_fault_hooks(FaultHooks hooks) { faults_ = std::move(hooks); }
+
+  /// Marks a switch's interface up or down. While down, copies
+  /// addressed to the node are discarded on arrival, no acks are
+  /// produced, and the node's own pending retransmissions are
+  /// abandoned. Flooding state (dedup history, sequence counters)
+  /// survives, standing in for OSPF's recovery of self-originated
+  /// sequence numbers.
+  void set_node_up(graph::NodeId n, bool up) {
+    DGMC_ASSERT(physical_.valid_node(n));
+    node_up_[n] = up ? 1 : 0;
+    if (!up) abandon_pending_from(n);
+  }
+
+  bool node_up(graph::NodeId n) const {
+    DGMC_ASSERT(physical_.valid_node(n));
+    return node_up_[n] != 0;
+  }
+
   /// Originates one flooding operation. Counted once regardless of the
   /// number of per-link copies (the paper's "floodings per event" unit).
   void flood(graph::NodeId origin, Payload payload) {
     DGMC_ASSERT(physical_.valid_node(origin));
+    DGMC_ASSERT_MSG(node_up_[origin] != 0, "crashed switch cannot flood");
     auto msg = std::make_shared<const Message>(
         Message{origin, next_seq_[origin]++, std::move(payload)});
     ++floodings_originated_;
@@ -68,6 +142,31 @@ class FloodingNetwork {
   std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
   std::uint64_t in_flight() const { return in_flight_; }
 
+  // --- Reliability / fault metrics ---
+
+  /// Data copies retransmitted after an RTO expiry.
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Per-link acknowledgments transmitted (reliable mode).
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  /// Copies (data or ack) destroyed by fault injection or by arriving
+  /// at a crashed switch.
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  /// Transmissions abandoned after max_retransmits expiries.
+  std::uint64_t give_ups() const { return give_ups_; }
+  /// Armed retransmission timers — nonzero means the transport still
+  /// owes deliveries, so quiescence checks must include it.
+  std::size_t retransmit_timers_armed() const { return pending_.size(); }
+  /// Out-of-order dedup entries currently buffered across all switches
+  /// (bounded by the reordering window; the per-origin high-water marks
+  /// absorb everything delivered in order).
+  std::size_t dedup_backlog() const {
+    std::size_t total = 0;
+    for (const auto& per_switch : seen_) {
+      for (const OriginDedup& d : per_switch) total += d.ahead.size();
+    }
+    return total;
+  }
+
  private:
   struct Message {
     graph::NodeId origin;
@@ -76,30 +175,86 @@ class FloodingNetwork {
   };
   using MessagePtr = std::shared_ptr<const Message>;
 
-  static std::uint64_t key(graph::NodeId origin, std::uint32_t seq) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin))
-            << 32) |
-           seq;
-  }
+  // Dedup: sequence numbers are per-origin monotone, so almost all
+  // history compresses into a high-water mark ("every seq below
+  // next_expected is seen"); only copies that overtake earlier ones —
+  // possible under jitter-induced reordering — park in `ahead` until
+  // the gap closes. Replaces an ever-growing per-switch set of
+  // (origin, seq) keys that made long runs leak memory.
+  struct OriginDedup {
+    std::uint32_t next_expected = 0;
+    std::unordered_set<std::uint32_t> ahead;
+  };
+
+  /// One unacked data copy: (link, sender) + the message, its armed
+  /// timer, and the backoff state.
+  struct PendingTx {
+    MessagePtr msg;
+    des::Scheduler::EventId timer;
+    int retransmits = 0;
+    des::SimTime rto = 0.0;
+  };
+  // Keyed by (link, sender, origin, seq); std::map keeps the crash
+  // sweep deterministic.
+  using PendingKey =
+      std::tuple<graph::LinkId, graph::NodeId, graph::NodeId, std::uint32_t>;
 
   bool mark_seen(graph::NodeId at, graph::NodeId origin, std::uint32_t seq) {
-    return seen_[at].insert(key(origin, seq)).second;
+    OriginDedup& d = seen_[at][origin];
+    if (seq < d.next_expected) return false;
+    if (seq == d.next_expected) {
+      ++d.next_expected;
+      while (d.ahead.erase(d.next_expected) != 0) ++d.next_expected;
+      return true;
+    }
+    return d.ahead.insert(seq).second;
+  }
+
+  bool fault_drop(graph::LinkId link) {
+    return faults_.drop != nullptr && faults_.drop(link);
+  }
+
+  des::SimTime fault_delay(graph::LinkId link) {
+    if (faults_.extra_delay == nullptr) return 0.0;
+    const des::SimTime extra = faults_.extra_delay(link);
+    DGMC_ASSERT(extra >= 0.0);
+    return extra;
   }
 
   void forward(graph::NodeId from, const MessagePtr& msg) {
     for (graph::LinkId id : physical_.links_of(from)) {
       const graph::Link& l = physical_.link(id);
       if (!l.up) continue;
-      const graph::NodeId to = physical_.other_end(id, from);
-      ++link_transmissions_;
-      ++in_flight_;
-      sched_.schedule_after(l.delay + per_hop_overhead_,
-                            [this, to, msg] { arrive(to, msg); });
+      if (reliable_.enabled) {
+        start_reliable_tx(id, from, msg);
+      } else {
+        transmit(id, from, msg);
+      }
     }
   }
 
-  void arrive(graph::NodeId at, const MessagePtr& msg) {
+  /// One data-copy attempt over a link (both modes).
+  void transmit(graph::LinkId id, graph::NodeId from, const MessagePtr& msg) {
+    const graph::Link& l = physical_.link(id);
+    const graph::NodeId to = physical_.other_end(id, from);
+    ++link_transmissions_;
+    if (fault_drop(id)) {
+      ++messages_dropped_;
+      return;
+    }
+    ++in_flight_;
+    sched_.schedule_after(l.delay + per_hop_overhead_ + fault_delay(id),
+                          [this, id, to, msg] { arrive(id, to, msg); });
+  }
+
+  void arrive(graph::LinkId link, graph::NodeId at, const MessagePtr& msg) {
     --in_flight_;
+    if (node_up_[at] == 0) {
+      // The interface died while the copy was in flight.
+      ++messages_dropped_;
+      return;
+    }
+    if (reliable_.enabled) send_ack(link, at, msg->origin, msg->seq);
     if (!mark_seen(at, msg->origin, msg->seq)) {
       ++duplicates_dropped_;
       return;
@@ -110,16 +265,111 @@ class FloodingNetwork {
     forward(at, msg);
   }
 
+  // --- Reliable mode ---
+
+  void start_reliable_tx(graph::LinkId id, graph::NodeId from,
+                         const MessagePtr& msg) {
+    const PendingKey key{id, from, msg->origin, msg->seq};
+    DGMC_ASSERT_MSG(pending_.find(key) == pending_.end(),
+                    "duplicate reliable transmission");
+    PendingTx tx;
+    tx.msg = msg;
+    tx.rto = reliable_.initial_rto;
+    auto [it, inserted] = pending_.emplace(key, std::move(tx));
+    DGMC_ASSERT(inserted);
+    attempt(it);
+  }
+
+  void attempt(typename std::map<PendingKey, PendingTx>::iterator it) {
+    const graph::LinkId link = std::get<0>(it->first);
+    const graph::NodeId from = std::get<1>(it->first);
+    // A flapped-down link swallows the attempt but keeps the timer
+    // running: the link may come back before the retry cap.
+    if (physical_.link(link).up) transmit(link, from, it->second.msg);
+    const PendingKey key = it->first;
+    it->second.timer =
+        sched_.schedule_after(it->second.rto, [this, key] { on_rto(key); });
+  }
+
+  void on_rto(const PendingKey& key) {
+    auto it = pending_.find(key);
+    DGMC_ASSERT(it != pending_.end());
+    const graph::NodeId from = std::get<1>(key);
+    if (node_up_[from] == 0) {
+      // Sender crashed between arming the timer and expiry.
+      pending_.erase(it);
+      return;
+    }
+    PendingTx& tx = it->second;
+    if (tx.retransmits >= reliable_.max_retransmits) {
+      ++give_ups_;
+      pending_.erase(it);
+      return;
+    }
+    ++tx.retransmits;
+    ++retransmissions_;
+    tx.rto *= reliable_.backoff;
+    attempt(it);
+  }
+
+  void send_ack(graph::LinkId link, graph::NodeId from, graph::NodeId origin,
+                std::uint32_t seq) {
+    const graph::Link& l = physical_.link(link);
+    // A link that went down after the data copy left cannot carry the
+    // ack back; the sender keeps retransmitting into the down link.
+    if (!l.up) return;
+    ++acks_sent_;
+    if (fault_drop(link)) {
+      ++messages_dropped_;
+      return;
+    }
+    const graph::NodeId to = physical_.other_end(link, from);
+    sched_.schedule_after(
+        l.delay + per_hop_overhead_ + fault_delay(link),
+        [this, link, to, origin, seq] { ack_arrive(link, to, origin, seq); });
+  }
+
+  void ack_arrive(graph::LinkId link, graph::NodeId at, graph::NodeId origin,
+                  std::uint32_t seq) {
+    if (node_up_[at] == 0) {
+      ++messages_dropped_;
+      return;
+    }
+    auto it = pending_.find(PendingKey{link, at, origin, seq});
+    if (it == pending_.end()) return;  // late ack after give-up/duplicate
+    sched_.cancel(it->second.timer);
+    pending_.erase(it);
+  }
+
+  void abandon_pending_from(graph::NodeId n) {
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (std::get<1>(it->first) == n) {
+        sched_.cancel(it->second.timer);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   des::Scheduler& sched_;
   const graph::Graph& physical_;
   double per_hop_overhead_;
   Receiver receiver_;
-  std::vector<std::unordered_set<std::uint64_t>> seen_;
+  ReliableFloodingConfig reliable_;
+  FaultHooks faults_;
+  std::vector<std::vector<OriginDedup>> seen_;  // [switch][origin]
+  std::vector<std::uint8_t> node_up_;
   std::vector<std::uint32_t> next_seq_;
+  std::map<PendingKey, PendingTx> pending_;
   std::uint64_t floodings_originated_ = 0;
   std::uint64_t link_transmissions_ = 0;
   std::uint64_t duplicates_dropped_ = 0;
   std::uint64_t in_flight_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t give_ups_ = 0;
 };
 
 }  // namespace dgmc::lsr

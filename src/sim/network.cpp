@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "graph/algorithms.hpp"
@@ -14,7 +15,9 @@ DgmcNetwork::DgmcNetwork(graph::Graph physical, Params params,
       algorithm_(std::move(algorithm)),
       flooding_(sched_, physical_, params.per_hop_overhead) {
   DGMC_ASSERT(algorithm_ != nullptr);
+  if (params.reliable.enabled) flooding_.set_reliable(params.reliable);
   const int n = physical_.node_count();
+  crashed_links_.resize(n);
   hosts_.reserve(n);
   for (graph::NodeId id = 0; id < n; ++id) {
     hosts_.emplace_back(physical_);
@@ -99,6 +102,7 @@ int DgmcNetwork::fail_link(graph::LinkId link, graph::NodeId detector) {
     const graph::Link& l = physical_.link(link);
     int k = 0;
     for (graph::NodeId endpoint : {std::min(l.u, l.v), std::max(l.u, l.v)}) {
+      if (!hosts_[endpoint].dgmc->alive()) continue;  // cannot detect
       hosts_[endpoint].image.apply(lsr::LinkEventAd{link, false});
       ++nonmc_floodings_;
       flooding_.flood(endpoint, Payload{lsr::LinkEventAd{link, false}});
@@ -108,6 +112,7 @@ int DgmcNetwork::fail_link(graph::LinkId link, graph::NodeId detector) {
     return k;
   }
 
+  if (!hosts_[det].dgmc->alive()) return 0;  // the detector is down
   hosts_[det].image.apply(lsr::LinkEventAd{link, false});
   // One non-MC LSA, then k MC LSAs (paper §3.1, Figure 2).
   ++nonmc_floodings_;
@@ -124,6 +129,7 @@ void DgmcNetwork::restore_link(graph::LinkId link, graph::NodeId detector) {
   for (graph::NodeId endpoint :
        {std::min(restored.u, restored.v), std::max(restored.u, restored.v)}) {
     if (!params_.dual_link_detection && endpoint != det) continue;
+    if (!hosts_[endpoint].dgmc->alive()) continue;  // cannot detect
     hosts_[endpoint].image.apply(lsr::LinkEventAd{link, true});
     ++nonmc_floodings_;
     flooding_.flood(endpoint, Payload{lsr::LinkEventAd{link, true}});
@@ -136,13 +142,126 @@ void DgmcNetwork::restore_link(graph::LinkId link, graph::NodeId detector) {
     // endpoints summarize every connection they know and flood the
     // summaries, letting a healed partition reconcile.
     const graph::Link& l = physical_.link(link);
-    for (graph::NodeId endpoint : {l.u, l.v}) {
-      for (mc::McId mcid : hosts_[endpoint].dgmc->known_mcs()) {
-        ++sync_floodings_;
-        flooding_.flood(endpoint,
-                        Payload{hosts_[endpoint].dgmc->export_sync(mcid)});
-      }
+    resync_over({l.u, l.v});
+  }
+}
+
+void DgmcNetwork::resync_over(const std::vector<graph::NodeId>& endpoints) {
+  for (graph::NodeId endpoint : endpoints) {
+    if (!hosts_[endpoint].dgmc->alive()) continue;
+    for (mc::McId mcid : hosts_[endpoint].dgmc->known_mcs()) {
+      ++sync_floodings_;
+      flooding_.flood(endpoint,
+                      Payload{hosts_[endpoint].dgmc->export_sync(mcid)});
     }
+  }
+}
+
+bool DgmcNetwork::switch_alive(graph::NodeId node) const {
+  DGMC_ASSERT(physical_.valid_node(node));
+  return hosts_[node].dgmc->alive();
+}
+
+void DgmcNetwork::crash_switch(graph::NodeId node) {
+  DGMC_ASSERT(physical_.valid_node(node));
+  DGMC_ASSERT_MSG(hosts_[node].dgmc->alive(), "switch already crashed");
+  hosts_[node].dgmc->crash();
+  flooding_.set_node_up(node, false);
+  // The crash is a nodal event: every up incident link dies, and each
+  // live neighbor — never the corpse — detects its half (paper §3.1:
+  // "a nodal failure is advertised as the set of its incident links
+  // going down").
+  std::vector<graph::LinkId>& downed = crashed_links_[node];
+  DGMC_ASSERT(downed.empty());
+  for (graph::LinkId id : physical_.links_of(node)) {
+    if (!physical_.link(id).up) continue;
+    physical_.set_link_up(id, false);
+    downed.push_back(id);
+    const graph::NodeId neighbor = physical_.other_end(id, node);
+    if (!hosts_[neighbor].dgmc->alive()) continue;
+    hosts_[neighbor].image.apply(lsr::LinkEventAd{id, false});
+    ++nonmc_floodings_;
+    flooding_.flood(neighbor, Payload{lsr::LinkEventAd{id, false}});
+    hosts_[neighbor].dgmc->local_link_event(id);
+  }
+}
+
+void DgmcNetwork::restart_switch(graph::NodeId node) {
+  DGMC_ASSERT(physical_.valid_node(node));
+  DGMC_ASSERT_MSG(!hosts_[node].dgmc->alive(), "switch is not crashed");
+  hosts_[node].dgmc->restart();
+  flooding_.set_node_up(node, true);
+  // Bring the links the crash took down back up (a flap may have cycled
+  // some already — skip those; their adjacency still resyncs below).
+  for (graph::LinkId id : crashed_links_[node]) {
+    if (physical_.link(id).up) continue;
+    physical_.set_link_up(id, true);
+    const graph::Link& l = physical_.link(id);
+    for (graph::NodeId endpoint : {std::min(l.u, l.v), std::max(l.u, l.v)}) {
+      if (!hosts_[endpoint].dgmc->alive()) continue;
+      hosts_[endpoint].image.apply(lsr::LinkEventAd{id, true});
+      ++nonmc_floodings_;
+      flooding_.flood(endpoint, Payload{lsr::LinkEventAd{id, true}});
+      const int affected = hosts_[endpoint].dgmc->local_link_event(id);
+      DGMC_ASSERT(affected == 0);
+    }
+  }
+  // The unicast LSR database bring-up is modeled as instantaneous: the
+  // reborn switch re-seeds its image from current reality. (Events it
+  // missed while dead are exactly the ones a real LSDB exchange would
+  // replay.)
+  hosts_[node].image = lsr::LocalImage(physical_);
+  if (params_.dgmc.partition_resync) {
+    // MC database exchange over every recovered adjacency. The reborn
+    // switch knows no MCs, so in practice its neighbors teach it —
+    // including its own pre-crash history (see DgmcSwitch::apply_sync).
+    std::vector<graph::NodeId> endpoints;
+    endpoints.push_back(node);
+    for (graph::LinkId id : crashed_links_[node]) {
+      const graph::Link& l = physical_.link(id);
+      endpoints.push_back(l.u);
+      endpoints.push_back(l.v);
+    }
+    std::sort(endpoints.begin(), endpoints.end());
+    endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                    endpoints.end());
+    resync_over(endpoints);
+  }
+  crashed_links_[node].clear();
+}
+
+void DgmcNetwork::install_faults(const fault::FaultPlan& plan,
+                                 std::uint64_t seed) {
+  DGMC_ASSERT_MSG(injector_ == nullptr, "fault plan already installed");
+  injector_ = std::make_unique<fault::FaultInjector>(
+      plan, physical_.link_count(), seed);
+  lsr::FaultHooks hooks;
+  hooks.drop = [this](graph::LinkId l) { return injector_->drop(l); };
+  hooks.extra_delay = [this](graph::LinkId l) {
+    return injector_->extra_delay(l);
+  };
+  flooding_.set_fault_hooks(std::move(hooks));
+  // Scheduled faults ride the ordinary calendar. Each is guarded
+  // against the state it expects having been changed by a concurrent
+  // fault (a crash downing a flapping link, overlapping crash cycles):
+  // the stale half of a cycle degrades to a no-op.
+  for (const fault::LinkFlap& f : plan.flaps) {
+    DGMC_ASSERT(f.link >= 0 && f.link < physical_.link_count());
+    sched_.schedule_at(f.down_at, [this, f] {
+      if (physical_.link(f.link).up) fail_link(f.link);
+    });
+    sched_.schedule_at(f.up_at, [this, f] {
+      if (!physical_.link(f.link).up) restore_link(f.link);
+    });
+  }
+  for (const fault::SwitchCrash& c : plan.crashes) {
+    DGMC_ASSERT(physical_.valid_node(c.node));
+    sched_.schedule_at(c.crash_at, [this, c] {
+      if (hosts_[c.node].dgmc->alive()) crash_switch(c.node);
+    });
+    sched_.schedule_at(c.restart_at, [this, c] {
+      if (!hosts_[c.node].dgmc->alive()) restart_switch(c.node);
+    });
   }
 }
 
@@ -180,6 +299,16 @@ bool DgmcNetwork::converged(mc::McId mcid) const {
     if (!(*h.dgmc->stamp_c(mcid) == *reference->stamp_c(mcid))) return false;
   }
   if (reference == nullptr) return true;  // destroyed everywhere
+  // A switch that the agreed tree or member list involves but that
+  // holds no state cannot forward for the connection. It never
+  // *disagrees* on content, so the comparisons above miss it — this is
+  // the signature of a crash recovery that failed to re-learn.
+  for (graph::NodeId n : reference->installed(mcid)->nodes()) {
+    if (!hosts_[n].dgmc->has_state(mcid)) return false;
+  }
+  for (graph::NodeId n : reference->members(mcid)->all()) {
+    if (!hosts_[n].dgmc->has_state(mcid)) return false;
+  }
   // The agreed topology must actually serve the agreed member list.
   return mc::is_valid_topology(physical_, reference->mc_type(mcid),
                                *reference->members(mcid),

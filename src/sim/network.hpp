@@ -9,6 +9,7 @@
 
 #include "core/protocol.hpp"
 #include "des/scheduler.hpp"
+#include "fault/fault.hpp"
 #include "graph/graph.hpp"
 #include "lsr/flooding.hpp"
 #include "lsr/link_lsa.hpp"
@@ -34,6 +35,10 @@ class DgmcNetwork {
     /// followed by k MC LSAs" accounting (§3.1), which is exact as long
     /// as the network stays connected.
     bool dual_link_detection = false;
+    /// Per-link ack + retransmission on the flooding transport. Off by
+    /// default — the paper's lossless model. Required for convergence
+    /// whenever a fault plan injects message loss.
+    lsr::ReliableFloodingConfig reliable;
   };
 
   DgmcNetwork(graph::Graph physical, Params params,
@@ -69,9 +74,42 @@ class DgmcNetwork {
   void restore_link(graph::LinkId link,
                     graph::NodeId detector = graph::kInvalidNode);
 
+  /// Crashes a switch: wipes its volatile MC state, tears down its
+  /// in-flight computation, kills its interfaces (every up incident
+  /// link goes down, with each live neighbor as the detector — the
+  /// paper's "nodal event" advertised as incident link failures), and
+  /// silences its transport endpoint.
+  void crash_switch(graph::NodeId node);
+
+  /// Restarts a crashed switch with empty state: its image is re-seeded
+  /// from the current network (standing in for the unicast LSR
+  /// database bring-up), the links its crash took down come back up,
+  /// and — with `partition_resync` — both ends of every recovered
+  /// adjacency flood McSync summaries, from which the switch re-learns
+  /// the MC state (including its own pre-crash history) it lost.
+  void restart_switch(graph::NodeId node);
+
+  bool switch_alive(graph::NodeId node) const;
+
+  /// Installs a seeded fault plan: loss/jitter hooks on the flooding
+  /// transport plus calendar-driven link flaps and switch
+  /// crash/restart events. Deterministic per (plan, seed). Call once,
+  /// before running; plan times are absolute and must be >= now().
+  void install_faults(const fault::FaultPlan& plan, std::uint64_t seed);
+
   /// Runs the calendar dry. With no pending injections this reaches
   /// protocol quiescence: no LSAs in flight, no computations running.
   void run_to_quiescence() { sched_.run(); }
+
+  /// Loss-aware partial run: executes everything scheduled up to t.
+  void run_until(des::SimTime t) { sched_.run_until(t); }
+
+  /// Loss-aware quiescence: nothing left on the calendar *and* no
+  /// armed retransmission timers (an armed timer is an undelivered
+  /// LSA, so topology agreement checked earlier could still change).
+  bool quiescent() const {
+    return sched_.empty() && flooding_.retransmit_timers_armed() == 0;
+  }
 
   // --- Metrics ---
 
@@ -91,6 +129,15 @@ class DgmcNetwork {
   std::uint64_t lsa_link_transmissions() const {
     return flooding_.link_transmissions();
   }
+
+  /// The flooding transport, for reliability metrics (retransmissions,
+  /// acks, drops, give-ups).
+  const lsr::FloodingNetwork<Payload>& transport() const {
+    return flooding_;
+  }
+
+  /// The installed fault injector, or nullptr.
+  const fault::FaultInjector* faults() const { return injector_.get(); }
 
   /// Simulated time of the most recent topology installation anywhere.
   des::SimTime last_install_time() const { return last_install_time_; }
@@ -117,6 +164,7 @@ class DgmcNetwork {
   void deliver(const lsr::FloodingNetwork<Payload>::Delivery& d);
   graph::NodeId pick_detector(graph::LinkId link,
                               graph::NodeId requested) const;
+  void resync_over(const std::vector<graph::NodeId>& endpoints);
 
   des::Scheduler sched_;
   graph::Graph physical_;
@@ -124,6 +172,9 @@ class DgmcNetwork {
   std::unique_ptr<mc::TopologyAlgorithm> algorithm_;
   lsr::FloodingNetwork<Payload> flooding_;
   std::vector<Host> hosts_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  /// Links each crashed switch's failure took down, pending restore.
+  std::vector<std::vector<graph::LinkId>> crashed_links_;
   std::uint64_t nonmc_floodings_ = 0;
   std::uint64_t sync_floodings_ = 0;
   std::uint64_t installs_ = 0;

@@ -168,6 +168,13 @@ TEST(Codec, McSyncRoundTrip) {
   sync.entries.push_back(McSyncEntry{0, 3, 3, true, mc::MemberRole::kSender});
   sync.entries.push_back(
       McSyncEntry{4, 1, 1, false, mc::MemberRole::kNone});
+  VectorTimestamp c(6);
+  c.increment(0);
+  c.increment(4);
+  c.increment(4);
+  sync.c = c;
+  sync.c_origin = 4;
+  sync.installed = Topology({graph::Edge(0, 2), graph::Edge(2, 4)});
   const auto bytes = encode(sync);
   EXPECT_EQ(peek_type(bytes), WireType::kMcSync);
   const auto decoded = decode_mc_sync(bytes);
@@ -176,6 +183,20 @@ TEST(Codec, McSyncRoundTrip) {
   EXPECT_EQ(decoded->mc, sync.mc);
   EXPECT_EQ(decoded->mc_type, sync.mc_type);
   EXPECT_EQ(decoded->entries, sync.entries);
+  EXPECT_EQ(decoded->c, sync.c);
+  EXPECT_EQ(decoded->c_origin, sync.c_origin);
+  EXPECT_EQ(decoded->installed, sync.installed);
+}
+
+TEST(Codec, McSyncWithoutInstallRoundTrips) {
+  McSync sync;  // a sender that never accepted a proposal
+  sync.source = 0;
+  sync.mc = 1;
+  const auto bytes = encode(sync);
+  const auto decoded = decode_mc_sync(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->c_origin, graph::kInvalidNode);
+  EXPECT_TRUE(decoded->installed.empty());
 }
 
 TEST(Codec, McSyncRejectsMalformedInput) {
@@ -189,9 +210,10 @@ TEST(Codec, McSyncRejectsMalformedInput) {
     std::vector<std::uint8_t> t(bytes.begin(), bytes.begin() + cut);
     EXPECT_FALSE(decode_mc_sync(t).has_value()) << cut;
   }
-  // Member entry with role kNone.
+  // Member entry with role kNone. The entry's role byte sits just
+  // before the 12-byte trailer (empty C stamp + c_origin + edge count).
   bytes = encode(sync);
-  bytes.back() = 0;
+  bytes[bytes.size() - 13] = 0;
   EXPECT_FALSE(decode_mc_sync(bytes).has_value());
   // Wrong type byte.
   EXPECT_FALSE(decode_mc_sync(encode(sample_lsa())).has_value());

@@ -171,6 +171,183 @@ TEST(McSyncApply, EmptyMemberListAfterMergeDestroysState) {
   EXPECT_FALSE(f.sw->has_state(0));
 }
 
+TEST(McSyncApply, EqualEventsHeardTeachesNothing) {
+  Fixture f;
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  f.sw->receive(f.join_lsa(2, 1));
+  f.sched.run();
+  const auto r_before = *f.sw->stamp_r(0);
+  f.flooded.clear();
+
+  // A peer with the exact same view of switch 2: equal events_heard on
+  // both sides means neither is authoritative and nothing may change —
+  // in particular no spurious reconciliation proposal.
+  McSync sync;
+  sync.source = 3;
+  sync.mc = 0;
+  sync.entries.push_back(McSyncEntry{2, 1, 1, true, mc::MemberRole::kBoth});
+  f.sw->apply_sync(sync);
+  f.sched.run();
+
+  EXPECT_EQ(*f.sw->stamp_r(0), r_before);
+  EXPECT_TRUE(f.sw->members(0)->contains(2));
+  EXPECT_FALSE(f.sw->proposal_flag(0));
+  EXPECT_TRUE(f.flooded.empty());
+}
+
+TEST(McSyncApply, SyncForDestroyedMcStaysDestroyed) {
+  Fixture f;
+  // Join then leave: destroy_on_empty erases the state.
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  f.sw->local_leave(0);
+  f.sched.run();
+  ASSERT_FALSE(f.sw->has_state(0));
+
+  // A straggler sync describing the dead connection's full history
+  // (nobody is a member anymore) must not resurrect it.
+  McSync sync;
+  sync.source = 3;
+  sync.mc = 0;
+  sync.entries.push_back(McSyncEntry{0, 2, 2, false, mc::MemberRole::kNone});
+  sync.entries.push_back(McSyncEntry{4, 2, 2, false, mc::MemberRole::kNone});
+  f.sw->apply_sync(sync);
+  EXPECT_FALSE(f.sw->has_state(0));
+}
+
+TEST(McSyncApply, AdoptsFresherInstalledTopology) {
+  Fixture f(/*self=*/3);
+  // A peer relays its accepted proposal: members {1, 2}, tree 1-2,
+  // stamped with the full history the entries describe.
+  McSync sync;
+  sync.source = 1;
+  sync.mc = 0;
+  sync.entries.push_back(McSyncEntry{1, 1, 1, true, mc::MemberRole::kBoth});
+  sync.entries.push_back(McSyncEntry{2, 1, 1, true, mc::MemberRole::kBoth});
+  sync.installed = Topology({graph::Edge(1, 2)});
+  sync.c = VectorTimestamp(6);
+  sync.c.increment(1);
+  sync.c.increment(2);
+  sync.c_origin = 1;
+  f.sw->apply_sync(sync);
+  f.sched.run();
+
+  // The stateless receiver adopts tree and stamp outright; since the
+  // adopted C equals the merged R, the proposal gate stays shut — no
+  // competing proposal is raced through the tie-break.
+  ASSERT_TRUE(f.sw->has_state(0));
+  EXPECT_EQ(*f.sw->installed(0), sync.installed);
+  EXPECT_EQ(*f.sw->stamp_c(0), sync.c);
+  EXPECT_TRUE(f.flooded.empty());
+}
+
+TEST(McSyncApply, StaleInstalledTopologyIsNotAdopted) {
+  Fixture f;
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  f.sw->receive(f.join_lsa(2, 1));
+  f.sched.run();
+  ASSERT_FALSE(f.sw->installed(0)->empty());
+  const Topology mine = *f.sw->installed(0);
+  const VectorTimestamp c_mine = *f.sw->stamp_c(0);
+
+  // A sync whose accepted topology predates ours (its C stamp does not
+  // dominate) must not roll our installed tree back.
+  McSync sync;
+  sync.source = 4;
+  sync.mc = 0;
+  sync.entries.push_back(McSyncEntry{2, 1, 1, true, mc::MemberRole::kBoth});
+  sync.installed = Topology({graph::Edge(4, 5)});
+  sync.c = VectorTimestamp(6);
+  sync.c.increment(2);  // knows 2's join, not ours
+  sync.c_origin = 4;
+  f.sw->apply_sync(sync);
+
+  EXPECT_EQ(*f.sw->installed(0), mine);
+  EXPECT_EQ(*f.sw->stamp_c(0), c_mine);
+}
+
+TEST(CrashRecovery, CrashWipesAllMcState) {
+  Fixture f;
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sw->local_join(5, mc::McType::kReceiverOnly, mc::MemberRole::kReceiver);
+  f.sched.run();
+  ASSERT_TRUE(f.sw->has_state(0));
+  ASSERT_TRUE(f.sw->has_state(5));
+
+  f.sw->crash();
+  EXPECT_FALSE(f.sw->alive());
+  EXPECT_FALSE(f.sw->has_state(0));
+  EXPECT_FALSE(f.sw->has_state(5));
+  EXPECT_EQ(f.sw->counters().crashes, 1u);
+
+  // A dead switch ignores everything: no state is created, nothing is
+  // flooded.
+  f.flooded.clear();
+  f.sw->receive(f.join_lsa(2, 1));
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  EXPECT_FALSE(f.sw->has_state(0));
+  EXPECT_TRUE(f.flooded.empty());
+}
+
+TEST(CrashRecovery, SyncRestoresOwnHistoryAndTriggersRejoin) {
+  Fixture f;
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  ASSERT_EQ((*f.sw->stamp_r(0))[0], 1u);
+
+  f.sw->crash();
+  f.sw->restart();
+  EXPECT_TRUE(f.sw->alive());
+  ASSERT_FALSE(f.sw->has_state(0));
+  f.flooded.clear();
+
+  // A neighbor's sync remembers us: 1 event heard from us, and we were
+  // a member. The switch must adopt that history (so its next event
+  // index is fresh) and then announce recovery as a new join event.
+  McSync sync;
+  sync.source = 1;
+  sync.mc = 0;
+  sync.entries.push_back(McSyncEntry{0, 1, 1, true, mc::MemberRole::kBoth});
+  sync.entries.push_back(McSyncEntry{1, 1, 1, true, mc::MemberRole::kBoth});
+  f.sw->apply_sync(sync);
+  f.sched.run();
+
+  ASSERT_TRUE(f.sw->has_state(0));
+  EXPECT_TRUE(f.sw->members(0)->contains(0));
+  // Adopted index 1, then the recovery join: R[self] is past every
+  // watermark any peer can hold.
+  EXPECT_EQ((*f.sw->stamp_r(0))[0], 2u);
+  ASSERT_FALSE(f.flooded.empty());
+  EXPECT_EQ(f.flooded.back().event, McEventType::kJoin);
+  EXPECT_EQ(f.flooded.back().stamp[0], 2u);
+}
+
+TEST(CrashRecovery, SecondSyncDoesNotRejoinTwice) {
+  Fixture f;
+  f.sw->local_join(0, mc::McType::kSymmetric);
+  f.sched.run();
+  f.sw->crash();
+  f.sw->restart();
+  McSync sync;
+  sync.source = 1;
+  sync.mc = 0;
+  sync.entries.push_back(McSyncEntry{0, 1, 1, true, mc::MemberRole::kBoth});
+  f.sw->apply_sync(sync);
+  f.sched.run();
+  ASSERT_EQ((*f.sw->stamp_r(0))[0], 2u);
+
+  // The same summary from another neighbor is now stale with respect
+  // to our recovered counter: no second recovery event.
+  sync.source = 5;
+  f.flooded.clear();
+  f.sw->apply_sync(sync);
+  f.sched.run();
+  EXPECT_EQ((*f.sw->stamp_r(0))[0], 2u);
+  EXPECT_TRUE(f.flooded.empty());
+}
+
 TEST(McSyncApply, SyncArrivalWithdrawsInFlightComputation) {
   Fixture f;
   f.sw->local_join(0, mc::McType::kSymmetric);

@@ -1,0 +1,116 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dgmc::fault {
+namespace {
+
+TEST(FaultInjector, NoFaultsMeansNoDrops) {
+  FaultPlan plan;  // all defaults: lossless
+  FaultInjector inj(plan, 4, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.drop(i % 4));
+    EXPECT_EQ(inj.extra_delay(i % 4), 0.0);
+  }
+  EXPECT_EQ(inj.drops(), 0u);
+  EXPECT_EQ(inj.decisions(), 1000u);
+}
+
+TEST(FaultInjector, IidLossMatchesProbability) {
+  FaultPlan plan;
+  plan.iid_loss = 0.2;
+  FaultInjector inj(plan, 1, 7);
+  const int trials = 20000;
+  int lost = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (inj.drop(0)) ++lost;
+  }
+  const double rate = static_cast<double>(lost) / trials;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+  EXPECT_EQ(inj.drops(), static_cast<std::uint64_t>(lost));
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.iid_loss = 0.3;
+  plan.max_extra_delay = 1e-3;
+  FaultInjector a(plan, 3, 42);
+  FaultInjector b(plan, 3, 42);
+  for (int i = 0; i < 500; ++i) {
+    const graph::LinkId link = i % 3;
+    EXPECT_EQ(a.drop(link), b.drop(link));
+    EXPECT_EQ(a.extra_delay(link), b.extra_delay(link));
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultPlan plan;
+  plan.iid_loss = 0.5;
+  FaultInjector a(plan, 1, 1);
+  FaultInjector b(plan, 1, 2);
+  int disagreements = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.drop(0) != b.drop(0)) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultInjector, GilbertElliottLossesComeInBursts) {
+  FaultPlan plan;
+  plan.use_burst = true;
+  plan.burst.p_good_to_bad = 0.01;
+  plan.burst.p_bad_to_good = 0.25;  // mean burst length 4
+  plan.burst.loss_good = 0.0;
+  plan.burst.loss_bad = 1.0;
+  FaultInjector inj(plan, 1, 11);
+  const int trials = 50000;
+  int losses = 0, bursts = 0;
+  bool in_burst = false;
+  for (int i = 0; i < trials; ++i) {
+    const bool lost = inj.drop(0);
+    if (lost) {
+      ++losses;
+      if (!in_burst) ++bursts;
+    }
+    in_burst = lost;
+  }
+  ASSERT_GT(bursts, 0);
+  // Steady state: bad fraction = p_gb / (p_gb + p_bg) ~ 3.8% loss.
+  EXPECT_NEAR(static_cast<double>(losses) / trials, 0.0385, 0.01);
+  // Mean burst length ~ 1/p_bad_to_good = 4 — far above the ~1.04 an
+  // i.i.d. model of equal loss rate would produce.
+  const double mean_burst = static_cast<double>(losses) / bursts;
+  EXPECT_GT(mean_burst, 2.5);
+}
+
+TEST(FaultInjector, BurstStateIsPerLink) {
+  FaultPlan plan;
+  plan.use_burst = true;
+  plan.burst.p_good_to_bad = 1.0;  // link enters bad on first decision
+  plan.burst.p_bad_to_good = 0.0;  // and never leaves
+  plan.burst.loss_bad = 1.0;
+  FaultInjector inj(plan, 2, 3);
+  EXPECT_TRUE(inj.drop(0));
+  // Link 1 starts in its own good state regardless of link 0's history
+  // (its first decision still transitions it to bad, so it also drops —
+  // but only after its own transition draw).
+  EXPECT_TRUE(inj.drop(1));
+  EXPECT_EQ(inj.drops(), 2u);
+}
+
+TEST(FaultInjector, JitterIsBounded) {
+  FaultPlan plan;
+  plan.max_extra_delay = 5e-4;
+  FaultInjector inj(plan, 1, 9);
+  double max_seen = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double d = inj.extra_delay(0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 5e-4);
+    max_seen = std::max(max_seen, d);
+  }
+  EXPECT_GT(max_seen, 2.5e-4);  // actually exercises the range
+}
+
+}  // namespace
+}  // namespace dgmc::fault

@@ -1,5 +1,6 @@
 #include "lsr/flooding.hpp"
 
+#include <algorithm>
 #include <set>
 #include <string>
 
@@ -124,6 +125,205 @@ TEST(Flooding, PartitionLimitsReach) {
   net.flood(0, "x");
   sched.run();
   EXPECT_EQ(reached, (std::set<graph::NodeId>{1}));
+}
+
+TEST(Flooding, DedupMemoryStaysBoundedOverLongRuns) {
+  // Regression: per-switch dedup used to keep every (origin, seq) key
+  // forever, leaking across long runs. Seqs are per-origin monotone, so
+  // in-order history now compresses into a high-water mark; only
+  // reorder-window stragglers are buffered, and they drain.
+  des::Scheduler sched;
+  const graph::Graph g = graph::line(3);
+  Net net(sched, g, 0.0);
+  std::uint64_t deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  constexpr int kFloodings = 100000;
+  for (int i = 0; i < kFloodings; ++i) {
+    net.flood(0, "x");
+    if (i % 100 == 99) sched.run();
+  }
+  sched.run();
+  EXPECT_EQ(deliveries, static_cast<std::uint64_t>(kFloodings) * 2);
+  EXPECT_EQ(net.dedup_backlog(), 0u);  // O(1) memory, not O(floodings)
+}
+
+TEST(Flooding, JitterReorderingNeverDoubleDelivers) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(2);
+  g.set_uniform_delay(1.0);
+  Net net(sched, g, 0.0);
+  // Decreasing extra delay: later copies overtake earlier ones.
+  double extra = 1.0;
+  FaultHooks hooks;
+  hooks.extra_delay = [&extra](graph::LinkId) {
+    extra -= 0.3;
+    return std::max(extra, 0.0);
+  };
+  net.set_fault_hooks(std::move(hooks));
+  std::vector<std::string> received;
+  net.set_receiver(
+      [&](const Net::Delivery& d) { received.push_back(d.payload); });
+  net.flood(0, "a");  // departs with +0.7
+  net.flood(0, "b");  // departs with +0.4 — arrives first
+  net.flood(0, "c");  // departs with +0.1 — arrives first of all
+  sched.run();
+  // Each payload delivered exactly once, in overtaking order.
+  EXPECT_EQ(received, (std::vector<std::string>{"c", "b", "a"}));
+  EXPECT_EQ(net.dedup_backlog(), 0u);  // the gap closed and drained
+}
+
+TEST(Flooding, UnreliableModeLosesMessagesForGood) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(3);
+  Net net(sched, g, 0.0);
+  const graph::LinkId far_link = g.find_link(1, 2);
+  FaultHooks hooks;  // black-holes the far link only
+  hooks.drop = [far_link](graph::LinkId l) { return l == far_link; };
+  net.set_fault_hooks(std::move(hooks));
+  std::set<graph::NodeId> reached;
+  net.set_receiver([&](const Net::Delivery& d) { reached.insert(d.at); });
+  net.flood(0, "x");
+  sched.run();
+  EXPECT_EQ(reached, (std::set<graph::NodeId>{1}));  // 2 never hears
+  EXPECT_GT(net.messages_dropped(), 0u);
+  EXPECT_EQ(net.retransmissions(), 0u);  // nothing fights the loss
+}
+
+TEST(Flooding, ReliableModeRetransmitsThroughLoss) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(3);
+  Net net(sched, g, 0.0);
+  ReliableFloodingConfig cfg;
+  cfg.enabled = true;
+  cfg.initial_rto = 5.0;  // > RTT of 2.0
+  cfg.backoff = 2.0;
+  cfg.max_retransmits = 10;
+  net.set_reliable(cfg);
+  const graph::LinkId far_link = g.find_link(1, 2);
+  int kills = 3;  // the far link eats the first three data copies
+  FaultHooks hooks;
+  hooks.drop = [far_link, &kills](graph::LinkId l) {
+    if (l != far_link) return false;
+    if (kills > 0) {
+      --kills;
+      return true;
+    }
+    return false;
+  };
+  net.set_fault_hooks(std::move(hooks));
+  std::multiset<graph::NodeId> reached;
+  net.set_receiver([&](const Net::Delivery& d) { reached.insert(d.at); });
+  net.flood(0, "x");
+  sched.run();
+  EXPECT_EQ(reached, (std::multiset<graph::NodeId>{1, 2}));
+  EXPECT_GE(net.retransmissions(), 3u);
+  EXPECT_GT(net.acks_sent(), 0u);
+  EXPECT_EQ(net.retransmit_timers_armed(), 0u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(Flooding, LostAckTriggersRetransmitAndReack) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(2);
+  Net net(sched, g, 0.0);
+  ReliableFloodingConfig cfg;
+  cfg.enabled = true;
+  cfg.initial_rto = 5.0;
+  net.set_reliable(cfg);
+  // Transmission order on the single link: data (keep), first ack
+  // (drop), retransmitted data (keep), second ack (keep).
+  int call = 0;
+  FaultHooks hooks;
+  hooks.drop = [&call](graph::LinkId) { return ++call == 2; };
+  net.set_fault_hooks(std::move(hooks));
+  int deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  net.flood(0, "x");
+  sched.run();
+  EXPECT_EQ(deliveries, 1);  // the retransmitted duplicate is suppressed
+  EXPECT_EQ(net.retransmissions(), 1u);
+  // Three ack attempts: the dropped one, the echo-forward's ack, and
+  // the re-ack of the retransmitted duplicate (lost-ack recovery).
+  EXPECT_EQ(net.acks_sent(), 3u);
+  EXPECT_EQ(net.retransmit_timers_armed(), 0u);
+}
+
+TEST(Flooding, ReliableGivesUpAtRetryCap) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(2);
+  Net net(sched, g, 0.0);
+  ReliableFloodingConfig cfg;
+  cfg.enabled = true;
+  cfg.initial_rto = 5.0;
+  cfg.max_retransmits = 3;
+  net.set_reliable(cfg);
+  FaultHooks hooks;
+  hooks.drop = [](graph::LinkId) { return true; };  // total black-hole
+  net.set_fault_hooks(std::move(hooks));
+  int deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  net.flood(0, "x");
+  sched.run();
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(net.retransmissions(), 3u);
+  EXPECT_EQ(net.give_ups(), 1u);
+  EXPECT_EQ(net.retransmit_timers_armed(), 0u);  // calendar drained
+}
+
+TEST(Flooding, ReliableModeIsQuietWithoutLoss) {
+  des::Scheduler sched;
+  const graph::Graph g = graph::ring(6);
+  Net net(sched, g, 0.0);
+  ReliableFloodingConfig cfg;
+  cfg.enabled = true;
+  cfg.initial_rto = 10.0;  // acks win the race comfortably
+  net.set_reliable(cfg);
+  int deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  net.flood(0, "x");
+  sched.run();
+  EXPECT_EQ(deliveries, 5);
+  EXPECT_EQ(net.retransmissions(), 0u);  // every first copy was acked
+  EXPECT_EQ(net.acks_sent(), net.link_transmissions());
+  EXPECT_EQ(net.retransmit_timers_armed(), 0u);
+}
+
+TEST(Flooding, DownedNodeDiscardsArrivalsSilently) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(3);
+  Net net(sched, g, 0.0);
+  net.set_node_up(1, false);
+  int deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  net.flood(0, "x");
+  sched.run();
+  EXPECT_EQ(deliveries, 0);  // 1 is dead; 2 is only reachable through 1
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  net.set_node_up(1, true);
+  net.flood(0, "y");
+  sched.run();
+  EXPECT_EQ(deliveries, 2);  // back to normal service
+}
+
+TEST(Flooding, SenderCrashAbandonsPendingRetransmissions) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(2);
+  Net net(sched, g, 0.0);
+  ReliableFloodingConfig cfg;
+  cfg.enabled = true;
+  cfg.initial_rto = 5.0;
+  cfg.max_retransmits = 50;
+  net.set_reliable(cfg);
+  FaultHooks hooks;
+  hooks.drop = [](graph::LinkId) { return true; };
+  net.set_fault_hooks(std::move(hooks));
+  net.flood(0, "x");
+  EXPECT_EQ(net.retransmit_timers_armed(), 1u);
+  net.set_node_up(0, false);  // the sender dies mid-retry
+  EXPECT_EQ(net.retransmit_timers_armed(), 0u);
+  sched.run();  // no ghost timers fire
+  EXPECT_EQ(net.retransmissions(), 0u);
+  EXPECT_EQ(net.give_ups(), 0u);
 }
 
 TEST(Flooding, SameOriginDeliveryPreservesOrder) {
