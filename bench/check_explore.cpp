@@ -1,0 +1,67 @@
+// Exploration throughput of the check subsystem: transitions/second
+// and states/second for each strategy over the catalog scenarios. The
+// interesting number is the cost of stateless backtracking — the ratio
+// of replayed to productive transitions — which is what a depth bump
+// actually buys into. Honors DGMC_QUICK=1 (shallower DFS).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/explorer.hpp"
+
+namespace {
+
+using namespace dgmc;
+using namespace dgmc::check;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void report(const char* scenario, const char* strategy,
+            const SearchResult& r, double elapsed) {
+  std::printf(
+      "%-22s %-7s transitions=%9zu states=%7zu executions=%6zu "
+      "elapsed=%7.3fs  %10.0f trans/s%s\n",
+      scenario, strategy, r.stats.transitions, r.stats.states_seen,
+      r.stats.executions, elapsed,
+      elapsed > 0 ? static_cast<double>(r.stats.transitions) / elapsed : 0.0,
+      r.violation.has_value() ? "  [VIOLATION]" : "");
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("DGMC_QUICK") != nullptr;
+
+  for (const ScenarioSpec& spec : scenarios()) {
+    {
+      SearchLimits limits;
+      limits.max_depth = quick ? 8 : 12;
+      const auto start = std::chrono::steady_clock::now();
+      const SearchResult r = explore_dfs(spec, limits);
+      report(spec.name.c_str(), "dfs", r, seconds_since(start));
+    }
+    {
+      SearchLimits limits;
+      limits.max_depth = 80;
+      limits.delay_budget = quick ? 2 : 3;
+      const auto start = std::chrono::steady_clock::now();
+      const SearchResult r = explore_delay_bounded(spec, limits);
+      report(spec.name.c_str(), "delay", r, seconds_since(start));
+    }
+    {
+      SearchLimits limits;
+      limits.max_depth = 120;
+      limits.walks = quick ? 100 : 1000;
+      limits.seed = 1;
+      const auto start = std::chrono::steady_clock::now();
+      const SearchResult r = explore_random(spec, limits);
+      report(spec.name.c_str(), "random", r, seconds_since(start));
+    }
+  }
+  return 0;
+}

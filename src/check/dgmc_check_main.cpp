@@ -1,0 +1,252 @@
+// dgmc_check — systematic state-space exploration of the D-GMC
+// protocol over small scenarios.
+//
+//   dgmc_check list
+//   dgmc_check explore <scenario> [--strategy dfs|delay|random]
+//       [--depth N] [--delays N] [--walks N] [--seed N]
+//       [--max-transitions N] [--break-accept] [--trace-out FILE]
+//       [--minimize]
+//   dgmc_check replay <trace-file> [--step]
+//
+// Exit status: 0 = no violation, 1 = violation found, 2 = usage or
+// input error. `--break-accept` enables the deliberate protocol fault
+// (accepting proposals without T >= E) used to demonstrate that the
+// oracles catch real bugs; see DESIGN.md §7.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/executor.hpp"
+#include "check/explorer.hpp"
+#include "check/minimize.hpp"
+#include "check/trace.hpp"
+
+namespace {
+
+using namespace dgmc;
+using namespace dgmc::check;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dgmc_check list\n"
+               "       dgmc_check explore <scenario> [--strategy "
+               "dfs|delay|random]\n"
+               "           [--depth N] [--delays N] [--walks N] [--seed N]\n"
+               "           [--max-transitions N] [--break-accept]\n"
+               "           [--trace-out FILE] [--minimize]\n"
+               "       dgmc_check replay <trace-file> [--step]\n");
+  return 2;
+}
+
+int cmd_list() {
+  for (const ScenarioSpec& s : scenarios()) {
+    std::printf("%-22s %s\n", s.name.c_str(), s.description.c_str());
+  }
+  return 0;
+}
+
+void print_stats(const char* strategy, const SearchStats& st,
+                 bool exhaustive) {
+  std::printf(
+      "[%s] transitions=%zu executions=%zu states=%zu pruned=%zu "
+      "depth-cutoffs=%zu max-depth=%zu%s\n",
+      strategy, st.transitions, st.executions, st.states_seen, st.pruned,
+      st.depth_cutoffs, st.max_depth_reached,
+      exhaustive ? " (exhaustive within depth bound)" : "");
+}
+
+void print_violation(const Violation& v) {
+  std::printf("VIOLATION [%s] %s\n", v.oracle.c_str(), v.detail.c_str());
+}
+
+void print_trace(const Trace& trace,
+                 const std::vector<std::string>& annotations) {
+  std::printf("counterexample (%zu steps):\n", trace.choices.size());
+  for (std::size_t i = 0; i < trace.choices.size(); ++i) {
+    std::printf("  %3zu: choice %u", i, trace.choices[i]);
+    if (i < annotations.size()) std::printf("  %s", annotations[i].c_str());
+    std::printf("\n");
+  }
+}
+
+int cmd_explore(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string scenario_name = argv[0];
+  std::string strategy = "dfs";
+  std::string trace_out;
+  bool break_accept = false;
+  bool do_minimize = false;
+  SearchLimits limits;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--strategy") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      strategy = v;
+    } else if (arg == "--depth") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      limits.max_depth = std::stoul(v);
+    } else if (arg == "--delays") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      limits.delay_budget = std::stoul(v);
+    } else if (arg == "--walks") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      limits.walks = std::stoul(v);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      limits.seed = std::stoull(v);
+    } else if (arg == "--max-transitions") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      limits.max_transitions = std::stoul(v);
+    } else if (arg == "--break-accept") {
+      break_accept = true;
+    } else if (arg == "--minimize") {
+      do_minimize = true;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      trace_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  const ScenarioSpec* base = find_scenario(scenario_name);
+  if (base == nullptr) {
+    std::fprintf(stderr, "unknown scenario: %s (see `dgmc_check list`)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+  ScenarioSpec spec = *base;
+  spec.params.dgmc.accept_stale_proposals = break_accept;
+
+  std::printf("scenario %s: %s\n", spec.name.c_str(),
+              spec.description.c_str());
+  if (break_accept) {
+    std::printf("NOTE: deliberate fault enabled (accept_stale_proposals)\n");
+  }
+
+  SearchResult result;
+  if (strategy == "dfs") {
+    result = explore_dfs(spec, limits);
+  } else if (strategy == "delay") {
+    result = explore_delay_bounded(spec, limits);
+  } else if (strategy == "random") {
+    result = explore_random(spec, limits);
+  } else {
+    std::fprintf(stderr, "unknown strategy: %s\n", strategy.c_str());
+    return usage();
+  }
+  print_stats(strategy.c_str(), result.stats, result.exhaustive);
+
+  if (!result.violation.has_value()) {
+    std::printf("no violation found\n");
+    return 0;
+  }
+  print_violation(*result.violation);
+
+  Trace trace = result.trace;
+  std::vector<std::string> annotations = result.annotations;
+  if (do_minimize) {
+    std::string error;
+    std::optional<MinimizeResult> min =
+        minimize_trace(trace, result.violation->oracle, limits, &error);
+    if (!min.has_value()) {
+      std::fprintf(stderr, "minimize failed: %s\n", error.c_str());
+    } else {
+      std::printf(
+          "minimized: dropped %zu of %zu injections (%zu searches), "
+          "%zu steps\n",
+          min->injections_dropped, base->injections.size(), min->searches,
+          min->trace.choices.size());
+      trace = min->trace;
+      annotations = min->annotations;
+      print_violation(min->violation);
+    }
+  }
+  print_trace(trace, annotations);
+
+  if (!trace_out.empty()) {
+    if (!save_trace(trace, trace_out, annotations)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      return 2;
+    }
+    std::printf("trace written to %s (replay with `dgmc_check replay %s`)\n",
+                trace_out.c_str(), trace_out.c_str());
+  }
+  return 1;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string path = argv[0];
+  bool step_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--step") == 0) {
+      step_mode = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return usage();
+    }
+  }
+
+  std::string error;
+  std::optional<Trace> trace = load_trace(path, &error);
+  if (!trace.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  std::optional<ScenarioSpec> spec = resolve_spec(*trace, &error);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+
+  std::printf("replaying %zu steps of %s%s\n", trace->choices.size(),
+              trace->scenario.c_str(),
+              trace->accept_stale_proposals
+                  ? " (fault: accept_stale_proposals)"
+                  : "");
+  std::vector<std::string> step_log;
+  ReplayResult rr =
+      replay(*spec, *trace, step_mode ? &step_log : nullptr);
+  if (step_mode) {
+    for (std::size_t i = 0; i < step_log.size(); ++i) {
+      std::printf("  %3zu: %s\n", i, step_log[i].c_str());
+    }
+  }
+  if (rr.divergence.has_value()) {
+    std::fprintf(stderr, "DIVERGENCE: %s\n", rr.divergence->c_str());
+    return 2;
+  }
+  if (rr.violation.has_value()) {
+    std::printf("reproduced after step %zu:\n", rr.violation_step);
+    print_violation(*rr.violation);
+    return 1;
+  }
+  std::printf("replayed %zu steps: no violation\n", rr.steps_executed);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "explore") return cmd_explore(argc - 2, argv + 2);
+  if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
+  return usage();
+}

@@ -1,0 +1,214 @@
+#include "check/executor.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace dgmc::check {
+
+namespace {
+
+const char* tag_kind_name(des::EventTag::Kind k) {
+  switch (k) {
+    case des::EventTag::Kind::kOpaque: return "event";
+    case des::EventTag::Kind::kDelivery: return "deliver";
+    case des::EventTag::Kind::kAck: return "ack";
+    case des::EventTag::Kind::kRetransmit: return "retransmit";
+    case des::EventTag::Kind::kCompute: return "finish-computation";
+    case des::EventTag::Kind::kFault: return "fault";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Executor::Executor(const ScenarioSpec& spec)
+    : spec_(spec), net_(build_network(spec_)) {}
+
+void Executor::refresh_enabled() {
+  enabled_.clear();
+  if (next_injection_ < spec_.injections.size()) {
+    Action a;
+    a.kind = Action::Kind::kInjection;
+    a.injection = next_injection_;
+    enabled_.push_back(a);
+  }
+
+  const auto pending = net_->scheduler().pending_events();
+
+  // Per-(receiver, origin) FIFO: only the lowest-seq pending copy is
+  // deliverable (see class comment). In lossless mode, redundant copies
+  // of the *same* LSA racing over different links are interchangeable —
+  // whichever lands first delivers, the rest dedup — so one
+  // representative (the native-order first) suffices; in reliable mode
+  // the arrival link decides which ack goes where, so copies on
+  // different links stay distinct actions.
+  const bool collapse_links = !spec_.params.reliable.enabled;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::uint32_t> min_seq;
+  for (const auto& p : pending) {
+    if (p.tag.kind != des::EventTag::Kind::kDelivery) continue;
+    const auto key = std::make_pair(p.tag.node, p.tag.peer);
+    auto it = min_seq.find(key);
+    if (it == min_seq.end() || p.tag.seq < it->second) min_seq[key] = p.tag.seq;
+  }
+  std::set<std::tuple<std::int32_t, std::int32_t, std::uint32_t, std::int32_t>>
+      taken;
+  for (const auto& p : pending) {  // already sorted by (time, seq)
+    if (p.tag.kind == des::EventTag::Kind::kDelivery) {
+      const auto key = std::make_pair(p.tag.node, p.tag.peer);
+      if (p.tag.seq != min_seq[key]) continue;
+      const std::int32_t link = collapse_links ? -1 : p.tag.link;
+      if (!taken.insert({p.tag.node, p.tag.peer, p.tag.seq, link}).second) {
+        continue;
+      }
+    }
+    Action a;
+    a.kind = Action::Kind::kEvent;
+    a.event = p.id;
+    a.tag = p.tag;
+    enabled_.push_back(a);
+  }
+  enabled_valid_ = true;
+}
+
+const std::vector<Executor::Action>& Executor::enabled() {
+  if (!enabled_valid_) refresh_enabled();
+  return enabled_;
+}
+
+void Executor::apply_injection(const Injection& inj) {
+  // Guards mirror sim::DgmcNetwork::install_faults: an injection whose
+  // precondition a previous action invalidated (the minimizer drops
+  // script entries; a crash downs a flapping link) degrades to a no-op
+  // instead of tripping an assertion.
+  switch (inj.kind) {
+    case Injection::Kind::kJoin:
+      net_->join(inj.node, inj.mcid, inj.type, inj.role);
+      break;
+    case Injection::Kind::kLeave:
+      net_->leave(inj.node, inj.mcid);
+      break;
+    case Injection::Kind::kLinkDown:
+      if (net_->physical().link(inj.link).up) net_->fail_link(inj.link);
+      break;
+    case Injection::Kind::kLinkUp:
+      if (!net_->physical().link(inj.link).up) net_->restore_link(inj.link);
+      break;
+    case Injection::Kind::kCrash:
+      if (net_->switch_alive(inj.node)) {
+        net_->crash_switch(inj.node);
+        // A wipe legitimately resets C; drop the monotonicity history.
+        for (auto it = last_installed_.begin(); it != last_installed_.end();) {
+          it = it->first.first == inj.node ? last_installed_.erase(it)
+                                          : std::next(it);
+        }
+      }
+      break;
+    case Injection::Kind::kRestart:
+      if (!net_->switch_alive(inj.node)) net_->restart_switch(inj.node);
+      break;
+  }
+}
+
+void Executor::step(std::size_t choice) {
+  const std::vector<Action>& acts = enabled();
+  DGMC_ASSERT_MSG(choice < acts.size(), "choice out of range");
+  const Action a = acts[choice];
+  if (a.kind == Action::Kind::kInjection) {
+    apply_injection(spec_.injections[a.injection]);
+    ++next_injection_;
+  } else {
+    const bool ok = net_->scheduler().run_event(a.event);
+    DGMC_ASSERT_MSG(ok, "enabled event vanished");
+  }
+  ++depth_;
+  enabled_valid_ = false;
+}
+
+std::uint64_t Executor::fingerprint() {
+  std::uint64_t h = net_->fingerprint();
+  h = util::hash_mix(h, next_injection_);
+  // In-flight multiset, canonically ordered by tag (time excluded).
+  std::vector<des::EventTag> tags;
+  for (const auto& p : net_->scheduler().pending_events()) {
+    tags.push_back(p.tag);
+  }
+  std::sort(tags.begin(), tags.end(), [](const des::EventTag& a,
+                                         const des::EventTag& b) {
+    return std::tie(a.kind, a.node, a.peer, a.seq, a.link, a.digest) <
+           std::tie(b.kind, b.node, b.peer, b.seq, b.link, b.digest);
+  });
+  for (const des::EventTag& t : tags) {
+    h = util::hash_mix(h, static_cast<std::uint64_t>(t.kind));
+    h = util::hash_mix(h, static_cast<std::uint64_t>(t.node));
+    h = util::hash_mix(h, static_cast<std::uint64_t>(t.peer));
+    h = util::hash_mix(h, t.seq);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(t.link));
+    h = util::hash_mix(h, t.digest);
+  }
+  h = util::hash_mix(h, tags.size());
+  return h;
+}
+
+std::optional<Violation> Executor::check_install_monotone() {
+  for (mc::McId mcid : spec_.mcs()) {
+    for (graph::NodeId n = 0; n < net_->size(); ++n) {
+      const core::DgmcSwitch& sw = net_->switch_at(n);
+      const auto key = std::make_pair(n, mcid);
+      if (!sw.alive() || !sw.has_state(mcid)) {
+        // Destroyed state (empty MC) restarts the monotone sequence.
+        last_installed_.erase(key);
+        continue;
+      }
+      const core::VectorTimestamp& c = *sw.stamp_c(mcid);
+      const graph::NodeId origin = sw.proposer(mcid);
+      auto it = last_installed_.find(key);
+      if (it != last_installed_.end() && !c.dominates(it->second.first)) {
+        return Violation{
+            "install-monotone",
+            "switch " + std::to_string(n) + ", mc " + std::to_string(mcid) +
+                ": installed stamp retreated from " +
+                it->second.first.to_string() + " (proposer " +
+                std::to_string(it->second.second) + ") to " + c.to_string() +
+                " (proposer " + std::to_string(origin) +
+                ") — a stale proposal was accepted"};
+      }
+      last_installed_[key] = {c, origin};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> Executor::check() {
+  if (auto v = check_step_invariants(*net_, spec_)) return v;
+  if (auto v = check_install_monotone()) return v;
+  if (done()) {
+    if (auto v =
+            check_quiescence_invariants(*net_, spec_, next_injection_)) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Executor::describe(const Action& a) const {
+  if (a.kind == Action::Kind::kInjection) {
+    return "inject " + to_string(spec_.injections[a.injection]);
+  }
+  const des::EventTag& t = a.tag;
+  std::string out = tag_kind_name(t.kind);
+  if (t.node >= 0) out += " at=" + std::to_string(t.node);
+  if (t.peer >= 0) out += " origin=" + std::to_string(t.peer);
+  if (t.kind == des::EventTag::Kind::kDelivery ||
+      t.kind == des::EventTag::Kind::kAck ||
+      t.kind == des::EventTag::Kind::kRetransmit) {
+    out += " seq=" + std::to_string(t.seq);
+  }
+  if (t.link >= 0) out += " link=" + std::to_string(t.link);
+  return out;
+}
+
+}  // namespace dgmc::check

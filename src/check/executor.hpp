@@ -1,0 +1,110 @@
+// check::Executor — interposition layer between an exploration strategy
+// and one running DgmcNetwork.
+//
+// The Executor treats the network as an explicit transition system:
+//
+//   state   = protocol state of every switch + link/interface flags +
+//             flooding dedup state + the multiset of in-flight
+//             messages/armed timers + the injection-script cursor
+//   actions = (a) executing one tagged pending calendar event (an LSA
+//             copy delivery, an ack, a computation finishing, an RTO),
+//             (b) firing the next scripted injection.
+//
+// Instead of executing the calendar in (time, seq) order like
+// des::Scheduler::run(), a strategy repeatedly inspects enabled() and
+// picks; the Executor dispatches via Scheduler::run_event(). This
+// models an asynchronous network with arbitrary message delays — the
+// setting the paper's vector-timestamp safety argument addresses — so
+// the search visits interleavings no single-seed simulation produces.
+//
+// Soundness constraint on enabled(): per (receiver, origin) pair, only
+// the lowest-sequence pending LSA copy is deliverable. The real
+// transport cannot reorder two floodings of the same origin on the way
+// to the same receiver (copies traverse identical link sets and later
+// floodings start later), so schedules violating per-origin FIFO would
+// explore impossible executions and report phantom violations.
+// Everything else — deliveries of different origins, timers,
+// injections — commutes freely.
+//
+// A (ScenarioSpec, choice sequence) pair identifies one execution
+// exactly; that is what counterexample traces store and what replay
+// re-runs step by step.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+
+namespace dgmc::check {
+
+class Executor {
+ public:
+  explicit Executor(const ScenarioSpec& spec);
+
+  struct Action {
+    enum class Kind : std::uint8_t { kEvent = 0, kInjection = 1 };
+    Kind kind = Kind::kEvent;
+    des::Scheduler::EventId event{};  // kEvent
+    des::EventTag tag{};              // kEvent
+    std::size_t injection = 0;        // kInjection: index into the script
+  };
+
+  /// Enabled actions in canonical order: the next scripted injection
+  /// (if any) first, then pending calendar events by (time, seq) —
+  /// index 0 approximates "what the native simulation would do next",
+  /// which is what delay-bounded search measures deviations against.
+  const std::vector<Action>& enabled();
+
+  /// Terminal state: calendar drained and script exhausted.
+  bool done() { return enabled().empty(); }
+
+  /// Executes enabled()[choice].
+  void step(std::size_t choice);
+
+  /// Transitions executed so far.
+  std::size_t depth() const { return depth_; }
+
+  std::size_t injections_fired() const { return next_injection_; }
+
+  /// Hash identifying the state up to behavioral equivalence (network
+  /// fingerprint + in-flight action multiset + script cursor).
+  /// Simulated time is deliberately excluded: two states differing only
+  /// in clock value behave identically under explorer control.
+  std::uint64_t fingerprint();
+
+  /// Evaluates the oracle catalog against the current state (the
+  /// quiescence group only when done()). Also advances the
+  /// install-monotonicity watch, so call exactly once per state.
+  std::optional<Violation> check();
+
+  /// Human-readable label of an enabled action (trace annotations).
+  std::string describe(const Action& a) const;
+
+  sim::DgmcNetwork& network() { return *net_; }
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  void refresh_enabled();
+  void apply_injection(const Injection& inj);
+  std::optional<Violation> check_install_monotone();
+
+  ScenarioSpec spec_;  // owned copy: must outlive net_, survive callers
+  std::unique_ptr<sim::DgmcNetwork> net_;
+  std::size_t next_injection_ = 0;
+  std::size_t depth_ = 0;
+  std::vector<Action> enabled_;
+  bool enabled_valid_ = false;
+  /// Last observed installed stamp + proposer per (switch, mc), for the
+  /// install-monotone oracle.
+  std::map<std::pair<graph::NodeId, mc::McId>,
+           std::pair<core::VectorTimestamp, graph::NodeId>>
+      last_installed_;
+};
+
+}  // namespace dgmc::check

@@ -1,0 +1,272 @@
+#include "check/explorer.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::check {
+
+namespace {
+
+Trace trace_for(const ScenarioSpec& spec,
+                const std::vector<std::uint32_t>& choices) {
+  Trace t;
+  t.scenario = spec.name;
+  t.accept_stale_proposals = spec.params.dgmc.accept_stale_proposals;
+  t.choices = choices;
+  return t;
+}
+
+std::vector<std::string> annotate(const ScenarioSpec& spec,
+                                  const std::vector<std::uint32_t>& choices) {
+  std::vector<std::string> out;
+  Executor exec(spec);
+  for (std::uint32_t c : choices) {
+    out.push_back(exec.describe(exec.enabled()[c]));
+    exec.step(c);
+  }
+  return out;
+}
+
+/// Rebuilds an Executor at the state reached by `choices`. Oracles are
+/// re-evaluated along the way — not to detect violations (the prefix
+/// was already verified clean, and replay is deterministic) but because
+/// check() is also what advances the install-monotone watch, which is
+/// path state the fresh Executor must regrow.
+std::unique_ptr<Executor> replay_prefix(const ScenarioSpec& spec,
+                                        const std::vector<std::uint32_t>& choices,
+                                        SearchStats& stats) {
+  auto exec = std::make_unique<Executor>(spec);
+  (void)exec->check();
+  for (std::uint32_t c : choices) {
+    exec->step(c);
+    ++stats.transitions;
+    (void)exec->check();
+  }
+  return exec;
+}
+
+bool budget_spent(const SearchLimits& limits, const SearchStats& stats) {
+  return limits.max_transitions != 0 &&
+         stats.transitions >= limits.max_transitions;
+}
+
+void finish(SearchResult& result, const ScenarioSpec& spec,
+            const std::vector<std::uint32_t>& choices,
+            std::optional<Violation> violation) {
+  result.violation = std::move(violation);
+  result.trace = trace_for(spec, choices);
+  if (result.violation.has_value()) {
+    result.annotations = annotate(spec, choices);
+  }
+}
+
+/// Shared skeleton of the dfs and delay strategies: an explicit-stack
+/// DFS with stateless (replay-based) backtracking. Frame i is the
+/// state reached by choices[0..i-1]. `exec` lazily tracks `choices`:
+/// after backtracking it goes stale and is rebuilt only when the next
+/// step is actually taken, so popping a whole subtree costs no replays.
+struct DfsDriver {
+  struct Frame {
+    std::size_t next_choice = 0;
+    std::size_t num_enabled = 0;
+    std::size_t delay_left = 0;  // delay strategy only
+  };
+
+  const ScenarioSpec& spec;
+  const SearchLimits& limits;
+  const bool delay_mode;
+
+  SearchResult result;
+  std::vector<Frame> frames;
+  std::vector<std::uint32_t> choices;
+  std::unique_ptr<Executor> exec;
+  bool in_sync = true;
+  bool truncated = false;
+  /// fingerprint -> largest remaining depth budget already explored
+  /// from that state. Re-expansion is sound only with a larger budget.
+  std::unordered_map<std::uint64_t, std::size_t> visited;
+
+  DfsDriver(const ScenarioSpec& s, const SearchLimits& l, bool delay)
+      : spec(s), limits(l), delay_mode(delay) {}
+
+  SearchResult run() {
+    exec = std::make_unique<Executor>(spec);
+    if (auto v = exec->check()) {
+      finish(result, spec, choices, std::move(v));
+      return std::move(result);
+    }
+    if (!delay_mode && limits.dedup) {
+      visited[exec->fingerprint()] = limits.max_depth;
+    }
+    frames.push_back(
+        Frame{0, exec->enabled().size(),
+              delay_mode ? limits.delay_budget : std::size_t{0}});
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t choice = f.next_choice;
+      if (choice >= f.num_enabled ||
+          (delay_mode && choice > f.delay_left)) {
+        // Subtree exhausted (in delay mode also: remaining choices all
+        // cost more delays than we have left).
+        if (choice >= f.num_enabled && f.num_enabled == 0) {
+          ++result.stats.executions;  // terminal state counted on unwind
+        }
+        frames.pop_back();
+        if (!choices.empty()) choices.pop_back();
+        in_sync = false;
+        continue;
+      }
+      ++f.next_choice;
+      const std::size_t child_delay_left =
+          delay_mode ? f.delay_left - choice : std::size_t{0};
+
+      if (budget_spent(limits, result.stats)) {
+        truncated = true;
+        break;
+      }
+      if (!in_sync) {
+        exec = replay_prefix(spec, choices, result.stats);
+        in_sync = true;
+      }
+      exec->step(choice);
+      ++result.stats.transitions;
+      choices.push_back(static_cast<std::uint32_t>(choice));
+      result.stats.max_depth_reached =
+          std::max(result.stats.max_depth_reached, choices.size());
+
+      if (auto v = exec->check()) {
+        result.stats.states_seen = visited.size();
+        finish(result, spec, choices, std::move(v));
+        return std::move(result);
+      }
+      if (exec->done()) {
+        ++result.stats.executions;
+        choices.pop_back();
+        in_sync = false;
+        continue;
+      }
+      if (choices.size() >= limits.max_depth) {
+        ++result.stats.depth_cutoffs;
+        truncated = true;
+        choices.pop_back();
+        in_sync = false;
+        continue;
+      }
+      const std::size_t remaining = limits.max_depth - choices.size();
+      if (!delay_mode && limits.dedup) {
+        const std::uint64_t fp = exec->fingerprint();
+        auto [it, inserted] = visited.try_emplace(fp, remaining);
+        if (!inserted) {
+          if (it->second >= remaining) {
+            ++result.stats.pruned;
+            choices.pop_back();
+            in_sync = false;
+            continue;
+          }
+          it->second = remaining;
+        }
+      }
+      frames.push_back(Frame{0, exec->enabled().size(), child_delay_left});
+    }
+
+    result.stats.states_seen = visited.size();
+    result.exhaustive = !truncated;
+    return std::move(result);
+  }
+};
+
+}  // namespace
+
+SearchResult explore_dfs(const ScenarioSpec& spec, const SearchLimits& limits) {
+  return DfsDriver(spec, limits, /*delay=*/false).run();
+}
+
+SearchResult explore_delay_bounded(const ScenarioSpec& spec,
+                                   const SearchLimits& limits) {
+  return DfsDriver(spec, limits, /*delay=*/true).run();
+}
+
+SearchResult explore_random(const ScenarioSpec& spec,
+                            const SearchLimits& limits) {
+  SearchResult result;
+  bool truncated = false;
+  for (std::size_t walk = 0; walk < limits.walks; ++walk) {
+    if (budget_spent(limits, result.stats)) {
+      truncated = true;
+      break;
+    }
+    util::RngStream rng =
+        util::RngStream::derive(limits.seed, "walk-" + std::to_string(walk));
+    Executor exec(spec);
+    std::vector<std::uint32_t> choices;
+    std::optional<Violation> v = exec.check();
+    while (!v.has_value() && !exec.done()) {
+      if (choices.size() >= limits.max_depth) {
+        ++result.stats.depth_cutoffs;
+        truncated = true;
+        break;
+      }
+      if (budget_spent(limits, result.stats)) {
+        truncated = true;
+        break;
+      }
+      const std::size_t choice = rng.index(exec.enabled().size());
+      choices.push_back(static_cast<std::uint32_t>(choice));
+      exec.step(choice);
+      ++result.stats.transitions;
+      result.stats.max_depth_reached =
+          std::max(result.stats.max_depth_reached, choices.size());
+      v = exec.check();
+    }
+    ++result.stats.executions;
+    if (v.has_value()) {
+      finish(result, spec, choices, std::move(v));
+      return result;
+    }
+  }
+  // Random walks sample the space; they are never exhaustive unless
+  // the walks happened to cover it, which we do not track.
+  result.exhaustive = false;
+  (void)truncated;
+  return result;
+}
+
+ReplayResult replay(const ScenarioSpec& spec, const Trace& trace,
+                    std::vector<std::string>* step_log) {
+  ReplayResult out;
+  Executor exec(spec);
+  if (auto v = exec.check()) {
+    out.violation = std::move(v);
+    out.violation_step = 0;
+    return out;
+  }
+  for (std::size_t i = 0; i < trace.choices.size(); ++i) {
+    const std::uint32_t choice = trace.choices[i];
+    const auto& acts = exec.enabled();
+    if (choice >= acts.size()) {
+      out.divergence = "step " + std::to_string(i) + ": choice " +
+                       std::to_string(choice) + " out of range (" +
+                       std::to_string(acts.size()) +
+                       " enabled) — trace does not match this "
+                       "build/scenario";
+      return out;
+    }
+    if (step_log != nullptr) {
+      step_log->push_back(exec.describe(acts[choice]));
+    }
+    exec.step(choice);
+    ++out.steps_executed;
+    if (auto v = exec.check()) {
+      out.violation = std::move(v);
+      out.violation_step = i + 1;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace dgmc::check

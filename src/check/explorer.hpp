@@ -1,0 +1,92 @@
+// Exploration strategies over check::Executor.
+//
+// All three strategies are *stateless* model checking: no state
+// snapshots are taken. DFS backtracks by discarding the Executor and
+// replaying the choice prefix from a fresh network — O(depth) replays
+// per backtrack, traded for exact state restoration with zero
+// serialization machinery (the approach VeriSoft introduced for
+// checking implementations rather than models).
+//
+//   dfs    — bounded depth-first search of every sound interleaving,
+//            pruned by state fingerprints: a state already explored
+//            with at least as much remaining depth budget is not
+//            re-expanded.
+//   delay  — delay-bounded search: choice index k costs k "delays"
+//            (deviations from the native (time, seq) schedule); only
+//            executions within the delay budget are explored. Finds
+//            most concurrency bugs at tiny budgets (Emmi, Qadeer &
+//            Rakamarić's delay-bounded scheduling).
+//   random — seeded random walks; each walk's choices are recorded, so
+//            a violating walk replays exactly like a DFS trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/executor.hpp"
+#include "check/trace.hpp"
+
+namespace dgmc::check {
+
+struct SearchLimits {
+  /// Transition-depth bound per execution (0 = only the initial state).
+  std::size_t max_depth = 60;
+  /// Global transition budget across the whole search; 0 = unlimited.
+  std::size_t max_transitions = 0;
+  /// DFS only: prune states whose fingerprint was already explored with
+  /// >= remaining budget.
+  bool dedup = true;
+  /// delay strategy: total delay budget per execution.
+  std::size_t delay_budget = 2;
+  /// random strategy: number of walks and the root seed.
+  std::size_t walks = 200;
+  std::uint64_t seed = 1;
+};
+
+struct SearchStats {
+  std::size_t transitions = 0;   // total Executor::step calls (incl. replays)
+  std::size_t executions = 0;    // complete or cut-off executions examined
+  std::size_t states_seen = 0;   // distinct fingerprints (dfs only)
+  std::size_t pruned = 0;        // dfs expansions skipped via dedup
+  std::size_t depth_cutoffs = 0; // executions truncated by max_depth
+  std::size_t max_depth_reached = 0;
+};
+
+struct SearchResult {
+  std::optional<Violation> violation;
+  /// Choice trace reaching the violation (empty if none found).
+  Trace trace;
+  /// Human labels, one per trace choice (for annotated trace files).
+  std::vector<std::string> annotations;
+  SearchStats stats;
+  /// True iff the search space within max_depth was covered completely
+  /// (no violation, no cutoff by max_transitions or max_depth).
+  bool exhaustive = false;
+};
+
+SearchResult explore_dfs(const ScenarioSpec& spec, const SearchLimits& limits);
+SearchResult explore_delay_bounded(const ScenarioSpec& spec,
+                                   const SearchLimits& limits);
+SearchResult explore_random(const ScenarioSpec& spec,
+                            const SearchLimits& limits);
+
+struct ReplayResult {
+  /// Violation hit during replay, if any.
+  std::optional<Violation> violation;
+  /// Step index (into trace.choices) after which the violation fired.
+  std::size_t violation_step = 0;
+  /// Set when a choice index was out of range — the trace does not
+  /// match this build/scenario.
+  std::optional<std::string> divergence;
+  std::size_t steps_executed = 0;
+};
+
+/// Re-executes a trace choice by choice, checking oracles after every
+/// step. `step_log`, when non-null, receives one describe() line per
+/// executed action (the CLI's --step mode).
+ReplayResult replay(const ScenarioSpec& spec, const Trace& trace,
+                    std::vector<std::string>* step_log = nullptr);
+
+}  // namespace dgmc::check

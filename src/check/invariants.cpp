@@ -1,0 +1,163 @@
+#include "check/invariants.hpp"
+
+#include "mc/validation.hpp"
+
+namespace dgmc::check {
+
+namespace {
+
+std::string where(graph::NodeId node, mc::McId mcid) {
+  return "switch " + std::to_string(node) + ", mc " + std::to_string(mcid);
+}
+
+}  // namespace
+
+std::optional<Violation> check_step_invariants(const sim::DgmcNetwork& net,
+                                               const ScenarioSpec& spec) {
+  for (mc::McId mcid : spec.mcs()) {
+    for (graph::NodeId n = 0; n < net.size(); ++n) {
+      const core::DgmcSwitch& sw = net.switch_at(n);
+      if (!sw.alive() || !sw.has_state(mcid)) continue;
+      const core::VectorTimestamp& r = *sw.stamp_r(mcid);
+      const core::VectorTimestamp& e = *sw.stamp_e(mcid);
+      const core::VectorTimestamp& c = *sw.stamp_c(mcid);
+      if (!e.dominates(c)) {
+        return Violation{
+            "stamp-containment",
+            where(n, mcid) + ": installed stamp C=" + c.to_string() +
+                " not contained in known history E=" + e.to_string() +
+                " — a proposal was accepted without T >= E"};
+      }
+      if (!e.dominates(r)) {
+        return Violation{
+            "heard-within-known",
+            where(n, mcid) + ": directly heard R=" + r.to_string() +
+                " exceeds known history E=" + e.to_string()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_quiescence_invariants(
+    const sim::DgmcNetwork& net, const ScenarioSpec& spec,
+    std::size_t injections_fired) {
+  for (mc::McId mcid : spec.mcs()) {
+    // --- agreement: all state-holding switches see the same connection.
+    const core::DgmcSwitch* ref = nullptr;
+    graph::NodeId ref_node = graph::kInvalidNode;
+    for (graph::NodeId n = 0; n < net.size(); ++n) {
+      const core::DgmcSwitch& sw = net.switch_at(n);
+      if (!sw.alive() || !sw.has_state(mcid)) continue;
+      if (ref == nullptr) {
+        ref = &sw;
+        ref_node = n;
+        continue;
+      }
+      if (!(*sw.installed(mcid) == *ref->installed(mcid))) {
+        return Violation{"agreement",
+                         where(n, mcid) + ": installed topology differs from "
+                                          "switch " +
+                             std::to_string(ref_node) + "'s"};
+      }
+      if (!(*sw.members(mcid) == *ref->members(mcid))) {
+        return Violation{"agreement",
+                         where(n, mcid) + ": member list differs from switch " +
+                             std::to_string(ref_node) + "'s"};
+      }
+      if (!(*sw.stamp_c(mcid) == *ref->stamp_c(mcid))) {
+        return Violation{
+            "agreement", where(n, mcid) + ": C=" + sw.stamp_c(mcid)->to_string() +
+                             " differs from switch " + std::to_string(ref_node) +
+                             "'s C=" + ref->stamp_c(mcid)->to_string()};
+      }
+      if (sw.proposer(mcid) != ref->proposer(mcid)) {
+        return Violation{
+            "agreement",
+            where(n, mcid) + ": installed proposer " +
+                std::to_string(sw.proposer(mcid)) + " differs from switch " +
+                std::to_string(ref_node) + "'s " +
+                std::to_string(ref->proposer(mcid))};
+      }
+    }
+
+    if (ref != nullptr) {
+      // --- valid-topology: the agreed tree serves the agreed members.
+      if (!mc::is_valid_topology(net.physical(), ref->mc_type(mcid),
+                                 *ref->members(mcid), *ref->installed(mcid))) {
+        return Violation{
+            "valid-topology",
+            where(ref_node, mcid) +
+                ": agreed topology is not valid for the agreed member list"};
+      }
+      // A switch the tree or member list involves but that holds no
+      // state cannot forward — content agreement above misses it.
+      for (graph::NodeId n : ref->installed(mcid)->nodes()) {
+        if (net.switch_alive(n) && !net.switch_at(n).has_state(mcid)) {
+          return Violation{"agreement",
+                           where(n, mcid) +
+                               ": on the agreed tree but holds no state"};
+        }
+      }
+    }
+
+    if (!spec.strict_oracles) continue;
+
+    // --- membership: replay the fired prefix of the injection script.
+    mc::MemberList expected;
+    for (std::size_t i = 0; i < injections_fired; ++i) {
+      const Injection& inj = spec.injections[i];
+      if (inj.mcid != mcid) continue;
+      if (inj.kind == Injection::Kind::kJoin) expected.join(inj.node, inj.role);
+      if (inj.kind == Injection::Kind::kLeave) expected.leave(inj.node);
+    }
+    if (ref == nullptr) {
+      if (!expected.empty()) {
+        return Violation{"membership",
+                         "mc " + std::to_string(mcid) +
+                             ": script leaves members but every switch "
+                             "destroyed its state"};
+      }
+    } else {
+      if (!(expected == *ref->members(mcid))) {
+        return Violation{"membership",
+                         where(ref_node, mcid) +
+                             ": member list does not match the injection "
+                             "script"};
+      }
+      // --- quiescent-complete: with nothing in flight, everything
+      // known transitively has been heard directly, and the installed
+      // stamp is within heard history (per-MC C <= R). Only sound on
+      // wipe-free histories: destroy-on-empty legitimately discards R
+      // counters while E survives via stamps, and the flooding layer's
+      // dedup never redelivers what the destroyed state had consumed.
+      bool wiped = false;
+      for (graph::NodeId n = 0; n < net.size(); ++n) {
+        if (net.switch_at(n).counters().states_destroyed > 0) wiped = true;
+      }
+      if (wiped) continue;
+      for (graph::NodeId n = 0; n < net.size(); ++n) {
+        const core::DgmcSwitch& sw = net.switch_at(n);
+        if (!sw.alive() || !sw.has_state(mcid)) continue;
+        const core::VectorTimestamp& r = *sw.stamp_r(mcid);
+        if (!r.dominates(*sw.stamp_e(mcid))) {
+          return Violation{
+              "quiescent-complete",
+              where(n, mcid) + ": at quiescence R=" + r.to_string() +
+                  " < E=" + sw.stamp_e(mcid)->to_string() +
+                  " — an LSA this switch knows of was never delivered"};
+        }
+        if (!r.dominates(*sw.stamp_c(mcid))) {
+          return Violation{
+              "quiescent-complete",
+              where(n, mcid) + ": at quiescence C=" +
+                  sw.stamp_c(mcid)->to_string() + " not within heard R=" +
+                  r.to_string()};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dgmc::check

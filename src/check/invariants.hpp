@@ -1,0 +1,62 @@
+// Invariant oracles for systematic exploration.
+//
+// Each oracle is a predicate over one reachable network state (or, for
+// the quiescence group, over a terminal state with nothing in flight).
+// The catalog with its paper justification lives in DESIGN.md §7; in
+// short:
+//
+// Checked after EVERY transition:
+//   stamp-containment   E >= C  — an installed topology's stamp was
+//                       merged into E before acceptance (Fig 5 lines
+//                       10-13), so knowledge always contains what is
+//                       installed.
+//   heard-within-known  E >= R  — R counts LSAs heard directly, E adds
+//                       what stamps reveal transitively; direct
+//                       knowledge can never exceed total knowledge.
+//   install-monotone    C never retreats: a replacement proposal's
+//                       stamp dominates (or ties under the proposer-id
+//                       tie-break) the replaced one — the acceptance
+//                       test T >= E plus the freshness check make
+//                       installs a monotone sequence per switch.
+//
+// Checked at QUIESCENCE (empty calendar, script exhausted):
+//   agreement           all switches holding MC state have identical
+//                       (installed topology, member list, C, proposer)
+//                       — the paper's central claim (§3.3).
+//   valid-topology      the agreed topology serves the agreed member
+//                       list per MC type (reuses mc/validation; §1
+//                       Figure 1).
+//   membership          the agreed member list equals the set derived
+//                       from the injection script (strict scenarios).
+//   quiescent-complete  R >= E and R >= C: with nothing in flight every
+//                       heard-of event has been delivered (strict
+//                       scenarios, and only when no switch destroyed MC
+//                       state during the run: a wipe — crash or
+//                       destroy-on-empty — legitimately loses R history
+//                       that E keeps via stamps).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "check/scenario.hpp"
+
+namespace dgmc::check {
+
+struct Violation {
+  std::string oracle;  // catalog name, e.g. "install-monotone"
+  std::string detail;  // human-readable witness
+};
+
+/// Oracles evaluated after every transition. `spec` supplies the MC
+/// ids to inspect.
+std::optional<Violation> check_step_invariants(const sim::DgmcNetwork& net,
+                                               const ScenarioSpec& spec);
+
+/// Oracles evaluated only at quiescence. `injections_fired` bounds the
+/// prefix of the script used to reconstruct expected membership.
+std::optional<Violation> check_quiescence_invariants(
+    const sim::DgmcNetwork& net, const ScenarioSpec& spec,
+    std::size_t injections_fired);
+
+}  // namespace dgmc::check

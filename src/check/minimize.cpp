@@ -1,0 +1,76 @@
+#include "check/minimize.hpp"
+
+#include <algorithm>
+
+namespace dgmc::check {
+
+namespace {
+
+/// Runs the bounded DFS on the scenario described by `candidate`; true
+/// iff it finds a violation of the wanted oracle, in which case
+/// `candidate.choices` and `*out` are updated to the fresh witness.
+bool still_violates(Trace& candidate, const std::string& oracle,
+                    const SearchLimits& limits, MinimizeResult* out) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = resolve_spec(candidate, &error);
+  if (!spec.has_value()) return false;
+  ++out->searches;
+  SearchResult result = explore_dfs(*spec, limits);
+  if (!result.violation.has_value() || result.violation->oracle != oracle) {
+    return false;
+  }
+  candidate.choices = result.trace.choices;
+  out->annotations = result.annotations;
+  out->violation = *result.violation;
+  return true;
+}
+
+}  // namespace
+
+std::optional<MinimizeResult> minimize_trace(const Trace& violating,
+                                             const std::string& oracle,
+                                             const SearchLimits& limits,
+                                             std::string* error) {
+  const ScenarioSpec* base = find_scenario(violating.scenario);
+  if (base == nullptr) {
+    if (error != nullptr) *error = "unknown scenario: " + violating.scenario;
+    return std::nullopt;
+  }
+
+  MinimizeResult out;
+  Trace current = violating;
+  if (!still_violates(current, oracle, limits, &out)) {
+    if (error != nullptr) {
+      *error = "search no longer reproduces a '" + oracle +
+               "' violation on " + violating.scenario;
+    }
+    return std::nullopt;
+  }
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < base->injections.size(); ++i) {
+      if (std::find(current.dropped_injections.begin(),
+                    current.dropped_injections.end(),
+                    i) != current.dropped_injections.end()) {
+        continue;
+      }
+      Trace candidate = current;
+      candidate.dropped_injections.push_back(i);
+      candidate.choices.clear();
+      if (still_violates(candidate, oracle, limits, &out)) {
+        current = std::move(candidate);
+        ++out.injections_dropped;
+        progress = true;
+      }
+    }
+  }
+
+  std::sort(current.dropped_injections.begin(),
+            current.dropped_injections.end());
+  out.trace = std::move(current);
+  return out;
+}
+
+}  // namespace dgmc::check

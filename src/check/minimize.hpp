@@ -1,0 +1,40 @@
+// Greedy counterexample minimizer.
+//
+// Works at the scenario level, not the choice level: dropping a choice
+// from a trace renumbers every later enabled-set index, so instead the
+// minimizer drops *injected events* from the scenario script and
+// re-runs the bounded DFS on the reduced scenario. A drop is kept iff
+// the search still finds a violation of the same oracle. Repeats to a
+// fixpoint. The result is a trace whose `drop` lines reproduce the
+// reduced script from the catalog scenario, so it replays through the
+// normal `dgmc_check replay` path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+
+namespace dgmc::check {
+
+struct MinimizeResult {
+  /// Minimized counterexample (with dropped_injections filled in).
+  Trace trace;
+  std::vector<std::string> annotations;
+  Violation violation;
+  std::size_t injections_dropped = 0;
+  /// Searches run while probing candidate drops.
+  std::size_t searches = 0;
+};
+
+/// Minimizes a violating trace previously produced by a search over a
+/// catalog scenario. `oracle` names the violation to preserve. Returns
+/// nullopt if the trace's scenario is unknown or the violation cannot
+/// be reproduced even with no drops (stale trace).
+std::optional<MinimizeResult> minimize_trace(const Trace& violating,
+                                             const std::string& oracle,
+                                             const SearchLimits& limits,
+                                             std::string* error);
+
+}  // namespace dgmc::check

@@ -1,0 +1,231 @@
+#include "check/scenario.hpp"
+
+#include <algorithm>
+
+#include "mc/algorithm.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::check {
+
+std::string to_string(const Injection& inj) {
+  switch (inj.kind) {
+    case Injection::Kind::kJoin:
+      return "join mc=" + std::to_string(inj.mcid) + " at=" +
+             std::to_string(inj.node);
+    case Injection::Kind::kLeave:
+      return "leave mc=" + std::to_string(inj.mcid) + " at=" +
+             std::to_string(inj.node);
+    case Injection::Kind::kLinkDown:
+      return "link-down link=" + std::to_string(inj.link);
+    case Injection::Kind::kLinkUp:
+      return "link-up link=" + std::to_string(inj.link);
+    case Injection::Kind::kCrash:
+      return "crash switch=" + std::to_string(inj.node);
+    case Injection::Kind::kRestart:
+      return "restart switch=" + std::to_string(inj.node);
+  }
+  return "?";
+}
+
+std::vector<mc::McId> ScenarioSpec::mcs() const {
+  std::vector<mc::McId> out;
+  for (const Injection& inj : injections) {
+    if (inj.mcid != mc::kInvalidMc) out.push_back(inj.mcid);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::unique_ptr<sim::DgmcNetwork> build_network(const ScenarioSpec& spec) {
+  auto algorithm = spec.incremental_algorithm
+                       ? mc::make_incremental_algorithm()
+                       : mc::make_from_scratch_algorithm();
+  return std::make_unique<sim::DgmcNetwork>(spec.graph, spec.params,
+                                            std::move(algorithm));
+}
+
+namespace {
+
+Injection join(graph::NodeId node, mc::McId mcid,
+               mc::MemberRole role = mc::MemberRole::kBoth) {
+  Injection inj;
+  inj.kind = Injection::Kind::kJoin;
+  inj.node = node;
+  inj.mcid = mcid;
+  inj.role = role;
+  return inj;
+}
+
+Injection leave(graph::NodeId node, mc::McId mcid) {
+  Injection inj;
+  inj.kind = Injection::Kind::kLeave;
+  inj.node = node;
+  inj.mcid = mcid;
+  return inj;
+}
+
+Injection link_down(graph::LinkId link) {
+  Injection inj;
+  inj.kind = Injection::Kind::kLinkDown;
+  inj.link = link;
+  return inj;
+}
+
+Injection link_up(graph::LinkId link) {
+  Injection inj;
+  inj.kind = Injection::Kind::kLinkUp;
+  inj.link = link;
+  return inj;
+}
+
+Injection crash(graph::NodeId node) {
+  Injection inj;
+  inj.kind = Injection::Kind::kCrash;
+  inj.node = node;
+  return inj;
+}
+
+Injection restart(graph::NodeId node) {
+  Injection inj;
+  inj.kind = Injection::Kind::kRestart;
+  inj.node = node;
+  return inj;
+}
+
+graph::Graph triangle() {
+  graph::Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(0, 2);
+  return g;
+}
+
+graph::Graph line(int n) {
+  graph::Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_link(i, i + 1);
+  return g;
+}
+
+graph::Graph diamond() {
+  // 4-cycle plus one chord: two distinct paths between every pair, so a
+  // single link failure never partitions.
+  graph::Graph g(4);
+  g.add_link(0, 1);  // link 0
+  g.add_link(1, 2);  // link 1
+  g.add_link(2, 3);  // link 2
+  g.add_link(0, 3);  // link 3
+  g.add_link(1, 3);  // link 4 (chord)
+  return g;
+}
+
+std::vector<ScenarioSpec> make_catalog() {
+  std::vector<ScenarioSpec> out;
+
+  {
+    // The acceptance scenario: one MC on the smallest non-trivial
+    // graph, concurrent joins racing a leave. Small enough to explore
+    // every interleaving to full execution depth.
+    ScenarioSpec s;
+    s.name = "triangle-join-leave";
+    s.description =
+        "3 switches (triangle), 1 MC: joins at 0 and 1 racing a leave at "
+        "1. Exercises concurrent proposals, the equal-stamp tie-break and "
+        "destroy-on-shrink paths.";
+    s.graph = triangle();
+    s.injections = {join(0, 1), join(1, 1), leave(1, 1)};
+    out.push_back(std::move(s));
+  }
+  {
+    // The 3-join variant: too large for exhaustive search (use delay or
+    // random strategies), kept for CLI experiments.
+    ScenarioSpec s;
+    s.name = "triangle-3join-leave";
+    s.description =
+        "3 switches (triangle), 1 MC: joins at 0, 1, 2 racing a leave at "
+        "1. Larger cousin of triangle-join-leave; exhaustive search is "
+        "impractical — use --strategy delay or random.";
+    s.graph = triangle();
+    s.injections = {join(0, 1), join(1, 1), join(2, 1), leave(1, 1)};
+    out.push_back(std::move(s));
+  }
+  {
+    // Two fully concurrent joins — the smallest scenario where two
+    // switches can propose with incomparable timestamps.
+    ScenarioSpec s;
+    s.name = "triangle-2join";
+    s.description =
+        "3 switches (triangle), 1 MC: concurrent joins at 0 and 2. The "
+        "minimal concurrent-proposal race.";
+    s.graph = triangle();
+    s.injections = {join(0, 1), join(2, 1)};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "line4-concurrent-join";
+    s.description =
+        "4 switches in a line, 1 MC: joins at both ends plus one "
+        "interior. Long flooding paths let proposals overtake each "
+        "other's event LSAs.";
+    s.graph = line(4);
+    s.injections = {join(0, 1), join(3, 1), join(1, 1)};
+    out.push_back(std::move(s));
+  }
+  {
+    // A link on the installed tree fails while membership still churns.
+    ScenarioSpec s;
+    s.name = "diamond-link-fail";
+    s.description =
+        "4 switches (diamond), 1 MC: joins at 0, 2, 3, then the 0-1 link "
+        "fails mid-churn. The failure detector's MC LSA races the "
+        "join/leave traffic; the network must re-route around the chord.";
+    s.graph = diamond();
+    s.injections = {join(0, 1), join(2, 1), join(3, 1), link_down(0),
+                    link_up(0)};
+    out.push_back(std::move(s));
+  }
+  {
+    // Switch crash and recovery under the partition-resync extension.
+    ScenarioSpec s;
+    s.name = "diamond-crash-recover";
+    s.description =
+        "4 switches (diamond), 1 MC with partition_resync: member 3 "
+        "crashes after the tree is proposed and restarts; neighbors must "
+        "re-teach it its own pre-crash history via McSync.";
+    s.graph = diamond();
+    s.params.dgmc.partition_resync = true;
+    s.injections = {join(0, 1), join(3, 1), crash(3), restart(3)};
+    s.strict_oracles = false;
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "diamond-two-mc";
+    s.description =
+        "4 switches (diamond), 2 MCs: interleaved joins on independent "
+        "connections sharing one CPU per switch — cross-MC computation "
+        "scheduling must not corrupt either tree.";
+    s.graph = diamond();
+    s.injections = {join(0, 1), join(2, 2), join(2, 1), join(0, 2)};
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenarios() {
+  static const std::vector<ScenarioSpec> catalog = make_catalog();
+  return catalog;
+}
+
+const ScenarioSpec* find_scenario(std::string_view name) {
+  for (const ScenarioSpec& s : scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace dgmc::check

@@ -1,0 +1,77 @@
+// Scenarios for systematic state-space exploration.
+//
+// A ScenarioSpec is a *closed* description of a transition system: the
+// physical graph, the protocol parameters, and a script of injected
+// external events (joins, leaves, link failures, crashes). The script
+// is ordered — injection i fires only after 0..i-1 — modeling a
+// sequential operator whose timing *relative to protocol messages* is
+// what the explorer varies. Everything else (message deliveries, timer
+// firings) is under explorer control, so a spec plus a choice trace
+// reproduces one execution exactly (see check::Executor).
+//
+// Scenarios are deliberately small (3-6 switches, 1-2 MCs): systematic
+// search pays exponentially for size, and the protocol logic the
+// oracles guard — vector-timestamp comparisons under arbitrary LSA
+// interleavings — already exercises every code path at this scale
+// (Helmy, Estrin & Gupta, "Systematic Testing of Multicast Routing
+// Protocols", make the same tradeoff).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace dgmc::check {
+
+/// One scripted external event the explorer can fire at any point
+/// between protocol actions.
+struct Injection {
+  enum class Kind : std::uint8_t {
+    kJoin = 0,
+    kLeave = 1,
+    kLinkDown = 2,
+    kLinkUp = 3,
+    kCrash = 4,
+    kRestart = 5,
+  };
+  Kind kind = Kind::kJoin;
+  graph::NodeId node = graph::kInvalidNode;  // join/leave/crash/restart
+  mc::McId mcid = mc::kInvalidMc;            // join/leave
+  mc::McType type = mc::McType::kSymmetric;  // join
+  mc::MemberRole role = mc::MemberRole::kBoth;
+  graph::LinkId link = graph::kInvalidLink;  // link-down/link-up
+};
+
+std::string to_string(const Injection& inj);
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  graph::Graph graph;
+  sim::DgmcNetwork::Params params;
+  /// Topology algorithm: incremental (paper §3.5) or from-scratch.
+  bool incremental_algorithm = false;
+  std::vector<Injection> injections;
+  /// Enables the oracles that presuppose a loss- and crash-free run:
+  /// membership reconstruction from the injection script, R >= E and
+  /// C <= R at quiescence. Crash scenarios set this false — a wiped
+  /// switch legitimately ends with gaps those oracles would flag.
+  bool strict_oracles = true;
+
+  /// MC ids this scenario's script touches, ascending.
+  std::vector<mc::McId> mcs() const;
+};
+
+/// The built-in scenario catalog (see `dgmc_check list`).
+const std::vector<ScenarioSpec>& scenarios();
+
+/// Looks up a catalog scenario by name; nullptr if unknown.
+const ScenarioSpec* find_scenario(std::string_view name);
+
+/// Builds a fresh network for one execution of the spec.
+std::unique_ptr<sim::DgmcNetwork> build_network(const ScenarioSpec& spec);
+
+}  // namespace dgmc::check

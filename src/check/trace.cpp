@@ -1,0 +1,118 @@
+#include "check/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace dgmc::check {
+
+std::optional<ScenarioSpec> resolve_spec(const Trace& trace,
+                                         std::string* error) {
+  const ScenarioSpec* base = find_scenario(trace.scenario);
+  if (base == nullptr) {
+    if (error != nullptr) *error = "unknown scenario: " + trace.scenario;
+    return std::nullopt;
+  }
+  ScenarioSpec spec = *base;
+  spec.params.dgmc.accept_stale_proposals = trace.accept_stale_proposals;
+  std::vector<std::size_t> drops = trace.dropped_injections;
+  std::sort(drops.begin(), drops.end(), std::greater<>());
+  for (std::size_t d : drops) {
+    if (d >= spec.injections.size()) {
+      if (error != nullptr) {
+        *error = "drop index " + std::to_string(d) + " out of range for " +
+                 trace.scenario;
+      }
+      return std::nullopt;
+    }
+    spec.injections.erase(spec.injections.begin() +
+                          static_cast<std::ptrdiff_t>(d));
+  }
+  return spec;
+}
+
+bool save_trace(const Trace& trace, const std::string& path,
+                const std::vector<std::string>& annotations) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# dgmc_check trace v1\n";
+  out << "scenario " << trace.scenario << "\n";
+  if (trace.accept_stale_proposals) {
+    out << "option accept_stale_proposals 1\n";
+  }
+  for (std::size_t d : trace.dropped_injections) {
+    out << "drop " << d << "\n";
+  }
+  for (std::size_t i = 0; i < trace.choices.size(); ++i) {
+    out << trace.choices[i];
+    if (i < annotations.size() && !annotations[i].empty()) {
+      out << "  # " << annotations[i];
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> load_trace(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  Trace trace;
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = path + ":" + std::to_string(lineno) + ": " + why;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip trailing comment, then surrounding whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    line = line.substr(first, line.find_last_not_of(" \t\r") - first + 1);
+
+    std::istringstream tokens(line);
+    std::string word;
+    tokens >> word;
+    if (word == "scenario") {
+      if (!(tokens >> trace.scenario)) return fail("scenario needs a name");
+    } else if (word == "option") {
+      std::string key;
+      int value = 0;
+      if (!(tokens >> key >> value)) return fail("option needs key + value");
+      if (key == "accept_stale_proposals") {
+        trace.accept_stale_proposals = value != 0;
+      } else {
+        return fail("unknown option: " + key);
+      }
+    } else if (word == "drop") {
+      std::size_t index = 0;
+      if (!(tokens >> index)) return fail("drop needs an injection index");
+      trace.dropped_injections.push_back(index);
+    } else {
+      std::size_t parsed = 0;
+      unsigned long choice = 0;
+      try {
+        choice = std::stoul(word, &parsed);
+      } catch (...) {
+        parsed = 0;
+      }
+      if (parsed != word.size()) return fail("expected choice index: " + word);
+      trace.choices.push_back(static_cast<std::uint32_t>(choice));
+    }
+  }
+  if (trace.scenario.empty()) {
+    lineno = 0;
+    return fail("missing 'scenario' line");
+  }
+  return trace;
+}
+
+}  // namespace dgmc::check

@@ -1,0 +1,45 @@
+// Counterexample choice traces.
+//
+// A trace is the full identity of one explored execution: the scenario
+// name, the option overrides that shaped the build-under-test (today:
+// the deliberate T >= E relaxation), and the sequence of enabled-action
+// indices the strategy chose. Because Executor::enabled() is
+// deterministic, replaying the choices against the same scenario
+// reproduces the execution — and its violation — exactly, step by step
+// (see check::replay and `dgmc_check replay --step`).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+
+namespace dgmc::check {
+
+struct Trace {
+  std::string scenario;
+  /// Mirrors DgmcConfig::accept_stale_proposals (the test-only fault).
+  bool accept_stale_proposals = false;
+  /// Indices into the catalog scenario's injection script removed
+  /// before building the network (written by the minimizer); choices
+  /// are relative to the reduced script.
+  std::vector<std::size_t> dropped_injections;
+  std::vector<std::uint32_t> choices;
+};
+
+/// Looks up the trace's scenario in the catalog and applies its option
+/// overrides; nullopt (with *error set) if the scenario is unknown.
+std::optional<ScenarioSpec> resolve_spec(const Trace& trace,
+                                         std::string* error);
+
+/// Writes the trace; `annotations` (optional, same length as choices)
+/// become per-step comments for human readers.
+bool save_trace(const Trace& trace, const std::string& path,
+                const std::vector<std::string>& annotations = {});
+
+/// Parses a trace file; nullopt (with *error set) on malformed input.
+std::optional<Trace> load_trace(const std::string& path, std::string* error);
+
+}  // namespace dgmc::check

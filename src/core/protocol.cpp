@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 
 namespace dgmc::core {
@@ -36,6 +37,7 @@ DgmcSwitch::McState& DgmcSwitch::get_or_create(mc::McId mcid,
   st.e = VectorTimestamp(network_size_);
   st.c = VectorTimestamp(network_size_);
   st.member_event_applied.assign(network_size_, 0);
+  st.sync_floor = VectorTimestamp(network_size_);
   return states_.emplace(mcid, std::move(st)).first->second;
 }
 
@@ -141,9 +143,22 @@ void DgmcSwitch::receive(const McLsa& lsa) {
   McState& st = get_or_create(lsa.mc, lsa.mc_type);
   ++st.lsa_arrivals;
 
-  // Fig 5 lines 5-9: event LSAs advance R and the member list.
+  // Fig 5 lines 5-9: event LSAs advance R and the member list. R is a
+  // per-origin COUNT of heard events — flooding dedup delivers each
+  // event at most once, so R[y] == E[y] iff every known event of y has
+  // been heard, even when the deferred flood of Fig 4 lines 11-13 puts
+  // y's events on the wire out of index order. Under partition resync,
+  // though, a sync summary can account an event before its LSA arrives
+  // (a restart floods summaries while the origin's LSA still sits
+  // behind a computation); counting the LSA again would push R past E
+  // and open the proposal gate with events still unheard. sync_floor
+  // records the prefix of each origin's history some sync already
+  // covered; only events beyond it count. (Found by dgmc_check on
+  // diamond-crash-recover: heard-within-known violation.)
   if (lsa.event != McEventType::kNone) {
-    st.r.increment(lsa.source);
+    if (lsa.stamp[lsa.source] > st.sync_floor[lsa.source]) {
+      st.r.increment(lsa.source);
+    }
     if (lsa.event != McEventType::kLink) {
       // The stamp's own component is the index of this event at its
       // origin; apply the membership change only if we have not already
@@ -165,7 +180,8 @@ void DgmcSwitch::receive(const McLsa& lsa) {
 
   // Fig 5 lines 11-17: accept an up-to-date proposal, else look for an
   // inconsistency.
-  if (lsa.proposal.has_value() && lsa.stamp.dominates(st.e)) {
+  if (lsa.proposal.has_value() &&
+      (lsa.stamp.dominates(st.e) || config_.accept_stale_proposals)) {
     // T >= E: the proposal reflects every event this switch knows of.
     // Equal-stamp tie-break (see header): lower proposer id wins.
     const bool fresher = lsa.stamp.strictly_dominates(st.c);
@@ -174,7 +190,7 @@ void DgmcSwitch::receive(const McLsa& lsa) {
         tie && (!config_.equal_stamp_tie_break ||
                 st.c_origin == graph::kInvalidNode ||
                 lsa.source <= st.c_origin);
-    if (fresher || tie_accept) {
+    if (fresher || tie_accept || config_.accept_stale_proposals) {
       install(lsa.mc, st, *lsa.proposal, lsa.stamp, lsa.source);
       ++counters_.proposals_accepted;
     } else {
@@ -200,6 +216,7 @@ void DgmcSwitch::crash() {
   DGMC_ASSERT_MSG(alive_, "switch already crashed");
   alive_ = false;
   ++counters_.crashes;
+  counters_.states_destroyed += states_.size();
   states_.clear();
   if (current_.has_value()) {
     // The in-flight computation dies with the CPU; reclaim its
@@ -238,7 +255,14 @@ McSync DgmcSwitch::export_sync(mc::McId mcid) const {
     if (st->r[y] == 0 && !member) continue;  // no history for y
     McSyncEntry entry;
     entry.node = y;
-    entry.events_heard = st->r[y];
+    // Advertise only a provably complete prefix of y's history. R[y]
+    // is a count of heard events and E[y] the highest known index, so
+    // R[y] == E[y] proves the heard set is exactly {1..R[y]}; with a
+    // gap (deferred Fig 4 line 11-13 floods still in flight) the
+    // count names no identifiable set and a receiver merging it could
+    // double-count events when the missing LSAs arrive. Claiming 0
+    // merely defers teaching to a quiescent (R == E) sender.
+    entry.events_heard = st->r[y] == st->e[y] ? st->r[y] : 0;
     entry.member_event_index = st->member_event_applied[y];
     entry.is_member = member;
     entry.role = st->members.role_of(y);
@@ -258,6 +282,11 @@ void DgmcSwitch::apply_sync(const McSync& sync) {
   mc::MemberRole recovered_role = mc::MemberRole::kNone;
   for (const McSyncEntry& entry : sync.entries) {
     DGMC_ASSERT(entry.node >= 0 && entry.node < network_size_);
+    // The advertised prefix {1..events_heard} of this origin's history
+    // is accounted into R below; record it so ReceiveLSA does not count
+    // those events a second time when their LSA copies — still in
+    // flight through the flooding layer — eventually arrive here.
+    st.sync_floor.raise_to(entry.node, entry.events_heard);
     if (entry.node == self_) {
       // In steady state nobody can know more about our own events than
       // we do. A peer that does is reporting history we lost in a
@@ -379,8 +408,11 @@ void DgmcSwitch::start_computation(Computation c) {
   if (hooks_.on_computation) hooks_.on_computation(c.mcid);
   const des::SimTime duration = computation_duration(c.from_scratch);
   current_ = std::move(c);
+  des::EventTag tag;
+  tag.kind = des::EventTag::Kind::kCompute;
+  tag.node = self_;
   current_event_ =
-      sched_.schedule_after(duration, [this] { finish_computation(); });
+      sched_.schedule_after(duration, tag, [this] { finish_computation(); });
 }
 
 void DgmcSwitch::finish_computation() {
@@ -475,10 +507,77 @@ void DgmcSwitch::maybe_destroy(mc::McId mcid) {
   McState* st = find(mcid);
   if (st == nullptr || !st->members.empty()) return;
   if (current_.has_value() && current_->mcid == mcid) return;  // defer
+  // Destroy only once every event we know of has been heard (R == E,
+  // the Fig 4 line 2 completeness test). Destroying earlier discards
+  // member_event_applied — the reordered-flooding guard — while LSAs
+  // covering that history are still in flight, so a stale join arriving
+  // after the wipe would resurrect a member that already left. (Found
+  // by dgmc_check: a leave that preempts an in-flight join computation
+  // floods before the join does; a switch whose first LSA for the MC is
+  // that leave would otherwise create state, destroy it immediately and
+  // then trust the late join.) At quiescence R == E holds everywhere,
+  // so a member-less MC is still reclaimed on the last delivery.
+  if (!st->r.dominates(st->e)) return;
+  ++counters_.states_destroyed;
   states_.erase(mcid);
 }
 
 // --- Introspection ---
+
+namespace {
+std::uint64_t mix_stamp(std::uint64_t h, const VectorTimestamp& t) {
+  for (graph::NodeId i = 0; i < t.size(); ++i) h = util::hash_mix(h, t[i]);
+  return h;
+}
+
+std::uint64_t mix_topology(std::uint64_t h, const trees::Topology& t) {
+  for (const graph::Edge& e : t.edges()) {  // canonical: sorted, unique
+    h = util::hash_mix(h, static_cast<std::uint64_t>(e.a));
+    h = util::hash_mix(h, static_cast<std::uint64_t>(e.b));
+  }
+  return util::hash_mix(h, t.edge_count());
+}
+}  // namespace
+
+std::uint64_t DgmcSwitch::fingerprint(std::uint64_t h) const {
+  h = util::hash_mix(h, alive_ ? 1 : 2);
+  for (const auto& [mcid, st] : states_) {  // std::map: stable order
+    h = util::hash_mix(h, static_cast<std::uint64_t>(mcid));
+    h = util::hash_mix(h, static_cast<std::uint64_t>(st.type));
+    for (const mc::MemberList::Entry& e : st.members.entries()) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.node));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.role));
+    }
+    h = mix_stamp(h, st.r);
+    h = mix_stamp(h, st.e);
+    h = mix_stamp(h, st.c);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(st.c_origin));
+    h = mix_topology(h, st.installed);
+    h = util::hash_mix(h, st.make_proposal_flag ? 1 : 2);
+    for (std::uint32_t w : st.member_event_applied) h = util::hash_mix(h, w);
+    h = mix_stamp(h, st.sync_floor);
+  }
+  if (current_.has_value()) {
+    const Computation& c = *current_;
+    h = util::hash_mix(h, 0xC0117u);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(c.mcid));
+    h = util::hash_mix(h, c.event_path ? 1 : 2);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(c.event));
+    h = util::hash_mix(h, static_cast<std::uint64_t>(c.join_role));
+    h = util::hash_mix(h, static_cast<std::uint64_t>(c.link));
+    h = mix_stamp(h, c.old_r);
+    h = mix_topology(h, c.proposal);
+    h = util::hash_mix(h, c.from_scratch ? 1 : 2);
+    // Only the *delta* of LSA arrivals since the computation started
+    // matters (the line-22 withdrawal guard); absolute counts would
+    // make every state look distinct.
+    const McState* st = find(c.mcid);
+    const bool doomed =
+        st == nullptr || st->lsa_arrivals != c.arrivals_at_start;
+    h = util::hash_mix(h, doomed ? 1 : 2);
+  }
+  return h;
+}
 
 bool DgmcSwitch::has_state(mc::McId mcid) const {
   return find(mcid) != nullptr;
@@ -498,6 +597,11 @@ mc::McType DgmcSwitch::mc_type(mc::McId mcid) const {
   const McState* st = find(mcid);
   DGMC_ASSERT(st != nullptr);
   return st->type;
+}
+
+graph::NodeId DgmcSwitch::proposer(mc::McId mcid) const {
+  const McState* st = find(mcid);
+  return st == nullptr ? graph::kInvalidNode : st->c_origin;
 }
 
 const VectorTimestamp* DgmcSwitch::stamp_r(mc::McId mcid) const {

@@ -76,6 +76,15 @@ struct DgmcConfig {
   /// disagreeing when equal-stamp proposals cross (the ablation
   /// bench/ablation_tiebreak quantifies how often).
   bool equal_stamp_tie_break = true;
+  /// TEST-ONLY fault injection: relaxes ReceiveLSA's acceptance guards
+  /// (Fig 5 line 11's T >= E test and the freshness check against C) so
+  /// that *any* received proposal is installed. This is the
+  /// deliberately broken build the check subsystem's self-test uses:
+  /// systematic exploration must find an interleaving where a stale
+  /// proposal overwrites a fresher installed topology and flag it via
+  /// the install-monotone/stamp-containment oracles. Never enable
+  /// outside of that test.
+  bool accept_stale_proposals = false;
 };
 
 /// Per-switch, per-MC protocol counters (the paper's metrics inputs).
@@ -90,6 +99,7 @@ struct DgmcCounters {
   std::uint64_t proposals_ignored = 0;    // stale (T >= E failed)
   std::uint64_t inconsistencies_detected = 0;  // R[x] > T[x]
   std::uint64_t crashes = 0;              // volatile-state wipes
+  std::uint64_t states_destroyed = 0;     // per-MC wipes (empty or crash)
 };
 
 class DgmcSwitch {
@@ -177,6 +187,9 @@ class DgmcSwitch {
   const mc::MemberList* members(mc::McId mcid) const;
   /// The MC's type; asserts the MC is known here.
   mc::McType mc_type(mc::McId mcid) const;
+  /// Proposer of the installed topology (C's origin); kInvalidNode if
+  /// the MC is unknown here or nothing was ever installed.
+  graph::NodeId proposer(mc::McId mcid) const;
   const VectorTimestamp* stamp_r(mc::McId mcid) const;
   const VectorTimestamp* stamp_e(mc::McId mcid) const;
   const VectorTimestamp* stamp_c(mc::McId mcid) const;
@@ -190,6 +203,17 @@ class DgmcSwitch {
                                              const graph::Graph& image) const;
   bool computing() const { return current_.has_value(); }
   const DgmcCounters& counters() const { return counters_; }
+
+  /// Folds every behavior-relevant bit of the switch's protocol state —
+  /// aliveness, per-MC member lists, R/E/C, installed topology and
+  /// proposer, proposal flag, membership watermarks, and the in-flight
+  /// computation (content plus whether an LSA arrival has already
+  /// doomed it) — into `h`. Two switches with equal fingerprints react
+  /// identically to every future input, which is what lets the check
+  /// subsystem's explorer deduplicate states reached by different
+  /// interleavings. Counters and absolute lsa_arrivals are excluded:
+  /// only the arrival *delta* since computation start affects behavior.
+  std::uint64_t fingerprint(std::uint64_t h) const;
 
  private:
   struct McState {
@@ -206,6 +230,11 @@ class DgmcSwitch {
     // corrupting the member list: a membership change applies only if
     // its event index exceeds this watermark.
     std::vector<std::uint32_t> member_event_applied;
+    // Per-origin event prefix already accounted into R by an McSync
+    // summary (local bookkeeping, never on the wire). An event LSA
+    // whose index is <= this floor is already counted; incrementing R
+    // for it again would double-count (see ReceiveLSA).
+    VectorTimestamp sync_floor;
   };
 
   /// One in-flight topology computation (at most one per switch).

@@ -10,17 +10,22 @@
 //
 // The fix mirrors OSPF's database exchange on adjacency bring-up: when
 // a link comes up, each endpoint floods one McSync per connection it
-// knows. A sync summarizes, per origin switch y: how many events the
-// sender has heard from y (its R[y]), the index of the last membership
-// change from y it applied, and y's current membership/role in the
-// sender's view.
+// knows. A sync summarizes, per origin switch y: a provably complete
+// prefix of y's history the sender has heard (its R[y], advertised
+// only when R[y] = E[y] proves the heard set is exactly {1..R[y]};
+// 0 otherwise), the index of the last membership change from y it
+// applied, and y's current membership/role in the sender's view.
 //
 // Merging is conflict-free because every switch's events occur in
-// exactly one partition: whichever side reports more events from y has
-// seen *all* of y's events, so its view of y is authoritative. The
-// receiver adopts, per component, the view with the higher event
-// count, then raises its make_proposal_flag so the normal proposal
-// machinery reconciles the topology.
+// exactly one partition: whichever side reports a longer prefix of
+// y's events has seen *all* of them, so its view of y is
+// authoritative. The receiver adopts, per component, the view with
+// the longer prefix, then raises its make_proposal_flag so the normal
+// proposal machinery reconciles the topology. Receivers also record
+// the taught prefix (McState::sync_floor) so event LSAs still in
+// flight for already-accounted events do not advance R a second time
+// — the double-count would open the Fig 4 completeness gate with
+// events unheard (found by dgmc_check; DESIGN.md §7).
 #pragma once
 
 #include <vector>

@@ -1,5 +1,6 @@
 #include "des/scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -7,25 +8,34 @@
 namespace dgmc::des {
 
 Scheduler::EventId Scheduler::schedule_at(SimTime t, Callback cb) {
+  return schedule_at(t, EventTag{}, std::move(cb));
+}
+
+Scheduler::EventId Scheduler::schedule_at(SimTime t, EventTag tag,
+                                          Callback cb) {
   DGMC_ASSERT_MSG(t >= now_, "cannot schedule into the past");
   DGMC_ASSERT(cb != nullptr);
   const std::uint64_t id = next_id_++;
-  heap_.push(Node{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  ++pending_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Node{t, seq, id});
+  events_.emplace(id, Record{std::move(cb), t, seq, tag});
   return EventId{id};
 }
 
 Scheduler::EventId Scheduler::schedule_after(SimTime delay, Callback cb) {
+  return schedule_after(delay, EventTag{}, std::move(cb));
+}
+
+Scheduler::EventId Scheduler::schedule_after(SimTime delay, EventTag tag,
+                                             Callback cb) {
   DGMC_ASSERT_MSG(delay >= 0.0, "negative delay");
-  return schedule_at(now_ + delay, std::move(cb));
+  return schedule_at(now_ + delay, tag, std::move(cb));
 }
 
 bool Scheduler::cancel(EventId id) {
-  auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --pending_;
+  auto it = events_.find(id.value);
+  if (it == events_.end()) return false;
+  events_.erase(it);
   // The heap node is left in place and skipped lazily on pop.
   return true;
 }
@@ -34,25 +44,31 @@ bool Scheduler::pop_next(Node& out) {
   while (!heap_.empty()) {
     Node n = heap_.top();
     heap_.pop();
-    if (callbacks_.count(n.id) != 0) {
+    if (events_.count(n.id) != 0) {
       out = n;
       return true;
     }
-    // Cancelled node: drop it.
+    // Cancelled or explicitly-run node: drop it.
   }
   return false;
+}
+
+void Scheduler::execute(std::uint64_t id, SimTime at) {
+  auto it = events_.find(id);
+  DGMC_ASSERT(it != events_.end());
+  Callback cb = std::move(it->second.cb);
+  events_.erase(it);
+  now_ = at;
+  ++executed_;
+  cb();
 }
 
 bool Scheduler::step() {
   Node n;
   if (!pop_next(n)) return false;
-  auto it = callbacks_.find(n.id);
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
-  --pending_;
-  now_ = n.time;
-  ++executed_;
-  cb();
+  // After an out-of-order run_event the head may lie in the past;
+  // the clock never retreats.
+  execute(n.id, std::max(now_, n.time));
   return true;
 }
 
@@ -73,17 +89,32 @@ std::size_t Scheduler::run_until(SimTime t) {
       heap_.push(n);
       break;
     }
-    auto it = callbacks_.find(n.id);
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    --pending_;
-    now_ = n.time;
-    ++executed_;
-    cb();
+    execute(n.id, std::max(now_, n.time));
     ++count;
   }
   now_ = t;
   return count;
+}
+
+std::vector<Scheduler::PendingEvent> Scheduler::pending_events() const {
+  std::vector<PendingEvent> out;
+  out.reserve(events_.size());
+  for (const auto& [id, rec] : events_) {
+    out.push_back(PendingEvent{EventId{id}, rec.time, rec.seq, rec.tag});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+bool Scheduler::run_event(EventId id) {
+  auto it = events_.find(id.value);
+  if (it == events_.end()) return false;
+  execute(id.value, std::max(now_, it->second.time));
+  return true;
 }
 
 }  // namespace dgmc::des

@@ -4,6 +4,17 @@
 // Determinism: events with equal timestamps execute in the order they
 // were scheduled (FIFO tie-break via a monotonically increasing
 // sequence number), so a fixed seed reproduces an identical run.
+//
+// Exploration support (src/check): every event may carry an EventTag
+// describing what it semantically is (a message delivery, an ack, a
+// timer, ...). `pending_events()` enumerates the calendar
+// deterministically and `run_event()` executes a *chosen* pending
+// event instead of the earliest one, which is how the systematic
+// explorer searches message interleavings the native (time, seq) order
+// would never produce. Running an event "early" advances now() to at
+// least that event's scheduled time; running it "late" leaves now()
+// untouched — the explorer models an asynchronous network where
+// message delays are arbitrary.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +27,28 @@
 
 namespace dgmc::des {
 
+/// Semantic annotation of a pending event, consumed by check::Executor.
+/// The des layer never interprets the fields; producers (lsr flooding,
+/// the protocol entity) fill in whatever identifies the action.
+struct EventTag {
+  enum class Kind : std::uint8_t {
+    kOpaque = 0,      // untagged (plain simulation events)
+    kDelivery = 1,    // LSA copy arriving at `node` from origin `peer`
+    kAck = 2,         // flooding ack arriving at `node`
+    kRetransmit = 3,  // reliable-flooding RTO timer at sender `node`
+    kCompute = 4,     // topology-computation completion at `node`
+    kFault = 5,       // scheduled fault-plan action
+  };
+  Kind kind = Kind::kOpaque;
+  std::int32_t node = -1;     // the switch the event happens at
+  std::int32_t peer = -1;     // counterpart switch (e.g. flooding origin)
+  std::uint32_t seq = 0;      // per-origin flooding sequence number
+  std::int32_t link = -1;     // link the copy travels on
+  std::uint64_t digest = 0;   // content hash of the carried payload
+
+  friend bool operator==(const EventTag&, const EventTag&) = default;
+};
+
 class Scheduler {
  public:
   using Callback = std::function<void()>;
@@ -27,9 +60,11 @@ class Scheduler {
 
   /// Schedules `cb` at absolute time `t` (must be >= now()).
   EventId schedule_at(SimTime t, Callback cb);
+  EventId schedule_at(SimTime t, EventTag tag, Callback cb);
 
   /// Schedules `cb` at now() + delay (delay must be >= 0).
   EventId schedule_after(SimTime delay, Callback cb);
+  EventId schedule_after(SimTime delay, EventTag tag, Callback cb);
 
   /// Cancels a pending event. Returns false if it already ran or was
   /// cancelled before.
@@ -48,10 +83,31 @@ class Scheduler {
   /// Runs all events with time <= t, then advances now() to t.
   std::size_t run_until(SimTime t);
 
-  /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return pending_; }
+  // --- Exploration interface ---
 
-  bool empty() const { return pending_ == 0; }
+  /// One enumerated calendar entry.
+  struct PendingEvent {
+    EventId id;
+    SimTime time;
+    std::uint64_t seq;  // schedule-order FIFO tie-break
+    EventTag tag;
+  };
+
+  /// All pending (non-cancelled) events, sorted by (time, seq) — the
+  /// exact order step()/run() would execute them. Deterministic: two
+  /// runs that scheduled the same events enumerate identically.
+  std::vector<PendingEvent> pending_events() const;
+
+  /// Executes a specific pending event out of calendar order. now()
+  /// advances to max(now(), event time) — an event executed "late"
+  /// never moves time backwards. Returns false if `id` is not pending
+  /// (already ran or cancelled).
+  bool run_event(EventId id);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return events_.size(); }
+
+  bool empty() const { return events_.empty(); }
 
   /// Total events executed since construction (diagnostic).
   std::uint64_t executed() const { return executed_; }
@@ -61,8 +117,9 @@ class Scheduler {
     SimTime time;
     std::uint64_t seq;
     std::uint64_t id;
-    // Heap nodes hold only ordering data; callbacks live in a side map so
-    // that cancellation does not require heap surgery.
+    // Heap nodes hold only ordering data; callbacks live in a side map
+    // so that cancellation/out-of-order execution does not require heap
+    // surgery (stale nodes are skipped lazily on pop).
   };
   struct Later {
     bool operator()(const Node& a, const Node& b) const {
@@ -70,16 +127,24 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
+  /// A pending event's callback plus the metadata pending_events()
+  /// reports.
+  struct Record {
+    Callback cb;
+    SimTime time;
+    std::uint64_t seq;
+    EventTag tag;
+  };
 
   bool pop_next(Node& out);
+  void execute(std::uint64_t id, SimTime at);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::size_t pending_ = 0;
   std::priority_queue<Node, std::vector<Node>, Later> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_map<std::uint64_t, Record> events_;
 };
 
 }  // namespace dgmc::des

@@ -45,6 +45,7 @@
 #include "des/scheduler.hpp"
 #include "graph/graph.hpp"
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace dgmc::lsr {
 
@@ -108,6 +109,15 @@ class FloodingNetwork {
 
   void set_fault_hooks(FaultHooks hooks) { faults_ = std::move(hooks); }
 
+  /// Content hash of a payload, stamped into the des::EventTag of every
+  /// copy of the message (and into fingerprint()). The explorer uses it
+  /// to tell in-flight messages apart; without one, two different LSAs
+  /// with the same (origin, seq) reached over different search paths
+  /// would alias. Optional — null leaves the digest at 0.
+  void set_payload_digest(std::function<std::uint64_t(const Payload&)> fn) {
+    payload_digest_ = std::move(fn);
+  }
+
   /// Marks a switch's interface up or down. While down, copies
   /// addressed to the node are discarded on arrival, no acks are
   /// produced, and the node's own pending retransmissions are
@@ -130,8 +140,10 @@ class FloodingNetwork {
   void flood(graph::NodeId origin, Payload payload) {
     DGMC_ASSERT(physical_.valid_node(origin));
     DGMC_ASSERT_MSG(node_up_[origin] != 0, "crashed switch cannot flood");
+    const std::uint64_t digest =
+        payload_digest_ ? payload_digest_(payload) : 0;
     auto msg = std::make_shared<const Message>(
-        Message{origin, next_seq_[origin]++, std::move(payload)});
+        Message{origin, next_seq_[origin]++, digest, std::move(payload)});
     ++floodings_originated_;
     mark_seen(origin, msg->origin, msg->seq);
     forward(origin, msg);
@@ -167,10 +179,39 @@ class FloodingNetwork {
     return total;
   }
 
+  /// Folds the transport's behavior-relevant state — dedup history,
+  /// per-origin sequence counters, interface flags, unacked
+  /// transmissions — into `h`. In-flight copies are NOT included; the
+  /// explorer hashes those from the scheduler's tagged pending events.
+  /// Metrics counters are excluded (they never influence behavior).
+  std::uint64_t fingerprint(std::uint64_t h) const {
+    for (const auto& per_switch : seen_) {
+      for (const OriginDedup& d : per_switch) {
+        h = util::hash_mix(h, d.next_expected);
+        // Hash the `ahead` set order-independently (it is unordered).
+        std::uint64_t ahead = 0;
+        for (std::uint32_t s : d.ahead) ahead ^= util::hash_mix(0x5eed, s);
+        h = util::hash_mix(h, ahead);
+      }
+    }
+    for (std::uint8_t up : node_up_) h = util::hash_mix(h, up);
+    for (std::uint32_t s : next_seq_) h = util::hash_mix(h, s);
+    for (const auto& [key, tx] : pending_) {  // std::map: stable order
+      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<0>(key)));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<1>(key)));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<2>(key)));
+      h = util::hash_mix(h, std::get<3>(key));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(tx.retransmits));
+      h = util::hash_mix(h, tx.msg->digest);
+    }
+    return h;
+  }
+
  private:
   struct Message {
     graph::NodeId origin;
     std::uint32_t seq;
+    std::uint64_t digest;
     Payload payload;
   };
   using MessagePtr = std::shared_ptr<const Message>;
@@ -243,7 +284,14 @@ class FloodingNetwork {
       return;
     }
     ++in_flight_;
-    sched_.schedule_after(l.delay + per_hop_overhead_ + fault_delay(id),
+    des::EventTag tag;
+    tag.kind = des::EventTag::Kind::kDelivery;
+    tag.node = to;
+    tag.peer = msg->origin;
+    tag.seq = msg->seq;
+    tag.link = id;
+    tag.digest = msg->digest;
+    sched_.schedule_after(l.delay + per_hop_overhead_ + fault_delay(id), tag,
                           [this, id, to, msg] { arrive(id, to, msg); });
   }
 
@@ -287,8 +335,15 @@ class FloodingNetwork {
     // running: the link may come back before the retry cap.
     if (physical_.link(link).up) transmit(link, from, it->second.msg);
     const PendingKey key = it->first;
+    des::EventTag tag;
+    tag.kind = des::EventTag::Kind::kRetransmit;
+    tag.node = from;
+    tag.peer = it->second.msg->origin;
+    tag.seq = it->second.msg->seq;
+    tag.link = link;
+    tag.digest = it->second.msg->digest;
     it->second.timer =
-        sched_.schedule_after(it->second.rto, [this, key] { on_rto(key); });
+        sched_.schedule_after(it->second.rto, tag, [this, key] { on_rto(key); });
   }
 
   void on_rto(const PendingKey& key) {
@@ -324,8 +379,14 @@ class FloodingNetwork {
       return;
     }
     const graph::NodeId to = physical_.other_end(link, from);
+    des::EventTag tag;
+    tag.kind = des::EventTag::Kind::kAck;
+    tag.node = to;
+    tag.peer = origin;
+    tag.seq = seq;
+    tag.link = link;
     sched_.schedule_after(
-        l.delay + per_hop_overhead_ + fault_delay(link),
+        l.delay + per_hop_overhead_ + fault_delay(link), tag,
         [this, link, to, origin, seq] { ack_arrive(link, to, origin, seq); });
   }
 
@@ -358,6 +419,7 @@ class FloodingNetwork {
   Receiver receiver_;
   ReliableFloodingConfig reliable_;
   FaultHooks faults_;
+  std::function<std::uint64_t(const Payload&)> payload_digest_;
   std::vector<std::vector<OriginDedup>> seen_;  // [switch][origin]
   std::vector<std::uint8_t> node_up_;
   std::vector<std::uint32_t> next_seq_;

@@ -5,8 +5,65 @@
 
 #include "graph/algorithms.hpp"
 #include "mc/validation.hpp"
+#include "util/hash.hpp"
 
 namespace dgmc::sim {
+
+namespace {
+std::uint64_t mix_stamp(std::uint64_t h, const core::VectorTimestamp& t) {
+  for (graph::NodeId i = 0; i < t.size(); ++i) h = util::hash_mix(h, t[i]);
+  return h;
+}
+
+/// Content digest of a flooded payload, stamped into every copy's
+/// des::EventTag so the explorer can distinguish in-flight messages.
+std::uint64_t payload_digest(const DgmcNetwork::Payload& p) {
+  std::uint64_t h = 0;
+  if (const auto* ad = std::get_if<lsr::LinkEventAd>(&p)) {
+    h = util::hash_mix(h, 0x11u);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(ad->link));
+    h = util::hash_mix(h, ad->up ? 1 : 2);
+    return h;
+  }
+  if (const auto* sync = std::get_if<core::McSync>(&p)) {
+    h = util::hash_mix(h, 0x22u);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(sync->source));
+    h = util::hash_mix(h, static_cast<std::uint64_t>(sync->mc));
+    h = util::hash_mix(h, static_cast<std::uint64_t>(sync->mc_type));
+    for (const core::McSyncEntry& e : sync->entries) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.node));
+      h = util::hash_mix(h, e.events_heard);
+      h = util::hash_mix(h, e.member_event_index);
+      h = util::hash_mix(h, e.is_member ? 1 : 2);
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.role));
+    }
+    for (const graph::Edge& e : sync->installed.edges()) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.a));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.b));
+    }
+    h = mix_stamp(h, sync->c);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(sync->c_origin));
+    return h;
+  }
+  const auto& lsa = std::get<core::McLsa>(p);
+  h = util::hash_mix(h, 0x33u);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.source));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.event));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.mc));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.mc_type));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.join_role));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.link));
+  if (lsa.proposal.has_value()) {
+    for (const graph::Edge& e : lsa.proposal->edges()) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.a));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.b));
+    }
+    h = util::hash_mix(h, lsa.proposal->edge_count() + 1);
+  }
+  h = mix_stamp(h, lsa.stamp);
+  return h;
+}
+}  // namespace
 
 DgmcNetwork::DgmcNetwork(graph::Graph physical, Params params,
                          std::unique_ptr<mc::TopologyAlgorithm> algorithm)
@@ -40,6 +97,7 @@ DgmcNetwork::DgmcNetwork(graph::Graph physical, Params params,
       [this](const lsr::FloodingNetwork<Payload>::Delivery& d) {
         deliver(d);
       });
+  flooding_.set_payload_digest(payload_digest);
 }
 
 core::DgmcSwitch& DgmcNetwork::switch_at(graph::NodeId n) {
@@ -245,21 +303,26 @@ void DgmcNetwork::install_faults(const fault::FaultPlan& plan,
   // against the state it expects having been changed by a concurrent
   // fault (a crash downing a flapping link, overlapping crash cycles):
   // the stale half of a cycle degrades to a no-op.
+  des::EventTag fault_tag;
+  fault_tag.kind = des::EventTag::Kind::kFault;
   for (const fault::LinkFlap& f : plan.flaps) {
     DGMC_ASSERT(f.link >= 0 && f.link < physical_.link_count());
-    sched_.schedule_at(f.down_at, [this, f] {
+    fault_tag.link = f.link;
+    sched_.schedule_at(f.down_at, fault_tag, [this, f] {
       if (physical_.link(f.link).up) fail_link(f.link);
     });
-    sched_.schedule_at(f.up_at, [this, f] {
+    sched_.schedule_at(f.up_at, fault_tag, [this, f] {
       if (!physical_.link(f.link).up) restore_link(f.link);
     });
   }
+  fault_tag.link = -1;
   for (const fault::SwitchCrash& c : plan.crashes) {
     DGMC_ASSERT(physical_.valid_node(c.node));
-    sched_.schedule_at(c.crash_at, [this, c] {
+    fault_tag.node = c.node;
+    sched_.schedule_at(c.crash_at, fault_tag, [this, c] {
       if (hosts_[c.node].dgmc->alive()) crash_switch(c.node);
     });
-    sched_.schedule_at(c.restart_at, [this, c] {
+    sched_.schedule_at(c.restart_at, fault_tag, [this, c] {
       if (!hosts_[c.node].dgmc->alive()) restart_switch(c.node);
     });
   }
@@ -278,6 +341,22 @@ DgmcNetwork::Totals DgmcNetwork::totals() const {
   t.sync_floodings = sync_floodings_;
   t.installs = installs_;
   return t;
+}
+
+std::uint64_t DgmcNetwork::fingerprint() const {
+  std::uint64_t h = 0x9E3779B9u;
+  for (const Host& host : hosts_) h = host.dgmc->fingerprint(h);
+  for (graph::LinkId id = 0; id < physical_.link_count(); ++id) {
+    h = util::hash_mix(h, physical_.link(id).up ? 1 : 2);
+  }
+  h = flooding_.fingerprint(h);
+  for (const auto& links : crashed_links_) {
+    for (graph::LinkId id : links) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(id) + 7);
+    }
+    h = util::hash_mix(h, links.size());
+  }
+  return h;
 }
 
 double DgmcNetwork::flooding_diameter() const {

@@ -142,6 +142,14 @@ class DgmcNetwork {
   /// Simulated time of the most recent topology installation anywhere.
   des::SimTime last_install_time() const { return last_install_time_; }
 
+  /// Behavior-relevant state hash of the whole network: every switch's
+  /// protocol state, link up/down flags, and the flooding transport's
+  /// dedup/sequence/retransmission state. Excludes simulated time,
+  /// metrics, and in-flight messages (the check::Executor hashes those
+  /// from the scheduler's tagged calendar). Used by the explorer to
+  /// recognize states already visited via a different interleaving.
+  std::uint64_t fingerprint() const;
+
   /// Tf for this network at the configured per-hop overhead.
   double flooding_diameter() const;
 

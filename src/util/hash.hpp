@@ -1,0 +1,20 @@
+// Order-sensitive 64-bit hash combining, used for protocol-state
+// fingerprints (check subsystem dedup). Not cryptographic; collisions
+// only cost the explorer a wrongly-pruned (already-visited-looking)
+// state, never a false violation.
+#pragma once
+
+#include <cstdint>
+
+namespace dgmc::util {
+
+/// Folds `v` into the running hash `h` (splitmix64-style finalizer, so
+/// nearby inputs diverge well).
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t x = v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (x ^ (x >> 31));
+}
+
+}  // namespace dgmc::util

@@ -3,9 +3,22 @@
 // The simulator is single-threaded; the logger is a thin veneer over
 // stderr with a process-global level so that protocol traces can be
 // switched on in tests/examples without recompiling.
+//
+// Compile-time gate: DGMC_LOG_MIN_LEVEL (an integer matching LogLevel's
+// underlying values; settable via the CMake cache variable of the same
+// name) removes every logging statement below it at compile time — the
+// `if constexpr` branch is discarded, so disabled levels cost neither
+// the formatting nor the level comparison. State-space exploration runs
+// millions of transitions; a hot path must not pay for a DGMC_TRACE
+// that is off. The default (0 = kTrace) compiles everything in and
+// keeps the runtime gate as the only filter.
 #pragma once
 
 #include <cstdarg>
+
+#ifndef DGMC_LOG_MIN_LEVEL
+#define DGMC_LOG_MIN_LEVEL 0
+#endif
 
 namespace dgmc::util {
 
@@ -15,17 +28,32 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// True if `level` survives the compile-time gate (mirrors the macro
+/// logic; lets tests assert the build's configuration).
+constexpr bool log_level_compiled_in(LogLevel level) {
+  return static_cast<int>(level) >= DGMC_LOG_MIN_LEVEL;
+}
+
 /// printf-style logging at a given level.
 void logf(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
 }  // namespace dgmc::util
 
+// The arguments stay odr-used inside the discarded branch, so gating a
+// level out never creates unused-variable warnings at call sites.
+#define DGMC_LOG_AT(level, ...)                                       \
+  do {                                                                \
+    if constexpr (::dgmc::util::log_level_compiled_in(level)) {       \
+      ::dgmc::util::logf((level), __VA_ARGS__);                       \
+    }                                                                 \
+  } while (0)
+
 #define DGMC_TRACE(...) \
-  ::dgmc::util::logf(::dgmc::util::LogLevel::kTrace, __VA_ARGS__)
+  DGMC_LOG_AT(::dgmc::util::LogLevel::kTrace, __VA_ARGS__)
 #define DGMC_DEBUG(...) \
-  ::dgmc::util::logf(::dgmc::util::LogLevel::kDebug, __VA_ARGS__)
+  DGMC_LOG_AT(::dgmc::util::LogLevel::kDebug, __VA_ARGS__)
 #define DGMC_INFO(...) \
-  ::dgmc::util::logf(::dgmc::util::LogLevel::kInfo, __VA_ARGS__)
+  DGMC_LOG_AT(::dgmc::util::LogLevel::kInfo, __VA_ARGS__)
 #define DGMC_WARN(...) \
-  ::dgmc::util::logf(::dgmc::util::LogLevel::kWarn, __VA_ARGS__)
+  DGMC_LOG_AT(::dgmc::util::LogLevel::kWarn, __VA_ARGS__)

@@ -1,0 +1,172 @@
+// Acceptance tests for the systematic exploration subsystem: the
+// correct protocol survives exploration, and a deliberately broken
+// protocol (acceptance guard relaxed) is caught with a deterministic,
+// replayable counterexample.
+#include "check/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/minimize.hpp"
+
+namespace dgmc::check {
+namespace {
+
+ScenarioSpec spec(const char* name, bool break_accept = false) {
+  const ScenarioSpec* s = find_scenario(name);
+  EXPECT_NE(s, nullptr) << name;
+  ScenarioSpec out = *s;
+  out.params.dgmc.accept_stale_proposals = break_accept;
+  return out;
+}
+
+// Every interleaving of the two-concurrent-join race, to full
+// execution depth: the strongest claim the subsystem makes about the
+// protocol. (~65k distinct states; executions end at depth 30.)
+TEST(CheckAcceptance, TwoJoinExhaustiveNoViolations) {
+  SearchLimits limits;
+  limits.max_depth = 40;
+  const SearchResult r = explore_dfs(spec("triangle-2join"), limits);
+  ASSERT_FALSE(r.violation.has_value())
+      << r.violation->oracle << ": " << r.violation->detail;
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_EQ(r.stats.depth_cutoffs, 0u);
+  EXPECT_GT(r.stats.executions, 0u);
+  EXPECT_GT(r.stats.states_seen, 10000u);
+}
+
+// The join-leave scenario explored exhaustively to the stated depth.
+// Depth 12 covers every placement of all three injections among the
+// first nine protocol actions — including the leave-preempts-join
+// flooding reorder that once resurrected a departed member (see
+// DgmcSwitch::maybe_destroy).
+TEST(CheckAcceptance, JoinLeaveExhaustiveToDepth12NoViolations) {
+  SearchLimits limits;
+  limits.max_depth = 12;
+  const SearchResult r = explore_dfs(spec("triangle-join-leave"), limits);
+  ASSERT_FALSE(r.violation.has_value())
+      << r.violation->oracle << ": " << r.violation->detail;
+  EXPECT_EQ(r.stats.max_depth_reached, 12u);
+  EXPECT_GT(r.stats.states_seen, 1000u);
+}
+
+// Delay-bounded search drives the same scenario through *complete*
+// executions (so the quiescence oracles run), deviating from the
+// native schedule by up to 3 delays.
+TEST(CheckAcceptance, JoinLeaveDelayBoundedNoViolations) {
+  SearchLimits limits;
+  limits.max_depth = 60;
+  limits.delay_budget = 3;
+  const SearchResult r =
+      explore_delay_bounded(spec("triangle-join-leave"), limits);
+  ASSERT_FALSE(r.violation.has_value())
+      << r.violation->oracle << ": " << r.violation->detail;
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_GT(r.stats.executions, 100u);
+}
+
+TEST(CheckAcceptance, RandomWalksNoViolations) {
+  SearchLimits limits;
+  limits.max_depth = 80;
+  limits.walks = 200;
+  limits.seed = 7;
+  const SearchResult r = explore_random(spec("triangle-join-leave"), limits);
+  ASSERT_FALSE(r.violation.has_value())
+      << r.violation->oracle << ": " << r.violation->detail;
+  EXPECT_EQ(r.stats.executions, 200u);
+}
+
+// The deliberately broken build: proposals are accepted without the
+// T >= E dominance test. The search must find a violation, the trace
+// must replay to the *same* violation, and replay must be
+// deterministic run to run.
+TEST(CheckAcceptance, BrokenAcceptGuardIsCaughtAndReplays) {
+  SearchLimits limits;
+  limits.max_depth = 14;
+  const ScenarioSpec broken = spec("triangle-join-leave", /*break_accept=*/true);
+  const SearchResult r = explore_dfs(broken, limits);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->oracle, "install-monotone");
+  EXPECT_TRUE(r.trace.accept_stale_proposals);
+  EXPECT_FALSE(r.trace.choices.empty());
+  EXPECT_EQ(r.annotations.size(), r.trace.choices.size());
+
+  const ReplayResult first = replay(broken, r.trace);
+  const ReplayResult second = replay(broken, r.trace);
+  for (const ReplayResult* rr : {&first, &second}) {
+    ASSERT_FALSE(rr->divergence.has_value()) << *rr->divergence;
+    ASSERT_TRUE(rr->violation.has_value());
+    EXPECT_EQ(rr->violation->oracle, r.violation->oracle);
+    EXPECT_EQ(rr->violation->detail, r.violation->detail);
+    EXPECT_EQ(rr->violation_step, r.trace.choices.size());
+  }
+}
+
+// The same fault is visible to every strategy (different oracles may
+// fire first: DFS hits the per-step monotonicity check, full random
+// executions reach the quiescence agreement check).
+TEST(CheckAcceptance, BrokenAcceptGuardCaughtByAllStrategies) {
+  const ScenarioSpec broken = spec("triangle-join-leave", /*break_accept=*/true);
+  SearchLimits limits;
+  limits.max_depth = 60;
+  limits.delay_budget = 3;
+  limits.walks = 500;
+  EXPECT_TRUE(explore_delay_bounded(broken, limits).violation.has_value());
+  EXPECT_TRUE(explore_random(broken, limits).violation.has_value());
+}
+
+TEST(CheckAcceptance, CleanTraceReplaysWithoutViolation) {
+  // A native-order execution recorded as a trace replays cleanly.
+  const ScenarioSpec s = spec("triangle-join-leave");
+  Executor exec(s);
+  Trace t;
+  t.scenario = s.name;
+  while (!exec.done()) {
+    t.choices.push_back(0);
+    exec.step(0);
+  }
+  std::vector<std::string> log;
+  const ReplayResult rr = replay(s, t, &log);
+  EXPECT_FALSE(rr.violation.has_value());
+  EXPECT_FALSE(rr.divergence.has_value());
+  EXPECT_EQ(rr.steps_executed, t.choices.size());
+  EXPECT_EQ(log.size(), t.choices.size());
+}
+
+TEST(CheckAcceptance, ReplayDetectsForeignTrace) {
+  const ScenarioSpec s = spec("triangle-2join");
+  Trace t;
+  t.scenario = s.name;
+  t.choices = {0, 0, 99};  // 99 cannot be a valid index this early
+  const ReplayResult rr = replay(s, t);
+  ASSERT_TRUE(rr.divergence.has_value());
+  EXPECT_FALSE(rr.violation.has_value());
+}
+
+TEST(CheckMinimize, ShrinksBrokenAcceptCounterexample) {
+  SearchLimits limits;
+  limits.max_depth = 14;
+  const ScenarioSpec broken = spec("triangle-join-leave", /*break_accept=*/true);
+  const SearchResult r = explore_dfs(broken, limits);
+  ASSERT_TRUE(r.violation.has_value());
+
+  std::string error;
+  const auto min =
+      minimize_trace(r.trace, r.violation->oracle, limits, &error);
+  ASSERT_TRUE(min.has_value()) << error;
+  // The leave is not needed to accept a stale proposal; two racing
+  // joins suffice, so at least one injection must drop.
+  EXPECT_GE(min->injections_dropped, 1u);
+  EXPECT_EQ(min->violation.oracle, r.violation->oracle);
+  EXPECT_LE(min->trace.choices.size(), r.trace.choices.size());
+
+  // The minimized trace still replays to the same oracle's violation.
+  std::optional<ScenarioSpec> min_spec = resolve_spec(min->trace, &error);
+  ASSERT_TRUE(min_spec.has_value()) << error;
+  EXPECT_LT(min_spec->injections.size(), broken.injections.size());
+  const ReplayResult rr = replay(*min_spec, min->trace);
+  ASSERT_TRUE(rr.violation.has_value());
+  EXPECT_EQ(rr.violation->oracle, r.violation->oracle);
+}
+
+}  // namespace
+}  // namespace dgmc::check

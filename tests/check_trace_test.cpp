@@ -1,0 +1,99 @@
+#include "check/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dgmc::check {
+namespace {
+
+class TraceFile : public ::testing::Test {
+ protected:
+  std::string path() const {
+    return ::testing::TempDir() + "check_trace_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".trace";
+  }
+  void TearDown() override { std::remove(path().c_str()); }
+  void write(const std::string& content) {
+    std::ofstream out(path());
+    out << content;
+  }
+};
+
+TEST_F(TraceFile, RoundTripsAllFields) {
+  Trace t;
+  t.scenario = "triangle-join-leave";
+  t.accept_stale_proposals = true;
+  t.dropped_injections = {2};
+  t.choices = {0, 3, 1, 0, 7};
+  ASSERT_TRUE(save_trace(t, path(), {"first", "", "third"}));
+
+  std::string error;
+  const auto loaded = load_trace(path(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->scenario, t.scenario);
+  EXPECT_EQ(loaded->accept_stale_proposals, true);
+  EXPECT_EQ(loaded->dropped_injections, t.dropped_injections);
+  EXPECT_EQ(loaded->choices, t.choices);
+}
+
+TEST_F(TraceFile, LoadsHandWrittenFileWithComments) {
+  write(
+      "# dgmc_check trace v1\n"
+      "scenario triangle-2join\n"
+      "\n"
+      "0  # inject join\n"
+      "2\n"
+      "  1 \n");
+  std::string error;
+  const auto loaded = load_trace(path(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->scenario, "triangle-2join");
+  EXPECT_FALSE(loaded->accept_stale_proposals);
+  EXPECT_EQ(loaded->choices, (std::vector<std::uint32_t>{0, 2, 1}));
+}
+
+TEST_F(TraceFile, RejectsMalformedInput) {
+  std::string error;
+  write("scenario x\nnot-a-number\n");
+  EXPECT_FALSE(load_trace(path(), &error).has_value());
+  EXPECT_NE(error.find("expected choice index"), std::string::npos);
+
+  write("0\n1\n");  // no scenario line
+  EXPECT_FALSE(load_trace(path(), &error).has_value());
+  EXPECT_NE(error.find("scenario"), std::string::npos);
+
+  write("scenario x\noption bogus_flag 1\n");
+  EXPECT_FALSE(load_trace(path(), &error).has_value());
+  EXPECT_NE(error.find("unknown option"), std::string::npos);
+
+  EXPECT_FALSE(load_trace("/nonexistent/dir/x.trace", &error).has_value());
+}
+
+TEST(TraceResolve, AppliesOptionsAndDrops) {
+  Trace t;
+  t.scenario = "triangle-join-leave";
+  t.accept_stale_proposals = true;
+  t.dropped_injections = {0, 2};
+  std::string error;
+  const auto spec = resolve_spec(t, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_TRUE(spec->params.dgmc.accept_stale_proposals);
+  EXPECT_EQ(spec->injections.size(),
+            find_scenario(t.scenario)->injections.size() - 2);
+
+  t.scenario = "no-such-scenario";
+  EXPECT_FALSE(resolve_spec(t, &error).has_value());
+  EXPECT_NE(error.find("unknown scenario"), std::string::npos);
+
+  t.scenario = "triangle-join-leave";
+  t.dropped_injections = {99};
+  EXPECT_FALSE(resolve_spec(t, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dgmc::check

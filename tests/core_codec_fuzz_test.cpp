@@ -1,0 +1,159 @@
+// Seeded mutation fuzzing of the wire codec: every decode_* must
+// either return a value or return nullopt — never crash, assert or
+// read out of bounds (the asan lane runs this under sanitizers via the
+// `fuzz` label). Mutations are derived from valid encodings (bit
+// flips, byte overwrites, truncations, splices) because random bytes
+// alone rarely get past the type byte.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/codec.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::core {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+McLsa sample_lsa(util::RngStream& rng) {
+  McLsa lsa;
+  lsa.source = static_cast<graph::NodeId>(rng.uniform_int(0, 7));
+  lsa.event = static_cast<McEventType>(rng.uniform_int(0, 3));
+  lsa.mc = static_cast<mc::McId>(rng.uniform_int(0, 100));
+  lsa.mc_type = rng.bernoulli(0.5) ? mc::McType::kSymmetric
+                                   : mc::McType::kReceiverOnly;
+  lsa.join_role = static_cast<mc::MemberRole>(rng.uniform_int(0, 3));
+  lsa.link =
+      rng.bernoulli(0.5) ? graph::kInvalidLink
+                         : static_cast<graph::LinkId>(rng.uniform_int(0, 30));
+  VectorTimestamp t(static_cast<graph::NodeId>(rng.uniform_int(1, 8)));
+  for (int i = 0; i < 6; ++i) {
+    t.increment(static_cast<graph::NodeId>(rng.index(t.size())));
+  }
+  lsa.stamp = t;
+  if (rng.bernoulli(0.7)) {
+    trees::Topology topo;
+    const int edges = static_cast<int>(rng.uniform_int(0, 5));
+    for (int i = 0; i < edges; ++i) {
+      const auto a = static_cast<graph::NodeId>(rng.uniform_int(0, 6));
+      const auto b = static_cast<graph::NodeId>(rng.uniform_int(0, 6));
+      if (a != b) topo.add(graph::Edge(a, b));
+    }
+    lsa.proposal = topo;
+  }
+  return lsa;
+}
+
+McSync sample_sync(util::RngStream& rng) {
+  McSync sync;
+  sync.source = static_cast<graph::NodeId>(rng.uniform_int(0, 7));
+  sync.mc = static_cast<mc::McId>(rng.uniform_int(0, 100));
+  sync.mc_type = mc::McType::kSymmetric;
+  const int entries = static_cast<int>(rng.uniform_int(0, 6));
+  for (int i = 0; i < entries; ++i) {
+    McSyncEntry e;
+    e.node = static_cast<graph::NodeId>(rng.uniform_int(0, 7));
+    e.events_heard = static_cast<std::uint32_t>(rng.uniform_int(0, 9));
+    e.member_event_index = static_cast<std::uint32_t>(rng.uniform_int(0, 9));
+    e.is_member = rng.bernoulli(0.5);
+    e.role = mc::MemberRole::kBoth;
+    sync.entries.push_back(e);
+  }
+  sync.c = VectorTimestamp(static_cast<graph::NodeId>(rng.uniform_int(1, 8)));
+  sync.c_origin = static_cast<graph::NodeId>(rng.uniform_int(0, 7));
+  return sync;
+}
+
+/// Decoding must not crash; if it succeeds, re-encoding the decoded
+/// value must itself be decodable (the codec never emits garbage).
+void probe(const Bytes& bytes) {
+  if (const auto lsa = decode_mc_lsa(bytes)) {
+    EXPECT_TRUE(decode_mc_lsa(encode(*lsa)).has_value());
+  }
+  if (const auto ad = decode_link_event(bytes)) {
+    EXPECT_TRUE(decode_link_event(encode(*ad)).has_value());
+  }
+  if (const auto sync = decode_mc_sync(bytes)) {
+    EXPECT_TRUE(decode_mc_sync(encode(*sync)).has_value());
+  }
+  (void)peek_type(bytes);
+}
+
+Bytes mutate(Bytes bytes, util::RngStream& rng) {
+  if (bytes.empty()) return bytes;
+  switch (rng.uniform_int(0, 3)) {
+    case 0: {  // flip a bit
+      const std::size_t i = rng.index(bytes.size());
+      bytes[i] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      break;
+    }
+    case 1: {  // overwrite a byte
+      bytes[rng.index(bytes.size())] =
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      break;
+    }
+    case 2:  // truncate
+      bytes.resize(rng.index(bytes.size()));
+      break;
+    default: {  // duplicate a slice into the middle
+      const std::size_t at = rng.index(bytes.size());
+      const std::size_t len = rng.index(bytes.size() - at) + 1;
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(at + len));
+      break;
+    }
+  }
+  return bytes;
+}
+
+TEST(CodecFuzz, MutatedEncodingsNeverCrashDecode) {
+  util::RngStream rng(20260806);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes base;
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        base = encode(sample_lsa(rng));
+        break;
+      case 1:
+        base = encode(lsr::LinkEventAd{
+            static_cast<graph::LinkId>(rng.uniform_int(0, 40)),
+            rng.bernoulli(0.5)});
+        break;
+      default:
+        base = encode(sample_sync(rng));
+        break;
+    }
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations; ++m) base = mutate(base, rng);
+    probe(base);
+  }
+}
+
+TEST(CodecFuzz, ArbitraryBytesNeverCrashDecode) {
+  util::RngStream rng(42);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes bytes(rng.index(64));
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    probe(bytes);
+  }
+}
+
+TEST(CodecFuzz, AllPrefixesOfValidEncodingsRejectCleanly) {
+  util::RngStream rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const Bytes bytes = encode(sample_lsa(rng));
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const Bytes prefix(bytes.begin(),
+                         bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+      EXPECT_FALSE(decode_mc_lsa(prefix).has_value()) << "cut=" << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgmc::core

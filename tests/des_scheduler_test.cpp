@@ -116,6 +116,77 @@ TEST(Scheduler, ExecutedCounter) {
   EXPECT_EQ(s.executed(), 7u);
 }
 
+TEST(Scheduler, PendingEventsEnumeratesInExecutionOrder) {
+  Scheduler s;
+  EventTag tag;
+  tag.kind = EventTag::Kind::kDelivery;
+  tag.node = 7;
+  s.schedule_at(3.0, [] {});
+  s.schedule_at(1.0, tag, [] {});
+  s.schedule_at(1.0, [] {});  // same time, scheduled later -> after tag
+  const auto pending = s.pending_events();
+  ASSERT_EQ(pending.size(), 3u);
+  EXPECT_DOUBLE_EQ(pending[0].time, 1.0);
+  EXPECT_EQ(pending[0].tag.kind, EventTag::Kind::kDelivery);
+  EXPECT_EQ(pending[0].tag.node, 7);
+  EXPECT_DOUBLE_EQ(pending[1].time, 1.0);
+  EXPECT_EQ(pending[1].tag.kind, EventTag::Kind::kOpaque);
+  EXPECT_DOUBLE_EQ(pending[2].time, 3.0);
+  EXPECT_LT(pending[0].seq, pending[1].seq);
+}
+
+TEST(Scheduler, PendingEventsExcludesCancelled) {
+  Scheduler s;
+  s.schedule_at(1.0, [] {});
+  const auto id = s.schedule_at(2.0, [] {});
+  s.cancel(id);
+  const auto pending = s.pending_events();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_DOUBLE_EQ(pending[0].time, 1.0);
+}
+
+TEST(Scheduler, RunEventExecutesOutOfOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  const auto late = s.schedule_at(5.0, [&] { order.push_back(5); });
+  // Running the t=5 event first models an arbitrarily slow network:
+  // the clock jumps forward, and the t=1 event still runs afterwards
+  // (at clock 5, never backwards).
+  EXPECT_TRUE(s.run_event(late));
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_FALSE(s.run_event(late));  // already executed
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{5, 1}));
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);  // t=1 ran late, clock did not retreat
+}
+
+TEST(Scheduler, RunEventRefusesCancelled) {
+  Scheduler s;
+  const auto id = s.schedule_at(1.0, [] {});
+  s.cancel(id);
+  EXPECT_FALSE(s.run_event(id));
+}
+
+TEST(Scheduler, CancelThenRescheduleGoesToBackOfTie) {
+  // A cancel + re-schedule at the same time must not inherit the old
+  // FIFO position: the fresh event gets a fresh sequence number and
+  // runs after everything already queued at that time.
+  Scheduler s;
+  std::vector<int> order;
+  const auto id = s.schedule_at(2.0, [&] { order.push_back(0); });
+  s.schedule_at(2.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.cancel(id);
+  s.schedule_at(2.0, [&] { order.push_back(0); });
+  const auto pending = s.pending_events();
+  ASSERT_EQ(pending.size(), 3u);
+  EXPECT_LT(pending[0].seq, pending[1].seq);
+  EXPECT_LT(pending[1].seq, pending[2].seq);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
 TEST(SchedulerDeath, RejectsSchedulingIntoPast) {
   Scheduler s;
   s.schedule_at(5.0, [] {});

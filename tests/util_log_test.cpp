@@ -1,0 +1,78 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dgmc::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, RuntimeLevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, CompileTimeGateMatchesConfiguredMinLevel) {
+  // The tier-1 build compiles with the default gate; each level's
+  // compiled-in status must mirror the DGMC_LOG_MIN_LEVEL the binary
+  // was built with, and the gate must be monotone in the level.
+  EXPECT_EQ(log_level_compiled_in(LogLevel::kTrace),
+            static_cast<int>(LogLevel::kTrace) >= DGMC_LOG_MIN_LEVEL);
+  EXPECT_EQ(log_level_compiled_in(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kWarn) >= DGMC_LOG_MIN_LEVEL);
+  bool prev = log_level_compiled_in(LogLevel::kTrace);
+  for (LogLevel l : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn}) {
+    const bool cur = log_level_compiled_in(l);
+    EXPECT_TRUE(cur || !prev) << "gate must be monotone";
+    prev = cur;
+  }
+  static_assert(log_level_compiled_in(LogLevel::kWarn) ||
+                    DGMC_LOG_MIN_LEVEL > static_cast<int>(LogLevel::kWarn),
+                "warn is the highest regular level");
+}
+
+TEST(Log, ArgumentsEvaluatedOnlyWhenCompiledIn) {
+  // Arguments of a gated-out statement are never evaluated (the
+  // `if constexpr` branch is discarded), yet they remain type-checked,
+  // so gating a level out can neither hide a broken call site nor
+  // trigger unused-variable warnings under -Werror.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  DGMC_TRACE("value %d", count());
+  if (log_level_compiled_in(LogLevel::kTrace)) {
+    // Branch compiled in: the argument is evaluated (runtime gate only
+    // suppresses the output inside logf).
+    EXPECT_EQ(evaluations, 1);
+  } else {
+    // Branch discarded: the call — and its argument — never happen.
+    EXPECT_EQ(evaluations, 0);
+  }
+}
+
+TEST(Log, MacrosCompileForAllLevels) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);  // silence output; only compilation matters
+  DGMC_TRACE("trace %s %d", "arg", 1);
+  DGMC_DEBUG("debug %s %d", "arg", 2);
+  DGMC_INFO("info %s %d", "arg", 3);
+  DGMC_WARN("warn %s %d", "arg", 4);
+  DGMC_LOG_AT(LogLevel::kInfo, "direct %f", 0.5);
+}
+
+}  // namespace
+}  // namespace dgmc::util
