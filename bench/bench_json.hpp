@@ -1,0 +1,53 @@
+// Tiny JSON emission helper for the bench harnesses.
+//
+// Each bench writes one BENCH_<name>.json next to its stdout table so
+// successive PRs accumulate a machine-readable perf trajectory
+// (speedups, wall-clock, and the sweep's own numbers). The emitters
+// build the document as a string — the documents are small and flat,
+// a JSON library would be all ceremony here.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dgmc::bench {
+
+inline std::string json_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+inline std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Writes `body` to BENCH_<name>.json in the working directory (or
+/// $DGMC_BENCH_DIR when set). Returns false on I/O failure.
+inline bool write_bench_json(const std::string& name,
+                             const std::string& body) {
+  std::string dir;
+  if (const char* env = std::getenv("DGMC_BENCH_DIR")) dir = env;
+  const std::string path =
+      (dir.empty() ? std::string() : dir + "/") + "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs(body.c_str(), f) >= 0 && std::fputc('\n', f) >= 0;
+  std::fclose(f);
+  if (ok) std::printf("bench json written to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace dgmc::bench

@@ -2,13 +2,22 @@
 // and states/second for each strategy over the catalog scenarios. The
 // interesting number is the cost of stateless backtracking — the ratio
 // of replayed to productive transitions — which is what a depth bump
-// actually buys into. Honors DGMC_QUICK=1 (shallower DFS).
+// actually buys into.
+//
+// The parallel engine (dfs-par, random-par) is measured twice per
+// scenario — DGMC_JOBS=1 vs the full job width — reporting wall-clock
+// speedup and verifying the two runs produce identical statistics (the
+// determinism contract, DESIGN.md §8). Timings land in
+// BENCH_check_explore.json. Honors DGMC_QUICK=1 (shallower DFS);
+// exits non-zero if any jobs=1/jobs=N pair diverges.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "bench_json.hpp"
 #include "check/explorer.hpp"
+#include "exec/pool.hpp"
 
 namespace {
 
@@ -24,7 +33,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 void report(const char* scenario, const char* strategy,
             const SearchResult& r, double elapsed) {
   std::printf(
-      "%-22s %-7s transitions=%9zu states=%7zu executions=%6zu "
+      "%-22s %-10s transitions=%9zu states=%7zu executions=%6zu "
       "elapsed=%7.3fs  %10.0f trans/s%s\n",
       scenario, strategy, r.stats.transitions, r.stats.states_seen,
       r.stats.executions, elapsed,
@@ -32,10 +41,24 @@ void report(const char* scenario, const char* strategy,
       r.violation.has_value() ? "  [VIOLATION]" : "");
 }
 
+bool same_stats(const SearchResult& a, const SearchResult& b) {
+  return a.stats.transitions == b.stats.transitions &&
+         a.stats.executions == b.stats.executions &&
+         a.stats.states_seen == b.stats.states_seen &&
+         a.stats.pruned == b.stats.pruned &&
+         a.stats.depth_cutoffs == b.stats.depth_cutoffs &&
+         a.stats.max_depth_reached == b.stats.max_depth_reached &&
+         a.violation.has_value() == b.violation.has_value() &&
+         a.trace.choices == b.trace.choices;
+}
+
 }  // namespace
 
 int main() {
   const bool quick = std::getenv("DGMC_QUICK") != nullptr;
+  const std::size_t jobs = dgmc::exec::resolve_jobs(0);
+  std::string entries;
+  bool all_deterministic = true;
 
   for (const ScenarioSpec& spec : scenarios()) {
     {
@@ -62,6 +85,58 @@ int main() {
       const SearchResult r = explore_random(spec, limits);
       report(spec.name.c_str(), "random", r, seconds_since(start));
     }
+
+    // Parallel engine: same scenario at 1 job vs full width. The
+    // speedup is the headline number; the stats comparison holds the
+    // engine to its bit-identical-results contract.
+    struct ParMode {
+      const char* label;
+      SearchResult (*run)(const ScenarioSpec&, const SearchLimits&,
+                          std::size_t);
+      SearchLimits limits;
+    };
+    SearchLimits dfs_limits;
+    dfs_limits.max_depth = quick ? 8 : 12;
+    SearchLimits rnd_limits;
+    rnd_limits.max_depth = 120;
+    rnd_limits.walks = quick ? 100 : 1000;
+    rnd_limits.seed = 1;
+    const ParMode modes[] = {
+        {"dfs-par", explore_dfs_parallel, dfs_limits},
+        {"random-par", explore_random_parallel, rnd_limits},
+    };
+    for (const ParMode& m : modes) {
+      const auto t1 = std::chrono::steady_clock::now();
+      const SearchResult serial = m.run(spec, m.limits, 1);
+      const double serial_s = seconds_since(t1);
+      const auto tn = std::chrono::steady_clock::now();
+      const SearchResult wide = m.run(spec, m.limits, jobs);
+      const double wide_s = seconds_since(tn);
+      report(spec.name.c_str(), m.label, wide, wide_s);
+      const bool identical = same_stats(serial, wide);
+      all_deterministic = all_deterministic && identical;
+      const double speedup = wide_s > 0.0 ? serial_s / wide_s : 0.0;
+      std::printf("%-22s %-10s jobs=%zu serial=%.3fs parallel=%.3fs "
+                  "speedup=%.2fx deterministic=%s\n",
+                  spec.name.c_str(), m.label, jobs, serial_s, wide_s, speedup,
+                  identical ? "yes" : "NO");
+      if (!entries.empty()) entries += ",";
+      entries += "{\"scenario\":" + dgmc::bench::json_str(spec.name) +
+                 ",\"mode\":" + dgmc::bench::json_str(m.label) +
+                 ",\"jobs\":" + std::to_string(jobs) +
+                 ",\"serial_seconds\":" + dgmc::bench::json_num(serial_s) +
+                 ",\"parallel_seconds\":" + dgmc::bench::json_num(wide_s) +
+                 ",\"speedup\":" + dgmc::bench::json_num(speedup) +
+                 ",\"transitions\":" + std::to_string(wide.stats.transitions) +
+                 ",\"states\":" + std::to_string(wide.stats.states_seen) +
+                 ",\"deterministic\":" + (identical ? "true" : "false") + "}";
+    }
   }
-  return 0;
+
+  dgmc::bench::write_bench_json(
+      "check_explore",
+      "{\"bench\":\"check_explore\",\"jobs\":" + std::to_string(jobs) +
+          ",\"deterministic\":" + (all_deterministic ? "true" : "false") +
+          ",\"entries\":[" + entries + "]}");
+  return all_deterministic ? 0 : 1;
 }

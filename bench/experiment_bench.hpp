@@ -1,0 +1,62 @@
+// Shared driver for the fig6/7/8 experiment benches.
+//
+// Runs the configured sweep twice — once serially (jobs = 1) and once
+// on the parallel execution engine (DGMC_JOBS or hardware width) —
+// prints the paper's table from the parallel run, reports the
+// wall-clock speedup, verifies the two runs are byte-identical (the
+// determinism contract, DESIGN.md §8), and emits BENCH_<name>.json.
+// Exits non-zero if the serial and parallel sweeps diverge.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_json.hpp"
+#include "exec/pool.hpp"
+#include "sim/experiment.hpp"
+
+namespace dgmc::bench {
+
+inline int run_experiment_bench(const std::string& bench_name,
+                                sim::ExperimentConfig cfg) {
+  using clock = std::chrono::steady_clock;
+  cfg = sim::apply_quick_mode(cfg);
+
+  cfg.jobs = 1;
+  const auto t0 = clock::now();
+  const std::vector<sim::ExperimentPoint> serial = sim::run_experiment(cfg);
+  const double serial_s = std::chrono::duration<double>(clock::now() - t0).count();
+
+  const std::size_t jobs = exec::resolve_jobs(0);
+  cfg.jobs = static_cast<int>(jobs);
+  const auto t1 = clock::now();
+  const std::vector<sim::ExperimentPoint> parallel = sim::run_experiment(cfg);
+  const double parallel_s =
+      std::chrono::duration<double>(clock::now() - t1).count();
+
+  sim::print_points(cfg, parallel);
+
+  const std::string serial_json = sim::serialize_points(serial);
+  const std::string parallel_json = sim::serialize_points(parallel);
+  const bool identical = serial_json == parallel_json;
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  std::printf(
+      "parallel: jobs=%zu serial=%.3fs parallel=%.3fs speedup=%.2fx "
+      "deterministic=%s\n",
+      jobs, serial_s, parallel_s, speedup, identical ? "yes" : "NO");
+
+  write_bench_json(
+      bench_name,
+      "{\"bench\":" + json_str(bench_name) +
+          ",\"jobs\":" + std::to_string(jobs) +
+          ",\"serial_seconds\":" + json_num(serial_s) +
+          ",\"parallel_seconds\":" + json_num(parallel_s) +
+          ",\"speedup\":" + json_num(speedup) +
+          ",\"deterministic\":" + (identical ? "true" : "false") +
+          ",\"points\":" + parallel_json + "}");
+  return identical ? 0 : 1;
+}
+
+}  // namespace dgmc::bench

@@ -8,10 +8,11 @@
 //
 // Expected shape (paper): <~5 computations/event, <~5 floodings/event,
 // convergence on the order of 10-15 rounds, all roughly flat in
-// network size. Set DGMC_QUICK=1 for a reduced sweep.
-#include <cstdio>
-
-#include "sim/experiment.hpp"
+// network size. Set DGMC_QUICK=1 for a reduced sweep; DGMC_JOBS caps
+// the parallel run. The sweep executes serially and in parallel, the
+// outputs are verified byte-identical, and the timing lands in
+// BENCH_fig6_bursty_computation.json.
+#include "experiment_bench.hpp"
 
 int main() {
   using namespace dgmc::sim;
@@ -22,7 +23,5 @@ int main() {
   cfg.workload = WorkloadKind::kBursty;
   cfg.events = 10;
   cfg.initial_members = 8;
-  cfg = apply_quick_mode(cfg);
-  print_points(cfg, run_experiment(cfg));
-  return 0;
+  return dgmc::bench::run_experiment_bench("fig6_bursty_computation", cfg);
 }

@@ -6,9 +6,11 @@
 // Experiment 1 but "still well under control"; floodings per event
 // rise (around 10); convergence in rounds slightly better than
 // Experiment 1 thanks to the long round duration.
-#include <cstdio>
-
-#include "sim/experiment.hpp"
+//
+// Set DGMC_QUICK=1 for a reduced sweep; DGMC_JOBS caps the parallel
+// run. Serial and parallel sweeps are verified byte-identical and the
+// timing lands in BENCH_fig7_bursty_communication.json.
+#include "experiment_bench.hpp"
 
 int main() {
   using namespace dgmc::sim;
@@ -19,7 +21,5 @@ int main() {
   cfg.workload = WorkloadKind::kBursty;
   cfg.events = 10;
   cfg.initial_members = 8;
-  cfg = apply_quick_mode(cfg);
-  print_points(cfg, run_experiment(cfg));
-  return 0;
+  return dgmc::bench::run_experiment_bench("fig7_bursty_communication", cfg);
 }

@@ -7,9 +7,11 @@
 // time is not defined for sparse events (paper §4.2), so the rounds
 // column reports the trailing installation time and is not a paper
 // series.
-#include <cstdio>
-
-#include "sim/experiment.hpp"
+//
+// Set DGMC_QUICK=1 for a reduced sweep; DGMC_JOBS caps the parallel
+// run. Serial and parallel sweeps are verified byte-identical and the
+// timing lands in BENCH_fig8_normal_traffic.json.
+#include "experiment_bench.hpp"
 
 int main() {
   using namespace dgmc::sim;
@@ -21,7 +23,5 @@ int main() {
   cfg.normal_gap_rounds = 10.0;
   cfg.events = 20;
   cfg.initial_members = 8;
-  cfg = apply_quick_mode(cfg);
-  print_points(cfg, run_experiment(cfg));
-  return 0;
+  return dgmc::bench::run_experiment_bench("fig8_normal_traffic", cfg);
 }

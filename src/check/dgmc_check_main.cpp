@@ -3,10 +3,15 @@
 //
 //   dgmc_check list
 //   dgmc_check explore <scenario> [--strategy dfs|delay|random]
-//       [--depth N] [--delays N] [--walks N] [--seed N]
+//       [--depth N] [--delays N] [--walks N] [--seed N] [--jobs N]
 //       [--max-transitions N] [--break-accept] [--trace-out FILE]
 //       [--minimize]
 //   dgmc_check replay <trace-file> [--step]
+//
+// --jobs N switches the dfs and random strategies onto the parallel
+// execution engine with N workers (0 = DGMC_JOBS env var or hardware
+// concurrency); results are bit-identical at any job count. The delay
+// strategy is serial-only.
 //
 // Exit status: 0 = no violation, 1 = violation found, 2 = usage or
 // input error. `--break-accept` enables the deliberate protocol fault
@@ -34,7 +39,8 @@ int usage() {
                "       dgmc_check explore <scenario> [--strategy "
                "dfs|delay|random]\n"
                "           [--depth N] [--delays N] [--walks N] [--seed N]\n"
-               "           [--max-transitions N] [--break-accept]\n"
+               "           [--jobs N] [--max-transitions N] "
+               "[--break-accept]\n"
                "           [--trace-out FILE] [--minimize]\n"
                "       dgmc_check replay <trace-file> [--step]\n");
   return 2;
@@ -78,6 +84,8 @@ int cmd_explore(int argc, char** argv) {
   std::string trace_out;
   bool break_accept = false;
   bool do_minimize = false;
+  bool parallel = false;
+  std::size_t jobs = 0;
   SearchLimits limits;
 
   for (int i = 1; i < argc; ++i) {
@@ -105,6 +113,11 @@ int cmd_explore(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       limits.seed = std::stoull(v);
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      parallel = true;
+      jobs = std::stoul(v);
     } else if (arg == "--max-transitions") {
       const char* v = value();
       if (v == nullptr) return usage();
@@ -139,17 +152,26 @@ int cmd_explore(int argc, char** argv) {
   }
 
   SearchResult result;
+  std::string engine = strategy;
   if (strategy == "dfs") {
-    result = explore_dfs(spec, limits);
+    result = parallel ? explore_dfs_parallel(spec, limits, jobs)
+                      : explore_dfs(spec, limits);
+    if (parallel) engine = "dfs-par";
   } else if (strategy == "delay") {
+    if (parallel) {
+      std::fprintf(stderr,
+                   "note: --jobs ignored (delay strategy is serial-only)\n");
+    }
     result = explore_delay_bounded(spec, limits);
   } else if (strategy == "random") {
-    result = explore_random(spec, limits);
+    result = parallel ? explore_random_parallel(spec, limits, jobs)
+                      : explore_random(spec, limits);
+    if (parallel) engine = "random-par";
   } else {
     std::fprintf(stderr, "unknown strategy: %s\n", strategy.c_str());
     return usage();
   }
-  print_stats(strategy.c_str(), result.stats, result.exhaustive);
+  print_stats(engine.c_str(), result.stats, result.exhaustive);
 
   if (!result.violation.has_value()) {
     std::printf("no violation found\n");

@@ -1,8 +1,14 @@
 #include "check/explorer.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
+#include "exec/fingerprint_set.hpp"
+#include "exec/pool.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -68,6 +74,15 @@ void finish(SearchResult& result, const ScenarioSpec& spec,
 /// state reached by choices[0..i-1]. `exec` lazily tracks `choices`:
 /// after backtracking it goes stale and is rebuilt only when the next
 /// step is actually taken, so popping a whole subtree costs no replays.
+///
+/// The parallel frontier mode reuses the skeleton for its subtree
+/// tasks by setting `prefix` (choices applied before the search root;
+/// traces and depth accounting are always relative to the true root),
+/// seeding `visited` from the frontier phase, pointing `filter` at the
+/// shared cross-task fingerprint set, and arming `cancel_best` for
+/// first-counterexample-wins cancellation. The serial entry points
+/// leave all four at their defaults, which reproduces the original
+/// behavior exactly.
 struct DfsDriver {
   struct Frame {
     std::size_t next_choice = 0;
@@ -89,23 +104,53 @@ struct DfsDriver {
   /// from that state. Re-expansion is sound only with a larger budget.
   std::unordered_map<std::uint64_t, std::size_t> visited;
 
+  // Parallel-subtree hooks (see struct comment).
+  std::vector<std::uint32_t> prefix;
+  exec::FingerprintSet* filter = nullptr;
+  const std::atomic<std::size_t>* cancel_best = nullptr;
+  std::size_t task_index = 0;
+
   DfsDriver(const ScenarioSpec& s, const SearchLimits& l, bool delay)
       : spec(s), limits(l), delay_mode(delay) {}
 
+  std::size_t depth_now() const { return prefix.size() + choices.size(); }
+
+  std::vector<std::uint32_t> full_choices() const {
+    std::vector<std::uint32_t> full = prefix;
+    full.insert(full.end(), choices.begin(), choices.end());
+    return full;
+  }
+
+  bool cancelled() const {
+    return cancel_best != nullptr &&
+           cancel_best->load(std::memory_order_relaxed) < task_index;
+  }
+
   SearchResult run() {
-    exec = std::make_unique<Executor>(spec);
-    if (auto v = exec->check()) {
-      finish(result, spec, choices, std::move(v));
-      return std::move(result);
-    }
-    if (!delay_mode && limits.dedup) {
-      visited[exec->fingerprint()] = limits.max_depth;
+    if (prefix.empty()) {
+      exec = std::make_unique<Executor>(spec);
+      if (auto v = exec->check()) {
+        finish(result, spec, choices, std::move(v));
+        return std::move(result);
+      }
+      if (!delay_mode && limits.dedup) {
+        visited[exec->fingerprint()] = limits.max_depth;
+      }
+    } else {
+      // Subtree task: the frontier phase already verified the prefix
+      // states clean and recorded their fingerprints; replay regrows
+      // the oracle path state (see replay_prefix).
+      exec = replay_prefix(spec, prefix, result.stats);
     }
     frames.push_back(
         Frame{0, exec->enabled().size(),
               delay_mode ? limits.delay_budget : std::size_t{0}});
 
     while (!frames.empty()) {
+      if (cancelled()) {
+        truncated = true;
+        break;
+      }
       Frame& f = frames.back();
       const std::size_t choice = f.next_choice;
       if (choice >= f.num_enabled ||
@@ -129,18 +174,18 @@ struct DfsDriver {
         break;
       }
       if (!in_sync) {
-        exec = replay_prefix(spec, choices, result.stats);
+        exec = replay_prefix(spec, full_choices(), result.stats);
         in_sync = true;
       }
       exec->step(choice);
       ++result.stats.transitions;
       choices.push_back(static_cast<std::uint32_t>(choice));
       result.stats.max_depth_reached =
-          std::max(result.stats.max_depth_reached, choices.size());
+          std::max(result.stats.max_depth_reached, depth_now());
 
       if (auto v = exec->check()) {
         result.stats.states_seen = visited.size();
-        finish(result, spec, choices, std::move(v));
+        finish(result, spec, full_choices(), std::move(v));
         return std::move(result);
       }
       if (exec->done()) {
@@ -149,16 +194,17 @@ struct DfsDriver {
         in_sync = false;
         continue;
       }
-      if (choices.size() >= limits.max_depth) {
+      if (depth_now() >= limits.max_depth) {
         ++result.stats.depth_cutoffs;
         truncated = true;
         choices.pop_back();
         in_sync = false;
         continue;
       }
-      const std::size_t remaining = limits.max_depth - choices.size();
+      const std::size_t remaining = limits.max_depth - depth_now();
       if (!delay_mode && limits.dedup) {
         const std::uint64_t fp = exec->fingerprint();
+        if (filter != nullptr) filter->insert(fp);
         auto [it, inserted] = visited.try_emplace(fp, remaining);
         if (!inserted) {
           if (it->second >= remaining) {
@@ -232,6 +278,257 @@ SearchResult explore_random(const ScenarioSpec& spec,
   // the walks happened to cover it, which we do not track.
   result.exhaustive = false;
   (void)truncated;
+  return result;
+}
+
+namespace {
+
+constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+SearchResult explore_random_parallel(const ScenarioSpec& spec,
+                                     const SearchLimits& limits,
+                                     std::size_t jobs) {
+  jobs = exec::resolve_jobs(jobs);
+
+  // Shared state across workers. Stats accumulate in relaxed atomics:
+  // in a violation-free run every walk executes identically regardless
+  // of scheduling, so the sums are order-independent and bit-identical
+  // at any job count. The fingerprint filter counts distinct states —
+  // a set union, equally order-independent.
+  exec::FingerprintSet filter(/*log2_capacity=*/21);
+  std::atomic<std::size_t> next_walk{0};
+  std::atomic<std::size_t> best{kNoTask};
+  std::mutex best_mu;
+  std::vector<std::uint32_t> best_choices;
+  std::optional<Violation> best_violation;
+  std::atomic<std::size_t> transitions{0};
+  std::atomic<std::size_t> executions{0};
+  std::atomic<std::size_t> depth_cutoffs{0};
+  std::atomic<std::size_t> max_depth_reached{0};
+
+  const util::RngStream base(limits.seed);
+  auto over_budget = [&] {
+    return limits.max_transitions != 0 &&
+           transitions.load(std::memory_order_relaxed) >=
+               limits.max_transitions;
+  };
+
+  exec::Pool pool(jobs);
+  for (std::size_t worker = 0; worker < jobs; ++worker) {
+    pool.submit([&] {
+      // Workers pull walk indices from the shared counter; each walk's
+      // randomness is a pure function of (limits.seed, walk), so walk
+      // identity — not worker identity — determines its execution.
+      for (;;) {
+        const std::size_t walk =
+            next_walk.fetch_add(1, std::memory_order_relaxed);
+        if (walk >= limits.walks) return;
+        if (over_budget()) return;
+        if (walk > best.load(std::memory_order_relaxed)) {
+          continue;  // a lower-index walk already violated: cancelled
+        }
+        util::RngStream rng = base.fork(walk);
+        Executor ex(spec);
+        std::vector<std::uint32_t> choices;
+        std::optional<Violation> v = ex.check();
+        bool aborted = false;
+        std::size_t walk_max_depth = 0;
+        while (!v.has_value() && !ex.done()) {
+          if (choices.size() >= limits.max_depth) {
+            depth_cutoffs.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          if (over_budget()) break;
+          if (walk > best.load(std::memory_order_relaxed)) {
+            aborted = true;  // cooperative first-counterexample-wins
+            break;
+          }
+          const std::size_t choice = rng.index(ex.enabled().size());
+          choices.push_back(static_cast<std::uint32_t>(choice));
+          ex.step(choice);
+          transitions.fetch_add(1, std::memory_order_relaxed);
+          filter.insert(ex.fingerprint());
+          walk_max_depth = std::max(walk_max_depth, choices.size());
+          v = ex.check();
+        }
+        if (aborted) continue;
+        executions.fetch_add(1, std::memory_order_relaxed);
+        std::size_t cur = max_depth_reached.load(std::memory_order_relaxed);
+        while (walk_max_depth > cur &&
+               !max_depth_reached.compare_exchange_weak(
+                   cur, walk_max_depth, std::memory_order_relaxed)) {
+        }
+        if (v.has_value()) {
+          std::lock_guard<std::mutex> lk(best_mu);
+          if (walk < best.load(std::memory_order_relaxed)) {
+            best.store(walk, std::memory_order_relaxed);
+            best_choices = std::move(choices);
+            best_violation = std::move(v);
+          }
+        }
+      }
+    });
+  }
+  pool.wait();
+
+  SearchResult result;
+  result.stats.transitions = transitions.load(std::memory_order_relaxed);
+  result.stats.executions = executions.load(std::memory_order_relaxed);
+  result.stats.depth_cutoffs = depth_cutoffs.load(std::memory_order_relaxed);
+  result.stats.max_depth_reached =
+      max_depth_reached.load(std::memory_order_relaxed);
+  result.stats.states_seen = filter.size();
+  result.exhaustive = false;  // sampling, as in the serial strategy
+  if (best_violation.has_value()) {
+    finish(result, spec, best_choices, std::move(best_violation));
+  }
+  return result;
+}
+
+SearchResult explore_dfs_parallel(const ScenarioSpec& spec,
+                                  const SearchLimits& limits,
+                                  std::size_t jobs) {
+  jobs = exec::resolve_jobs(jobs);
+  SearchResult result;
+  exec::FingerprintSet filter(/*log2_capacity=*/21);
+  std::unordered_map<std::uint64_t, std::size_t> visited;
+  bool truncated = false;
+
+  // --- Phase 1: serial breadth-first frontier expansion. Checks every
+  // state it passes, so a violation within the frontier depth is found
+  // here, in deterministic BFS order. The width target is a limit
+  // parameter, not a function of the job count: the decomposition into
+  // subtree tasks — and therefore every statistic — is identical at
+  // any DGMC_JOBS.
+  std::vector<std::vector<std::uint32_t>> frontier;
+  {
+    Executor ex(spec);
+    if (auto v = ex.check()) {
+      finish(result, spec, {}, std::move(v));
+      return result;
+    }
+    const std::uint64_t fp = ex.fingerprint();
+    filter.insert(fp);
+    if (limits.dedup) visited[fp] = limits.max_depth;
+    if (ex.done()) {
+      result.stats.executions = 1;
+      result.stats.states_seen = filter.size();
+      result.exhaustive = true;
+      return result;
+    }
+    frontier.emplace_back();
+  }
+  while (!frontier.empty() && frontier.size() < limits.frontier_width) {
+    std::vector<std::vector<std::uint32_t>> next;
+    for (const std::vector<std::uint32_t>& p : frontier) {
+      const std::unique_ptr<Executor> parent =
+          replay_prefix(spec, p, result.stats);
+      const std::size_t n = parent->enabled().size();
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::unique_ptr<Executor> child =
+            replay_prefix(spec, p, result.stats);
+        child->step(c);
+        ++result.stats.transitions;
+        std::vector<std::uint32_t> cp = p;
+        cp.push_back(static_cast<std::uint32_t>(c));
+        result.stats.max_depth_reached =
+            std::max(result.stats.max_depth_reached, cp.size());
+        if (auto v = child->check()) {
+          result.stats.states_seen = filter.size();
+          finish(result, spec, cp, std::move(v));
+          return result;
+        }
+        if (child->done()) {
+          ++result.stats.executions;
+          continue;
+        }
+        const std::uint64_t fp = child->fingerprint();
+        filter.insert(fp);
+        if (cp.size() >= limits.max_depth) {
+          ++result.stats.depth_cutoffs;
+          truncated = true;
+          continue;
+        }
+        const std::size_t remaining = limits.max_depth - cp.size();
+        if (limits.dedup) {
+          auto [it, inserted] = visited.try_emplace(fp, remaining);
+          if (!inserted) {
+            if (it->second >= remaining) {
+              ++result.stats.pruned;
+              continue;
+            }
+            it->second = remaining;
+          }
+        }
+        next.push_back(std::move(cp));
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (frontier.empty()) {
+    result.stats.states_seen = filter.size();
+    result.exhaustive = !truncated;
+    return result;
+  }
+
+  // --- Phase 2: one stateless-DFS task per frontier prefix. Each task
+  // prunes against its own copy of the frontier-phase dedup table (no
+  // cross-task sharing — sharing would make pruning, and thus the
+  // stats, schedule-dependent). limits.max_transitions, when set,
+  // bounds each subtree task separately. On a violation the lowest
+  // frontier index wins and higher-index tasks cancel cooperatively.
+  std::atomic<std::size_t> best{kNoTask};
+  std::mutex best_mu;
+  std::vector<SearchResult> task_results(frontier.size());
+  exec::Pool pool(jobs);
+  for (std::size_t t = 0; t < frontier.size(); ++t) {
+    pool.submit([&, t] {
+      if (t > best.load(std::memory_order_relaxed)) {
+        task_results[t].exhaustive = false;  // cancelled before start
+        return;
+      }
+      DfsDriver driver(spec, limits, /*delay=*/false);
+      driver.prefix = frontier[t];
+      driver.visited = visited;
+      driver.filter = &filter;
+      driver.cancel_best = &best;
+      driver.task_index = t;
+      SearchResult r = driver.run();
+      if (r.violation.has_value()) {
+        std::lock_guard<std::mutex> lk(best_mu);
+        if (t < best.load(std::memory_order_relaxed)) {
+          best.store(t, std::memory_order_relaxed);
+        }
+      }
+      task_results[t] = std::move(r);
+    });
+  }
+  pool.wait();
+
+  const std::size_t best_task = best.load(std::memory_order_relaxed);
+  bool all_exhaustive = true;
+  for (std::size_t t = 0; t < task_results.size(); ++t) {
+    const SearchResult& r = task_results[t];
+    result.stats.transitions += r.stats.transitions;
+    result.stats.executions += r.stats.executions;
+    result.stats.pruned += r.stats.pruned;
+    result.stats.depth_cutoffs += r.stats.depth_cutoffs;
+    result.stats.max_depth_reached =
+        std::max(result.stats.max_depth_reached, r.stats.max_depth_reached);
+    all_exhaustive = all_exhaustive && r.exhaustive;
+  }
+  result.stats.states_seen = filter.size();
+  if (best_task != kNoTask) {
+    SearchResult& winner = task_results[best_task];
+    result.violation = std::move(winner.violation);
+    result.trace = std::move(winner.trace);
+    result.annotations = std::move(winner.annotations);
+    result.exhaustive = false;
+  } else {
+    result.exhaustive = !truncated && all_exhaustive;
+  }
   return result;
 }
 

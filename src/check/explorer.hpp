@@ -43,6 +43,12 @@ struct SearchLimits {
   /// random strategy: number of walks and the root seed.
   std::size_t walks = 200;
   std::uint64_t seed = 1;
+  /// Parallel frontier DFS: the serial breadth-first phase stops
+  /// expanding once the frontier holds at least this many prefixes,
+  /// which then become independent subtree tasks. Deliberately NOT a
+  /// function of the job count, so the work decomposition — and hence
+  /// every statistic — is identical at any DGMC_JOBS.
+  std::size_t frontier_width = 32;
 };
 
 struct SearchStats {
@@ -71,6 +77,35 @@ SearchResult explore_delay_bounded(const ScenarioSpec& spec,
                                    const SearchLimits& limits);
 SearchResult explore_random(const ScenarioSpec& spec,
                             const SearchLimits& limits);
+
+// Parallel engine (exec::Pool). Both modes honor the determinism
+// contract (DESIGN.md §8): the returned violation, its trace, and —
+// when no violation cuts the search short — every SearchStats field
+// are bit-identical at any job count. jobs = 0 resolves via
+// exec::resolve_jobs (DGMC_JOBS env var, else hardware concurrency).
+//
+// Random mode: walk i draws from RngStream(seed).fork(i), workers pull
+// walk indices from a shared counter, and distinct states are counted
+// through a shared atomic fingerprint filter (states_seen, which the
+// serial random strategy does not report). On a violation the *lowest*
+// violating walk index wins and walks above the current best cancel
+// cooperatively, so which counterexample is returned never depends on
+// scheduling. limits.max_transitions is enforced only approximately
+// across workers; leave it 0 when byte-identical stats matter.
+SearchResult explore_random_parallel(const ScenarioSpec& spec,
+                                     const SearchLimits& limits,
+                                     std::size_t jobs = 0);
+
+// Frontier mode for bounded DFS: a serial breadth-first phase expands
+// the root into limits.frontier_width choice prefixes (checking every
+// state it passes, so a shallow violation is found deterministically),
+// then each prefix's subtree runs as an independent stateless-DFS task
+// with its own dedup table seeded from the frontier phase. Lowest
+// violating frontier index wins, with cooperative cancellation of
+// higher-index tasks.
+SearchResult explore_dfs_parallel(const ScenarioSpec& spec,
+                                  const SearchLimits& limits,
+                                  std::size_t jobs = 0);
 
 struct ReplayResult {
   /// Violation hit during replay, if any.

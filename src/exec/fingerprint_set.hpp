@@ -1,0 +1,91 @@
+// exec::FingerprintSet — a fixed-capacity, lock-free set of 64-bit
+// state fingerprints shared by parallel search workers.
+//
+// The parallel explorer modes (check::explore_random_parallel,
+// check::explore_dfs_parallel) count distinct states across workers
+// through this filter. Because set membership is order-independent,
+// the final size() is a pure function of *which* fingerprints were
+// inserted — not of thread count or interleaving — which is what keeps
+// SearchStats::states_seen bit-identical at any DGMC_JOBS (the
+// determinism contract, DESIGN.md §8).
+//
+// Open addressing with linear probing over a power-of-two table of
+// atomic slots; value 0 marks an empty slot, so the fingerprint 0 is
+// remapped to a fixed sentinel. Inserts are CAS-only, no resizing: if
+// a probe sequence finds no free slot the set saturates and further
+// *new* keys are rejected (size() then undercounts — callers size the
+// table for their workload; the explorer allocates 2^21 slots against
+// scenarios that stay well under 10^5 states).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace dgmc::exec {
+
+class FingerprintSet {
+ public:
+  /// Table of 2^log2_capacity slots (8 bytes each).
+  explicit FingerprintSet(std::size_t log2_capacity = 20)
+      : mask_((std::size_t{1} << log2_capacity) - 1),
+        slots_(new std::atomic<std::uint64_t>[mask_ + 1]) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      slots_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Inserts `fp`; true iff it was not present. Safe to call from any
+  /// number of threads concurrently; exactly one caller wins for a
+  /// given new key.
+  bool insert(std::uint64_t fp) {
+    if (fp == 0) fp = kZeroSentinel;
+    std::size_t idx = probe_start(fp);
+    for (std::size_t step = 0; step <= mask_; ++step) {
+      std::atomic<std::uint64_t>& slot = slots_[idx];
+      std::uint64_t cur = slot.load(std::memory_order_acquire);
+      if (cur == fp) return false;
+      if (cur == 0) {
+        std::uint64_t expected = 0;
+        if (slot.compare_exchange_strong(expected, fp,
+                                         std::memory_order_acq_rel)) {
+          count_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        if (expected == fp) return false;  // lost the race to ourselves
+        // Lost to a different key: fall through and keep probing.
+      }
+      idx = (idx + 1) & mask_;
+    }
+    saturated_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Number of distinct fingerprints successfully inserted.
+  std::size_t size() const { return count_.load(std::memory_order_relaxed); }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// True once an insert failed for lack of space (size() is a lower
+  /// bound from then on).
+  bool saturated() const {
+    return saturated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kZeroSentinel = 0x9e3779b97f4a7c15ULL;
+
+  std::size_t probe_start(std::uint64_t fp) const {
+    // Fibonacci hash of the fingerprint spreads clustered keys.
+    return static_cast<std::size_t>((fp * 0x9e3779b97f4a7c15ULL) >> 32) &
+           mask_;
+  }
+
+  std::size_t mask_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<bool> saturated_{false};
+};
+
+}  // namespace dgmc::exec

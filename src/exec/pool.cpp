@@ -1,0 +1,257 @@
+#include "exec/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace dgmc::exec {
+
+namespace {
+
+// Set while a thread is executing inside worker_loop; lets submit()
+// distinguish a nested (worker-side) call, which must never block on
+// the bound, from an external one, which may.
+thread_local const Pool* tl_worker_pool = nullptr;
+thread_local std::size_t tl_worker_index = 0;
+
+}  // namespace
+
+std::size_t default_jobs() {
+  if (const char* env = std::getenv("DGMC_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::size_t resolve_jobs(std::size_t requested) {
+  return requested > 0 ? requested : default_jobs();
+}
+
+Pool::Pool(std::size_t jobs, std::size_t queue_bound) {
+  jobs_ = resolve_jobs(jobs);
+  bound_ = queue_bound > 0 ? queue_bound : std::max<std::size_t>(4 * jobs_, 64);
+  if (jobs_ == 1) return;  // inline mode: no threads, no queues
+  workers_.reserve(jobs_);
+  for (std::size_t i = 0; i < jobs_; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(jobs_);
+  for (std::size_t i = 0; i < jobs_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Pool::submit(Task task) {
+  if (jobs_ == 1) {
+    // Inline mode: execute now, with the same capture-first-error and
+    // drop-after-cancel semantics as the threaded pool.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (cancel_) return;
+    }
+    run_task(task);
+    return;
+  }
+
+  const bool nested = tl_worker_pool == this;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (cancel_ || stop_) return;
+    if (nested && queued_ >= bound_) {
+      // Deadlock guard: a worker blocking here could leave nobody to
+      // drain the queue. Run the task on this worker instead.
+      lk.unlock();
+      run_task(task);
+      return;
+    }
+    space_cv_.wait(lk, [&] { return queued_ < bound_ || cancel_ || stop_; });
+    if (cancel_ || stop_) return;
+    ++queued_;
+    ++unfinished_;
+  }
+
+  // Placement: a worker pushes to the front of its own deque (LIFO,
+  // depth-first keeps nested fan-outs cache-warm); external submitters
+  // deal round-robin to the back.
+  if (nested) {
+    Worker& w = *workers_[tl_worker_index];
+    std::lock_guard<std::mutex> wlk(w.mu);
+    w.queue.push_front(std::move(task));
+  } else {
+    std::size_t target = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      target = next_worker_++ % jobs_;
+    }
+    Worker& w = *workers_[target];
+    std::lock_guard<std::mutex> wlk(w.mu);
+    w.queue.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  done_cv_.notify_all();  // a wait()-ing helper may want to steal it
+}
+
+bool Pool::try_pop(std::size_t self, Task& out) {
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (!w.queue.empty()) {
+      out = std::move(w.queue.front());
+      w.queue.pop_front();
+      std::lock_guard<std::mutex> mlk(mu_);
+      --queued_;
+      space_cv_.notify_one();
+      return true;
+    }
+  }
+  // Steal from the back of a victim's deque (oldest task first).
+  for (std::size_t i = 1; i < jobs_; ++i) {
+    Worker& v = *workers_[(self + i) % jobs_];
+    std::lock_guard<std::mutex> lk(v.mu);
+    if (!v.queue.empty()) {
+      out = std::move(v.queue.back());
+      v.queue.pop_back();
+      std::lock_guard<std::mutex> mlk(mu_);
+      --queued_;
+      space_cv_.notify_one();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Pool::try_pop_any(Task& out) { return try_pop(0, out); }
+
+void Pool::run_task(Task& task) {
+  bool discard = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    discard = cancel_;
+  }
+  if (!discard) {
+    try {
+      task();
+    } catch (...) {
+      capture_exception();
+    }
+  }
+}
+
+void Pool::note_done() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (unfinished_ > 0) --unfinished_;
+  if (unfinished_ == 0) done_cv_.notify_all();
+}
+
+void Pool::capture_exception() {
+  {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  cancel();
+}
+
+void Pool::rethrow_if_error() {
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    std::swap(e, error_);
+  }
+  if (e) std::rethrow_exception(e);
+}
+
+void Pool::worker_loop(std::size_t self) {
+  tl_worker_pool = this;
+  tl_worker_index = self;
+  for (;;) {
+    Task task;
+    if (try_pop(self, task)) {
+      run_task(task);
+      note_done();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    work_cv_.wait(lk, [&] { return stop_ || queued_ > 0; });
+    if (stop_) return;
+  }
+}
+
+void Pool::wait() {
+  if (jobs_ == 1) {
+    rethrow_if_error();
+    return;
+  }
+  for (;;) {
+    Task task;
+    if (try_pop_any(task)) {
+      run_task(task);
+      note_done();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (unfinished_ == 0) break;
+    done_cv_.wait(lk, [&] { return unfinished_ == 0 || queued_ > 0; });
+    if (unfinished_ == 0) break;
+  }
+  rethrow_if_error();
+}
+
+void Pool::cancel() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cancel_ = true;
+  }
+  // Proactively clear the deques so "queued" really means stopped, not
+  // merely skipped-on-pop.
+  std::size_t cleared = 0;
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->mu);
+    cleared += w->queue.size();
+    w->queue.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queued_ -= std::min(queued_, cleared);
+    unfinished_ -= std::min(unfinished_, cleared);
+    if (unfinished_ == 0) done_cv_.notify_all();
+  }
+  space_cv_.notify_all();
+}
+
+bool Pool::cancelled() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cancel_;
+}
+
+void parallel_for(Pool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&body, i] { body(i); });
+  }
+  pool.wait();
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t jobs) {
+  Pool pool(jobs);
+  parallel_for(pool, n, body);
+}
+
+}  // namespace dgmc::exec

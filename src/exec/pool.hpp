@@ -1,0 +1,131 @@
+// exec::Pool — a small work-stealing thread pool for embarrassingly
+// parallel simulation workloads.
+//
+// Every fan-out site in this repo (experiment sweeps, random-walk and
+// frontier state-space search, chaos storms) is a batch of fully
+// independent single-threaded DES runs: each task owns its network,
+// scheduler and RNG streams, so the pool never needs to synchronize
+// *inside* a task — only to hand tasks out. Determinism is therefore a
+// property of the call sites, not the pool: tasks derive their random
+// streams from (root seed, task index) and write results into
+// index-addressed slots, so any execution order produces bit-identical
+// output (see DESIGN.md §8 for the contract).
+//
+// Topology: one deque per worker. A worker pops from the front of its
+// own deque (LIFO, cache-warm) and steals from the back of a victim's
+// (FIFO, oldest first); external submissions are dealt round-robin.
+// The queue is bounded: an external submitter blocks when `bound`
+// tasks are queued, while a *worker* submitting over the bound runs
+// the task inline instead — blocking there could deadlock the pool on
+// itself (every worker stuck in submit, nobody draining).
+//
+// Error and cancellation model: the first exception a task throws is
+// captured, the pool cancels (queued tasks are discarded, running
+// tasks finish), and wait() rethrows it. cancel() is cooperative and
+// permanent — a cancelled pool drops all queued and future work; make
+// a fresh pool to continue. wait() must not be called from inside a
+// task (the caller's own task can never drain), and a pool expects a
+// single external coordinator thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dgmc::exec {
+
+/// Worker count used when the caller does not specify one: the
+/// DGMC_JOBS environment variable if set to a positive integer, else
+/// std::thread::hardware_concurrency(), never less than 1.
+std::size_t default_jobs();
+
+/// `requested` if positive, else default_jobs().
+std::size_t resolve_jobs(std::size_t requested);
+
+class Pool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `jobs` = 0 resolves via resolve_jobs(). A pool of size 1 spawns
+  /// no threads at all: submit() runs the task inline on the calling
+  /// thread, which makes the serial path literally serial (and is what
+  /// the determinism tests compare the parallel paths against).
+  /// `queue_bound` = 0 picks a default of max(4 * jobs, 64).
+  explicit Pool(std::size_t jobs = 0, std::size_t queue_bound = 0);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  std::size_t size() const { return jobs_; }
+
+  /// Enqueues a task. External callers block while the queue is at the
+  /// bound; worker threads fall back to inline execution instead (see
+  /// header comment). After cancel() the task is silently dropped.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has completed or been
+  /// discarded, helping to execute queued tasks while waiting. Then
+  /// rethrows the first exception any task threw, if any (clearing it,
+  /// so a pool whose tasks all succeed afterwards is reusable).
+  void wait();
+
+  /// Discards all queued tasks and any submitted later; tasks already
+  /// running finish normally. Permanent for this pool.
+  void cancel();
+
+  bool cancelled() const;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> queue;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, Task& out);
+  bool try_pop_any(Task& out);
+  void run_task(Task& task);
+  void note_done();
+  void capture_exception();
+  void rethrow_if_error();
+
+  std::size_t jobs_ = 1;
+  std::size_t bound_ = 64;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Counters and flags live under mu_ so the condition variables never
+  // miss a wakeup; the per-worker deques have their own locks.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queued_ > 0 || stop_
+  std::condition_variable done_cv_;   // wait(): unfinished_ == 0 || work
+  std::condition_variable space_cv_;  // submit(): queued_ < bound_
+  std::size_t queued_ = 0;      // tasks sitting in deques
+  std::size_t unfinished_ = 0;  // queued + running
+  bool stop_ = false;
+  bool cancel_ = false;
+  std::size_t next_worker_ = 0;  // round-robin for external submits
+
+  std::mutex err_mu_;
+  std::exception_ptr error_;
+};
+
+/// Runs body(0) .. body(n-1) as pool tasks and waits for all of them.
+/// Each index is an independent task; with a size-1 pool the calls
+/// happen inline in index order. Must be called from outside any pool
+/// task (it uses Pool::wait).
+void parallel_for(Pool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience overload: a fresh pool of resolve_jobs(jobs) workers.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t jobs = 0);
+
+}  // namespace dgmc::exec

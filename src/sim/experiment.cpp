@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "exec/pool.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "sim/network.hpp"
@@ -113,13 +114,28 @@ RunResult run_single(const ExperimentConfig& cfg, int network_size,
 }
 
 std::vector<ExperimentPoint> run_experiment(const ExperimentConfig& cfg) {
+  // Fan out: every (network size, graph index) trial is one pool task.
+  // run_single derives all its randomness from (cfg.seed, size, graph
+  // index), and each trial owns its network and scheduler outright, so
+  // trials commute; results land in index-addressed slots and are
+  // merged below in deterministic (size, graph) order. Bit-identical
+  // output at any job count.
+  const std::size_t per = static_cast<std::size_t>(cfg.graphs_per_size);
+  std::vector<RunResult> runs(cfg.network_sizes.size() * per);
+  exec::Pool pool(static_cast<std::size_t>(cfg.jobs > 0 ? cfg.jobs : 0));
+  exec::parallel_for(pool, runs.size(), [&](std::size_t i) {
+    runs[i] = run_single(cfg, cfg.network_sizes[i / per],
+                         static_cast<int>(i % per));
+  });
+
   std::vector<ExperimentPoint> points;
   points.reserve(cfg.network_sizes.size());
-  for (int size : cfg.network_sizes) {
+  for (std::size_t s = 0; s < cfg.network_sizes.size(); ++s) {
+    const int size = cfg.network_sizes[s];
     util::OnlineStats comp, flood, conv;
     int converged = 0;
     for (int g = 0; g < cfg.graphs_per_size; ++g) {
-      const RunResult r = run_single(cfg, size, g);
+      const RunResult& r = runs[s * per + static_cast<std::size_t>(g)];
       comp.add(r.computations_per_event);
       flood.add(r.floodings_per_event);
       conv.add(r.convergence_rounds);
@@ -161,6 +177,30 @@ void print_points(const ExperimentConfig& cfg,
                  p.convergence_rounds.to_string().c_str(),
                  100.0 * p.converged_fraction);
   }
+}
+
+std::string serialize_points(const std::vector<ExperimentPoint>& points) {
+  auto num = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  auto summary = [&](const util::Summary& s) {
+    return "{\"mean\":" + num(s.mean) + ",\"ci95\":" + num(s.ci95) +
+           ",\"n\":" + std::to_string(s.n) + "}";
+  };
+  std::string out = "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ExperimentPoint& p = points[i];
+    if (i > 0) out += ",";
+    out += "{\"network_size\":" + std::to_string(p.network_size) +
+           ",\"computations_per_event\":" + summary(p.computations_per_event) +
+           ",\"floodings_per_event\":" + summary(p.floodings_per_event) +
+           ",\"convergence_rounds\":" + summary(p.convergence_rounds) +
+           ",\"converged_fraction\":" + num(p.converged_fraction) + "}";
+  }
+  out += "]";
+  return out;
 }
 
 ExperimentConfig apply_quick_mode(ExperimentConfig cfg) {

@@ -37,6 +37,13 @@ struct ExperimentConfig {
   /// Bursty window width, in fractions of a round.
   double burst_spread_rounds = 0.5;
   std::uint64_t seed = 42;
+  /// Worker threads for the sweep: each (network size, graph) trial is
+  /// an independent task. 0 = DGMC_JOBS env var or hardware
+  /// concurrency (exec::resolve_jobs); 1 = inline serial execution.
+  /// The sweep's output is bit-identical at every job count: trials
+  /// derive their RNG streams from (seed, size, graph index) alone and
+  /// points merge in deterministic (size, graph) order.
+  int jobs = 0;
 };
 
 struct ExperimentPoint {
@@ -66,6 +73,13 @@ std::vector<ExperimentPoint> run_experiment(const ExperimentConfig& cfg);
 void print_points(const ExperimentConfig& cfg,
                   const std::vector<ExperimentPoint>& points,
                   std::FILE* out = stdout);
+
+/// Canonical serialization of a sweep: a JSON array of point objects
+/// with every double rendered at full precision (%.17g), so two sweeps
+/// are bit-identical iff their serializations are byte-identical. The
+/// determinism tests compare job counts through this; the benches
+/// embed it in BENCH_*.json.
+std::string serialize_points(const std::vector<ExperimentPoint>& points);
 
 /// Honors the DGMC_QUICK environment variable: when set (non-empty),
 /// shrinks sizes/graph counts so the full bench suite stays fast.

@@ -1,11 +1,20 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace dgmc::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// The runtime threshold is read on every call site that survives the
+// compile-time gate, potentially from pool workers; relaxed atomic
+// loads keep that read race-free and free of fences.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes the stderr sink so concurrent workers never interleave
+// within a line (see tests/util_log_test.cpp ConcurrentLinesStayIntact).
+std::mutex g_sink_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,12 +28,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void logf(LogLevel level, const char* fmt, ...) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lk(g_sink_mu);
   std::fprintf(stderr, "[%s] ", level_name(level));
   va_list args;
   va_start(args, fmt);

@@ -1,8 +1,10 @@
 // Minimal leveled logger.
 //
-// The simulator is single-threaded; the logger is a thin veneer over
-// stderr with a process-global level so that protocol traces can be
-// switched on in tests/examples without recompiling.
+// Each DES run is single-threaded, but runs execute concurrently on
+// exec::Pool workers, so the logger is thread-safe: the process-global
+// level is an atomic (tests/examples can switch traces on without
+// recompiling) and the stderr sink is serialized by a mutex so
+// concurrent workers never interleave within a line.
 //
 // Compile-time gate: DGMC_LOG_MIN_LEVEL (an integer matching LogLevel's
 // underlying values; settable via the CMake cache variable of the same

@@ -30,6 +30,13 @@ RngStream RngStream::derive(std::uint64_t root_seed, std::string_view name) {
   return RngStream(mix(root_seed ^ fnv1a(name)));
 }
 
+RngStream RngStream::fork(std::uint64_t index) const {
+  // The index-th output of SplitMix64 with state seed_: successive
+  // states advance by the golden-ratio gamma, and mix() is the
+  // SplitMix64 output finalizer.
+  return RngStream(mix(seed_ + index * 0x9e3779b97f4a7c15ULL));
+}
+
 std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
   DGMC_ASSERT(lo <= hi);
   return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);

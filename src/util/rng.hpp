@@ -16,12 +16,27 @@
 namespace dgmc::util {
 
 /// A self-contained pseudo-random stream (mt19937_64 based).
+///
+/// Thread model: an RngStream instance is NOT thread-safe; every
+/// worker owns its streams. Parallel fan-outs derive one child per
+/// task index with fork(), so each task's randomness depends only on
+/// (root seed, index) — never on which worker ran it or in what order
+/// (the determinism contract, DESIGN.md §8).
 class RngStream {
  public:
-  explicit RngStream(std::uint64_t seed) : engine_(seed) {}
+  explicit RngStream(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Derives an independent stream from a root seed and a stream name.
   static RngStream derive(std::uint64_t root_seed, std::string_view name);
+
+  /// Derives the index-th child stream: the child's seed is the
+  /// index-th output of the SplitMix64 generator seeded with this
+  /// stream's own seed. Pure function of (seed, index) — forking never
+  /// draws from or perturbs this stream, and fork(i) == fork(i) always.
+  RngStream fork(std::uint64_t index) const;
+
+  /// The seed this stream was constructed with (forks derive from it).
+  std::uint64_t seed() const { return seed_; }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
@@ -53,6 +68,7 @@ class RngStream {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

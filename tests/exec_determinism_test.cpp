@@ -1,0 +1,192 @@
+// Determinism regression layer for the parallel execution engine: the
+// experiment sweep and both parallel exploration modes must produce
+// bit-identical output at DGMC_JOBS = 1, 2 and 8 (the contract in
+// DESIGN.md §8). Scenario sizes are kept small so the suite also runs
+// under TSan at acceptable cost.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/explorer.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+constexpr int kJobCounts[] = {1, 2, 8};
+
+// --- experiment sweep ------------------------------------------------
+
+dgmc::sim::ExperimentConfig small_sweep() {
+  dgmc::sim::ExperimentConfig cfg;
+  cfg.network_sizes = {12, 16};
+  cfg.graphs_per_size = 3;
+  cfg.events = 4;
+  cfg.initial_members = 4;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(ExecDeterminism, ExperimentSweepIdenticalAcrossJobCounts) {
+  dgmc::sim::ExperimentConfig cfg = small_sweep();
+  cfg.jobs = 1;
+  const std::string baseline =
+      dgmc::sim::serialize_points(dgmc::sim::run_experiment(cfg));
+  EXPECT_FALSE(baseline.empty());
+  for (int jobs : kJobCounts) {
+    cfg.jobs = jobs;
+    const std::string got =
+        dgmc::sim::serialize_points(dgmc::sim::run_experiment(cfg));
+    EXPECT_EQ(got, baseline) << "jobs=" << jobs;
+  }
+}
+
+TEST(ExecDeterminism, ExperimentSweepRepeatableAtSameJobCount) {
+  dgmc::sim::ExperimentConfig cfg = small_sweep();
+  cfg.jobs = 8;
+  const std::string a =
+      dgmc::sim::serialize_points(dgmc::sim::run_experiment(cfg));
+  const std::string b =
+      dgmc::sim::serialize_points(dgmc::sim::run_experiment(cfg));
+  EXPECT_EQ(a, b);
+}
+
+// --- state-space search ----------------------------------------------
+
+dgmc::check::ScenarioSpec spec(const char* name, bool break_accept = false) {
+  const dgmc::check::ScenarioSpec* s = dgmc::check::find_scenario(name);
+  EXPECT_NE(s, nullptr) << name;
+  dgmc::check::ScenarioSpec out = *s;
+  out.params.dgmc.accept_stale_proposals = break_accept;
+  return out;
+}
+
+// Full serialization of a search result, so "identical" means every
+// statistic, the violation, and the trace — not a summary.
+std::string serialize(const dgmc::check::SearchResult& r) {
+  std::ostringstream os;
+  os << "transitions=" << r.stats.transitions
+     << " executions=" << r.stats.executions
+     << " states=" << r.stats.states_seen << " pruned=" << r.stats.pruned
+     << " cutoffs=" << r.stats.depth_cutoffs
+     << " max_depth=" << r.stats.max_depth_reached
+     << " exhaustive=" << r.exhaustive;
+  if (r.violation.has_value()) {
+    os << " violation=" << r.violation->oracle << ":" << r.violation->detail;
+  }
+  os << " trace=";
+  for (std::uint32_t c : r.trace.choices) os << c << ",";
+  return os.str();
+}
+
+TEST(ExecDeterminism, RandomParallelCleanIdenticalAcrossJobCounts) {
+  const dgmc::check::ScenarioSpec s = spec("triangle-join-leave");
+  dgmc::check::SearchLimits limits;
+  limits.max_depth = 40;
+  limits.walks = 60;
+  limits.seed = 7;
+  const std::string baseline =
+      serialize(dgmc::check::explore_random_parallel(s, limits, 1));
+  EXPECT_EQ(baseline.find("violation="), std::string::npos) << baseline;
+  for (int jobs : kJobCounts) {
+    const std::string got = serialize(
+        dgmc::check::explore_random_parallel(s, limits, jobs));
+    EXPECT_EQ(got, baseline) << "jobs=" << jobs;
+  }
+}
+
+TEST(ExecDeterminism, RandomParallelViolationIdenticalAndReplays) {
+  const dgmc::check::ScenarioSpec broken =
+      spec("triangle-join-leave", /*break_accept=*/true);
+  dgmc::check::SearchLimits limits;
+  limits.max_depth = 60;
+  limits.walks = 300;
+  limits.seed = 1;
+  const dgmc::check::SearchResult first =
+      dgmc::check::explore_random_parallel(broken, limits, 1);
+  ASSERT_TRUE(first.violation.has_value());
+  const std::string baseline_violation =
+      first.violation->oracle + ":" + first.violation->detail;
+  const auto baseline_trace = first.trace.choices;
+  for (int jobs : kJobCounts) {
+    const dgmc::check::SearchResult r =
+        dgmc::check::explore_random_parallel(broken, limits, jobs);
+    ASSERT_TRUE(r.violation.has_value()) << "jobs=" << jobs;
+    EXPECT_EQ(r.violation->oracle + ":" + r.violation->detail,
+              baseline_violation)
+        << "jobs=" << jobs;
+    EXPECT_EQ(r.trace.choices, baseline_trace) << "jobs=" << jobs;
+  }
+
+  const dgmc::check::ReplayResult rr = dgmc::check::replay(broken, first.trace);
+  ASSERT_FALSE(rr.divergence.has_value()) << *rr.divergence;
+  ASSERT_TRUE(rr.violation.has_value());
+  EXPECT_EQ(rr.violation->oracle, first.violation->oracle);
+}
+
+TEST(ExecDeterminism, DfsParallelCleanIdenticalAcrossJobCounts) {
+  const dgmc::check::ScenarioSpec s = spec("triangle-join-leave");
+  dgmc::check::SearchLimits limits;
+  limits.max_depth = 9;
+  const std::string baseline =
+      serialize(dgmc::check::explore_dfs_parallel(s, limits, 1));
+  EXPECT_EQ(baseline.find("violation="), std::string::npos) << baseline;
+  for (int jobs : kJobCounts) {
+    const std::string got =
+        serialize(dgmc::check::explore_dfs_parallel(s, limits, jobs));
+    EXPECT_EQ(got, baseline) << "jobs=" << jobs;
+  }
+}
+
+TEST(ExecDeterminism, DfsParallelFindsSameViolationAsSerialDfs) {
+  const dgmc::check::ScenarioSpec broken =
+      spec("triangle-join-leave", /*break_accept=*/true);
+  dgmc::check::SearchLimits limits;
+  limits.max_depth = 14;
+  const dgmc::check::SearchResult serial =
+      dgmc::check::explore_dfs(broken, limits);
+  ASSERT_TRUE(serial.violation.has_value());
+
+  dgmc::check::SearchResult first;
+  for (int jobs : kJobCounts) {
+    const dgmc::check::SearchResult r =
+        dgmc::check::explore_dfs_parallel(broken, limits, jobs);
+    ASSERT_TRUE(r.violation.has_value()) << "jobs=" << jobs;
+    EXPECT_EQ(r.violation->oracle, serial.violation->oracle)
+        << "jobs=" << jobs;
+    if (jobs == 1) {
+      first = r;
+    } else {
+      // Identical counterexample (trace and detail) at every width.
+      EXPECT_EQ(r.trace.choices, first.trace.choices) << "jobs=" << jobs;
+      EXPECT_EQ(r.violation->detail, first.violation->detail)
+          << "jobs=" << jobs;
+    }
+  }
+
+  const dgmc::check::ReplayResult rr = dgmc::check::replay(broken, first.trace);
+  ASSERT_FALSE(rr.divergence.has_value()) << *rr.divergence;
+  ASSERT_TRUE(rr.violation.has_value());
+  EXPECT_EQ(rr.violation->oracle, first.violation->oracle);
+}
+
+TEST(ExecDeterminism, FrontierWidthIndependentOfJobCount) {
+  // Raising frontier_width changes the decomposition (more, smaller
+  // subtree tasks) but the engine must still be internally consistent:
+  // same result at any job count for each width.
+  const dgmc::check::ScenarioSpec s = spec("triangle-2join");
+  for (std::size_t width : {std::size_t{8}, std::size_t{64}}) {
+    dgmc::check::SearchLimits limits;
+    limits.max_depth = 8;
+    limits.frontier_width = width;
+    const std::string baseline =
+        serialize(dgmc::check::explore_dfs_parallel(s, limits, 1));
+    for (int jobs : kJobCounts) {
+      EXPECT_EQ(serialize(dgmc::check::explore_dfs_parallel(s, limits, jobs)),
+                baseline)
+          << "width=" << width << " jobs=" << jobs;
+    }
+  }
+}
+
+}  // namespace

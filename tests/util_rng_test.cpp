@@ -95,6 +95,73 @@ TEST(RngStream, ShuffleIsPermutation) {
   EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
 }
 
+TEST(RngStream, ForkIsDeterministic) {
+  RngStream parent(42);
+  RngStream a = parent.fork(3);
+  RngStream b = parent.fork(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+  }
+}
+
+TEST(RngStream, ForkIndicesGiveIndependentStreams) {
+  RngStream parent(42);
+  RngStream a = parent.fork(0);
+  RngStream b = parent.fork(1);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngStream, ForkDoesNotPerturbParent) {
+  RngStream with_fork(42);
+  RngStream without(42);
+  (void)with_fork.fork(7);
+  (void)with_fork.fork(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(with_fork.uniform_int(0, 1 << 30),
+              without.uniform_int(0, 1 << 30));
+  }
+}
+
+TEST(RngStream, ForkDependsOnlyOnSeedNotPosition) {
+  // fork() is a pure function of (seed, index): advancing the parent's
+  // engine must not change what its children produce. This is the
+  // property the parallel engine's determinism rests on.
+  RngStream advanced(42);
+  for (int i = 0; i < 100; ++i) (void)advanced.uniform01();
+  RngStream fresh(42);
+  RngStream a = advanced.fork(5);
+  RngStream b = fresh.fork(5);
+  EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+}
+
+TEST(RngStream, ForkOfForkIsStable) {
+  RngStream parent(9);
+  RngStream c1 = parent.fork(2).fork(4);
+  RngStream c2 = parent.fork(2).fork(4);
+  EXPECT_EQ(c1.uniform_int(0, 1 << 30), c2.uniform_int(0, 1 << 30));
+  // Grandchildren with different lineage differ.
+  RngStream other = parent.fork(4).fork(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (c1.uniform_int(0, 1 << 30) != other.uniform_int(0, 1 << 30)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngStream, SeedAccessorReturnsConstructionSeed) {
+  EXPECT_EQ(RngStream(123).seed(), 123u);
+  EXPECT_EQ(RngStream::derive(7, "x").seed(),
+            RngStream::derive(7, "x").seed());
+}
+
 TEST(RngStream, ShuffleHandlesSmallInputs) {
   RngStream r(8);
   std::vector<int> empty;
