@@ -1,19 +1,29 @@
-// Exploration throughput of the check subsystem: transitions/second
-// and states/second for each strategy over the catalog scenarios. The
-// interesting number is the cost of stateless backtracking — the ratio
-// of replayed to productive transitions — which is what a depth bump
-// actually buys into.
+// Exploration throughput of the check subsystem, and the perf contract
+// of the checkpoint-restore engine (DESIGN.md §9).
 //
-// The parallel engine (dfs-par, random-par) is measured twice per
-// scenario — DGMC_JOBS=1 vs the full job width — reporting wall-clock
-// speedup and verifying the two runs produce identical statistics (the
-// determinism contract, DESIGN.md §8). Timings land in
-// BENCH_check_explore.json. Honors DGMC_QUICK=1 (shallower DFS);
-// exits non-zero if any jobs=1/jobs=N pair diverges.
+// Headline section: serial DFS over every catalog scenario twice —
+// replay-only backtracking (checkpoint interval 0, the pre-checkpoint
+// engine) vs checkpoint-restore (the default interval) — reporting
+// explored-states/sec for each and the speedup ratio, plus an
+// equivalence verdict (identical violations, traces, visited-state
+// counts; DESIGN.md §8). The two heaviest scenarios run at depth 10 to
+// keep the replay baseline affordable; the rest run at depth 12, and
+// the depth>=12 geometric-mean speedup is the number the acceptance
+// bar tracks.
+//
+// Parallel section: dfs-par and random-par at jobs in {1, 2, 8},
+// verifying bit-identical statistics across all three job counts (the
+// determinism contract) and reporting the 1->8 wall-clock speedup.
+//
+// Timings land in BENCH_check_explore.json. Honors DGMC_QUICK=1
+// (shallower DFS, fewer walks); exits non-zero if any equivalence or
+// determinism verdict fails.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench_json.hpp"
 #include "check/explorer.hpp"
@@ -41,33 +51,104 @@ void report(const char* scenario, const char* strategy,
       r.violation.has_value() ? "  [VIOLATION]" : "");
 }
 
-bool same_stats(const SearchResult& a, const SearchResult& b) {
-  return a.stats.transitions == b.stats.transitions &&
-         a.stats.executions == b.stats.executions &&
-         a.stats.states_seen == b.stats.states_seen &&
-         a.stats.pruned == b.stats.pruned &&
-         a.stats.depth_cutoffs == b.stats.depth_cutoffs &&
-         a.stats.max_depth_reached == b.stats.max_depth_reached &&
-         a.violation.has_value() == b.violation.has_value() &&
-         a.trace.choices == b.trace.choices;
+double states_per_sec(const SearchResult& r, double elapsed) {
+  return elapsed > 0 ? static_cast<double>(r.stats.states_seen) / elapsed
+                     : 0.0;
+}
+
+/// The cross-job determinism contract (DESIGN.md §8): violation and
+/// trace are bit-identical at any job count always; the full statistics
+/// are guaranteed identical only when no violation cut the search short
+/// (cooperative cancellation timing varies how much work the losing
+/// tasks finished before stopping).
+bool par_deterministic(const SearchResult& a, const SearchResult& b) {
+  if (a.violation.has_value() || b.violation.has_value()) {
+    return a.violation.has_value() && b.violation.has_value() &&
+           a.violation->oracle == b.violation->oracle &&
+           a.violation->detail == b.violation->detail &&
+           a.trace.choices == b.trace.choices;
+  }
+  return equivalent_results(a, b, /*compare_transitions=*/true);
+}
+
+/// Replay-baseline DFS depth per scenario: the two diamond scenarios
+/// with fault machinery explode at depth 12 under O(depth) replay (the
+/// crash/recover one takes minutes), so their baseline runs at 10.
+std::size_t dfs_depth(const std::string& scenario, bool quick) {
+  if (quick) return 8;
+  if (scenario == "diamond-crash-recover" || scenario == "diamond-link-fail") {
+    return 10;
+  }
+  return 12;
 }
 
 }  // namespace
 
 int main() {
   const bool quick = std::getenv("DGMC_QUICK") != nullptr;
-  const std::size_t jobs = dgmc::exec::resolve_jobs(0);
   std::string entries;
-  bool all_deterministic = true;
+  bool all_identical = true;
 
+  // --- Replay-only vs checkpoint-restore serial DFS ------------------
+  double ratio_log_sum = 0.0;
+  int ratio_count = 0;
   for (const ScenarioSpec& spec : scenarios()) {
-    {
-      SearchLimits limits;
-      limits.max_depth = quick ? 8 : 12;
-      const auto start = std::chrono::steady_clock::now();
-      const SearchResult r = explore_dfs(spec, limits);
-      report(spec.name.c_str(), "dfs", r, seconds_since(start));
+    const std::size_t depth = dfs_depth(spec.name, quick);
+    SearchLimits replay_limits;
+    replay_limits.max_depth = depth;
+    replay_limits.checkpoint_interval = 0;
+    SearchLimits ckpt_limits;
+    ckpt_limits.max_depth = depth;  // checkpoint_interval: default
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const SearchResult replayed = explore_dfs(spec, replay_limits);
+    const double replay_s = seconds_since(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const SearchResult ckpt = explore_dfs(spec, ckpt_limits);
+    const double ckpt_s = seconds_since(t1);
+
+    const bool identical = equivalent_results(replayed, ckpt);
+    all_identical = all_identical && identical;
+    const double speedup = ckpt_s > 0.0 ? replay_s / ckpt_s : 0.0;
+    if (depth >= 12 && speedup > 0.0) {
+      ratio_log_sum += std::log(speedup);
+      ++ratio_count;
     }
+    report(spec.name.c_str(), "dfs-replay", replayed, replay_s);
+    report(spec.name.c_str(), "dfs-ckpt", ckpt, ckpt_s);
+    std::printf("%-22s %-10s depth=%zu states/s %.0f -> %.0f  "
+                "speedup=%.2fx  equivalence=%s\n",
+                spec.name.c_str(), "dfs-ratio", depth,
+                states_per_sec(replayed, replay_s),
+                states_per_sec(ckpt, ckpt_s), speedup,
+                identical ? "identical" : "DIVERGENT");
+    if (!entries.empty()) entries += ",";
+    entries +=
+        "{\"scenario\":" + dgmc::bench::json_str(spec.name) +
+        ",\"mode\":\"dfs-checkpoint-vs-replay\"" +
+        ",\"depth\":" + std::to_string(depth) +
+        ",\"checkpoint_interval\":" +
+        std::to_string(ckpt_limits.checkpoint_interval) +
+        ",\"replay_seconds\":" + dgmc::bench::json_num(replay_s) +
+        ",\"checkpoint_seconds\":" + dgmc::bench::json_num(ckpt_s) +
+        ",\"states\":" + std::to_string(ckpt.stats.states_seen) +
+        ",\"replay_states_per_sec\":" +
+        dgmc::bench::json_num(states_per_sec(replayed, replay_s)) +
+        ",\"checkpoint_states_per_sec\":" +
+        dgmc::bench::json_num(states_per_sec(ckpt, ckpt_s)) +
+        ",\"speedup\":" + dgmc::bench::json_num(speedup) +
+        ",\"determinism\":\"" + (identical ? "identical" : "divergent") +
+        "\"}";
+  }
+  const double geomean =
+      ratio_count > 0 ? std::exp(ratio_log_sum / ratio_count) : 0.0;
+  if (ratio_count > 0) {
+    std::printf("dfs checkpoint speedup, geomean over depth>=12: %.2fx\n",
+                geomean);
+  }
+
+  // --- Serial delay-bounded and random strategies (throughput only) --
+  for (const ScenarioSpec& spec : scenarios()) {
     {
       SearchLimits limits;
       limits.max_depth = 80;
@@ -85,10 +166,11 @@ int main() {
       const SearchResult r = explore_random(spec, limits);
       report(spec.name.c_str(), "random", r, seconds_since(start));
     }
+  }
 
-    // Parallel engine: same scenario at 1 job vs full width. The
-    // speedup is the headline number; the stats comparison holds the
-    // engine to its bit-identical-results contract.
+  // --- Parallel engine: bit-identical across jobs in {1, 2, 8} -------
+  const std::size_t job_counts[] = {1, 2, 8};
+  for (const ScenarioSpec& spec : scenarios()) {
     struct ParMode {
       const char* label;
       SearchResult (*run)(const ScenarioSpec&, const SearchLimits&,
@@ -96,7 +178,7 @@ int main() {
       SearchLimits limits;
     };
     SearchLimits dfs_limits;
-    dfs_limits.max_depth = quick ? 8 : 12;
+    dfs_limits.max_depth = quick ? 8 : 10;
     SearchLimits rnd_limits;
     rnd_limits.max_depth = 120;
     rnd_limits.walks = quick ? 100 : 1000;
@@ -106,37 +188,50 @@ int main() {
         {"random-par", explore_random_parallel, rnd_limits},
     };
     for (const ParMode& m : modes) {
-      const auto t1 = std::chrono::steady_clock::now();
-      const SearchResult serial = m.run(spec, m.limits, 1);
-      const double serial_s = seconds_since(t1);
-      const auto tn = std::chrono::steady_clock::now();
-      const SearchResult wide = m.run(spec, m.limits, jobs);
-      const double wide_s = seconds_since(tn);
-      report(spec.name.c_str(), m.label, wide, wide_s);
-      const bool identical = same_stats(serial, wide);
-      all_deterministic = all_deterministic && identical;
-      const double speedup = wide_s > 0.0 ? serial_s / wide_s : 0.0;
-      std::printf("%-22s %-10s jobs=%zu serial=%.3fs parallel=%.3fs "
-                  "speedup=%.2fx deterministic=%s\n",
-                  spec.name.c_str(), m.label, jobs, serial_s, wide_s, speedup,
-                  identical ? "yes" : "NO");
+      std::vector<SearchResult> results;
+      std::vector<double> elapsed;
+      for (std::size_t jobs : job_counts) {
+        const auto start = std::chrono::steady_clock::now();
+        results.push_back(m.run(spec, m.limits, jobs));
+        elapsed.push_back(seconds_since(start));
+      }
+      bool identical = true;
+      for (std::size_t i = 1; i < results.size(); ++i) {
+        identical = identical && par_deterministic(results[0], results[i]);
+      }
+      all_identical = all_identical && identical;
+      const double speedup =
+          elapsed.back() > 0.0 ? elapsed.front() / elapsed.back() : 0.0;
+      report(spec.name.c_str(), m.label, results.back(), elapsed.back());
+      std::printf("%-22s %-10s jobs=1/2/8 %.3fs/%.3fs/%.3fs "
+                  "speedup=%.2fx determinism=%s\n",
+                  spec.name.c_str(), m.label, elapsed[0], elapsed[1],
+                  elapsed[2], speedup,
+                  identical ? "identical" : "DIVERGENT");
       if (!entries.empty()) entries += ",";
       entries += "{\"scenario\":" + dgmc::bench::json_str(spec.name) +
                  ",\"mode\":" + dgmc::bench::json_str(m.label) +
-                 ",\"jobs\":" + std::to_string(jobs) +
-                 ",\"serial_seconds\":" + dgmc::bench::json_num(serial_s) +
-                 ",\"parallel_seconds\":" + dgmc::bench::json_num(wide_s) +
+                 ",\"jobs1_seconds\":" + dgmc::bench::json_num(elapsed[0]) +
+                 ",\"jobs2_seconds\":" + dgmc::bench::json_num(elapsed[1]) +
+                 ",\"jobs8_seconds\":" + dgmc::bench::json_num(elapsed[2]) +
                  ",\"speedup\":" + dgmc::bench::json_num(speedup) +
-                 ",\"transitions\":" + std::to_string(wide.stats.transitions) +
-                 ",\"states\":" + std::to_string(wide.stats.states_seen) +
-                 ",\"deterministic\":" + (identical ? "true" : "false") + "}";
+                 ",\"transitions\":" +
+                 std::to_string(results.back().stats.transitions) +
+                 ",\"states\":" +
+                 std::to_string(results.back().stats.states_seen) +
+                 ",\"determinism\":\"" +
+                 (identical ? "identical" : "divergent") + "\"}";
     }
   }
 
   dgmc::bench::write_bench_json(
       "check_explore",
-      "{\"bench\":\"check_explore\",\"jobs\":" + std::to_string(jobs) +
-          ",\"deterministic\":" + (all_deterministic ? "true" : "false") +
-          ",\"entries\":[" + entries + "]}");
-  return all_deterministic ? 0 : 1;
+      "{\"bench\":\"check_explore\"" +
+          std::string(",\"quick\":") + (quick ? "true" : "false") +
+          ",\"dfs_speedup_geomean_depth12\":" +
+          dgmc::bench::json_num(geomean) +
+          ",\"determinism\":\"" +
+          (all_identical ? "identical" : "divergent") +
+          "\",\"entries\":[" + entries + "]}");
+  return all_identical ? 0 : 1;
 }

@@ -1,9 +1,17 @@
 // Microbenchmarks (google-benchmark) for the building blocks the
 // simulation spends its time in: the event calendar, LSA flooding,
 // shortest paths, Steiner heuristics, incremental updates, routing
-// table construction, and vector-timestamp operations.
+// table construction, vector-timestamp operations, the wire codec,
+// and the checkpoint snapshot/restore path. Run with
+// --benchmark_out=FILE --benchmark_out_format=json for the CI
+// artifact; items_per_second in that JSON is the ops/sec series.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "check/executor.hpp"
+#include "core/codec.hpp"
+#include "core/mc_lsa.hpp"
 #include "core/timestamp.hpp"
 #include "des/scheduler.hpp"
 #include "graph/algorithms.hpp"
@@ -116,6 +124,100 @@ void BM_VectorTimestampOps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VectorTimestampOps)->Arg(100)->Arg(400);
+
+// Copy + merge + compare at simulated-network dimensions, both sides
+// of the SBO split (<= 8 components inline, more on the heap). The
+// inline sizes are what every LSA in the check/bench catalogs carries.
+void BM_VectorTimestampMergeCompare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::VectorTimestamp a(n), b(n);
+  for (int i = 0; i < n; i += 2) a.increment(i);
+  for (int i = 1; i < n; i += 2) b.increment(i);
+  for (auto _ : state) {
+    core::VectorTimestamp m = a;
+    m.merge_max(b);
+    benchmark::DoNotOptimize(m == a);
+    benchmark::DoNotOptimize(m.dominates(b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VectorTimestampMergeCompare)->Arg(4)->Arg(8)->Arg(9)->Arg(16);
+
+// Wire codec round trip for an MC LSA whose timestamp has `n`
+// components. encode_into reuses one buffer, so steady-state encoding
+// is allocation-free up to the decode.
+void BM_CodecEncodeDecode(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::McLsa lsa;
+  lsa.source = 0;
+  lsa.event = core::McEventType::kJoin;
+  lsa.mc = 1;
+  lsa.stamp = core::VectorTimestamp(n);
+  for (int i = 0; i < n; ++i) {
+    lsa.stamp.set(i, static_cast<std::uint32_t>(i * 13 + 1));
+  }
+  std::vector<std::uint8_t> wire;
+  for (auto _ : state) {
+    core::encode_into(lsa, wire);
+    benchmark::DoNotOptimize(core::decode_mc_lsa(wire));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecEncodeDecode)->Arg(4)->Arg(8)->Arg(64);
+
+void BM_CodecEncodeOnly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::McLsa lsa;
+  lsa.source = 2;
+  lsa.event = core::McEventType::kLeave;
+  lsa.mc = 3;
+  lsa.stamp = core::VectorTimestamp(n);
+  std::vector<std::uint8_t> wire;
+  for (auto _ : state) {
+    core::encode_into(lsa, wire);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecEncodeOnly)->Arg(8)->Arg(64);
+
+// The calendar save/restore pair with `events` pending records — the
+// des-layer share of a checkpoint. The snapshot is reused, so this
+// measures the steady-state (allocation-free) pooled cost.
+void BM_SchedulerSaveRestore(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  des::Scheduler sched;
+  long sum = 0;
+  for (int i = 0; i < events; ++i) {
+    sched.schedule_at(static_cast<double>(i % 97), [&sum] { ++sum; });
+  }
+  des::Scheduler::Snapshot snap;
+  for (auto _ : state) {
+    sched.save(snap);
+    sched.restore(snap);
+    benchmark::DoNotOptimize(sched.pending());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerSaveRestore)->Arg(16)->Arg(256);
+
+// A full Executor checkpoint — network, switches, calendar, oracle
+// path state — on a mid-flight catalog scenario. This is the unit the
+// explorer pays once per expanded node at checkpoint interval 1, and
+// what a resync costs instead of an O(depth) replay.
+void BM_ExecutorSaveRestore(benchmark::State& state) {
+  const check::ScenarioSpec* spec = check::find_scenario("triangle-2join");
+  check::Executor exec(*spec);
+  for (int i = 0; i < 6; ++i) exec.step(0);
+  check::Executor::Snapshot snap;
+  for (auto _ : state) {
+    exec.save(snap);
+    exec.restore(snap);
+    benchmark::DoNotOptimize(snap.next_injection);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorSaveRestore);
 
 }  // namespace
 

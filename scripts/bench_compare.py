@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Diff two benchmark JSON files and fail on regressions.
+
+Understands both JSON shapes this repo emits:
+
+  * dgmc bench harnesses (BENCH_*.json from bench/bench_json.hpp):
+    a top-level object with an "entries" list; each entry is keyed by
+    its "scenario" (+ "mode"/"strategy" when present) and carries
+    numeric metrics plus optional string verdicts ("determinism").
+  * google-benchmark --benchmark_out JSON (micro_kernels): a
+    "benchmarks" list keyed by "name" with "real_time",
+    "items_per_second", etc.
+
+Metric direction is inferred from the name: *_per_sec / *per_second /
+speedup / ops are higher-is-better, *seconds / *time lower-is-better;
+anything else is informational only. String verdict fields must match
+exactly. Exit status: 0 clean, 1 regression or verdict mismatch,
+2 usage/parse error.
+
+Usage:
+  bench_compare.py baseline.json current.json [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = ("per_sec", "per_second", "speedup", "ops")
+LOWER_IS_BETTER = ("seconds", "_time", "time_")
+# Counters that must be bit-identical between runs on the same source
+# tree (the determinism contract), not merely within tolerance.
+EXACT_FIELDS = ("determinism", "states", "transitions", "violations")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def rows(doc):
+    """Return {key: {field: value}} for either supported JSON shape."""
+    if isinstance(doc, dict) and "benchmarks" in doc:  # google-benchmark
+        out = {}
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            out[b["name"]] = b
+        return out
+    if isinstance(doc, dict) and "entries" in doc:  # dgmc bench harness
+        out = {}
+        for e in doc["entries"]:
+            key = str(e.get("scenario", e.get("name", "?")))
+            for part in ("mode", "strategy", "jobs"):
+                if part in e:
+                    key += f"/{e[part]}"
+            out[key] = e
+        return out
+    sys.exit("bench_compare: unrecognized JSON shape "
+             "(expected 'entries' or 'benchmarks')")
+
+
+def direction(field):
+    f = field.lower()
+    if any(tok in f for tok in HIGHER_IS_BETTER):
+        return +1
+    if any(tok in f for tok in LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative slowdown on directed metrics "
+                         "(default 0.25 = 25%%; benchmarks are noisy on "
+                         "shared CI runners)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print every compared metric, not just failures")
+    args = ap.parse_args()
+
+    base = rows(load(args.baseline))
+    curr = rows(load(args.current))
+
+    failures = []
+    for key in sorted(set(base) - set(curr)):
+        print(f"  [gone]    {key} (in baseline only)")
+    for key in sorted(set(curr) - set(base)):
+        print(f"  [new]     {key} (in current only)")
+
+    for key in sorted(set(base) & set(curr)):
+        b, c = base[key], curr[key]
+        for field in sorted(set(b) & set(c)):
+            bv, cv = b[field], c[field]
+            if field in EXACT_FIELDS:
+                if bv != cv:
+                    failures.append(f"{key}: {field} changed {bv!r} -> {cv!r}"
+                                    " (must be exact)")
+                continue
+            if not isinstance(bv, (int, float)) or isinstance(bv, bool):
+                continue
+            if not isinstance(cv, (int, float)):
+                continue
+            d = direction(field)
+            if d == 0 or bv == 0:
+                if args.verbose:
+                    print(f"  [info]    {key}: {field} {bv} -> {cv}")
+                continue
+            # Relative change, signed so that positive = improvement.
+            rel = (cv - bv) / abs(bv) * d
+            tag = "ok" if rel >= -args.tolerance else "REGRESS"
+            if tag != "ok":
+                failures.append(
+                    f"{key}: {field} {bv:g} -> {cv:g} "
+                    f"({rel * 100:+.1f}% vs tolerance -{args.tolerance * 100:.0f}%)")
+            if args.verbose or tag != "ok":
+                print(f"  [{tag:7s}] {key}: {field} {bv:g} -> {cv:g} "
+                      f"({rel * 100:+.1f}%)")
+
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"bench_compare: OK ({len(set(base) & set(curr))} shared rows, "
+          f"tolerance {args.tolerance * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+#include "check/checkpoint.hpp"
+
+#include "util/assert.hpp"
+
+namespace dgmc::check {
+
+void CheckpointStack::save(const Executor& exec, std::size_t depth) {
+  if (!stack_.empty()) {
+    DGMC_ASSERT_MSG(stack_.back().depth < depth,
+                    "checkpoints must deepen monotonically");
+  }
+  Entry e;
+  e.depth = depth;
+  e.snap = pool_.acquire();
+  exec.save(*e.snap);
+  stack_.push_back(std::move(e));
+}
+
+std::size_t CheckpointStack::resync_to(Executor& exec, std::size_t target) {
+  // Entries deeper than the target belong to branches the DFS has
+  // abandoned; recycle them. (Lazy: nothing was paid for them when the
+  // driver popped frames, only now on an actual resync.)
+  while (!stack_.empty() && stack_.back().depth > target) {
+    pool_.release(std::move(stack_.back().snap));
+    stack_.pop_back();
+  }
+  DGMC_ASSERT_MSG(!stack_.empty(), "no checkpoint at or above target depth");
+  exec.restore(*stack_.back().snap);
+  return stack_.back().depth;
+}
+
+void CheckpointStack::clear() {
+  while (!stack_.empty()) {
+    pool_.release(std::move(stack_.back().snap));
+    stack_.pop_back();
+  }
+}
+
+}  // namespace dgmc::check

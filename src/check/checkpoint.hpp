@@ -1,0 +1,112 @@
+// Checkpoint-restore backtracking for the state-space explorer.
+//
+// The stateless (VeriSoft-style) driver backtracks by re-executing the
+// whole choice prefix from the initial state — O(depth) Executor steps
+// per resync, which dominates exploration wall-clock once scenarios go
+// past a dozen levels. This layer trades memory for that time: every k
+// DFS levels the driver parks a full Executor::Snapshot on a stack, and
+// a resync restores the deepest parked snapshot at or above the target
+// depth, then replays only the <= k-step tail. Backtracking cost drops
+// from O(depth) to O(k + pending events).
+//
+// Determinism (DESIGN.md §8/§9): a restore brings back the calendar
+// with its (time, seq) FIFO contract plus the id/seq counters, the
+// whole network state, and the oracle path state, so exploration
+// results — fingerprint streams, visited-state counts, violations,
+// traces — are bit-identical to full-replay exploration at any
+// checkpoint interval and any job count. Only SearchStats::transitions
+// differs between intervals: it counts replayed steps, and fewer
+// replays is the whole point. (At a *fixed* interval it too is
+// identical across job counts.)
+//
+// Memory: snapshots are pooled. A retired snapshot returns to a
+// freelist and its containers keep their capacity, so steady-state
+// exploration performs no snapshot-sized allocations — the pool acts as
+// an arena whose high-water mark is ceil(max_depth / k) + 1 snapshots
+// per driver. Parallel subtree tasks each own a private pool (snapshots
+// are bound to one Executor's object graph and must not cross tasks).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "check/executor.hpp"
+
+namespace dgmc::check {
+
+/// Freelist of Executor snapshots. acquire() reuses a released
+/// snapshot, retaining the capacity of every nested container (calendar
+/// record vector, per-switch maps, flag vectors), so only the first few
+/// acquisitions pay allocation. Not thread-safe: one pool per driver.
+class CheckpointPool {
+ public:
+  std::unique_ptr<Executor::Snapshot> acquire() {
+    if (free_.empty()) return std::make_unique<Executor::Snapshot>();
+    std::unique_ptr<Executor::Snapshot> s = std::move(free_.back());
+    free_.pop_back();
+    return s;
+  }
+
+  void release(std::unique_ptr<Executor::Snapshot> s) {
+    free_.push_back(std::move(s));
+  }
+
+  std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Executor::Snapshot>> free_;
+};
+
+/// Stack of (depth, snapshot) checkpoints mirroring the DFS path. The
+/// invariant — every entry's depth-prefix of the driver's choice vector
+/// is exactly the path the snapshot was taken on — holds because
+/// resync_to() pops every entry deeper than its target before the
+/// driver changes any choice at or below those depths.
+class CheckpointStack {
+ public:
+  /// interval == 0 disables checkpointing (callers should then use
+  /// full replay); pool must outlive the stack.
+  CheckpointStack(std::size_t interval, CheckpointPool& pool)
+      : interval_(interval), pool_(pool) {}
+
+  CheckpointStack(const CheckpointStack&) = delete;
+  CheckpointStack& operator=(const CheckpointStack&) = delete;
+
+  ~CheckpointStack() { clear(); }
+
+  bool enabled() const { return interval_ != 0; }
+  std::size_t interval() const { return interval_; }
+  std::size_t size() const { return stack_.size(); }
+
+  /// Unconditionally checkpoints `exec` at `depth` (the root / task
+  /// prefix anchor, so a resync never has to fall back to a full
+  /// replay).
+  void save(const Executor& exec, std::size_t depth);
+
+  /// Checkpoints `exec` when `depth` lands on the interval grid.
+  void maybe_save(const Executor& exec, std::size_t depth) {
+    if (enabled() && depth % interval_ == 0) save(exec, depth);
+  }
+
+  /// Rewinds `exec` onto the current DFS path at the deepest checkpoint
+  /// with depth <= target, recycling every deeper (abandoned-branch)
+  /// entry, and returns that checkpoint's depth. The caller replays the
+  /// (target - returned) tail steps. Asserts a checkpoint exists (the
+  /// anchor save() guarantees one).
+  std::size_t resync_to(Executor& exec, std::size_t target);
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::size_t depth = 0;
+    std::unique_ptr<Executor::Snapshot> snap;
+  };
+
+  std::size_t interval_;
+  CheckpointPool& pool_;
+  std::vector<Entry> stack_;
+};
+
+}  // namespace dgmc::check

@@ -4,14 +4,20 @@
 //   dgmc_check list
 //   dgmc_check explore <scenario> [--strategy dfs|delay|random]
 //       [--depth N] [--delays N] [--walks N] [--seed N] [--jobs N]
-//       [--max-transitions N] [--break-accept] [--trace-out FILE]
-//       [--minimize]
+//       [--max-transitions N] [--checkpoint-interval N]
+//       [--break-accept] [--trace-out FILE] [--minimize]
 //   dgmc_check replay <trace-file> [--step]
 //
 // --jobs N switches the dfs and random strategies onto the parallel
 // execution engine with N workers (0 = DGMC_JOBS env var or hardware
 // concurrency); results are bit-identical at any job count. The delay
 // strategy is serial-only.
+//
+// --checkpoint-interval N controls O(Δ) backtracking for the dfs and
+// delay strategies: a snapshot every N levels, restore + tail replay
+// on resync (0 = legacy full-prefix replay). Exploration results are
+// bit-identical at any value; only the reported transitions count —
+// replay-step accounting — varies.
 //
 // Exit status: 0 = no violation, 1 = violation found, 2 = usage or
 // input error. `--break-accept` enables the deliberate protocol fault
@@ -40,8 +46,9 @@ int usage() {
                "dfs|delay|random]\n"
                "           [--depth N] [--delays N] [--walks N] [--seed N]\n"
                "           [--jobs N] [--max-transitions N] "
-               "[--break-accept]\n"
-               "           [--trace-out FILE] [--minimize]\n"
+               "[--checkpoint-interval N]\n"
+               "           [--break-accept] [--trace-out FILE] "
+               "[--minimize]\n"
                "       dgmc_check replay <trace-file> [--step]\n");
   return 2;
 }
@@ -122,6 +129,10 @@ int cmd_explore(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       limits.max_transitions = std::stoul(v);
+    } else if (arg == "--checkpoint-interval") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      limits.checkpoint_interval = std::stoul(v);
     } else if (arg == "--break-accept") {
       break_accept = true;
     } else if (arg == "--minimize") {

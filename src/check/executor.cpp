@@ -37,7 +37,7 @@ void Executor::refresh_enabled() {
     enabled_.push_back(a);
   }
 
-  const auto pending = net_->scheduler().pending_events();
+  const auto& pending = net_->scheduler().pending_events();
 
   // Per-(receiver, origin) FIFO: only the lowest-seq pending copy is
   // deliverable (see class comment). In lossless mode, redundant copies
@@ -192,6 +192,21 @@ std::optional<Violation> Executor::check() {
     }
   }
   return std::nullopt;
+}
+
+void Executor::save(Snapshot& out) const {
+  net_->save(out.network);
+  out.next_injection = next_injection_;
+  out.depth = depth_;
+  out.last_installed = last_installed_;
+}
+
+void Executor::restore(const Snapshot& snap) {
+  net_->restore(snap.network);
+  next_injection_ = snap.next_injection;
+  depth_ = snap.depth;
+  last_installed_ = snap.last_installed;
+  enabled_valid_ = false;
 }
 
 std::string Executor::describe(const Action& a) const {

@@ -89,6 +89,29 @@ class Executor {
   sim::DgmcNetwork& network() { return *net_; }
   const ScenarioSpec& spec() const { return spec_; }
 
+  // --- Checkpoint interface (see check/checkpoint.hpp) ---
+
+  /// Everything needed to rewind this Executor: the network snapshot
+  /// (calendar included), the script cursor, the transition count, and
+  /// the install-monotone oracle's watch state (it must rewind with the
+  /// world, or a restored run would compare against future installs).
+  struct Snapshot {
+    sim::DgmcNetwork::Snapshot network;
+    std::size_t next_injection = 0;
+    std::size_t depth = 0;
+    std::map<std::pair<graph::NodeId, mc::McId>,
+             std::pair<core::VectorTimestamp, graph::NodeId>>
+        last_installed;
+  };
+
+  /// Copies the executor's state into `out`, reusing its buffers.
+  void save(Snapshot& out) const;
+
+  /// Restores state previously saved from this executor. Enabled-action
+  /// and fingerprint queries after restore give bit-identical results
+  /// to a fresh replay of the same choice prefix.
+  void restore(const Snapshot& snap);
+
  private:
   void refresh_enabled();
   void apply_injection(const Injection& inj);

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "check/checkpoint.hpp"
 #include "exec/fingerprint_set.hpp"
 #include "exec/pool.hpp"
 #include "util/assert.hpp"
@@ -70,10 +71,18 @@ void finish(SearchResult& result, const ScenarioSpec& spec,
 }
 
 /// Shared skeleton of the dfs and delay strategies: an explicit-stack
-/// DFS with stateless (replay-based) backtracking. Frame i is the
-/// state reached by choices[0..i-1]. `exec` lazily tracks `choices`:
-/// after backtracking it goes stale and is rebuilt only when the next
-/// step is actually taken, so popping a whole subtree costs no replays.
+/// DFS. Frame i is the state reached by choices[0..i-1]. `exec` lazily
+/// tracks `choices`: after backtracking it goes stale and is resynced
+/// only when the next step is actually taken, so popping a whole
+/// subtree costs no replays.
+///
+/// Resync is O(Δ) by default: a CheckpointStack parks an Executor
+/// snapshot every limits.checkpoint_interval levels and resyncing
+/// restores the deepest on-path checkpoint plus a bounded tail replay
+/// (check/checkpoint.hpp). With checkpoint_interval == 0 the driver
+/// falls back to stateless full-prefix replay (the VeriSoft mode, kept
+/// as the bench baseline and differential-testing partner). Both modes
+/// visit the identical states in the identical order.
 ///
 /// The parallel frontier mode reuses the skeleton for its subtree
 /// tasks by setting `prefix` (choices applied before the search root;
@@ -110,6 +119,11 @@ struct DfsDriver {
   const std::atomic<std::size_t>* cancel_best = nullptr;
   std::size_t task_index = 0;
 
+  // O(Δ) backtracking state. Private per driver: snapshots reference
+  // one Executor's object graph and must never cross subtree tasks.
+  CheckpointPool ckpt_pool;
+  CheckpointStack ckpt{limits.checkpoint_interval, ckpt_pool};
+
   DfsDriver(const ScenarioSpec& s, const SearchLimits& l, bool delay)
       : spec(s), limits(l), delay_mode(delay) {}
 
@@ -124,6 +138,27 @@ struct DfsDriver {
   bool cancelled() const {
     return cancel_best != nullptr &&
            cancel_best->load(std::memory_order_relaxed) < task_index;
+  }
+
+  /// Rebuilds `exec` at the state reached by full_choices(). Checkpoint
+  /// mode restores the deepest on-path snapshot in place and replays
+  /// only the tail; stateless mode re-executes the whole prefix from a
+  /// fresh network. Oracles re-run per replayed step in both modes —
+  /// not to detect violations (the path was verified clean) but because
+  /// check() advances the install-monotone watch, path state the
+  /// restore rewound to the snapshot's depth.
+  void resync() {
+    if (!ckpt.enabled()) {
+      exec = replay_prefix(spec, full_choices(), result.stats);
+      return;
+    }
+    const std::size_t at = ckpt.resync_to(*exec, depth_now());
+    DGMC_ASSERT(at >= prefix.size() && at <= depth_now());
+    for (std::size_t d = at - prefix.size(); d < choices.size(); ++d) {
+      exec->step(choices[d]);
+      ++result.stats.transitions;
+      (void)exec->check();
+    }
   }
 
   SearchResult run() {
@@ -142,6 +177,9 @@ struct DfsDriver {
       // the oracle path state (see replay_prefix).
       exec = replay_prefix(spec, prefix, result.stats);
     }
+    // Anchor checkpoint at the search root, so resync() always finds a
+    // snapshot and never falls back to a full replay.
+    if (ckpt.enabled()) ckpt.save(*exec, depth_now());
     frames.push_back(
         Frame{0, exec->enabled().size(),
               delay_mode ? limits.delay_budget : std::size_t{0}});
@@ -174,7 +212,7 @@ struct DfsDriver {
         break;
       }
       if (!in_sync) {
-        exec = replay_prefix(spec, full_choices(), result.stats);
+        resync();
         in_sync = true;
       }
       exec->step(choice);
@@ -216,6 +254,7 @@ struct DfsDriver {
           it->second = remaining;
         }
       }
+      ckpt.maybe_save(*exec, depth_now());
       frames.push_back(Frame{0, exec->enabled().size(), child_delay_left});
     }
 
@@ -226,6 +265,24 @@ struct DfsDriver {
 };
 
 }  // namespace
+
+bool equivalent_results(const SearchResult& a, const SearchResult& b,
+                        bool compare_transitions) {
+  if (a.violation.has_value() != b.violation.has_value()) return false;
+  if (a.violation.has_value() &&
+      (a.violation->oracle != b.violation->oracle ||
+       a.violation->detail != b.violation->detail)) {
+    return false;
+  }
+  if (a.trace.choices != b.trace.choices) return false;
+  if (a.exhaustive != b.exhaustive) return false;
+  const SearchStats& x = a.stats;
+  const SearchStats& y = b.stats;
+  if (compare_transitions && x.transitions != y.transitions) return false;
+  return x.executions == y.executions && x.states_seen == y.states_seen &&
+         x.pruned == y.pruned && x.depth_cutoffs == y.depth_cutoffs &&
+         x.max_depth_reached == y.max_depth_reached;
+}
 
 SearchResult explore_dfs(const ScenarioSpec& spec, const SearchLimits& limits) {
   return DfsDriver(spec, limits, /*delay=*/false).run();
@@ -420,15 +477,30 @@ SearchResult explore_dfs_parallel(const ScenarioSpec& spec,
     }
     frontier.emplace_back();
   }
+  // Phase-1 scratch snapshot, reused across every parent (nested
+  // containers keep their capacity). With checkpointing disabled the
+  // legacy path below replays the prefix once per child instead.
+  Executor::Snapshot parent_snap;
+  const bool snapshot_children = limits.checkpoint_interval != 0;
   while (!frontier.empty() && frontier.size() < limits.frontier_width) {
     std::vector<std::vector<std::uint32_t>> next;
     for (const std::vector<std::uint32_t>& p : frontier) {
       const std::unique_ptr<Executor> parent =
           replay_prefix(spec, p, result.stats);
       const std::size_t n = parent->enabled().size();
+      if (snapshot_children) parent->save(parent_snap);
       for (std::size_t c = 0; c < n; ++c) {
-        const std::unique_ptr<Executor> child =
-            replay_prefix(spec, p, result.stats);
+        std::unique_ptr<Executor> replayed;
+        Executor* child;
+        if (snapshot_children) {
+          // Siblings expand in the same Executor: rewind to the parent
+          // state instead of replaying the prefix from scratch.
+          if (c > 0) parent->restore(parent_snap);
+          child = parent.get();
+        } else {
+          replayed = replay_prefix(spec, p, result.stats);
+          child = replayed.get();
+        }
         child->step(c);
         ++result.stats.transitions;
         std::vector<std::uint32_t> cp = p;
@@ -473,7 +545,8 @@ SearchResult explore_dfs_parallel(const ScenarioSpec& spec,
     return result;
   }
 
-  // --- Phase 2: one stateless-DFS task per frontier prefix. Each task
+  // --- Phase 2: one DFS task per frontier prefix, each with a private
+  // checkpoint pool (DfsDriver owns its own). Each task
   // prunes against its own copy of the frontier-phase dedup table (no
   // cross-task sharing — sharing would make pruning, and thus the
   // stats, schedule-dependent). limits.max_transitions, when set,

@@ -1,11 +1,14 @@
 // Exploration strategies over check::Executor.
 //
-// All three strategies are *stateless* model checking: no state
-// snapshots are taken. DFS backtracks by discarding the Executor and
-// replaying the choice prefix from a fresh network — O(depth) replays
-// per backtrack, traded for exact state restoration with zero
-// serialization machinery (the approach VeriSoft introduced for
-// checking implementations rather than models).
+// The DFS strategies historically backtracked statelessly (VeriSoft
+// style): discard the Executor and replay the choice prefix from a
+// fresh network — O(depth) replays per backtrack. With
+// SearchLimits::checkpoint_interval > 0 (the default) they instead
+// park an Executor snapshot every k levels and resync by restoring the
+// nearest checkpoint plus a <= k-step tail replay — O(k) per backtrack
+// (see check/checkpoint.hpp and DESIGN.md §9). Both modes explore the
+// identical space and return bit-identical results; only
+// SearchStats::transitions (which counts replayed steps) differs.
 //
 //   dfs    — bounded depth-first search of every sound interleaving,
 //            pruned by state fingerprints: a state already explored
@@ -49,6 +52,17 @@ struct SearchLimits {
   /// function of the job count, so the work decomposition — and hence
   /// every statistic — is identical at any DGMC_JOBS.
   std::size_t frontier_width = 32;
+  /// DFS/delay backtracking: snapshot the executor every this many
+  /// levels and resync via restore + <= interval-step tail replay
+  /// (check/checkpoint.hpp). 0 = legacy full-prefix replay. Exploration
+  /// results are bit-identical at any value; only stats.transitions
+  /// (replay-step accounting) varies with it. Default 1 — a pooled
+  /// snapshot copy is cheaper than even one replayed transition (which
+  /// runs the event, every oracle, and the enabled-set refresh) on
+  /// every catalog scenario, so checkpointing each level wins outright;
+  /// raise it to trade resync time for snapshot memory on deeper
+  /// searches, BENCH_check_explore tracks the ratio.
+  std::size_t checkpoint_interval = 1;
 };
 
 struct SearchStats {
@@ -71,6 +85,16 @@ struct SearchResult {
   /// (no violation, no cutoff by max_transitions or max_depth).
   bool exhaustive = false;
 };
+
+/// Determinism-contract comparison of two search results: violation
+/// (oracle and detail), trace choices, exhaustiveness, and every
+/// SearchStats field except transitions, which counts *replay* steps
+/// and therefore legitimately differs between checkpoint intervals
+/// (that reduction is the optimization). Pass compare_transitions =
+/// true when both runs used the same checkpoint_interval — then
+/// transitions must match bit-for-bit too (e.g. across job counts).
+bool equivalent_results(const SearchResult& a, const SearchResult& b,
+                        bool compare_transitions = false);
 
 SearchResult explore_dfs(const ScenarioSpec& spec, const SearchLimits& limits);
 SearchResult explore_delay_bounded(const ScenarioSpec& spec,

@@ -9,6 +9,9 @@ namespace {
 /// Runs the bounded DFS on the scenario described by `candidate`; true
 /// iff it finds a violation of the wanted oracle, in which case
 /// `candidate.choices` and `*out` are updated to the fresh witness.
+/// The search honors limits.checkpoint_interval, so every minimization
+/// probe backtracks in O(Δ) rather than O(depth) — the minimizer runs
+/// one full search per candidate drop and feels this directly.
 bool still_violates(Trace& candidate, const std::string& oracle,
                     const SearchLimits& limits, MinimizeResult* out) {
   std::string error;

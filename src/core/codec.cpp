@@ -63,18 +63,39 @@ void put_stamp(std::vector<std::uint8_t>& out, const VectorTimestamp& t) {
 std::optional<VectorTimestamp> read_stamp(Reader& r) {
   const std::uint32_t n = r.u32();
   if (!r.ok() || n > 1u << 20) return std::nullopt;  // sanity cap
-  std::vector<std::uint32_t> counts(n);
+  // Filled in place: no staging vector, and for n <= kInlineCapacity
+  // (every simulated network) no allocation at all.
+  VectorTimestamp stamp(static_cast<int>(n));
   for (std::uint32_t i = 0; i < n; ++i) {
-    counts[i] = r.u32();
+    const std::uint32_t v = r.u32();
     if (!r.ok()) return std::nullopt;
+    stamp.set(static_cast<graph::NodeId>(i), v);
   }
-  return VectorTimestamp::from_counts(std::move(counts));
+  return stamp;
 }
 
 }  // namespace
 
 std::vector<std::uint8_t> encode(const McLsa& lsa) {
   std::vector<std::uint8_t> out;
+  encode_into(lsa, out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const lsr::LinkEventAd& ad) {
+  std::vector<std::uint8_t> out;
+  encode_into(ad, out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const McSync& sync) {
+  std::vector<std::uint8_t> out;
+  encode_into(sync, out);
+  return out;
+}
+
+void encode_into(const McLsa& lsa, std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(encoded_size(lsa));
   put_u8(out, static_cast<std::uint8_t>(WireType::kMcLsa));
   put_i32(out, lsa.source);
@@ -92,19 +113,17 @@ std::vector<std::uint8_t> encode(const McLsa& lsa) {
       put_i32(out, e.b);
     }
   }
-  return out;
 }
 
-std::vector<std::uint8_t> encode(const lsr::LinkEventAd& ad) {
-  std::vector<std::uint8_t> out;
+void encode_into(const lsr::LinkEventAd& ad, std::vector<std::uint8_t>& out) {
+  out.clear();
   put_u8(out, static_cast<std::uint8_t>(WireType::kLinkEvent));
   put_i32(out, ad.link);
   put_u8(out, ad.up ? 1 : 0);
-  return out;
 }
 
-std::vector<std::uint8_t> encode(const McSync& sync) {
-  std::vector<std::uint8_t> out;
+void encode_into(const McSync& sync, std::vector<std::uint8_t>& out) {
+  out.clear();
   put_u8(out, static_cast<std::uint8_t>(WireType::kMcSync));
   put_i32(out, sync.source);
   put_i32(out, sync.mc);
@@ -124,7 +143,6 @@ std::vector<std::uint8_t> encode(const McSync& sync) {
     put_i32(out, e.a);
     put_i32(out, e.b);
   }
-  return out;
 }
 
 std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {

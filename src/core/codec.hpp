@@ -31,6 +31,14 @@ std::vector<std::uint8_t> encode(const McLsa& lsa);
 std::vector<std::uint8_t> encode(const lsr::LinkEventAd& ad);
 std::vector<std::uint8_t> encode(const McSync& sync);
 
+/// Buffer-reuse variants: clear `out`, then append the encoding. The
+/// buffer keeps its capacity across calls, so a caller encoding in a
+/// loop (bench kernels, a future wire transport) allocates only until
+/// the high-water mark.
+void encode_into(const McLsa& lsa, std::vector<std::uint8_t>& out);
+void encode_into(const lsr::LinkEventAd& ad, std::vector<std::uint8_t>& out);
+void encode_into(const McSync& sync, std::vector<std::uint8_t>& out);
+
 /// Type of an encoded buffer, or nullopt if empty/unknown.
 std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes);
 

@@ -490,7 +490,23 @@ void DgmcSwitch::flood(McLsa lsa) {
   ++counters_.lsas_flooded;
   if (lsa.proposal.has_value()) ++counters_.proposals_flooded;
   if (lsa.event != McEventType::kNone) ++counters_.event_lsas_flooded;
-  hooks_.flood(lsa);
+  hooks_.flood(std::move(lsa));
+}
+
+void DgmcSwitch::save(Snapshot& out) const {
+  out.states = states_;
+  out.current = current_;
+  out.current_event = current_event_;
+  out.alive = alive_;
+  out.counters = counters_;
+}
+
+void DgmcSwitch::restore(const Snapshot& snap) {
+  states_ = snap.states;
+  current_ = snap.current;
+  current_event_ = snap.current_event;
+  alive_ = snap.alive;
+  counters_ = snap.counters;
 }
 
 mc::TopologyAlgorithm::Result DgmcSwitch::compute_topology(

@@ -105,8 +105,11 @@ struct DgmcCounters {
 class DgmcSwitch {
  public:
   struct Hooks {
-    /// Originates a flooding of the LSA (required).
-    std::function<void(const McLsa&)> flood;
+    /// Originates a flooding of the LSA (required). Takes the LSA by
+    /// value: the switch hands over its freshly built LSA (timestamps
+    /// included) so the transport can move it into the wire message
+    /// instead of copying.
+    std::function<void(McLsa)> flood;
     /// The switch's current local image of the network (required);
     /// called at computation start.
     std::function<const graph::Graph&()> local_image;
@@ -285,6 +288,31 @@ class DgmcSwitch {
   des::Scheduler::EventId current_event_;  // completion event of current_
   bool alive_ = true;
   DgmcCounters counters_;
+
+ public:
+  // --- Checkpoint interface (declared after the state types it deep-
+  // copies; see check/checkpoint.hpp for the surrounding machinery) ---
+
+  /// Deep copy of every mutable protocol field. The in-flight
+  /// computation's completion EventId is snapshotted verbatim: it stays
+  /// meaningful because a switch snapshot is only ever restored
+  /// together with the owning scheduler's calendar snapshot, which
+  /// restores the matching pending event (and the id counter).
+  /// Opaque to callers — the state types are private by design.
+  struct Snapshot {
+    std::map<mc::McId, McState> states;
+    std::optional<Computation> current;
+    des::Scheduler::EventId current_event;
+    bool alive = true;
+    DgmcCounters counters;
+  };
+
+  /// Copies the switch's state into `out`, reusing its capacity where
+  /// the containers allow.
+  void save(Snapshot& out) const;
+
+  /// Restores state previously saved from this switch.
+  void restore(const Snapshot& snap);
 };
 
 }  // namespace dgmc::core

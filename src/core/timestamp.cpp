@@ -4,15 +4,19 @@ namespace dgmc::core {
 
 void VectorTimestamp::merge_max(const VectorTimestamp& other) {
   DGMC_ASSERT(size() == other.size());
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (other.counts_[i] > counts_[i]) counts_[i] = other.counts_[i];
+  std::uint32_t* mine = data();
+  const std::uint32_t* theirs = other.data();
+  for (int i = 0; i < size_; ++i) {
+    if (theirs[i] > mine[i]) mine[i] = theirs[i];
   }
 }
 
 bool VectorTimestamp::dominates(const VectorTimestamp& other) const {
   DGMC_ASSERT(size() == other.size());
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] < other.counts_[i]) return false;
+  const std::uint32_t* mine = data();
+  const std::uint32_t* theirs = other.data();
+  for (int i = 0; i < size_; ++i) {
+    if (mine[i] < theirs[i]) return false;
   }
   return true;
 }
@@ -23,15 +27,17 @@ bool VectorTimestamp::strictly_dominates(const VectorTimestamp& other) const {
 
 std::uint64_t VectorTimestamp::total() const {
   std::uint64_t sum = 0;
-  for (std::uint32_t c : counts_) sum += c;
+  const std::uint32_t* d = data();
+  for (int i = 0; i < size_; ++i) sum += d[i];
   return sum;
 }
 
 std::string VectorTimestamp::to_string() const {
   std::string out = "(";
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
+  const std::uint32_t* d = data();
+  for (int i = 0; i < size_; ++i) {
     if (i > 0) out += ",";
-    out += std::to_string(counts_[i]);
+    out += std::to_string(d[i]);
   }
   out += ")";
   return out;

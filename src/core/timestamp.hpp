@@ -8,9 +8,20 @@
 //   A >  B  iff  A >= B and A != B            (strictly_dominates)
 // Incomparable pairs are exactly the concurrent-event conflicts the
 // protocol must reconcile.
+//
+// Storage: small-buffer optimized. Every LSA carries a timestamp and
+// every switch keeps three per MC (R, E, C), so for the small networks
+// the explorer grinds through (3–6 switches), timestamp copies used to
+// dominate allocation counts. Dimensions up to kInlineCapacity live
+// inside the object; larger networks fall back to one heap block. The
+// dimension is fixed at construction (the network size never changes
+// mid-run), which keeps the invariant simple: inline vs heap is decided
+// once and never revisited.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,36 +31,84 @@ namespace dgmc::core {
 
 class VectorTimestamp {
  public:
+  /// Components stored inline. Covers every simulated network the check
+  /// and bench catalogs use (<= 8 switches) without heap traffic.
+  static constexpr int kInlineCapacity = 8;
+
   VectorTimestamp() = default;
 
   /// All-zero timestamp of the given dimension (network size).
-  explicit VectorTimestamp(int network_size)
-      : counts_(static_cast<std::size_t>(network_size), 0) {}
+  explicit VectorTimestamp(int network_size) { init_zero(network_size); }
+
+  VectorTimestamp(const VectorTimestamp& other) { copy_from(other); }
+
+  VectorTimestamp(VectorTimestamp&& other) noexcept
+      : size_(other.size_), heap_(std::move(other.heap_)) {
+    if (is_inline()) {
+      std::memcpy(inline_, other.inline_, sizeof(std::uint32_t) * size_);
+    }
+    other.size_ = 0;
+  }
+
+  VectorTimestamp& operator=(const VectorTimestamp& other) {
+    if (this != &other) {
+      heap_.reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  VectorTimestamp& operator=(VectorTimestamp&& other) noexcept {
+    if (this != &other) {
+      size_ = other.size_;
+      heap_ = std::move(other.heap_);
+      if (is_inline()) {
+        std::memcpy(inline_, other.inline_, sizeof(std::uint32_t) * size_);
+      }
+      other.size_ = 0;
+    }
+    return *this;
+  }
 
   /// Builds a timestamp from raw per-switch event counts (codec use).
-  static VectorTimestamp from_counts(std::vector<std::uint32_t> counts) {
+  static VectorTimestamp from_counts(const std::uint32_t* counts,
+                                     std::size_t n) {
     VectorTimestamp t;
-    t.counts_ = std::move(counts);
+    t.init_zero(static_cast<int>(n));
+    std::memcpy(t.data(), counts, sizeof(std::uint32_t) * n);
     return t;
   }
 
-  int size() const { return static_cast<int>(counts_.size()); }
+  static VectorTimestamp from_counts(const std::vector<std::uint32_t>& counts) {
+    return from_counts(counts.data(), counts.size());
+  }
+
+  int size() const { return size_; }
 
   std::uint32_t operator[](graph::NodeId i) const {
     DGMC_ASSERT(i >= 0 && i < size());
-    return counts_[i];
+    return data()[i];
+  }
+
+  /// Sets component i outright (codec decode path — fills a
+  /// default-zero timestamp in place instead of staging the counts in
+  /// a temporary heap vector).
+  void set(graph::NodeId i, std::uint32_t value) {
+    DGMC_ASSERT(i >= 0 && i < size());
+    data()[i] = value;
   }
 
   /// Records one more event heard from switch i.
   void increment(graph::NodeId i) {
     DGMC_ASSERT(i >= 0 && i < size());
-    ++counts_[i];
+    ++data()[i];
   }
 
   /// Raises component i to at least `value` (partition resync merge).
   void raise_to(graph::NodeId i, std::uint32_t value) {
     DGMC_ASSERT(i >= 0 && i < size());
-    if (value > counts_[i]) counts_[i] = value;
+    std::uint32_t* d = data();
+    if (value > d[i]) d[i] = value;
   }
 
   /// Componentwise maximum with `other` (paper ReceiveLSA line 10:
@@ -65,13 +124,50 @@ class VectorTimestamp {
   /// Sum of all components (total events reflected).
   std::uint64_t total() const;
 
-  friend bool operator==(const VectorTimestamp&,
-                         const VectorTimestamp&) = default;
+  friend bool operator==(const VectorTimestamp& a, const VectorTimestamp& b) {
+    if (a.size_ != b.size_) return false;
+    return std::memcmp(a.data(), b.data(),
+                       sizeof(std::uint32_t) * a.size_) == 0;
+  }
 
   std::string to_string() const;
 
+  /// True when the components live in the inline buffer (test hook for
+  /// the SBO boundary).
+  bool is_inline() const { return size_ <= kInlineCapacity; }
+
  private:
-  std::vector<std::uint32_t> counts_;
+  void init_zero(int n) {
+    DGMC_ASSERT(n >= 0);
+    size_ = n;
+    if (is_inline()) {
+      std::memset(inline_, 0, sizeof(std::uint32_t) * size_);
+    } else {
+      heap_ = std::make_unique<std::uint32_t[]>(static_cast<std::size_t>(n));
+      std::memset(heap_.get(), 0, sizeof(std::uint32_t) * size_);
+    }
+  }
+
+  void copy_from(const VectorTimestamp& other) {
+    size_ = other.size_;
+    if (is_inline()) {
+      std::memcpy(inline_, other.inline_, sizeof(std::uint32_t) * size_);
+    } else {
+      heap_ = std::make_unique<std::uint32_t[]>(
+          static_cast<std::size_t>(size_));
+      std::memcpy(heap_.get(), other.heap_.get(),
+                  sizeof(std::uint32_t) * size_);
+    }
+  }
+
+  std::uint32_t* data() { return is_inline() ? inline_ : heap_.get(); }
+  const std::uint32_t* data() const {
+    return is_inline() ? inline_ : heap_.get();
+  }
+
+  int size_ = 0;
+  std::uint32_t inline_[kInlineCapacity];
+  std::unique_ptr<std::uint32_t[]> heap_;
 };
 
 }  // namespace dgmc::core

@@ -7,6 +7,20 @@
 
 namespace dgmc::des {
 
+namespace {
+
+/// (time, seq) strict-weak order on enumerated entries — the exact
+/// order step()/run() executes them.
+struct PendingBefore {
+  bool operator()(const Scheduler::PendingEvent& a,
+                  const Scheduler::PendingEvent& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+};
+
+}  // namespace
+
 Scheduler::EventId Scheduler::schedule_at(SimTime t, Callback cb) {
   return schedule_at(t, EventTag{}, std::move(cb));
 }
@@ -18,6 +32,7 @@ Scheduler::EventId Scheduler::schedule_at(SimTime t, EventTag tag,
   const std::uint64_t id = next_id_++;
   const std::uint64_t seq = next_seq_++;
   heap_.push(Node{t, seq, id});
+  ordered_insert(EventId{id}, t, seq, tag);
   events_.emplace(id, Record{std::move(cb), t, seq, tag});
   return EventId{id};
 }
@@ -35,6 +50,7 @@ Scheduler::EventId Scheduler::schedule_after(SimTime delay, EventTag tag,
 bool Scheduler::cancel(EventId id) {
   auto it = events_.find(id.value);
   if (it == events_.end()) return false;
+  ordered_erase(it->second.time, it->second.seq);
   events_.erase(it);
   // The heap node is left in place and skipped lazily on pop.
   return true;
@@ -57,6 +73,7 @@ void Scheduler::execute(std::uint64_t id, SimTime at) {
   auto it = events_.find(id);
   DGMC_ASSERT(it != events_.end());
   Callback cb = std::move(it->second.cb);
+  ordered_erase(it->second.time, it->second.seq);
   events_.erase(it);
   now_ = at;
   ++executed_;
@@ -96,18 +113,23 @@ std::size_t Scheduler::run_until(SimTime t) {
   return count;
 }
 
-std::vector<Scheduler::PendingEvent> Scheduler::pending_events() const {
-  std::vector<PendingEvent> out;
-  out.reserve(events_.size());
-  for (const auto& [id, rec] : events_) {
-    out.push_back(PendingEvent{EventId{id}, rec.time, rec.seq, rec.tag});
-  }
-  std::sort(out.begin(), out.end(),
-            [](const PendingEvent& a, const PendingEvent& b) {
-              if (a.time != b.time) return a.time < b.time;
-              return a.seq < b.seq;
-            });
-  return out;
+void Scheduler::ordered_insert(EventId id, SimTime time, std::uint64_t seq,
+                               const EventTag& tag) {
+  const PendingEvent ev{id, time, seq, tag};
+  // Sequence numbers grow monotonically, so new events almost always
+  // land at the back; lower_bound makes the cold case (an event at an
+  // earlier time than some pending one) O(log n) + shift.
+  auto it = std::lower_bound(ordered_.begin(), ordered_.end(), ev,
+                             PendingBefore{});
+  ordered_.insert(it, ev);
+}
+
+void Scheduler::ordered_erase(SimTime time, std::uint64_t seq) {
+  const PendingEvent key{EventId{0}, time, seq, EventTag{}};
+  auto it = std::lower_bound(ordered_.begin(), ordered_.end(), key,
+                             PendingBefore{});
+  DGMC_ASSERT(it != ordered_.end() && it->time == time && it->seq == seq);
+  ordered_.erase(it);
 }
 
 bool Scheduler::run_event(EventId id) {
@@ -115,6 +137,41 @@ bool Scheduler::run_event(EventId id) {
   if (it == events_.end()) return false;
   execute(id.value, std::max(now_, it->second.time));
   return true;
+}
+
+void Scheduler::save(Snapshot& out) const {
+  out.now = now_;
+  out.next_seq = next_seq_;
+  out.next_id = next_id_;
+  out.executed = executed_;
+  out.events.clear();
+  out.events.reserve(ordered_.size());
+  for (const PendingEvent& ev : ordered_) {
+    const auto it = events_.find(ev.id.value);
+    DGMC_ASSERT(it != events_.end());
+    out.events.emplace_back(it->first, it->second);
+  }
+}
+
+void Scheduler::restore(const Snapshot& snap) {
+  now_ = snap.now;
+  next_seq_ = snap.next_seq;
+  next_id_ = snap.next_id;
+  executed_ = snap.executed;
+  events_.clear();
+  ordered_.clear();
+  // Rebuild the heap from scratch: any stale lazy-cancel nodes the live
+  // heap carried are irrelevant once events_ is reset, and a stale node
+  // whose id got re-pended by the snapshot would be actively wrong.
+  std::vector<Node> nodes;
+  nodes.reserve(snap.events.size());
+  for (const auto& [id, rec] : snap.events) {
+    events_.emplace(id, rec);
+    ordered_.push_back(PendingEvent{EventId{id}, rec.time, rec.seq, rec.tag});
+    nodes.push_back(Node{rec.time, rec.seq, id});
+  }
+  heap_ = std::priority_queue<Node, std::vector<Node>, Later>(
+      Later{}, std::move(nodes));
 }
 
 }  // namespace dgmc::des

@@ -15,14 +15,24 @@
 // least that event's scheduled time; running it "late" leaves now()
 // untouched — the explorer models an asynchronous network where
 // message delays are arbitrary.
+//
+// Checkpoint support: `save()`/`restore()` snapshot the whole calendar
+// — pending records (callbacks included; see small_function.hpp for
+// why they are copyable), the clock, and the id/seq counters — so the
+// explorer can rewind a simulation in O(pending) instead of replaying
+// the entire event prefix. Restoring also restores next_seq_/next_id_,
+// which keeps every post-restore event's (time, seq) tie-break and
+// EventId bit-identical to a from-scratch replay: the FIFO determinism
+// contract survives checkpointing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "des/small_function.hpp"
 #include "des/time.hpp"
 
 namespace dgmc::des {
@@ -51,7 +61,9 @@ struct EventTag {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Small-buffer callable: no heap allocation for the typical capture
+  /// sizes the simulation schedules (see small_function.hpp).
+  using Callback = SmallFunction;
 
   /// Opaque handle for cancellation.
   struct EventId {
@@ -96,7 +108,13 @@ class Scheduler {
   /// All pending (non-cancelled) events, sorted by (time, seq) — the
   /// exact order step()/run() would execute them. Deterministic: two
   /// runs that scheduled the same events enumerate identically.
-  std::vector<PendingEvent> pending_events() const;
+  ///
+  /// The view is maintained incrementally (ordered insert on schedule,
+  /// binary-search erase on cancel/execute), so calling this per
+  /// explorer step costs nothing — it no longer rebuilds and sorts a
+  /// copy of the calendar. The reference is invalidated by any
+  /// scheduling mutation.
+  const std::vector<PendingEvent>& pending_events() const { return ordered_; }
 
   /// Executes a specific pending event out of calendar order. now()
   /// advances to max(now(), event time) — an event executed "late"
@@ -111,6 +129,39 @@ class Scheduler {
 
   /// Total events executed since construction (diagnostic).
   std::uint64_t executed() const { return executed_; }
+
+  // --- Checkpoint interface ---
+
+  /// A pending event's callback plus the metadata pending_events()
+  /// reports. Public only as the Snapshot payload.
+  struct Record {
+    Callback cb;
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    EventTag tag;
+  };
+
+  /// A full copy of the calendar: every pending record (callback
+  /// included), the clock, and the id/seq counters. Only meaningful
+  /// for restore() on the *same* scheduler the snapshot was taken
+  /// from — captured callbacks point into the owning simulation.
+  struct Snapshot {
+    SimTime now = 0.0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t next_id = 1;
+    std::uint64_t executed = 0;
+    /// (id, record) pairs in (time, seq) order.
+    std::vector<std::pair<std::uint64_t, Record>> events;
+  };
+
+  /// Copies the calendar into `out`, reusing its capacity (checkpoint
+  /// pools hand the same Snapshot object back repeatedly).
+  void save(Snapshot& out) const;
+
+  /// Restores a calendar previously saved from this scheduler. After
+  /// restore, execution order, future EventIds and (time, seq) pairs
+  /// are bit-identical to a run that never diverged.
+  void restore(const Snapshot& snap);
 
  private:
   struct Node {
@@ -127,17 +178,12 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
-  /// A pending event's callback plus the metadata pending_events()
-  /// reports.
-  struct Record {
-    Callback cb;
-    SimTime time;
-    std::uint64_t seq;
-    EventTag tag;
-  };
 
   bool pop_next(Node& out);
   void execute(std::uint64_t id, SimTime at);
+  void ordered_insert(EventId id, SimTime time, std::uint64_t seq,
+                      const EventTag& tag);
+  void ordered_erase(SimTime time, std::uint64_t seq);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
@@ -145,6 +191,8 @@ class Scheduler {
   std::uint64_t executed_ = 0;
   std::priority_queue<Node, std::vector<Node>, Later> heap_;
   std::unordered_map<std::uint64_t, Record> events_;
+  /// Pending events in (time, seq) order, maintained incrementally.
+  std::vector<PendingEvent> ordered_;
 };
 
 }  // namespace dgmc::des

@@ -1,0 +1,179 @@
+// SmallFunction: a copyable type-erased void() callable with inline
+// storage, replacing std::function on the event-calendar hot path.
+//
+// Every event the simulation schedules is a small lambda — a handful
+// of ids plus a `this` pointer or a shared_ptr to an immutable message
+// — but std::function implementations put many of them on the heap
+// (libstdc++'s inline buffer is 16 bytes), so a single flooding
+// operation used to cost one allocation per in-flight copy. The
+// explorer executes millions of such events; SmallFunction keeps
+// anything up to kInlineSize bytes inside the object and falls back to
+// the heap only for outsized captures.
+//
+// Copyability is load-bearing, not a convenience: the checkpoint
+// engine (des::Scheduler::Snapshot) snapshots the calendar by copying
+// every pending record, callback included. Captured state must
+// therefore be copy-constructible — the same requirement std::function
+// imposed — and captured pointers must stay valid across restore,
+// which holds because snapshots are only ever restored into the same
+// simulation objects they were taken from.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dgmc::des {
+
+class SmallFunction {
+ public:
+  /// Bytes of inline storage. Sized for the largest hot capture (the
+  /// flooding arrival lambda: this + link + node + shared_ptr) with
+  /// headroom for fault-plan closures.
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using T = std::decay_t<F>;
+    if constexpr (fits_inline<T>) {
+      ::new (storage_) T(std::forward<F>(f));
+    } else {
+      *reinterpret_cast<T**>(storage_) = new T(std::forward<F>(f));
+    }
+    vtable_ = &vtable_for<T>;
+  }
+
+  SmallFunction(const SmallFunction& other) { copy_from(other); }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(const SmallFunction& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  ~SmallFunction() { reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  friend bool operator==(const SmallFunction& f, std::nullptr_t) {
+    return f.vtable_ == nullptr;
+  }
+  friend bool operator!=(const SmallFunction& f, std::nullptr_t) {
+    return f.vtable_ != nullptr;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    void (*copy)(void* dst_storage, const void* src_storage);
+    void (*move)(void* dst_storage, void* src_storage);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename T>
+  static constexpr bool fits_inline =
+      sizeof(T) <= kInlineSize && alignof(T) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<T>;
+
+  template <typename T>
+  static T* object(void* storage) {
+    if constexpr (fits_inline<T>) {
+      return std::launder(reinterpret_cast<T*>(storage));
+    } else {
+      return *reinterpret_cast<T* const*>(storage);
+    }
+  }
+
+  template <typename T>
+  static const T* object(const void* storage) {
+    if constexpr (fits_inline<T>) {
+      return std::launder(reinterpret_cast<const T*>(storage));
+    } else {
+      return *reinterpret_cast<const T* const*>(storage);
+    }
+  }
+
+  template <typename T>
+  static constexpr VTable vtable_for = {
+      // invoke
+      [](void* storage) { (*object<T>(storage))(); },
+      // copy
+      [](void* dst, const void* src) {
+        if constexpr (fits_inline<T>) {
+          ::new (dst) T(*object<T>(src));
+        } else {
+          *reinterpret_cast<T**>(dst) = new T(*object<T>(src));
+        }
+      },
+      // move (source is destroyed afterwards by the caller's vtable_
+      // being cleared, so heap payloads just transfer the pointer)
+      [](void* dst, void* src) {
+        if constexpr (fits_inline<T>) {
+          ::new (dst) T(std::move(*object<T>(src)));
+          object<T>(src)->~T();
+        } else {
+          *reinterpret_cast<T**>(dst) = *reinterpret_cast<T**>(src);
+        }
+      },
+      // destroy
+      [](void* storage) {
+        if constexpr (fits_inline<T>) {
+          object<T>(storage)->~T();
+        } else {
+          delete object<T>(storage);
+        }
+      },
+  };
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  void copy_from(const SmallFunction& other) {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->copy(storage_, other.storage_);
+      vtable_ = other.vtable_;
+    }
+  }
+
+  void move_from(SmallFunction& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->move(storage_, other.storage_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace dgmc::des

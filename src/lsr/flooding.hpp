@@ -432,6 +432,62 @@ class FloodingNetwork {
   std::uint64_t acks_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t give_ups_ = 0;
+
+ public:
+  // --- Checkpoint interface ---
+
+  /// Deep copy of the transport's mutable state. Pending-transmission
+  /// records keep their armed-timer EventIds and shared_ptrs to the
+  /// (immutable) in-flight messages — both stay meaningful because a
+  /// transport snapshot is only ever restored together with the owning
+  /// scheduler's calendar snapshot, and restoring never rebinds the
+  /// message objects the calendar's delivery closures captured.
+  /// Counters are included so that metrics after a restore match a
+  /// replayed run exactly. Opaque to callers.
+  struct Snapshot {
+    std::vector<std::vector<OriginDedup>> seen;
+    std::vector<std::uint8_t> node_up;
+    std::vector<std::uint32_t> next_seq;
+    std::map<PendingKey, PendingTx> pending;
+    std::uint64_t floodings_originated = 0;
+    std::uint64_t link_transmissions = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t in_flight = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t give_ups = 0;
+  };
+
+  void save(Snapshot& out) const {
+    out.seen = seen_;
+    out.node_up = node_up_;
+    out.next_seq = next_seq_;
+    out.pending = pending_;
+    out.floodings_originated = floodings_originated_;
+    out.link_transmissions = link_transmissions_;
+    out.duplicates_dropped = duplicates_dropped_;
+    out.in_flight = in_flight_;
+    out.retransmissions = retransmissions_;
+    out.acks_sent = acks_sent_;
+    out.messages_dropped = messages_dropped_;
+    out.give_ups = give_ups_;
+  }
+
+  void restore(const Snapshot& snap) {
+    seen_ = snap.seen;
+    node_up_ = snap.node_up;
+    next_seq_ = snap.next_seq;
+    pending_ = snap.pending;
+    floodings_originated_ = snap.floodings_originated;
+    link_transmissions_ = snap.link_transmissions;
+    duplicates_dropped_ = snap.duplicates_dropped;
+    in_flight_ = snap.in_flight;
+    retransmissions_ = snap.retransmissions;
+    acks_sent_ = snap.acks_sent;
+    messages_dropped_ = snap.messages_dropped;
+    give_ups_ = snap.give_ups;
+  }
 };
 
 }  // namespace dgmc::lsr

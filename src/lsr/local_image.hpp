@@ -8,6 +8,9 @@
 // timestamps must tolerate.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "graph/graph.hpp"
 #include "lsr/link_lsa.hpp"
 
@@ -28,6 +31,26 @@ class LocalImage {
   /// locally detected event).
   bool reflects(const LinkEventAd& ad) const {
     return image_.link(ad.link).up == ad.up;
+  }
+
+  // --- Checkpoint interface ---
+
+  /// Copies the image's only mutable dimension — per-link up/down flags
+  /// (nodes, edges, costs and delays never change after seeding) — into
+  /// `out`, reusing its capacity.
+  void save_link_flags(std::vector<std::uint8_t>& out) const {
+    const int n = image_.link_count();
+    out.resize(static_cast<std::size_t>(n));
+    for (graph::LinkId id = 0; id < n; ++id) {
+      out[static_cast<std::size_t>(id)] = image_.link(id).up ? 1 : 0;
+    }
+  }
+
+  void restore_link_flags(const std::vector<std::uint8_t>& flags) {
+    DGMC_ASSERT(static_cast<int>(flags.size()) == image_.link_count());
+    for (graph::LinkId id = 0; id < image_.link_count(); ++id) {
+      image_.set_link_up(id, flags[static_cast<std::size_t>(id)] != 0);
+    }
   }
 
  private:

@@ -98,8 +98,8 @@ HierarchicalNetwork::HierarchicalNetwork(
   for (graph::NodeId id = 0; id < n; ++id) {
     const int a = areas_[id];
     core::DgmcSwitch::Hooks hooks;
-    hooks.flood = [this, a, id](const core::McLsa& lsa) {
-      area_nets_[a].flooding->flood(id, lsa);
+    hooks.flood = [this, a, id](core::McLsa lsa) {
+      area_nets_[a].flooding->flood(id, std::move(lsa));
     };
     hooks.local_image = [this, a]() -> const graph::Graph& {
       return area_nets_[a].subgraph;
@@ -111,8 +111,8 @@ HierarchicalNetwork::HierarchicalNetwork(
   for (int a = 0; a < area_count_; ++a) {
     const graph::NodeId id = borders_[a];
     core::DgmcSwitch::Hooks hooks;
-    hooks.flood = [this, id](const core::McLsa& lsa) {
-      backbone_flooding_->flood(id, lsa);
+    hooks.flood = [this, id](core::McLsa lsa) {
+      backbone_flooding_->flood(id, std::move(lsa));
     };
     hooks.local_image = [this]() -> const graph::Graph& {
       return backbone_graph_;

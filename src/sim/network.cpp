@@ -80,8 +80,8 @@ DgmcNetwork::DgmcNetwork(graph::Graph physical, Params params,
     hosts_.emplace_back(physical_);
     Host& host = hosts_.back();
     core::DgmcSwitch::Hooks hooks;
-    hooks.flood = [this, id](const core::McLsa& lsa) {
-      flooding_.flood(id, Payload{lsa});
+    hooks.flood = [this, id](core::McLsa lsa) {
+      flooding_.flood(id, Payload{std::move(lsa)});
     };
     hooks.local_image = [&host]() -> const graph::Graph& {
       return host.image.graph();
@@ -357,6 +357,67 @@ std::uint64_t DgmcNetwork::fingerprint() const {
     h = util::hash_mix(h, links.size());
   }
   return h;
+}
+
+void DgmcNetwork::save(Snapshot& out) const {
+  sched_.save(out.scheduler);
+  const int links = physical_.link_count();
+  out.physical_links.resize(static_cast<std::size_t>(links));
+  for (graph::LinkId id = 0; id < links; ++id) {
+    out.physical_links[static_cast<std::size_t>(id)] =
+        physical_.link(id).up ? 1 : 0;
+  }
+  flooding_.save(out.flooding);
+  out.images.resize(hosts_.size());
+  out.switches.resize(hosts_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i].image.save_link_flags(out.images[i]);
+    hosts_[i].dgmc->save(out.switches[i]);
+  }
+  if (injector_ != nullptr) {
+    if (out.injector != nullptr) {
+      *out.injector = *injector_;
+    } else {
+      out.injector = std::make_unique<fault::FaultInjector>(*injector_);
+    }
+  } else {
+    out.injector.reset();
+  }
+  out.crashed_links = crashed_links_;
+  out.nonmc_floodings = nonmc_floodings_;
+  out.sync_floodings = sync_floodings_;
+  out.installs = installs_;
+  out.last_install_time = last_install_time_;
+}
+
+void DgmcNetwork::restore(const Snapshot& snap) {
+  sched_.restore(snap.scheduler);
+  DGMC_ASSERT(static_cast<int>(snap.physical_links.size()) ==
+              physical_.link_count());
+  for (graph::LinkId id = 0; id < physical_.link_count(); ++id) {
+    physical_.set_link_up(id,
+                          snap.physical_links[static_cast<std::size_t>(id)] !=
+                              0);
+  }
+  flooding_.restore(snap.flooding);
+  DGMC_ASSERT(snap.images.size() == hosts_.size());
+  DGMC_ASSERT(snap.switches.size() == hosts_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i].image.restore_link_flags(snap.images[i]);
+    hosts_[i].dgmc->restore(snap.switches[i]);
+  }
+  if (snap.injector != nullptr) {
+    DGMC_ASSERT_MSG(injector_ != nullptr,
+                    "snapshot has faults the network never installed");
+    *injector_ = *snap.injector;
+  }
+  // The converse (live injector, snapshot without one) cannot happen:
+  // install_faults precedes any save, and injectors are never removed.
+  crashed_links_ = snap.crashed_links;
+  nonmc_floodings_ = snap.nonmc_floodings;
+  sync_floodings_ = snap.sync_floodings;
+  installs_ = snap.installs;
+  last_install_time_ = snap.last_install_time;
 }
 
 double DgmcNetwork::flooding_diameter() const {

@@ -153,6 +153,36 @@ class DgmcNetwork {
   /// Tf for this network at the configured per-hop overhead.
   double flooding_diameter() const;
 
+  // --- Checkpoint interface ---
+
+  /// Deep copy of every piece of mutable simulation state: the event
+  /// calendar (callbacks included), physical link flags, the flooding
+  /// transport, every switch's image + protocol state, the fault
+  /// injector's RNG/channel state, and the network-level counters.
+  /// Restoring into the same DgmcNetwork resumes the simulation
+  /// bit-identically — calendar closures captured `this` pointers into
+  /// this network's objects, so a snapshot is only meaningful for the
+  /// network it was taken from. check::Checkpoint pools these.
+  struct Snapshot {
+    des::Scheduler::Snapshot scheduler;
+    std::vector<std::uint8_t> physical_links;  // per-link up flags
+    lsr::FloodingNetwork<Payload>::Snapshot flooding;
+    std::vector<std::vector<std::uint8_t>> images;  // per-host link flags
+    std::vector<core::DgmcSwitch::Snapshot> switches;
+    std::unique_ptr<fault::FaultInjector> injector;  // null if none
+    std::vector<std::vector<graph::LinkId>> crashed_links;
+    std::uint64_t nonmc_floodings = 0;
+    std::uint64_t sync_floodings = 0;
+    std::uint64_t installs = 0;
+    des::SimTime last_install_time = 0.0;
+  };
+
+  /// Copies the network's state into `out`, reusing its buffers.
+  void save(Snapshot& out) const;
+
+  /// Restores state previously saved from this network.
+  void restore(const Snapshot& snap);
+
   /// True if every switch holding state for `mcid` has the same member
   /// list, timestamp C and installed topology (or no switch holds
   /// state). Call at quiescence.

@@ -1,0 +1,299 @@
+// Snapshot-equivalence suite for the checkpoint-restore backtracking
+// engine (DESIGN.md §9). The claims under test, in increasing order of
+// strength:
+//
+//   1. CheckpointStack mechanics: pooling recycles snapshots, resync
+//      pops abandoned-branch entries, restore is bit-identical.
+//   2. A save/restore round-trip does not perturb an Executor: the
+//      fingerprint stream after a restore equals the stream a
+//      never-diverged run produces.
+//   3. Exploration equivalence: over the whole scenario catalog,
+//      checkpoint-based DFS at k in {1, 4, 16} returns results
+//      equivalent to replay-based DFS (interval 0) — same violations,
+//      same traces, same visited-state counts, same cutoffs. Only
+//      stats.transitions (replay-step accounting) may differ.
+//   4. The parallel frontier engine keeps the determinism contract:
+//      replay-vs-checkpoint equivalent, and bit-identical (transitions
+//      included) across jobs in {1, 8} at a fixed interval.
+#include "check/checkpoint.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/explorer.hpp"
+
+namespace dgmc::check {
+namespace {
+
+ScenarioSpec spec(const char* name, bool break_accept = false) {
+  const ScenarioSpec* s = find_scenario(name);
+  EXPECT_NE(s, nullptr) << name;
+  ScenarioSpec out = *s;
+  out.params.dgmc.accept_stale_proposals = break_accept;
+  return out;
+}
+
+/// Every scenario in the catalog; the equivalence tests sweep all of
+/// them so no scenario-specific state (faults, crashes, hierarchy,
+/// multiple MCs) escapes snapshot coverage.
+std::vector<const char*> catalog() {
+  std::vector<const char*> names;
+  for (const ScenarioSpec& s : scenarios()) names.push_back(s.name.c_str());
+  EXPECT_EQ(names.size(), 7u);
+  return names;
+}
+
+SearchLimits limits_with(std::size_t interval, std::size_t depth = 8) {
+  SearchLimits limits;
+  limits.max_depth = depth;
+  limits.checkpoint_interval = interval;
+  return limits;
+}
+
+// --- 1. CheckpointStack mechanics -----------------------------------
+
+TEST(CheckpointStack, MaybeSaveFollowsIntervalGrid) {
+  Executor exec(spec("triangle-2join"));
+  CheckpointPool pool;
+  CheckpointStack st(/*interval=*/2, pool);
+  ASSERT_TRUE(st.enabled());
+  st.save(exec, 0);  // anchor
+  st.maybe_save(exec, 1);
+  EXPECT_EQ(st.size(), 1u);  // 1 % 2 != 0: no checkpoint
+  st.maybe_save(exec, 2);
+  EXPECT_EQ(st.size(), 2u);
+  st.maybe_save(exec, 4);
+  EXPECT_EQ(st.size(), 3u);
+}
+
+TEST(CheckpointStack, DisabledStackNeverSaves) {
+  Executor exec(spec("triangle-2join"));
+  CheckpointPool pool;
+  CheckpointStack st(/*interval=*/0, pool);
+  EXPECT_FALSE(st.enabled());
+  st.maybe_save(exec, 0);
+  st.maybe_save(exec, 8);
+  EXPECT_EQ(st.size(), 0u);
+}
+
+TEST(CheckpointStack, ResyncPopsAbandonedEntriesIntoPool) {
+  Executor exec(spec("triangle-2join"));
+  CheckpointPool pool;
+  CheckpointStack st(/*interval=*/1, pool);
+  st.save(exec, 0);
+  exec.step(0);
+  st.save(exec, 1);
+  exec.step(0);
+  st.save(exec, 2);
+  EXPECT_EQ(st.size(), 3u);
+  EXPECT_EQ(pool.pooled(), 0u);
+
+  EXPECT_EQ(st.resync_to(exec, 1), 1u);
+  EXPECT_EQ(st.size(), 2u);
+  EXPECT_EQ(pool.pooled(), 1u);  // the depth-2 entry was recycled
+
+  // The recycled snapshot is reused, not reallocated.
+  exec.step(0);
+  st.save(exec, 2);
+  EXPECT_EQ(pool.pooled(), 0u);
+
+  st.clear();
+  EXPECT_EQ(st.size(), 0u);
+  EXPECT_EQ(pool.pooled(), 3u);
+}
+
+TEST(CheckpointStack, ResyncRestoresBitIdenticalState) {
+  Executor exec(spec("triangle-join-leave"));
+  (void)exec.check();
+  CheckpointPool pool;
+  CheckpointStack st(/*interval=*/4, pool);
+  st.save(exec, 0);
+  const std::uint64_t fp_root = exec.fingerprint();
+
+  exec.step(0);
+  (void)exec.check();
+  exec.step(1);
+  (void)exec.check();
+  const std::uint64_t fp_deep = exec.fingerprint();
+
+  EXPECT_EQ(st.resync_to(exec, 0), 0u);
+  EXPECT_EQ(exec.fingerprint(), fp_root);
+
+  // Re-taking the same branch reproduces the same state.
+  exec.step(0);
+  (void)exec.check();
+  exec.step(1);
+  (void)exec.check();
+  EXPECT_EQ(exec.fingerprint(), fp_deep);
+}
+
+// --- 2. Fingerprint streams across save/restore ---------------------
+
+// Walk the native schedule recording the fingerprint stream; rewind to
+// a mid-path snapshot and re-walk. The post-restore stream must equal
+// the original — the strongest per-state form of the §8 determinism
+// contract under checkpointing.
+TEST(CheckpointEquivalence, FingerprintStreamSurvivesSaveRestore) {
+  const ScenarioSpec s = spec("triangle-join-leave");
+  Executor exec(s);
+  (void)exec.check();
+
+  constexpr std::size_t kSteps = 20;
+  constexpr std::size_t kSnapAt = 9;
+  Executor::Snapshot snap;
+  std::vector<std::uint64_t> stream;
+  for (std::size_t i = 0; i < kSteps; ++i) {
+    if (i == kSnapAt) exec.save(snap);
+    ASSERT_FALSE(exec.done());
+    exec.step(0);
+    (void)exec.check();
+    stream.push_back(exec.fingerprint());
+  }
+
+  exec.restore(snap);
+  EXPECT_EQ(exec.fingerprint(), stream[kSnapAt - 1]);
+  for (std::size_t i = kSnapAt; i < kSteps; ++i) {
+    exec.step(0);
+    (void)exec.check();
+    EXPECT_EQ(exec.fingerprint(), stream[i]) << "step " << i;
+  }
+}
+
+// Restoring must also rewind the enabled-action view, not just the
+// network: after a restore the action list equals the pre-divergence
+// list element for element.
+TEST(CheckpointEquivalence, EnabledActionsIdenticalAfterRestore) {
+  Executor exec(spec("diamond-link-fail"));
+  (void)exec.check();
+  exec.step(0);
+  (void)exec.check();
+
+  Executor::Snapshot snap;
+  exec.save(snap);
+  std::vector<std::string> before;
+  for (const Executor::Action& a : exec.enabled()) {
+    before.push_back(exec.describe(a));
+  }
+
+  exec.step(1);  // diverge
+  (void)exec.check();
+  exec.restore(snap);
+
+  const std::vector<Executor::Action>& after = exec.enabled();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(exec.describe(after[i]), before[i]) << "action " << i;
+  }
+}
+
+// --- 3. Serial exploration equivalence ------------------------------
+
+TEST(CheckpointEquivalence, DfsMatchesReplayAcrossCatalogAndIntervals) {
+  for (const char* name : catalog()) {
+    const ScenarioSpec s = spec(name);
+    const SearchResult base = explore_dfs(s, limits_with(0));
+    for (std::size_t k : {1, 4, 16}) {
+      const SearchResult r = explore_dfs(s, limits_with(k));
+      EXPECT_TRUE(equivalent_results(base, r))
+          << name << " diverged at checkpoint interval " << k;
+    }
+  }
+}
+
+TEST(CheckpointEquivalence, DelayBoundedMatchesReplay) {
+  SearchLimits replay_limits = limits_with(0, /*depth=*/40);
+  replay_limits.delay_budget = 2;
+  SearchLimits ckpt_limits = limits_with(4, /*depth=*/40);
+  ckpt_limits.delay_budget = 2;
+  for (const char* name : {"triangle-join-leave", "triangle-2join"}) {
+    const ScenarioSpec s = spec(name);
+    const SearchResult base = explore_delay_bounded(s, replay_limits);
+    const SearchResult r = explore_delay_bounded(s, ckpt_limits);
+    EXPECT_TRUE(equivalent_results(base, r)) << name;
+  }
+}
+
+// A deliberately broken protocol: every interval must find the *same*
+// counterexample (oracle, detail, and choice trace), because both
+// modes enumerate the identical search order.
+TEST(CheckpointEquivalence, BrokenAcceptCounterexampleIdentical) {
+  const ScenarioSpec broken =
+      spec("triangle-join-leave", /*break_accept=*/true);
+  const SearchResult base = explore_dfs(broken, limits_with(0, 14));
+  ASSERT_TRUE(base.violation.has_value());
+  EXPECT_EQ(base.violation->oracle, "install-monotone");
+  for (std::size_t k : {1, 4, 16}) {
+    const SearchResult r = explore_dfs(broken, limits_with(k, 14));
+    ASSERT_TRUE(r.violation.has_value()) << "interval " << k;
+    EXPECT_EQ(r.violation->oracle, base.violation->oracle);
+    EXPECT_EQ(r.violation->detail, base.violation->detail);
+    EXPECT_EQ(r.trace.choices, base.trace.choices);
+  }
+}
+
+// Checkpointing must not change what the transitions counter *means*
+// for fixed-mode comparisons: two identical checkpoint runs are fully
+// bit-identical, transitions included.
+TEST(CheckpointEquivalence, RepeatedCheckpointRunsBitIdentical) {
+  const ScenarioSpec s = spec("line4-concurrent-join");
+  const SearchResult a = explore_dfs(s, limits_with(4));
+  const SearchResult b = explore_dfs(s, limits_with(4));
+  EXPECT_TRUE(equivalent_results(a, b, /*compare_transitions=*/true));
+}
+
+// The point of the engine: checkpoint mode must replay *fewer* steps
+// than replay mode on a backtracking-heavy search.
+TEST(CheckpointEquivalence, CheckpointModeReplaysFewerTransitions) {
+  const ScenarioSpec s = spec("triangle-2join");
+  const SearchResult base = explore_dfs(s, limits_with(0, 10));
+  const SearchResult r = explore_dfs(s, limits_with(4, 10));
+  EXPECT_LT(r.stats.transitions, base.stats.transitions / 2);
+}
+
+// --- 4. Parallel exploration equivalence ----------------------------
+
+TEST(CheckpointEquivalence, ParallelDfsMatchesReplayAndJobCounts) {
+  for (const char* name :
+       {"triangle-2join", "triangle-join-leave", "diamond-link-fail"}) {
+    const ScenarioSpec s = spec(name);
+    const SearchResult base =
+        explore_dfs_parallel(s, limits_with(0), /*jobs=*/1);
+    for (std::size_t k : {1, 4, 16}) {
+      SearchResult at_jobs1;
+      for (std::size_t jobs : {1, 8}) {
+        const SearchResult r = explore_dfs_parallel(s, limits_with(k), jobs);
+        EXPECT_TRUE(equivalent_results(base, r))
+            << name << " k=" << k << " jobs=" << jobs;
+        if (jobs == 1) {
+          at_jobs1 = r;
+        } else {
+          // Fixed interval: the job count must not even perturb the
+          // replay-step accounting.
+          EXPECT_TRUE(
+              equivalent_results(at_jobs1, r, /*compare_transitions=*/true))
+              << name << " k=" << k << " jobs 1 vs 8";
+        }
+      }
+    }
+  }
+}
+
+TEST(CheckpointEquivalence, ParallelBrokenAcceptIdenticalAcrossModes) {
+  const ScenarioSpec broken =
+      spec("triangle-join-leave", /*break_accept=*/true);
+  const SearchResult base =
+      explore_dfs_parallel(broken, limits_with(0, 14), /*jobs=*/1);
+  ASSERT_TRUE(base.violation.has_value());
+  for (std::size_t jobs : {1, 8}) {
+    const SearchResult r =
+        explore_dfs_parallel(broken, limits_with(4, 14), jobs);
+    ASSERT_TRUE(r.violation.has_value()) << "jobs " << jobs;
+    EXPECT_EQ(r.violation->oracle, base.violation->oracle);
+    EXPECT_EQ(r.violation->detail, base.violation->detail);
+    EXPECT_EQ(r.trace.choices, base.trace.choices);
+  }
+}
+
+}  // namespace
+}  // namespace dgmc::check

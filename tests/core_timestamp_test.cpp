@@ -1,6 +1,12 @@
 #include "core/timestamp.hpp"
 
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "core/codec.hpp"
+#include "core/mc_lsa.hpp"
 
 namespace dgmc::core {
 namespace {
@@ -87,6 +93,105 @@ TEST(VectorTimestamp, EqualityAndToString) {
   EXPECT_NE(a, b);
   EXPECT_EQ(a.to_string(), "(0,0,1)");
   EXPECT_EQ(VectorTimestamp(0).to_string(), "()");
+}
+
+// --- Small-buffer optimization (SBO) boundary ------------------------
+
+// kInlineCapacity components live inside the object; one more forces
+// the heap block. All semantics must be identical on both sides.
+TEST(VectorTimestampSbo, InlineHeapBoundary) {
+  const int k = VectorTimestamp::kInlineCapacity;
+  VectorTimestamp at(k), over(k + 1);
+  EXPECT_TRUE(at.is_inline());
+  EXPECT_FALSE(over.is_inline());
+  for (int i = 0; i < k; ++i) at.increment(i);
+  for (int i = 0; i < k + 1; ++i) over.increment(i);
+  EXPECT_EQ(at.total(), static_cast<std::uint64_t>(k));
+  EXPECT_EQ(over.total(), static_cast<std::uint64_t>(k + 1));
+  EXPECT_EQ(at[k - 1], 1u);
+  EXPECT_EQ(over[k], 1u);
+}
+
+TEST(VectorTimestampSbo, CopySemanticsOnBothSides) {
+  const int k = VectorTimestamp::kInlineCapacity;
+  for (int n : {k, k + 1}) {
+    VectorTimestamp a(n);
+    a.increment(0);
+    a.increment(n - 1);
+    VectorTimestamp b = a;
+    EXPECT_EQ(a, b);
+    b.increment(1);  // a heap copy must be deep, not aliased
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a[1], 0u);
+    a = b;
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(VectorTimestampSbo, MoveTransfersValueAndEmptiesSource) {
+  const int k = VectorTimestamp::kInlineCapacity;
+  for (int n : {k, k + 1}) {
+    VectorTimestamp a(n);
+    a.increment(n - 1);
+    const VectorTimestamp expect = a;
+    VectorTimestamp moved = std::move(a);
+    EXPECT_EQ(moved, expect);
+    EXPECT_EQ(a.size(), 0);  // moved-from: empty, safely destructible
+    VectorTimestamp assigned(2);
+    assigned = std::move(moved);
+    EXPECT_EQ(assigned, expect);
+  }
+}
+
+TEST(VectorTimestampSbo, SelfMergeAndSelfDominanceAreIdentity) {
+  const int k = VectorTimestamp::kInlineCapacity;
+  for (int n : {k, k + 1}) {
+    VectorTimestamp a(n);
+    a.increment(0);
+    a.increment(n - 1);
+    const VectorTimestamp before = a;
+    a.merge_max(a);  // aliasing self-merge must not corrupt
+    EXPECT_EQ(a, before);
+    EXPECT_TRUE(a.dominates(a));
+    a = a;  // self-assignment
+    EXPECT_EQ(a, before);
+  }
+}
+
+TEST(VectorTimestampSbo, FromCountsMatchesIncrementConstruction) {
+  const int k = VectorTimestamp::kInlineCapacity;
+  for (int n : {k, k + 1}) {
+    std::vector<std::uint32_t> counts(static_cast<std::size_t>(n));
+    VectorTimestamp manual(n);
+    for (int i = 0; i < n; ++i) {
+      counts[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(i * 7);
+      for (int r = 0; r < i * 7; ++r) manual.increment(i);
+    }
+    const VectorTimestamp built = VectorTimestamp::from_counts(counts);
+    EXPECT_EQ(built, manual);
+    EXPECT_EQ(built.is_inline(), n <= k);
+  }
+}
+
+// Codec round-trip across the boundary: the decode path fills the
+// timestamp in place (no staging vector), so it must land on the right
+// side of the SBO split and carry the exact components.
+TEST(VectorTimestampSbo, CodecRoundTripAcrossBoundary) {
+  const int k = VectorTimestamp::kInlineCapacity;
+  for (int n : {k - 1, k, k + 1}) {
+    McLsa lsa;
+    lsa.source = 0;
+    lsa.event = McEventType::kJoin;
+    lsa.mc = 1;
+    lsa.stamp = VectorTimestamp(n);
+    for (int i = 0; i < n; ++i) {
+      lsa.stamp.set(i, static_cast<std::uint32_t>(1000 + i));
+    }
+    const std::optional<McLsa> back = decode_mc_lsa(encode(lsa));
+    ASSERT_TRUE(back.has_value()) << "n=" << n;
+    EXPECT_EQ(back->stamp, lsa.stamp) << "n=" << n;
+    EXPECT_EQ(back->stamp.is_inline(), n <= k);
+  }
 }
 
 TEST(VectorTimestamp, DominanceIsTransitiveOnSamples) {

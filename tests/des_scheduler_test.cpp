@@ -187,6 +187,114 @@ TEST(Scheduler, CancelThenRescheduleGoesToBackOfTie) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
 }
 
+// The incrementally maintained pending_events() view must track every
+// mutation kind — schedule, cancel, out-of-order run_event, step — and
+// stay exactly (time, seq)-sorted throughout. This pins the
+// enumeration order the explorer's action list is built from.
+TEST(Scheduler, PendingEventsOrderPinnedAcrossMutations) {
+  Scheduler s;
+  const auto a = s.schedule_at(5.0, [] {});
+  const auto b = s.schedule_at(1.0, [] {});
+  const auto c = s.schedule_at(5.0, [] {});  // ties with a, scheduled later
+  const auto d = s.schedule_at(3.0, [] {});
+  auto expect_ids = [&](const std::vector<Scheduler::EventId>& ids) {
+    const auto& p = s.pending_events();
+    ASSERT_EQ(p.size(), ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(p[i].id.value, ids[i].value) << "position " << i;
+    }
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      EXPECT_TRUE(p[i - 1].time < p[i].time ||
+                  (p[i - 1].time == p[i].time && p[i - 1].seq < p[i].seq));
+    }
+  };
+  expect_ids({b, d, a, c});
+  s.cancel(d);
+  expect_ids({b, a, c});
+  EXPECT_TRUE(s.run_event(c));  // out-of-order execution, now() -> 5.0
+  expect_ids({b, a});
+  const auto e = s.schedule_at(5.0, [] {});  // new seq: after a in the tie
+  expect_ids({b, a, e});
+  s.step();  // executes b (earliest remaining)
+  expect_ids({a, e});
+}
+
+TEST(Scheduler, SnapshotRestoreReproducesExecutionSuffix) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    s.schedule_at(1.0 + i, [&order, i] { order.push_back(i); });
+  }
+  s.step();
+  s.step();
+  Scheduler::Snapshot snap;
+  s.save(snap);
+
+  EXPECT_EQ(s.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.executed(), 6u);
+
+  s.restore(snap);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.executed(), 2u);
+  EXPECT_EQ(s.pending(), 4u);
+  order.clear();
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 5}));
+}
+
+// Restoring also restores the seq/id counters, so an event scheduled
+// *after* a restore gets the same FIFO position (and the same EventId)
+// it would have gotten on the original timeline.
+TEST(Scheduler, SnapshotRestorePreservesFifoCounters) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  Scheduler::Snapshot snap;
+  s.save(snap);
+  const auto original = s.schedule_at(1.0, [&order] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+
+  s.restore(snap);
+  order.clear();
+  const auto rescheduled =
+      s.schedule_at(1.0, [&order] { order.push_back(3); });
+  EXPECT_EQ(rescheduled.value, original.value);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Scheduler, SnapshotKeepsCancelledEventsOut) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_at(1.0, [] {});
+  const auto id = s.schedule_at(2.0, [&] { ran = true; });
+  s.cancel(id);
+  Scheduler::Snapshot snap;
+  s.save(snap);
+  EXPECT_EQ(snap.events.size(), 1u);
+  s.restore(snap);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, SnapshotReusesCapacityAcrossSaves) {
+  // The pool hands the same Snapshot back repeatedly; save() must
+  // overwrite, not accumulate.
+  Scheduler s;
+  s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  Scheduler::Snapshot snap;
+  s.save(snap);
+  EXPECT_EQ(snap.events.size(), 2u);
+  s.step();
+  s.save(snap);
+  EXPECT_EQ(snap.events.size(), 1u);
+}
+
 TEST(SchedulerDeath, RejectsSchedulingIntoPast) {
   Scheduler s;
   s.schedule_at(5.0, [] {});
