@@ -1,0 +1,72 @@
+// Flash crowd under backpressure: a heavy-tailed join storm slams one
+// multipoint connection while the flooding transport runs with bounded
+// per-link queues (DESIGN.md §10).
+//
+// The same declarative spec text that drives this example drives
+// `dgmc_soak` and `dgmc_check --spec` — here we parse it, expand the
+// churn programs, run the storm, and show how backpressure turns an
+// unbounded memory spike into a bounded queue peak plus shed copies,
+// while the protocol still converges to one agreed tree.
+#include <cstdio>
+
+#include "sim/spec.hpp"
+
+namespace {
+
+using namespace dgmc;
+
+const char* kSpec = R"(name flash-crowd-demo
+network waxman 20 seed=5
+delay uniform 1ms
+timing tc=10ms perhop=4us
+option algorithm=incremental resync=on reliable=on
+overload inflight=4 queue=48 dedupcap=256
+soak duration=8s phases=1 trials=1 seed=7
+churn flashcrowd mc=1 start=0.5s members=14 alpha=1.3 scale=10ms
+)";
+
+}  // namespace
+
+int main() {
+  const auto parsed = sim::SoakSpec::parse(kSpec);
+  if (const auto* err = std::get_if<sim::SpecError>(&parsed)) {
+    std::printf("spec error, line %d: %s\n", err->line, err->message.c_str());
+    return 1;
+  }
+  const sim::SoakSpec& spec = std::get<sim::SoakSpec>(parsed);
+
+  graph::Graph g = spec.build_graph();
+  sim::DgmcNetwork net(g, spec.network_params(),
+                       mc::make_incremental_algorithm());
+
+  // Expand the storm: Pareto interarrivals cluster most joins within a
+  // few scale units; the tail straggles far out.
+  const auto events =
+      sim::ChurnEngine::expand_all(spec, net.physical(), spec.soak_seed);
+  std::printf("flash crowd: %zu joins on mc 1\n", events.size());
+  for (const sim::SoakEvent& ev : events) {
+    net.scheduler().schedule_at(ev.at, [&net, ev] {
+      net.join(ev.node, ev.mcid, ev.type, ev.role);
+    });
+  }
+  net.run_to_quiescence();
+
+  const auto& transport = net.transport();
+  std::printf("storm absorbed at t=%.3fs\n", net.scheduler().now());
+  std::printf("  link transmissions: %llu\n",
+              static_cast<unsigned long long>(net.lsa_link_transmissions()));
+  std::printf("  queue peak:         %zu copies (bounded by %d/link)\n",
+              transport.queue_peak(), spec.overload.max_queue_per_link);
+  std::printf("  shed copies:        %llu (reliable mode re-sent them)\n",
+              static_cast<unsigned long long>(transport.sheds()));
+  std::printf("  retransmissions:    %llu\n",
+              static_cast<unsigned long long>(transport.retransmissions()));
+  std::printf("  converged:          %s\n",
+              net.converged(1) ? "yes — one agreed tree" : "NO");
+
+  const trees::Topology tree = net.agreed_topology(1);
+  std::printf("  tree edges:        ");
+  for (const graph::Edge& e : tree.edges()) std::printf(" %d-%d", e.a, e.b);
+  std::printf("\n");
+  return net.converged(1) ? 0 : 1;
+}

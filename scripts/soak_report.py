@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Summarize a dgmc_soak BENCH_soak.json.
+
+Reads the JSON dgmc_soak --bench-json writes and prints a per-trial
+digest: invariant outcome, watchdog trips, shed/compaction counters,
+and the per-phase RSS trajectory with its growth since the first phase
+(the number the rss_mb budget bounds). Exit status: 0 when every trial
+passed, 1 when any failed, 2 on usage/parse errors.
+
+Usage:
+  soak_report.py BENCH_soak.json
+  soak_report.py               # defaults to ./BENCH_soak.json
+"""
+
+import json
+import sys
+
+
+def fmt_mb(v):
+    return f"{v:.1f}MiB"
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_soak.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"soak_report: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+    if doc.get("bench") != "soak":
+        print(f"soak_report: {path} is not a soak bench document",
+              file=sys.stderr)
+        return 2
+
+    print(f"soak '{doc.get('spec', '?')}' — seed {doc.get('seed', '?')}, "
+          f"{doc.get('duration_s', '?')}s simulated, "
+          f"{doc.get('phases', '?')} phases")
+
+    all_ok = True
+    for i, trial in enumerate(doc.get("trials", [])):
+        phases = trial.get("phases", [])
+        ok = trial.get("ok", False)
+        all_ok = all_ok and ok
+        status = "ok" if ok else (
+            "WATCHDOG" if trial.get("watchdog") else "FAIL")
+        last = phases[-1] if phases else {}
+        print(f"trial {i}: {status}  "
+              f"installs={last.get('installs', 0)} "
+              f"retx={last.get('retransmissions', 0)} "
+              f"giveups={last.get('give_ups', 0)} "
+              f"sheds={last.get('sheds', 0)} "
+              f"compactions={last.get('dedup_compactions', 0)}")
+        if not ok:
+            print(f"  failure: {trial.get('failure', '?')}")
+        rss = [p.get("rss_mb", 0.0) for p in phases]
+        if rss and rss[0] > 0.0:
+            trajectory = " -> ".join(fmt_mb(v) for v in rss)
+            growth = rss[-1] - rss[0]
+            print(f"  rss: {trajectory}  (growth {fmt_mb(growth)})")
+        peak_q = max((p.get("queue_peak", 0) for p in phases), default=0)
+        peak_d = max((p.get("dedup_backlog", 0) for p in phases), default=0)
+        peak_p = max((p.get("pending_retransmits", 0) for p in phases),
+                     default=0)
+        print(f"  steady-state peaks: queue={peak_q} dedup={peak_d} "
+              f"pending_retx={peak_p}")
+
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,8 +25,11 @@
 // oracles catch real bugs; see DESIGN.md §7.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "check/executor.hpp"
@@ -49,6 +52,8 @@ int usage() {
                "[--checkpoint-interval N]\n"
                "           [--break-accept] [--trace-out FILE] "
                "[--minimize]\n"
+               "       dgmc_check explore --spec FILE [--spec-injections N] "
+               "[flags as above]\n"
                "       dgmc_check replay <trace-file> [--step]\n");
   return 2;
 }
@@ -86,16 +91,23 @@ void print_trace(const Trace& trace,
 
 int cmd_explore(int argc, char** argv) {
   if (argc < 1) return usage();
-  const std::string scenario_name = argv[0];
+  std::string scenario_name;
+  int first_flag = 0;
+  if (argv[0][0] != '-') {
+    scenario_name = argv[0];
+    first_flag = 1;
+  }
   std::string strategy = "dfs";
   std::string trace_out;
+  std::string spec_path;
+  std::size_t spec_injections = 8;  // full churn scripts are unsearchable
   bool break_accept = false;
   bool do_minimize = false;
   bool parallel = false;
   std::size_t jobs = 0;
   SearchLimits limits;
 
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -133,6 +145,14 @@ int cmd_explore(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       limits.checkpoint_interval = std::stoul(v);
+    } else if (arg == "--spec") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      spec_path = v;
+    } else if (arg == "--spec-injections") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      spec_injections = std::stoul(v);
     } else if (arg == "--break-accept") {
       break_accept = true;
     } else if (arg == "--minimize") {
@@ -147,13 +167,41 @@ int cmd_explore(int argc, char** argv) {
     }
   }
 
-  const ScenarioSpec* base = find_scenario(scenario_name);
-  if (base == nullptr) {
-    std::fprintf(stderr, "unknown scenario: %s (see `dgmc_check list`)\n",
-                 scenario_name.c_str());
-    return 2;
+  ScenarioSpec spec;
+  std::string spec_text;
+  if (!spec_path.empty()) {
+    if (!scenario_name.empty()) {
+      std::fprintf(stderr, "--spec and a scenario name are exclusive\n");
+      return usage();
+    }
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read spec: %s\n", spec_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    spec_text = buffer.str();
+    const auto parsed = sim::SoakSpec::parse(spec_text);
+    if (const auto* err = std::get_if<sim::SpecError>(&parsed)) {
+      std::fprintf(stderr, "%s:%d: %s\n", spec_path.c_str(), err->line,
+                   err->message.c_str());
+      return 2;
+    }
+    spec = scenario_from_soak(std::get<sim::SoakSpec>(parsed),
+                              spec_injections);
+    std::printf("expanded soak spec %s: %zu injections kept\n",
+                spec_path.c_str(), spec.injections.size());
+  } else {
+    if (scenario_name.empty()) return usage();
+    const ScenarioSpec* base = find_scenario(scenario_name);
+    if (base == nullptr) {
+      std::fprintf(stderr, "unknown scenario: %s (see `dgmc_check list`)\n",
+                   scenario_name.c_str());
+      return 2;
+    }
+    spec = *base;
   }
-  ScenarioSpec spec = *base;
   spec.params.dgmc.accept_stale_proposals = break_accept;
 
   std::printf("scenario %s: %s\n", spec.name.c_str(),
@@ -192,6 +240,10 @@ int cmd_explore(int argc, char** argv) {
 
   Trace trace = result.trace;
   std::vector<std::string> annotations = result.annotations;
+  // A spec-driven trace embeds its scenario so the file is
+  // self-contained (no catalog lookup on replay).
+  trace.spec_text = spec_text;
+  trace.spec_injections = spec_text.empty() ? 0 : spec_injections;
   if (do_minimize) {
     std::string error;
     std::optional<MinimizeResult> min =
@@ -202,7 +254,7 @@ int cmd_explore(int argc, char** argv) {
       std::printf(
           "minimized: dropped %zu of %zu injections (%zu searches), "
           "%zu steps\n",
-          min->injections_dropped, base->injections.size(), min->searches,
+          min->injections_dropped, spec.injections.size(), min->searches,
           min->trace.choices.size());
       trace = min->trace;
       annotations = min->annotations;

@@ -10,11 +10,74 @@ std::string where(graph::NodeId node, mc::McId mcid) {
   return "switch " + std::to_string(node) + ", mc " + std::to_string(mcid);
 }
 
+/// The agreement + valid-topology block for one MC (shared between the
+/// explorer's quiescence oracle and the soak runner's drain checks).
+std::optional<Violation> agreement_for_mc(const sim::DgmcNetwork& net,
+                                          mc::McId mcid) {
+  const core::DgmcSwitch* ref = nullptr;
+  graph::NodeId ref_node = graph::kInvalidNode;
+  for (graph::NodeId n = 0; n < net.size(); ++n) {
+    const core::DgmcSwitch& sw = net.switch_at(n);
+    if (!sw.alive() || !sw.has_state(mcid)) continue;
+    if (ref == nullptr) {
+      ref = &sw;
+      ref_node = n;
+      continue;
+    }
+    if (!(*sw.installed(mcid) == *ref->installed(mcid))) {
+      return Violation{"agreement",
+                       where(n, mcid) + ": installed topology differs from "
+                                        "switch " +
+                           std::to_string(ref_node) + "'s"};
+    }
+    if (!(*sw.members(mcid) == *ref->members(mcid))) {
+      return Violation{"agreement",
+                       where(n, mcid) + ": member list differs from switch " +
+                           std::to_string(ref_node) + "'s"};
+    }
+    if (!(*sw.stamp_c(mcid) == *ref->stamp_c(mcid))) {
+      return Violation{
+          "agreement", where(n, mcid) + ": C=" + sw.stamp_c(mcid)->to_string() +
+                           " differs from switch " + std::to_string(ref_node) +
+                           "'s C=" + ref->stamp_c(mcid)->to_string()};
+    }
+    if (sw.proposer(mcid) != ref->proposer(mcid)) {
+      return Violation{
+          "agreement",
+          where(n, mcid) + ": installed proposer " +
+              std::to_string(sw.proposer(mcid)) + " differs from switch " +
+              std::to_string(ref_node) + "'s " +
+              std::to_string(ref->proposer(mcid))};
+    }
+  }
+
+  if (ref != nullptr) {
+    // --- valid-topology: the agreed tree serves the agreed members.
+    if (!mc::is_valid_topology(net.physical(), ref->mc_type(mcid),
+                               *ref->members(mcid), *ref->installed(mcid))) {
+      return Violation{
+          "valid-topology",
+          where(ref_node, mcid) +
+              ": agreed topology is not valid for the agreed member list"};
+    }
+    // A switch the tree or member list involves but that holds no
+    // state cannot forward — content agreement above misses it.
+    for (graph::NodeId n : ref->installed(mcid)->nodes()) {
+      if (net.switch_alive(n) && !net.switch_at(n).has_state(mcid)) {
+        return Violation{"agreement",
+                         where(n, mcid) +
+                             ": on the agreed tree but holds no state"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
-std::optional<Violation> check_step_invariants(const sim::DgmcNetwork& net,
-                                               const ScenarioSpec& spec) {
-  for (mc::McId mcid : spec.mcs()) {
+std::optional<Violation> check_step_invariants(
+    const sim::DgmcNetwork& net, const std::vector<mc::McId>& mcs) {
+  for (mc::McId mcid : mcs) {
     for (graph::NodeId n = 0; n < net.size(); ++n) {
       const core::DgmcSwitch& sw = net.switch_at(n);
       if (!sw.alive() || !sw.has_state(mcid)) continue;
@@ -39,69 +102,38 @@ std::optional<Violation> check_step_invariants(const sim::DgmcNetwork& net,
   return std::nullopt;
 }
 
+std::optional<Violation> check_step_invariants(const sim::DgmcNetwork& net,
+                                               const ScenarioSpec& spec) {
+  return check_step_invariants(net, spec.mcs());
+}
+
+std::optional<Violation> check_agreement_invariants(
+    const sim::DgmcNetwork& net, const std::vector<mc::McId>& mcs) {
+  for (mc::McId mcid : mcs) {
+    if (auto v = agreement_for_mc(net, mcid)) return v;
+  }
+  return std::nullopt;
+}
+
 std::optional<Violation> check_quiescence_invariants(
     const sim::DgmcNetwork& net, const ScenarioSpec& spec,
     std::size_t injections_fired) {
   for (mc::McId mcid : spec.mcs()) {
-    // --- agreement: all state-holding switches see the same connection.
+    // --- agreement + valid-topology: shared block.
+    if (auto v = agreement_for_mc(net, mcid)) return v;
+
+    if (!spec.strict_oracles) continue;
+
+    // Re-find the reference switch for the strict oracles.
     const core::DgmcSwitch* ref = nullptr;
     graph::NodeId ref_node = graph::kInvalidNode;
     for (graph::NodeId n = 0; n < net.size(); ++n) {
       const core::DgmcSwitch& sw = net.switch_at(n);
       if (!sw.alive() || !sw.has_state(mcid)) continue;
-      if (ref == nullptr) {
-        ref = &sw;
-        ref_node = n;
-        continue;
-      }
-      if (!(*sw.installed(mcid) == *ref->installed(mcid))) {
-        return Violation{"agreement",
-                         where(n, mcid) + ": installed topology differs from "
-                                          "switch " +
-                             std::to_string(ref_node) + "'s"};
-      }
-      if (!(*sw.members(mcid) == *ref->members(mcid))) {
-        return Violation{"agreement",
-                         where(n, mcid) + ": member list differs from switch " +
-                             std::to_string(ref_node) + "'s"};
-      }
-      if (!(*sw.stamp_c(mcid) == *ref->stamp_c(mcid))) {
-        return Violation{
-            "agreement", where(n, mcid) + ": C=" + sw.stamp_c(mcid)->to_string() +
-                             " differs from switch " + std::to_string(ref_node) +
-                             "'s C=" + ref->stamp_c(mcid)->to_string()};
-      }
-      if (sw.proposer(mcid) != ref->proposer(mcid)) {
-        return Violation{
-            "agreement",
-            where(n, mcid) + ": installed proposer " +
-                std::to_string(sw.proposer(mcid)) + " differs from switch " +
-                std::to_string(ref_node) + "'s " +
-                std::to_string(ref->proposer(mcid))};
-      }
+      ref = &sw;
+      ref_node = n;
+      break;
     }
-
-    if (ref != nullptr) {
-      // --- valid-topology: the agreed tree serves the agreed members.
-      if (!mc::is_valid_topology(net.physical(), ref->mc_type(mcid),
-                                 *ref->members(mcid), *ref->installed(mcid))) {
-        return Violation{
-            "valid-topology",
-            where(ref_node, mcid) +
-                ": agreed topology is not valid for the agreed member list"};
-      }
-      // A switch the tree or member list involves but that holds no
-      // state cannot forward — content agreement above misses it.
-      for (graph::NodeId n : ref->installed(mcid)->nodes()) {
-        if (net.switch_alive(n) && !net.switch_at(n).has_state(mcid)) {
-          return Violation{"agreement",
-                           where(n, mcid) +
-                               ": on the agreed tree but holds no state"};
-        }
-      }
-    }
-
-    if (!spec.strict_oracles) continue;
 
     // --- membership: replay the fired prefix of the injection script.
     mc::MemberList expected;

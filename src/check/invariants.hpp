@@ -48,10 +48,22 @@ struct Violation {
   std::string detail;  // human-readable witness
 };
 
+/// Oracles evaluated after every transition, over the given MC ids.
+/// Callers without a ScenarioSpec (the soak runner) use this overload
+/// directly.
+std::optional<Violation> check_step_invariants(const sim::DgmcNetwork& net,
+                                               const std::vector<mc::McId>& mcs);
+
 /// Oracles evaluated after every transition. `spec` supplies the MC
 /// ids to inspect.
 std::optional<Violation> check_step_invariants(const sim::DgmcNetwork& net,
                                                const ScenarioSpec& spec);
+
+/// The quiescence oracles that need no injection script: agreement and
+/// valid-topology over the given MC ids. Sound under loss, crashes and
+/// churn, which is what the soak runner evaluates at its phase drains.
+std::optional<Violation> check_agreement_invariants(
+    const sim::DgmcNetwork& net, const std::vector<mc::McId>& mcs);
 
 /// Oracles evaluated only at quiescence. `injections_fired` bounds the
 /// prefix of the script used to reconstruct expected membership.

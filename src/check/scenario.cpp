@@ -45,6 +45,56 @@ std::unique_ptr<sim::DgmcNetwork> build_network(const ScenarioSpec& spec) {
                                             std::move(algorithm));
 }
 
+ScenarioSpec scenario_from_soak(const sim::SoakSpec& soak,
+                                std::size_t max_injections) {
+  ScenarioSpec spec;
+  spec.name = "soak:" + soak.name;
+  spec.description = "expanded from a soak spec (seed " +
+                     std::to_string(soak.soak_seed) + ")";
+  spec.graph = soak.build_graph();
+  spec.params = soak.network_params();
+  spec.incremental_algorithm = soak.incremental;
+
+  bool has_wipe_or_topology_event = false;
+  for (const sim::SoakEvent& ev :
+       sim::ChurnEngine::expand_all(soak, spec.graph, soak.soak_seed)) {
+    if (max_injections > 0 && spec.injections.size() >= max_injections) break;
+    Injection inj;
+    switch (ev.kind) {
+      case sim::SoakEvent::Kind::kJoin:
+        inj.kind = Injection::Kind::kJoin;
+        break;
+      case sim::SoakEvent::Kind::kLeave:
+        inj.kind = Injection::Kind::kLeave;
+        break;
+      case sim::SoakEvent::Kind::kFail:
+        inj.kind = Injection::Kind::kLinkDown;
+        has_wipe_or_topology_event = true;
+        break;
+      case sim::SoakEvent::Kind::kRestore:
+        inj.kind = Injection::Kind::kLinkUp;
+        has_wipe_or_topology_event = true;
+        break;
+      case sim::SoakEvent::Kind::kCrash:
+        inj.kind = Injection::Kind::kCrash;
+        has_wipe_or_topology_event = true;
+        break;
+      case sim::SoakEvent::Kind::kRestart:
+        inj.kind = Injection::Kind::kRestart;
+        has_wipe_or_topology_event = true;
+        break;
+    }
+    inj.node = ev.node;
+    inj.link = ev.link;
+    inj.mcid = ev.mcid;
+    inj.type = ev.type;
+    inj.role = ev.role;
+    spec.injections.push_back(inj);
+  }
+  spec.strict_oracles = !has_wipe_or_topology_event;
+  return spec;
+}
+
 namespace {
 
 Injection join(graph::NodeId node, mc::McId mcid,

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/network.hpp"
+#include "sim/spec.hpp"
 
 namespace dgmc::check {
 
@@ -73,5 +74,19 @@ const ScenarioSpec* find_scenario(std::string_view name);
 
 /// Builds a fresh network for one execution of the spec.
 std::unique_ptr<sim::DgmcNetwork> build_network(const ScenarioSpec& spec);
+
+/// Turns a declarative soak spec into a checkable scenario: the same
+/// graph and protocol parameters, with the churn programs expanded
+/// (deterministically, from the spec's own seed) into an injection
+/// script. `max_injections` truncates the script (0 = keep everything)
+/// — systematic search pays exponentially for length, so checking a
+/// storm's first handful of events is the useful configuration. The
+/// checker's transition system is lossless, so the spec's stochastic
+/// loss/jitter plan does not carry over; timing nondeterminism is the
+/// explorer's to control. Strict oracles stay enabled only when the
+/// kept script has no link/crash events (a wipe legitimately breaks
+/// them).
+ScenarioSpec scenario_from_soak(const sim::SoakSpec& soak,
+                                std::size_t max_injections);
 
 }  // namespace dgmc::check

@@ -4,17 +4,32 @@
 #include <fstream>
 #include <functional>
 #include <sstream>
+#include <variant>
 
 namespace dgmc::check {
 
 std::optional<ScenarioSpec> resolve_spec(const Trace& trace,
                                          std::string* error) {
-  const ScenarioSpec* base = find_scenario(trace.scenario);
-  if (base == nullptr) {
-    if (error != nullptr) *error = "unknown scenario: " + trace.scenario;
-    return std::nullopt;
+  ScenarioSpec spec;
+  if (!trace.spec_text.empty()) {
+    const auto parsed = sim::SoakSpec::parse(trace.spec_text);
+    if (const auto* err = std::get_if<sim::SpecError>(&parsed)) {
+      if (error != nullptr) {
+        *error = "embedded spec line " + std::to_string(err->line) + ": " +
+                 err->message;
+      }
+      return std::nullopt;
+    }
+    spec = scenario_from_soak(std::get<sim::SoakSpec>(parsed),
+                              trace.spec_injections);
+  } else {
+    const ScenarioSpec* base = find_scenario(trace.scenario);
+    if (base == nullptr) {
+      if (error != nullptr) *error = "unknown scenario: " + trace.scenario;
+      return std::nullopt;
+    }
+    spec = *base;
   }
-  ScenarioSpec spec = *base;
   spec.params.dgmc.accept_stale_proposals = trace.accept_stale_proposals;
   std::vector<std::size_t> drops = trace.dropped_injections;
   std::sort(drops.begin(), drops.end(), std::greater<>());
@@ -32,14 +47,27 @@ std::optional<ScenarioSpec> resolve_spec(const Trace& trace,
   return spec;
 }
 
-bool save_trace(const Trace& trace, const std::string& path,
-                const std::vector<std::string>& annotations) {
-  std::ofstream out(path);
-  if (!out) return false;
+std::string trace_to_string(const Trace& trace,
+                            const std::vector<std::string>& annotations) {
+  std::ostringstream out;
   out << "# dgmc_check trace v1\n";
   out << "scenario " << trace.scenario << "\n";
   if (trace.accept_stale_proposals) {
     out << "option accept_stale_proposals 1\n";
+  }
+  if (!trace.spec_text.empty()) {
+    // Embed the soak spec verbatim, each line guarded by "| " so the
+    // choice parser never sees it (and '#' inside survives).
+    if (trace.spec_injections > 0) {
+      out << "spec-injections " << trace.spec_injections << "\n";
+    }
+    out << "spec-begin\n";
+    std::istringstream spec_lines(trace.spec_text);
+    std::string spec_line;
+    while (std::getline(spec_lines, spec_line)) {
+      out << "| " << spec_line << "\n";
+    }
+    out << "spec-end\n";
   }
   for (std::size_t d : trace.dropped_injections) {
     out << "drop " << d << "\n";
@@ -51,6 +79,14 @@ bool save_trace(const Trace& trace, const std::string& path,
     }
     out << "\n";
   }
+  return out.str();
+}
+
+bool save_trace(const Trace& trace, const std::string& path,
+                const std::vector<std::string>& annotations) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << trace_to_string(trace, annotations);
   return static_cast<bool>(out);
 }
 
@@ -96,6 +132,35 @@ std::optional<Trace> load_trace(const std::string& path, std::string* error) {
       std::size_t index = 0;
       if (!(tokens >> index)) return fail("drop needs an injection index");
       trace.dropped_injections.push_back(index);
+    } else if (word == "spec-injections") {
+      std::size_t count = 0;
+      if (!(tokens >> count)) return fail("spec-injections needs a count");
+      trace.spec_injections = count;
+    } else if (word == "spec-begin") {
+      // Raw block: lines are "| <spec line>" until "spec-end". Read
+      // them without the comment stripping above — spec lines may
+      // themselves contain '#' comments.
+      bool closed = false;
+      std::string raw;
+      while (std::getline(in, raw)) {
+        ++lineno;
+        if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+        const std::size_t start = raw.find_first_not_of(" \t");
+        const std::string trimmed =
+            start == std::string::npos ? "" : raw.substr(start);
+        if (trimmed == "spec-end") {
+          closed = true;
+          break;
+        }
+        if (trimmed.empty() || trimmed[0] != '|') {
+          return fail("spec block lines must start with '|'");
+        }
+        std::string content = trimmed.substr(1);
+        if (!content.empty() && content.front() == ' ') content.erase(0, 1);
+        trace.spec_text += content;
+        trace.spec_text += '\n';
+      }
+      if (!closed) return fail("unterminated spec block");
     } else {
       std::size_t parsed = 0;
       unsigned long choice = 0;

@@ -27,12 +27,25 @@ struct Trace {
   /// are relative to the reduced script.
   std::vector<std::size_t> dropped_injections;
   std::vector<std::uint32_t> choices;
+  /// When nonempty, the scenario is not a catalog entry but a soak
+  /// spec (sim/spec.hpp) embedded verbatim — the trace file is then
+  /// self-contained and replayable with no catalog lookup (the
+  /// convergence watchdog writes these). `spec_injections` truncates
+  /// the expanded churn script, matching scenario_from_soak (0 = all).
+  std::string spec_text;
+  std::size_t spec_injections = 0;
 };
 
-/// Looks up the trace's scenario in the catalog and applies its option
-/// overrides; nullopt (with *error set) if the scenario is unknown.
+/// Resolves the trace's scenario — from the embedded soak spec when
+/// present, from the catalog otherwise — and applies its option
+/// overrides; nullopt (with *error set) if unknown or malformed.
 std::optional<ScenarioSpec> resolve_spec(const Trace& trace,
                                          std::string* error);
+
+/// Renders the trace in the file format (what save_trace writes); the
+/// soak watchdog embeds this in its failure report.
+std::string trace_to_string(const Trace& trace,
+                            const std::vector<std::string>& annotations = {});
 
 /// Writes the trace; `annotations` (optional, same length as choices)
 /// become per-step comments for human readers.

@@ -7,7 +7,9 @@ namespace dgmc::fault {
 FaultInjector::FaultInjector(const FaultPlan& plan, int link_count,
                              std::uint64_t seed)
     : plan_(plan),
-      rng_(util::RngStream::derive(seed, "fault-injector")),
+      loss_rng_(util::RngStream::derive(seed, "fault-injector").fork(0)),
+      burst_rng_(util::RngStream::derive(seed, "fault-injector").fork(1)),
+      jitter_rng_(util::RngStream::derive(seed, "fault-injector").fork(2)),
       bad_(static_cast<std::size_t>(link_count), 0) {
   DGMC_ASSERT(link_count >= 0);
   DGMC_ASSERT(plan.iid_loss >= 0.0 && plan.iid_loss <= 1.0);
@@ -25,17 +27,17 @@ bool FaultInjector::drop(graph::LinkId link) {
   DGMC_ASSERT(link >= 0 &&
               static_cast<std::size_t>(link) < bad_.size());
   ++decisions_;
-  bool lost = plan_.iid_loss > 0.0 && rng_.bernoulli(plan_.iid_loss);
+  bool lost = plan_.iid_loss > 0.0 && loss_rng_.bernoulli(plan_.iid_loss);
   if (plan_.use_burst) {
     std::uint8_t& state = bad_[link];
     if (state == 0) {
-      if (rng_.bernoulli(plan_.burst.p_good_to_bad)) state = 1;
+      if (burst_rng_.bernoulli(plan_.burst.p_good_to_bad)) state = 1;
     } else {
-      if (rng_.bernoulli(plan_.burst.p_bad_to_good)) state = 0;
+      if (burst_rng_.bernoulli(plan_.burst.p_bad_to_good)) state = 0;
     }
     const double p =
         state != 0 ? plan_.burst.loss_bad : plan_.burst.loss_good;
-    if (p > 0.0 && rng_.bernoulli(p)) lost = true;
+    if (p > 0.0 && burst_rng_.bernoulli(p)) lost = true;
   }
   if (lost) ++drops_;
   return lost;
@@ -45,7 +47,7 @@ des::SimTime FaultInjector::extra_delay(graph::LinkId link) {
   DGMC_ASSERT(link >= 0 &&
               static_cast<std::size_t>(link) < bad_.size());
   if (plan_.max_extra_delay <= 0.0) return 0.0;
-  return rng_.uniform_real(0.0, plan_.max_extra_delay);
+  return jitter_rng_.uniform_real(0.0, plan_.max_extra_delay);
 }
 
 }  // namespace dgmc::fault

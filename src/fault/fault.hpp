@@ -71,6 +71,12 @@ struct FaultPlan {
 /// the same (plan, link_count, seed) triple yields the same decision
 /// sequence. Decisions are consumed in event-execution order, which
 /// the DES calendar already makes deterministic.
+///
+/// Each fault kind draws from its own forked child of the injector's
+/// base stream (i.i.d. loss = fork(0), burst channel = fork(1), jitter
+/// = fork(2)), so enabling or disabling one kind in a plan never
+/// perturbs the decision sequence of the others — the soak spec can
+/// add burst loss to a scenario without reshuffling its jitter.
 class FaultInjector {
  public:
   FaultInjector(const FaultPlan& plan, int link_count, std::uint64_t seed);
@@ -87,7 +93,9 @@ class FaultInjector {
 
  private:
   FaultPlan plan_;
-  util::RngStream rng_;
+  util::RngStream loss_rng_;    // i.i.d. per-transmission loss
+  util::RngStream burst_rng_;   // Gilbert–Elliott channel + loss
+  util::RngStream jitter_rng_;  // extra-delay draws
   std::vector<std::uint8_t> bad_;  // per-link Gilbert–Elliott state
   std::uint64_t decisions_ = 0;
   std::uint64_t drops_ = 0;

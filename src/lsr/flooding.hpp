@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -62,6 +63,24 @@ struct ReliableFloodingConfig {
   /// give-up breaks the delivery guarantee; the protocol layer's
   /// resync-on-restore machinery is the backstop.
   int max_retransmits = 10;
+};
+
+/// Graceful-degradation bounds for overload (join storms, §DESIGN 10).
+/// All limits are 0 = unlimited (the default), which preserves the
+/// historical event sequence bit-for-bit. With limits set, a link
+/// admits at most `max_inflight_per_link` concurrent data copies;
+/// excess copies wait in a bounded FIFO and are *shed* (counted, not
+/// scheduled) once the queue is full — so a storm degrades latency,
+/// never memory. Acks always bypass the queue: they release inflight
+/// budget on the far side, so queueing them could deadlock the link.
+struct OverloadConfig {
+  int max_inflight_per_link = 0;   // concurrent data copies per link
+  int max_queue_per_link = 0;      // waiting copies per link beyond that
+  /// Cap on a switch's out-of-order dedup buffer per origin. When the
+  /// `ahead` set outgrows this, the gap below it is declared abandoned
+  /// and compacted into the high-water mark (late gap-fillers are then
+  /// dropped as duplicates — the resync machinery is the backstop).
+  std::size_t max_dedup_ahead = 0;
 };
 
 /// Loss/jitter decision sources, typically bound to a
@@ -94,7 +113,9 @@ class FloodingNetwork {
         seen_(physical.node_count(),
               std::vector<OriginDedup>(physical.node_count())),
         node_up_(physical.node_count(), 1),
-        next_seq_(physical.node_count(), 0) {
+        next_seq_(physical.node_count(), 0),
+        inflight_on_link_(physical.link_count(), 0),
+        link_queue_(physical.link_count()) {
     DGMC_ASSERT(per_hop_overhead >= 0.0);
   }
 
@@ -108,6 +129,12 @@ class FloodingNetwork {
   }
 
   void set_fault_hooks(FaultHooks hooks) { faults_ = std::move(hooks); }
+
+  void set_overload(const OverloadConfig& cfg) {
+    DGMC_ASSERT(cfg.max_inflight_per_link >= 0);
+    DGMC_ASSERT(cfg.max_queue_per_link >= 0);
+    overload_ = cfg;
+  }
 
   /// Content hash of a payload, stamped into the des::EventTag of every
   /// copy of the message (and into fingerprint()). The explorer uses it
@@ -127,12 +154,34 @@ class FloodingNetwork {
   void set_node_up(graph::NodeId n, bool up) {
     DGMC_ASSERT(physical_.valid_node(n));
     node_up_[n] = up ? 1 : 0;
-    if (!up) abandon_pending_from(n);
+    if (!up) {
+      abandon_pending_from(n);
+      purge_queued_from(n);
+    }
   }
 
   bool node_up(graph::NodeId n) const {
     DGMC_ASSERT(physical_.valid_node(n));
     return node_up_[n] != 0;
+  }
+
+  /// Tells the transport a link failed: waiting copies can never be
+  /// delivered, so they are shed (reliable mode's RTO re-attempts once
+  /// the link returns; unreliable copies are simply lost, as they would
+  /// be on the wire).
+  void on_link_down(graph::LinkId id) {
+    DGMC_ASSERT(id >= 0 && id < physical_.link_count());
+    auto& q = link_queue_[static_cast<std::size_t>(id)];
+    sheds_ += q.size();
+    queued_total_ -= q.size();
+    q.clear();
+  }
+
+  /// Tells the transport a link recovered, re-servicing its wait queue
+  /// (relevant only when copies queued in the down window).
+  void on_link_up(graph::LinkId id) {
+    DGMC_ASSERT(id >= 0 && id < physical_.link_count());
+    service_queue(id);
   }
 
   /// Originates one flooding operation. Counted once regardless of the
@@ -165,6 +214,20 @@ class FloodingNetwork {
   std::uint64_t messages_dropped() const { return messages_dropped_; }
   /// Transmissions abandoned after max_retransmits expiries.
   std::uint64_t give_ups() const { return give_ups_; }
+
+  // --- Overload / backpressure metrics ---
+
+  /// Copies shed by backpressure: the per-link wait queue was full, the
+  /// link went down with copies waiting, or the queued sender crashed.
+  std::uint64_t sheds() const { return sheds_; }
+  /// Data copies currently waiting in per-link queues. Nonzero at
+  /// quiescence means backpressure is still holding copies back.
+  std::size_t queued() const { return queued_total_; }
+  /// High-water mark of `queued()` over the run.
+  std::size_t queue_peak() const { return queue_peak_; }
+  /// Times a dedup `ahead` buffer hit max_dedup_ahead and the gap below
+  /// it was abandoned (see OverloadConfig).
+  std::uint64_t dedup_compactions() const { return dedup_compactions_; }
   /// Armed retransmission timers — nonzero means the transport still
   /// owes deliveries, so quiescence checks must include it.
   std::size_t retransmit_timers_armed() const { return pending_.size(); }
@@ -204,6 +267,19 @@ class FloodingNetwork {
       h = util::hash_mix(h, static_cast<std::uint64_t>(tx.retransmits));
       h = util::hash_mix(h, tx.msg->digest);
     }
+    // Backpressure state gates future admissions, so it is
+    // behavior-relevant (all empty/zero when overload is off).
+    for (int n : inflight_on_link_) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(n));
+    }
+    for (const auto& q : link_queue_) {
+      for (const QueuedTx& entry : q) {
+        h = util::hash_mix(h, static_cast<std::uint64_t>(entry.from));
+        h = util::hash_mix(h, static_cast<std::uint64_t>(entry.msg->origin));
+        h = util::hash_mix(h, entry.msg->seq);
+        h = util::hash_mix(h, entry.msg->digest);
+      }
+    }
     return h;
   }
 
@@ -240,6 +316,12 @@ class FloodingNetwork {
   using PendingKey =
       std::tuple<graph::LinkId, graph::NodeId, graph::NodeId, std::uint32_t>;
 
+  /// One data copy waiting for inflight budget on its link.
+  struct QueuedTx {
+    graph::NodeId from;
+    MessagePtr msg;
+  };
+
   bool mark_seen(graph::NodeId at, graph::NodeId origin, std::uint32_t seq) {
     OriginDedup& d = seen_[at][origin];
     if (seq < d.next_expected) return false;
@@ -248,7 +330,31 @@ class FloodingNetwork {
       while (d.ahead.erase(d.next_expected) != 0) ++d.next_expected;
       return true;
     }
-    return d.ahead.insert(seq).second;
+    if (!d.ahead.insert(seq).second) return false;
+    if (overload_.max_dedup_ahead > 0 &&
+        d.ahead.size() > overload_.max_dedup_ahead) {
+      compact_dedup(d);
+    }
+    return true;
+  }
+
+  /// Declares the gap [next_expected, min(ahead)) abandoned — the seqs
+  /// in it were given up on (loss + give-up) and will never arrive in
+  /// steady state — and folds the run above it into the high-water
+  /// mark. A late gap-filler is thereafter dropped as a duplicate
+  /// without delivery; the protocol resync machinery is the backstop.
+  void compact_dedup(OriginDedup& d) {
+    std::uint32_t lo = 0;
+    bool first = true;
+    for (std::uint32_t s : d.ahead) {
+      if (first || s < lo) lo = s;
+      first = false;
+    }
+    DGMC_ASSERT(!first);
+    d.next_expected = lo + 1;
+    d.ahead.erase(lo);
+    while (d.ahead.erase(d.next_expected) != 0) ++d.next_expected;
+    ++dedup_compactions_;
   }
 
   bool fault_drop(graph::LinkId link) {
@@ -274,8 +380,29 @@ class FloodingNetwork {
     }
   }
 
-  /// One data-copy attempt over a link (both modes).
+  /// Admission control for one data copy (both modes): transmit now if
+  /// the link has inflight budget, otherwise wait in the link's bounded
+  /// FIFO — or shed when even the queue is full.
   void transmit(graph::LinkId id, graph::NodeId from, const MessagePtr& msg) {
+    if (overload_.max_inflight_per_link > 0 &&
+        inflight_on_link_[static_cast<std::size_t>(id)] >=
+            overload_.max_inflight_per_link) {
+      auto& q = link_queue_[static_cast<std::size_t>(id)];
+      if (static_cast<int>(q.size()) >= overload_.max_queue_per_link) {
+        ++sheds_;
+        return;
+      }
+      q.push_back(QueuedTx{from, msg});
+      ++queued_total_;
+      if (queued_total_ > queue_peak_) queue_peak_ = queued_total_;
+      return;
+    }
+    transmit_now(id, from, msg);
+  }
+
+  /// One data-copy attempt over a link.
+  void transmit_now(graph::LinkId id, graph::NodeId from,
+                    const MessagePtr& msg) {
     const graph::Link& l = physical_.link(id);
     const graph::NodeId to = physical_.other_end(id, from);
     ++link_transmissions_;
@@ -284,6 +411,7 @@ class FloodingNetwork {
       return;
     }
     ++in_flight_;
+    ++inflight_on_link_[static_cast<std::size_t>(id)];
     des::EventTag tag;
     tag.kind = des::EventTag::Kind::kDelivery;
     tag.node = to;
@@ -295,8 +423,44 @@ class FloodingNetwork {
                           [this, id, to, msg] { arrive(id, to, msg); });
   }
 
+  /// Moves waiting copies onto the link while inflight budget lasts.
+  void service_queue(graph::LinkId id) {
+    auto& q = link_queue_[static_cast<std::size_t>(id)];
+    while (!q.empty() &&
+           (overload_.max_inflight_per_link == 0 ||
+            inflight_on_link_[static_cast<std::size_t>(id)] <
+                overload_.max_inflight_per_link)) {
+      QueuedTx entry = std::move(q.front());
+      q.pop_front();
+      --queued_total_;
+      if (!physical_.link(id).up) {
+        // Went down while the copy waited; it is lost as it would be
+        // on the wire (reliable mode re-attempts at the next RTO).
+        ++sheds_;
+        continue;
+      }
+      transmit_now(id, entry.from, entry.msg);
+    }
+  }
+
+  void purge_queued_from(graph::NodeId n) {
+    for (auto& q : link_queue_) {
+      for (auto it = q.begin(); it != q.end();) {
+        if (it->from == n) {
+          ++sheds_;
+          --queued_total_;
+          it = q.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
   void arrive(graph::LinkId link, graph::NodeId at, const MessagePtr& msg) {
     --in_flight_;
+    --inflight_on_link_[static_cast<std::size_t>(link)];
+    service_queue(link);
     if (node_up_[at] == 0) {
       // The interface died while the copy was in flight.
       ++messages_dropped_;
@@ -418,12 +582,19 @@ class FloodingNetwork {
   double per_hop_overhead_;
   Receiver receiver_;
   ReliableFloodingConfig reliable_;
+  OverloadConfig overload_;
   FaultHooks faults_;
   std::function<std::uint64_t(const Payload&)> payload_digest_;
   std::vector<std::vector<OriginDedup>> seen_;  // [switch][origin]
   std::vector<std::uint8_t> node_up_;
   std::vector<std::uint32_t> next_seq_;
   std::map<PendingKey, PendingTx> pending_;
+  std::vector<int> inflight_on_link_;           // [link] scheduled data copies
+  std::vector<std::deque<QueuedTx>> link_queue_;  // [link] waiting copies
+  std::size_t queued_total_ = 0;
+  std::size_t queue_peak_ = 0;
+  std::uint64_t sheds_ = 0;
+  std::uint64_t dedup_compactions_ = 0;
   std::uint64_t floodings_originated_ = 0;
   std::uint64_t link_transmissions_ = 0;
   std::uint64_t duplicates_dropped_ = 0;
@@ -449,6 +620,12 @@ class FloodingNetwork {
     std::vector<std::uint8_t> node_up;
     std::vector<std::uint32_t> next_seq;
     std::map<PendingKey, PendingTx> pending;
+    std::vector<int> inflight_on_link;
+    std::vector<std::deque<QueuedTx>> link_queue;
+    std::size_t queued_total = 0;
+    std::size_t queue_peak = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t dedup_compactions = 0;
     std::uint64_t floodings_originated = 0;
     std::uint64_t link_transmissions = 0;
     std::uint64_t duplicates_dropped = 0;
@@ -464,6 +641,12 @@ class FloodingNetwork {
     out.node_up = node_up_;
     out.next_seq = next_seq_;
     out.pending = pending_;
+    out.inflight_on_link = inflight_on_link_;
+    out.link_queue = link_queue_;
+    out.queued_total = queued_total_;
+    out.queue_peak = queue_peak_;
+    out.sheds = sheds_;
+    out.dedup_compactions = dedup_compactions_;
     out.floodings_originated = floodings_originated_;
     out.link_transmissions = link_transmissions_;
     out.duplicates_dropped = duplicates_dropped_;
@@ -479,6 +662,12 @@ class FloodingNetwork {
     node_up_ = snap.node_up;
     next_seq_ = snap.next_seq;
     pending_ = snap.pending;
+    inflight_on_link_ = snap.inflight_on_link;
+    link_queue_ = snap.link_queue;
+    queued_total_ = snap.queued_total;
+    queue_peak_ = snap.queue_peak;
+    sheds_ = snap.sheds;
+    dedup_compactions_ = snap.dedup_compactions;
     floodings_originated_ = snap.floodings_originated;
     link_transmissions_ = snap.link_transmissions;
     duplicates_dropped_ = snap.duplicates_dropped;

@@ -73,6 +73,7 @@ DgmcNetwork::DgmcNetwork(graph::Graph physical, Params params,
       flooding_(sched_, physical_, params.per_hop_overhead) {
   DGMC_ASSERT(algorithm_ != nullptr);
   if (params.reliable.enabled) flooding_.set_reliable(params.reliable);
+  flooding_.set_overload(params.overload);
   const int n = physical_.node_count();
   crashed_links_.resize(n);
   hosts_.reserve(n);
@@ -81,6 +82,9 @@ DgmcNetwork::DgmcNetwork(graph::Graph physical, Params params,
     Host& host = hosts_.back();
     core::DgmcSwitch::Hooks hooks;
     hooks.flood = [this, id](core::McLsa lsa) {
+      // A transport-silenced switch (gray failure, silence_transport)
+      // keeps producing LSAs, but they die at its interface.
+      if (!flooding_.node_up(id)) return;
       flooding_.flood(id, Payload{std::move(lsa)});
     };
     hooks.local_image = [&host]() -> const graph::Graph& {
@@ -151,6 +155,7 @@ int DgmcNetwork::fail_link(graph::LinkId link, graph::NodeId detector) {
   DGMC_ASSERT_MSG(physical_.link(link).up, "link already down");
   const graph::NodeId det = pick_detector(link, detector);
   physical_.set_link_up(link, false);
+  flooding_.on_link_down(link);
 
   if (params_.dual_link_detection) {
     // Both endpoints notice the dead adjacency: each fixes its image,
@@ -162,8 +167,10 @@ int DgmcNetwork::fail_link(graph::LinkId link, graph::NodeId detector) {
     for (graph::NodeId endpoint : {std::min(l.u, l.v), std::max(l.u, l.v)}) {
       if (!hosts_[endpoint].dgmc->alive()) continue;  // cannot detect
       hosts_[endpoint].image.apply(lsr::LinkEventAd{link, false});
-      ++nonmc_floodings_;
-      flooding_.flood(endpoint, Payload{lsr::LinkEventAd{link, false}});
+      if (flooding_.node_up(endpoint)) {  // gray failure swallows the LSA
+        ++nonmc_floodings_;
+        flooding_.flood(endpoint, Payload{lsr::LinkEventAd{link, false}});
+      }
       const int affected = hosts_[endpoint].dgmc->local_link_event(link);
       if (endpoint == det) k = affected;
     }
@@ -172,9 +179,14 @@ int DgmcNetwork::fail_link(graph::LinkId link, graph::NodeId detector) {
 
   if (!hosts_[det].dgmc->alive()) return 0;  // the detector is down
   hosts_[det].image.apply(lsr::LinkEventAd{link, false});
-  // One non-MC LSA, then k MC LSAs (paper §3.1, Figure 2).
-  ++nonmc_floodings_;
-  flooding_.flood(det, Payload{lsr::LinkEventAd{link, false}});
+  // One non-MC LSA, then k MC LSAs (paper §3.1, Figure 2). A
+  // transport-silenced detector still observes and recomputes locally
+  // — its divergence is what the soak watchdog exists to catch — but
+  // its LSA dies at the interface.
+  if (flooding_.node_up(det)) {
+    ++nonmc_floodings_;
+    flooding_.flood(det, Payload{lsr::LinkEventAd{link, false}});
+  }
   return hosts_[det].dgmc->local_link_event(link);
 }
 
@@ -183,14 +195,17 @@ void DgmcNetwork::restore_link(graph::LinkId link, graph::NodeId detector) {
   DGMC_ASSERT_MSG(!physical_.link(link).up, "link already up");
   const graph::NodeId det = pick_detector(link, detector);
   physical_.set_link_up(link, true);
+  flooding_.on_link_up(link);
   const graph::Link& restored = physical_.link(link);
   for (graph::NodeId endpoint :
        {std::min(restored.u, restored.v), std::max(restored.u, restored.v)}) {
     if (!params_.dual_link_detection && endpoint != det) continue;
     if (!hosts_[endpoint].dgmc->alive()) continue;  // cannot detect
     hosts_[endpoint].image.apply(lsr::LinkEventAd{link, true});
-    ++nonmc_floodings_;
-    flooding_.flood(endpoint, Payload{lsr::LinkEventAd{link, true}});
+    if (flooding_.node_up(endpoint)) {  // gray failure swallows the LSA
+      ++nonmc_floodings_;
+      flooding_.flood(endpoint, Payload{lsr::LinkEventAd{link, true}});
+    }
     const int affected = hosts_[endpoint].dgmc->local_link_event(link);
     DGMC_ASSERT(affected == 0);  // an up event affects no topology
   }
@@ -207,6 +222,7 @@ void DgmcNetwork::restore_link(graph::LinkId link, graph::NodeId detector) {
 void DgmcNetwork::resync_over(const std::vector<graph::NodeId>& endpoints) {
   for (graph::NodeId endpoint : endpoints) {
     if (!hosts_[endpoint].dgmc->alive()) continue;
+    if (!flooding_.node_up(endpoint)) continue;  // gray failure: no sync
     for (mc::McId mcid : hosts_[endpoint].dgmc->known_mcs()) {
       ++sync_floodings_;
       flooding_.flood(endpoint,
@@ -238,6 +254,7 @@ void DgmcNetwork::crash_switch(graph::NodeId node) {
     const graph::NodeId neighbor = physical_.other_end(id, node);
     if (!hosts_[neighbor].dgmc->alive()) continue;
     hosts_[neighbor].image.apply(lsr::LinkEventAd{id, false});
+    if (!flooding_.node_up(neighbor)) continue;  // gray failure swallows
     ++nonmc_floodings_;
     flooding_.flood(neighbor, Payload{lsr::LinkEventAd{id, false}});
     hosts_[neighbor].dgmc->local_link_event(id);
@@ -258,6 +275,7 @@ void DgmcNetwork::restart_switch(graph::NodeId node) {
     for (graph::NodeId endpoint : {std::min(l.u, l.v), std::max(l.u, l.v)}) {
       if (!hosts_[endpoint].dgmc->alive()) continue;
       hosts_[endpoint].image.apply(lsr::LinkEventAd{id, true});
+      if (!flooding_.node_up(endpoint)) continue;  // gray failure swallows
       ++nonmc_floodings_;
       flooding_.flood(endpoint, Payload{lsr::LinkEventAd{id, true}});
       const int affected = hosts_[endpoint].dgmc->local_link_event(id);

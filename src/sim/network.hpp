@@ -39,6 +39,9 @@ class DgmcNetwork {
     /// default — the paper's lossless model. Required for convergence
     /// whenever a fault plan injects message loss.
     lsr::ReliableFloodingConfig reliable;
+    /// Backpressure bounds for overload survival (all-zero — the
+    /// default — is unlimited and preserves historical behavior).
+    lsr::OverloadConfig overload;
   };
 
   DgmcNetwork(graph::Graph physical, Params params,
@@ -91,6 +94,19 @@ class DgmcNetwork {
 
   bool switch_alive(graph::NodeId node) const;
 
+  /// Gray-failure injection: silences a switch's transport endpoint —
+  /// copies addressed to it evaporate, it stops acking, its pending
+  /// retransmissions are abandoned, and LSAs it originates (joins,
+  /// link detections, McSync) die at its own interface — while its
+  /// protocol state stays alive and keeps evolving locally, stale.
+  /// Unlike crash_switch no LSAs advertise the event, so the rest of
+  /// the network keeps treating the switch as a valid MC participant:
+  /// the canonical stuck-MC scenario the soak watchdog exists to
+  /// catch.
+  void silence_transport(graph::NodeId node) {
+    flooding_.set_node_up(node, false);
+  }
+
   /// Installs a seeded fault plan: loss/jitter hooks on the flooding
   /// transport plus calendar-driven link flaps and switch
   /// crash/restart events. Deterministic per (plan, seed). Call once,
@@ -108,7 +124,8 @@ class DgmcNetwork {
   /// armed retransmission timers (an armed timer is an undelivered
   /// LSA, so topology agreement checked earlier could still change).
   bool quiescent() const {
-    return sched_.empty() && flooding_.retransmit_timers_armed() == 0;
+    return sched_.empty() && flooding_.retransmit_timers_armed() == 0 &&
+           flooding_.queued() == 0;
   }
 
   // --- Metrics ---

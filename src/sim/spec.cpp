@@ -1,0 +1,748 @@
+#include "sim/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/algorithms.hpp"
+#include "sim/scenario.hpp"  // parse_time
+#include "sim/workload.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::sim {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::optional<long> parse_int(std::string_view s) {
+  long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_real(std::string_view s) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::pair<std::string_view, std::string_view>> split_kv(
+    std::string_view token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos) return std::nullopt;
+  return std::make_pair(token.substr(0, eq), token.substr(eq + 1));
+}
+
+std::string fmt_real(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Canonical time rendering: full-precision seconds with an "s" suffix,
+/// so serialize() -> parse_time round-trips the double exactly.
+std::string fmt_time(double seconds) { return fmt_real(seconds) + "s"; }
+
+const char* topo_name(SoakSpec::Topo t) {
+  switch (t) {
+    case SoakSpec::Topo::kWaxman: return "waxman";
+    case SoakSpec::Topo::kRing: return "ring";
+    case SoakSpec::Topo::kLine: return "line";
+    case SoakSpec::Topo::kStar: return "star";
+    case SoakSpec::Topo::kGrid: return "grid";
+    case SoakSpec::Topo::kComplete: return "complete";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_string(const SoakEvent& ev) {
+  char buf[96];
+  switch (ev.kind) {
+    case SoakEvent::Kind::kJoin:
+      std::snprintf(buf, sizeof buf, "t=%.6f join %d mc=%d", ev.at, ev.node,
+                    ev.mcid);
+      break;
+    case SoakEvent::Kind::kLeave:
+      std::snprintf(buf, sizeof buf, "t=%.6f leave %d mc=%d", ev.at, ev.node,
+                    ev.mcid);
+      break;
+    case SoakEvent::Kind::kFail:
+      std::snprintf(buf, sizeof buf, "t=%.6f fail link=%d", ev.at, ev.link);
+      break;
+    case SoakEvent::Kind::kRestore:
+      std::snprintf(buf, sizeof buf, "t=%.6f restore link=%d", ev.at, ev.link);
+      break;
+    case SoakEvent::Kind::kCrash:
+      std::snprintf(buf, sizeof buf, "t=%.6f crash %d", ev.at, ev.node);
+      break;
+    case SoakEvent::Kind::kRestart:
+      std::snprintf(buf, sizeof buf, "t=%.6f restart %d", ev.at, ev.node);
+      break;
+  }
+  return buf;
+}
+
+std::variant<SoakSpec, SpecError> SoakSpec::parse(std::string_view text) {
+  SoakSpec sp;
+  int line_no = 0;
+  std::vector<int> churn_lines;  // source line of each churn program
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+
+  auto fail = [&](std::string message) {
+    return SpecError{line_no, std::move(message)};
+  };
+
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::vector<std::string> tok = tokenize(raw);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "name") {
+      if (tok.size() != 2) return fail("name needs one identifier");
+      sp.name = tok[1];
+    } else if (tok[0] == "network") {
+      if (tok.size() < 3) return fail("network needs a kind and size");
+      const auto n = parse_int(tok[2]);
+      if (!n || *n < 2 || *n > 10000) return fail("bad network size");
+      sp.network_size = static_cast<int>(*n);
+      std::size_t arg0 = 3;
+      if (tok[1] == "waxman") sp.topo = Topo::kWaxman;
+      else if (tok[1] == "ring") sp.topo = Topo::kRing;
+      else if (tok[1] == "line") sp.topo = Topo::kLine;
+      else if (tok[1] == "star") sp.topo = Topo::kStar;
+      else if (tok[1] == "complete") sp.topo = Topo::kComplete;
+      else if (tok[1] == "grid") {
+        sp.topo = Topo::kGrid;
+        if (tok.size() < 4) return fail("grid needs rows and cols");
+        const auto cols = parse_int(tok[3]);
+        if (!cols || *cols < 1) return fail("bad grid cols");
+        sp.grid_rows = static_cast<int>(*n);
+        sp.grid_cols = static_cast<int>(*cols);
+        sp.network_size = sp.grid_rows * sp.grid_cols;
+        arg0 = 4;
+      } else {
+        return fail("unknown network kind '" + tok[1] + "'");
+      }
+      for (std::size_t i = arg0; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv || kv->first != "seed") return fail("unknown network arg");
+        const auto seed = parse_int(kv->second);
+        if (!seed || *seed < 0) return fail("bad seed");
+        sp.topo_seed = static_cast<std::uint64_t>(*seed);
+      }
+    } else if (tok[0] == "delay") {
+      if (tok.size() != 3) return fail("delay needs mode and value");
+      const auto t = parse_time(tok[2]);
+      if (!t) return fail("bad delay value");
+      if (tok[1] == "uniform") sp.uniform_delay = *t;
+      else if (tok[1] == "mean") sp.mean_delay = *t;
+      else return fail("delay mode must be uniform|mean");
+    } else if (tok[0] == "timing") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv) return fail("timing args are key=value");
+        const auto t = parse_time(kv->second);
+        if (!t) return fail("bad time value");
+        if (kv->first == "tc") sp.tc = *t;
+        else if (kv->first == "perhop") sp.per_hop = *t;
+        else return fail("unknown timing key");
+      }
+    } else if (tok[0] == "option") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv) return fail("option args are key=value");
+        if (kv->first == "algorithm") {
+          if (kv->second == "incremental") sp.incremental = true;
+          else if (kv->second == "fromscratch") sp.incremental = false;
+          else return fail("algorithm must be incremental|fromscratch");
+        } else if (kv->first == "resync" || kv->first == "dualdetect" ||
+                   kv->first == "reliable") {
+          bool value;
+          if (kv->second == "on") value = true;
+          else if (kv->second == "off") value = false;
+          else return fail("expected on|off");
+          if (kv->first == "resync") sp.resync = value;
+          else if (kv->first == "dualdetect") sp.dual_detect = value;
+          else sp.reliable = value;
+        } else {
+          return fail("unknown option '" + std::string(kv->first) + "'");
+        }
+      }
+    } else if (tok[0] == "overload") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv) return fail("overload args are key=value");
+        const auto n = parse_int(kv->second);
+        if (!n || *n < 0) return fail("bad overload value");
+        if (kv->first == "inflight") {
+          sp.overload.max_inflight_per_link = static_cast<int>(*n);
+        } else if (kv->first == "queue") {
+          sp.overload.max_queue_per_link = static_cast<int>(*n);
+        } else if (kv->first == "dedupcap") {
+          sp.overload.max_dedup_ahead = static_cast<std::size_t>(*n);
+        } else {
+          return fail("unknown overload key '" + std::string(kv->first) + "'");
+        }
+      }
+    } else if (tok[0] == "soak") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv) return fail("soak args are key=value");
+        if (kv->first == "duration") {
+          const auto t = parse_time(kv->second);
+          if (!t || *t <= 0.0) return fail("bad duration");
+          sp.duration = *t;
+        } else if (kv->first == "phases") {
+          const auto n = parse_int(kv->second);
+          if (!n || *n < 1) return fail("bad phase count");
+          sp.phases = static_cast<int>(*n);
+        } else if (kv->first == "trials") {
+          const auto n = parse_int(kv->second);
+          if (!n || *n < 1) return fail("bad trial count");
+          sp.trials = static_cast<int>(*n);
+        } else if (kv->first == "seed") {
+          const auto n = parse_int(kv->second);
+          if (!n || *n < 0) return fail("bad seed");
+          sp.soak_seed = static_cast<std::uint64_t>(*n);
+        } else {
+          return fail("unknown soak key '" + std::string(kv->first) + "'");
+        }
+      }
+    } else if (tok[0] == "watchdog") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv || kv->first != "deadline") {
+          return fail("watchdog takes deadline=<time>");
+        }
+        const auto t = parse_time(kv->second);
+        if (!t || *t <= 0.0) return fail("bad watchdog deadline");
+        sp.watchdog_deadline = *t;
+      }
+    } else if (tok[0] == "budget") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv) return fail("budget args are key=value");
+        if (kv->first == "rss_mb") {
+          const auto v = parse_real(kv->second);
+          if (!v || *v <= 0.0) return fail("bad rss budget");
+          sp.budgets.rss_growth_mb = *v;
+        } else {
+          const auto n = parse_int(kv->second);
+          if (!n || *n < 0) return fail("bad budget value");
+          if (kv->first == "dedup") {
+            sp.budgets.dedup_backlog = static_cast<std::size_t>(*n);
+          } else if (kv->first == "pending") {
+            sp.budgets.pending_retransmits = static_cast<std::size_t>(*n);
+          } else {
+            return fail("unknown budget key '" + std::string(kv->first) + "'");
+          }
+        }
+      }
+    } else if (tok[0] == "fault") {
+      std::size_t arg0 = 1;
+      const bool burst = tok.size() > 1 && tok[1] == "burst";
+      if (burst) {
+        sp.faults.use_burst = true;
+        arg0 = 2;
+      }
+      for (std::size_t i = arg0; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv) return fail("fault args are key=value");
+        if (!burst && kv->first == "jitter") {
+          const auto t = parse_time(kv->second);
+          if (!t) return fail("bad jitter value");
+          sp.faults.max_extra_delay = *t;
+          continue;
+        }
+        const auto p = parse_real(kv->second);
+        if (!p || *p < 0.0 || *p > 1.0) return fail("bad probability");
+        if (!burst && kv->first == "loss") sp.faults.iid_loss = *p;
+        else if (burst && kv->first == "pgb") sp.faults.burst.p_good_to_bad = *p;
+        else if (burst && kv->first == "pbg") sp.faults.burst.p_bad_to_good = *p;
+        else if (burst && kv->first == "lossgood") sp.faults.burst.loss_good = *p;
+        else if (burst && kv->first == "lossbad") sp.faults.burst.loss_bad = *p;
+        else return fail("unknown fault key '" + std::string(kv->first) + "'");
+      }
+    } else if (tok[0] == "churn") {
+      if (tok.size() < 2) return fail("churn needs a program kind");
+      ChurnProgram p;
+      if (tok[1] == "flashcrowd") p.kind = ChurnProgram::Kind::kFlashCrowd;
+      else if (tok[1] == "poisson") p.kind = ChurnProgram::Kind::kPoisson;
+      else if (tok[1] == "drift") p.kind = ChurnProgram::Kind::kDrift;
+      else if (tok[1] == "rolling") p.kind = ChurnProgram::Kind::kRolling;
+      else return fail("unknown churn program '" + tok[1] + "'");
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        const auto kv = split_kv(tok[i]);
+        if (!kv) return fail("churn args are key=value");
+        const std::string key(kv->first);
+        auto want_int = [&]() { return parse_int(kv->second); };
+        auto want_real = [&]() { return parse_real(kv->second); };
+        auto want_time = [&]() { return parse_time(kv->second); };
+        if (key == "mc") {
+          const auto n = want_int();
+          if (!n || *n < 0) return fail("bad mc id");
+          p.mcid = static_cast<mc::McId>(*n);
+        } else if (key == "start") {
+          const auto t = want_time();
+          if (!t) return fail("bad start time");
+          p.start = *t;
+        } else if (key == "members") {
+          const auto n = want_int();
+          if (!n || *n < 1) return fail("bad member count");
+          p.members = static_cast<int>(*n);
+        } else if (key == "alpha") {
+          const auto v = want_real();
+          if (!v || *v <= 0.0) return fail("bad pareto alpha");
+          p.alpha = *v;
+        } else if (key == "scale") {
+          const auto t = want_time();
+          if (!t || *t <= 0.0) return fail("bad pareto scale");
+          p.scale = *t;
+        } else if (key == "type") {
+          if (kv->second == "symmetric") p.type = mc::McType::kSymmetric;
+          else if (kv->second == "receiver") {
+            p.type = mc::McType::kReceiverOnly;
+            p.role = mc::MemberRole::kReceiver;
+          } else if (kv->second == "asymmetric") {
+            p.type = mc::McType::kAsymmetric;
+          } else {
+            return fail("unknown MC type");
+          }
+        } else if (key == "role") {
+          if (kv->second == "sender") p.role = mc::MemberRole::kSender;
+          else if (kv->second == "receiver") p.role = mc::MemberRole::kReceiver;
+          else if (kv->second == "both") p.role = mc::MemberRole::kBoth;
+          else return fail("unknown role");
+        } else if (key == "events") {
+          const auto n = want_int();
+          if (!n || *n < 0) return fail("bad event count");
+          p.events = static_cast<int>(*n);
+        } else if (key == "gap") {
+          const auto t = want_time();
+          if (!t || *t <= 0.0) return fail("bad gap");
+          p.gap = *t;
+        } else if (key == "links") {
+          const auto n = want_int();
+          if (!n || *n < 1) return fail("bad link count");
+          p.links = static_cast<int>(*n);
+        } else if (key == "period") {
+          const auto t = want_time();
+          if (!t || *t <= 0.0) return fail("bad period");
+          p.period = *t;
+        } else if (key == "sigma") {
+          const auto v = want_real();
+          if (!v || *v < 0.0) return fail("bad sigma");
+          p.sigma = *v;
+        } else if (key == "down") {
+          const auto v = want_real();
+          if (!v || *v <= 0.0) return fail("bad down threshold");
+          p.down_threshold = *v;
+        } else if (key == "up") {
+          const auto v = want_real();
+          if (!v || *v <= 0.0) return fail("bad up threshold");
+          p.up_threshold = *v;
+        } else if (key == "interval") {
+          const auto t = want_time();
+          if (!t || *t <= 0.0) return fail("bad interval");
+          p.interval = *t;
+        } else if (key == "downtime") {
+          const auto t = want_time();
+          if (!t || *t <= 0.0) return fail("bad downtime");
+          p.downtime = *t;
+        } else if (key == "count") {
+          const auto n = want_int();
+          if (!n || *n < 0) return fail("bad count");
+          p.count = static_cast<int>(*n);
+        } else {
+          return fail("unknown churn key '" + key + "'");
+        }
+      }
+      if (p.kind == ChurnProgram::Kind::kDrift &&
+          p.up_threshold >= p.down_threshold) {
+        return fail("drift needs up < down (the hysteresis band)");
+      }
+      sp.churn.push_back(p);
+      churn_lines.push_back(line_no);
+    } else {
+      return fail("unknown statement '" + tok[0] + "'");
+    }
+  }
+
+  // --- whole-spec validation (blamed on the offending churn line) ---
+  std::set<mc::McId> membership_mcs;
+  for (std::size_t pi = 0; pi < sp.churn.size(); ++pi) {
+    const ChurnProgram& p = sp.churn[pi];
+    line_no = churn_lines[pi];
+    const bool membership = p.kind == ChurnProgram::Kind::kFlashCrowd ||
+                            p.kind == ChurnProgram::Kind::kPoisson;
+    if (membership) {
+      if (!membership_mcs.insert(p.mcid).second) {
+        return fail("mc " + std::to_string(p.mcid) +
+                    " appears in more than one membership program");
+      }
+      if (p.kind == ChurnProgram::Kind::kFlashCrowd &&
+          p.members > sp.network_size) {
+        return fail("flashcrowd members exceed the network size");
+      }
+      if (p.kind == ChurnProgram::Kind::kPoisson) {
+        if (p.members < 2) return fail("poisson needs members >= 2");
+        if (p.members + p.events > sp.network_size) {
+          return fail("poisson members + events exceed the network size "
+                      "(each node is used at most once)");
+        }
+      }
+    }
+    if (p.kind == ChurnProgram::Kind::kRolling &&
+        p.count > sp.network_size) {
+      return fail("rolling count exceeds the network size");
+    }
+  }
+  if (sp.network_size < 3 && !membership_mcs.empty()) {
+    return fail("membership churn needs a network of at least 3 switches");
+  }
+  return sp;
+}
+
+std::string SoakSpec::serialize() const {
+  std::string out;
+  auto line = [&](const std::string& s) { out += s + "\n"; };
+  line("# dgmc soak spec v1");
+  line("name " + name);
+  {
+    std::string net = std::string("network ") + topo_name(topo) + " ";
+    if (topo == Topo::kGrid) {
+      net += std::to_string(grid_rows) + " " + std::to_string(grid_cols);
+    } else {
+      net += std::to_string(network_size);
+    }
+    net += " seed=" + std::to_string(topo_seed);
+    line(net);
+  }
+  if (uniform_delay.has_value()) line("delay uniform " + fmt_time(*uniform_delay));
+  if (mean_delay.has_value()) line("delay mean " + fmt_time(*mean_delay));
+  line("timing tc=" + fmt_time(tc) + " perhop=" + fmt_time(per_hop));
+  line(std::string("option algorithm=") +
+       (incremental ? "incremental" : "fromscratch") +
+       " resync=" + (resync ? "on" : "off") +
+       " dualdetect=" + (dual_detect ? "on" : "off") +
+       " reliable=" + (reliable ? "on" : "off"));
+  if (overload.max_inflight_per_link > 0 || overload.max_queue_per_link > 0 ||
+      overload.max_dedup_ahead > 0) {
+    line("overload inflight=" + std::to_string(overload.max_inflight_per_link) +
+         " queue=" + std::to_string(overload.max_queue_per_link) +
+         " dedupcap=" + std::to_string(overload.max_dedup_ahead));
+  }
+  line("soak duration=" + fmt_time(duration) +
+       " phases=" + std::to_string(phases) +
+       " trials=" + std::to_string(trials) +
+       " seed=" + std::to_string(soak_seed));
+  line("watchdog deadline=" + fmt_time(watchdog_deadline));
+  line("budget dedup=" + std::to_string(budgets.dedup_backlog) +
+       " pending=" + std::to_string(budgets.pending_retransmits) +
+       " rss_mb=" + fmt_real(budgets.rss_growth_mb));
+  if (faults.iid_loss > 0.0 || faults.max_extra_delay > 0.0) {
+    line("fault loss=" + fmt_real(faults.iid_loss) +
+         " jitter=" + fmt_time(faults.max_extra_delay));
+  }
+  if (faults.use_burst) {
+    line("fault burst pgb=" + fmt_real(faults.burst.p_good_to_bad) +
+         " pbg=" + fmt_real(faults.burst.p_bad_to_good) +
+         " lossgood=" + fmt_real(faults.burst.loss_good) +
+         " lossbad=" + fmt_real(faults.burst.loss_bad));
+  }
+  for (const ChurnProgram& p : churn) {
+    switch (p.kind) {
+      case ChurnProgram::Kind::kFlashCrowd: {
+        std::string s = "churn flashcrowd mc=" + std::to_string(p.mcid) +
+                        " start=" + fmt_time(p.start) +
+                        " members=" + std::to_string(p.members) +
+                        " alpha=" + fmt_real(p.alpha) +
+                        " scale=" + fmt_time(p.scale);
+        if (p.type == mc::McType::kReceiverOnly) s += " type=receiver";
+        else if (p.type == mc::McType::kAsymmetric) s += " type=asymmetric";
+        if (p.type != mc::McType::kReceiverOnly) {
+          if (p.role == mc::MemberRole::kSender) s += " role=sender";
+          else if (p.role == mc::MemberRole::kReceiver) s += " role=receiver";
+        }
+        line(s);
+        break;
+      }
+      case ChurnProgram::Kind::kPoisson:
+        line("churn poisson mc=" + std::to_string(p.mcid) +
+             " start=" + fmt_time(p.start) +
+             " members=" + std::to_string(p.members) +
+             " events=" + std::to_string(p.events) +
+             " gap=" + fmt_time(p.gap));
+        break;
+      case ChurnProgram::Kind::kDrift:
+        line("churn drift links=" + std::to_string(p.links) +
+             " period=" + fmt_time(p.period) +
+             " sigma=" + fmt_real(p.sigma) +
+             " down=" + fmt_real(p.down_threshold) +
+             " up=" + fmt_real(p.up_threshold));
+        break;
+      case ChurnProgram::Kind::kRolling:
+        line("churn rolling start=" + fmt_time(p.start) +
+             " interval=" + fmt_time(p.interval) +
+             " downtime=" + fmt_time(p.downtime) +
+             " count=" + std::to_string(p.count));
+        break;
+    }
+  }
+  return out;
+}
+
+graph::Graph SoakSpec::build_graph() const {
+  graph::Graph g;
+  switch (topo) {
+    case Topo::kWaxman: {
+      util::RngStream rng = util::RngStream::derive(topo_seed, "scenario");
+      g = graph::waxman(network_size, graph::WaxmanParams{}, rng);
+      break;
+    }
+    case Topo::kRing: g = graph::ring(network_size); break;
+    case Topo::kLine: g = graph::line(network_size); break;
+    case Topo::kStar: g = graph::star(network_size); break;
+    case Topo::kComplete: g = graph::complete(network_size); break;
+    case Topo::kGrid: g = graph::grid(grid_rows, grid_cols); break;
+  }
+  if (uniform_delay.has_value()) {
+    g.set_uniform_delay(*uniform_delay);
+  } else if (mean_delay.has_value() && graph::mean_link_delay(g) > 0) {
+    g.scale_delays(*mean_delay / graph::mean_link_delay(g));
+  } else {
+    g.set_uniform_delay(1e-6);
+  }
+  return g;
+}
+
+DgmcNetwork::Params SoakSpec::network_params() const {
+  DgmcNetwork::Params params;
+  params.per_hop_overhead = per_hop;
+  params.dgmc.computation_time = tc;
+  params.dgmc.partition_resync = resync;
+  params.dual_link_detection = dual_detect;
+  params.reliable.enabled = reliable;
+  params.overload = overload;
+  return params;
+}
+
+std::vector<mc::McId> SoakSpec::mcs() const {
+  std::vector<mc::McId> out;
+  for (const ChurnProgram& p : churn) {
+    if (p.kind == ChurnProgram::Kind::kFlashCrowd ||
+        p.kind == ChurnProgram::Kind::kPoisson) {
+      out.push_back(p.mcid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// --- ChurnEngine ---
+
+ChurnEngine::ChurnEngine(const SoakSpec& spec, const graph::Graph& graph,
+                         std::uint64_t seed) {
+  const util::RngStream base = util::RngStream::derive(seed, "churn");
+  programs_.reserve(spec.churn.size());
+  for (std::size_t i = 0; i < spec.churn.size(); ++i) {
+    Program p{spec.churn[i], base.fork(i), {}, 0, {}, {}, {}, 0.0};
+    build_schedule(p, graph, spec.network_size);
+    programs_.push_back(std::move(p));
+  }
+}
+
+void ChurnEngine::build_schedule(Program& p, const graph::Graph& graph,
+                                 int n) {
+  switch (p.cfg.kind) {
+    case ChurnProgram::Kind::kFlashCrowd: {
+      // A heavy-tailed join storm: `members` distinct switches arrive
+      // with Pareto(alpha, scale) interarrivals — most of the crowd
+      // lands in a burst, a few stragglers trail far behind.
+      std::vector<graph::NodeId> nodes(n);
+      for (graph::NodeId i = 0; i < n; ++i) nodes[i] = i;
+      p.rng.shuffle(nodes);
+      des::SimTime t = p.cfg.start;
+      const int storm = std::min(p.cfg.members, n);
+      for (int i = 0; i < storm; ++i) {
+        SoakEvent ev;
+        ev.at = t;
+        ev.kind = SoakEvent::Kind::kJoin;
+        ev.node = nodes[static_cast<std::size_t>(i)];
+        ev.mcid = p.cfg.mcid;
+        ev.type = p.cfg.type;
+        ev.role = p.cfg.role;
+        p.schedule.push_back(ev);
+        // Pareto sample with minimum `scale`: scale * (1-u)^(-1/alpha).
+        const double u = p.rng.uniform01();
+        t += p.cfg.scale * std::pow(1.0 - u, -1.0 / p.cfg.alpha);
+      }
+      break;
+    }
+    case ChurnProgram::Kind::kPoisson: {
+      const std::vector<graph::NodeId> initial =
+          random_members(n, std::min(p.cfg.members, n), p.rng);
+      for (graph::NodeId m : initial) {
+        SoakEvent ev;
+        ev.at = p.cfg.start;
+        ev.kind = SoakEvent::Kind::kJoin;
+        ev.node = m;
+        ev.mcid = p.cfg.mcid;
+        ev.type = p.cfg.type;
+        ev.role = p.cfg.role;
+        p.schedule.push_back(ev);
+      }
+      for (const MembershipEvent& m : poisson_membership(
+               n, initial, p.cfg.events, p.cfg.gap, p.cfg.role, p.rng)) {
+        SoakEvent ev;
+        ev.at = p.cfg.start + m.at;
+        ev.kind = m.join ? SoakEvent::Kind::kJoin : SoakEvent::Kind::kLeave;
+        ev.node = m.node;
+        ev.mcid = p.cfg.mcid;
+        ev.type = p.cfg.type;
+        ev.role = m.role;
+        p.schedule.push_back(ev);
+      }
+      break;
+    }
+    case ChurnProgram::Kind::kDrift: {
+      // Seeded pick of the drifting links; cost state starts from the
+      // graph's own costs. Ticks are generated lazily per window.
+      std::vector<graph::LinkId> all(
+          static_cast<std::size_t>(graph.link_count()));
+      for (graph::LinkId i = 0; i < graph.link_count(); ++i) {
+        all[static_cast<std::size_t>(i)] = i;
+      }
+      p.rng.shuffle(all);
+      const std::size_t take = std::min<std::size_t>(
+          all.size(), static_cast<std::size_t>(p.cfg.links));
+      p.drift_links.assign(all.begin(), all.begin() + take);
+      p.cost.reserve(take);
+      for (graph::LinkId id : p.drift_links) {
+        p.cost.push_back(graph.link(id).cost);
+      }
+      p.down.assign(take, 0);
+      p.next_tick = p.cfg.start + p.cfg.period;
+      break;
+    }
+    case ChurnProgram::Kind::kRolling: {
+      // A seeded permutation restarts one switch every `interval`.
+      std::vector<graph::NodeId> order(n);
+      for (graph::NodeId i = 0; i < n; ++i) order[i] = i;
+      p.rng.shuffle(order);
+      const int waves = p.cfg.count > 0 ? std::min(p.cfg.count, n) : n;
+      for (int i = 0; i < waves; ++i) {
+        const des::SimTime crash_at = p.cfg.start + i * p.cfg.interval;
+        SoakEvent ev;
+        ev.node = order[static_cast<std::size_t>(i)];
+        ev.at = crash_at;
+        ev.kind = SoakEvent::Kind::kCrash;
+        p.schedule.push_back(ev);
+        ev.at = crash_at + p.cfg.downtime;
+        ev.kind = SoakEvent::Kind::kRestart;
+        p.schedule.push_back(ev);
+      }
+      // downtime may exceed interval: restore time order.
+      std::stable_sort(p.schedule.begin(), p.schedule.end(),
+                       [](const SoakEvent& a, const SoakEvent& b) {
+                         return a.at < b.at;
+                       });
+      break;
+    }
+  }
+}
+
+void ChurnEngine::drift_window(Program& p, des::SimTime from, des::SimTime to,
+                               std::vector<SoakEvent>* out) {
+  (void)from;  // ticks advance monotonically; windows are contiguous
+  while (p.next_tick < to) {
+    for (std::size_t i = 0; i < p.drift_links.size(); ++i) {
+      p.cost[i] += p.rng.uniform_real(-p.cfg.sigma, p.cfg.sigma);
+      p.cost[i] = std::max(p.cost[i], 0.01);
+      SoakEvent ev;
+      ev.at = p.next_tick;
+      ev.link = p.drift_links[i];
+      if (p.down[i] == 0 && p.cost[i] >= p.cfg.down_threshold) {
+        p.down[i] = 1;
+        ev.kind = SoakEvent::Kind::kFail;
+        out->push_back(ev);
+      } else if (p.down[i] != 0 && p.cost[i] <= p.cfg.up_threshold) {
+        p.down[i] = 0;
+        ev.kind = SoakEvent::Kind::kRestore;
+        out->push_back(ev);
+      }
+    }
+    p.next_tick += p.cfg.period;
+  }
+}
+
+std::vector<SoakEvent> ChurnEngine::phase_events(des::SimTime from,
+                                                 des::SimTime to) {
+  DGMC_ASSERT_MSG(from >= cursor_, "phase windows must be increasing");
+  DGMC_ASSERT(to >= from);
+  cursor_ = to;
+  std::vector<std::pair<std::size_t, SoakEvent>> merged;
+  for (std::size_t pi = 0; pi < programs_.size(); ++pi) {
+    Program& p = programs_[pi];
+    if (p.cfg.kind == ChurnProgram::Kind::kDrift) {
+      std::vector<SoakEvent> events;
+      drift_window(p, from, to, &events);
+      for (const SoakEvent& ev : events) merged.emplace_back(pi, ev);
+      continue;
+    }
+    while (p.next < p.schedule.size() && p.schedule[p.next].at < to) {
+      if (p.schedule[p.next].at >= from) {
+        merged.emplace_back(pi, p.schedule[p.next]);
+      }
+      ++p.next;
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second.at != b.second.at) {
+                       return a.second.at < b.second.at;
+                     }
+                     return a.first < b.first;
+                   });
+  std::vector<SoakEvent> out;
+  out.reserve(merged.size());
+  for (auto& [pi, ev] : merged) out.push_back(ev);
+  return out;
+}
+
+std::vector<SoakEvent> ChurnEngine::expand_all(const SoakSpec& spec,
+                                               const graph::Graph& graph,
+                                               std::uint64_t seed) {
+  ChurnEngine engine(spec, graph, seed);
+  return engine.phase_events(0.0, spec.duration);
+}
+
+}  // namespace dgmc::sim

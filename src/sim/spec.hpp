@@ -1,0 +1,228 @@
+// Declarative soak/churn scenario spec — ONE format consumed by BOTH
+// the long-run chaos soak runner (`dgmc_soak`, src/soak) and the model
+// checker (`dgmc_check --spec`, via check::scenario_from_soak). Every
+// stress workload is thereby also a checkable fault-search scenario
+// (Helmy/Estrin/Gupta's methodology; see DESIGN.md §10).
+//
+// Grammar, one statement per line, '#' starts a comment:
+//
+//   name <identifier>
+//   network waxman <n> [seed=<u64>]    — or ring|line|star|complete <n>,
+//   network grid <rows> <cols>           grid <rows> <cols>
+//   delay uniform <time> | delay mean <time>
+//   timing tc=<time> perhop=<time>
+//   option algorithm=incremental|fromscratch resync=on|off
+//          dualdetect=on|off reliable=on|off
+//   overload inflight=<n> queue=<n> dedupcap=<n>   — backpressure knobs
+//   soak duration=<time> phases=<n> trials=<n> seed=<u64>
+//   watchdog deadline=<time>
+//   budget dedup=<n> pending=<n> rss_mb=<float>
+//   fault loss=<p> jitter=<time>
+//   fault burst pgb=<p> pbg=<p> lossgood=<p> lossbad=<p>
+//   churn flashcrowd mc=<id> start=<time> members=<n> alpha=<f> scale=<time>
+//         [type=symmetric|receiver|asymmetric] [role=sender|receiver|both]
+//   churn poisson mc=<id> start=<time> members=<n> events=<n> gap=<time>
+//   churn drift links=<n> period=<time> sigma=<f> down=<f> up=<f>
+//   churn rolling start=<time> interval=<time> downtime=<time> count=<n>
+//
+// Times accept s/ms/us suffixes (sim/scenario.hpp parse_time). Parsing
+// is total — errors carry line number and reason — and `serialize()`
+// emits a canonical text that re-parses to an identical spec
+// (round-trip pinned by tests/sim_spec_test.cpp).
+//
+// Churn programs (the workloads the paper's polite bursty/Poisson
+// generators lack):
+//   flashcrowd — a join storm with heavy-tailed (Pareto alpha/scale)
+//     interarrivals: most arrivals cluster, a few straggle far out.
+//   poisson    — background membership churn against an evolving member
+//     set (reuses sim/workload semantics: each node used at most once).
+//   drift      — DREAM_OLSR-style continuous link-cost drift: each
+//     selected link's cost random-walks every `period`; crossing the
+//     `down` threshold fails the link, recovering below `up` (< down —
+//     the hysteresis band) restores it. Sub-threshold drift is tracked
+//     but deliberately not protocol-visible: D-GMC floods link up/down
+//     LSAs, not costs, so flaps are the protocol-visible projection.
+//   rolling    — a rolling switch upgrade wave: a seeded permutation of
+//     switches crash/restart one after another, `interval` apart.
+//
+// Each MC id may appear in at most one membership program (flashcrowd/
+// poisson) so join/leave sequences stay well-formed per MC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "des/time.hpp"
+#include "fault/fault.hpp"
+#include "graph/graph.hpp"
+#include "lsr/flooding.hpp"
+#include "mc/types.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::sim {
+
+struct SpecError {
+  int line = 0;
+  std::string message;
+};
+
+/// One churn program (see header comment for semantics).
+struct ChurnProgram {
+  enum class Kind : std::uint8_t {
+    kFlashCrowd = 0,
+    kPoisson = 1,
+    kDrift = 2,
+    kRolling = 3,
+  };
+  Kind kind = Kind::kFlashCrowd;
+  // flashcrowd / poisson
+  mc::McId mcid = 1;
+  des::SimTime start = 0.0;
+  int members = 8;  // flashcrowd: storm size; poisson: initial members
+  double alpha = 1.5;   // flashcrowd: Pareto shape (> 0)
+  double scale = 1e-3;  // flashcrowd: Pareto scale = minimum gap (> 0)
+  mc::McType type = mc::McType::kSymmetric;
+  mc::MemberRole role = mc::MemberRole::kBoth;
+  int events = 10;           // poisson: churn events after the joins
+  des::SimTime gap = 1.0;    // poisson: mean inter-event gap
+  // drift
+  int links = 4;             // number of drifting links (seeded pick)
+  des::SimTime period = 0.25;
+  double sigma = 0.2;        // per-period cost step, uniform(-sigma, sigma)
+  double down_threshold = 2.0;  // cost >= down  => link fails
+  double up_threshold = 1.5;    // cost <= up    => link restores
+  // rolling
+  des::SimTime interval = 5.0;
+  des::SimTime downtime = 0.5;
+  int count = 0;  // switches in the wave; 0 = every switch
+};
+
+/// Steady-state bounds asserted at every phase boundary of a soak.
+struct SoakBudgets {
+  std::size_t dedup_backlog = 4096;        // flooding dedup `ahead` entries
+  std::size_t pending_retransmits = 8192;  // armed retransmit timers
+  double rss_growth_mb = 256.0;            // RSS growth since first phase
+};
+
+/// A parsed, executable soak spec.
+class SoakSpec {
+ public:
+  /// Parses the text; returns the spec or the first error.
+  static std::variant<SoakSpec, SpecError> parse(std::string_view text);
+
+  /// Canonical text form: parse(serialize()) == *this (field-for-field;
+  /// the round-trip test compares serializations).
+  std::string serialize() const;
+
+  /// Builds the physical graph the spec describes.
+  graph::Graph build_graph() const;
+
+  /// Network parameters (timing, options, reliability, backpressure).
+  DgmcNetwork::Params network_params() const;
+
+  /// MC ids any membership program touches, ascending.
+  std::vector<mc::McId> mcs() const;
+
+  std::string name = "soak";
+
+  // --- topology ---
+  enum class Topo : std::uint8_t {
+    kWaxman = 0, kRing, kLine, kStar, kGrid, kComplete
+  };
+  Topo topo = Topo::kWaxman;
+  int network_size = 20;
+  int grid_rows = 0;
+  int grid_cols = 0;
+  std::uint64_t topo_seed = 1;
+  std::optional<double> uniform_delay;
+  std::optional<double> mean_delay;
+
+  // --- timing / options ---
+  des::SimTime tc = 25e-3;
+  double per_hop = 4e-6;
+  bool incremental = true;
+  bool resync = true;
+  bool dual_detect = false;
+  bool reliable = true;
+  lsr::OverloadConfig overload;
+
+  // --- soak controls ---
+  des::SimTime duration = 60.0;
+  int phases = 4;
+  int trials = 1;
+  std::uint64_t soak_seed = 42;
+  des::SimTime watchdog_deadline = 20.0;
+  SoakBudgets budgets;
+
+  // --- stochastic fault plan (flaps/crashes come from churn programs) ---
+  fault::FaultPlan faults;
+
+  std::vector<ChurnProgram> churn;
+};
+
+/// One concrete external event a churn program emits.
+struct SoakEvent {
+  enum class Kind : std::uint8_t {
+    kJoin = 0, kLeave, kFail, kRestore, kCrash, kRestart
+  };
+  des::SimTime at = 0.0;
+  Kind kind = Kind::kJoin;
+  graph::NodeId node = graph::kInvalidNode;  // join/leave/crash/restart
+  graph::LinkId link = graph::kInvalidLink;  // fail/restore
+  mc::McId mcid = mc::kInvalidMc;
+  mc::McType type = mc::McType::kSymmetric;
+  mc::MemberRole role = mc::MemberRole::kBoth;
+};
+
+std::string to_string(const SoakEvent& ev);
+
+/// Stateful, deterministic expansion of a spec's churn programs into
+/// concrete events. Phase-incremental so the soak runner can schedule
+/// one phase at a time (draining to quiescence in between) without
+/// future events keeping the calendar non-empty. Program i draws every
+/// decision from RngStream::derive(seed, "churn").fork(i), so adding or
+/// removing one program never perturbs another's event sequence (the
+/// same decoupling FaultInjector applies to fault kinds).
+class ChurnEngine {
+ public:
+  ChurnEngine(const SoakSpec& spec, const graph::Graph& graph,
+              std::uint64_t seed);
+
+  /// Events with `from <= at < to`, sorted by (time, program index).
+  /// Must be called with contiguous, increasing windows.
+  std::vector<SoakEvent> phase_events(des::SimTime from, des::SimTime to);
+
+  /// All events in [0, spec.duration) as one batch (checker bridge and
+  /// tests; equivalent to concatenating every phase window).
+  static std::vector<SoakEvent> expand_all(const SoakSpec& spec,
+                                           const graph::Graph& graph,
+                                           std::uint64_t seed);
+
+ private:
+  struct Program {
+    ChurnProgram cfg;
+    util::RngStream rng;
+    // flashcrowd / poisson: precomputed schedule, next-index cursor.
+    std::vector<SoakEvent> schedule;
+    std::size_t next = 0;
+    // drift: per-link state.
+    std::vector<graph::LinkId> drift_links;
+    std::vector<double> cost;
+    std::vector<std::uint8_t> down;  // our model's view of the link
+    des::SimTime next_tick = 0.0;
+  };
+
+  void build_schedule(Program& p, const graph::Graph& graph, int n);
+  void drift_window(Program& p, des::SimTime from, des::SimTime to,
+                    std::vector<SoakEvent>* out);
+
+  std::vector<Program> programs_;
+  des::SimTime cursor_ = 0.0;
+};
+
+}  // namespace dgmc::sim

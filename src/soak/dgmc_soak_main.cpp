@@ -1,0 +1,154 @@
+// dgmc_soak: long-run chaos soak runner (DESIGN.md §10).
+//
+//   dgmc_soak SPEC_FILE [flags]
+//
+// Flags:
+//   --jobs N        worker threads for the trial fan-out (default 1)
+//   --trials N      override the spec's trial count
+//   --duration S    override the spec's soak duration (CI capping)
+//   --stuck NODE    gray-failure injection: silence NODE's transport
+//   --stuck-at T    ...at simulated time T (default 0)
+//   --no-rss        skip RSS sampling (determinism comparisons)
+//   --summary       print the canonical summary (machine-comparable)
+//   --trace FILE    where to write a watchdog trace (default
+//                   soak_watchdog.trace in the working directory)
+//   --bench-json    write BENCH_soak.json (honors DGMC_BENCH_DIR)
+//
+// Exit status: 0 = all trials passed every invariant and budget;
+// 1 = failure (watchdog trip, invariant violation, budget breach);
+// 2 = usage / malformed spec.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <variant>
+
+#include "bench_json.hpp"
+#include "soak/soak.hpp"
+
+namespace {
+
+using dgmc::sim::SoakSpec;
+using dgmc::sim::SpecError;
+using dgmc::soak::SoakOptions;
+using dgmc::soak::TrialResult;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dgmc_soak SPEC_FILE [--jobs N] [--trials N] "
+               "[--duration S]\n"
+               "                 [--stuck NODE] [--stuck-at T] [--no-rss]\n"
+               "                 [--summary] [--trace FILE] [--bench-json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') return usage();
+  const std::string spec_path = argv[1];
+
+  SoakOptions options;
+  long trials_override = -1;
+  double duration_override = -1.0;
+  bool want_summary = false;
+  bool want_bench_json = false;
+  std::string trace_path = "soak_watchdog.trace";
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dgmc_soak: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--jobs") {
+      options.jobs = static_cast<std::size_t>(std::atol(next()));
+    } else if (flag == "--trials") {
+      trials_override = std::atol(next());
+    } else if (flag == "--duration") {
+      duration_override = std::atof(next());
+    } else if (flag == "--stuck") {
+      options.stuck_node = static_cast<dgmc::graph::NodeId>(std::atol(next()));
+    } else if (flag == "--stuck-at") {
+      options.stuck_at = std::atof(next());
+    } else if (flag == "--no-rss") {
+      options.track_rss = false;
+    } else if (flag == "--summary") {
+      want_summary = true;
+    } else if (flag == "--trace") {
+      trace_path = next();
+    } else if (flag == "--bench-json") {
+      want_bench_json = true;
+    } else {
+      std::fprintf(stderr, "dgmc_soak: unknown flag %s\n", flag.c_str());
+      return usage();
+    }
+  }
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "dgmc_soak: cannot open %s\n", spec_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = SoakSpec::parse(buf.str());
+  if (const auto* err = std::get_if<SpecError>(&parsed)) {
+    std::fprintf(stderr, "%s:%d: %s\n", spec_path.c_str(), err->line,
+                 err->message.c_str());
+    return 2;
+  }
+  SoakSpec spec = std::get<SoakSpec>(parsed);
+  if (trials_override > 0) spec.trials = static_cast<int>(trials_override);
+  if (duration_override > 0.0) spec.duration = duration_override;
+
+  std::printf("soak '%s': n=%d duration=%gs phases=%d trials=%d seed=%llu\n",
+              spec.name.c_str(), spec.network_size, spec.duration, spec.phases,
+              spec.trials,
+              static_cast<unsigned long long>(spec.soak_seed));
+
+  const std::vector<TrialResult> results = dgmc::soak::run_soak(spec, options);
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TrialResult& r = results[i];
+    if (r.ok) {
+      const auto& last = r.phases.back();
+      std::printf(
+          "trial %zu: ok (%zu phases, %llu installs, %llu retransmissions, "
+          "%llu sheds, rss %.1f MiB)\n",
+          i, r.phases.size(), static_cast<unsigned long long>(last.installs),
+          static_cast<unsigned long long>(last.retransmissions),
+          static_cast<unsigned long long>(last.sheds), last.rss_mb);
+      continue;
+    }
+    all_ok = false;
+    std::printf("trial %zu: FAIL — %s\n", i, r.failure.c_str());
+    if (r.watchdog_tripped && !r.trace_text.empty()) {
+      std::ofstream trace(trace_path);
+      trace << r.trace_text;
+      if (trace) {
+        std::printf("  replayable trace written to %s\n", trace_path.c_str());
+        std::printf("  replay with: dgmc_check replay %s\n",
+                    trace_path.c_str());
+      } else {
+        std::printf("  (failed to write trace to %s)\n", trace_path.c_str());
+      }
+    }
+  }
+
+  if (want_summary) {
+    std::fputs(dgmc::soak::canonical_summary(results).c_str(), stdout);
+  }
+  if (want_bench_json) {
+    dgmc::bench::write_bench_json("soak",
+                                  dgmc::soak::bench_json(spec, results));
+  }
+  return all_ok ? 0 : 1;
+}

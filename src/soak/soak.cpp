@@ -1,0 +1,394 @@
+#include "soak/soak.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "check/executor.hpp"
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+#include "check/trace.hpp"
+#include "exec/pool.hpp"
+#include "mc/algorithm.hpp"
+#include "sim/network.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::soak {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Builds a replayable dgmc_check trace for a tripped soak: the spec
+/// is embedded verbatim, and the choices are the natural-order prefix
+/// (index 0 every step — "what the native simulation would do next")
+/// through the checker's transition system, so `dgmc_check replay`
+/// validates the trace end to end with no catalog lookup.
+std::string watchdog_trace(const sim::SoakSpec& spec,
+                           std::size_t trace_injections,
+                           const std::string& reason) {
+  check::Trace trace;
+  trace.scenario = "soak:" + spec.name;
+  trace.spec_text = spec.serialize();
+  trace.spec_injections = trace_injections;
+  std::vector<std::string> annotations;
+  const check::ScenarioSpec scenario =
+      check::scenario_from_soak(spec, trace_injections);
+  check::Executor executor(scenario);
+  // Enough steps to fire every kept injection and drain its traffic,
+  // bounded so a storm cannot make the trace unbounded.
+  const std::size_t max_steps = 400;
+  while (trace.choices.size() < max_steps && !executor.done()) {
+    executor.step(0);
+    trace.choices.push_back(0);
+  }
+  annotations.assign(trace.choices.size(), "");
+  if (!annotations.empty()) annotations[0] = "watchdog: " + reason;
+  return check::trace_to_string(trace, annotations);
+}
+
+struct DrainOutcome {
+  bool tripped = false;
+  std::string reason;
+};
+
+/// Runs the calendar dry under the watchdog: any `deadline` window of
+/// simulated time with work remaining but no new installation trips.
+/// Steps event by event so the clock only advances to times of real
+/// work — a drain never jumps simulated time past the next phase.
+// True when every switch is alive and every link is up — the state in
+// which quiescence implies convergence. A transport-silenced (gray)
+// switch still counts as fault-free: its failure is invisible by
+// design, and flushing it out is what the watchdog is for.
+bool visibly_fault_free(sim::DgmcNetwork& net) {
+  const graph::Graph& g = net.physical();
+  for (graph::NodeId n = 0; n < g.node_count(); ++n)
+    if (!net.switch_alive(n)) return false;
+  for (graph::LinkId l = 0; l < g.link_count(); ++l)
+    if (!g.link(l).up) return false;
+  return true;
+}
+
+DrainOutcome drain_with_watchdog(sim::DgmcNetwork& net,
+                                 const sim::SoakSpec& spec) {
+  DrainOutcome out;
+  std::uint64_t installs_seen = net.totals().installs;
+  des::SimTime progress_at = net.scheduler().now();
+  while (!net.quiescent()) {
+    if (!net.scheduler().step()) break;  // defensive: quiescent() re-checks
+    const std::uint64_t installs = net.totals().installs;
+    if (installs != installs_seen) {
+      installs_seen = installs;
+      progress_at = net.scheduler().now();
+    } else if (net.scheduler().now() - progress_at > spec.watchdog_deadline &&
+               !net.quiescent()) {
+      out.tripped = true;
+      out.reason = "no installation progress in " +
+                   fmt(spec.watchdog_deadline) +
+                   "s of simulated time with work still pending";
+      return out;
+    }
+  }
+  // Quiescent: every MC a membership program touches must have
+  // converged — quiescent-but-disagreeing is the stuck-MC signature.
+  // A flap or restart window can legitimately straddle a phase
+  // boundary (the heal half lands in the next window), so only a
+  // visibly fault-free network — every switch alive, every link up —
+  // is held to convergence. A gray-failed switch passes the
+  // visibility test; catching it is the watchdog's whole point.
+  if (!visibly_fault_free(net)) return out;
+  for (mc::McId mcid : spec.mcs()) {
+    if (!net.converged(mcid)) {
+      out.tripped = true;
+      out.reason = "network quiescent but mc " + std::to_string(mcid) +
+                   " has not converged (stuck MC)";
+      return out;
+    }
+  }
+  return out;
+}
+
+void schedule_soak_event(sim::DgmcNetwork& net, const sim::SoakEvent& ev) {
+  // A drain's cascades (retransmit backoffs, computations) can carry
+  // simulated time past the next window's start, so late events are
+  // clamped to "now" — they then fire immediately, preserving the
+  // window's (time, program) order via the calendar's FIFO tie-break.
+  const des::SimTime at = std::max(ev.at, net.scheduler().now());
+  // Guards mirror DgmcNetwork::install_faults: a precondition another
+  // event invalidated (a crash downing a drifting link, a crashed
+  // member asked to leave) degrades to a no-op.
+  des::EventTag tag;
+  tag.kind = des::EventTag::Kind::kFault;
+  tag.node = ev.node;
+  tag.link = ev.link;
+  switch (ev.kind) {
+    case sim::SoakEvent::Kind::kJoin:
+      net.scheduler().schedule_at(at, tag, [&net, ev] {
+        net.join(ev.node, ev.mcid, ev.type, ev.role);
+      });
+      break;
+    case sim::SoakEvent::Kind::kLeave:
+      net.scheduler().schedule_at(
+          at, tag, [&net, ev] { net.leave(ev.node, ev.mcid); });
+      break;
+    case sim::SoakEvent::Kind::kFail:
+      net.scheduler().schedule_at(at, tag, [&net, ev] {
+        if (net.physical().link(ev.link).up) net.fail_link(ev.link);
+      });
+      break;
+    case sim::SoakEvent::Kind::kRestore:
+      net.scheduler().schedule_at(at, tag, [&net, ev] {
+        if (!net.physical().link(ev.link).up) net.restore_link(ev.link);
+      });
+      break;
+    case sim::SoakEvent::Kind::kCrash:
+      net.scheduler().schedule_at(at, tag, [&net, ev] {
+        if (net.switch_alive(ev.node)) net.crash_switch(ev.node);
+      });
+      break;
+    case sim::SoakEvent::Kind::kRestart:
+      net.scheduler().schedule_at(at, tag, [&net, ev] {
+        if (!net.switch_alive(ev.node)) net.restart_switch(ev.node);
+      });
+      break;
+  }
+}
+
+void fill_phase_report(sim::DgmcNetwork& net, bool track_rss,
+                       PhaseReport& report) {
+  const auto totals = net.totals();
+  const auto& transport = net.transport();
+  report.drained_at = net.scheduler().now();
+  report.installs = totals.installs;
+  report.mc_lsa_floodings = totals.mc_lsa_floodings;
+  report.retransmissions = transport.retransmissions();
+  report.give_ups = transport.give_ups();
+  report.sheds = transport.sheds();
+  report.dedup_compactions = transport.dedup_compactions();
+  report.dedup_backlog = transport.dedup_backlog();
+  report.pending_retransmits = transport.retransmit_timers_armed();
+  report.queued = transport.queued();
+  report.queue_peak = transport.queue_peak();
+  report.rss_mb = track_rss ? process_rss_mb() : 0.0;
+}
+
+/// First budget breach at this phase's drain, or empty.
+std::string budget_violation(const PhaseReport& report,
+                             const sim::SoakBudgets& budgets,
+                             double rss_baseline_mb, bool track_rss) {
+  if (report.dedup_backlog > budgets.dedup_backlog) {
+    return "dedup backlog " + std::to_string(report.dedup_backlog) +
+           " exceeds budget " + std::to_string(budgets.dedup_backlog);
+  }
+  if (report.pending_retransmits > budgets.pending_retransmits) {
+    return "pending retransmits " +
+           std::to_string(report.pending_retransmits) + " exceed budget " +
+           std::to_string(budgets.pending_retransmits);
+  }
+  if (track_rss && rss_baseline_mb > 0.0 &&
+      report.rss_mb - rss_baseline_mb > budgets.rss_growth_mb) {
+    return "RSS grew " + fmt(report.rss_mb - rss_baseline_mb) +
+           " MiB since the first phase, budget " +
+           fmt(budgets.rss_growth_mb) + " MiB";
+  }
+  return "";
+}
+
+}  // namespace
+
+double process_rss_mb() {
+  // /proc/self/statm field 2 is resident pages; portable fallback is
+  // getrusage's peak (coarser: high-water, not current).
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long size = 0;
+    long resident = 0;
+    const int got = std::fscanf(f, "%ld %ld", &size, &resident);
+    std::fclose(f);
+    if (got == 2) {
+      return static_cast<double>(resident) *
+             static_cast<double>(sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+    }
+  }
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+  }
+  return 0.0;
+}
+
+TrialResult run_trial(const sim::SoakSpec& spec, std::size_t trial_index,
+                      const SoakOptions& options) {
+  DGMC_ASSERT(spec.phases >= 1);
+  TrialResult result;
+  const std::uint64_t trial_seed =
+      util::RngStream::derive(spec.soak_seed, "soak-trial")
+          .fork(trial_index)
+          .seed();
+
+  const graph::Graph graph = spec.build_graph();
+  sim::DgmcNetwork net(graph, spec.network_params(),
+                       spec.incremental ? mc::make_incremental_algorithm()
+                                        : mc::make_from_scratch_algorithm());
+  net.install_faults(spec.faults, trial_seed);
+  sim::ChurnEngine engine(spec, net.physical(), trial_seed);
+
+  if (options.stuck_node != graph::kInvalidNode) {
+    des::EventTag tag;
+    tag.kind = des::EventTag::Kind::kFault;
+    tag.node = options.stuck_node;
+    const graph::NodeId node = options.stuck_node;
+    net.scheduler().schedule_at(
+        options.stuck_at, tag, [&net, node] { net.silence_transport(node); });
+  }
+
+  const std::vector<mc::McId> mcs = spec.mcs();
+  const des::SimTime phase_len = spec.duration / spec.phases;
+  double rss_baseline_mb = 0.0;
+
+  for (int phase = 0; phase < spec.phases; ++phase) {
+    const des::SimTime from = phase * phase_len;
+    const des::SimTime to =
+        phase + 1 == spec.phases ? spec.duration : (phase + 1) * phase_len;
+    PhaseReport report;
+    report.index = phase;
+    report.window_begin = from;
+    report.window_end = to;
+
+    const std::vector<sim::SoakEvent> events = engine.phase_events(from, to);
+    report.events_injected = events.size();
+    for (const sim::SoakEvent& ev : events) schedule_soak_event(net, ev);
+
+    net.run_until(std::max(to, net.scheduler().now()));
+    const DrainOutcome drain = drain_with_watchdog(net, spec);
+    fill_phase_report(net, options.track_rss, report);
+    if (phase == 0) rss_baseline_mb = report.rss_mb;
+
+    if (drain.tripped) {
+      result.watchdog_tripped = true;
+      result.failure = "watchdog (phase " + std::to_string(phase) +
+                       "): " + drain.reason;
+      result.trace_text =
+          watchdog_trace(spec, options.trace_injections, drain.reason);
+      result.phases.push_back(report);
+      return result;
+    }
+
+    // Invariant catalog at the quiescence point.
+    if (auto v = check::check_step_invariants(net, mcs)) {
+      result.failure = "invariant (phase " + std::to_string(phase) + "): [" +
+                       v->oracle + "] " + v->detail;
+      result.phases.push_back(report);
+      return result;
+    }
+    // Agreement only holds once visible faults heal; a flap or
+    // restart whose heal half lands in the next window exempts this
+    // phase (the final phase always drains fully healed).
+    if (visibly_fault_free(net)) {
+      if (auto v = check::check_agreement_invariants(net, mcs)) {
+        result.failure = "invariant (phase " + std::to_string(phase) + "): [" +
+                         v->oracle + "] " + v->detail;
+        result.phases.push_back(report);
+        return result;
+      }
+    }
+    const std::string breach = budget_violation(
+        report, spec.budgets, rss_baseline_mb, options.track_rss);
+    if (!breach.empty()) {
+      result.failure =
+          "budget (phase " + std::to_string(phase) + "): " + breach;
+      result.phases.push_back(report);
+      return result;
+    }
+    result.phases.push_back(report);
+  }
+
+  result.final_fingerprint = net.fingerprint();
+  result.ok = true;
+  return result;
+}
+
+std::vector<TrialResult> run_soak(const sim::SoakSpec& spec,
+                                  const SoakOptions& options) {
+  std::vector<TrialResult> results(static_cast<std::size_t>(spec.trials));
+  exec::parallel_for(
+      results.size(),
+      [&](std::size_t i) { results[i] = run_trial(spec, i, options); },
+      options.jobs);
+  return results;
+}
+
+std::string canonical_summary(const std::vector<TrialResult>& results) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TrialResult& r = results[i];
+    out << "trial " << i << " ok=" << (r.ok ? 1 : 0)
+        << " watchdog=" << (r.watchdog_tripped ? 1 : 0)
+        << " fingerprint=" << r.final_fingerprint << "\n";
+    if (!r.failure.empty()) out << "  failure: " << r.failure << "\n";
+    for (const PhaseReport& p : r.phases) {
+      // Everything behavior-derived; RSS deliberately excluded (the
+      // one host-dependent reading, see header).
+      out << "  phase " << p.index << " events=" << p.events_injected
+          << " drained_at=" << fmt(p.drained_at)
+          << " installs=" << p.installs << " mclsa=" << p.mc_lsa_floodings
+          << " retx=" << p.retransmissions << " giveups=" << p.give_ups
+          << " sheds=" << p.sheds << " compactions=" << p.dedup_compactions
+          << " dedup=" << p.dedup_backlog
+          << " pending=" << p.pending_retransmits << " queued=" << p.queued
+          << " qpeak=" << p.queue_peak << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string bench_json(const sim::SoakSpec& spec,
+                       const std::vector<TrialResult>& results) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"soak\",\n";
+  out << "  \"spec\": \"" << spec.name << "\",\n";
+  out << "  \"seed\": " << spec.soak_seed << ",\n";
+  out << "  \"duration_s\": " << fmt(spec.duration) << ",\n";
+  out << "  \"phases\": " << spec.phases << ",\n";
+  out << "  \"trials\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TrialResult& r = results[i];
+    out << "    {\"ok\": " << (r.ok ? "true" : "false")
+        << ", \"watchdog\": " << (r.watchdog_tripped ? "true" : "false")
+        << ",\n     \"failure\": \"";
+    for (char c : r.failure) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\",\n     \"phases\": [\n";
+    for (std::size_t p = 0; p < r.phases.size(); ++p) {
+      const PhaseReport& ph = r.phases[p];
+      out << "       {\"phase\": " << ph.index
+          << ", \"events\": " << ph.events_injected
+          << ", \"drained_at\": " << fmt(ph.drained_at)
+          << ", \"installs\": " << ph.installs
+          << ", \"retransmissions\": " << ph.retransmissions
+          << ", \"give_ups\": " << ph.give_ups
+          << ", \"sheds\": " << ph.sheds
+          << ", \"dedup_compactions\": " << ph.dedup_compactions
+          << ", \"dedup_backlog\": " << ph.dedup_backlog
+          << ", \"pending_retransmits\": " << ph.pending_retransmits
+          << ", \"queue_peak\": " << ph.queue_peak
+          << ", \"rss_mb\": " << fmt(ph.rss_mb) << "}"
+          << (p + 1 < r.phases.size() ? ",\n" : "\n");
+    }
+    out << "     ]}" << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}";
+  return out.str();
+}
+
+}  // namespace dgmc::soak

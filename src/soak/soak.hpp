@@ -1,0 +1,112 @@
+// Long-run chaos soak runner (DESIGN.md §10).
+//
+// A soak executes one SoakSpec (sim/spec.hpp) as a sequence of
+// *phases*: each phase schedules its window of churn events (flash
+// crowds, Poisson membership churn, cost-drift flaps, rolling
+// restarts) onto the DES calendar, runs the window, then drains to
+// quiescence under a convergence watchdog. At every drain the runner
+// evaluates the check/ invariant catalog (step invariants + agreement)
+// and the spec's steady-state budgets — dedup backlog, armed
+// retransmit timers, RSS growth — so a leak or an unbounded queue
+// fails the soak at the phase where it first crosses its budget, not
+// hours later at exit.
+//
+// The convergence watchdog trips when a drain makes no installation
+// progress for `watchdog_deadline` simulated seconds while work
+// remains, or when the network quiesces with a multipoint connection
+// whose holders disagree (a stuck MC). A trip fails the soak and dumps
+// a replayable dgmc_check trace (PR 2 format) with the soak spec
+// embedded, so `dgmc_check replay` reproduces the scenario from the
+// trace file alone.
+//
+// Determinism: trial i of a soak derives every random decision from
+// RngStream::derive(spec.soak_seed, "soak-trial").fork(i); trials fan
+// out over an exec::Pool with index-addressed result slots, so results
+// are bit-identical at any --jobs count (DESIGN.md §8). RSS readings
+// are the one non-deterministic measurement, and are therefore
+// excluded from canonical_summary().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/spec.hpp"
+
+namespace dgmc::soak {
+
+/// Per-phase measurements, taken at the phase's quiescence drain.
+struct PhaseReport {
+  int index = 0;
+  des::SimTime window_begin = 0.0;
+  des::SimTime window_end = 0.0;
+  std::size_t events_injected = 0;
+  des::SimTime drained_at = 0.0;  // simulated time quiescence was reached
+  // Cumulative protocol / transport counters at the drain.
+  std::uint64_t installs = 0;
+  std::uint64_t mc_lsa_floodings = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t give_ups = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t dedup_compactions = 0;
+  // Steady-state sizes the budgets bound.
+  std::size_t dedup_backlog = 0;
+  std::size_t pending_retransmits = 0;
+  std::size_t queued = 0;
+  std::size_t queue_peak = 0;
+  double rss_mb = 0.0;  // process RSS; excluded from canonical output
+};
+
+/// The outcome of one seeded trial.
+struct TrialResult {
+  bool ok = false;
+  /// Empty when ok; otherwise the first fatal failure — a watchdog
+  /// trip, an invariant violation, or a budget breach.
+  std::string failure;
+  bool watchdog_tripped = false;
+  std::vector<PhaseReport> phases;
+  std::uint64_t final_fingerprint = 0;
+  /// Replayable dgmc_check trace text (spec embedded); nonempty only
+  /// when the watchdog tripped.
+  std::string trace_text;
+};
+
+struct SoakOptions {
+  /// Worker threads for the trial fan-out (0 = DGMC_JOBS env var or
+  /// hardware concurrency).
+  std::size_t jobs = 1;
+  /// Gray-failure injection for watchdog tests: at `stuck_at`, silence
+  /// this switch's transport endpoint without crashing it — its stale
+  /// MC state then blocks convergence and must trip the watchdog.
+  graph::NodeId stuck_node = graph::kInvalidNode;
+  des::SimTime stuck_at = 0.0;
+  /// Churn script prefix embedded in a watchdog trace (0 = all).
+  std::size_t trace_injections = 8;
+  /// Capture /proc RSS at phase drains (off in determinism tests).
+  bool track_rss = true;
+};
+
+/// Runs trial `trial_index` of the spec to completion. Deterministic
+/// per (spec, trial_index, options besides jobs/track_rss).
+TrialResult run_trial(const sim::SoakSpec& spec, std::size_t trial_index,
+                      const SoakOptions& options);
+
+/// Runs all spec.trials trials, fanned out over `options.jobs` workers.
+/// Results are index-addressed: bit-identical at any job count.
+std::vector<TrialResult> run_soak(const sim::SoakSpec& spec,
+                                  const SoakOptions& options);
+
+/// Canonical text rendering of the results for determinism comparison:
+/// everything behavior-derived, nothing host-derived (RSS excluded).
+std::string canonical_summary(const std::vector<TrialResult>& results);
+
+/// BENCH_soak.json body (bench/bench_json.hpp conventions): invariant
+/// outcome, shed counters, and the per-phase RSS trajectory.
+std::string bench_json(const sim::SoakSpec& spec,
+                       const std::vector<TrialResult>& results);
+
+/// Current process resident set size in MiB (0.0 if unavailable).
+double process_rss_mb();
+
+}  // namespace dgmc::soak

@@ -73,6 +73,64 @@ TEST_F(TraceFile, RejectsMalformedInput) {
   EXPECT_FALSE(load_trace("/nonexistent/dir/x.trace", &error).has_value());
 }
 
+TEST_F(TraceFile, EmbeddedSpecBlockRoundTrips) {
+  Trace t;
+  t.scenario = "soak:embedded";
+  t.spec_text =
+      "name embedded\n"
+      "network ring 6\n"
+      "# a comment the block must preserve\n"
+      "churn flashcrowd mc=1 start=0s members=3 alpha=1.5 scale=1ms\n";
+  t.spec_injections = 4;
+  t.choices = {0, 0, 1};
+  ASSERT_TRUE(save_trace(t, path(), {"watchdog: stuck mc 1"}));
+
+  std::string error;
+  const auto loaded = load_trace(path(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->scenario, t.scenario);
+  EXPECT_EQ(loaded->spec_text, t.spec_text);  // '#' line survived
+  EXPECT_EQ(loaded->spec_injections, 4u);
+  EXPECT_EQ(loaded->choices, t.choices);
+}
+
+TEST_F(TraceFile, RejectsUnterminatedSpecBlock) {
+  write(
+      "scenario soak:x\n"
+      "spec-begin\n"
+      "| name x\n"
+      "| network ring 4\n");
+  std::string error;
+  EXPECT_FALSE(load_trace(path(), &error).has_value());
+  EXPECT_NE(error.find("unterminated spec block"), std::string::npos);
+
+  write(
+      "scenario soak:x\n"
+      "spec-begin\n"
+      "name x\n"  // missing the '|' guard
+      "spec-end\n");
+  EXPECT_FALSE(load_trace(path(), &error).has_value());
+  EXPECT_NE(error.find("must start with '|'"), std::string::npos);
+}
+
+TEST(TraceResolve, ResolvesEmbeddedSpecWithoutCatalog) {
+  Trace t;
+  t.scenario = "soak:self-contained";  // deliberately not in the catalog
+  t.spec_text =
+      "name self-contained\n"
+      "network ring 6\n"
+      "churn flashcrowd mc=1 start=0s members=3 alpha=1.5 scale=1ms\n";
+  t.spec_injections = 2;
+  std::string error;
+  const auto spec = resolve_spec(t, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->injections.size(), 2u);  // truncated to spec_injections
+
+  t.spec_text = "network banana\n";
+  EXPECT_FALSE(resolve_spec(t, &error).has_value());
+  EXPECT_NE(error.find("embedded spec"), std::string::npos);
+}
+
 TEST(TraceResolve, AppliesOptionsAndDrops) {
   Trace t;
   t.scenario = "triangle-join-leave";

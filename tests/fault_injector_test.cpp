@@ -98,6 +98,59 @@ TEST(FaultInjector, BurstStateIsPerLink) {
   EXPECT_EQ(inj.drops(), 2u);
 }
 
+TEST(FaultInjector, FaultKindsDrawFromIndependentStreams) {
+  // Each fault kind draws from its own forked child of the injector's
+  // base stream, so enabling one kind never perturbs another's decision
+  // sequence. Pinned here because the soak specs rely on it: adding
+  // burst loss to a scenario must not reshuffle its jitter.
+  FaultPlan iid_only;
+  iid_only.iid_loss = 0.3;
+  FaultPlan iid_plus_jitter = iid_only;
+  iid_plus_jitter.max_extra_delay = 1e-3;
+  FaultPlan everything = iid_plus_jitter;
+  everything.use_burst = true;
+  everything.burst.p_good_to_bad = 0.05;
+  everything.burst.p_bad_to_good = 0.3;
+  everything.burst.loss_bad = 0.9;
+
+  constexpr std::uint64_t kSeed = 77;
+  FaultInjector a(iid_only, 2, kSeed);
+  FaultInjector b(iid_plus_jitter, 2, kSeed);
+  FaultInjector c(everything, 2, kSeed);
+
+  for (int i = 0; i < 400; ++i) {
+    const graph::LinkId link = i % 2;
+    // All three consume one loss decision and one jitter draw per
+    // iteration, staying in lockstep on their shared streams.
+    const bool iid_a = a.drop(link);
+    const bool iid_b = b.drop(link);
+    const bool combined = c.drop(link);
+    // Jitter on/off leaves the i.i.d. loss sequence bit-identical.
+    EXPECT_EQ(iid_a, iid_b);
+    // Burst is an *additional* loss cause drawn from its own stream on
+    // top of the same i.i.d. draws: an i.i.d. loss stays a loss.
+    if (iid_b) EXPECT_TRUE(combined);
+    // And the jitter sequence is untouched by the burst model.
+    EXPECT_EQ(b.extra_delay(link), c.extra_delay(link));
+  }
+}
+
+TEST(FaultInjector, JitterSequenceUnchangedByLossRate) {
+  // The jitter stream is forked independently of the loss stream:
+  // cranking loss from 0 to 50% must not move a single jitter draw.
+  FaultPlan quiet;
+  quiet.max_extra_delay = 2e-3;
+  FaultPlan noisy = quiet;
+  noisy.iid_loss = 0.5;
+  FaultInjector a(quiet, 1, 123);
+  FaultInjector b(noisy, 1, 123);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(a.extra_delay(0), b.extra_delay(0));
+    a.drop(0);
+    b.drop(0);
+  }
+}
+
 TEST(FaultInjector, JitterIsBounded) {
   FaultPlan plan;
   plan.max_extra_delay = 5e-4;

@@ -344,5 +344,185 @@ TEST(Flooding, SameOriginDeliveryPreservesOrder) {
   EXPECT_EQ(order_at_20, (std::vector<std::string>{"first", "second"}));
 }
 
+TEST(Overload, BackpressureQueuesThenDeliversEverything) {
+  // Inflight cap 1 with a roomy queue: a burst degrades latency (copies
+  // wait their turn) but every message still arrives, nothing is shed.
+  des::Scheduler sched;
+  graph::Graph g = graph::line(3);
+  g.set_uniform_delay(1.0);
+  Net net(sched, g, 0.0);
+  OverloadConfig overload;
+  overload.max_inflight_per_link = 1;
+  overload.max_queue_per_link = 64;
+  net.set_overload(overload);
+  std::uint64_t deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  constexpr int kBurst = 20;
+  for (int i = 0; i < kBurst; ++i) net.flood(0, "x");
+  EXPECT_GT(net.queued(), 0u);  // the burst is waiting, not in flight
+  sched.run();
+  EXPECT_EQ(deliveries, static_cast<std::uint64_t>(kBurst) * 2);
+  EXPECT_EQ(net.sheds(), 0u);
+  EXPECT_EQ(net.queued(), 0u);
+  EXPECT_GE(net.queue_peak(), static_cast<std::size_t>(kBurst - 1));
+}
+
+TEST(Overload, FullQueueShedsInsteadOfGrowing) {
+  // Queue cap 2 on top of inflight cap 1: a 20-message burst sheds the
+  // overflow — memory stays bounded at the cost of lost copies.
+  des::Scheduler sched;
+  graph::Graph g = graph::line(2);
+  g.set_uniform_delay(1.0);
+  Net net(sched, g, 0.0);
+  OverloadConfig overload;
+  overload.max_inflight_per_link = 1;
+  overload.max_queue_per_link = 2;
+  net.set_overload(overload);
+  std::uint64_t deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  constexpr int kBurst = 20;
+  for (int i = 0; i < kBurst; ++i) net.flood(0, "x");
+  EXPECT_EQ(net.queued(), 2u);  // hard cap, not the burst size
+  sched.run();
+  EXPECT_EQ(net.sheds(), static_cast<std::uint64_t>(kBurst - 3));
+  EXPECT_EQ(deliveries, 3u);  // 1 inflight + 2 queued survived
+  EXPECT_EQ(net.queued(), 0u);
+  EXPECT_EQ(net.queue_peak(), 2u);
+}
+
+TEST(Overload, ReliableModeRecoversShedCopies) {
+  // Under reliable flooding a shed copy is not lost for good: its
+  // pending entry re-attempts at the next RTO once the storm passes —
+  // backpressure degrades latency, the delivery guarantee holds.
+  des::Scheduler sched;
+  graph::Graph g = graph::line(2);
+  g.set_uniform_delay(1.0);
+  Net net(sched, g, 0.0);
+  ReliableFloodingConfig cfg;
+  cfg.enabled = true;
+  cfg.initial_rto = 100.0;
+  cfg.max_retransmits = 10;
+  net.set_reliable(cfg);
+  OverloadConfig overload;
+  overload.max_inflight_per_link = 1;
+  overload.max_queue_per_link = 1;
+  net.set_overload(overload);
+  std::uint64_t deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  constexpr int kBurst = 10;
+  for (int i = 0; i < kBurst; ++i) net.flood(0, "x");
+  EXPECT_GT(net.sheds(), 0u);
+  sched.run();
+  EXPECT_EQ(deliveries, static_cast<std::uint64_t>(kBurst));
+  EXPECT_EQ(net.retransmit_timers_armed(), 0u);
+  EXPECT_EQ(net.give_ups(), 0u);
+  EXPECT_GT(net.retransmissions(), 0u);  // the recovery path did the work
+}
+
+TEST(Overload, LinkDownShedsWaitingCopies) {
+  des::Scheduler sched;
+  graph::Graph g = graph::line(2);
+  g.set_uniform_delay(1.0);
+  Net net(sched, g, 0.0);
+  OverloadConfig overload;
+  overload.max_inflight_per_link = 1;
+  overload.max_queue_per_link = 8;
+  net.set_overload(overload);
+  for (int i = 0; i < 5; ++i) net.flood(0, "x");
+  EXPECT_EQ(net.queued(), 4u);
+  const graph::LinkId link = g.find_link(0, 1);
+  g.set_link_up(link, false);
+  net.on_link_down(link);
+  EXPECT_EQ(net.queued(), 0u);
+  EXPECT_EQ(net.sheds(), 4u);
+  sched.run();  // the one in-flight copy arrives; nothing re-queues
+  EXPECT_EQ(net.queued(), 0u);
+}
+
+TEST(Overload, DedupAheadCapCompactsAbandonedGaps) {
+  // A permanently lost seq 0 (unreliable black-hole for the first copy)
+  // leaves a gap the `ahead` buffer would otherwise grow behind
+  // forever. With a cap, the gap is declared abandoned and compacted;
+  // backlog stays bounded and later messages still deliver once.
+  des::Scheduler sched;
+  graph::Graph g = graph::line(2);
+  Net net(sched, g, 0.0);
+  OverloadConfig overload;
+  overload.max_dedup_ahead = 4;
+  net.set_overload(overload);
+  int transmissions = 0;
+  FaultHooks hooks;
+  hooks.drop = [&transmissions](graph::LinkId) { return transmissions++ == 0; };
+  net.set_fault_hooks(std::move(hooks));
+  std::uint64_t deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+  constexpr int kFloodings = 50;
+  for (int i = 0; i < kFloodings; ++i) {
+    net.flood(0, "x");
+    sched.run();
+    EXPECT_LE(net.dedup_backlog(), overload.max_dedup_ahead);
+  }
+  EXPECT_EQ(deliveries, static_cast<std::uint64_t>(kFloodings - 1));
+  EXPECT_GE(net.dedup_compactions(), 1u);
+}
+
+TEST(Overload, BookkeepingStaysSteadyOverTenMinuteSoak) {
+  // Satellite regression for unbounded-growth bugs: ten simulated
+  // minutes of lossy reliable flooding with backpressure on. At every
+  // periodic drain the dedup backlog, armed retransmit timers, and tx
+  // queues must return to a small steady state — any monotone growth
+  // in those tables is a leak this test pins down.
+  des::Scheduler sched;
+  util::RngStream topo_rng(17);
+  graph::Graph g = graph::random_connected(12, 3.0, topo_rng);
+  g.set_uniform_delay(1e-3);
+  Net net(sched, g, 4e-6);
+  ReliableFloodingConfig cfg;
+  cfg.enabled = true;
+  cfg.initial_rto = 50e-3;
+  cfg.max_retransmits = 6;
+  net.set_reliable(cfg);
+  OverloadConfig overload;
+  overload.max_inflight_per_link = 4;
+  overload.max_queue_per_link = 32;
+  overload.max_dedup_ahead = 64;
+  net.set_overload(overload);
+  util::RngStream loss_rng(23);
+  FaultHooks hooks;
+  hooks.drop = [&loss_rng](graph::LinkId) { return loss_rng.bernoulli(0.05); };
+  net.set_fault_hooks(std::move(hooks));
+  std::uint64_t deliveries = 0;
+  net.set_receiver([&](const Net::Delivery&) { ++deliveries; });
+
+  constexpr double kSoakSeconds = 600.0;
+  constexpr double kTick = 0.5;
+  util::RngStream origin_rng(31);
+  double now = 0.0;
+  std::size_t backlog_high = 0;
+  while (now < kSoakSeconds) {
+    // A small burst from a random origin each tick.
+    const auto origin = std::min<graph::NodeId>(
+        g.node_count() - 1,
+        static_cast<graph::NodeId>(origin_rng.uniform01() * g.node_count()));
+    for (int i = 0; i < 3; ++i) net.flood(origin, "x");
+    now += kTick;
+    sched.run_until(now);
+    backlog_high = std::max(backlog_high, net.dedup_backlog());
+  }
+  sched.run();  // final drain
+  EXPECT_GT(deliveries, 0u);
+  // Steady state: everything in-flight or armed has resolved...
+  EXPECT_EQ(net.in_flight(), 0u);
+  EXPECT_EQ(net.retransmit_timers_armed(), 0u);
+  EXPECT_EQ(net.queued(), 0u);
+  // ...and the dedup tables never outgrew the reorder window. The
+  // bound is per-(switch, origin) caps times the pair count, but in
+  // practice give-up gaps compact long before that.
+  EXPECT_LE(net.dedup_backlog(),
+            overload.max_dedup_ahead * static_cast<std::size_t>(
+                                           g.node_count() * g.node_count()));
+  EXPECT_LE(backlog_high, 4096u);
+}
+
 }  // namespace
 }  // namespace dgmc::lsr

@@ -1,0 +1,229 @@
+// Tests for the declarative soak/churn spec (sim/spec.hpp): round-trip
+// parse/serialize, malformed-input rejection with line numbers, and the
+// ChurnEngine's determinism and stream-decoupling guarantees.
+#include "sim/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dgmc::sim {
+namespace {
+
+const char* kFullSpec = R"(# churn-at-scale exemplar
+name storm
+network waxman 24 seed=7
+delay uniform 1ms
+timing tc=25ms perhop=4us
+option algorithm=incremental resync=on dualdetect=off reliable=on
+overload inflight=4 queue=64 dedupcap=256
+soak duration=30s phases=3 trials=2 seed=99
+watchdog deadline=10s
+budget dedup=1024 pending=2048 rss_mb=128
+fault loss=0.01 jitter=2ms
+fault burst pgb=0.01 pbg=0.2 lossgood=0 lossbad=0.8
+churn flashcrowd mc=1 start=1s members=10 alpha=1.5 scale=5ms
+churn poisson mc=2 start=2s members=4 events=6 gap=1s
+churn drift links=3 period=250ms sigma=0.2 down=2.0 up=1.5
+churn rolling start=5s interval=4s downtime=500ms count=3
+)";
+
+SoakSpec parse_ok(const std::string& text) {
+  auto result = SoakSpec::parse(text);
+  const auto* err = std::get_if<SpecError>(&result);
+  EXPECT_EQ(err, nullptr) << (err != nullptr
+                                  ? "line " + std::to_string(err->line) +
+                                        ": " + err->message
+                                  : "");
+  return std::get<SoakSpec>(result);
+}
+
+int parse_error_line(const std::string& text) {
+  auto result = SoakSpec::parse(text);
+  const auto* err = std::get_if<SpecError>(&result);
+  EXPECT_NE(err, nullptr) << "expected a parse error";
+  return err != nullptr ? err->line : -1;
+}
+
+std::vector<std::string> event_strings(const std::vector<SoakEvent>& events) {
+  std::vector<std::string> out;
+  out.reserve(events.size());
+  for (const auto& ev : events) out.push_back(to_string(ev));
+  return out;
+}
+
+TEST(SoakSpec, ParsesEveryStatementKind) {
+  const SoakSpec spec = parse_ok(kFullSpec);
+  EXPECT_EQ(spec.name, "storm");
+  EXPECT_EQ(spec.topo, SoakSpec::Topo::kWaxman);
+  EXPECT_EQ(spec.network_size, 24);
+  EXPECT_EQ(spec.topo_seed, 7u);
+  ASSERT_TRUE(spec.uniform_delay.has_value());
+  EXPECT_DOUBLE_EQ(*spec.uniform_delay, 1e-3);
+  EXPECT_DOUBLE_EQ(spec.tc, 25e-3);
+  EXPECT_DOUBLE_EQ(spec.per_hop, 4e-6);
+  EXPECT_TRUE(spec.incremental);
+  EXPECT_TRUE(spec.resync);
+  EXPECT_FALSE(spec.dual_detect);
+  EXPECT_TRUE(spec.reliable);
+  EXPECT_EQ(spec.overload.max_inflight_per_link, 4u);
+  EXPECT_EQ(spec.overload.max_queue_per_link, 64u);
+  EXPECT_EQ(spec.overload.max_dedup_ahead, 256u);
+  EXPECT_DOUBLE_EQ(spec.duration, 30.0);
+  EXPECT_EQ(spec.phases, 3);
+  EXPECT_EQ(spec.trials, 2);
+  EXPECT_EQ(spec.soak_seed, 99u);
+  EXPECT_DOUBLE_EQ(spec.watchdog_deadline, 10.0);
+  EXPECT_EQ(spec.budgets.dedup_backlog, 1024u);
+  EXPECT_EQ(spec.budgets.pending_retransmits, 2048u);
+  EXPECT_DOUBLE_EQ(spec.budgets.rss_growth_mb, 128.0);
+  EXPECT_DOUBLE_EQ(spec.faults.iid_loss, 0.01);
+  EXPECT_DOUBLE_EQ(spec.faults.max_extra_delay, 2e-3);
+  EXPECT_TRUE(spec.faults.use_burst);
+  EXPECT_DOUBLE_EQ(spec.faults.burst.loss_bad, 0.8);
+  ASSERT_EQ(spec.churn.size(), 4u);
+  EXPECT_EQ(spec.churn[0].kind, ChurnProgram::Kind::kFlashCrowd);
+  EXPECT_EQ(spec.churn[1].kind, ChurnProgram::Kind::kPoisson);
+  EXPECT_EQ(spec.churn[2].kind, ChurnProgram::Kind::kDrift);
+  EXPECT_EQ(spec.churn[3].kind, ChurnProgram::Kind::kRolling);
+  EXPECT_EQ(spec.mcs(), (std::vector<mc::McId>{1, 2}));
+}
+
+TEST(SoakSpec, SerializeRoundTripsToIdenticalSpec) {
+  const SoakSpec spec = parse_ok(kFullSpec);
+  const std::string canonical = spec.serialize();
+  const SoakSpec reparsed = parse_ok(canonical);
+  // Canonical form is a fixed point: serializing the reparse gives the
+  // same text, which pins every field (serialize emits them all).
+  EXPECT_EQ(reparsed.serialize(), canonical);
+  // And the behavioral expansion is identical.
+  EXPECT_EQ(event_strings(ChurnEngine::expand_all(spec, spec.build_graph(),
+                                                  spec.soak_seed)),
+            event_strings(ChurnEngine::expand_all(
+                reparsed, reparsed.build_graph(), reparsed.soak_seed)));
+}
+
+TEST(SoakSpec, DefaultsRoundTrip) {
+  const SoakSpec spec = parse_ok("name tiny\nnetwork ring 6\n");
+  const std::string canonical = spec.serialize();
+  EXPECT_EQ(parse_ok(canonical).serialize(), canonical);
+}
+
+TEST(SoakSpec, RejectsMalformedInputWithLineNumbers) {
+  // Unknown statement.
+  EXPECT_EQ(parse_error_line("name x\nbogus statement\n"), 2);
+  // Missing topology size.
+  EXPECT_EQ(parse_error_line("network waxman\n"), 1);
+  // Bad number.
+  EXPECT_EQ(parse_error_line("network ring banana\n"), 1);
+  // Drift hysteresis must satisfy up < down.
+  EXPECT_EQ(parse_error_line("network ring 8\n"
+                             "churn drift links=2 period=1s sigma=0.1 "
+                             "down=1.0 up=1.5\n"),
+            2);
+  // Flash crowd larger than the network.
+  EXPECT_EQ(parse_error_line("network ring 4\n"
+                             "churn flashcrowd mc=1 start=0s members=10 "
+                             "alpha=1.5 scale=1ms\n"),
+            2);
+  // Two membership programs on one MC id.
+  const int line = parse_error_line(
+      "network ring 12\n"
+      "churn flashcrowd mc=1 start=0s members=3 alpha=1.5 scale=1ms\n"
+      "churn poisson mc=1 start=1s members=3 events=2 gap=1s\n");
+  EXPECT_GT(line, 0);
+  // Unknown key inside a statement.
+  EXPECT_EQ(parse_error_line("soak duration=10s warp=9\n"), 1);
+}
+
+TEST(ChurnEngine, ExpansionIsDeterministicPerSeed) {
+  const SoakSpec spec = parse_ok(kFullSpec);
+  const graph::Graph g = spec.build_graph();
+  const auto a = ChurnEngine::expand_all(spec, g, 99);
+  const auto b = ChurnEngine::expand_all(spec, g, 99);
+  EXPECT_EQ(event_strings(a), event_strings(b));
+  EXPECT_FALSE(a.empty());
+  const auto c = ChurnEngine::expand_all(spec, g, 100);
+  EXPECT_NE(event_strings(a), event_strings(c));
+}
+
+TEST(ChurnEngine, AppendingAProgramDoesNotPerturbEarlierOnes) {
+  // Program i draws from fork(i) of the churn stream, so adding a
+  // program at the end must leave every earlier program's events
+  // bit-identical (the FaultInjector decoupling, applied to churn).
+  const std::string base =
+      "name decouple\nnetwork ring 16\nsoak duration=20s phases=2 trials=1 "
+      "seed=5\n"
+      "churn flashcrowd mc=1 start=1s members=6 alpha=1.5 scale=10ms\n";
+  const std::string extended =
+      base + "churn rolling start=4s interval=3s downtime=200ms count=4\n";
+  const SoakSpec a = parse_ok(base);
+  const SoakSpec b = parse_ok(extended);
+  const graph::Graph g = a.build_graph();
+  auto only_joins = [](const std::vector<SoakEvent>& events) {
+    std::vector<std::string> out;
+    for (const auto& ev : events) {
+      if (ev.kind == SoakEvent::Kind::kJoin ||
+          ev.kind == SoakEvent::Kind::kLeave) {
+        out.push_back(to_string(ev));
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(only_joins(ChurnEngine::expand_all(a, g, a.soak_seed)),
+            only_joins(ChurnEngine::expand_all(b, g, b.soak_seed)));
+}
+
+TEST(ChurnEngine, PhaseWindowsConcatenateToExpandAll) {
+  const SoakSpec spec = parse_ok(kFullSpec);
+  const graph::Graph g = spec.build_graph();
+  ChurnEngine engine(spec, g, spec.soak_seed);
+  std::vector<SoakEvent> windowed;
+  const int phases = 5;  // deliberately different from spec.phases
+  for (int i = 0; i < phases; ++i) {
+    const double from = spec.duration * i / phases;
+    const double to =
+        i + 1 == phases ? spec.duration : spec.duration * (i + 1) / phases;
+    const auto chunk = engine.phase_events(from, to);
+    for (const auto& ev : chunk) {
+      EXPECT_GE(ev.at, from);
+      EXPECT_LT(ev.at, to);
+    }
+    windowed.insert(windowed.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(event_strings(windowed),
+            event_strings(
+                ChurnEngine::expand_all(spec, g, spec.soak_seed)));
+}
+
+TEST(ChurnEngine, DriftEmitsHysteresisFlapPairs) {
+  // A violent drift program must produce fail/restore events, and they
+  // must alternate per link (hysteresis: no double-fail, no
+  // double-restore).
+  const SoakSpec spec = parse_ok(
+      "name drifty\nnetwork ring 8\nsoak duration=60s phases=1 trials=1 "
+      "seed=3\n"
+      "churn drift links=4 period=100ms sigma=0.8 down=1.6 up=1.2\n");
+  const graph::Graph g = spec.build_graph();
+  const auto events = ChurnEngine::expand_all(spec, g, spec.soak_seed);
+  ASSERT_FALSE(events.empty());
+  std::map<graph::LinkId, SoakEvent::Kind> last;
+  for (const auto& ev : events) {
+    ASSERT_TRUE(ev.kind == SoakEvent::Kind::kFail ||
+                ev.kind == SoakEvent::Kind::kRestore);
+    auto it = last.find(ev.link);
+    if (it != last.end()) {
+      EXPECT_NE(it->second, ev.kind)
+          << "link " << ev.link << " repeated " << to_string(ev);
+    } else {
+      EXPECT_EQ(ev.kind, SoakEvent::Kind::kFail)
+          << "first event for a link must be a failure";
+    }
+    last[ev.link] = ev.kind;
+  }
+}
+
+}  // namespace
+}  // namespace dgmc::sim

@@ -1,0 +1,191 @@
+// Tests for the chaos soak runner (src/soak): a seeded CI-sized soak
+// passes every invariant and budget, results are bit-identical across
+// job counts, a gray-failed switch trips the convergence watchdog with
+// a replayable trace, and one spec drives both dgmc_soak and
+// dgmc_check.
+#include "soak/soak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <variant>
+
+#include "check/executor.hpp"
+#include "check/explorer.hpp"
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+#include "check/trace.hpp"
+
+namespace dgmc::soak {
+namespace {
+
+// A small but adversarial soak: loss + jitter, backpressure enabled, a
+// flash crowd, background Poisson churn, drifting link costs, and a
+// rolling restart wave — all inside a few simulated seconds so the
+// whole suite stays CI-sized.
+const char* kCiSpec = R"(name ci-soak
+network waxman 14 seed=11
+delay uniform 1ms
+timing tc=10ms perhop=4us
+option algorithm=incremental resync=on dualdetect=off reliable=on
+overload inflight=8 queue=128 dedupcap=512
+soak duration=12s phases=3 trials=1 seed=42
+watchdog deadline=30s
+budget dedup=4096 pending=8192 rss_mb=512
+fault loss=0.02 jitter=1ms
+churn flashcrowd mc=1 start=0.5s members=8 alpha=1.5 scale=20ms
+churn poisson mc=2 start=1s members=3 events=5 gap=1.5s
+churn drift links=3 period=400ms sigma=0.5 down=1.8 up=1.3
+churn rolling start=4s interval=3s downtime=300ms count=2
+)";
+
+sim::SoakSpec parse_spec(const std::string& text) {
+  auto result = sim::SoakSpec::parse(text);
+  const auto* err = std::get_if<sim::SpecError>(&result);
+  EXPECT_EQ(err, nullptr) << (err != nullptr
+                                  ? "line " + std::to_string(err->line) +
+                                        ": " + err->message
+                                  : "");
+  return std::get<sim::SoakSpec>(result);
+}
+
+TEST(SoakRunner, CiSoakPassesInvariantsAndBudgets) {
+  const sim::SoakSpec spec = parse_spec(kCiSpec);
+  SoakOptions options;
+  const TrialResult result = run_trial(spec, 0, options);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_FALSE(result.watchdog_tripped);
+  ASSERT_EQ(result.phases.size(), 3u);
+  // The churn programs actually produced work...
+  EXPECT_GT(result.phases.front().events_injected, 0u);
+  EXPECT_GT(result.phases.back().installs, 0u);
+  // ...and every phase drained with bounded steady-state tables.
+  for (const PhaseReport& p : result.phases) {
+    EXPECT_LE(p.dedup_backlog, spec.budgets.dedup_backlog);
+    EXPECT_LE(p.pending_retransmits, spec.budgets.pending_retransmits);
+    EXPECT_EQ(p.queued, 0u) << "drained phase must have empty tx queues";
+  }
+  EXPECT_NE(result.final_fingerprint, 0u);
+}
+
+TEST(SoakRunner, ResultsAreBitIdenticalAcrossJobCounts) {
+  sim::SoakSpec spec = parse_spec(kCiSpec);
+  spec.duration = 6.0;
+  spec.phases = 2;
+  spec.trials = 4;
+  SoakOptions options;
+  options.track_rss = false;  // RSS is the one host-dependent reading
+  options.jobs = 1;
+  const auto serial = run_soak(spec, options);
+  options.jobs = 8;
+  const auto parallel = run_soak(spec, options);
+  EXPECT_EQ(canonical_summary(serial), canonical_summary(parallel));
+  EXPECT_FALSE(canonical_summary(serial).empty());
+}
+
+TEST(SoakRunner, TrialsAreIndependentlySeeded) {
+  sim::SoakSpec spec = parse_spec(kCiSpec);
+  spec.duration = 4.0;
+  spec.phases = 1;
+  spec.trials = 2;
+  SoakOptions options;
+  options.track_rss = false;
+  const auto results = run_soak(spec, options);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].final_fingerprint, results[1].final_fingerprint)
+      << "trials must draw from independently forked streams";
+}
+
+TEST(SoakRunner, StuckMcTripsWatchdogWithReplayableTrace) {
+  sim::SoakSpec spec = parse_spec(kCiSpec);
+  spec.duration = 6.0;
+  spec.phases = 2;
+  spec.watchdog_deadline = 5.0;
+  SoakOptions options;
+  options.track_rss = false;
+  // Gray failure mid-flash-crowd: node 3's transport goes silent while
+  // its protocol state stays alive and stale.
+  options.stuck_node = 3;
+  options.stuck_at = 1.0;
+  const TrialResult result = run_trial(spec, 0, options);
+  ASSERT_FALSE(result.ok);
+  ASSERT_TRUE(result.watchdog_tripped) << result.failure;
+  EXPECT_NE(result.failure.find("watchdog"), std::string::npos);
+  ASSERT_FALSE(result.trace_text.empty());
+
+  // The dumped trace must be self-contained: load it, resolve the
+  // embedded spec with no catalog lookup, and replay it through the
+  // checker without divergence.
+  const std::string path = ::testing::TempDir() + "soak_watchdog_test.trace";
+  {
+    std::ofstream out(path);
+    out << result.trace_text;
+  }
+  std::string error;
+  const auto trace = check::load_trace(path, &error);
+  std::remove(path.c_str());
+  ASSERT_TRUE(trace.has_value()) << error;
+  EXPECT_FALSE(trace->spec_text.empty());
+  EXPECT_FALSE(trace->choices.empty());
+  const auto scenario = check::resolve_spec(*trace, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  const check::ReplayResult replayed = check::replay(*scenario, *trace);
+  EXPECT_FALSE(replayed.divergence.has_value()) << *replayed.divergence;
+  EXPECT_EQ(replayed.steps_executed, trace->choices.size());
+}
+
+TEST(SoakRunner, OneSpecDrivesBothSoakAndChecker) {
+  // The acceptance demo: the SAME parsed spec object powers a soak
+  // trial (dgmc_soak path) and a model-checking walk (dgmc_check
+  // --spec path), with the checker's oracles holding along the way.
+  sim::SoakSpec spec = parse_spec(kCiSpec);
+  spec.duration = 4.0;
+  spec.phases = 1;
+
+  SoakOptions options;
+  options.track_rss = false;
+  EXPECT_TRUE(run_trial(spec, 0, options).ok);
+
+  const check::ScenarioSpec scenario = check::scenario_from_soak(spec, 6);
+  EXPECT_EQ(scenario.injections.size(), 6u);
+  check::Executor executor(scenario);
+  std::size_t steps = 0;
+  while (!executor.done() && steps < 300) {
+    executor.step(0);
+    ++steps;
+    auto violation = check::check_step_invariants(executor.network(), scenario);
+    EXPECT_FALSE(violation.has_value())
+        << violation->oracle << ": " << violation->detail;
+  }
+  EXPECT_EQ(executor.injections_fired(), 6u);
+}
+
+TEST(SoakRunner, BenchJsonAndSummaryCoverFailures) {
+  sim::SoakSpec spec = parse_spec(kCiSpec);
+  spec.duration = 3.0;
+  spec.phases = 1;
+  spec.watchdog_deadline = 4.0;
+  SoakOptions options;
+  options.track_rss = false;
+  options.stuck_node = 2;
+  options.stuck_at = 0.8;
+  const auto results = run_soak(spec, options);
+  const std::string summary = canonical_summary(results);
+  EXPECT_NE(summary.find("watchdog=1"), std::string::npos);
+  EXPECT_NE(summary.find("failure:"), std::string::npos);
+  const std::string json = bench_json(spec, results);
+  EXPECT_NE(json.find("\"bench\": \"soak\""), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+}
+
+TEST(SoakRunner, RssProbeReturnsPlausibleValue) {
+  const double rss = process_rss_mb();
+  EXPECT_GT(rss, 0.0);
+  EXPECT_LT(rss, 64.0 * 1024.0);  // under 64 GiB, surely
+}
+
+}  // namespace
+}  // namespace dgmc::soak
