@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Minimal real-socket D-GMC deployment: four dgmc_netd processes on
+# 127.0.0.1, one per switch of ring4.spec, UDP ports BASE..BASE+3.
+#
+#   ./run.sh [BUILD_DIR] [BASE_PORT]
+#
+# The script demonstrates the full loop the paper's protocol is meant
+# to survive in a real network:
+#   1. boot 4 switch processes; heartbeats bring all adjacencies up;
+#   2. the spec's flash crowd joins switches 0..2 to MC 1;
+#   3. switch 3 is frozen (SIGSTOP) for longer than the dead interval —
+#      its two ring neighbors declare the links down by heartbeat
+#      timeout and flood the topology change;
+#   4. switch 3 is thawed (SIGCONT); HELLOs revive the links and the
+#      partition-resync machinery reconciles state;
+#   5. all processes get SIGTERM and dump their final protocol state;
+#      the dumps must be identical — that is D-GMC's consensus
+#      invariant, now checked across OS processes instead of
+#      simulation objects.
+#
+# Exit status: 0 if every switch dumped identical state, 1 otherwise.
+set -u
+
+BUILD_DIR=${1:-$(cd "$(dirname "$0")/../.." && pwd)/build}
+BASE_PORT=${2:-47000}
+NETD="$BUILD_DIR/src/net/dgmc_netd"
+SPEC="$(cd "$(dirname "$0")" && pwd)/ring4.spec"
+OUT=$(mktemp -d)
+trap 'kill "${PIDS[@]}" 2>/dev/null; rm -rf "$OUT"' EXIT
+
+if [ ! -x "$NETD" ]; then
+  echo "run.sh: $NETD not built (cmake --build $BUILD_DIR --target dgmc_netd)" >&2
+  exit 1
+fi
+
+# Short heartbeat timers so the demo fits in seconds; the defaults
+# (50ms/500ms) are tuned for less chatty long-running deployments.
+HELLO=0.05
+DEAD=0.4
+
+echo "== booting 4 switches (UDP ports $BASE_PORT-$((BASE_PORT + 3)))"
+PIDS=()
+for node in 0 1 2 3; do
+  "$NETD" "$SPEC" --node $node --base-port "$BASE_PORT" \
+    --hello $HELLO --dead $DEAD \
+    --state-out "$OUT/state.$node" &
+  PIDS+=($!)
+done
+
+sleep 2  # adjacencies up, flash-crowd joins (0.5s..~1s) done
+
+echo "== freezing switch 3 (SIGSTOP): neighbors must detect link death"
+kill -STOP "${PIDS[3]}"
+sleep 1.5  # > dead interval: links 2-3 and 3-0 declared down, flooded
+
+echo "== thawing switch 3 (SIGCONT): heartbeats revive the links"
+kill -CONT "${PIDS[3]}"
+sleep 2  # revival + resync + convergence
+
+echo "== shutting down"
+kill -TERM "${PIDS[@]}" 2>/dev/null
+FAIL=0
+for pid in "${PIDS[@]}"; do
+  wait "$pid" || FAIL=1
+done
+
+echo "== comparing state dumps"
+for node in 1 2 3; do
+  if ! diff -u "$OUT/state.0" "$OUT/state.$node" >/dev/null; then
+    echo "MISMATCH: switch $node disagrees with switch 0:"
+    diff -u "$OUT/state.0" "$OUT/state.$node" | sed 's/^/  /'
+    FAIL=1
+  fi
+done
+
+if [ "$FAIL" -eq 0 ]; then
+  echo "OK: all 4 switches converged to identical state:"
+  sed 's/^/  /' "$OUT/state.0"
+else
+  echo "FAILED"
+fi
+exit $FAIL

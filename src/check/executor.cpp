@@ -19,6 +19,7 @@ const char* tag_kind_name(des::EventTag::Kind k) {
     case des::EventTag::Kind::kRetransmit: return "retransmit";
     case des::EventTag::Kind::kCompute: return "finish-computation";
     case des::EventTag::Kind::kFault: return "fault";
+    case des::EventTag::Kind::kHeartbeat: return "heartbeat";
   }
   return "?";
 }

@@ -26,6 +26,7 @@ class Reader {
 
   bool ok() const { return ok_; }
   bool exhausted() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return ok_ ? bytes_.size() - pos_ : 0; }
 
   std::uint8_t u8() {
     if (pos_ + 1 > bytes_.size()) return fail<std::uint8_t>();
@@ -63,6 +64,10 @@ void put_stamp(std::vector<std::uint8_t>& out, const VectorTimestamp& t) {
 std::optional<VectorTimestamp> read_stamp(Reader& r) {
   const std::uint32_t n = r.u32();
   if (!r.ok() || n > 1u << 20) return std::nullopt;  // sanity cap
+  // Each entry takes 4 bytes: a count the buffer cannot possibly hold
+  // is rejected *before* allocating the timestamp, so a forged length
+  // field cannot amplify a small datagram into a large allocation.
+  if (n > r.remaining() / 4) return std::nullopt;
   // Filled in place: no staging vector, and for n <= kInlineCapacity
   // (every simulated network) no allocation at all.
   VectorTimestamp stamp(static_cast<int>(n));
@@ -160,6 +165,7 @@ std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {
 }
 
 std::optional<McLsa> decode_mc_lsa(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() > kMaxEncoded) return std::nullopt;
   if (peek_type(bytes) != WireType::kMcLsa) return std::nullopt;
   Reader r(bytes);
   (void)r.u8();  // type byte
@@ -198,6 +204,7 @@ std::optional<McLsa> decode_mc_lsa(const std::vector<std::uint8_t>& bytes) {
   if (has_proposal == 1) {
     const std::uint32_t edges = r.u32();
     if (!r.ok() || edges > 1u << 20) return std::nullopt;
+    if (edges > r.remaining() / 8) return std::nullopt;  // 8 bytes/edge
     std::vector<graph::Edge> es;
     es.reserve(edges);
     for (std::uint32_t i = 0; i < edges; ++i) {
@@ -214,6 +221,7 @@ std::optional<McLsa> decode_mc_lsa(const std::vector<std::uint8_t>& bytes) {
 
 std::optional<lsr::LinkEventAd> decode_link_event(
     const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() > kMaxEncoded) return std::nullopt;
   if (peek_type(bytes) != WireType::kLinkEvent) return std::nullopt;
   Reader r(bytes);
   (void)r.u8();
@@ -229,6 +237,7 @@ std::optional<lsr::LinkEventAd> decode_link_event(
 
 std::optional<McSync> decode_mc_sync(
     const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() > kMaxEncoded) return std::nullopt;
   if (peek_type(bytes) != WireType::kMcSync) return std::nullopt;
   Reader r(bytes);
   (void)r.u8();
@@ -243,6 +252,9 @@ std::optional<McSync> decode_mc_sync(
     return std::nullopt;
   }
   sync.mc_type = static_cast<mc::McType>(mc_type);
+  // 14 bytes per entry; see the read_stamp comment on why the count is
+  // checked against the buffer before reserving.
+  if (count > r.remaining() / 14) return std::nullopt;
   sync.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     McSyncEntry e;
@@ -269,6 +281,7 @@ std::optional<McSync> decode_mc_sync(
   if (!r.ok() || sync.c_origin < graph::kInvalidNode || edges > 1u << 20) {
     return std::nullopt;
   }
+  if (edges > r.remaining() / 8) return std::nullopt;  // 8 bytes/edge
   std::vector<graph::Edge> es;
   es.reserve(edges);
   for (std::uint32_t i = 0; i < edges; ++i) {

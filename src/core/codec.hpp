@@ -20,6 +20,13 @@
 
 namespace dgmc::core {
 
+/// Hard cap on an encoded buffer any decode_* will consider. Matches
+/// the socket backend's datagram cap (net::kMaxDatagram): larger
+/// buffers are malformed on any wire this codec serves, and rejecting
+/// them up front bounds what a forged length field can make the
+/// decoder allocate.
+inline constexpr std::size_t kMaxEncoded = 64 * 1024;
+
 /// Leading type byte (the paper's F flag).
 enum class WireType : std::uint8_t {
   kMcLsa = 0xD6,

@@ -9,12 +9,12 @@
 namespace dgmc::core {
 
 DgmcSwitch::DgmcSwitch(graph::NodeId self, int network_size,
-                       des::Scheduler& sched,
+                       rt::Executor& exec,
                        const mc::TopologyAlgorithm& algorithm,
                        DgmcConfig config, Hooks hooks)
     : self_(self),
       network_size_(network_size),
-      sched_(sched),
+      exec_(exec),
       algorithm_(algorithm),
       config_(config),
       hooks_(std::move(hooks)) {
@@ -221,7 +221,7 @@ void DgmcSwitch::crash() {
   if (current_.has_value()) {
     // The in-flight computation dies with the CPU; reclaim its
     // completion event so a ghost finish cannot fire post-restart.
-    sched_.cancel(current_event_);
+    exec_.cancel(current_event_);
     current_.reset();
     ++counters_.computations_withdrawn;
   }
@@ -395,7 +395,7 @@ void DgmcSwitch::evaluate_all_trigger_gates() {
 
 // --- Computation lifecycle ---
 
-des::SimTime DgmcSwitch::computation_duration(bool from_scratch) const {
+rt::Time DgmcSwitch::computation_duration(bool from_scratch) const {
   if (from_scratch || config_.incremental_computation_time < 0.0) {
     return config_.computation_time;
   }
@@ -406,13 +406,13 @@ void DgmcSwitch::start_computation(Computation c) {
   DGMC_ASSERT(!current_.has_value());
   ++counters_.computations_started;
   if (hooks_.on_computation) hooks_.on_computation(c.mcid);
-  const des::SimTime duration = computation_duration(c.from_scratch);
+  const rt::Time duration = computation_duration(c.from_scratch);
   current_ = std::move(c);
-  des::EventTag tag;
-  tag.kind = des::EventTag::Kind::kCompute;
+  rt::EventTag tag;
+  tag.kind = rt::EventTag::Kind::kCompute;
   tag.node = self_;
   current_event_ =
-      sched_.schedule_after(duration, tag, [this] { finish_computation(); });
+      exec_.schedule_after(duration, tag, [this] { finish_computation(); });
 }
 
 void DgmcSwitch::finish_computation() {

@@ -46,7 +46,7 @@
 
 #include "core/mc_lsa.hpp"
 #include "core/sync.hpp"
-#include "des/scheduler.hpp"
+#include "rt/executor.hpp"
 #include "mc/algorithm.hpp"
 #include "mc/member_list.hpp"
 
@@ -55,12 +55,12 @@ namespace dgmc::core {
 struct DgmcConfig {
   /// Tc: time one from-scratch topology computation occupies the
   /// switch CPU.
-  des::SimTime computation_time = 25 * des::kMillisecond;
+  rt::Time computation_time = 25 * rt::kMillisecond;
   /// Time an *incremental* update occupies the CPU (§3.5's motivation:
   /// attaching/pruning a branch is far cheaper than a Steiner
   /// computation). Negative (the default) means "same as
   /// computation_time", preserving the paper's single-Tc model.
-  des::SimTime incremental_computation_time = -1.0;
+  rt::Time incremental_computation_time = -1.0;
   /// Delete per-MC state when the member list empties (paper §3.4).
   /// Disable to keep tombstones (useful for post-run inspection).
   bool destroy_on_empty = true;
@@ -119,7 +119,7 @@ class DgmcSwitch {
     std::function<void(mc::McId)> on_computation;
   };
 
-  DgmcSwitch(graph::NodeId self, int network_size, des::Scheduler& sched,
+  DgmcSwitch(graph::NodeId self, int network_size, rt::Executor& exec,
              const mc::TopologyAlgorithm& algorithm, DgmcConfig config,
              Hooks hooks);
 
@@ -274,18 +274,18 @@ class DgmcSwitch {
                const VectorTimestamp& stamp, graph::NodeId origin);
   void flood(McLsa lsa);
   mc::TopologyAlgorithm::Result compute_topology(const McState& st) const;
-  des::SimTime computation_duration(bool from_scratch) const;
+  rt::Time computation_duration(bool from_scratch) const;
   void maybe_destroy(mc::McId mcid);
 
   graph::NodeId self_;
   int network_size_;
-  des::Scheduler& sched_;
+  rt::Executor& exec_;
   const mc::TopologyAlgorithm& algorithm_;
   DgmcConfig config_;
   Hooks hooks_;
   std::map<mc::McId, McState> states_;  // ordered: deterministic iteration
   std::optional<Computation> current_;
-  des::Scheduler::EventId current_event_;  // completion event of current_
+  rt::TimerId current_event_;  // completion event of current_
   bool alive_ = true;
   DgmcCounters counters_;
 
@@ -302,7 +302,7 @@ class DgmcSwitch {
   struct Snapshot {
     std::map<mc::McId, McState> states;
     std::optional<Computation> current;
-    des::Scheduler::EventId current_event;
+    rt::TimerId current_event;
     bool alive = true;
     DgmcCounters counters;
   };

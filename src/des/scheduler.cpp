@@ -37,10 +37,6 @@ Scheduler::EventId Scheduler::schedule_at(SimTime t, EventTag tag,
   return EventId{id};
 }
 
-Scheduler::EventId Scheduler::schedule_after(SimTime delay, Callback cb) {
-  return schedule_after(delay, EventTag{}, std::move(cb));
-}
-
 Scheduler::EventId Scheduler::schedule_after(SimTime delay, EventTag tag,
                                              Callback cb) {
   DGMC_ASSERT_MSG(delay >= 0.0, "negative delay");

@@ -32,58 +32,47 @@
 #include <utility>
 #include <vector>
 
-#include "des/small_function.hpp"
 #include "des/time.hpp"
+#include "rt/executor.hpp"
 
 namespace dgmc::des {
 
-/// Semantic annotation of a pending event, consumed by check::Executor.
-/// The des layer never interprets the fields; producers (lsr flooding,
-/// the protocol entity) fill in whatever identifies the action.
-struct EventTag {
-  enum class Kind : std::uint8_t {
-    kOpaque = 0,      // untagged (plain simulation events)
-    kDelivery = 1,    // LSA copy arriving at `node` from origin `peer`
-    kAck = 2,         // flooding ack arriving at `node`
-    kRetransmit = 3,  // reliable-flooding RTO timer at sender `node`
-    kCompute = 4,     // topology-computation completion at `node`
-    kFault = 5,       // scheduled fault-plan action
-  };
-  Kind kind = Kind::kOpaque;
-  std::int32_t node = -1;     // the switch the event happens at
-  std::int32_t peer = -1;     // counterpart switch (e.g. flooding origin)
-  std::uint32_t seq = 0;      // per-origin flooding sequence number
-  std::int32_t link = -1;     // link the copy travels on
-  std::uint64_t digest = 0;   // content hash of the carried payload
+/// Semantic event annotation, moved to the runtime layer (rt/) so both
+/// execution backends share one vocabulary. Aliased here for the many
+/// existing des::EventTag users.
+using EventTag = rt::EventTag;
+using SmallFunction = rt::SmallFunction;
 
-  friend bool operator==(const EventTag&, const EventTag&) = default;
-};
-
-class Scheduler {
+/// The DES calendar is one of the two rt::Executor implementations
+/// (the other is net::EventLoop). `final` keeps the hot simulation
+/// paths devirtualizable when callers hold a concrete Scheduler.
+class Scheduler final : public rt::Executor {
  public:
   /// Small-buffer callable: no heap allocation for the typical capture
   /// sizes the simulation schedules (see small_function.hpp).
-  using Callback = SmallFunction;
+  using Callback = rt::SmallFunction;
 
-  /// Opaque handle for cancellation.
-  struct EventId {
-    std::uint64_t value = 0;
-  };
+  /// Opaque handle for cancellation. Alias of rt::TimerId: protocol
+  /// code holding an rt::TimerId and sim code holding an EventId see
+  /// the same 64-bit handle.
+  using EventId = rt::TimerId;
 
   /// Schedules `cb` at absolute time `t` (must be >= now()).
   EventId schedule_at(SimTime t, Callback cb);
   EventId schedule_at(SimTime t, EventTag tag, Callback cb);
 
   /// Schedules `cb` at now() + delay (delay must be >= 0).
-  EventId schedule_after(SimTime delay, Callback cb);
-  EventId schedule_after(SimTime delay, EventTag tag, Callback cb);
+  EventId schedule_after(SimTime delay, Callback cb) {
+    return rt::Executor::schedule_after(delay, std::move(cb));
+  }
+  EventId schedule_after(SimTime delay, EventTag tag, Callback cb) override;
 
   /// Cancels a pending event. Returns false if it already ran or was
   /// cancelled before.
-  bool cancel(EventId id);
+  bool cancel(EventId id) override;
 
   /// Current simulated time.
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
 
   /// Executes the next pending event, advancing time. Returns false if
   /// the calendar is empty.

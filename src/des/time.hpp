@@ -1,18 +1,22 @@
 // Simulated time.
 //
-// Time is a double in seconds. Events separated by less than kTimeEps
-// are considered simultaneous for reporting purposes; ordering between
-// equal-time events is deterministic (FIFO by schedule order).
+// SimTime is an alias of rt::Time (double seconds): under the DES
+// backend the runtime layer's clock *is* simulated time. Events
+// separated by less than kTimeEps are considered simultaneous for
+// reporting purposes; ordering between equal-time events is
+// deterministic (FIFO by schedule order).
 #pragma once
+
+#include "rt/time.hpp"
 
 namespace dgmc::des {
 
-using SimTime = double;
+using SimTime = rt::Time;
 
-inline constexpr SimTime kMicrosecond = 1e-6;
-inline constexpr SimTime kMillisecond = 1e-3;
-inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMicrosecond = rt::kMicrosecond;
+inline constexpr SimTime kMillisecond = rt::kMillisecond;
+inline constexpr SimTime kSecond = rt::kSecond;
 
-inline constexpr SimTime kTimeEps = 1e-12;
+inline constexpr SimTime kTimeEps = rt::kTimeEps;
 
 }  // namespace dgmc::des

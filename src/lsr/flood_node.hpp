@@ -1,0 +1,440 @@
+// Per-switch reliable-flooding engine (paper §1: "the local status of
+// each switch is learned by the network via the flooding of link-state
+// advertisements").
+//
+// FloodNode is the *protocol* half of classic LSR flooding: per-origin
+// sequence assignment, duplicate suppression, forwarding decisions, and
+// the OSPF-style per-link ack/retransmit machinery. It owns no sockets
+// and no event calendar — it drives an abstract FloodWire (who are my
+// links, are they up, put this copy / this ack on that link) and an
+// rt::Executor (retransmission timers). That makes the same object code
+// run under both execution backends:
+//
+//   * simulation / model checking — lsr::FloodingNetwork (flooding.hpp)
+//     implements the wire as calendar insertions with link delays,
+//     fault hooks and overload queues, one FloodNode per simulated
+//     switch;
+//   * deployment — net::NetSwitch implements the wire as UDP datagram
+//     sends, one FloodNode per OS process (or in-process loopback
+//     switch).
+//
+// The reliability model (see DESIGN.md "Reliability model"): every data
+// copy expects an ack from the far end; the sender arms a
+// retransmission timer with exponential backoff and retransmits until
+// acked, the link reports down, or a retry cap is reached. Receivers
+// ack duplicates too, since a duplicate usually means our previous ack
+// was lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rt/executor.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace dgmc::lsr {
+
+/// Per-link ack + retransmission parameters (reliable mode).
+struct ReliableFloodingConfig {
+  bool enabled = false;
+  /// First retransmission fires this long after a transmission; must
+  /// exceed the round-trip (2 * (link delay + per-hop overhead) + max
+  /// jitter) or every copy is retransmitted at least once.
+  rt::Time initial_rto = 10 * rt::kMillisecond;
+  /// RTO multiplier per retry (exponential backoff).
+  double backoff = 2.0;
+  /// Retransmissions per (link, LSA) before the sender gives up. A
+  /// give-up breaks the delivery guarantee; the protocol layer's
+  /// resync-on-restore machinery is the backstop.
+  int max_retransmits = 10;
+};
+
+/// Graceful-degradation bounds for overload (join storms, §DESIGN 10).
+/// All limits are 0 = unlimited (the default), which preserves the
+/// historical event sequence bit-for-bit. With limits set, a link
+/// admits at most `max_inflight_per_link` concurrent data copies;
+/// excess copies wait in a bounded FIFO and are *shed* (counted, not
+/// scheduled) once the queue is full — so a storm degrades latency,
+/// never memory. Acks always bypass the queue: they release inflight
+/// budget on the far side, so queueing them could deadlock the link.
+/// The inflight/queue fields are wire-level (enforced by the sim
+/// transport); max_dedup_ahead bounds the per-node dedup buffer and is
+/// enforced by FloodNode itself.
+struct OverloadConfig {
+  int max_inflight_per_link = 0;   // concurrent data copies per link
+  int max_queue_per_link = 0;      // waiting copies per link beyond that
+  /// Cap on a switch's out-of-order dedup buffer per origin. When the
+  /// `ahead` set outgrows this, the gap below it is declared abandoned
+  /// and compacted into the high-water mark (late gap-fillers are then
+  /// dropped as duplicates — the resync machinery is the backstop).
+  std::size_t max_dedup_ahead = 0;
+};
+
+/// One flooded LSA: who originated it, its per-origin sequence number,
+/// a content digest (exploration bookkeeping, 0 when unused) and the
+/// payload. Shared immutably between every in-flight copy.
+template <typename Payload>
+struct FloodMessage {
+  graph::NodeId origin;
+  std::uint32_t seq;
+  std::uint64_t digest;
+  Payload payload;
+};
+
+/// What a FloodNode asks of its transport. Implementations: the DES
+/// FloodingNetwork's per-node adapter (calendar insertions) and the
+/// socket backend's UDP sender. All calls are synchronous; a send may
+/// complete (or be dropped, queued, or lost) entirely inside the call.
+template <typename Payload>
+class FloodWire {
+ public:
+  using MessagePtr = std::shared_ptr<const FloodMessage<Payload>>;
+
+  virtual ~FloodWire() = default;
+
+  /// The node's incident links (stable ids; iteration order fixes the
+  /// transmission order, so it must be deterministic).
+  virtual const std::vector<graph::LinkId>& incident_links() const = 0;
+
+  /// Whether a link is currently usable, as far as this node knows.
+  virtual bool link_up(graph::LinkId id) const = 0;
+
+  /// Whether this node's own interface is up. The sim transport flips
+  /// this on crash; a real process is always up while it runs.
+  virtual bool self_up() const = 0;
+
+  /// Puts one data copy on a link (far end inferred from the link).
+  virtual void send_data(graph::LinkId id, const MessagePtr& msg) = 0;
+
+  /// Puts one ack for (origin, seq) on a link.
+  virtual void send_ack(graph::LinkId id, graph::NodeId origin,
+                        std::uint32_t seq) = 0;
+};
+
+template <typename Payload>
+class FloodNode {
+ public:
+  using Message = FloodMessage<Payload>;
+  using MessagePtr = std::shared_ptr<const Message>;
+
+  struct Delivery {
+    graph::NodeId origin;  // switch that originated the flooding
+    std::uint32_t seq;     // per-origin sequence number
+    const Payload& payload;
+  };
+
+  /// Invoked once per LSA on first receipt; never for self-originated
+  /// floodings.
+  using Receiver = std::function<void(const Delivery&)>;
+
+  FloodNode(graph::NodeId self, int network_size, rt::Executor& exec,
+            FloodWire<Payload>& wire)
+      : self_(self), exec_(exec), wire_(wire), seen_(network_size) {
+    DGMC_ASSERT(self >= 0 && self < network_size);
+  }
+
+  FloodNode(const FloodNode&) = delete;
+  FloodNode& operator=(const FloodNode&) = delete;
+
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  void set_reliable(const ReliableFloodingConfig& cfg) {
+    DGMC_ASSERT(cfg.initial_rto > 0.0);
+    DGMC_ASSERT(cfg.backoff >= 1.0);
+    DGMC_ASSERT(cfg.max_retransmits >= 0);
+    reliable_ = cfg;
+  }
+
+  void set_max_dedup_ahead(std::size_t cap) { max_dedup_ahead_ = cap; }
+
+  /// Content hash of a payload, stamped into every copy's rt::EventTag
+  /// (and into fingerprints). The explorer uses it to tell in-flight
+  /// messages apart. Optional — null leaves the digest at 0.
+  void set_payload_digest(std::function<std::uint64_t(const Payload&)> fn) {
+    payload_digest_ = std::move(fn);
+  }
+
+  /// Originates one flooding operation. Counted once regardless of the
+  /// number of per-link copies (the paper's "floodings per event" unit).
+  void flood(Payload payload) {
+    const std::uint64_t digest =
+        payload_digest_ ? payload_digest_(payload) : 0;
+    auto msg = std::make_shared<const Message>(
+        Message{self_, next_seq_++, digest, std::move(payload)});
+    ++floodings_originated_;
+    mark_seen(msg->origin, msg->seq);
+    forward(msg);
+  }
+
+  /// A data copy reached this node over `link`. The transport has
+  /// already established that the node's interface is up.
+  void on_data(graph::LinkId link, const MessagePtr& msg) {
+    if (reliable_.enabled) wire_.send_ack(link, msg->origin, msg->seq);
+    if (!mark_seen(msg->origin, msg->seq)) {
+      ++duplicates_dropped_;
+      return;
+    }
+    if (receiver_) {
+      receiver_(Delivery{msg->origin, msg->seq, msg->payload});
+    }
+    forward(msg);
+  }
+
+  /// An ack for (origin, seq) sent over `link` reached this node.
+  void on_ack(graph::LinkId link, graph::NodeId origin, std::uint32_t seq) {
+    auto it = pending_.find(PendingKey{link, origin, seq});
+    if (it == pending_.end()) return;  // late ack after give-up/duplicate
+    exec_.cancel(it->second.timer);
+    pending_.erase(it);
+  }
+
+  /// Abandons every unacked transmission (interface went down). Dedup
+  /// history and the origin sequence counter survive, standing in for
+  /// OSPF's recovery of self-originated sequence numbers.
+  void abandon_all_pending() {
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      exec_.cancel(it->second.timer);
+      it = pending_.erase(it);
+    }
+  }
+
+  graph::NodeId self() const { return self_; }
+  std::uint32_t origin_seq() const { return next_seq_; }
+
+  // --- Metrics ---
+
+  std::uint64_t floodings_originated() const { return floodings_originated_; }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  /// Data copies retransmitted after an RTO expiry.
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Transmissions abandoned after max_retransmits expiries.
+  std::uint64_t give_ups() const { return give_ups_; }
+  /// Times a dedup `ahead` buffer hit max_dedup_ahead and the gap below
+  /// it was abandoned (see OverloadConfig).
+  std::uint64_t dedup_compactions() const { return dedup_compactions_; }
+  /// Armed retransmission timers — nonzero means the node still owes
+  /// deliveries, so quiescence checks must include it.
+  std::size_t retransmit_timers_armed() const { return pending_.size(); }
+  /// Out-of-order dedup entries currently buffered (bounded by the
+  /// reordering window; the per-origin high-water marks absorb
+  /// everything delivered in order).
+  std::size_t dedup_backlog() const {
+    std::size_t total = 0;
+    for (const OriginDedup& d : seen_) total += d.ahead.size();
+    return total;
+  }
+
+  // --- Fingerprint pieces (composed by the owning container) ---
+
+  /// Folds the dedup history — per-origin high-water marks plus the
+  /// order-independent hash of each `ahead` set — into `h`.
+  std::uint64_t fingerprint_dedup(std::uint64_t h) const {
+    for (const OriginDedup& d : seen_) {
+      h = util::hash_mix(h, d.next_expected);
+      std::uint64_t ahead = 0;
+      for (std::uint32_t s : d.ahead) ahead ^= util::hash_mix(0x5eed, s);
+      h = util::hash_mix(h, ahead);
+    }
+    return h;
+  }
+
+  /// Folds the unacked-transmission set (std::map: stable order).
+  std::uint64_t fingerprint_pending(std::uint64_t h) const {
+    for (const auto& [key, tx] : pending_) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<0>(key)));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(self_));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<1>(key)));
+      h = util::hash_mix(h, std::get<2>(key));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(tx.retransmits));
+      h = util::hash_mix(h, tx.msg->digest);
+    }
+    return h;
+  }
+
+ private:
+  // Dedup: sequence numbers are per-origin monotone, so almost all
+  // history compresses into a high-water mark ("every seq below
+  // next_expected is seen"); only copies that overtake earlier ones —
+  // possible under jitter-induced reordering — park in `ahead` until
+  // the gap closes. Replaces an ever-growing set of (origin, seq) keys
+  // that made long runs leak memory.
+  struct OriginDedup {
+    std::uint32_t next_expected = 0;
+    std::unordered_set<std::uint32_t> ahead;
+  };
+
+  /// One unacked data copy: the message, its armed timer, and the
+  /// backoff state.
+  struct PendingTx {
+    MessagePtr msg;
+    rt::TimerId timer;
+    int retransmits = 0;
+    rt::Time rto = 0.0;
+  };
+  // Keyed by (link, origin, seq) — the sender is this node; std::map
+  // keeps the abandon sweep deterministic.
+  using PendingKey = std::tuple<graph::LinkId, graph::NodeId, std::uint32_t>;
+
+  bool mark_seen(graph::NodeId origin, std::uint32_t seq) {
+    OriginDedup& d = seen_[origin];
+    if (seq < d.next_expected) return false;
+    if (seq == d.next_expected) {
+      ++d.next_expected;
+      while (d.ahead.erase(d.next_expected) != 0) ++d.next_expected;
+      return true;
+    }
+    if (!d.ahead.insert(seq).second) return false;
+    if (max_dedup_ahead_ > 0 && d.ahead.size() > max_dedup_ahead_) {
+      compact_dedup(d);
+    }
+    return true;
+  }
+
+  /// Declares the gap [next_expected, min(ahead)) abandoned — the seqs
+  /// in it were given up on (loss + give-up) and will never arrive in
+  /// steady state — and folds the run above it into the high-water
+  /// mark. A late gap-filler is thereafter dropped as a duplicate
+  /// without delivery; the protocol resync machinery is the backstop.
+  void compact_dedup(OriginDedup& d) {
+    std::uint32_t lo = 0;
+    bool first = true;
+    for (std::uint32_t s : d.ahead) {
+      if (first || s < lo) lo = s;
+      first = false;
+    }
+    DGMC_ASSERT(!first);
+    d.next_expected = lo + 1;
+    d.ahead.erase(lo);
+    while (d.ahead.erase(d.next_expected) != 0) ++d.next_expected;
+    ++dedup_compactions_;
+  }
+
+  void forward(const MessagePtr& msg) {
+    for (graph::LinkId id : wire_.incident_links()) {
+      if (!wire_.link_up(id)) continue;
+      if (reliable_.enabled) {
+        start_reliable_tx(id, msg);
+      } else {
+        wire_.send_data(id, msg);
+      }
+    }
+  }
+
+  void start_reliable_tx(graph::LinkId id, const MessagePtr& msg) {
+    const PendingKey key{id, msg->origin, msg->seq};
+    DGMC_ASSERT_MSG(pending_.find(key) == pending_.end(),
+                    "duplicate reliable transmission");
+    PendingTx tx;
+    tx.msg = msg;
+    tx.rto = reliable_.initial_rto;
+    auto [it, inserted] = pending_.emplace(key, std::move(tx));
+    DGMC_ASSERT(inserted);
+    attempt(it);
+  }
+
+  void attempt(typename std::map<PendingKey, PendingTx>::iterator it) {
+    const graph::LinkId link = std::get<0>(it->first);
+    // A flapped-down link swallows the attempt but keeps the timer
+    // running: the link may come back before the retry cap.
+    if (wire_.link_up(link)) wire_.send_data(link, it->second.msg);
+    const PendingKey key = it->first;
+    rt::EventTag tag;
+    tag.kind = rt::EventTag::Kind::kRetransmit;
+    tag.node = self_;
+    tag.peer = it->second.msg->origin;
+    tag.seq = it->second.msg->seq;
+    tag.link = link;
+    tag.digest = it->second.msg->digest;
+    it->second.timer =
+        exec_.schedule_after(it->second.rto, tag, [this, key] { on_rto(key); });
+  }
+
+  void on_rto(const PendingKey& key) {
+    auto it = pending_.find(key);
+    DGMC_ASSERT(it != pending_.end());
+    if (!wire_.self_up()) {
+      // Our interface died between arming the timer and expiry.
+      pending_.erase(it);
+      return;
+    }
+    PendingTx& tx = it->second;
+    if (tx.retransmits >= reliable_.max_retransmits) {
+      ++give_ups_;
+      pending_.erase(it);
+      return;
+    }
+    ++tx.retransmits;
+    ++retransmissions_;
+    tx.rto *= reliable_.backoff;
+    attempt(it);
+  }
+
+  graph::NodeId self_;
+  rt::Executor& exec_;
+  FloodWire<Payload>& wire_;
+  Receiver receiver_;
+  ReliableFloodingConfig reliable_;
+  std::size_t max_dedup_ahead_ = 0;
+  std::function<std::uint64_t(const Payload&)> payload_digest_;
+  std::vector<OriginDedup> seen_;  // [origin]
+  std::uint32_t next_seq_ = 0;
+  std::map<PendingKey, PendingTx> pending_;
+  std::uint64_t floodings_originated_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t give_ups_ = 0;
+  std::uint64_t dedup_compactions_ = 0;
+
+ public:
+  // --- Checkpoint interface ---
+
+  /// Deep copy of the node's mutable state. Pending-transmission
+  /// records keep their armed-timer TimerIds and shared_ptrs to the
+  /// (immutable) in-flight messages — both stay meaningful because a
+  /// node snapshot is only ever restored together with the owning
+  /// scheduler's calendar snapshot, and restoring never rebinds the
+  /// message objects the calendar's delivery closures captured.
+  /// Counters are included so that metrics after a restore match a
+  /// replayed run exactly. Opaque to callers.
+  struct Snapshot {
+    std::vector<OriginDedup> seen;
+    std::uint32_t next_seq = 0;
+    std::map<PendingKey, PendingTx> pending;
+    std::uint64_t floodings_originated = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t give_ups = 0;
+    std::uint64_t dedup_compactions = 0;
+  };
+
+  void save(Snapshot& out) const {
+    out.seen = seen_;
+    out.next_seq = next_seq_;
+    out.pending = pending_;
+    out.floodings_originated = floodings_originated_;
+    out.duplicates_dropped = duplicates_dropped_;
+    out.retransmissions = retransmissions_;
+    out.give_ups = give_ups_;
+    out.dedup_compactions = dedup_compactions_;
+  }
+
+  void restore(const Snapshot& snap) {
+    seen_ = snap.seen;
+    next_seq_ = snap.next_seq;
+    pending_ = snap.pending;
+    floodings_originated_ = snap.floodings_originated;
+    duplicates_dropped_ = snap.duplicates_dropped;
+    retransmissions_ = snap.retransmissions;
+    give_ups_ = snap.give_ups;
+    dedup_compactions_ = snap.dedup_compactions;
+  }
+};
+
+}  // namespace dgmc::lsr

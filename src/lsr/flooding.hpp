@@ -1,27 +1,23 @@
-// Reliable LSA flooding over the event calendar (paper §1: "the local
-// status of each switch is learned by the network via the flooding of
-// link-state advertisements").
+// Simulated wire for LSA flooding: the DES-backed transport container.
 //
-// Classic LSR flooding: the originator sends on all up incident links;
-// each switch, on first receipt of an (origin, seq) pair, delivers the
-// payload to its protocol layer and forwards on every other up link;
-// duplicates are dropped. Per-hop latency = link propagation delay +
-// a fixed per-hop processing overhead (the knob that realizes the
-// paper's Tf regimes).
+// The flooding *protocol* — dedup, forwarding, per-link ack/retransmit
+// reliability — lives in lsr::FloodNode (flood_node.hpp), one engine
+// per switch, driven through the abstract FloodWire interface. This
+// file is the simulation-side implementation of that wire: a
+// FloodingNetwork owns one FloodNode per simulated switch and realizes
+// their sends as calendar insertions with per-hop latency = link
+// propagation delay + a fixed per-hop processing overhead (the knob
+// that realizes the paper's Tf regimes).
 //
-// The paper assumes this layer is lossless. Two optional extensions
-// make it survive an unreliable network (see DESIGN.md "Reliability
-// model"):
+// The paper assumes the flooding layer is lossless. Two optional
+// extensions make it survive an unreliable network (see DESIGN.md
+// "Reliability model"):
 //   * Fault hooks — per-transmission loss and extra-delay decisions
 //     injected by the fault module (std::function, so lsr does not
 //     depend on fault). A lost copy is simply never scheduled.
-//   * Reliable mode — OSPF-style per-link acknowledgment: every data
-//     copy expects an ack from the far end; the sender arms a
-//     retransmission timer with exponential backoff and retransmits
-//     until acked, the link reports down, or a retry cap is reached
-//     (Scheduler::cancel reclaims timers when acks arrive). Receivers
-//     ack duplicates too, since a duplicate usually means our previous
-//     ack was lost.
+//   * Reliable mode — enables the FloodNodes' OSPF-style per-link
+//     acknowledgment machinery (rt::Executor::cancel reclaims timers
+//     when acks arrive).
 // Both are strictly opt-in: with no hooks and reliable mode off the
 // event sequence is identical to the lossless transport.
 //
@@ -37,58 +33,24 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <tuple>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
-#include "des/scheduler.hpp"
 #include "graph/graph.hpp"
+#include "lsr/flood_node.hpp"
+#include "rt/executor.hpp"
 #include "util/assert.hpp"
 #include "util/hash.hpp"
 
 namespace dgmc::lsr {
-
-/// Per-link ack + retransmission parameters (reliable mode).
-struct ReliableFloodingConfig {
-  bool enabled = false;
-  /// First retransmission fires this long after a transmission; must
-  /// exceed the round-trip (2 * (link delay + per-hop overhead) + max
-  /// jitter) or every copy is retransmitted at least once.
-  des::SimTime initial_rto = 10 * des::kMillisecond;
-  /// RTO multiplier per retry (exponential backoff).
-  double backoff = 2.0;
-  /// Retransmissions per (link, LSA) before the sender gives up. A
-  /// give-up breaks the delivery guarantee; the protocol layer's
-  /// resync-on-restore machinery is the backstop.
-  int max_retransmits = 10;
-};
-
-/// Graceful-degradation bounds for overload (join storms, §DESIGN 10).
-/// All limits are 0 = unlimited (the default), which preserves the
-/// historical event sequence bit-for-bit. With limits set, a link
-/// admits at most `max_inflight_per_link` concurrent data copies;
-/// excess copies wait in a bounded FIFO and are *shed* (counted, not
-/// scheduled) once the queue is full — so a storm degrades latency,
-/// never memory. Acks always bypass the queue: they release inflight
-/// budget on the far side, so queueing them could deadlock the link.
-struct OverloadConfig {
-  int max_inflight_per_link = 0;   // concurrent data copies per link
-  int max_queue_per_link = 0;      // waiting copies per link beyond that
-  /// Cap on a switch's out-of-order dedup buffer per origin. When the
-  /// `ahead` set outgrows this, the gap below it is declared abandoned
-  /// and compacted into the high-water mark (late gap-fillers are then
-  /// dropped as duplicates — the resync machinery is the backstop).
-  std::size_t max_dedup_ahead = 0;
-};
 
 /// Loss/jitter decision sources, typically bound to a
 /// fault::FaultInjector. Both are consulted once per transmission
 /// (data and ack copies alike); either may be null.
 struct FaultHooks {
   std::function<bool(graph::LinkId)> drop;
-  std::function<des::SimTime(graph::LinkId)> extra_delay;
+  std::function<rt::Time(graph::LinkId)> extra_delay;
 };
 
 template <typename Payload>
@@ -105,27 +67,35 @@ class FloodingNetwork {
   /// originator.
   using Receiver = std::function<void(const Delivery&)>;
 
-  FloodingNetwork(des::Scheduler& sched, const graph::Graph& physical,
+  FloodingNetwork(rt::Executor& exec, const graph::Graph& physical,
                   double per_hop_overhead)
-      : sched_(sched),
+      : exec_(exec),
         physical_(physical),
         per_hop_overhead_(per_hop_overhead),
-        seen_(physical.node_count(),
-              std::vector<OriginDedup>(physical.node_count())),
         node_up_(physical.node_count(), 1),
-        next_seq_(physical.node_count(), 0),
         inflight_on_link_(physical.link_count(), 0),
         link_queue_(physical.link_count()) {
     DGMC_ASSERT(per_hop_overhead >= 0.0);
+    const int n = physical.node_count();
+    wires_.reserve(n);
+    nodes_.reserve(n);
+    for (graph::NodeId id = 0; id < n; ++id) {
+      wires_.push_back(std::make_unique<NodeWire>(this, id));
+      nodes_.push_back(
+          std::make_unique<FloodNode<Payload>>(id, n, exec_, *wires_.back()));
+      nodes_.back()->set_receiver(
+          [this, id](const typename FloodNode<Payload>::Delivery& d) {
+            if (receiver_) {
+              receiver_(Delivery{id, d.origin, d.seq, d.payload});
+            }
+          });
+    }
   }
 
   void set_receiver(Receiver r) { receiver_ = std::move(r); }
 
   void set_reliable(const ReliableFloodingConfig& cfg) {
-    DGMC_ASSERT(cfg.initial_rto > 0.0);
-    DGMC_ASSERT(cfg.backoff >= 1.0);
-    DGMC_ASSERT(cfg.max_retransmits >= 0);
-    reliable_ = cfg;
+    for (auto& node : nodes_) node->set_reliable(cfg);
   }
 
   void set_fault_hooks(FaultHooks hooks) { faults_ = std::move(hooks); }
@@ -134,15 +104,16 @@ class FloodingNetwork {
     DGMC_ASSERT(cfg.max_inflight_per_link >= 0);
     DGMC_ASSERT(cfg.max_queue_per_link >= 0);
     overload_ = cfg;
+    for (auto& node : nodes_) node->set_max_dedup_ahead(cfg.max_dedup_ahead);
   }
 
-  /// Content hash of a payload, stamped into the des::EventTag of every
+  /// Content hash of a payload, stamped into the rt::EventTag of every
   /// copy of the message (and into fingerprint()). The explorer uses it
   /// to tell in-flight messages apart; without one, two different LSAs
   /// with the same (origin, seq) reached over different search paths
   /// would alias. Optional — null leaves the digest at 0.
   void set_payload_digest(std::function<std::uint64_t(const Payload&)> fn) {
-    payload_digest_ = std::move(fn);
+    for (auto& node : nodes_) node->set_payload_digest(fn);
   }
 
   /// Marks a switch's interface up or down. While down, copies
@@ -155,7 +126,7 @@ class FloodingNetwork {
     DGMC_ASSERT(physical_.valid_node(n));
     node_up_[n] = up ? 1 : 0;
     if (!up) {
-      abandon_pending_from(n);
+      nodes_[n]->abandon_all_pending();
       purge_queued_from(n);
     }
   }
@@ -189,31 +160,41 @@ class FloodingNetwork {
   void flood(graph::NodeId origin, Payload payload) {
     DGMC_ASSERT(physical_.valid_node(origin));
     DGMC_ASSERT_MSG(node_up_[origin] != 0, "crashed switch cannot flood");
-    const std::uint64_t digest =
-        payload_digest_ ? payload_digest_(payload) : 0;
-    auto msg = std::make_shared<const Message>(
-        Message{origin, next_seq_[origin]++, digest, std::move(payload)});
-    ++floodings_originated_;
-    mark_seen(origin, msg->origin, msg->seq);
-    forward(origin, msg);
+    nodes_[origin]->flood(std::move(payload));
   }
 
-  std::uint64_t floodings_originated() const { return floodings_originated_; }
+  std::uint64_t floodings_originated() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) total += node->floodings_originated();
+    return total;
+  }
   std::uint64_t link_transmissions() const { return link_transmissions_; }
-  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  std::uint64_t duplicates_dropped() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) total += node->duplicates_dropped();
+    return total;
+  }
   std::uint64_t in_flight() const { return in_flight_; }
 
   // --- Reliability / fault metrics ---
 
   /// Data copies retransmitted after an RTO expiry.
-  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t retransmissions() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) total += node->retransmissions();
+    return total;
+  }
   /// Per-link acknowledgments transmitted (reliable mode).
   std::uint64_t acks_sent() const { return acks_sent_; }
   /// Copies (data or ack) destroyed by fault injection or by arriving
   /// at a crashed switch.
   std::uint64_t messages_dropped() const { return messages_dropped_; }
   /// Transmissions abandoned after max_retransmits expiries.
-  std::uint64_t give_ups() const { return give_ups_; }
+  std::uint64_t give_ups() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) total += node->give_ups();
+    return total;
+  }
 
   // --- Overload / backpressure metrics ---
 
@@ -227,18 +208,24 @@ class FloodingNetwork {
   std::size_t queue_peak() const { return queue_peak_; }
   /// Times a dedup `ahead` buffer hit max_dedup_ahead and the gap below
   /// it was abandoned (see OverloadConfig).
-  std::uint64_t dedup_compactions() const { return dedup_compactions_; }
+  std::uint64_t dedup_compactions() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) total += node->dedup_compactions();
+    return total;
+  }
   /// Armed retransmission timers — nonzero means the transport still
   /// owes deliveries, so quiescence checks must include it.
-  std::size_t retransmit_timers_armed() const { return pending_.size(); }
+  std::size_t retransmit_timers_armed() const {
+    std::size_t total = 0;
+    for (const auto& node : nodes_) total += node->retransmit_timers_armed();
+    return total;
+  }
   /// Out-of-order dedup entries currently buffered across all switches
   /// (bounded by the reordering window; the per-origin high-water marks
   /// absorb everything delivered in order).
   std::size_t dedup_backlog() const {
     std::size_t total = 0;
-    for (const auto& per_switch : seen_) {
-      for (const OriginDedup& d : per_switch) total += d.ahead.size();
-    }
+    for (const auto& node : nodes_) total += node->dedup_backlog();
     return total;
   }
 
@@ -248,25 +235,10 @@ class FloodingNetwork {
   /// explorer hashes those from the scheduler's tagged pending events.
   /// Metrics counters are excluded (they never influence behavior).
   std::uint64_t fingerprint(std::uint64_t h) const {
-    for (const auto& per_switch : seen_) {
-      for (const OriginDedup& d : per_switch) {
-        h = util::hash_mix(h, d.next_expected);
-        // Hash the `ahead` set order-independently (it is unordered).
-        std::uint64_t ahead = 0;
-        for (std::uint32_t s : d.ahead) ahead ^= util::hash_mix(0x5eed, s);
-        h = util::hash_mix(h, ahead);
-      }
-    }
+    for (const auto& node : nodes_) h = node->fingerprint_dedup(h);
     for (std::uint8_t up : node_up_) h = util::hash_mix(h, up);
-    for (std::uint32_t s : next_seq_) h = util::hash_mix(h, s);
-    for (const auto& [key, tx] : pending_) {  // std::map: stable order
-      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<0>(key)));
-      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<1>(key)));
-      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<2>(key)));
-      h = util::hash_mix(h, std::get<3>(key));
-      h = util::hash_mix(h, static_cast<std::uint64_t>(tx.retransmits));
-      h = util::hash_mix(h, tx.msg->digest);
-    }
+    for (const auto& node : nodes_) h = util::hash_mix(h, node->origin_seq());
+    for (const auto& node : nodes_) h = node->fingerprint_pending(h);
     // Backpressure state gates future admissions, so it is
     // behavior-relevant (all empty/zero when overload is off).
     for (int n : inflight_on_link_) {
@@ -284,37 +256,34 @@ class FloodingNetwork {
   }
 
  private:
-  struct Message {
-    graph::NodeId origin;
-    std::uint32_t seq;
-    std::uint64_t digest;
-    Payload payload;
-  };
-  using MessagePtr = std::shared_ptr<const Message>;
+  using MessagePtr = typename FloodNode<Payload>::MessagePtr;
 
-  // Dedup: sequence numbers are per-origin monotone, so almost all
-  // history compresses into a high-water mark ("every seq below
-  // next_expected is seen"); only copies that overtake earlier ones —
-  // possible under jitter-induced reordering — park in `ahead` until
-  // the gap closes. Replaces an ever-growing per-switch set of
-  // (origin, seq) keys that made long runs leak memory.
-  struct OriginDedup {
-    std::uint32_t next_expected = 0;
-    std::unordered_set<std::uint32_t> ahead;
-  };
+  /// The per-node FloodWire implementation: sends become calendar
+  /// insertions on the owning FloodingNetwork. Nested, so it reaches
+  /// the container's private admission/transmission machinery.
+  class NodeWire final : public FloodWire<Payload> {
+   public:
+    NodeWire(FloodingNetwork* net, graph::NodeId self)
+        : net_(net), self_(self) {}
+    const std::vector<graph::LinkId>& incident_links() const override {
+      return net_->physical_.links_of(self_);
+    }
+    bool link_up(graph::LinkId id) const override {
+      return net_->physical_.link(id).up;
+    }
+    bool self_up() const override { return net_->node_up_[self_] != 0; }
+    void send_data(graph::LinkId id, const MessagePtr& msg) override {
+      net_->transmit(id, self_, msg);
+    }
+    void send_ack(graph::LinkId id, graph::NodeId origin,
+                  std::uint32_t seq) override {
+      net_->send_ack(id, self_, origin, seq);
+    }
 
-  /// One unacked data copy: (link, sender) + the message, its armed
-  /// timer, and the backoff state.
-  struct PendingTx {
-    MessagePtr msg;
-    des::Scheduler::EventId timer;
-    int retransmits = 0;
-    des::SimTime rto = 0.0;
+   private:
+    FloodingNetwork* net_;
+    graph::NodeId self_;
   };
-  // Keyed by (link, sender, origin, seq); std::map keeps the crash
-  // sweep deterministic.
-  using PendingKey =
-      std::tuple<graph::LinkId, graph::NodeId, graph::NodeId, std::uint32_t>;
 
   /// One data copy waiting for inflight budget on its link.
   struct QueuedTx {
@@ -322,62 +291,15 @@ class FloodingNetwork {
     MessagePtr msg;
   };
 
-  bool mark_seen(graph::NodeId at, graph::NodeId origin, std::uint32_t seq) {
-    OriginDedup& d = seen_[at][origin];
-    if (seq < d.next_expected) return false;
-    if (seq == d.next_expected) {
-      ++d.next_expected;
-      while (d.ahead.erase(d.next_expected) != 0) ++d.next_expected;
-      return true;
-    }
-    if (!d.ahead.insert(seq).second) return false;
-    if (overload_.max_dedup_ahead > 0 &&
-        d.ahead.size() > overload_.max_dedup_ahead) {
-      compact_dedup(d);
-    }
-    return true;
-  }
-
-  /// Declares the gap [next_expected, min(ahead)) abandoned — the seqs
-  /// in it were given up on (loss + give-up) and will never arrive in
-  /// steady state — and folds the run above it into the high-water
-  /// mark. A late gap-filler is thereafter dropped as a duplicate
-  /// without delivery; the protocol resync machinery is the backstop.
-  void compact_dedup(OriginDedup& d) {
-    std::uint32_t lo = 0;
-    bool first = true;
-    for (std::uint32_t s : d.ahead) {
-      if (first || s < lo) lo = s;
-      first = false;
-    }
-    DGMC_ASSERT(!first);
-    d.next_expected = lo + 1;
-    d.ahead.erase(lo);
-    while (d.ahead.erase(d.next_expected) != 0) ++d.next_expected;
-    ++dedup_compactions_;
-  }
-
   bool fault_drop(graph::LinkId link) {
     return faults_.drop != nullptr && faults_.drop(link);
   }
 
-  des::SimTime fault_delay(graph::LinkId link) {
+  rt::Time fault_delay(graph::LinkId link) {
     if (faults_.extra_delay == nullptr) return 0.0;
-    const des::SimTime extra = faults_.extra_delay(link);
+    const rt::Time extra = faults_.extra_delay(link);
     DGMC_ASSERT(extra >= 0.0);
     return extra;
-  }
-
-  void forward(graph::NodeId from, const MessagePtr& msg) {
-    for (graph::LinkId id : physical_.links_of(from)) {
-      const graph::Link& l = physical_.link(id);
-      if (!l.up) continue;
-      if (reliable_.enabled) {
-        start_reliable_tx(id, from, msg);
-      } else {
-        transmit(id, from, msg);
-      }
-    }
   }
 
   /// Admission control for one data copy (both modes): transmit now if
@@ -412,15 +334,15 @@ class FloodingNetwork {
     }
     ++in_flight_;
     ++inflight_on_link_[static_cast<std::size_t>(id)];
-    des::EventTag tag;
-    tag.kind = des::EventTag::Kind::kDelivery;
+    rt::EventTag tag;
+    tag.kind = rt::EventTag::Kind::kDelivery;
     tag.node = to;
     tag.peer = msg->origin;
     tag.seq = msg->seq;
     tag.link = id;
     tag.digest = msg->digest;
-    sched_.schedule_after(l.delay + per_hop_overhead_ + fault_delay(id), tag,
-                          [this, id, to, msg] { arrive(id, to, msg); });
+    exec_.schedule_after(l.delay + per_hop_overhead_ + fault_delay(id), tag,
+                         [this, id, to, msg] { arrive(id, to, msg); });
   }
 
   /// Moves waiting copies onto the link while inflight budget lasts.
@@ -466,69 +388,7 @@ class FloodingNetwork {
       ++messages_dropped_;
       return;
     }
-    if (reliable_.enabled) send_ack(link, at, msg->origin, msg->seq);
-    if (!mark_seen(at, msg->origin, msg->seq)) {
-      ++duplicates_dropped_;
-      return;
-    }
-    if (receiver_) {
-      receiver_(Delivery{at, msg->origin, msg->seq, msg->payload});
-    }
-    forward(at, msg);
-  }
-
-  // --- Reliable mode ---
-
-  void start_reliable_tx(graph::LinkId id, graph::NodeId from,
-                         const MessagePtr& msg) {
-    const PendingKey key{id, from, msg->origin, msg->seq};
-    DGMC_ASSERT_MSG(pending_.find(key) == pending_.end(),
-                    "duplicate reliable transmission");
-    PendingTx tx;
-    tx.msg = msg;
-    tx.rto = reliable_.initial_rto;
-    auto [it, inserted] = pending_.emplace(key, std::move(tx));
-    DGMC_ASSERT(inserted);
-    attempt(it);
-  }
-
-  void attempt(typename std::map<PendingKey, PendingTx>::iterator it) {
-    const graph::LinkId link = std::get<0>(it->first);
-    const graph::NodeId from = std::get<1>(it->first);
-    // A flapped-down link swallows the attempt but keeps the timer
-    // running: the link may come back before the retry cap.
-    if (physical_.link(link).up) transmit(link, from, it->second.msg);
-    const PendingKey key = it->first;
-    des::EventTag tag;
-    tag.kind = des::EventTag::Kind::kRetransmit;
-    tag.node = from;
-    tag.peer = it->second.msg->origin;
-    tag.seq = it->second.msg->seq;
-    tag.link = link;
-    tag.digest = it->second.msg->digest;
-    it->second.timer =
-        sched_.schedule_after(it->second.rto, tag, [this, key] { on_rto(key); });
-  }
-
-  void on_rto(const PendingKey& key) {
-    auto it = pending_.find(key);
-    DGMC_ASSERT(it != pending_.end());
-    const graph::NodeId from = std::get<1>(key);
-    if (node_up_[from] == 0) {
-      // Sender crashed between arming the timer and expiry.
-      pending_.erase(it);
-      return;
-    }
-    PendingTx& tx = it->second;
-    if (tx.retransmits >= reliable_.max_retransmits) {
-      ++give_ups_;
-      pending_.erase(it);
-      return;
-    }
-    ++tx.retransmits;
-    ++retransmissions_;
-    tx.rto *= reliable_.backoff;
-    attempt(it);
+    nodes_[at]->on_data(link, msg);
   }
 
   void send_ack(graph::LinkId link, graph::NodeId from, graph::NodeId origin,
@@ -543,13 +403,13 @@ class FloodingNetwork {
       return;
     }
     const graph::NodeId to = physical_.other_end(link, from);
-    des::EventTag tag;
-    tag.kind = des::EventTag::Kind::kAck;
+    rt::EventTag tag;
+    tag.kind = rt::EventTag::Kind::kAck;
     tag.node = to;
     tag.peer = origin;
     tag.seq = seq;
     tag.link = link;
-    sched_.schedule_after(
+    exec_.schedule_after(
         l.delay + per_hop_overhead_ + fault_delay(link), tag,
         [this, link, to, origin, seq] { ack_arrive(link, to, origin, seq); });
   }
@@ -560,122 +420,81 @@ class FloodingNetwork {
       ++messages_dropped_;
       return;
     }
-    auto it = pending_.find(PendingKey{link, at, origin, seq});
-    if (it == pending_.end()) return;  // late ack after give-up/duplicate
-    sched_.cancel(it->second.timer);
-    pending_.erase(it);
+    nodes_[at]->on_ack(link, origin, seq);
   }
 
-  void abandon_pending_from(graph::NodeId n) {
-    for (auto it = pending_.begin(); it != pending_.end();) {
-      if (std::get<1>(it->first) == n) {
-        sched_.cancel(it->second.timer);
-        it = pending_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
-  des::Scheduler& sched_;
+  rt::Executor& exec_;
   const graph::Graph& physical_;
   double per_hop_overhead_;
   Receiver receiver_;
-  ReliableFloodingConfig reliable_;
   OverloadConfig overload_;
   FaultHooks faults_;
-  std::function<std::uint64_t(const Payload&)> payload_digest_;
-  std::vector<std::vector<OriginDedup>> seen_;  // [switch][origin]
+  std::vector<std::unique_ptr<NodeWire>> wires_;          // [switch]
+  std::vector<std::unique_ptr<FloodNode<Payload>>> nodes_;  // [switch]
   std::vector<std::uint8_t> node_up_;
-  std::vector<std::uint32_t> next_seq_;
-  std::map<PendingKey, PendingTx> pending_;
   std::vector<int> inflight_on_link_;           // [link] scheduled data copies
   std::vector<std::deque<QueuedTx>> link_queue_;  // [link] waiting copies
   std::size_t queued_total_ = 0;
   std::size_t queue_peak_ = 0;
   std::uint64_t sheds_ = 0;
-  std::uint64_t dedup_compactions_ = 0;
-  std::uint64_t floodings_originated_ = 0;
   std::uint64_t link_transmissions_ = 0;
-  std::uint64_t duplicates_dropped_ = 0;
   std::uint64_t in_flight_ = 0;
-  std::uint64_t retransmissions_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
-  std::uint64_t give_ups_ = 0;
 
  public:
   // --- Checkpoint interface ---
 
-  /// Deep copy of the transport's mutable state. Pending-transmission
-  /// records keep their armed-timer EventIds and shared_ptrs to the
-  /// (immutable) in-flight messages — both stay meaningful because a
-  /// transport snapshot is only ever restored together with the owning
-  /// scheduler's calendar snapshot, and restoring never rebinds the
-  /// message objects the calendar's delivery closures captured.
-  /// Counters are included so that metrics after a restore match a
-  /// replayed run exactly. Opaque to callers.
+  /// Deep copy of the transport's mutable state: every node engine's
+  /// snapshot plus the wire-level interface flags, inflight accounting
+  /// and backpressure queues. Counters are included so that metrics
+  /// after a restore match a replayed run exactly. Opaque to callers.
   struct Snapshot {
-    std::vector<std::vector<OriginDedup>> seen;
+    std::vector<typename FloodNode<Payload>::Snapshot> nodes;
     std::vector<std::uint8_t> node_up;
-    std::vector<std::uint32_t> next_seq;
-    std::map<PendingKey, PendingTx> pending;
     std::vector<int> inflight_on_link;
     std::vector<std::deque<QueuedTx>> link_queue;
     std::size_t queued_total = 0;
     std::size_t queue_peak = 0;
     std::uint64_t sheds = 0;
-    std::uint64_t dedup_compactions = 0;
-    std::uint64_t floodings_originated = 0;
     std::uint64_t link_transmissions = 0;
-    std::uint64_t duplicates_dropped = 0;
     std::uint64_t in_flight = 0;
-    std::uint64_t retransmissions = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t messages_dropped = 0;
-    std::uint64_t give_ups = 0;
   };
 
   void save(Snapshot& out) const {
-    out.seen = seen_;
+    out.nodes.resize(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i]->save(out.nodes[i]);
+    }
     out.node_up = node_up_;
-    out.next_seq = next_seq_;
-    out.pending = pending_;
     out.inflight_on_link = inflight_on_link_;
     out.link_queue = link_queue_;
     out.queued_total = queued_total_;
     out.queue_peak = queue_peak_;
     out.sheds = sheds_;
-    out.dedup_compactions = dedup_compactions_;
-    out.floodings_originated = floodings_originated_;
     out.link_transmissions = link_transmissions_;
-    out.duplicates_dropped = duplicates_dropped_;
     out.in_flight = in_flight_;
-    out.retransmissions = retransmissions_;
     out.acks_sent = acks_sent_;
     out.messages_dropped = messages_dropped_;
-    out.give_ups = give_ups_;
   }
 
   void restore(const Snapshot& snap) {
-    seen_ = snap.seen;
+    DGMC_ASSERT(snap.nodes.size() == nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i]->restore(snap.nodes[i]);
+    }
     node_up_ = snap.node_up;
-    next_seq_ = snap.next_seq;
-    pending_ = snap.pending;
     inflight_on_link_ = snap.inflight_on_link;
     link_queue_ = snap.link_queue;
     queued_total_ = snap.queued_total;
     queue_peak_ = snap.queue_peak;
     sheds_ = snap.sheds;
-    dedup_compactions_ = snap.dedup_compactions;
-    floodings_originated_ = snap.floodings_originated;
     link_transmissions_ = snap.link_transmissions;
-    duplicates_dropped_ = snap.duplicates_dropped;
     in_flight_ = snap.in_flight;
-    retransmissions_ = snap.retransmissions;
     acks_sent_ = snap.acks_sent;
     messages_dropped_ = snap.messages_dropped;
-    give_ups_ = snap.give_ups;
   }
 };
 

@@ -1,4 +1,4 @@
-// Hop-by-hop unicast message delivery over the event calendar, used by
+// Hop-by-hop unicast message delivery over the runtime executor, used by
 // the CBT baseline (join/leave requests travel toward the core along
 // unicast paths) and the MOSPF baseline (datagram forwarding).
 //
@@ -11,7 +11,7 @@
 #include <memory>
 #include <utility>
 
-#include "des/scheduler.hpp"
+#include "rt/executor.hpp"
 #include "graph/graph.hpp"
 #include "lsr/routing.hpp"
 #include "util/assert.hpp"
@@ -30,9 +30,9 @@ class UnicastNetwork {
   /// destination), before forwarding; optional.
   using TransitHook = std::function<void(graph::NodeId at, const Message&)>;
 
-  UnicastNetwork(des::Scheduler& sched, const graph::Graph& physical,
+  UnicastNetwork(rt::Executor& exec, const graph::Graph& physical,
                  double per_hop_overhead, TableProvider tables)
-      : sched_(sched),
+      : exec_(exec),
         physical_(physical),
         per_hop_overhead_(per_hop_overhead),
         tables_(std::move(tables)) {}
@@ -82,11 +82,11 @@ class UnicastNetwork {
       return;
     }
     ++hops_traversed_;
-    sched_.schedule_after(physical_.link(id).delay + per_hop_overhead_,
+    exec_.schedule_after(physical_.link(id).delay + per_hop_overhead_,
                           [this, hop, env] { step(hop, env); });
   }
 
-  des::Scheduler& sched_;
+  rt::Executor& exec_;
   const graph::Graph& physical_;
   double per_hop_overhead_;
   TableProvider tables_;

@@ -1,0 +1,153 @@
+#include "net/cluster.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "mc/validation.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::net {
+
+NetCluster::NetCluster(const graph::Graph& topo,
+                       const mc::TopologyAlgorithm& algorithm, Config config)
+    : topo_(topo), config_(config) {
+  const int n = topo_.node_count();
+  for (graph::LinkId id = 0; id < topo_.link_count(); ++id) {
+    DGMC_ASSERT_MSG(topo_.link(id).up, "cluster graphs start fully up");
+  }
+  switches_.reserve(n);
+  for (graph::NodeId id = 0; id < n; ++id) {
+    switches_.push_back(
+        std::make_unique<NetSwitch>(loop_, topo_, id, algorithm, config_.sw));
+    switches_.back()->bind_local(0);
+  }
+  // Cross-wire: each endpoint of a link sends to the other end's port.
+  for (graph::LinkId id = 0; id < topo_.link_count(); ++id) {
+    const graph::Link& l = topo_.link(id);
+    switches_[l.u]->set_peer(id, switches_[l.v]->local_port());
+    switches_[l.v]->set_peer(id, switches_[l.u]->local_port());
+  }
+  for (auto& sw : switches_) sw->start();
+}
+
+NetCluster::~NetCluster() {
+  for (auto& sw : switches_) sw->stop();
+}
+
+void NetCluster::apply_event(const sim::SoakEvent& ev, RunResult& result) {
+  switch (ev.kind) {
+    case sim::SoakEvent::Kind::kJoin:
+      switches_[ev.node]->join(ev.mcid, ev.type, ev.role);
+      ++result.events_applied;
+      return;
+    case sim::SoakEvent::Kind::kLeave:
+      switches_[ev.node]->leave(ev.mcid);
+      ++result.events_applied;
+      return;
+    default:
+      // Link faults / crashes need an interposable wire or a process to
+      // kill — out of scope for the in-process loopback harness.
+      ++result.events_skipped;
+      return;
+  }
+}
+
+NetCluster::RunResult NetCluster::run(
+    const std::vector<sim::SoakEvent>& events,
+    const std::vector<mc::McId>& mcs) {
+  RunResult result;
+  const rt::Time t0 = loop_.now();
+  rt::Time last_event = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const rt::Time at = events[i].at * config_.time_scale;
+    last_event = std::max(last_event, at);
+    loop_.schedule_after(
+        at, [this, &events, &result, i] { apply_event(events[i], result); });
+  }
+  const rt::Time events_done = t0 + last_event;
+
+  int stable = 0;
+  rt::Time first_stable_at = 0.0;
+  std::function<void()> poll = [&] {
+    bool agreed = false;
+    if (loop_.now() >= events_done && quiescent()) {
+      agreed = true;
+      for (mc::McId mcid : mcs) agreed = agreed && converged(mcid);
+    }
+    if (!agreed) {
+      stable = 0;
+    } else {
+      if (stable == 0) first_stable_at = loop_.now();
+      ++stable;
+    }
+    if (stable >= config_.stable_polls) {
+      result.converged = true;
+      // Convergence is dated to the first poll of the stable streak —
+      // the confirmation polls are measurement overhead, not protocol.
+      result.wall_seconds = first_stable_at - t0;
+      result.convergence_seconds = std::max(0.0, first_stable_at - events_done);
+      loop_.stop();
+      return;
+    }
+    loop_.schedule_after(config_.poll_interval, [&poll] { poll(); });
+  };
+  loop_.schedule_after(config_.poll_interval, [&poll] { poll(); });
+  const rt::TimerId cap =
+      loop_.schedule_after(config_.max_wall, [this] { loop_.stop(); });
+
+  loop_.run();
+  loop_.cancel(cap);
+
+  if (!result.converged) result.wall_seconds = loop_.now() - t0;
+  for (const auto& sw : switches_) {
+    result.datagrams_sent += sw->stats().datagrams_sent;
+    result.datagrams_received += sw->stats().datagrams_received;
+    result.retransmissions += sw->retransmissions();
+    result.installs += sw->stats().installs;
+  }
+  return result;
+}
+
+bool NetCluster::quiescent() const {
+  for (const auto& sw : switches_) {
+    if (sw->retransmit_timers_armed() != 0) return false;
+    if (sw->dgmc().computing()) return false;
+  }
+  return true;
+}
+
+bool NetCluster::converged(mc::McId mcid) const {
+  // Mirrors sim::DgmcNetwork::converged (see its comments).
+  const core::DgmcSwitch* reference = nullptr;
+  for (const auto& sw : switches_) {
+    const core::DgmcSwitch& d = sw->dgmc();
+    if (!d.has_state(mcid)) continue;
+    if (reference == nullptr) {
+      reference = &d;
+      continue;
+    }
+    if (!(*d.installed(mcid) == *reference->installed(mcid))) return false;
+    if (!(*d.members(mcid) == *reference->members(mcid))) return false;
+    if (!(*d.stamp_c(mcid) == *reference->stamp_c(mcid))) return false;
+  }
+  if (reference == nullptr) return true;  // destroyed everywhere
+  for (graph::NodeId n : reference->installed(mcid)->nodes()) {
+    if (!switches_[n]->dgmc().has_state(mcid)) return false;
+  }
+  for (graph::NodeId n : reference->members(mcid)->all()) {
+    if (!switches_[n]->dgmc().has_state(mcid)) return false;
+  }
+  return mc::is_valid_topology(topo_, reference->mc_type(mcid),
+                               *reference->members(mcid),
+                               *reference->installed(mcid));
+}
+
+trees::Topology NetCluster::agreed_topology(mc::McId mcid) const {
+  DGMC_ASSERT(converged(mcid));
+  for (const auto& sw : switches_) {
+    if (sw->dgmc().has_state(mcid)) return *sw->dgmc().installed(mcid);
+  }
+  return trees::Topology{};
+}
+
+}  // namespace dgmc::net

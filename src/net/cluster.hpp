@@ -1,0 +1,104 @@
+// NetCluster: N NetSwitches on one EventLoop, cross-wired over
+// 127.0.0.1 UDP — the in-process loopback deployment.
+//
+// This is the socket backend's counterpart of sim::DgmcNetwork: the
+// same topology, the same protocol objects, but real datagrams through
+// the kernel and real wall-clock timers. Everything runs on the single
+// loop thread, so convergence checks may inspect switch state directly
+// between callbacks.
+//
+// The harness is spec-driven: it takes the membership events a
+// sim::ChurnEngine expanded (join/leave only — link faults need an
+// interposable wire, which is the DES backend's job; on loopback links
+// only fail if a process dies) and replays them at `at * time_scale`
+// wall seconds. Convergence is detected by polling: all switches
+// quiescent (no retransmission timers, no running computation) and
+// agreeing per MC — stable across `stable_polls` consecutive polls —
+// mirroring DgmcNetwork::converged().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mc/algorithm.hpp"
+#include "net/event_loop.hpp"
+#include "net/switch.hpp"
+#include "sim/spec.hpp"
+#include "trees/topology.hpp"
+
+namespace dgmc::net {
+
+class NetCluster {
+ public:
+  struct Config {
+    NetSwitch::Config sw;
+    /// Wall seconds per spec second when replaying event times. Spec
+    /// scenarios are written for simulated seconds; loopback runs
+    /// compress them (e.g. 0.1 replays a 30 s scenario in 3 s).
+    double time_scale = 1.0;
+    rt::Time poll_interval = 20 * rt::kMillisecond;
+    /// Consecutive converged polls required before declaring success
+    /// (one poll can race a datagram still in the kernel's queue).
+    int stable_polls = 3;
+    /// Hard wall-clock cap on a run; exceeding it fails the run.
+    rt::Time max_wall = 60.0;
+  };
+
+  /// Builds, binds (ephemeral ports), cross-wires, and starts all
+  /// switches. The graph must have every link up.
+  NetCluster(const graph::Graph& topo,
+             const mc::TopologyAlgorithm& algorithm, Config config);
+  ~NetCluster();
+
+  NetCluster(const NetCluster&) = delete;
+  NetCluster& operator=(const NetCluster&) = delete;
+
+  struct RunResult {
+    bool converged = false;
+    /// Wall seconds from run() entry to the converged verdict.
+    double wall_seconds = 0.0;
+    /// Wall seconds from the last scheduled event to convergence — the
+    /// paper's convergence-time metric, measured on a hardware clock.
+    double convergence_seconds = 0.0;
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t installs = 0;
+    std::uint64_t events_applied = 0;
+    std::uint64_t events_skipped = 0;  // non-membership kinds
+  };
+
+  /// Replays the membership events and runs the loop until every MC in
+  /// `mcs` converges (or max_wall). Join/leave only; other event kinds
+  /// are counted as skipped.
+  RunResult run(const std::vector<sim::SoakEvent>& events,
+                const std::vector<mc::McId>& mcs);
+
+  int size() const { return static_cast<int>(switches_.size()); }
+  NetSwitch& at(graph::NodeId n) { return *switches_[n]; }
+  const NetSwitch& at(graph::NodeId n) const { return *switches_[n]; }
+  EventLoop& loop() { return loop_; }
+
+  /// Same agreement test as sim::DgmcNetwork::converged, over the
+  /// socket switches' protocol state.
+  bool converged(mc::McId mcid) const;
+
+  /// The agreed topology (asserts converged); empty if destroyed.
+  trees::Topology agreed_topology(mc::McId mcid) const;
+
+  /// No retransmission timers armed and no computation running
+  /// anywhere.
+  bool quiescent() const;
+
+ private:
+  void apply_event(const sim::SoakEvent& ev, RunResult& result);
+
+  graph::Graph topo_;
+  Config config_;
+  EventLoop loop_;
+  std::vector<std::unique_ptr<NetSwitch>> switches_;
+};
+
+}  // namespace dgmc::net

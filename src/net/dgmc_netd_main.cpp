@@ -1,0 +1,206 @@
+// dgmc_netd: one D-GMC switch as a standalone OS process.
+//
+//   dgmc_netd SPEC_FILE --node N --base-port P [flags]
+//
+// Flags:
+//   --node N        which switch of the spec's topology this process is
+//   --base-port P   UDP port plan: switch i listens on 127.0.0.1:(P+i)
+//   --time-scale S  wall seconds per spec second for churn replay
+//                   (default 1.0)
+//   --run-for T     exit after T wall seconds (default: run until
+//                   SIGTERM/SIGINT)
+//   --hello T       heartbeat interval in seconds (default 0.05)
+//   --dead T        dead interval in seconds (default 0.5)
+//   --state-out F   write the final state dump to F (default stdout)
+//
+// Every process parses the same spec and deterministically expands the
+// same churn event list (ChurnEngine is seeded by the spec), then
+// executes only the join/leave events addressed to its own node — so a
+// fleet of netd processes needs no coordinator beyond a shared spec
+// file and port plan.
+//
+// On exit (signal or --run-for) the process dumps its protocol state —
+// one line per known MC: sorted members, installed tree edges, and the
+// C timestamp — in a canonical text form, so an external harness can
+// diff the dumps of all N processes to check agreement.
+//
+// Exit status: 0 = clean shutdown; 2 = usage / malformed spec.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+
+#include "core/protocol.hpp"
+#include "mc/algorithm.hpp"
+#include "net/event_loop.hpp"
+#include "net/switch.hpp"
+#include "sim/spec.hpp"
+
+namespace {
+
+dgmc::net::EventLoop* g_loop = nullptr;
+
+void on_signal(int) {
+  if (g_loop != nullptr) g_loop->request_stop_from_signal();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dgmc_netd SPEC_FILE --node N --base-port P\n"
+               "                 [--time-scale S] [--run-for T] [--hello T]\n"
+               "                 [--dead T] [--state-out FILE]\n");
+  return 2;
+}
+
+std::string dump_state(const dgmc::core::DgmcSwitch& sw) {
+  std::ostringstream out;
+  for (dgmc::mc::McId mcid : sw.known_mcs()) {
+    out << "mc " << mcid << " members";
+    for (dgmc::graph::NodeId n : sw.members(mcid)->all()) out << ' ' << n;
+    out << " tree";
+    for (const dgmc::graph::Edge& e : sw.installed(mcid)->edges()) {
+      out << ' ' << e.a << '-' << e.b;
+    }
+    out << " stamp";
+    const dgmc::core::VectorTimestamp& c = *sw.stamp_c(mcid);
+    for (dgmc::graph::NodeId i = 0; i < c.size(); ++i) out << ' ' << c[i];
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') return usage();
+  const std::string spec_path = argv[1];
+
+  long node = -1;
+  long base_port = -1;
+  double time_scale = 1.0;
+  double run_for = -1.0;
+  double hello = 0.05;
+  double dead = 0.5;
+  std::string state_out;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dgmc_netd: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--node") {
+      node = std::atol(next());
+    } else if (flag == "--base-port") {
+      base_port = std::atol(next());
+    } else if (flag == "--time-scale") {
+      time_scale = std::atof(next());
+    } else if (flag == "--run-for") {
+      run_for = std::atof(next());
+    } else if (flag == "--hello") {
+      hello = std::atof(next());
+    } else if (flag == "--dead") {
+      dead = std::atof(next());
+    } else if (flag == "--state-out") {
+      state_out = next();
+    } else {
+      std::fprintf(stderr, "dgmc_netd: unknown flag %s\n", flag.c_str());
+      return usage();
+    }
+  }
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "dgmc_netd: cannot open %s\n", spec_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = dgmc::sim::SoakSpec::parse(buf.str());
+  if (const auto* err = std::get_if<dgmc::sim::SpecError>(&parsed)) {
+    std::fprintf(stderr, "%s:%d: %s\n", spec_path.c_str(), err->line,
+                 err->message.c_str());
+    return 2;
+  }
+  const dgmc::sim::SoakSpec& spec = std::get<dgmc::sim::SoakSpec>(parsed);
+  const dgmc::graph::Graph graph = spec.build_graph();
+  if (node < 0 || node >= graph.node_count() || base_port <= 0 ||
+      base_port + graph.node_count() > 65536) {
+    return usage();
+  }
+  const auto self = static_cast<dgmc::graph::NodeId>(node);
+
+  const std::unique_ptr<dgmc::mc::TopologyAlgorithm> algorithm =
+      spec.incremental ? dgmc::mc::make_incremental_algorithm()
+                       : dgmc::mc::make_from_scratch_algorithm();
+
+  dgmc::net::NetSwitch::Config config;
+  config.dgmc = spec.network_params().dgmc;
+  config.heartbeat.hello_interval = hello;
+  config.heartbeat.dead_interval = dead;
+
+  dgmc::net::EventLoop loop;
+  dgmc::net::NetSwitch sw(loop, graph, self, *algorithm, config);
+  sw.bind_local(static_cast<std::uint16_t>(base_port + node));
+  for (dgmc::graph::LinkId id : graph.links_of(self)) {
+    const dgmc::graph::NodeId peer = graph.other_end(id, self);
+    sw.set_peer(id, static_cast<std::uint16_t>(base_port + peer));
+  }
+  sw.start();
+
+  // Deterministic shared schedule: every process expands the same list
+  // and takes only its own membership events.
+  const std::vector<dgmc::sim::SoakEvent> events =
+      dgmc::sim::ChurnEngine::expand_all(spec, graph, spec.soak_seed);
+  std::size_t mine = 0;
+  for (const dgmc::sim::SoakEvent& ev : events) {
+    if (ev.node != self) continue;
+    if (ev.kind == dgmc::sim::SoakEvent::Kind::kJoin) {
+      ++mine;
+      loop.schedule_after(ev.at * time_scale,
+                          [&sw, ev] { sw.join(ev.mcid, ev.type, ev.role); });
+    } else if (ev.kind == dgmc::sim::SoakEvent::Kind::kLeave) {
+      ++mine;
+      loop.schedule_after(ev.at * time_scale, [&sw, ev] { sw.leave(ev.mcid); });
+    }
+  }
+  std::printf("dgmc_netd: node %ld on port %ld (%d switches, %zu own events)\n",
+              node, base_port + node, graph.node_count(), mine);
+  std::fflush(stdout);
+
+  g_loop = &loop;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  if (run_for > 0.0) {
+    loop.schedule_after(run_for, [&loop] { loop.stop(); });
+  }
+  loop.run();
+  sw.stop();
+
+  const std::string dump = dump_state(sw.dgmc());
+  if (state_out.empty()) {
+    std::fputs(dump.c_str(), stdout);
+  } else {
+    std::ofstream out(state_out);
+    out << dump;
+  }
+  std::printf(
+      "dgmc_netd: node %ld done (tx %llu rx %llu retransmissions %llu "
+      "link downs %llu ups %llu)\n",
+      node,
+      static_cast<unsigned long long>(sw.stats().datagrams_sent),
+      static_cast<unsigned long long>(sw.stats().datagrams_received),
+      static_cast<unsigned long long>(sw.retransmissions()),
+      static_cast<unsigned long long>(sw.stats().link_downs),
+      static_cast<unsigned long long>(sw.stats().link_ups));
+  return 0;
+}

@@ -1,0 +1,274 @@
+// dgmc_nethost: in-process loopback deployment harness.
+//
+//   dgmc_nethost SPEC_FILE [flags]
+//
+// Runs the spec's topology as N NetSwitches on one event loop, real UDP
+// datagrams through 127.0.0.1, replays the spec's membership churn
+// (join/leave; fault kinds are skipped — loopback links don't fail),
+// and reports wall-clock convergence plus traffic metrics.
+//
+// Flags:
+//   --time-scale S   wall seconds per spec second (default 0.1: a 30 s
+//                    scenario replays in 3 s)
+//   --max-wall T     hard wall-clock cap in seconds (default 60)
+//   --hello T        heartbeat interval (default 0.05)
+//   --dead T         dead interval (default 0.5)
+//   --des-compare    run the same membership sequence through the DES
+//                    backend (sim::DgmcNetwork) and require identical
+//                    agreed trees and member lists per MC
+//   --bench-json     write BENCH_net.json (honors DGMC_BENCH_DIR)
+//
+// Exit status: 0 = converged (and, with --des-compare, matched the DES
+// run); 1 = no convergence inside max-wall or a backend mismatch;
+// 2 = usage / malformed spec.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "mc/algorithm.hpp"
+#include "net/cluster.hpp"
+#include "sim/network.hpp"
+#include "sim/spec.hpp"
+
+namespace {
+
+using dgmc::sim::SoakEvent;
+using dgmc::sim::SoakSpec;
+using dgmc::sim::SpecError;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dgmc_nethost SPEC_FILE [--time-scale S] [--max-wall T]\n"
+               "                    [--hello T] [--dead T] [--des-compare]\n"
+               "                    [--bench-json]\n");
+  return 2;
+}
+
+/// Canonical edge set of a topology, for cross-backend comparison.
+std::vector<std::pair<int, int>> canonical_edges(
+    const dgmc::trees::Topology& t) {
+  std::vector<std::pair<int, int>> edges;
+  for (const dgmc::graph::Edge& e : t.edges()) {
+    edges.emplace_back(std::min(e.a, e.b), std::max(e.a, e.b));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') return usage();
+  const std::string spec_path = argv[1];
+
+  double time_scale = 0.1;
+  double max_wall = 60.0;
+  double hello = 0.05;
+  double dead = 0.5;
+  bool des_compare = false;
+  bool want_bench_json = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dgmc_nethost: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--time-scale") {
+      time_scale = std::atof(next());
+    } else if (flag == "--max-wall") {
+      max_wall = std::atof(next());
+    } else if (flag == "--hello") {
+      hello = std::atof(next());
+    } else if (flag == "--dead") {
+      dead = std::atof(next());
+    } else if (flag == "--des-compare") {
+      des_compare = true;
+    } else if (flag == "--bench-json") {
+      want_bench_json = true;
+    } else {
+      std::fprintf(stderr, "dgmc_nethost: unknown flag %s\n", flag.c_str());
+      return usage();
+    }
+  }
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "dgmc_nethost: cannot open %s\n", spec_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = SoakSpec::parse(buf.str());
+  if (const auto* err = std::get_if<SpecError>(&parsed)) {
+    std::fprintf(stderr, "%s:%d: %s\n", spec_path.c_str(), err->line,
+                 err->message.c_str());
+    return 2;
+  }
+  const SoakSpec& spec = std::get<SoakSpec>(parsed);
+  const dgmc::graph::Graph graph = spec.build_graph();
+  const std::vector<dgmc::mc::McId> mcs = spec.mcs();
+
+  // Membership-only slice of the churn: the loopback wire cannot fail.
+  std::vector<SoakEvent> events;
+  std::size_t skipped = 0;
+  for (SoakEvent& ev :
+       dgmc::sim::ChurnEngine::expand_all(spec, graph, spec.soak_seed)) {
+    if (ev.kind == SoakEvent::Kind::kJoin ||
+        ev.kind == SoakEvent::Kind::kLeave) {
+      events.push_back(ev);
+    } else {
+      ++skipped;
+    }
+  }
+
+  const std::unique_ptr<dgmc::mc::TopologyAlgorithm> algorithm =
+      spec.incremental ? dgmc::mc::make_incremental_algorithm()
+                       : dgmc::mc::make_from_scratch_algorithm();
+
+  dgmc::net::NetCluster::Config config;
+  config.sw.dgmc = spec.network_params().dgmc;
+  // Event times are compressed by time_scale, so the protocol's own
+  // time constants must compress identically or computations that were
+  // sequential in spec time overlap in wall time (and vice versa),
+  // changing which proposals race — and therefore the installed trees.
+  config.sw.dgmc.computation_time *= time_scale;
+  if (config.sw.dgmc.incremental_computation_time > 0.0) {
+    config.sw.dgmc.incremental_computation_time *= time_scale;
+  }
+  config.sw.heartbeat.hello_interval = hello;
+  config.sw.heartbeat.dead_interval = dead;
+  config.time_scale = time_scale;
+  config.max_wall = max_wall;
+
+  std::printf(
+      "nethost '%s': %d switches on loopback, %zu membership events "
+      "(%zu fault events skipped), time-scale %g\n",
+      spec.name.c_str(), graph.node_count(), events.size(), skipped,
+      time_scale);
+
+  dgmc::net::NetCluster cluster(graph, *algorithm, config);
+  const dgmc::net::NetCluster::RunResult r = cluster.run(events, mcs);
+
+  const double pps =
+      r.wall_seconds > 0.0
+          ? static_cast<double>(r.datagrams_sent) / r.wall_seconds
+          : 0.0;
+  const double retx_overhead =
+      r.datagrams_sent > 0
+          ? static_cast<double>(r.retransmissions) /
+                static_cast<double>(r.datagrams_sent)
+          : 0.0;
+  std::printf(
+      "%s: wall %.3fs, convergence %.3fs after last event\n"
+      "  %llu datagrams sent (%.0f pkts/s), %llu retransmissions "
+      "(%.4f overhead), %llu installs, %llu/%llu events applied\n",
+      r.converged ? "converged" : "NOT CONVERGED", r.wall_seconds,
+      r.convergence_seconds,
+      static_cast<unsigned long long>(r.datagrams_sent), pps,
+      static_cast<unsigned long long>(r.retransmissions), retx_overhead,
+      static_cast<unsigned long long>(r.installs),
+      static_cast<unsigned long long>(r.events_applied),
+      static_cast<unsigned long long>(r.events_applied + r.events_skipped));
+
+  bool parity_ok = true;
+  if (des_compare && r.converged) {
+    // Same membership sequence through the DES backend: the protocol
+    // objects are the same code, so at quiescence both backends must
+    // install the same trees for the same member lists.
+    dgmc::sim::DgmcNetwork des(graph, spec.network_params(),
+                               spec.incremental
+                                   ? dgmc::mc::make_incremental_algorithm()
+                                   : dgmc::mc::make_from_scratch_algorithm());
+    for (const SoakEvent& ev : events) {
+      if (ev.kind == SoakEvent::Kind::kJoin) {
+        des.scheduler().schedule_at(ev.at, [&des, ev] {
+          des.join(ev.node, ev.mcid, ev.type, ev.role);
+        });
+      } else {
+        des.scheduler().schedule_at(
+            ev.at, [&des, ev] { des.leave(ev.node, ev.mcid); });
+      }
+    }
+    des.run_to_quiescence();
+    for (dgmc::mc::McId mcid : mcs) {
+      if (!des.converged(mcid)) {
+        std::printf("parity: DES backend did not converge for mc %d\n", mcid);
+        parity_ok = false;
+        continue;
+      }
+      const auto des_edges = canonical_edges(des.agreed_topology(mcid));
+      const auto net_edges = canonical_edges(cluster.agreed_topology(mcid));
+      if (des_edges != net_edges) {
+        std::printf("parity: mc %d trees differ (DES %zu edges, net %zu)\n",
+                    mcid, des_edges.size(), net_edges.size());
+        parity_ok = false;
+      }
+      // Member lists must match too (empty = destroyed on both sides).
+      std::vector<dgmc::graph::NodeId> des_members, net_members;
+      for (int n = 0; n < des.size(); ++n) {
+        if (des.switch_at(n).has_state(mcid)) {
+          des_members = des.switch_at(n).members(mcid)->all();
+          break;
+        }
+      }
+      for (int n = 0; n < cluster.size(); ++n) {
+        if (cluster.at(n).dgmc().has_state(mcid)) {
+          net_members = cluster.at(n).dgmc().members(mcid)->all();
+          break;
+        }
+      }
+      if (des_members != net_members) {
+        std::printf(
+            "parity: mc %d member lists differ (DES %zu, net %zu)\n", mcid,
+            des_members.size(), net_members.size());
+        parity_ok = false;
+      }
+    }
+    if (parity_ok) {
+      std::printf("parity: net backend matches DES on %zu MCs\n", mcs.size());
+    }
+  }
+
+  if (want_bench_json) {
+    using dgmc::bench::json_num;
+    using dgmc::bench::json_str;
+    std::string body = "{\n  \"bench\": \"net\",\n";
+    body += "  \"spec\": " + json_str(spec.name) + ",\n";
+    body += "  \"clock\": \"wall\",\n";
+    body += "  \"switches\": " + json_num(graph.node_count()) + ",\n";
+    body += "  \"time_scale\": " + json_num(time_scale) + ",\n";
+    body += "  \"entries\": [\n    {\n";
+    body += "      \"name\": " + json_str("loopback_" + spec.name) + ",\n";
+    body += "      \"clock_wall\": 1,\n";
+    body += "      \"converged\": " + json_num(r.converged ? 1 : 0) + ",\n";
+    body += "      \"wall_seconds\": " + json_num(r.wall_seconds) + ",\n";
+    body += "      \"convergence_seconds\": " +
+            json_num(r.convergence_seconds) + ",\n";
+    body += "      \"datagrams\": " +
+            json_num(static_cast<double>(r.datagrams_sent)) + ",\n";
+    body += "      \"packets_per_sec\": " + json_num(pps) + ",\n";
+    body += "      \"retransmit_overhead\": " + json_num(retx_overhead) +
+            ",\n";
+    body += "      \"installs\": " +
+            json_num(static_cast<double>(r.installs)) + ",\n";
+    body += "      \"events\": " +
+            json_num(static_cast<double>(r.events_applied)) + "\n";
+    body += "    }\n  ]\n}";
+    dgmc::bench::write_bench_json("net", body);
+  }
+
+  return r.converged && parity_ok ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// net::EventLoop: the wall-clock rt::Executor — an epoll loop over
+// real file descriptors plus a timer heap.
+//
+// This is the deployment-side counterpart of des::Scheduler: protocol
+// code written against rt::Executor runs unchanged on either. now() is
+// monotonic wall-clock seconds since the loop was constructed; timers
+// fire when the hardware clock says so (EventTags are accepted for
+// interface parity and ignored — a wall-clock run cannot be interposed
+// on the way the model checker interposes on the calendar).
+//
+// Threading model: everything — timer callbacks, fd readiness
+// callbacks, posted functions — runs on the single thread inside
+// run(). schedule_after()/cancel()/add_fd() must be called from that
+// thread (or before run() starts); post() and stop() are the only
+// thread-safe entry points, waking the loop through an eventfd.
+//
+// The timer heap copies des::Scheduler's lazy-deletion scheme: heap
+// nodes carry only (time, seq, id) ordering data, callbacks live in a
+// side map, and cancellation just erases the map entry — a stale heap
+// node is skipped on pop.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/executor.hpp"
+
+namespace dgmc::net {
+
+class EventLoop final : public rt::Executor {
+ public:
+  EventLoop();
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Monotonic wall-clock seconds since construction.
+  rt::Time now() const override;
+
+  rt::TimerId schedule_after(rt::Time delay, rt::EventTag tag,
+                             Callback cb) override;
+  using rt::Executor::schedule_after;
+
+  bool cancel(rt::TimerId id) override;
+
+  /// Registers `on_readable` to run whenever `fd` has data. The fd is
+  /// not owned; remove it before closing.
+  void add_fd(int fd, std::function<void()> on_readable);
+  void remove_fd(int fd);
+
+  /// Thread-safe: enqueues `fn` to run on the loop thread, waking it.
+  void post(std::function<void()> fn);
+
+  /// Runs until stop(). Returns the number of callbacks executed.
+  std::uint64_t run();
+
+  /// Thread-safe and async-signal-safe via the wake eventfd when
+  /// called from a signal handler through request_stop_from_signal().
+  void stop();
+
+  /// Async-signal-safe stop request: writes the wake eventfd. Safe to
+  /// call from a POSIX signal handler. Unlike stop() (which only ends
+  /// the current run() and allows a later re-run), a signal stop is
+  /// terminal: it sticks even if it lands before run() starts, so a
+  /// SIGTERM during daemon setup can never be lost to the race with
+  /// entering the loop.
+  void request_stop_from_signal();
+
+  std::uint64_t timers_fired() const { return timers_fired_; }
+
+ private:
+  struct TimerNode {
+    rt::Time time;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const TimerNode& a, const TimerNode& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void run_due_timers(std::uint64_t* executed);
+  void drain_posted(std::uint64_t* executed);
+  int next_timeout_ms() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::int64_t start_ns_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t timers_fired_ = 0;
+  std::priority_queue<TimerNode, std::vector<TimerNode>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> timers_;
+  std::unordered_map<int, std::function<void()>> fds_;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+  volatile bool stop_ = false;
+  // Set only by request_stop_from_signal and never cleared: run()
+  // resets stop_ on entry (so the loop is re-runnable after stop()),
+  // which would silently swallow a signal that fired before run().
+  volatile sig_atomic_t signal_stop_ = 0;
+};
+
+}  // namespace dgmc::net

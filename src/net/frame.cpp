@@ -1,0 +1,180 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace dgmc::net {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 16;
+/// Sanity bound on node/link ids carried in frames. Real deployments
+/// are far smaller; a garbage id above this is rejected instead of
+/// indexing some table with it.
+constexpr std::uint32_t kMaxId = 1u << 20;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// Bounds-checked little-endian reader over the datagram.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return ok_ ? len_ - pos_ : 0; }
+
+  std::uint8_t u8() {
+    if (pos_ + 1 > len_) {
+      ok_ = false;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    if (pos_ + 2 > len_) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (pos_ + 4 > len_) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint32_t v = data_[pos_] |
+                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return v;
+  }
+
+  void bytes(std::vector<std::uint8_t>& out, std::size_t n) {
+    if (pos_ + n > len_) {
+      ok_ = false;
+      return;
+    }
+    out.assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool valid_id(std::uint32_t v) { return v < kMaxId; }
+
+}  // namespace
+
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
+  out.clear();
+  put_u32(out, kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(f.kind));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  put_u32(out, static_cast<std::uint32_t>(f.sender));
+  put_u32(out, static_cast<std::uint32_t>(f.link));
+  switch (f.kind) {
+    case FrameKind::kData:
+      put_u32(out, static_cast<std::uint32_t>(f.origin));
+      put_u32(out, f.seq);
+      put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
+      out.insert(out.end(), f.payload.begin(), f.payload.end());
+      break;
+    case FrameKind::kAck:
+      put_u32(out, static_cast<std::uint32_t>(f.origin));
+      put_u32(out, f.seq);
+      break;
+    case FrameKind::kHello: {
+      put_u32(out, f.hello_seq);
+      put_u32(out, f.echo_seq);
+      const double micros = f.echo_hold * 1e6;
+      const std::uint32_t held =
+          micros <= 0.0 ? 0
+          : micros >= 4e9 ? 0xFFFFFFFFu
+                          : static_cast<std::uint32_t>(micros);
+      put_u32(out, held);
+      break;
+    }
+  }
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  std::vector<std::uint8_t> out;
+  encode_frame(f, out);
+  return out;
+}
+
+std::optional<Frame> decode_frame(const std::uint8_t* data, std::size_t len) {
+  if (data == nullptr || len < kHeaderSize || len > kMaxDatagram) {
+    return std::nullopt;
+  }
+  Reader r(data, len);
+  if (r.u32() != kFrameMagic) return std::nullopt;
+  if (r.u8() != kFrameVersion) return std::nullopt;
+  const std::uint8_t kind = r.u8();
+  if (r.u16() != 0) return std::nullopt;  // reserved must be zero
+  Frame f;
+  const std::uint32_t sender = r.u32();
+  const std::uint32_t link = r.u32();
+  if (!r.ok() || !valid_id(sender) || !valid_id(link)) return std::nullopt;
+  f.sender = static_cast<graph::NodeId>(sender);
+  f.link = static_cast<graph::LinkId>(link);
+  switch (kind) {
+    case static_cast<std::uint8_t>(FrameKind::kData): {
+      f.kind = FrameKind::kData;
+      const std::uint32_t origin = r.u32();
+      f.seq = r.u32();
+      const std::uint32_t payload_len = r.u32();
+      if (!r.ok() || !valid_id(origin)) return std::nullopt;
+      // The length field must account for exactly the bytes present —
+      // a short body truncates, a long one smuggles trailing garbage.
+      if (payload_len != r.remaining()) return std::nullopt;
+      f.origin = static_cast<graph::NodeId>(origin);
+      r.bytes(f.payload, payload_len);
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameKind::kAck): {
+      f.kind = FrameKind::kAck;
+      const std::uint32_t origin = r.u32();
+      f.seq = r.u32();
+      if (!r.ok() || !valid_id(origin)) return std::nullopt;
+      if (r.remaining() != 0) return std::nullopt;
+      f.origin = static_cast<graph::NodeId>(origin);
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameKind::kHello): {
+      f.kind = FrameKind::kHello;
+      f.hello_seq = r.u32();
+      f.echo_seq = r.u32();
+      const std::uint32_t held = r.u32();
+      if (!r.ok()) return std::nullopt;
+      if (r.remaining() != 0) return std::nullopt;
+      f.echo_hold = static_cast<rt::Time>(held) * 1e-6;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return f;
+}
+
+std::optional<Frame> decode_frame(const std::vector<std::uint8_t>& bytes) {
+  return decode_frame(bytes.data(), bytes.size());
+}
+
+}  // namespace dgmc::net

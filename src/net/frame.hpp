@@ -1,0 +1,75 @@
+// Datagram framing for the socket backend.
+//
+// Every UDP datagram a dgmc_netd switch sends is one frame: a fixed
+// 16-byte header (magic, version, kind, sender node, link id) followed
+// by a kind-specific body. DATA frames carry a core/codec-encoded LSA
+// payload — the same wire format the simulation's codec tests and
+// fuzzers cover — so the socket backend introduces no second payload
+// encoding.
+//
+//   DATA  — one flooding copy: (origin, seq) + codec payload bytes.
+//   ACK   — per-link flooding acknowledgment for (origin, seq).
+//   HELLO — heartbeat: our hello sequence number, the last sequence we
+//           heard from the peer on this link (echo), and how long ago
+//           we heard it (hold time, microseconds) — the serval-dna
+//           style RTT probe (SNIPPETS §1): the peer computes
+//           rtt = now - sent_at(echo_seq) - hold.
+//
+// decode() is written for attacker-shaped bytes: every length is
+// checked before use, unknown magic/version/kind and ill-sized bodies
+// return nullopt, and datagrams above kMaxDatagram are rejected
+// outright. It never asserts and never reads out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rt/time.hpp"
+
+namespace dgmc::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x44474D43u;  // "DGMC"
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// Hard cap on a frame (header + body). Larger datagrams are invalid
+/// on the wire and rejected before any body parsing.
+inline constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+enum class FrameKind : std::uint8_t {
+  kData = 1,
+  kAck = 2,
+  kHello = 3,
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  graph::NodeId sender = graph::kInvalidNode;
+  graph::LinkId link = graph::kInvalidLink;
+
+  // DATA / ACK
+  graph::NodeId origin = graph::kInvalidNode;
+  std::uint32_t seq = 0;
+  std::vector<std::uint8_t> payload;  // DATA only: codec-encoded LSA
+
+  // HELLO
+  std::uint32_t hello_seq = 0;
+  std::uint32_t echo_seq = 0;   // 0 = nothing heard yet
+  rt::Time echo_hold = 0.0;     // seconds (micros on the wire)
+};
+
+/// Appends the encoding of `f` to `out` (clearing it first; the buffer
+/// keeps its capacity across calls).
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out);
+
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// Checked decode of one datagram. Returns nullopt on any malformed
+/// input: short/oversized buffers, bad magic/version/kind, negative
+/// ids, or a DATA length field disagreeing with the actual bytes.
+std::optional<Frame> decode_frame(const std::uint8_t* data, std::size_t len);
+
+std::optional<Frame> decode_frame(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace dgmc::net

@@ -1,0 +1,139 @@
+#include "net/neighbor.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace dgmc::net {
+
+NeighborTable::NeighborTable(rt::Executor& exec, graph::NodeId self,
+                             std::vector<graph::LinkId> links, Config config,
+                             Hooks hooks)
+    : exec_(exec),
+      self_(self),
+      links_(std::move(links)),
+      config_(config),
+      hooks_(std::move(hooks)) {
+  DGMC_ASSERT(hooks_.send_hello != nullptr);
+  DGMC_ASSERT(config_.hello_interval > 0.0);
+  DGMC_ASSERT(config_.dead_interval > config_.hello_interval);
+  for (const graph::LinkId link : links_) {
+    peers_.emplace(link, Peer{});
+  }
+}
+
+void NeighborTable::start() {
+  if (running_) return;
+  running_ = true;
+  // Optimistic-up grace: links were "heard" at start, so the first
+  // dead-interval sweep that can demote them is a full dead_interval
+  // after boot — enough time for peers to come up and start talking.
+  const rt::Time t0 = exec_.now();
+  for (auto& [link, peer] : peers_) {
+    peer.last_heard = t0;
+  }
+  rt::EventTag tag;
+  tag.kind = rt::EventTag::Kind::kHeartbeat;
+  tag.node = self_;
+  tick_timer_ = exec_.schedule_after(config_.hello_interval, tag,
+                                     [this] { tick(); });
+}
+
+void NeighborTable::stop() {
+  if (!running_) return;
+  running_ = false;
+  exec_.cancel(tick_timer_);
+  tick_timer_ = rt::TimerId{};
+}
+
+void NeighborTable::tick() {
+  if (!running_) return;
+  const rt::Time now = exec_.now();
+
+  // 1. Dead-interval sweep: demote links silent for too long.
+  for (auto& [link, peer] : peers_) {
+    if (peer.up && now - peer.last_heard > config_.dead_interval) {
+      peer.up = false;
+      peer.rtt_ewma = -1.0;  // stale samples don't survive an outage
+      ++links_declared_down_;
+      if (hooks_.link_down) hooks_.link_down(link);
+    }
+  }
+
+  // 2. Send one HELLO per link — including down links, so a healed
+  //    link revives as soon as datagrams flow again.
+  for (auto& [link, peer] : peers_) {
+    const std::uint32_t seq = next_hello_seq_++;
+    peer.sent_at.emplace(seq, now);
+    // Prune send-time records older than the dead interval: their
+    // echoes can no longer produce a meaningful sample.
+    while (!peer.sent_at.empty() &&
+           now - peer.sent_at.begin()->second > config_.dead_interval) {
+      peer.sent_at.erase(peer.sent_at.begin());
+    }
+    const rt::Time hold =
+        peer.last_heard_seq == 0 ? 0.0 : now - peer.last_heard_at;
+    ++hellos_sent_;
+    hooks_.send_hello(link, seq, peer.last_heard_seq, hold);
+  }
+
+  rt::EventTag tag;
+  tag.kind = rt::EventTag::Kind::kHeartbeat;
+  tag.node = self_;
+  tick_timer_ = exec_.schedule_after(config_.hello_interval, tag,
+                                     [this] { tick(); });
+}
+
+void NeighborTable::on_hello(graph::LinkId link, std::uint32_t hello_seq,
+                             std::uint32_t echo_seq, rt::Time echo_hold) {
+  Peer* peer = find(link);
+  if (peer == nullptr) return;  // not an incident link: ignore
+  const rt::Time now = exec_.now();
+  ++hellos_received_;
+  peer->last_heard = now;
+  peer->last_heard_seq = hello_seq;
+  peer->last_heard_at = now;
+  if (!peer->up) {
+    peer->up = true;
+    ++links_declared_up_;
+    if (hooks_.link_up) hooks_.link_up(link);
+  }
+  if (echo_seq != 0) {
+    auto it = peer->sent_at.find(echo_seq);
+    if (it != peer->sent_at.end()) {
+      const rt::Time sample = now - it->second - echo_hold;
+      // An echo also retires every older outstanding probe: their
+      // echoes, if they ever come, would be out of order.
+      peer->sent_at.erase(peer->sent_at.begin(), std::next(it));
+      if (sample >= 0.0) {
+        peer->rtt_ewma =
+            peer->rtt_ewma < 0.0
+                ? sample
+                : (1.0 - config_.rtt_alpha) * peer->rtt_ewma +
+                      config_.rtt_alpha * sample;
+      }
+    }
+  }
+}
+
+bool NeighborTable::link_up(graph::LinkId link) const {
+  const Peer* peer = find(link);
+  return peer != nullptr && peer->up;
+}
+
+double NeighborTable::rtt(graph::LinkId link) const {
+  const Peer* peer = find(link);
+  return peer == nullptr ? -1.0 : peer->rtt_ewma;
+}
+
+NeighborTable::Peer* NeighborTable::find(graph::LinkId link) {
+  auto it = peers_.find(link);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+const NeighborTable::Peer* NeighborTable::find(graph::LinkId link) const {
+  auto it = peers_.find(link);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dgmc::net

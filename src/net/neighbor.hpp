@@ -1,0 +1,117 @@
+// Heartbeat-driven neighbor discovery and link liveness/cost sensing,
+// in the serval-dna route_link idiom (SNIPPETS.md §1): every node
+// sends a HELLO on each incident link every hello_interval; hearing
+// one refreshes the link's receive timeout and, via the echoed
+// sequence number + hold time, yields an RTT sample folded into an
+// EWMA link cost. A link silent for dead_interval is declared down;
+// the first HELLO after that brings it back up.
+//
+// The table is transport-agnostic: it is driven by an rt::Executor
+// (the heartbeat tick timer) and emits HELLOs/up-down transitions
+// through std::function hooks — so the state machine is unit-testable
+// deterministically under des::Scheduler, while the socket backend
+// binds the hooks to real UDP sends.
+//
+// Links start *up* (optimistic), matching the protocol core's initial
+// LocalImage in which every configured adjacency is usable; sustained
+// silence then demotes what isn't. This avoids a boot-time storm of
+// link-down floods while sockets come up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rt/executor.hpp"
+
+namespace dgmc::net {
+
+class NeighborTable {
+ public:
+  struct Config {
+    rt::Time hello_interval = 50 * rt::kMillisecond;
+    /// Declare a link down after this much silence. Must comfortably
+    /// exceed hello_interval (OSPF uses 4x; CI uses ~10x so scheduler
+    /// jitter on loaded runners cannot flap links spuriously).
+    rt::Time dead_interval = 500 * rt::kMillisecond;
+    /// EWMA weight of a new RTT sample (serval-dna uses 1/8).
+    double rtt_alpha = 0.125;
+  };
+
+  struct Hooks {
+    /// Emits one HELLO on a link (required): our sequence number, the
+    /// last sequence heard from the peer there, and how long ago we
+    /// heard it.
+    std::function<void(graph::LinkId link, std::uint32_t hello_seq,
+                       std::uint32_t echo_seq, rt::Time echo_hold)>
+        send_hello;
+    /// A link transitioned down (sustained silence) / back up.
+    std::function<void(graph::LinkId)> link_down;
+    std::function<void(graph::LinkId)> link_up;
+  };
+
+  NeighborTable(rt::Executor& exec, graph::NodeId self,
+                std::vector<graph::LinkId> links, Config config, Hooks hooks);
+
+  NeighborTable(const NeighborTable&) = delete;
+  NeighborTable& operator=(const NeighborTable&) = delete;
+
+  /// Arms the heartbeat tick (first HELLOs go out after one interval).
+  void start();
+
+  /// Cancels the tick timer (shutdown).
+  void stop();
+
+  /// A HELLO arrived on `link` carrying the peer's sequence number and
+  /// the echo of ours.
+  void on_hello(graph::LinkId link, std::uint32_t hello_seq,
+                std::uint32_t echo_seq, rt::Time echo_hold);
+
+  bool link_up(graph::LinkId link) const;
+
+  /// RTT-EWMA link cost in seconds; negative until the first sample.
+  double rtt(graph::LinkId link) const;
+
+  const std::vector<graph::LinkId>& links() const { return links_; }
+
+  // --- Metrics ---
+  std::uint64_t hellos_sent() const { return hellos_sent_; }
+  std::uint64_t hellos_received() const { return hellos_received_; }
+  std::uint64_t links_declared_down() const { return links_declared_down_; }
+  std::uint64_t links_declared_up() const { return links_declared_up_; }
+
+ private:
+  struct Peer {
+    bool up = true;
+    rt::Time last_heard = 0.0;
+    std::uint32_t last_heard_seq = 0;  // for echoing back
+    rt::Time last_heard_at = 0.0;      // for the hold-time computation
+    double rtt_ewma = -1.0;
+    /// Send times of our recent HELLOs, keyed by sequence number;
+    /// pruned as echoes arrive (entries at or below the echo are dead)
+    /// and by age, so it stays O(dead_interval / hello_interval).
+    std::map<std::uint32_t, rt::Time> sent_at;
+  };
+
+  void tick();
+  Peer* find(graph::LinkId link);
+  const Peer* find(graph::LinkId link) const;
+
+  rt::Executor& exec_;
+  graph::NodeId self_;
+  std::vector<graph::LinkId> links_;
+  Config config_;
+  Hooks hooks_;
+  std::map<graph::LinkId, Peer> peers_;
+  std::uint32_t next_hello_seq_ = 1;  // 0 on the wire means "none"
+  rt::TimerId tick_timer_;
+  bool running_ = false;
+  std::uint64_t hellos_sent_ = 0;
+  std::uint64_t hellos_received_ = 0;
+  std::uint64_t links_declared_down_ = 0;
+  std::uint64_t links_declared_up_ = 0;
+};
+
+}  // namespace dgmc::net

@@ -1,0 +1,292 @@
+#include "net/switch.hpp"
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/codec.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::net {
+
+NetSwitch::NetSwitch(EventLoop& loop, const graph::Graph& topo,
+                     graph::NodeId self,
+                     const mc::TopologyAlgorithm& algorithm, Config config)
+    : loop_(loop),
+      topo_(topo),
+      self_(self),
+      config_(config),
+      image_(topo_) {
+  DGMC_ASSERT(topo_.valid_node(self_));
+
+  wire_ = std::make_unique<UdpWire>(*this);
+  node_ = std::make_unique<lsr::FloodNode<Payload>>(
+      self_, topo_.node_count(), loop_, *wire_);
+  if (config_.reliable.enabled) node_->set_reliable(config_.reliable);
+  node_->set_receiver([this](const lsr::FloodNode<Payload>::Delivery& d) {
+    deliver(d);
+  });
+
+  NeighborTable::Hooks nb_hooks;
+  nb_hooks.send_hello = [this](graph::LinkId link, std::uint32_t hello_seq,
+                               std::uint32_t echo_seq, rt::Time echo_hold) {
+    send_hello_frame(link, hello_seq, echo_seq, echo_hold);
+  };
+  nb_hooks.link_down = [this](graph::LinkId link) {
+    on_heartbeat_link_down(link);
+  };
+  nb_hooks.link_up = [this](graph::LinkId link) {
+    on_heartbeat_link_up(link);
+  };
+  neighbors_ = std::make_unique<NeighborTable>(
+      loop_, self_, topo_.links_of(self_), config_.heartbeat,
+      std::move(nb_hooks));
+
+  core::DgmcSwitch::Hooks hooks;
+  hooks.flood = [this](core::McLsa lsa) { flood(Payload{std::move(lsa)}); };
+  hooks.local_image = [this]() -> const graph::Graph& {
+    return image_.graph();
+  };
+  hooks.on_install = [this](mc::McId, const trees::Topology&) {
+    ++stats_.installs;
+  };
+  dgmc_ = std::make_unique<core::DgmcSwitch>(self_, topo_.node_count(), loop_,
+                                             algorithm, config_.dgmc,
+                                             std::move(hooks));
+
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  DGMC_ASSERT_MSG(fd_ >= 0, "socket() failed");
+}
+
+NetSwitch::~NetSwitch() {
+  stop();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void NetSwitch::bind_local(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int rc =
+      ::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  DGMC_ASSERT_MSG(rc == 0, "bind() failed");
+  socklen_t len = sizeof addr;
+  const int grc = ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  DGMC_ASSERT(grc == 0);
+  local_port_ = ntohs(addr.sin_port);
+}
+
+void NetSwitch::set_peer(graph::LinkId link, std::uint16_t port) {
+  DGMC_ASSERT(link >= 0 && link < topo_.link_count());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  peers_[link] = addr;
+}
+
+void NetSwitch::start() {
+  DGMC_ASSERT_MSG(local_port_ != 0, "bind_local before start");
+  for (const graph::LinkId link : topo_.links_of(self_)) {
+    DGMC_ASSERT_MSG(peers_.count(link) != 0, "peer port missing for a link");
+  }
+  if (started_) return;
+  started_ = true;
+  loop_.add_fd(fd_, [this] { on_readable(); });
+  neighbors_->start();
+}
+
+void NetSwitch::stop() {
+  if (!started_) return;
+  started_ = false;
+  neighbors_->stop();
+  node_->abandon_all_pending();
+  loop_.remove_fd(fd_);
+}
+
+void NetSwitch::on_readable() {
+  // Drain the socket: epoll is level-triggered, but one readiness
+  // callback handling every queued datagram keeps the loop's epoll_wait
+  // count proportional to wakeups, not packets.
+  std::uint8_t buf[kMaxDatagram];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient socket error: next readiness retries
+    }
+    ++stats_.datagrams_received;
+    if (rx_drop_ && rx_drop_()) {
+      ++stats_.rx_dropped;
+      continue;
+    }
+    handle_datagram(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void NetSwitch::handle_datagram(const std::uint8_t* data, std::size_t len) {
+  std::optional<Frame> f = decode_frame(data, len);
+  if (!f.has_value()) {
+    ++stats_.decode_errors;
+    return;
+  }
+  // The link must be a real adjacency of ours and the claimed sender
+  // must be its far end — anything else is misdelivery (or forgery) and
+  // must not reach protocol state.
+  if (f->link < 0 || f->link >= topo_.link_count()) {
+    ++stats_.misaddressed;
+    return;
+  }
+  const graph::Link& l = topo_.link(f->link);
+  if ((l.u != self_ && l.v != self_) ||
+      f->sender != topo_.other_end(f->link, self_)) {
+    ++stats_.misaddressed;
+    return;
+  }
+  switch (f->kind) {
+    case FrameKind::kHello:
+      neighbors_->on_hello(f->link, f->hello_seq, f->echo_seq, f->echo_hold);
+      return;
+    case FrameKind::kAck:
+      node_->on_ack(f->link, f->origin, f->seq);
+      return;
+    case FrameKind::kData: {
+      if (f->origin < 0 || f->origin >= topo_.node_count()) {
+        ++stats_.misaddressed;
+        return;
+      }
+      const std::optional<core::WireType> type = core::peek_type(f->payload);
+      Payload payload;
+      if (type == core::WireType::kLinkEvent) {
+        auto ad = core::decode_link_event(f->payload);
+        if (!ad.has_value()) {
+          ++stats_.decode_errors;
+          return;
+        }
+        payload = *ad;
+      } else if (type == core::WireType::kMcLsa) {
+        auto lsa = core::decode_mc_lsa(f->payload);
+        if (!lsa.has_value()) {
+          ++stats_.decode_errors;
+          return;
+        }
+        payload = std::move(*lsa);
+      } else if (type == core::WireType::kMcSync) {
+        auto sync = core::decode_mc_sync(f->payload);
+        if (!sync.has_value()) {
+          ++stats_.decode_errors;
+          return;
+        }
+        payload = std::move(*sync);
+      } else {
+        ++stats_.decode_errors;
+        return;
+      }
+      auto msg = std::make_shared<const lsr::FloodMessage<Payload>>(
+          lsr::FloodMessage<Payload>{f->origin, f->seq, 0,
+                                     std::move(payload)});
+      node_->on_data(f->link, msg);
+      return;
+    }
+  }
+}
+
+void NetSwitch::deliver(const lsr::FloodNode<Payload>::Delivery& d) {
+  // Same dispatch as sim::DgmcNetwork::deliver.
+  if (const auto* link_ad = std::get_if<lsr::LinkEventAd>(&d.payload)) {
+    image_.apply(*link_ad);
+    return;
+  }
+  if (const auto* sync = std::get_if<core::McSync>(&d.payload)) {
+    dgmc_->apply_sync(*sync);
+    return;
+  }
+  dgmc_->receive(std::get<core::McLsa>(d.payload));
+}
+
+void NetSwitch::flood(Payload payload) { node_->flood(std::move(payload)); }
+
+void NetSwitch::on_heartbeat_link_down(graph::LinkId link) {
+  // This switch is the detector for its half of the adjacency — the
+  // far end's own heartbeat times out independently, so a real network
+  // always runs in the simulation's dual-detection regime.
+  ++stats_.link_downs;
+  image_.apply(lsr::LinkEventAd{link, false});
+  ++stats_.nonmc_floodings;
+  flood(Payload{lsr::LinkEventAd{link, false}});
+  dgmc_->local_link_event(link);
+}
+
+void NetSwitch::on_heartbeat_link_up(graph::LinkId link) {
+  ++stats_.link_ups;
+  image_.apply(lsr::LinkEventAd{link, true});
+  ++stats_.nonmc_floodings;
+  flood(Payload{lsr::LinkEventAd{link, true}});
+  dgmc_->local_link_event(link);
+  if (config_.dgmc.partition_resync) {
+    // Database exchange over the healed adjacency (the sim's
+    // restore_link path): summarize every known connection and flood.
+    for (mc::McId mcid : dgmc_->known_mcs()) {
+      ++stats_.sync_floodings;
+      flood(Payload{dgmc_->export_sync(mcid)});
+    }
+  }
+}
+
+void NetSwitch::send_data_frame(graph::LinkId link,
+                                const lsr::FloodMessage<Payload>& m) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.sender = self_;
+  f.link = link;
+  f.origin = m.origin;
+  f.seq = m.seq;
+  std::visit([this](const auto& p) { core::encode_into(p, payload_buf_); },
+             m.payload);
+  f.payload = payload_buf_;
+  encode_frame(f, tx_buf_);
+  send_to_link(link);
+}
+
+void NetSwitch::send_ack_frame(graph::LinkId link, graph::NodeId origin,
+                               std::uint32_t seq) {
+  Frame f;
+  f.kind = FrameKind::kAck;
+  f.sender = self_;
+  f.link = link;
+  f.origin = origin;
+  f.seq = seq;
+  encode_frame(f, tx_buf_);
+  send_to_link(link);
+}
+
+void NetSwitch::send_hello_frame(graph::LinkId link, std::uint32_t hello_seq,
+                                 std::uint32_t echo_seq, rt::Time echo_hold) {
+  Frame f;
+  f.kind = FrameKind::kHello;
+  f.sender = self_;
+  f.link = link;
+  f.hello_seq = hello_seq;
+  f.echo_seq = echo_seq;
+  f.echo_hold = echo_hold;
+  encode_frame(f, tx_buf_);
+  send_to_link(link);
+}
+
+void NetSwitch::send_to_link(graph::LinkId link) {
+  auto it = peers_.find(link);
+  DGMC_ASSERT_MSG(it != peers_.end(), "send on a link with no peer");
+  ++stats_.datagrams_sent;
+  // A failed send is indistinguishable from wire loss; the ack +
+  // retransmit machinery (and heartbeats) absorb it.
+  [[maybe_unused]] const ssize_t n = ::sendto(
+      fd_, tx_buf_.data(), tx_buf_.size(), 0,
+      reinterpret_cast<const sockaddr*>(&it->second), sizeof it->second);
+}
+
+}  // namespace dgmc::net

@@ -1,0 +1,179 @@
+// NetSwitch: one D-GMC switch on a real UDP socket.
+//
+// This is the deployment assembly of the same protocol objects the
+// simulation runs — core::DgmcSwitch (paper §3.3), lsr::FloodNode (the
+// per-switch flooding engine), lsr::LocalImage — driven by a
+// net::EventLoop instead of des::Scheduler and wired to the network
+// through datagrams instead of calendar insertions:
+//
+//   * UdpWire implements lsr::FloodWire by framing each flooding copy /
+//     ack (net/frame.hpp) around the core/codec payload encoding and
+//     sendto()ing it to the peer on that link;
+//   * a NeighborTable senses link liveness from HELLO heartbeats and
+//     stands in for the simulation's omniscient link-status oracle:
+//     its down/up transitions drive the same image-update → non-MC-LSA
+//     flood → local_link_event sequence sim::DgmcNetwork::fail_link /
+//     restore_link performs, with this switch as the detector (in a
+//     real network BOTH ends time out — the dual-detection model);
+//   * incoming datagrams are decoded defensively (decode_frame +
+//     codec decode both reject malformed bytes) and dispatched exactly
+//     like sim::DgmcNetwork::deliver.
+//
+// One switch = one socket; frames carry the link id so a single socket
+// serves all adjacencies. Peer addresses per link are configured before
+// start() (from a port plan — see NetCluster and dgmc_netd).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include <netinet/in.h>
+
+#include "core/protocol.hpp"
+#include "core/sync.hpp"
+#include "graph/graph.hpp"
+#include "lsr/flood_node.hpp"
+#include "lsr/link_lsa.hpp"
+#include "lsr/local_image.hpp"
+#include "mc/algorithm.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/neighbor.hpp"
+
+namespace dgmc::net {
+
+class NetSwitch {
+ public:
+  /// Same payload universe as the simulation's transport.
+  using Payload = std::variant<lsr::LinkEventAd, core::McLsa, core::McSync>;
+
+  struct Config {
+    core::DgmcConfig dgmc;
+    NeighborTable::Config heartbeat;
+    /// Per-link ack + retransmit. UDP loses datagrams, so real
+    /// deployments want this on (the default here, unlike the sim).
+    lsr::ReliableFloodingConfig reliable{/*enabled=*/true};
+  };
+
+  struct Stats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t decode_errors = 0;   // malformed frame or payload
+    std::uint64_t misaddressed = 0;    // valid frame, wrong link/sender
+    std::uint64_t rx_dropped = 0;      // test-hook seeded loss
+    std::uint64_t link_downs = 0;      // heartbeat-declared
+    std::uint64_t link_ups = 0;
+    std::uint64_t nonmc_floodings = 0;
+    std::uint64_t sync_floodings = 0;
+    std::uint64_t installs = 0;
+  };
+
+  NetSwitch(EventLoop& loop, const graph::Graph& topo, graph::NodeId self,
+            const mc::TopologyAlgorithm& algorithm, Config config);
+  ~NetSwitch();
+
+  NetSwitch(const NetSwitch&) = delete;
+  NetSwitch& operator=(const NetSwitch&) = delete;
+
+  /// Binds the socket to 127.0.0.1:port (0 = ephemeral).
+  void bind_local(std::uint16_t port);
+
+  /// The bound port (after bind_local).
+  std::uint16_t local_port() const { return local_port_; }
+
+  /// Where the far end of `link` listens. Every incident link needs a
+  /// peer before start().
+  void set_peer(graph::LinkId link, std::uint16_t port);
+
+  /// Registers the socket with the loop and arms the heartbeat.
+  void start();
+
+  /// Deregisters and stops heartbeats (the socket stays bound).
+  void stop();
+
+  // --- Local protocol events ---
+
+  void join(mc::McId mcid, mc::McType type,
+            mc::MemberRole role = mc::MemberRole::kBoth) {
+    dgmc_->local_join(mcid, type, role);
+  }
+  void leave(mc::McId mcid) { dgmc_->local_leave(mcid); }
+
+  // --- Introspection ---
+
+  graph::NodeId self() const { return self_; }
+  core::DgmcSwitch& dgmc() { return *dgmc_; }
+  const core::DgmcSwitch& dgmc() const { return *dgmc_; }
+  const lsr::LocalImage& image() const { return image_; }
+  const NeighborTable& neighbors() const { return *neighbors_; }
+  const Stats& stats() const { return stats_; }
+  std::uint64_t retransmissions() const { return node_->retransmissions(); }
+  std::size_t retransmit_timers_armed() const {
+    return node_->retransmit_timers_armed();
+  }
+
+  /// TEST-ONLY: when set and returning true, an incoming datagram is
+  /// dropped before decoding — seeded receive-side loss for exercising
+  /// the ack/retransmit and heartbeat machinery on a lossless loopback.
+  void set_rx_drop(std::function<bool()> fn) { rx_drop_ = std::move(fn); }
+
+ private:
+  class UdpWire final : public lsr::FloodWire<Payload> {
+   public:
+    explicit UdpWire(NetSwitch& owner) : owner_(owner) {}
+    const std::vector<graph::LinkId>& incident_links() const override {
+      return owner_.topo_.links_of(owner_.self_);
+    }
+    bool link_up(graph::LinkId id) const override {
+      return owner_.neighbors_->link_up(id);
+    }
+    bool self_up() const override { return true; }
+    void send_data(graph::LinkId id, const MessagePtr& msg) override {
+      owner_.send_data_frame(id, *msg);
+    }
+    void send_ack(graph::LinkId id, graph::NodeId origin,
+                  std::uint32_t seq) override {
+      owner_.send_ack_frame(id, origin, seq);
+    }
+
+   private:
+    NetSwitch& owner_;
+  };
+
+  void on_readable();
+  void handle_datagram(const std::uint8_t* data, std::size_t len);
+  void deliver(const lsr::FloodNode<Payload>::Delivery& d);
+  void flood(Payload payload);
+  void on_heartbeat_link_down(graph::LinkId link);
+  void on_heartbeat_link_up(graph::LinkId link);
+  void send_data_frame(graph::LinkId link, const lsr::FloodMessage<Payload>& m);
+  void send_ack_frame(graph::LinkId link, graph::NodeId origin,
+                      std::uint32_t seq);
+  void send_hello_frame(graph::LinkId link, std::uint32_t hello_seq,
+                        std::uint32_t echo_seq, rt::Time echo_hold);
+  void send_to_link(graph::LinkId link);
+
+  EventLoop& loop_;
+  graph::Graph topo_;  // static wiring plan: who is on the far end of what
+  graph::NodeId self_;
+  Config config_;
+  lsr::LocalImage image_;
+  Stats stats_;
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  bool started_ = false;
+  std::map<graph::LinkId, sockaddr_in> peers_;
+  std::function<bool()> rx_drop_;
+  std::vector<std::uint8_t> tx_buf_;       // reused frame encode buffer
+  std::vector<std::uint8_t> payload_buf_;  // reused codec encode buffer
+  std::unique_ptr<UdpWire> wire_;
+  std::unique_ptr<lsr::FloodNode<Payload>> node_;
+  std::unique_ptr<NeighborTable> neighbors_;
+  std::unique_ptr<core::DgmcSwitch> dgmc_;
+};
+
+}  // namespace dgmc::net

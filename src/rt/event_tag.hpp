@@ -1,0 +1,33 @@
+// Semantic annotation of a scheduled event, consumed by check::Executor
+// when the DES backend interposes on the calendar. The runtime layer
+// never interprets the fields; producers (lsr flooding, the protocol
+// entity) fill in whatever identifies the action. The socket backend
+// accepts tags for interface parity and ignores them — wall-clock
+// execution cannot be interposed on.
+#pragma once
+
+#include <cstdint>
+
+namespace dgmc::rt {
+
+struct EventTag {
+  enum class Kind : std::uint8_t {
+    kOpaque = 0,      // untagged (plain simulation events)
+    kDelivery = 1,    // LSA copy arriving at `node` from origin `peer`
+    kAck = 2,         // flooding ack arriving at `node`
+    kRetransmit = 3,  // reliable-flooding RTO timer at sender `node`
+    kCompute = 4,     // topology-computation completion at `node`
+    kFault = 5,       // scheduled fault-plan action
+    kHeartbeat = 6,   // neighbor HELLO / dead-interval timer (net backend)
+  };
+  Kind kind = Kind::kOpaque;
+  std::int32_t node = -1;     // the switch the event happens at
+  std::int32_t peer = -1;     // counterpart switch (e.g. flooding origin)
+  std::uint32_t seq = 0;      // per-origin flooding sequence number
+  std::int32_t link = -1;     // link the copy travels on
+  std::uint64_t digest = 0;   // content hash of the carried payload
+
+  friend bool operator==(const EventTag&, const EventTag&) = default;
+};
+
+}  // namespace dgmc::rt

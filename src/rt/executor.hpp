@@ -1,0 +1,66 @@
+// Executor: the transport/clock/timer interface the protocol core is
+// written against.
+//
+// Every protocol-layer module (core/protocol, lsr/flooding,
+// lsr/unicast, core/sync consumers) drives exactly this surface: read
+// the current time, schedule a callback after a delay, cancel a
+// scheduled callback. Two implementations exist:
+//
+//   * des::Scheduler — the discrete-event calendar. now() is simulated
+//     time, schedule_after() is a calendar insertion, and the check
+//     subsystem can enumerate/interpose on pending events. Runs the
+//     protocol deterministically for simulation and model checking.
+//   * net::EventLoop — an epoll loop over real file descriptors.
+//     now() is wall-clock (monotonic) time and timers fire when the
+//     hardware clock says so. Runs the same protocol object code as a
+//     deployable switch process.
+//
+// Because the protocol core never includes des/ or net/ headers, every
+// protocol line of code is shared bit-for-bit between simulation,
+// model checking and deployment (DESIGN.md §11). Keep this interface
+// minimal: anything added here must be implementable by both a
+// simulated calendar and a wall-clock loop.
+#pragma once
+
+#include <cstdint>
+
+#include "rt/event_tag.hpp"
+#include "rt/small_function.hpp"
+#include "rt/time.hpp"
+
+namespace dgmc::rt {
+
+/// Opaque handle for cancelling a scheduled callback. Value 0 is never
+/// a live timer (implementations start ids at 1), so a default-
+/// constructed TimerId is safely cancellable as a no-op.
+struct TimerId {
+  std::uint64_t value = 0;
+};
+
+class Executor {
+ public:
+  /// Small-buffer callable: no heap allocation for the typical capture
+  /// sizes the protocol schedules (see small_function.hpp).
+  using Callback = SmallFunction;
+
+  virtual ~Executor() = default;
+
+  /// Current time (simulated or wall-clock, per implementation).
+  virtual Time now() const = 0;
+
+  /// Schedules `cb` to run at now() + delay (delay must be >= 0). The
+  /// tag is semantic metadata for exploration tooling; implementations
+  /// that cannot be interposed on may ignore it.
+  virtual TimerId schedule_after(Time delay, EventTag tag, Callback cb) = 0;
+
+  /// Cancels a scheduled callback. Returns false if it already ran or
+  /// was cancelled before.
+  virtual bool cancel(TimerId id) = 0;
+
+  /// Untagged convenience overload.
+  TimerId schedule_after(Time delay, Callback cb) {
+    return schedule_after(delay, EventTag{}, std::move(cb));
+  }
+};
+
+}  // namespace dgmc::rt

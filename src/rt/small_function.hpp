@@ -24,7 +24,7 @@
 #include <type_traits>
 #include <utility>
 
-namespace dgmc::des {
+namespace dgmc::rt {
 
 class SmallFunction {
  public:
@@ -176,4 +176,4 @@ class SmallFunction {
   const VTable* vtable_ = nullptr;
 };
 
-}  // namespace dgmc::des
+}  // namespace dgmc::rt

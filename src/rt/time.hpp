@@ -1,0 +1,22 @@
+// Time for the transport-agnostic runtime layer.
+//
+// Time is a double in seconds. Under the DES backend it is *simulated*
+// time (des::SimTime aliases rt::Time); under the socket backend it is
+// wall-clock seconds since the event loop started. Protocol code
+// (core/, lsr/, mc/) computes only with durations and the executor's
+// now(), so the same lines run unchanged against either clock.
+#pragma once
+
+namespace dgmc::rt {
+
+using Time = double;
+
+inline constexpr Time kMicrosecond = 1e-6;
+inline constexpr Time kMillisecond = 1e-3;
+inline constexpr Time kSecond = 1.0;
+
+/// Events separated by less than this are considered simultaneous for
+/// reporting purposes.
+inline constexpr Time kTimeEps = 1e-12;
+
+}  // namespace dgmc::rt

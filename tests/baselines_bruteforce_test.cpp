@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "des/scheduler.hpp"
+
 #include "graph/generators.hpp"
 #include "mc/validation.hpp"
 #include "util/rng.hpp"

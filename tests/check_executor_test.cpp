@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "des/scheduler.hpp"
+
 #include "check/scenario.hpp"
 
 namespace dgmc::check {

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/codec.hpp"
+#include "net/frame.hpp"
 #include "util/rng.hpp"
 
 namespace dgmc::core {
@@ -153,6 +154,166 @@ TEST(CodecFuzz, AllPrefixesOfValidEncodingsRejectCleanly) {
       EXPECT_FALSE(decode_mc_lsa(prefix).has_value()) << "cut=" << cut;
     }
   }
+}
+
+/// A forged length field far larger than the buffer must be rejected
+/// without the decoder reserving the claimed size first (the caps are
+/// checked against bytes actually present).
+TEST(CodecFuzz, ForgedCountsRejectBeforeAllocating) {
+  util::RngStream rng(99);
+  McLsa lsa = sample_lsa(rng);
+  Bytes bytes = encode(lsa);
+  // The stamp length field sits after the fixed 16-byte prefix; write
+  // the maximum the sanity cap admits with no data behind it.
+  const std::uint32_t huge = 1u << 20;
+  for (int i = 0; i < 4; ++i) {
+    bytes[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  EXPECT_FALSE(decode_mc_lsa(bytes).has_value());
+  // Oversized buffers are rejected outright.
+  Bytes oversized = encode(lsa);
+  oversized.resize(kMaxEncoded + 1, 0);
+  EXPECT_FALSE(decode_mc_lsa(oversized).has_value());
+}
+
+// --- UDP-frame corpus: the socket backend's framing around the codec ---
+
+net::Frame sample_frame(util::RngStream& rng) {
+  net::Frame f;
+  f.sender = static_cast<graph::NodeId>(rng.uniform_int(0, 7));
+  f.link = static_cast<graph::LinkId>(rng.uniform_int(0, 30));
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      f.kind = net::FrameKind::kData;
+      f.origin = static_cast<graph::NodeId>(rng.uniform_int(0, 7));
+      f.seq = static_cast<std::uint32_t>(rng.uniform_int(0, 1000));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          f.payload = encode(sample_lsa(rng));
+          break;
+        case 1:
+          f.payload = encode(lsr::LinkEventAd{
+              static_cast<graph::LinkId>(rng.uniform_int(0, 40)),
+              rng.bernoulli(0.5)});
+          break;
+        default:
+          f.payload = encode(sample_sync(rng));
+          break;
+      }
+      break;
+    case 1:
+      f.kind = net::FrameKind::kAck;
+      f.origin = static_cast<graph::NodeId>(rng.uniform_int(0, 7));
+      f.seq = static_cast<std::uint32_t>(rng.uniform_int(0, 1000));
+      break;
+    default:
+      f.kind = net::FrameKind::kHello;
+      f.hello_seq = static_cast<std::uint32_t>(rng.uniform_int(1, 1000));
+      f.echo_seq = static_cast<std::uint32_t>(rng.uniform_int(0, 1000));
+      f.echo_hold = rng.uniform_real(0.0, 0.5);
+      break;
+  }
+  return f;
+}
+
+/// decode_frame must never crash; a successful decode must re-encode to
+/// something decodable, and a decoded DATA payload must go through the
+/// inner codec without crashing either (the full untrusted-bytes path a
+/// real datagram takes in NetSwitch::handle_datagram).
+void probe_frame(const Bytes& bytes) {
+  const std::optional<net::Frame> f = net::decode_frame(bytes);
+  if (f.has_value()) {
+    EXPECT_TRUE(net::decode_frame(net::encode_frame(*f)).has_value());
+    if (f->kind == net::FrameKind::kData) probe(f->payload);
+  }
+}
+
+TEST(FrameFuzz, MutatedFramesNeverCrashDecode) {
+  util::RngStream rng(20260808);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes base = net::encode_frame(sample_frame(rng));
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations; ++m) base = mutate(base, rng);
+    probe_frame(base);
+  }
+}
+
+TEST(FrameFuzz, ArbitraryBytesNeverCrashDecode) {
+  util::RngStream rng(4242);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes bytes(rng.index(96));
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    probe_frame(bytes);
+  }
+}
+
+TEST(FrameFuzz, ValidFramesRoundTrip) {
+  util::RngStream rng(17);
+  for (int round = 0; round < 500; ++round) {
+    const net::Frame f = sample_frame(rng);
+    const std::optional<net::Frame> back =
+        net::decode_frame(net::encode_frame(f));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->kind, f.kind);
+    EXPECT_EQ(back->sender, f.sender);
+    EXPECT_EQ(back->link, f.link);
+    if (f.kind == net::FrameKind::kData) {
+      EXPECT_EQ(back->origin, f.origin);
+      EXPECT_EQ(back->seq, f.seq);
+      EXPECT_EQ(back->payload, f.payload);
+    } else if (f.kind == net::FrameKind::kAck) {
+      EXPECT_EQ(back->origin, f.origin);
+      EXPECT_EQ(back->seq, f.seq);
+    } else {
+      EXPECT_EQ(back->hello_seq, f.hello_seq);
+      EXPECT_EQ(back->echo_seq, f.echo_seq);
+      // Hold time survives to microsecond resolution.
+      EXPECT_NEAR(back->echo_hold, f.echo_hold, 1e-6);
+    }
+  }
+}
+
+TEST(FrameFuzz, AllPrefixesOfValidFramesRejectCleanly) {
+  util::RngStream rng(23);
+  for (int round = 0; round < 50; ++round) {
+    const Bytes bytes = net::encode_frame(sample_frame(rng));
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const Bytes prefix(bytes.begin(),
+                         bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+      EXPECT_FALSE(net::decode_frame(prefix).has_value()) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(FrameFuzz, DataLengthFieldMustMatchBody) {
+  util::RngStream rng(31);
+  net::Frame f;
+  f.kind = net::FrameKind::kData;
+  f.sender = 1;
+  f.link = 2;
+  f.origin = 3;
+  f.seq = 7;
+  f.payload = encode(lsr::LinkEventAd{4, true});
+  Bytes bytes = net::encode_frame(f);
+  ASSERT_TRUE(net::decode_frame(bytes).has_value());
+  // payload_len lives at offset 24; claiming one byte more or less than
+  // is actually present must fail (truncation / trailing-garbage).
+  for (const int delta : {-1, 1}) {
+    Bytes forged = bytes;
+    const auto len = static_cast<std::uint32_t>(
+        static_cast<int>(f.payload.size()) + delta);
+    for (int i = 0; i < 4; ++i) {
+      forged[24 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(len >> (8 * i));
+    }
+    EXPECT_FALSE(net::decode_frame(forged).has_value()) << "delta=" << delta;
+  }
+  // Oversized datagrams are rejected before any body parsing.
+  Bytes huge(net::kMaxDatagram + 1, 0);
+  EXPECT_FALSE(net::decode_frame(huge).has_value());
 }
 
 }  // namespace

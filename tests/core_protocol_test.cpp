@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "des/scheduler.hpp"
+
 #include "graph/generators.hpp"
 
 namespace dgmc::core {

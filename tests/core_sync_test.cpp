@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "des/scheduler.hpp"
+
 #include "core/protocol.hpp"
 #include "graph/generators.hpp"
 

@@ -1,0 +1,143 @@
+// Deterministic unit tests for the datagram framing. The adversarial
+// mutation coverage lives in core_codec_fuzz_test (FrameFuzz suite);
+// these pin the happy-path layout and the specific rejection rules the
+// fuzzer can only hit probabilistically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/codec.hpp"
+#include "net/frame.hpp"
+
+namespace dgmc::net {
+namespace {
+
+Frame sample_hello() {
+  Frame f;
+  f.kind = FrameKind::kHello;
+  f.sender = 3;
+  f.link = 7;
+  f.hello_seq = 41;
+  f.echo_seq = 40;
+  f.echo_hold = 0.012345;
+  return f;
+}
+
+TEST(NetFrame, HelloRoundTrips) {
+  const Frame f = sample_hello();
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  const std::optional<Frame> d = decode_frame(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, FrameKind::kHello);
+  EXPECT_EQ(d->sender, 3);
+  EXPECT_EQ(d->link, 7);
+  EXPECT_EQ(d->hello_seq, 41u);
+  EXPECT_EQ(d->echo_seq, 40u);
+  // Hold time travels as integer microseconds.
+  EXPECT_NEAR(d->echo_hold, 0.012345, 1e-6);
+}
+
+TEST(NetFrame, AckRoundTrips) {
+  Frame f;
+  f.kind = FrameKind::kAck;
+  f.sender = 1;
+  f.link = 2;
+  f.origin = 9;
+  f.seq = 77;
+  const std::optional<Frame> d = decode_frame(encode_frame(f));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, FrameKind::kAck);
+  EXPECT_EQ(d->origin, 9);
+  EXPECT_EQ(d->seq, 77u);
+}
+
+TEST(NetFrame, DataCarriesCodecPayloadVerbatim) {
+  lsr::LinkEventAd ad;
+  ad.link = 5;
+  ad.up = false;
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.sender = 0;
+  f.link = 5;
+  f.origin = 0;
+  f.seq = 12;
+  f.payload = core::encode(ad);
+  const std::optional<Frame> d = decode_frame(encode_frame(f));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, f.payload);
+  const std::optional<lsr::LinkEventAd> inner =
+      core::decode_link_event(d->payload);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_EQ(inner->link, 5);
+  EXPECT_FALSE(inner->up);
+}
+
+TEST(NetFrame, RejectsBadMagicVersionAndKind) {
+  std::vector<std::uint8_t> bytes = encode_frame(sample_hello());
+  {
+    std::vector<std::uint8_t> b = bytes;
+    b[0] ^= 0xff;  // magic
+    EXPECT_FALSE(decode_frame(b).has_value());
+  }
+  {
+    std::vector<std::uint8_t> b = bytes;
+    b[4] = kFrameVersion + 1;
+    EXPECT_FALSE(decode_frame(b).has_value());
+  }
+  {
+    std::vector<std::uint8_t> b = bytes;
+    b[5] = 0;  // kind below range
+    EXPECT_FALSE(decode_frame(b).has_value());
+    b[5] = 4;  // kind above range
+    EXPECT_FALSE(decode_frame(b).has_value());
+  }
+}
+
+TEST(NetFrame, RejectsEveryTruncation) {
+  const std::vector<std::uint8_t> bytes = encode_frame(sample_hello());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode_frame(bytes.data(), len).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(NetFrame, RejectsOversizedDatagram) {
+  std::vector<std::uint8_t> bytes = encode_frame(sample_hello());
+  bytes.resize(kMaxDatagram + 1, 0);
+  EXPECT_FALSE(decode_frame(bytes).has_value());
+}
+
+TEST(NetFrame, RejectsDataLengthMismatch) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.sender = 0;
+  f.link = 0;
+  f.origin = 0;
+  f.seq = 1;
+  f.payload = {0xaa, 0xbb, 0xcc};
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  ASSERT_TRUE(decode_frame(bytes).has_value());
+  bytes.push_back(0x00);  // trailing byte the length field disowns
+  EXPECT_FALSE(decode_frame(bytes).has_value());
+}
+
+TEST(NetFrame, RejectsNegativeIds) {
+  Frame f = sample_hello();
+  f.sender = graph::kInvalidNode;
+  EXPECT_FALSE(decode_frame(encode_frame(f)).has_value());
+  f = sample_hello();
+  f.link = graph::kInvalidLink;
+  EXPECT_FALSE(decode_frame(encode_frame(f)).has_value());
+}
+
+TEST(NetFrame, EncodeIntoReusesBuffer) {
+  std::vector<std::uint8_t> buf;
+  encode_frame(sample_hello(), buf);
+  const std::size_t first = buf.size();
+  encode_frame(sample_hello(), buf);
+  EXPECT_EQ(buf.size(), first);  // cleared, not appended
+  EXPECT_TRUE(decode_frame(buf).has_value());
+}
+
+}  // namespace
+}  // namespace dgmc::net

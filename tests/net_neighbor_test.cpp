@@ -1,0 +1,188 @@
+// Heartbeat/neighbor state machine, driven deterministically under
+// des::Scheduler — NeighborTable only knows rt::Executor, so the same
+// object code the socket backend runs is tested here on a simulated
+// clock with exact timings (no wall-clock flakiness).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/scheduler.hpp"
+#include "net/neighbor.hpp"
+
+namespace dgmc::net {
+namespace {
+
+struct Hello {
+  graph::LinkId link;
+  std::uint32_t seq;
+  std::uint32_t echo;
+  rt::Time hold;
+};
+
+/// Two tables wired back to back over a lossy in-sim "wire": each
+/// side's send_hello delivers to the other after `delay`, unless the
+/// test's drop window says otherwise.
+struct Harness {
+  des::Scheduler sched;
+  NeighborTable::Config config;
+  std::vector<Hello> sent_a, sent_b;
+  std::vector<graph::LinkId> downs_a, ups_a, downs_b, ups_b;
+  std::unique_ptr<NeighborTable> a, b;
+  rt::Time delay = 1e-3;
+  bool drop_a_to_b = false;  // HELLOs from a are lost
+  bool drop_b_to_a = false;
+
+  explicit Harness(NeighborTable::Config cfg) : config(cfg) {
+    NeighborTable::Hooks ha;
+    ha.send_hello = [this](graph::LinkId link, std::uint32_t seq,
+                           std::uint32_t echo, rt::Time hold) {
+      sent_a.push_back({link, seq, echo, hold});
+      if (drop_a_to_b) return;
+      sched.schedule_after(delay, [this, link, seq, echo, hold] {
+        b->on_hello(link, seq, echo, hold);
+      });
+    };
+    ha.link_down = [this](graph::LinkId l) { downs_a.push_back(l); };
+    ha.link_up = [this](graph::LinkId l) { ups_a.push_back(l); };
+    a = std::make_unique<NeighborTable>(sched, 0, std::vector<graph::LinkId>{0},
+                                        config, std::move(ha));
+    NeighborTable::Hooks hb;
+    hb.send_hello = [this](graph::LinkId link, std::uint32_t seq,
+                           std::uint32_t echo, rt::Time hold) {
+      sent_b.push_back({link, seq, echo, hold});
+      if (drop_b_to_a) return;
+      sched.schedule_after(delay, [this, link, seq, echo, hold] {
+        a->on_hello(link, seq, echo, hold);
+      });
+    };
+    hb.link_down = [this](graph::LinkId l) { downs_b.push_back(l); };
+    hb.link_up = [this](graph::LinkId l) { ups_b.push_back(l); };
+    b = std::make_unique<NeighborTable>(sched, 1, std::vector<graph::LinkId>{0},
+                                        config, std::move(hb));
+    a->start();
+    b->start();
+  }
+
+  void run_until(rt::Time t) { sched.run_until(t); }
+};
+
+NeighborTable::Config fast() {
+  NeighborTable::Config cfg;
+  cfg.hello_interval = 0.05;
+  cfg.dead_interval = 0.5;
+  return cfg;
+}
+
+TEST(NetNeighbor, LinksStartOptimisticallyUp) {
+  Harness h(fast());
+  EXPECT_TRUE(h.a->link_up(0));
+  EXPECT_TRUE(h.b->link_up(0));
+  EXPECT_FALSE(h.a->link_up(99));  // unknown link is never up
+}
+
+TEST(NetNeighbor, SteadyHeartbeatKeepsLinkUpForever) {
+  Harness h(fast());
+  h.run_until(10.0);
+  EXPECT_TRUE(h.a->link_up(0));
+  EXPECT_TRUE(h.b->link_up(0));
+  EXPECT_TRUE(h.downs_a.empty());
+  EXPECT_TRUE(h.downs_b.empty());
+  // ~10s / 50ms = ~200 HELLOs each way.
+  EXPECT_GE(h.a->hellos_sent(), 190u);
+  EXPECT_GE(h.a->hellos_received(), 190u);
+}
+
+TEST(NetNeighbor, LossBelowDeadIntervalDoesNotFlap) {
+  Harness h(fast());
+  h.run_until(2.0);
+  // Drop b's HELLOs for less than the dead interval (0.4 < 0.5): a
+  // must not declare the link down.
+  h.drop_b_to_a = true;
+  h.run_until(2.4);
+  h.drop_b_to_a = false;
+  h.run_until(5.0);
+  EXPECT_TRUE(h.a->link_up(0));
+  EXPECT_TRUE(h.downs_a.empty());
+  EXPECT_EQ(h.a->links_declared_down(), 0u);
+}
+
+TEST(NetNeighbor, SustainedSilenceDeclaresDownAndHelloRevives) {
+  Harness h(fast());
+  h.run_until(2.0);
+  // Silence b → a entirely for well past the dead interval.
+  h.drop_b_to_a = true;
+  h.run_until(4.0);
+  EXPECT_FALSE(h.a->link_up(0));
+  ASSERT_EQ(h.downs_a.size(), 1u);
+  EXPECT_EQ(h.downs_a[0], 0);
+  // b still hears a, so b's side stays up (asymmetric loss).
+  EXPECT_TRUE(h.b->link_up(0));
+  // Heal: the first HELLO through brings the link back.
+  h.drop_b_to_a = false;
+  h.run_until(4.2);
+  EXPECT_TRUE(h.a->link_up(0));
+  ASSERT_EQ(h.ups_a.size(), 1u);
+  EXPECT_EQ(h.a->links_declared_up(), 1u);
+}
+
+TEST(NetNeighbor, FlappingLinkReconvergesEachCycle) {
+  Harness h(fast());
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const rt::Time base = 2.0 * cycle;
+    h.run_until(base + 1.0);
+    EXPECT_TRUE(h.a->link_up(0)) << "cycle " << cycle;
+    h.drop_b_to_a = true;
+    h.run_until(base + 1.8);
+    EXPECT_FALSE(h.a->link_up(0)) << "cycle " << cycle;
+    h.drop_b_to_a = false;
+  }
+  h.run_until(7.0);
+  EXPECT_TRUE(h.a->link_up(0));
+  EXPECT_EQ(h.a->links_declared_down(), 3u);
+  EXPECT_EQ(h.a->links_declared_up(), 3u);
+}
+
+TEST(NetNeighbor, RttEwmaTracksRoundTrip) {
+  Harness h(fast());
+  EXPECT_LT(h.a->rtt(0), 0.0);  // no sample yet
+  h.run_until(3.0);
+  // The echoed-hold accounting must recover the pure two-way delay
+  // (2 * 1ms), not delay + hold time at the peer.
+  EXPECT_NEAR(h.a->rtt(0), 2e-3, 2e-4);
+  EXPECT_NEAR(h.b->rtt(0), 2e-3, 2e-4);
+}
+
+TEST(NetNeighbor, RttForgottenAcrossOutage) {
+  Harness h(fast());
+  h.run_until(2.0);
+  EXPECT_GT(h.a->rtt(0), 0.0);
+  h.drop_b_to_a = true;
+  h.run_until(4.0);
+  EXPECT_FALSE(h.a->link_up(0));
+  EXPECT_LT(h.a->rtt(0), 0.0);  // stale samples dropped on link-down
+  h.drop_b_to_a = false;
+  h.run_until(6.0);
+  EXPECT_NEAR(h.a->rtt(0), 2e-3, 2e-4);  // re-learned after revival
+}
+
+TEST(NetNeighbor, HelloOnUnknownLinkIsIgnored) {
+  Harness h(fast());
+  h.a->on_hello(42, 1, 0, 0.0);
+  EXPECT_FALSE(h.a->link_up(42));
+  h.run_until(1.0);
+  EXPECT_TRUE(h.a->link_up(0));
+}
+
+TEST(NetNeighbor, StopCancelsHeartbeat) {
+  Harness h(fast());
+  h.run_until(1.0);
+  const std::uint64_t sent = h.a->hellos_sent();
+  h.a->stop();
+  h.b->stop();
+  h.run_until(3.0);
+  EXPECT_EQ(h.a->hellos_sent(), sent);
+  EXPECT_TRUE(h.sched.empty());
+}
+
+}  // namespace
+}  // namespace dgmc::net

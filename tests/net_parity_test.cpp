@@ -1,0 +1,135 @@
+// Cross-backend parity: the same spec-driven membership sequence runs
+// through the socket backend (real UDP on loopback, wall clock) and the
+// DES backend (simulated clock), and both must agree — same installed
+// trees, same member lists — because the protocol objects are the same
+// code driven through rt::Executor.
+//
+// This is the in-tree version of `dgmc_nethost --des-compare`, sized to
+// the ISSUE acceptance floor (16 switches). Two determinism rules make
+// wall-clock parity reliable (learned the hard way):
+//   1. Protocol time constants (computation_time) scale with time_scale
+//      exactly like the event times do, or proposal races resolve
+//      differently across backends.
+//   2. Inter-event gaps × time_scale stay well above scheduler jitter
+//      (several ms), so event ordering survives the wall clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "mc/algorithm.hpp"
+#include "net/cluster.hpp"
+#include "sim/network.hpp"
+#include "sim/spec.hpp"
+
+namespace dgmc::net {
+namespace {
+
+using sim::SoakEvent;
+using sim::SoakSpec;
+using sim::SpecError;
+
+// Embedded so the test binary does not depend on a source-tree path.
+// Mirrors specs/net_churn.spec: 16-switch waxman, flash-crowd join
+// storm on mc 1, Poisson churn on mc 2, generous inter-event gaps.
+constexpr const char* kSpecText = R"(
+name net-parity
+network waxman 16 seed=11
+delay uniform 1ms
+timing tc=10ms perhop=4us
+option algorithm=incremental resync=on dualdetect=off reliable=on
+soak duration=12s phases=1 trials=1 seed=42
+churn flashcrowd mc=1 start=0.5s members=10 alpha=1.5 scale=40ms
+churn poisson mc=2 start=1s members=3 events=6 gap=1500ms
+)";
+
+std::vector<std::pair<int, int>> canonical_edges(const trees::Topology& t) {
+  std::vector<std::pair<int, int>> edges;
+  for (const graph::Edge& e : t.edges()) {
+    edges.emplace_back(std::min(e.a, e.b), std::max(e.a, e.b));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+TEST(NetParity, LoopbackMatchesDesOnSpecChurn) {
+  const auto parsed = SoakSpec::parse(kSpecText);
+  const auto* err = std::get_if<SpecError>(&parsed);
+  ASSERT_EQ(err, nullptr) << (err ? err->message : "");
+  const SoakSpec& spec = std::get<SoakSpec>(parsed);
+  const graph::Graph graph = spec.build_graph();
+  ASSERT_GE(graph.node_count(), 16);
+  const std::vector<mc::McId> mcs = spec.mcs();
+  ASSERT_EQ(mcs.size(), 2u);
+
+  std::vector<SoakEvent> events;
+  for (SoakEvent& ev :
+       sim::ChurnEngine::expand_all(spec, graph, spec.soak_seed)) {
+    if (ev.kind == SoakEvent::Kind::kJoin ||
+        ev.kind == SoakEvent::Kind::kLeave) {
+      events.push_back(ev);
+    }
+  }
+  ASSERT_GT(events.size(), 10u);
+
+  // --- Socket backend (wall clock, compressed 4x) ---
+  const double time_scale = 0.25;
+  NetCluster::Config config;
+  config.sw.dgmc = spec.network_params().dgmc;
+  config.sw.dgmc.computation_time *= time_scale;
+  if (config.sw.dgmc.incremental_computation_time > 0.0) {
+    config.sw.dgmc.incremental_computation_time *= time_scale;
+  }
+  config.time_scale = time_scale;
+  config.max_wall = 30.0;
+  const auto net_algorithm = mc::make_incremental_algorithm();
+  NetCluster cluster(graph, *net_algorithm, config);
+  const NetCluster::RunResult r = cluster.run(events, mcs);
+  ASSERT_TRUE(r.converged) << "loopback run did not converge";
+  EXPECT_EQ(r.events_applied, events.size());
+
+  // --- DES backend (simulated clock, uncompressed) ---
+  sim::DgmcNetwork des(graph, spec.network_params(),
+                       mc::make_incremental_algorithm());
+  for (const SoakEvent& ev : events) {
+    if (ev.kind == SoakEvent::Kind::kJoin) {
+      des.scheduler().schedule_at(ev.at, [&des, ev] {
+        des.join(ev.node, ev.mcid, ev.type, ev.role);
+      });
+    } else {
+      des.scheduler().schedule_at(ev.at,
+                                  [&des, ev] { des.leave(ev.node, ev.mcid); });
+    }
+  }
+  des.run_to_quiescence();
+
+  for (mc::McId mcid : mcs) {
+    ASSERT_TRUE(des.converged(mcid)) << "DES not converged for mc " << mcid;
+    EXPECT_EQ(canonical_edges(des.agreed_topology(mcid)),
+              canonical_edges(cluster.agreed_topology(mcid)))
+        << "installed trees differ for mc " << mcid;
+
+    std::vector<graph::NodeId> des_members, net_members;
+    for (int n = 0; n < des.size(); ++n) {
+      if (des.switch_at(n).has_state(mcid)) {
+        des_members = des.switch_at(n).members(mcid)->all();
+        break;
+      }
+    }
+    for (int n = 0; n < cluster.size(); ++n) {
+      if (cluster.at(n).dgmc().has_state(mcid)) {
+        net_members = cluster.at(n).dgmc().members(mcid)->all();
+        break;
+      }
+    }
+    EXPECT_EQ(des_members, net_members)
+        << "member lists differ for mc " << mcid;
+  }
+}
+
+}  // namespace
+}  // namespace dgmc::net

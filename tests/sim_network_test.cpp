@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "des/scheduler.hpp"
+
 #include "graph/generators.hpp"
 #include "mc/validation.hpp"
 #include "sim/params.hpp"

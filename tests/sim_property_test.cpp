@@ -3,6 +3,8 @@
 // valid topology — the protocol's end-to-end safety invariant (the
 // paper's omitted correctness proof, checked by simulation).
 #include <gtest/gtest.h>
+
+#include "des/scheduler.hpp"
 #include <set>
 #include <string>
 
