@@ -1,0 +1,146 @@
+#include "check/backward.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace dgmc::check {
+
+namespace {
+
+bool fault_like(const Injection& inj) {
+  switch (inj.kind) {
+    case Injection::Kind::kLinkDown:
+    case Injection::Kind::kLinkUp:
+    case Injection::Kind::kCrash:
+    case Injection::Kind::kRestart:
+      return true;
+    case Injection::Kind::kJoin:
+    case Injection::Kind::kLeave:
+      return false;
+  }
+  return false;
+}
+
+/// Every integer appearing in the violation's detail string — the
+/// switch and link ids its witness named. Candidates touching these ids
+/// are ranked first: the violation happened *somewhere*, and a fault at
+/// that somewhere is the likeliest trigger.
+std::set<std::int64_t> mentioned_ids(const std::string& detail) {
+  std::set<std::int64_t> out;
+  std::size_t i = 0;
+  while (i < detail.size()) {
+    if (std::isdigit(static_cast<unsigned char>(detail[i])) != 0) {
+      std::int64_t v = 0;
+      while (i < detail.size() &&
+             std::isdigit(static_cast<unsigned char>(detail[i])) != 0) {
+        v = v * 10 + (detail[i] - '0');
+        ++i;
+      }
+      out.insert(v);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string plan_to_string(const fault::FaultPlan& plan) {
+  if (plan.crashes.empty() && plan.flaps.empty()) return "empty schedule";
+  std::string out;
+  for (const fault::SwitchCrash& c : plan.crashes) {
+    if (!out.empty()) out += ", ";
+    out += "crash/restart switch " + std::to_string(c.node);
+  }
+  for (const fault::LinkFlap& f : plan.flaps) {
+    if (!out.empty()) out += ", ";
+    out += "flap link " + std::to_string(f.link);
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioSpec strip_faults(const ScenarioSpec& witness) {
+  ScenarioSpec base = witness;
+  base.injections.clear();
+  for (const Injection& inj : witness.injections) {
+    if (!fault_like(inj)) base.injections.push_back(inj);
+  }
+  base.faults = fault::FaultPlan{};
+  return base;
+}
+
+BackwardResult backward_search(const ScenarioSpec& witness,
+                               const Violation& target,
+                               const SearchLimits& limits) {
+  BackwardResult out;
+  const ScenarioSpec base = strip_faults(witness);
+  const std::set<std::int64_t> hot = mentioned_ids(target.detail);
+
+  // Candidate schedules, smallest-first. Fault times are nominal: the
+  // explorer interleaves calendar events freely, so only the schedule's
+  // *content* matters (crash must precede restart on the calendar, and
+  // the explorer may still no-op them in either order).
+  std::vector<fault::FaultPlan> candidates;
+  candidates.emplace_back();  // pure churn
+  auto ranked = [&hot](std::int32_t id) { return hot.count(id) == 0; };
+  std::vector<graph::NodeId> nodes(
+      static_cast<std::size_t>(base.graph.node_count()));
+  for (graph::NodeId n = 0; n < base.graph.node_count(); ++n) {
+    nodes[static_cast<std::size_t>(n)] = n;
+  }
+  std::stable_sort(nodes.begin(), nodes.end(),
+                   [&](graph::NodeId a, graph::NodeId b) {
+                     return ranked(a) < ranked(b);
+                   });
+  for (graph::NodeId n : nodes) {
+    fault::FaultPlan plan;
+    plan.crashes.push_back(
+        fault::SwitchCrash{n, /*crash_at=*/1.0, /*restart_at=*/2.0});
+    candidates.push_back(std::move(plan));
+  }
+  std::vector<graph::LinkId> links(
+      static_cast<std::size_t>(base.graph.link_count()));
+  for (graph::LinkId l = 0; l < base.graph.link_count(); ++l) {
+    links[static_cast<std::size_t>(l)] = l;
+  }
+  std::stable_sort(links.begin(), links.end(),
+                   [&](graph::LinkId a, graph::LinkId b) {
+                     return ranked(a) < ranked(b);
+                   });
+  for (graph::LinkId l : links) {
+    fault::FaultPlan plan;
+    plan.flaps.push_back(fault::LinkFlap{l, /*down_at=*/1.0, /*up_at=*/2.0});
+    candidates.push_back(std::move(plan));
+  }
+
+  for (fault::FaultPlan& plan : candidates) {
+    ScenarioSpec spec = base;
+    const bool has_faults = !plan.crashes.empty() || !plan.flaps.empty();
+    spec.faults = plan;
+    // Strict oracles presuppose a crash- and loss-free run; under an
+    // injected fault they fire spuriously and would mask the target.
+    if (has_faults) spec.strict_oracles = false;
+    ++out.candidates_tried;
+    SearchResult r = explore_dfs(spec, limits);
+    const bool hit =
+        r.violation.has_value() && r.violation->oracle == target.oracle;
+    out.log.push_back(plan_to_string(plan) + ": " +
+                      (hit ? "reproduces '" + target.oracle + "'"
+                           : (r.violation.has_value()
+                                  ? "different oracle ('" +
+                                        r.violation->oracle + "')"
+                                  : "no violation")));
+    if (hit) {
+      out.found = true;
+      out.schedule = std::move(plan);
+      out.scenario = std::move(spec);
+      out.search = std::move(r);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace dgmc::check

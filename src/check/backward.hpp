@@ -1,0 +1,61 @@
+// Backward, fault-directed search (dgmc_check explore --backward).
+//
+// Forward exploration asks "does any interleaving of THIS scenario
+// violate an oracle?". Backward search inverts the question, following
+// Helmy, Estrin & Gupta's fault-oriented test generation: given a
+// recorded invariant violation, find a *fault schedule* — a placement
+// of switch crash/restart cycles or link flaps — under which the
+// violation is reachable again from a fault-free script. The driver:
+//
+//   1. Strip the witness scenario of its fault-like external events
+//      (link-down/up, crash/restart injections, any installed fault
+//      plan), keeping the membership churn that defines the workload.
+//   2. Enumerate candidate fault schedules smallest-first: the empty
+//      schedule (pure churn reproduces some violations on its own),
+//      then every single-switch crash/restart cycle, then every
+//      single-link flap — each ranked so that switches and links named
+//      in the violation's detail string are tried first.
+//   3. Forward-explore each candidate scenario (reduction honored; the
+//      schedule's calendar events become explorer-controlled kFault
+//      actions it interleaves freely) and accept the first candidate
+//      whose search violates the SAME oracle.
+//
+// The result is a minimal-by-construction fault schedule plus the
+// violating search, whose trace replays like any other counterexample.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+
+namespace dgmc::check {
+
+struct BackwardResult {
+  /// True when some candidate schedule reproduced the target oracle.
+  bool found = false;
+  /// The accepted fault schedule (empty = pure churn suffices).
+  fault::FaultPlan schedule;
+  /// The scenario the accepted schedule was installed into.
+  ScenarioSpec scenario;
+  /// The violating forward search under `schedule`.
+  SearchResult search;
+  std::size_t candidates_tried = 0;
+  /// One human-readable line per candidate tried, verdict included.
+  std::vector<std::string> log;
+};
+
+/// Strips fault-like events from `witness` (step 1 above). Exposed for
+/// tests; backward_search applies it internally.
+ScenarioSpec strip_faults(const ScenarioSpec& witness);
+
+/// Runs the backward search for a violation of `target.oracle` seen on
+/// `witness` (steps 2-3). Each candidate's forward search runs under
+/// `limits` (reduction included); strict oracles are disabled for
+/// non-empty schedules — they presuppose a crash-free run and would
+/// fire spuriously under an injected fault.
+BackwardResult backward_search(const ScenarioSpec& witness,
+                               const Violation& target,
+                               const SearchLimits& limits);
+
+}  // namespace dgmc::check

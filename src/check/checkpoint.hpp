@@ -25,6 +25,17 @@
 // an arena whose high-water mark is ceil(max_depth / k) + 1 snapshots
 // per driver. Parallel subtree tasks each own a private pool (snapshots
 // are bound to one Executor's object graph and must not cross tasks).
+//
+// Reduction state (DESIGN.md §12): sleep sets and enabled-action
+// signatures are deliberately NOT part of Executor::Snapshot. They are
+// path metadata — a function of the choice prefix, not of the state —
+// and live in the DFS driver's frame stack, which backtracking unwinds
+// in lockstep with resync targets. A restore therefore never needs to
+// (and must not) touch them: restoring an executor to depth d pairs it
+// with the frames 0..d the driver kept, whose sleep sets are exactly
+// those of the re-entered path. This holds at every checkpoint interval
+// and in the parallel frontier mode, whose subtree tasks receive their
+// prefix's sleep set explicitly.
 #pragma once
 
 #include <cstddef>

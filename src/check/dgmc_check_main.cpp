@@ -5,7 +5,10 @@
 //   dgmc_check explore <scenario> [--strategy dfs|delay|random]
 //       [--depth N] [--delays N] [--walks N] [--seed N] [--jobs N]
 //       [--max-transitions N] [--checkpoint-interval N]
-//       [--break-accept] [--trace-out FILE] [--minimize]
+//       [--reduce] [--audit-commutation]
+//       [--break-accept] [--break-destroy] [--break-sync]
+//       [--trace-out FILE] [--minimize]
+//   dgmc_check explore --backward <trace-file> [flags as above]
 //   dgmc_check replay <trace-file> [--step]
 //
 // --jobs N switches the dfs and random strategies onto the parallel
@@ -19,10 +22,25 @@
 // bit-identical at any value; only the reported transitions count —
 // replay-step accounting — varies.
 //
-// Exit status: 0 = no violation, 1 = violation found, 2 = usage or
-// input error. `--break-accept` enables the deliberate protocol fault
-// (accepting proposals without T >= E) used to demonstrate that the
-// oracles catch real bugs; see DESIGN.md §7.
+// --reduce enables partial-order (sleep-set) + symmetry reduction for
+// the dfs and delay strategies (DESIGN.md §12): fewer states and
+// transitions, same violation verdict. --audit-commutation additionally
+// re-executes every independent-classified action pair in both orders
+// and asserts the states agree (slow; a debugging harness for the
+// independence relation).
+//
+// --backward FILE runs fault-directed backward search: FILE must be a
+// violating trace; its fault-like events are stripped and small fault
+// schedules (crash/restart cycles, link flaps) are enumerated until a
+// forward search reproduces a violation of the same oracle.
+//
+// Exit status: 0 = no violation, 1 = violation found (for --backward: a
+// schedule found), 2 = usage or input error. `--break-accept`,
+// `--break-destroy` and `--break-sync` enable the deliberate protocol
+// faults (accepting proposals without T >= E; destroying state on
+// empty membership without the R >= E guard; resyncing without the
+// sync-floor guard) used to demonstrate that the oracles catch real
+// bugs; see DESIGN.md §7 and §12.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +50,7 @@
 #include <variant>
 #include <vector>
 
+#include "check/backward.hpp"
 #include "check/executor.hpp"
 #include "check/explorer.hpp"
 #include "check/minimize.hpp"
@@ -50,9 +69,13 @@ int usage() {
                "           [--depth N] [--delays N] [--walks N] [--seed N]\n"
                "           [--jobs N] [--max-transitions N] "
                "[--checkpoint-interval N]\n"
-               "           [--break-accept] [--trace-out FILE] "
-               "[--minimize]\n"
+               "           [--reduce] [--audit-commutation]\n"
+               "           [--break-accept] [--break-destroy] "
+               "[--break-sync]\n"
+               "           [--trace-out FILE] [--minimize]\n"
                "       dgmc_check explore --spec FILE [--spec-injections N] "
+               "[flags as above]\n"
+               "       dgmc_check explore --backward <trace-file> "
                "[flags as above]\n"
                "       dgmc_check replay <trace-file> [--step]\n");
   return 2;
@@ -62,6 +85,9 @@ int cmd_list() {
   for (const ScenarioSpec& s : scenarios()) {
     std::printf("%-22s %s\n", s.name.c_str(), s.description.c_str());
   }
+  for (const ScenarioSpec& s : symmetric_scenarios()) {
+    std::printf("%-22s %s\n", s.name.c_str(), s.description.c_str());
+  }
   return 0;
 }
 
@@ -69,9 +95,9 @@ void print_stats(const char* strategy, const SearchStats& st,
                  bool exhaustive) {
   std::printf(
       "[%s] transitions=%zu executions=%zu states=%zu pruned=%zu "
-      "depth-cutoffs=%zu max-depth=%zu%s\n",
+      "sleep-pruned=%zu depth-cutoffs=%zu max-depth=%zu%s\n",
       strategy, st.transitions, st.executions, st.states_seen, st.pruned,
-      st.depth_cutoffs, st.max_depth_reached,
+      st.sleep_pruned, st.depth_cutoffs, st.max_depth_reached,
       exhaustive ? " (exhaustive within depth bound)" : "");
 }
 
@@ -100,8 +126,11 @@ int cmd_explore(int argc, char** argv) {
   std::string strategy = "dfs";
   std::string trace_out;
   std::string spec_path;
+  std::string backward_path;
   std::size_t spec_injections = 8;  // full churn scripts are unsearchable
   bool break_accept = false;
+  bool break_destroy = false;
+  bool break_sync = false;
   bool do_minimize = false;
   bool parallel = false;
   std::size_t jobs = 0;
@@ -153,8 +182,20 @@ int cmd_explore(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       spec_injections = std::stoul(v);
+    } else if (arg == "--backward") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      backward_path = v;
+    } else if (arg == "--reduce") {
+      limits.reduce = true;
+    } else if (arg == "--audit-commutation") {
+      limits.audit_commutation = true;
     } else if (arg == "--break-accept") {
       break_accept = true;
+    } else if (arg == "--break-destroy") {
+      break_destroy = true;
+    } else if (arg == "--break-sync") {
+      break_sync = true;
     } else if (arg == "--minimize") {
       do_minimize = true;
     } else if (arg == "--trace-out") {
@@ -165,6 +206,55 @@ int cmd_explore(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage();
     }
+  }
+
+  if (!backward_path.empty()) {
+    // Backward, fault-directed mode: FILE is a violating trace. Replay
+    // it to learn the target oracle, then search fault schedules.
+    if (!scenario_name.empty() || !spec_path.empty()) {
+      std::fprintf(stderr,
+                   "--backward is exclusive with a scenario name/--spec\n");
+      return usage();
+    }
+    std::string error;
+    std::optional<Trace> trace = load_trace(backward_path, &error);
+    if (!trace.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::optional<ScenarioSpec> witness = resolve_spec(*trace, &error);
+    if (!witness.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    ReplayResult rr = replay(*witness, *trace);
+    if (rr.divergence.has_value()) {
+      std::fprintf(stderr, "DIVERGENCE: %s\n", rr.divergence->c_str());
+      return 2;
+    }
+    if (!rr.violation.has_value()) {
+      std::fprintf(stderr, "trace %s reproduces no violation; --backward "
+                           "needs a violating trace\n",
+                   backward_path.c_str());
+      return 2;
+    }
+    std::printf("target violation from %s:\n", backward_path.c_str());
+    print_violation(*rr.violation);
+    BackwardResult bw = backward_search(*witness, *rr.violation, limits);
+    for (const std::string& line : bw.log) {
+      std::printf("  candidate %s\n", line.c_str());
+    }
+    std::printf("backward search: %zu candidate schedule(s) tried\n",
+                bw.candidates_tried);
+    if (!bw.found) {
+      std::printf("no fault schedule reproduces [%s]\n",
+                  rr.violation->oracle.c_str());
+      return 0;
+    }
+    print_stats("backward-dfs", bw.search.stats, bw.search.exhaustive);
+    print_violation(*bw.search.violation);
+    print_trace(bw.search.trace, bw.search.annotations);
+    return 1;
   }
 
   ScenarioSpec spec;
@@ -203,11 +293,20 @@ int cmd_explore(int argc, char** argv) {
     spec = *base;
   }
   spec.params.dgmc.accept_stale_proposals = break_accept;
+  spec.params.dgmc.premature_destroy_on_empty = break_destroy;
+  spec.params.dgmc.unguarded_sync = break_sync;
 
   std::printf("scenario %s: %s\n", spec.name.c_str(),
               spec.description.c_str());
   if (break_accept) {
     std::printf("NOTE: deliberate fault enabled (accept_stale_proposals)\n");
+  }
+  if (break_destroy) {
+    std::printf(
+        "NOTE: deliberate fault enabled (premature_destroy_on_empty)\n");
+  }
+  if (break_sync) {
+    std::printf("NOTE: deliberate fault enabled (unguarded_sync)\n");
   }
 
   SearchResult result;

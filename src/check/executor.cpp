@@ -154,6 +154,41 @@ std::uint64_t Executor::fingerprint() {
   return h;
 }
 
+std::uint64_t Executor::canonical_fingerprint(
+    const std::vector<graph::Permutation>& syms) {
+  DGMC_ASSERT(!syms.empty());
+  std::uint64_t best = ~std::uint64_t{0};
+  std::vector<des::EventTag> tags;
+  for (const graph::Permutation& p : syms) {
+    std::uint64_t h = net_->fingerprint(p);
+    h = util::hash_mix(h, next_injection_);
+    tags.clear();
+    for (const auto& pe : net_->scheduler().pending_events()) {
+      des::EventTag t = pe.tag;
+      t.node = p.map_node(t.node);
+      t.peer = p.map_node(t.peer);
+      t.link = p.map_link(t.link);
+      t.digest = 0;  // digests embed switch ids; (origin, seq) suffices
+      tags.push_back(t);
+    }
+    std::sort(tags.begin(), tags.end(), [](const des::EventTag& a,
+                                           const des::EventTag& b) {
+      return std::tie(a.kind, a.node, a.peer, a.seq, a.link) <
+             std::tie(b.kind, b.node, b.peer, b.seq, b.link);
+    });
+    for (const des::EventTag& t : tags) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(t.kind));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(t.node));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(t.peer));
+      h = util::hash_mix(h, t.seq);
+      h = util::hash_mix(h, static_cast<std::uint64_t>(t.link));
+    }
+    h = util::hash_mix(h, tags.size());
+    best = std::min(best, h);
+  }
+  return best;
+}
+
 std::optional<Violation> Executor::check_install_monotone() {
   for (mc::McId mcid : spec_.mcs()) {
     for (graph::NodeId n = 0; n < net_->size(); ++n) {

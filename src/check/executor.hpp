@@ -78,6 +78,18 @@ class Executor {
   /// in clock value behave identically under explorer control.
   std::uint64_t fingerprint();
 
+  /// Symmetry-canonical state hash: the minimum, over the scenario's
+  /// automorphism group (scenario_symmetries), of the fingerprint the
+  /// relabeled state would produce — so two states that differ only by
+  /// a permutation of interchangeable switches hash to one class.
+  /// Content digests are dropped (they embed switch ids); (origin, seq)
+  /// identifies every in-flight LSA instead, which is sound because
+  /// per-origin sequence counters are monotone and survive crashes.
+  /// NOT comparable with fingerprint() values — a search must use one
+  /// convention throughout. `syms` must contain the identity.
+  std::uint64_t canonical_fingerprint(
+      const std::vector<graph::Permutation>& syms);
+
   /// Evaluates the oracle catalog against the current state (the
   /// quiescence group only when done()). Also advances the
   /// install-monotonicity watch, so call exactly once per state.

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "check/checkpoint.hpp"
+#include "check/reduction.hpp"
 #include "exec/fingerprint_set.hpp"
 #include "exec/pool.hpp"
+#include "graph/permutation.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -17,11 +20,142 @@ namespace dgmc::check {
 
 namespace {
 
+/// One recorded exploration of a state: the remaining depth budget it
+/// had and the sleep set it started with. A new visit is covered (and
+/// prunable) iff some entry had at least as much budget AND a sleep set
+/// no larger — it explored a superset of the transitions this visit
+/// would. Without reduction every sleep set is empty and the vector
+/// degenerates to the historical single budget-per-fingerprint rule.
+struct VisitEntry {
+  std::size_t budget = 0;
+  std::vector<ActionSig> sleep;
+};
+
+using VisitedMap = std::unordered_map<std::uint64_t, std::vector<VisitEntry>>;
+
+bool visit_covered(const std::vector<VisitEntry>& entries, std::size_t budget,
+                   const std::vector<ActionSig>& sleep) {
+  for (const VisitEntry& e : entries) {
+    if (e.budget >= budget && sleep_subset(e.sleep, sleep)) return true;
+  }
+  return false;
+}
+
+void visit_record(std::vector<VisitEntry>& entries, std::size_t budget,
+                  std::vector<ActionSig> sleep) {
+  // Drop entries the new exploration dominates, so the vector stays
+  // minimal (and exactly one entry deep in unreduced mode).
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const VisitEntry& e) {
+                                 return budget >= e.budget &&
+                                        sleep_subset(sleep, e.sleep);
+                               }),
+                entries.end());
+  entries.push_back(VisitEntry{budget, std::move(sleep)});
+}
+
+/// Reduction-aware dedup visit for a state entered with sleep set
+/// `sleep` and `remaining` budget. Returns true when a recorded
+/// exploration fully covers this visit (prune). Otherwise records the
+/// visit and returns false — and, in reduce mode, applies Godefroid's
+/// state-caching + sleep-set rule: transitions that prior
+/// sufficient-budget visits already explored (the complement of the
+/// intersection I of their sleep sets) are added to `sleep`, so the
+/// re-expansion walks only what those visits missed. The recorded
+/// entry's sleep set is then S ∩ I — after this visit, everything
+/// outside it has been explored with >= `remaining` budget.
+bool dedup_visit(std::vector<VisitEntry>& entries, std::size_t remaining,
+                 bool reduce, const std::vector<ActionSig>& enabled,
+                 std::vector<ActionSig>& sleep) {
+  if (visit_covered(entries, remaining, sleep)) return true;
+  if (!reduce) {
+    visit_record(entries, remaining, sleep);
+    return false;
+  }
+  bool any = false;
+  std::vector<ActionSig> inter;  // I: what every prior visit left asleep
+  for (const VisitEntry& e : entries) {
+    if (e.budget < remaining) continue;
+    if (!any) {
+      inter = e.sleep;
+      any = true;
+    } else {
+      std::vector<ActionSig> next;
+      std::set_intersection(inter.begin(), inter.end(), e.sleep.begin(),
+                            e.sleep.end(), std::back_inserter(next));
+      inter = std::move(next);
+    }
+  }
+  if (!any) {
+    visit_record(entries, remaining, sleep);
+    return false;
+  }
+  std::vector<ActionSig> record;  // S ∩ I
+  std::set_intersection(sleep.begin(), sleep.end(), inter.begin(),
+                        inter.end(), std::back_inserter(record));
+  std::vector<ActionSig> effective;  // enabled \ ((enabled \ S) ∩ I)
+  for (const ActionSig& s : enabled) {
+    if (sleep_contains(sleep, s) || !sleep_contains(inter, s)) {
+      effective.push_back(s);
+    }
+  }
+  std::sort(effective.begin(), effective.end());
+  effective.erase(std::unique(effective.begin(), effective.end()),
+                  effective.end());
+  visit_record(entries, remaining, std::move(record));
+  sleep = std::move(effective);
+  return false;
+}
+
+/// Sleep set a child inherits when `chosen` is executed at a state with
+/// enabled signatures `sigs`, sleep set `sleep`, and siblings
+/// 0..chosen-1 already explored (Godefroid): everything slept or
+/// already explored that is independent of the chosen action.
+std::vector<ActionSig> child_sleep_set(const std::vector<ActionSig>& sigs,
+                                       const std::vector<ActionSig>& sleep,
+                                       std::size_t chosen) {
+  std::vector<ActionSig> out;
+  for (const ActionSig& t : sleep) {
+    if (independent(t, sigs[chosen])) out.push_back(t);
+  }
+  for (std::size_t d = 0; d < chosen; ++d) {
+    if (independent(sigs[d], sigs[chosen])) out.push_back(sigs[d]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ActionSig> enabled_sigs(Executor& exec) {
+  std::vector<ActionSig> out;
+  out.reserve(exec.enabled().size());
+  for (const Executor::Action& a : exec.enabled()) {
+    out.push_back(action_sig(a));
+  }
+  return out;
+}
+
+/// Runs the commutation audit over every independent-classified pair of
+/// enabled actions at the executor's current state (the
+/// SearchLimits::audit_commutation harness). Asserts on disagreement.
+void audit_state(Executor& exec, const std::vector<ActionSig>& sigs) {
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    for (std::size_t j = i + 1; j < sigs.size(); ++j) {
+      if (!independent(sigs[i], sigs[j])) continue;
+      DGMC_ASSERT_MSG(audit_commutation(exec, i, j),
+                      "independence relation mis-classified a pair: the two "
+                      "execution orders disagree");
+    }
+  }
+}
+
 Trace trace_for(const ScenarioSpec& spec,
                 const std::vector<std::uint32_t>& choices) {
   Trace t;
   t.scenario = spec.name;
   t.accept_stale_proposals = spec.params.dgmc.accept_stale_proposals;
+  t.premature_destroy_on_empty = spec.params.dgmc.premature_destroy_on_empty;
+  t.unguarded_sync = spec.params.dgmc.unguarded_sync;
   t.choices = choices;
   return t;
 }
@@ -97,11 +231,25 @@ struct DfsDriver {
     std::size_t next_choice = 0;
     std::size_t num_enabled = 0;
     std::size_t delay_left = 0;  // delay strategy only
+    /// Reduction mode only: signatures of the enabled actions at this
+    /// frame's state (index-aligned with enabled()) and the sleep set
+    /// the state was entered with. Both are pure path metadata — they
+    /// live on the driver's stack, not in Executor snapshots, so
+    /// checkpoint restores leave them untouched by construction.
+    std::vector<ActionSig> sigs;
+    std::vector<ActionSig> sleep;
   };
 
   const ScenarioSpec& spec;
   const SearchLimits& limits;
   const bool delay_mode;
+  const bool reduce;
+  /// Scenario automorphism group (identity-first); fingerprints are
+  /// canonicalized over it only when it is non-trivial — canonical and
+  /// plain fingerprints are different hash domains and one search must
+  /// use one convention throughout.
+  std::vector<graph::Permutation> syms;
+  bool use_canonical = false;
 
   SearchResult result;
   std::vector<Frame> frames;
@@ -109,12 +257,14 @@ struct DfsDriver {
   std::unique_ptr<Executor> exec;
   bool in_sync = true;
   bool truncated = false;
-  /// fingerprint -> largest remaining depth budget already explored
-  /// from that state. Re-expansion is sound only with a larger budget.
-  std::unordered_map<std::uint64_t, std::size_t> visited;
+  /// fingerprint -> recorded explorations (budget + sleep set); see
+  /// VisitEntry for the covering rule.
+  VisitedMap visited;
 
   // Parallel-subtree hooks (see struct comment).
   std::vector<std::uint32_t> prefix;
+  /// Sleep set of the prefix state (frontier phase computed it).
+  std::vector<ActionSig> prefix_sleep;
   exec::FingerprintSet* filter = nullptr;
   const std::atomic<std::size_t>* cancel_best = nullptr;
   std::size_t task_index = 0;
@@ -125,9 +275,19 @@ struct DfsDriver {
   CheckpointStack ckpt{limits.checkpoint_interval, ckpt_pool};
 
   DfsDriver(const ScenarioSpec& s, const SearchLimits& l, bool delay)
-      : spec(s), limits(l), delay_mode(delay) {}
+      : spec(s), limits(l), delay_mode(delay), reduce(l.reduce) {
+    if (reduce) {
+      syms = scenario_symmetries(spec);
+      use_canonical = !delay_mode && syms.size() > 1;
+    }
+  }
 
   std::size_t depth_now() const { return prefix.size() + choices.size(); }
+
+  std::uint64_t state_fp() {
+    return use_canonical ? exec->canonical_fingerprint(syms)
+                         : exec->fingerprint();
+  }
 
   std::vector<std::uint32_t> full_choices() const {
     std::vector<std::uint32_t> full = prefix;
@@ -169,7 +329,7 @@ struct DfsDriver {
         return std::move(result);
       }
       if (!delay_mode && limits.dedup) {
-        visited[exec->fingerprint()] = limits.max_depth;
+        visit_record(visited[state_fp()], limits.max_depth, {});
       }
     } else {
       // Subtree task: the frontier phase already verified the prefix
@@ -180,9 +340,12 @@ struct DfsDriver {
     // Anchor checkpoint at the search root, so resync() always finds a
     // snapshot and never falls back to a full replay.
     if (ckpt.enabled()) ckpt.save(*exec, depth_now());
-    frames.push_back(
-        Frame{0, exec->enabled().size(),
-              delay_mode ? limits.delay_budget : std::size_t{0}});
+    Frame root{0, exec->enabled().size(),
+               delay_mode ? limits.delay_budget : std::size_t{0}};
+    if (reduce || limits.audit_commutation) root.sigs = enabled_sigs(*exec);
+    root.sleep = prefix_sleep;
+    if (limits.audit_commutation) audit_state(*exec, root.sigs);
+    frames.push_back(std::move(root));
 
     while (!frames.empty()) {
       if (cancelled()) {
@@ -204,6 +367,13 @@ struct DfsDriver {
         continue;
       }
       ++f.next_choice;
+      if (reduce && sleep_contains(f.sleep, f.sigs[choice])) {
+        // Sleeping transition: the interleaving executing it first was
+        // (or will be) explored from an ancestor, and it commutes with
+        // everything on the path since — skipping costs no coverage.
+        ++result.stats.sleep_pruned;
+        continue;
+      }
       const std::size_t child_delay_left =
           delay_mode ? f.delay_left - choice : std::size_t{0};
 
@@ -239,23 +409,30 @@ struct DfsDriver {
         in_sync = false;
         continue;
       }
+      // The child's sleep set must be derived from the *parent* frame
+      // before that frame reference can be invalidated by the push.
+      std::vector<ActionSig> child_sleep;
+      if (reduce) child_sleep = child_sleep_set(f.sigs, f.sleep, choice);
+      std::vector<ActionSig> child_sigs;
+      if (reduce || limits.audit_commutation) child_sigs = enabled_sigs(*exec);
       const std::size_t remaining = limits.max_depth - depth_now();
       if (!delay_mode && limits.dedup) {
-        const std::uint64_t fp = exec->fingerprint();
+        const std::uint64_t fp = state_fp();
         if (filter != nullptr) filter->insert(fp);
-        auto [it, inserted] = visited.try_emplace(fp, remaining);
-        if (!inserted) {
-          if (it->second >= remaining) {
-            ++result.stats.pruned;
-            choices.pop_back();
-            in_sync = false;
-            continue;
-          }
-          it->second = remaining;
+        std::vector<VisitEntry>& entries = visited[fp];
+        if (dedup_visit(entries, remaining, reduce, child_sigs, child_sleep)) {
+          ++result.stats.pruned;
+          choices.pop_back();
+          in_sync = false;
+          continue;
         }
       }
       ckpt.maybe_save(*exec, depth_now());
-      frames.push_back(Frame{0, exec->enabled().size(), child_delay_left});
+      Frame child{0, exec->enabled().size(), child_delay_left};
+      child.sigs = std::move(child_sigs);
+      child.sleep = std::move(child_sleep);
+      if (limits.audit_commutation) audit_state(*exec, child.sigs);
+      frames.push_back(std::move(child));
     }
 
     result.stats.states_seen = visited.size();
@@ -280,8 +457,15 @@ bool equivalent_results(const SearchResult& a, const SearchResult& b,
   const SearchStats& y = b.stats;
   if (compare_transitions && x.transitions != y.transitions) return false;
   return x.executions == y.executions && x.states_seen == y.states_seen &&
-         x.pruned == y.pruned && x.depth_cutoffs == y.depth_cutoffs &&
+         x.pruned == y.pruned && x.sleep_pruned == y.sleep_pruned &&
+         x.depth_cutoffs == y.depth_cutoffs &&
          x.max_depth_reached == y.max_depth_reached;
+}
+
+bool equivalent_violation_sets(const SearchResult& a, const SearchResult& b) {
+  if (a.violation.has_value() != b.violation.has_value()) return false;
+  return !a.violation.has_value() ||
+         a.violation->oracle == b.violation->oracle;
 }
 
 SearchResult explore_dfs(const ScenarioSpec& spec, const SearchLimits& limits) {
@@ -450,8 +634,21 @@ SearchResult explore_dfs_parallel(const ScenarioSpec& spec,
   jobs = exec::resolve_jobs(jobs);
   SearchResult result;
   exec::FingerprintSet filter(/*log2_capacity=*/21);
-  std::unordered_map<std::uint64_t, std::size_t> visited;
+  VisitedMap visited;
   bool truncated = false;
+
+  // Reduction state shared by both phases (see DfsDriver): the frontier
+  // phase threads sleep sets along its prefixes and the subtree tasks
+  // inherit them, so the decomposition stays job-count independent.
+  std::vector<graph::Permutation> syms;
+  bool use_canonical = false;
+  if (limits.reduce) {
+    syms = scenario_symmetries(spec);
+    use_canonical = syms.size() > 1;
+  }
+  auto state_fp = [&](Executor& ex) {
+    return use_canonical ? ex.canonical_fingerprint(syms) : ex.fingerprint();
+  };
 
   // --- Phase 1: serial breadth-first frontier expansion. Checks every
   // state it passes, so a violation within the frontier depth is found
@@ -459,16 +656,20 @@ SearchResult explore_dfs_parallel(const ScenarioSpec& spec,
   // parameter, not a function of the job count: the decomposition into
   // subtree tasks — and therefore every statistic — is identical at
   // any DGMC_JOBS.
-  std::vector<std::vector<std::uint32_t>> frontier;
+  struct Prefix {
+    std::vector<std::uint32_t> choices;
+    std::vector<ActionSig> sleep;  // reduction mode only
+  };
+  std::vector<Prefix> frontier;
   {
     Executor ex(spec);
     if (auto v = ex.check()) {
       finish(result, spec, {}, std::move(v));
       return result;
     }
-    const std::uint64_t fp = ex.fingerprint();
+    const std::uint64_t fp = state_fp(ex);
     filter.insert(fp);
-    if (limits.dedup) visited[fp] = limits.max_depth;
+    if (limits.dedup) visit_record(visited[fp], limits.max_depth, {});
     if (ex.done()) {
       result.stats.executions = 1;
       result.stats.states_seen = filter.size();
@@ -483,27 +684,38 @@ SearchResult explore_dfs_parallel(const ScenarioSpec& spec,
   Executor::Snapshot parent_snap;
   const bool snapshot_children = limits.checkpoint_interval != 0;
   while (!frontier.empty() && frontier.size() < limits.frontier_width) {
-    std::vector<std::vector<std::uint32_t>> next;
-    for (const std::vector<std::uint32_t>& p : frontier) {
+    std::vector<Prefix> next;
+    for (const Prefix& p : frontier) {
       const std::unique_ptr<Executor> parent =
-          replay_prefix(spec, p, result.stats);
+          replay_prefix(spec, p.choices, result.stats);
       const std::size_t n = parent->enabled().size();
+      std::vector<ActionSig> sigs;
+      if (limits.reduce || limits.audit_commutation) {
+        sigs = enabled_sigs(*parent);
+      }
+      if (limits.audit_commutation) audit_state(*parent, sigs);
       if (snapshot_children) parent->save(parent_snap);
+      bool parent_dirty = false;
       for (std::size_t c = 0; c < n; ++c) {
+        if (limits.reduce && sleep_contains(p.sleep, sigs[c])) {
+          ++result.stats.sleep_pruned;
+          continue;
+        }
         std::unique_ptr<Executor> replayed;
         Executor* child;
         if (snapshot_children) {
           // Siblings expand in the same Executor: rewind to the parent
           // state instead of replaying the prefix from scratch.
-          if (c > 0) parent->restore(parent_snap);
+          if (parent_dirty) parent->restore(parent_snap);
           child = parent.get();
+          parent_dirty = true;
         } else {
-          replayed = replay_prefix(spec, p, result.stats);
+          replayed = replay_prefix(spec, p.choices, result.stats);
           child = replayed.get();
         }
         child->step(c);
         ++result.stats.transitions;
-        std::vector<std::uint32_t> cp = p;
+        std::vector<std::uint32_t> cp = p.choices;
         cp.push_back(static_cast<std::uint32_t>(c));
         result.stats.max_depth_reached =
             std::max(result.stats.max_depth_reached, cp.size());
@@ -516,25 +728,27 @@ SearchResult explore_dfs_parallel(const ScenarioSpec& spec,
           ++result.stats.executions;
           continue;
         }
-        const std::uint64_t fp = child->fingerprint();
+        const std::uint64_t fp = state_fp(*child);
         filter.insert(fp);
         if (cp.size() >= limits.max_depth) {
           ++result.stats.depth_cutoffs;
           truncated = true;
           continue;
         }
+        std::vector<ActionSig> child_sleep;
+        if (limits.reduce) child_sleep = child_sleep_set(sigs, p.sleep, c);
+        std::vector<ActionSig> child_sigs;
+        if (limits.reduce) child_sigs = enabled_sigs(*child);
         const std::size_t remaining = limits.max_depth - cp.size();
         if (limits.dedup) {
-          auto [it, inserted] = visited.try_emplace(fp, remaining);
-          if (!inserted) {
-            if (it->second >= remaining) {
-              ++result.stats.pruned;
-              continue;
-            }
-            it->second = remaining;
+          std::vector<VisitEntry>& entries = visited[fp];
+          if (dedup_visit(entries, remaining, limits.reduce, child_sigs,
+                          child_sleep)) {
+            ++result.stats.pruned;
+            continue;
           }
         }
-        next.push_back(std::move(cp));
+        next.push_back(Prefix{std::move(cp), std::move(child_sleep)});
       }
     }
     frontier = std::move(next);
@@ -563,7 +777,8 @@ SearchResult explore_dfs_parallel(const ScenarioSpec& spec,
         return;
       }
       DfsDriver driver(spec, limits, /*delay=*/false);
-      driver.prefix = frontier[t];
+      driver.prefix = frontier[t].choices;
+      driver.prefix_sleep = frontier[t].sleep;
       driver.visited = visited;
       driver.filter = &filter;
       driver.cancel_best = &best;

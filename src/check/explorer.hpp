@@ -63,6 +63,30 @@ struct SearchLimits {
   /// raise it to trade resync time for snapshot memory on deeper
   /// searches, BENCH_check_explore tracks the ratio.
   std::size_t checkpoint_interval = 1;
+  /// Partial-order + symmetry reduction (DESIGN.md §12, the --reduce
+  /// flag): sleep-set pruning over the independence relation in
+  /// check/reduction.hpp, plus — for the dfs strategies, when the
+  /// scenario has non-trivial symmetries — canonicalized state
+  /// fingerprints that fold switch-relabeling-equivalent states into
+  /// one dedup class. Sound for violation *existence*: a reduced dfs
+  /// reports a violation iff the unreduced dfs does (the skipped
+  /// interleavings commute into explored ones; symmetric states violate
+  /// symmetric oracles together), but the specific witness trace, the
+  /// first violation's detail string, and the execution statistics may
+  /// all differ from the unreduced run — compare with
+  /// equivalent_violation_sets, not equivalent_results. Within reduced
+  /// mode the full determinism contract still holds: identical results
+  /// at any checkpoint_interval and job count. Under the delay
+  /// strategy, sleep pruning can skip a schedule whose commuted
+  /// equivalent lies outside the delay budget — reduction there trades
+  /// delay-metric coverage for speed.
+  bool reduce = false;
+  /// Debug harness: before every expansion the driver re-executes each
+  /// independent-classified enabled pair in both orders from a snapshot
+  /// and asserts the state fingerprints agree (check/reduction.hpp).
+  /// Catches independence-relation bugs loudly; costs O(enabled²)
+  /// transitions per state, so it is for tests and small scenarios.
+  bool audit_commutation = false;
 };
 
 struct SearchStats {
@@ -70,6 +94,7 @@ struct SearchStats {
   std::size_t executions = 0;    // complete or cut-off executions examined
   std::size_t states_seen = 0;   // distinct fingerprints (dfs only)
   std::size_t pruned = 0;        // dfs expansions skipped via dedup
+  std::size_t sleep_pruned = 0;  // transitions skipped via sleep sets
   std::size_t depth_cutoffs = 0; // executions truncated by max_depth
   std::size_t max_depth_reached = 0;
 };
@@ -95,6 +120,14 @@ struct SearchResult {
 /// transitions must match bit-for-bit too (e.g. across job counts).
 bool equivalent_results(const SearchResult& a, const SearchResult& b,
                         bool compare_transitions = false);
+
+/// The reduced-vs-unreduced contract: both searches agree on whether a
+/// violation exists and, when one does, on which oracle fired. Witness
+/// traces, detail strings (which name specific switches — symmetric
+/// states violate under relabeled witnesses) and statistics
+/// legitimately differ between a reduced and an unreduced search; for
+/// two runs of the SAME configuration use equivalent_results instead.
+bool equivalent_violation_sets(const SearchResult& a, const SearchResult& b);
 
 SearchResult explore_dfs(const ScenarioSpec& spec, const SearchLimits& limits);
 SearchResult explore_delay_bounded(const ScenarioSpec& spec,

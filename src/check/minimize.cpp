@@ -18,7 +18,16 @@ bool still_violates(Trace& candidate, const std::string& oracle,
   std::optional<ScenarioSpec> spec = resolve_spec(candidate, &error);
   if (!spec.has_value()) return false;
   ++out->searches;
-  SearchResult result = explore_dfs(*spec, limits);
+  // Minimization probes always search unreduced: a reduced probe covers
+  // interleavings only up to commutation/symmetry, so it could fail to
+  // rediscover the specific witness a candidate drop still admits —
+  // rejecting a drop that is actually minimizable — and the witness it
+  // does return must replay under the plain, reduction-free Executor
+  // semantics that `dgmc_check replay` uses.
+  SearchLimits probe = limits;
+  probe.reduce = false;
+  probe.audit_commutation = false;
+  SearchResult result = explore_dfs(*spec, probe);
   if (!result.violation.has_value() || result.violation->oracle != oracle) {
     return false;
   }

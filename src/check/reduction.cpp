@@ -1,0 +1,120 @@
+#include "check/reduction.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dgmc::check {
+
+namespace {
+
+using Kind = des::EventTag::Kind;
+
+/// Event kinds whose handlers touch only the tagged switch's state
+/// (plus freshly enqueued messages). Faults mutate topology, opaque
+/// events are unknown, heartbeats drive cross-switch watchdogs: all
+/// conservatively dependent.
+bool reducible_kind(Kind k) {
+  return k == Kind::kDelivery || k == Kind::kAck || k == Kind::kRetransmit ||
+         k == Kind::kCompute;
+}
+
+/// Switches whose per-origin FIFO chains the action can extend: the
+/// acting switch itself, plus — for deliveries and retransmits, which
+/// forward or (re)send copies of origin `peer`'s LSA — that origin.
+/// Executing such an action can enqueue new copies of `peer`'s LSAs at
+/// other switches, and a *lower-seq* copy landing at a receiver with a
+/// pending higher-seq copy of the same origin retracts that pending
+/// action under the min-seq rule.
+bool in_footprint(const des::EventTag& t, std::int32_t node) {
+  if (t.node == node) return true;
+  if ((t.kind == Kind::kDelivery || t.kind == Kind::kRetransmit) &&
+      t.peer == node) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ActionSig action_sig(const Executor::Action& a) {
+  ActionSig s;
+  if (a.kind == Executor::Action::Kind::kInjection) {
+    s.is_injection = true;
+    s.injection = static_cast<std::uint32_t>(a.injection);
+  } else {
+    s.tag = a.tag;
+  }
+  return s;
+}
+
+bool independent(const ActionSig& a, const ActionSig& b) {
+  if (a.is_injection || b.is_injection) return false;
+  if (!reducible_kind(a.tag.kind) || !reducible_kind(b.tag.kind)) return false;
+  // Same switch: handlers read-modify-write the same protocol state.
+  if (a.tag.node == b.tag.node) return false;
+  // A delivery stays enabled only while it is the min-seq pending copy
+  // for its (receiver, origin) pair; any action that can inject copies
+  // of that origin's LSAs — or that runs at the origin itself — may
+  // disturb the chain and is dependent.
+  if (a.tag.kind == Kind::kDelivery && in_footprint(b.tag, a.tag.peer)) {
+    return false;
+  }
+  if (b.tag.kind == Kind::kDelivery && in_footprint(a.tag, b.tag.peer)) {
+    return false;
+  }
+  return true;
+}
+
+bool sleep_contains(const std::vector<ActionSig>& sleep, const ActionSig& s) {
+  return std::binary_search(sleep.begin(), sleep.end(), s);
+}
+
+bool sleep_subset(const std::vector<ActionSig>& a,
+                  const std::vector<ActionSig>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+namespace {
+
+/// Index of the enabled action matching `sig`, or npos.
+std::size_t find_sig(Executor& exec, const ActionSig& sig) {
+  const auto& acts = exec.enabled();
+  for (std::size_t k = 0; k < acts.size(); ++k) {
+    if (action_sig(acts[k]) == sig) return k;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+bool audit_commutation(Executor& exec, std::size_t i, std::size_t j) {
+  DGMC_ASSERT(i != j);
+  const ActionSig si = action_sig(exec.enabled()[i]);
+  const ActionSig sj = action_sig(exec.enabled()[j]);
+
+  Executor::Snapshot at_s;
+  exec.save(at_s);
+
+  auto run_pair = [&](const ActionSig& first, const ActionSig& second,
+                      std::uint64_t* fp) {
+    const std::size_t a = find_sig(exec, first);
+    if (a == static_cast<std::size_t>(-1)) return false;
+    exec.step(a);
+    const std::size_t b = find_sig(exec, second);
+    if (b == static_cast<std::size_t>(-1)) return false;  // not preserved
+    exec.step(b);
+    *fp = exec.fingerprint();
+    return true;
+  };
+
+  std::uint64_t fp_ij = 0;
+  std::uint64_t fp_ji = 0;
+  bool ok = run_pair(si, sj, &fp_ij);
+  exec.restore(at_s);
+  ok = ok && run_pair(sj, si, &fp_ji);
+  exec.restore(at_s);
+  return ok && fp_ij == fp_ji;
+}
+
+}  // namespace dgmc::check

@@ -1,0 +1,87 @@
+// Partial-order reduction primitives for the exploration strategies.
+//
+// Three pieces (DESIGN.md §12):
+//
+//   ActionSig      — calendar-independent identity of an enabled action.
+//                    Scheduler EventIds are allocation order and differ
+//                    between two interleavings reaching the same state;
+//                    sleep sets and the commutation audit need an
+//                    identity that survives reordering, which the event
+//                    tag (plus the script index for injections)
+//                    provides.
+//
+//   independent()  — the static independence relation sleep sets prune
+//                    with (Godefroid). Two actions are independent when
+//                    they provably commute — executing them in either
+//                    order reaches the same state — AND each leaves the
+//                    other enabled. Deliberately conservative: only
+//                    tagged protocol events (deliveries, acks,
+//                    retransmit timers, computation completions) at
+//                    DIFFERENT switches qualify, and never two actions
+//                    whose per-(receiver, origin) FIFO chains could
+//                    interact. Injections (they advance the shared
+//                    script cursor), faults, heartbeats and opaque
+//                    events are dependent on everything.
+//
+//   audit_commutation() — the runtime harness that *checks* the claim:
+//                    execute the pair in both orders from a snapshot and
+//                    compare state fingerprints. Wired into the DFS
+//                    drivers behind SearchLimits::audit_commutation and
+//                    exercised directly by check_reduction_test; any
+//                    independence-relation bug fails loudly instead of
+//                    silently dropping interleavings.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "check/executor.hpp"
+
+namespace dgmc::check {
+
+/// Calendar-independent identity of an enabled action (see file
+/// comment). Total order + equality so sleep sets can live in sorted
+/// vectors.
+struct ActionSig {
+  bool is_injection = false;
+  std::uint32_t injection = 0;  // script index (is_injection)
+  des::EventTag tag{};          // event identity  (!is_injection)
+
+  friend auto tie(const ActionSig& s) {
+    return std::make_tuple(s.is_injection, s.injection,
+                           static_cast<std::uint8_t>(s.tag.kind), s.tag.node,
+                           s.tag.peer, s.tag.seq, s.tag.link, s.tag.digest);
+  }
+  friend bool operator==(const ActionSig& a, const ActionSig& b) {
+    return tie(a) == tie(b);
+  }
+  friend bool operator<(const ActionSig& a, const ActionSig& b) {
+    return tie(a) < tie(b);
+  }
+};
+
+ActionSig action_sig(const Executor::Action& a);
+
+/// True when the two actions provably commute and preserve each other's
+/// enabledness (the sleep-set soundness requirement). Symmetric.
+bool independent(const ActionSig& a, const ActionSig& b);
+
+/// Sorted-vector sleep set: `subset` is the dedup-table dominance test
+/// (a stored exploration with sleep set S covers a new visit with sleep
+/// set S' iff S ⊆ S' — it explored a superset of the transitions).
+bool sleep_contains(const std::vector<ActionSig>& sleep, const ActionSig& s);
+bool sleep_subset(const std::vector<ActionSig>& a,
+                  const std::vector<ActionSig>& b);
+
+/// Runtime commutation check: from the executor's current state, runs
+/// enabled()[i] then enabled()[j]'s signature-matched counterpart, and
+/// the same pair in the opposite order, comparing the resulting state
+/// fingerprints; the executor is restored to its entry state either
+/// way. Returns false when the two orders disagree (the independence
+/// relation mis-classified the pair) or a counterpart action
+/// disappeared (enabledness was not preserved). Does not call check(),
+/// so the install-monotone watch is untouched.
+bool audit_commutation(Executor& exec, std::size_t i, std::size_t j);
+
+}  // namespace dgmc::check

@@ -41,8 +41,40 @@ std::unique_ptr<sim::DgmcNetwork> build_network(const ScenarioSpec& spec) {
   auto algorithm = spec.incremental_algorithm
                        ? mc::make_incremental_algorithm()
                        : mc::make_from_scratch_algorithm();
-  return std::make_unique<sim::DgmcNetwork>(spec.graph, spec.params,
-                                            std::move(algorithm));
+  auto net = std::make_unique<sim::DgmcNetwork>(spec.graph, spec.params,
+                                                std::move(algorithm));
+  if (!spec.faults.flaps.empty() || !spec.faults.crashes.empty()) {
+    // The checker's transition system is lossless: only scheduled
+    // flaps/crashes may carry over. Stochastic fields would make the
+    // executor's behavior depend on decision-draw order, breaking
+    // choice-trace reproducibility.
+    DGMC_ASSERT(spec.faults.iid_loss == 0.0 && !spec.faults.use_burst &&
+                spec.faults.max_extra_delay == 0.0);
+    net->install_faults(spec.faults, /*seed=*/1);
+  }
+  return net;
+}
+
+std::vector<graph::Permutation> scenario_symmetries(const ScenarioSpec& spec) {
+  auto fixes_script = [&spec](const graph::Permutation& p) {
+    for (const Injection& inj : spec.injections) {
+      if (p.map_node(inj.node) != inj.node) return false;
+      if (p.map_link(inj.link) != inj.link) return false;
+    }
+    for (const fault::LinkFlap& f : spec.faults.flaps) {
+      if (p.map_link(f.link) != f.link) return false;
+    }
+    for (const fault::SwitchCrash& c : spec.faults.crashes) {
+      if (p.map_node(c.node) != c.node) return false;
+    }
+    return true;
+  };
+  std::vector<graph::Permutation> out;
+  for (graph::Permutation& p : graph::graph_automorphisms(spec.graph)) {
+    if (fixes_script(p)) out.push_back(std::move(p));
+  }
+  DGMC_ASSERT(!out.empty() && out.front().is_identity());
+  return out;
 }
 
 ScenarioSpec scenario_from_soak(const sim::SoakSpec& soak,
@@ -157,6 +189,20 @@ graph::Graph line(int n) {
   return g;
 }
 
+graph::Graph ring(int n) {
+  graph::Graph g(n);
+  for (int i = 0; i < n; ++i) g.add_link(i, (i + 1) % n);
+  return g;
+}
+
+graph::Graph star(int n) {
+  // Hub 0, leaves 1..n-1. Any leaf permutation fixing the script is an
+  // automorphism — the largest symmetry group per switch count.
+  graph::Graph g(n);
+  for (int i = 1; i < n; ++i) g.add_link(0, i);
+  return g;
+}
+
 graph::Graph diamond() {
   // 4-cycle plus one chord: two distinct paths between every pair, so a
   // single link failure never partitions.
@@ -264,6 +310,48 @@ std::vector<ScenarioSpec> make_catalog() {
   return out;
 }
 
+std::vector<ScenarioSpec> make_symmetric_catalog() {
+  std::vector<ScenarioSpec> out;
+
+  {
+    // C6 with the script pinned to the 0–3 axis: the reflection
+    // swapping 1<->5 and 2<->4 survives, so every interleaving has a
+    // mirror twin the canonicalizer folds away.
+    ScenarioSpec s;
+    s.name = "ring6-crash";
+    s.description =
+        "6 switches in a ring, 1 MC with partition_resync: joins at 0 "
+        "and 3, then 3 crashes and restarts. The 0-3 mirror symmetry "
+        "halves the reachable class count under --reduce.";
+    s.graph = ring(6);
+    s.params.dgmc.partition_resync = true;
+    s.injections = {join(0, 1), join(3, 1), crash(3), restart(3)};
+    s.strict_oracles = false;
+    out.push_back(std::move(s));
+  }
+  {
+    // Hub-and-spoke with only hub and one leaf scripted: leaves 2-5
+    // stay interchangeable (4! = 24 automorphisms), the steepest
+    // symmetry-reduction ratio in the catalog. The crash/restart of
+    // leaf 1 rides the calendar as fault events, making this the bench
+    // scenario for fault-aware reduction.
+    ScenarioSpec s;
+    s.name = "star6-crash";
+    s.description =
+        "6 switches in a star (hub 0), 1 MC with partition_resync: "
+        "joins at hub and leaf 1, scheduled crash/restart of leaf 1 via "
+        "a fault plan. Leaves 2-5 are interchangeable under --reduce.";
+    s.graph = star(6);
+    s.params.dgmc.partition_resync = true;
+    s.injections = {join(0, 1), join(1, 1)};
+    s.faults.crashes = {{/*node=*/1, /*crash_at=*/1.0, /*restart_at=*/2.0}};
+    s.strict_oracles = false;
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
 }  // namespace
 
 const std::vector<ScenarioSpec>& scenarios() {
@@ -271,8 +359,16 @@ const std::vector<ScenarioSpec>& scenarios() {
   return catalog;
 }
 
+const std::vector<ScenarioSpec>& symmetric_scenarios() {
+  static const std::vector<ScenarioSpec> catalog = make_symmetric_catalog();
+  return catalog;
+}
+
 const ScenarioSpec* find_scenario(std::string_view name) {
   for (const ScenarioSpec& s : scenarios()) {
+    if (s.name == name) return &s;
+  }
+  for (const ScenarioSpec& s : symmetric_scenarios()) {
     if (s.name == name) return &s;
   }
   return nullptr;

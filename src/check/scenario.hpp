@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "graph/permutation.hpp"
 #include "sim/network.hpp"
 #include "sim/spec.hpp"
 
@@ -62,6 +64,14 @@ struct ScenarioSpec {
   /// switch legitimately ends with gaps those oracles would flag.
   bool strict_oracles = true;
 
+  /// Scheduled faults installed into the network before exploration
+  /// (stochastic loss/jitter fields must stay zero — the checker's
+  /// transition system is lossless; only flaps and crashes carry over).
+  /// Their calendar events become explorer-controlled kFault actions.
+  /// Backward search (check/backward.hpp) enumerates values of this
+  /// field to hunt for a fault schedule reproducing a violation.
+  fault::FaultPlan faults;
+
   /// MC ids this scenario's script touches, ascending.
   std::vector<mc::McId> mcs() const;
 };
@@ -69,8 +79,23 @@ struct ScenarioSpec {
 /// The built-in scenario catalog (see `dgmc_check list`).
 const std::vector<ScenarioSpec>& scenarios();
 
-/// Looks up a catalog scenario by name; nullptr if unknown.
+/// Symmetric companion catalog: scenarios built on graphs with
+/// non-trivial automorphism groups (rings, stars) whose scripts leave
+/// some of that symmetry unbroken. Kept separate from scenarios() so
+/// the primary catalog's size stays a stable regression anchor; both
+/// catalogs are searchable through find_scenario.
+const std::vector<ScenarioSpec>& symmetric_scenarios();
+
+/// Looks up a scenario by name in both catalogs; nullptr if unknown.
 const ScenarioSpec* find_scenario(std::string_view name);
+
+/// The scenario's usable symmetry group: graph automorphisms (same
+/// adjacency, costs, delays) that also fix every injection in the
+/// ordered script and every scheduled fault — the script is a sequence,
+/// not a set, so a permutation that maps injection i to injection j != i
+/// changes the transition system and must be discarded. Always contains
+/// the identity (first); size 1 means symmetry reduction is a no-op.
+std::vector<graph::Permutation> scenario_symmetries(const ScenarioSpec& spec);
 
 /// Builds a fresh network for one execution of the spec.
 std::unique_ptr<sim::DgmcNetwork> build_network(const ScenarioSpec& spec);

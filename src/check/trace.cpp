@@ -31,6 +31,9 @@ std::optional<ScenarioSpec> resolve_spec(const Trace& trace,
     spec = *base;
   }
   spec.params.dgmc.accept_stale_proposals = trace.accept_stale_proposals;
+  spec.params.dgmc.premature_destroy_on_empty =
+      trace.premature_destroy_on_empty;
+  spec.params.dgmc.unguarded_sync = trace.unguarded_sync;
   std::vector<std::size_t> drops = trace.dropped_injections;
   std::sort(drops.begin(), drops.end(), std::greater<>());
   for (std::size_t d : drops) {
@@ -54,6 +57,12 @@ std::string trace_to_string(const Trace& trace,
   out << "scenario " << trace.scenario << "\n";
   if (trace.accept_stale_proposals) {
     out << "option accept_stale_proposals 1\n";
+  }
+  if (trace.premature_destroy_on_empty) {
+    out << "option premature_destroy_on_empty 1\n";
+  }
+  if (trace.unguarded_sync) {
+    out << "option unguarded_sync 1\n";
   }
   if (!trace.spec_text.empty()) {
     // Embed the soak spec verbatim, each line guarded by "| " so the
@@ -125,6 +134,10 @@ std::optional<Trace> load_trace(const std::string& path, std::string* error) {
       if (!(tokens >> key >> value)) return fail("option needs key + value");
       if (key == "accept_stale_proposals") {
         trace.accept_stale_proposals = value != 0;
+      } else if (key == "premature_destroy_on_empty") {
+        trace.premature_destroy_on_empty = value != 0;
+      } else if (key == "unguarded_sync") {
+        trace.unguarded_sync = value != 0;
       } else {
         return fail("unknown option: " + key);
       }

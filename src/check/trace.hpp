@@ -22,6 +22,10 @@ struct Trace {
   std::string scenario;
   /// Mirrors DgmcConfig::accept_stale_proposals (the test-only fault).
   bool accept_stale_proposals = false;
+  /// Mirrors DgmcConfig::premature_destroy_on_empty.
+  bool premature_destroy_on_empty = false;
+  /// Mirrors DgmcConfig::unguarded_sync.
+  bool unguarded_sync = false;
   /// Indices into the catalog scenario's injection script removed
   /// before building the network (written by the minimizer); choices
   /// are relative to the reduced script.

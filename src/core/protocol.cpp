@@ -1,7 +1,10 @@
 #include "core/protocol.hpp"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
+#include "graph/permutation.hpp"
 #include "util/assert.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
@@ -156,7 +159,10 @@ void DgmcSwitch::receive(const McLsa& lsa) {
   // covered; only events beyond it count. (Found by dgmc_check on
   // diamond-crash-recover: heard-within-known violation.)
   if (lsa.event != McEventType::kNone) {
-    if (lsa.stamp[lsa.source] > st.sync_floor[lsa.source]) {
+    // unguarded_sync (TEST-ONLY) drops the floor check, restoring the
+    // double-count bug for the check subsystem's regression traces.
+    if (config_.unguarded_sync ||
+        lsa.stamp[lsa.source] > st.sync_floor[lsa.source]) {
       st.r.increment(lsa.source);
     }
     if (lsa.event != McEventType::kLink) {
@@ -262,7 +268,10 @@ McSync DgmcSwitch::export_sync(mc::McId mcid) const {
     // count names no identifiable set and a receiver merging it could
     // double-count events when the missing LSAs arrive. Claiming 0
     // merely defers teaching to a quiescent (R == E) sender.
-    entry.events_heard = st->r[y] == st->e[y] ? st->r[y] : 0;
+    // unguarded_sync (TEST-ONLY) advertises the raw count regardless of
+    // completeness — the original double-count bug's other half.
+    entry.events_heard =
+        (config_.unguarded_sync || st->r[y] == st->e[y]) ? st->r[y] : 0;
     entry.member_event_index = st->member_event_applied[y];
     entry.is_member = member;
     entry.role = st->members.role_of(y);
@@ -533,7 +542,9 @@ void DgmcSwitch::maybe_destroy(mc::McId mcid) {
   // that leave would otherwise create state, destroy it immediately and
   // then trust the late join.) At quiescence R == E holds everywhere,
   // so a member-less MC is still reclaimed on the last delivery.
-  if (!st->r.dominates(st->e)) return;
+  // premature_destroy_on_empty (TEST-ONLY) skips the guard, restoring
+  // the original bug for the check subsystem's regression traces.
+  if (!config_.premature_destroy_on_empty && !st->r.dominates(st->e)) return;
   ++counters_.states_destroyed;
   states_.erase(mcid);
 }
@@ -541,13 +552,33 @@ void DgmcSwitch::maybe_destroy(mc::McId mcid) {
 // --- Introspection ---
 
 namespace {
-std::uint64_t mix_stamp(std::uint64_t h, const VectorTimestamp& t) {
-  for (graph::NodeId i = 0; i < t.size(); ++i) h = util::hash_mix(h, t[i]);
+/// Node-indexed vector: component i of the relabeled stamp is the
+/// original's component at the preimage of i.
+std::uint64_t mix_stamp(std::uint64_t h, const VectorTimestamp& t,
+                        const graph::Permutation* p) {
+  for (graph::NodeId i = 0; i < t.size(); ++i) {
+    h = util::hash_mix(h, t[p == nullptr ? i : p->node_inv[i]]);
+  }
   return h;
 }
 
-std::uint64_t mix_topology(std::uint64_t h, const trees::Topology& t) {
-  for (const graph::Edge& e : t.edges()) {  // canonical: sorted, unique
+std::uint64_t mix_topology(std::uint64_t h, const trees::Topology& t,
+                           const graph::Permutation* p) {
+  if (p == nullptr) {
+    for (const graph::Edge& e : t.edges()) {  // canonical: sorted, unique
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.a));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.b));
+    }
+    return util::hash_mix(h, t.edge_count());
+  }
+  // Relabeling breaks the stored sort order; re-normalize and re-sort.
+  std::vector<graph::Edge> edges;
+  edges.reserve(t.edges().size());
+  for (const graph::Edge& e : t.edges()) {
+    edges.emplace_back(p->map_node(e.a), p->map_node(e.b));
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const graph::Edge& e : edges) {
     h = util::hash_mix(h, static_cast<std::uint64_t>(e.a));
     h = util::hash_mix(h, static_cast<std::uint64_t>(e.b));
   }
@@ -555,23 +586,47 @@ std::uint64_t mix_topology(std::uint64_t h, const trees::Topology& t) {
 }
 }  // namespace
 
-std::uint64_t DgmcSwitch::fingerprint(std::uint64_t h) const {
+std::uint64_t DgmcSwitch::fingerprint(std::uint64_t h,
+                                      const graph::Permutation* p) const {
   h = util::hash_mix(h, alive_ ? 1 : 2);
   for (const auto& [mcid, st] : states_) {  // std::map: stable order
     h = util::hash_mix(h, static_cast<std::uint64_t>(mcid));
     h = util::hash_mix(h, static_cast<std::uint64_t>(st.type));
-    for (const mc::MemberList::Entry& e : st.members.entries()) {
-      h = util::hash_mix(h, static_cast<std::uint64_t>(e.node));
-      h = util::hash_mix(h, static_cast<std::uint64_t>(e.role));
+    if (p == nullptr) {
+      for (const mc::MemberList::Entry& e : st.members.entries()) {
+        h = util::hash_mix(h, static_cast<std::uint64_t>(e.node));
+        h = util::hash_mix(h, static_cast<std::uint64_t>(e.role));
+      }
+    } else {
+      std::vector<std::pair<graph::NodeId, std::uint64_t>> members;
+      members.reserve(st.members.entries().size());
+      for (const mc::MemberList::Entry& e : st.members.entries()) {
+        members.emplace_back(p->map_node(e.node),
+                             static_cast<std::uint64_t>(e.role));
+      }
+      std::sort(members.begin(), members.end());
+      for (const auto& [node, role] : members) {
+        h = util::hash_mix(h, static_cast<std::uint64_t>(node));
+        h = util::hash_mix(h, role);
+      }
     }
-    h = mix_stamp(h, st.r);
-    h = mix_stamp(h, st.e);
-    h = mix_stamp(h, st.c);
-    h = util::hash_mix(h, static_cast<std::uint64_t>(st.c_origin));
-    h = mix_topology(h, st.installed);
+    h = mix_stamp(h, st.r, p);
+    h = mix_stamp(h, st.e, p);
+    h = mix_stamp(h, st.c, p);
+    h = util::hash_mix(
+        h, static_cast<std::uint64_t>(
+               p == nullptr ? st.c_origin : p->map_node(st.c_origin)));
+    h = mix_topology(h, st.installed, p);
     h = util::hash_mix(h, st.make_proposal_flag ? 1 : 2);
-    for (std::uint32_t w : st.member_event_applied) h = util::hash_mix(h, w);
-    h = mix_stamp(h, st.sync_floor);
+    for (std::size_t w = 0; w < st.member_event_applied.size(); ++w) {
+      // Indexed by origin node, so it permutes like a timestamp.
+      h = util::hash_mix(
+          h, st.member_event_applied[p == nullptr
+                                         ? w
+                                         : static_cast<std::size_t>(
+                                               p->node_inv[w])]);
+    }
+    h = mix_stamp(h, st.sync_floor, p);
   }
   if (current_.has_value()) {
     const Computation& c = *current_;
@@ -580,9 +635,10 @@ std::uint64_t DgmcSwitch::fingerprint(std::uint64_t h) const {
     h = util::hash_mix(h, c.event_path ? 1 : 2);
     h = util::hash_mix(h, static_cast<std::uint64_t>(c.event));
     h = util::hash_mix(h, static_cast<std::uint64_t>(c.join_role));
-    h = util::hash_mix(h, static_cast<std::uint64_t>(c.link));
-    h = mix_stamp(h, c.old_r);
-    h = mix_topology(h, c.proposal);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(
+                              p == nullptr ? c.link : p->map_link(c.link)));
+    h = mix_stamp(h, c.old_r, p);
+    h = mix_topology(h, c.proposal, p);
     h = util::hash_mix(h, c.from_scratch ? 1 : 2);
     // Only the *delta* of LSA arrivals since the computation started
     // matters (the line-22 withdrawal guard); absolute counts would

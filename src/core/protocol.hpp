@@ -50,6 +50,10 @@
 #include "mc/algorithm.hpp"
 #include "mc/member_list.hpp"
 
+namespace dgmc::graph {
+struct Permutation;
+}
+
 namespace dgmc::core {
 
 struct DgmcConfig {
@@ -85,6 +89,20 @@ struct DgmcConfig {
   /// the install-monotone/stamp-containment oracles. Never enable
   /// outside of that test.
   bool accept_stale_proposals = false;
+  /// TEST-ONLY fault injection: re-introduces the first protocol bug
+  /// dgmc_check found (see maybe_destroy): destroy per-MC state as soon
+  /// as the member list empties, without requiring R >= E. A leave that
+  /// overtakes an in-flight join flooding then wipes the reordering
+  /// guards and the late join resurrects a departed member. Never
+  /// enable outside the check subsystem's regression tests.
+  bool premature_destroy_on_empty = false;
+  /// TEST-ONLY fault injection: re-introduces the second protocol bug
+  /// dgmc_check found: McSync advertises raw R[y] instead of only
+  /// provably complete (R[y] == E[y]) prefixes, and ReceiveLSA skips
+  /// the sync_floor double-count guard. An McSync racing in-flight
+  /// event LSAs then counts the same event twice, pushing R past E.
+  /// Never enable outside the check subsystem's regression tests.
+  bool unguarded_sync = false;
 };
 
 /// Per-switch, per-MC protocol counters (the paper's metrics inputs).
@@ -216,7 +234,18 @@ class DgmcSwitch {
   /// subsystem's explorer deduplicate states reached by different
   /// interleavings. Counters and absolute lsa_arrivals are excluded:
   /// only the arrival *delta* since computation start affects behavior.
-  std::uint64_t fingerprint(std::uint64_t h) const;
+  ///
+  /// `relabel`, when non-null, hashes the state as if every switch id
+  /// had been renamed through the permutation: node-valued fields map
+  /// through it, node-indexed vectors (timestamps, membership
+  /// watermarks) permute, member lists and topology edges re-sort under
+  /// the new ids, link-valued fields map through the induced link
+  /// permutation. Used by the check subsystem's symmetry reduction:
+  /// fingerprint(h, π) equals what fingerprint(h) would return on the
+  /// actually-relabeled network. Null preserves the historical hash
+  /// bit-for-bit.
+  std::uint64_t fingerprint(std::uint64_t h,
+                            const graph::Permutation* relabel = nullptr) const;
 
  private:
   struct McState {

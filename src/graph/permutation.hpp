@@ -1,0 +1,61 @@
+// Graph relabelings and automorphism enumeration, the foundation of the
+// check subsystem's symmetry reduction (DESIGN.md §12).
+//
+// A Permutation is a node relabeling π together with the link
+// relabeling it induces (link (u,v) maps to the link joining (π(u),
+// π(v))). An automorphism is a permutation that preserves the weighted
+// structure exactly: adjacency, link cost and link delay. Two protocol
+// states that differ only by an automorphism of the underlying graph
+// are behaviorally identical up to renaming, so a state explorer may
+// canonicalize fingerprints over the automorphism group and explore one
+// representative per orbit.
+//
+// Enumeration is plain backtracking over node images with degree and
+// adjacency pruning — exponential in the worst case, but the check
+// scenarios this serves are <= 8 switches, where it is microseconds.
+// `max_count` caps the group (the identity is always first); callers
+// treating the result as "the" group should pick graphs well under the
+// cap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgmc::graph {
+
+struct Permutation {
+  /// node[i] = image of node i; node_inv[node[i]] = i.
+  std::vector<NodeId> node;
+  std::vector<NodeId> node_inv;
+  /// link[l] = image of link l (the link joining the mapped endpoints);
+  /// link_inv is its inverse.
+  std::vector<LinkId> link;
+  std::vector<LinkId> link_inv;
+
+  /// Identity permutation over n nodes / m links.
+  static Permutation identity(int nodes, int links);
+
+  /// Maps a node id; negative ids (kInvalidNode sentinels) pass through.
+  NodeId map_node(NodeId n) const {
+    return n < 0 ? n : node[static_cast<std::size_t>(n)];
+  }
+
+  /// Maps a link id; negative ids (kInvalidLink sentinels) pass through.
+  LinkId map_link(LinkId l) const {
+    return l < 0 ? l : link[static_cast<std::size_t>(l)];
+  }
+
+  bool is_identity() const;
+};
+
+/// Enumerates the automorphism group of `g` (relabelings preserving
+/// adjacency, cost, delay), identity first, then lexicographic by node
+/// image. Stops after `max_count` elements. The initial up/down flags
+/// are ignored — links flap at runtime; callers that relabel state
+/// must permute the flags along with it.
+std::vector<Permutation> graph_automorphisms(const Graph& g,
+                                             std::size_t max_count = 1024);
+
+}  // namespace dgmc::graph

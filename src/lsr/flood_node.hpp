@@ -26,6 +26,7 @@
 // was lost.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/permutation.hpp"
 #include "rt/executor.hpp"
 #include "util/assert.hpp"
 #include "util/hash.hpp"
@@ -234,9 +236,16 @@ class FloodNode {
   // --- Fingerprint pieces (composed by the owning container) ---
 
   /// Folds the dedup history — per-origin high-water marks plus the
-  /// order-independent hash of each `ahead` set — into `h`.
-  std::uint64_t fingerprint_dedup(std::uint64_t h) const {
-    for (const OriginDedup& d : seen_) {
+  /// order-independent hash of each `ahead` set — into `h`. `relabel`
+  /// (symmetry reduction) permutes the origin index; the owning
+  /// container is responsible for iterating nodes in relabeled order.
+  std::uint64_t fingerprint_dedup(
+      std::uint64_t h, const graph::Permutation* relabel = nullptr) const {
+    for (std::size_t i = 0; i < seen_.size(); ++i) {
+      const OriginDedup& d =
+          seen_[relabel == nullptr
+                    ? i
+                    : static_cast<std::size_t>(relabel->node_inv[i])];
       h = util::hash_mix(h, d.next_expected);
       std::uint64_t ahead = 0;
       for (std::uint32_t s : d.ahead) ahead ^= util::hash_mix(0x5eed, s);
@@ -246,14 +255,39 @@ class FloodNode {
   }
 
   /// Folds the unacked-transmission set (std::map: stable order).
-  std::uint64_t fingerprint_pending(std::uint64_t h) const {
+  /// Relabeled mode maps link/node ids, re-sorts under the new ids, and
+  /// drops content digests: (origin, seq) already identifies an LSA's
+  /// payload within a run — per-origin sequence numbers are monotone
+  /// and survive crashes — and digests hash embedded switch ids, which
+  /// would break relabeling equivalence.
+  std::uint64_t fingerprint_pending(
+      std::uint64_t h, const graph::Permutation* relabel = nullptr) const {
+    if (relabel == nullptr) {
+      for (const auto& [key, tx] : pending_) {
+        h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<0>(key)));
+        h = util::hash_mix(h, static_cast<std::uint64_t>(self_));
+        h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<1>(key)));
+        h = util::hash_mix(h, std::get<2>(key));
+        h = util::hash_mix(h, static_cast<std::uint64_t>(tx.retransmits));
+        h = util::hash_mix(h, tx.msg->digest);
+      }
+      return h;
+    }
+    std::vector<std::tuple<graph::LinkId, graph::NodeId, std::uint32_t, int>>
+        mapped;
+    mapped.reserve(pending_.size());
     for (const auto& [key, tx] : pending_) {
-      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<0>(key)));
-      h = util::hash_mix(h, static_cast<std::uint64_t>(self_));
-      h = util::hash_mix(h, static_cast<std::uint64_t>(std::get<1>(key)));
-      h = util::hash_mix(h, std::get<2>(key));
-      h = util::hash_mix(h, static_cast<std::uint64_t>(tx.retransmits));
-      h = util::hash_mix(h, tx.msg->digest);
+      mapped.emplace_back(relabel->map_link(std::get<0>(key)),
+                          relabel->map_node(std::get<1>(key)),
+                          std::get<2>(key), tx.retransmits);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    for (const auto& [link, origin, seq, retransmits] : mapped) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(link));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(relabel->map_node(self_)));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(origin));
+      h = util::hash_mix(h, seq);
+      h = util::hash_mix(h, static_cast<std::uint64_t>(retransmits));
     }
     return h;
   }

@@ -255,6 +255,50 @@ class FloodingNetwork {
     return h;
   }
 
+  /// Relabeled fingerprint (symmetry reduction): hashes the transport
+  /// state as if switch/link ids had been renamed through `relabel` —
+  /// node-indexed sequences iterate in relabeled order, id-valued
+  /// fields map, per-link state permutes with the induced link map, and
+  /// content digests are dropped (see FloodNode::fingerprint_pending).
+  std::uint64_t fingerprint(std::uint64_t h,
+                            const graph::Permutation& relabel) const {
+    const auto node_at = [&](std::size_t m) -> const FloodNode<Payload>& {
+      return *nodes_[static_cast<std::size_t>(relabel.node_inv[m])];
+    };
+    for (std::size_t m = 0; m < nodes_.size(); ++m) {
+      h = node_at(m).fingerprint_dedup(h, &relabel);
+    }
+    for (std::size_t m = 0; m < node_up_.size(); ++m) {
+      h = util::hash_mix(h, node_up_[static_cast<std::size_t>(
+                                relabel.node_inv[m])]);
+    }
+    for (std::size_t m = 0; m < nodes_.size(); ++m) {
+      h = util::hash_mix(h, node_at(m).origin_seq());
+    }
+    for (std::size_t m = 0; m < nodes_.size(); ++m) {
+      h = node_at(m).fingerprint_pending(h, &relabel);
+    }
+    for (std::size_t m = 0; m < inflight_on_link_.size(); ++m) {
+      h = util::hash_mix(
+          h, static_cast<std::uint64_t>(inflight_on_link_[static_cast<
+                 std::size_t>(relabel.link_inv[m])]));
+    }
+    for (std::size_t m = 0; m < link_queue_.size(); ++m) {
+      // Queue order per link is FIFO admission order — behaviorally
+      // relevant, and preserved by relabeling.
+      const auto& q =
+          link_queue_[static_cast<std::size_t>(relabel.link_inv[m])];
+      for (const QueuedTx& entry : q) {
+        h = util::hash_mix(
+            h, static_cast<std::uint64_t>(relabel.map_node(entry.from)));
+        h = util::hash_mix(h, static_cast<std::uint64_t>(
+                                  relabel.map_node(entry.msg->origin)));
+        h = util::hash_mix(h, entry.msg->seq);
+      }
+    }
+    return h;
+  }
+
  private:
   using MessagePtr = typename FloodNode<Payload>::MessagePtr;
 

@@ -321,28 +321,41 @@ void DgmcNetwork::install_faults(const fault::FaultPlan& plan,
   // against the state it expects having been changed by a concurrent
   // fault (a crash downing a flapping link, overlapping crash cycles):
   // the stale half of a cycle degrades to a no-op.
+  // Each scheduled fault event gets a distinct tag: seq encodes the
+  // plan index and the cycle phase (down/crash = 0, up/restart = 1).
+  // Tags identify pending events in the explorer's calendar
+  // fingerprint; with one shared tag, states differing only in *which*
+  // fault timers are still pending would collapse as duplicates and
+  // fault-directed search would silently skip schedules.
   des::EventTag fault_tag;
   fault_tag.kind = des::EventTag::Kind::kFault;
+  std::uint32_t fault_index = 0;
   for (const fault::LinkFlap& f : plan.flaps) {
     DGMC_ASSERT(f.link >= 0 && f.link < physical_.link_count());
     fault_tag.link = f.link;
+    fault_tag.seq = fault_index << 1;
     sched_.schedule_at(f.down_at, fault_tag, [this, f] {
       if (physical_.link(f.link).up) fail_link(f.link);
     });
+    fault_tag.seq = (fault_index << 1) | 1;
     sched_.schedule_at(f.up_at, fault_tag, [this, f] {
       if (!physical_.link(f.link).up) restore_link(f.link);
     });
+    ++fault_index;
   }
   fault_tag.link = -1;
   for (const fault::SwitchCrash& c : plan.crashes) {
     DGMC_ASSERT(physical_.valid_node(c.node));
     fault_tag.node = c.node;
+    fault_tag.seq = fault_index << 1;
     sched_.schedule_at(c.crash_at, fault_tag, [this, c] {
       if (hosts_[c.node].dgmc->alive()) crash_switch(c.node);
     });
+    fault_tag.seq = (fault_index << 1) | 1;
     sched_.schedule_at(c.restart_at, fault_tag, [this, c] {
       if (!hosts_[c.node].dgmc->alive()) restart_switch(c.node);
     });
+    ++fault_index;
   }
 }
 
@@ -373,6 +386,38 @@ std::uint64_t DgmcNetwork::fingerprint() const {
       h = util::hash_mix(h, static_cast<std::uint64_t>(id) + 7);
     }
     h = util::hash_mix(h, links.size());
+  }
+  return h;
+}
+
+std::uint64_t DgmcNetwork::fingerprint(
+    const graph::Permutation& relabel) const {
+  // Mirrors fingerprint() field for field; every sequence indexed by a
+  // switch or link id iterates in relabeled order (position m holds the
+  // state of the preimage of m) and every stored id maps forward.
+  std::uint64_t h = 0x9E3779B9u;
+  for (std::size_t m = 0; m < hosts_.size(); ++m) {
+    h = hosts_[static_cast<std::size_t>(relabel.node_inv[m])]
+            .dgmc->fingerprint(h, &relabel);
+  }
+  for (graph::LinkId id = 0; id < physical_.link_count(); ++id) {
+    h = util::hash_mix(
+        h, physical_.link(relabel.link_inv[static_cast<std::size_t>(id)]).up
+               ? 1
+               : 2);
+  }
+  h = flooding_.fingerprint(h, relabel);
+  for (std::size_t m = 0; m < crashed_links_.size(); ++m) {
+    const auto& links =
+        crashed_links_[static_cast<std::size_t>(relabel.node_inv[m])];
+    std::vector<graph::LinkId> mapped;
+    mapped.reserve(links.size());
+    for (graph::LinkId id : links) mapped.push_back(relabel.map_link(id));
+    std::sort(mapped.begin(), mapped.end());
+    for (graph::LinkId id : mapped) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(id) + 7);
+    }
+    h = util::hash_mix(h, mapped.size());
   }
   return h;
 }

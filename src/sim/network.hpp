@@ -167,6 +167,13 @@ class DgmcNetwork {
   /// recognize states already visited via a different interleaving.
   std::uint64_t fingerprint() const;
 
+  /// Relabeled fingerprint (the check subsystem's symmetry reduction):
+  /// the hash fingerprint() would produce on a network whose switch and
+  /// link ids were renamed through `relabel`. Content digests are
+  /// dropped in this mode (they embed switch ids); (origin, seq)
+  /// identifies each LSA instead. See DESIGN.md §12.
+  std::uint64_t fingerprint(const graph::Permutation& relabel) const;
+
   /// Tf for this network at the configured per-hop overhead.
   double flooding_diameter() const;
 

@@ -1,0 +1,401 @@
+// Partial-order + symmetry reduction suite (DESIGN.md §12). The claims
+// under test, in increasing order of strength:
+//
+//   1. The static independence relation: conservative, symmetric, and
+//      the commutation audit — which re-executes every
+//      independent-classified pair in both orders — confirms it on real
+//      executor states, both directly and across whole explorations.
+//   2. Symmetry machinery: automorphism groups of the generator graphs
+//      have the textbook sizes, scenario scripts break symmetry down to
+//      exactly the documented subgroup, and canonical fingerprints
+//      identify relabeling-equivalent states that plain fingerprints
+//      distinguish.
+//   3. The reduction contract: over both scenario catalogs, a reduced
+//      search reports the same violation set as an unreduced search at
+//      every checkpoint interval in {0, 1, 16} and job count in
+//      {1, 8}; within reduced mode the full determinism contract
+//      (equivalent_results) still holds. The deliberately seeded
+//      protocol bugs stay reachable under reduction.
+//   4. Effectiveness: on the symmetric star6-crash scenario, reduction
+//      shrinks the explored state count by at least 3x (measured ~7x).
+//   5. Backward fault-directed search: fault stripping, and the
+//      smallest-schedule-first enumeration rediscovering an empty
+//      schedule for a churn-only violation.
+#include "check/reduction.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/backward.hpp"
+#include "check/explorer.hpp"
+#include "graph/generators.hpp"
+#include "graph/permutation.hpp"
+
+namespace dgmc::check {
+namespace {
+
+ScenarioSpec spec(const char* name) {
+  const ScenarioSpec* s = find_scenario(name);
+  EXPECT_NE(s, nullptr) << name;
+  return *s;
+}
+
+/// Both catalogs: the 7 primary scenarios plus the symmetric
+/// companions, so the equivalence sweep covers faults, crashes and
+/// non-trivial automorphism groups.
+std::vector<const char*> full_catalog() {
+  std::vector<const char*> names;
+  for (const ScenarioSpec& s : scenarios()) names.push_back(s.name.c_str());
+  EXPECT_EQ(names.size(), 7u);
+  for (const ScenarioSpec& s : symmetric_scenarios()) {
+    names.push_back(s.name.c_str());
+  }
+  EXPECT_EQ(names.size(), 9u);
+  return names;
+}
+
+SearchLimits limits_with(std::size_t interval, std::size_t depth = 8,
+                         bool reduce = false) {
+  SearchLimits limits;
+  limits.max_depth = depth;
+  limits.checkpoint_interval = interval;
+  limits.reduce = reduce;
+  return limits;
+}
+
+ActionSig event_sig(des::EventTag::Kind kind, std::int32_t node,
+                    std::int32_t peer = -1, std::uint32_t seq = 0,
+                    std::int32_t link = -1) {
+  ActionSig s;
+  s.is_injection = false;
+  s.tag.kind = kind;
+  s.tag.node = node;
+  s.tag.peer = peer;
+  s.tag.seq = seq;
+  s.tag.link = link;
+  return s;
+}
+
+ActionSig injection_sig(std::uint32_t index) {
+  ActionSig s;
+  s.is_injection = true;
+  s.injection = index;
+  return s;
+}
+
+using Kind = des::EventTag::Kind;
+
+// --- 1. Independence relation ---------------------------------------
+
+TEST(Independence, InjectionsDependOnEverything) {
+  const ActionSig inj = injection_sig(0);
+  EXPECT_FALSE(independent(inj, injection_sig(1)));
+  EXPECT_FALSE(independent(inj, event_sig(Kind::kCompute, 3)));
+  EXPECT_FALSE(independent(event_sig(Kind::kDelivery, 1, 2), inj));
+}
+
+TEST(Independence, SameSwitchEventsDepend) {
+  EXPECT_FALSE(independent(event_sig(Kind::kCompute, 1),
+                           event_sig(Kind::kDelivery, 1, 0)));
+  EXPECT_FALSE(independent(event_sig(Kind::kAck, 2),
+                           event_sig(Kind::kRetransmit, 2, 0)));
+}
+
+TEST(Independence, DistantProtocolEventsCommute) {
+  // Computations at different switches never interact.
+  EXPECT_TRUE(independent(event_sig(Kind::kCompute, 0),
+                          event_sig(Kind::kCompute, 3)));
+  // Deliveries at different switches from unrelated origins commute.
+  EXPECT_TRUE(independent(event_sig(Kind::kDelivery, 0, /*peer=*/2),
+                          event_sig(Kind::kDelivery, 1, /*peer=*/3)));
+}
+
+TEST(Independence, DeliveryDependsOnEventsAtItsOrigin) {
+  // A delivery's origin switch can forward another (lower-seq) copy to
+  // the same receiver, retracting the pending delivery under the
+  // min-seq FIFO rule — events at the origin are therefore dependent.
+  const ActionSig deliver_from_2 = event_sig(Kind::kDelivery, 0, /*peer=*/2);
+  EXPECT_FALSE(independent(deliver_from_2, event_sig(Kind::kCompute, 2)));
+  EXPECT_FALSE(independent(deliver_from_2, event_sig(Kind::kDelivery, 2, 3)));
+  EXPECT_FALSE(
+      independent(deliver_from_2, event_sig(Kind::kRetransmit, 2, 0)));
+}
+
+TEST(Independence, UntaggedFaultAndHeartbeatEventsDepend) {
+  // Only the four protocol kinds are classified; everything else is
+  // conservatively dependent on everything.
+  EXPECT_FALSE(independent(event_sig(Kind::kFault, 0),
+                           event_sig(Kind::kCompute, 3)));
+  EXPECT_FALSE(independent(event_sig(Kind::kOpaque, 0),
+                           event_sig(Kind::kOpaque, 3)));
+  EXPECT_FALSE(independent(event_sig(Kind::kHeartbeat, 0),
+                           event_sig(Kind::kHeartbeat, 3)));
+}
+
+TEST(Independence, RelationIsSymmetric) {
+  const std::vector<ActionSig> pool = {
+      injection_sig(0),
+      event_sig(Kind::kCompute, 0),
+      event_sig(Kind::kCompute, 2),
+      event_sig(Kind::kDelivery, 0, 2),
+      event_sig(Kind::kDelivery, 2, 0),
+      event_sig(Kind::kDelivery, 1, 3, /*seq=*/4),
+      event_sig(Kind::kRetransmit, 3, 1),
+      event_sig(Kind::kAck, 1, 0),
+      event_sig(Kind::kFault, 2),
+  };
+  for (const ActionSig& a : pool) {
+    for (const ActionSig& b : pool) {
+      EXPECT_EQ(independent(a, b), independent(b, a));
+    }
+  }
+}
+
+TEST(SleepSets, ContainsAndSubsetOnSortedVectors) {
+  std::vector<ActionSig> s = {event_sig(Kind::kCompute, 0),
+                              event_sig(Kind::kCompute, 2),
+                              event_sig(Kind::kDelivery, 1, 3)};
+  std::sort(s.begin(), s.end());
+  EXPECT_TRUE(sleep_contains(s, event_sig(Kind::kCompute, 2)));
+  EXPECT_FALSE(sleep_contains(s, event_sig(Kind::kCompute, 1)));
+  std::vector<ActionSig> sub = {s[0], s[2]};
+  std::sort(sub.begin(), sub.end());
+  EXPECT_TRUE(sleep_subset(sub, s));
+  EXPECT_FALSE(sleep_subset(s, sub));
+  EXPECT_TRUE(sleep_subset({}, sub));
+}
+
+// --- 2. Commutation audit -------------------------------------------
+
+TEST(CommutationAudit, IndependentPairsCommuteAndRestoreEntryState) {
+  Executor exec(spec("triangle-2join"));
+  // Drive along the native schedule until several events are in flight.
+  for (int i = 0; i < 8 && !exec.done(); ++i) exec.step(0);
+  ASSERT_FALSE(exec.done());
+  const std::uint64_t before = exec.fingerprint();
+  std::vector<ActionSig> sigs;
+  for (const Executor::Action& a : exec.enabled()) {
+    sigs.push_back(action_sig(a));
+  }
+  std::size_t audited = 0;
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    for (std::size_t j = i + 1; j < sigs.size(); ++j) {
+      if (!independent(sigs[i], sigs[j])) continue;
+      EXPECT_TRUE(audit_commutation(exec, i, j)) << i << " vs " << j;
+      ++audited;
+    }
+  }
+  // The audit must leave the executor exactly where it found it.
+  EXPECT_EQ(exec.fingerprint(), before);
+  EXPECT_GT(audited, 0u);
+}
+
+TEST(CommutationAudit, ExplorationWideAuditPasses) {
+  // audit_commutation re-executes every independent-classified enabled
+  // pair in both orders before every expansion and DGMC_ASSERTs on any
+  // disagreement — surviving a whole bounded exploration is an
+  // empirical proof of the independence relation on that state space.
+  for (const char* name : {"triangle-2join", "ring6-crash"}) {
+    SearchLimits limits = limits_with(/*interval=*/1, /*depth=*/8,
+                                      /*reduce=*/true);
+    limits.audit_commutation = true;
+    SearchResult r = explore_dfs(spec(name), limits);
+    EXPECT_FALSE(r.violation.has_value()) << name;
+    EXPECT_GT(r.stats.transitions, 0u) << name;
+  }
+}
+
+// --- 3. Symmetry groups and canonical fingerprints ------------------
+
+TEST(Symmetry, GeneratorGraphAutomorphismCounts) {
+  // Ring: rotations + reflections (dihedral group, 2n). Star: hub is
+  // fixed, leaves permute freely ((n-1)!). Clique: full symmetric
+  // group (n!).
+  EXPECT_EQ(graph_automorphisms(graph::ring(6)).size(), 12u);
+  EXPECT_EQ(graph_automorphisms(graph::star(6)).size(), 120u);
+  EXPECT_EQ(graph_automorphisms(graph::complete(4)).size(), 24u);
+  EXPECT_TRUE(graph_automorphisms(graph::ring(6)).front().is_identity());
+}
+
+TEST(Symmetry, ScenarioScriptsBreakSymmetryToDocumentedSubgroup) {
+  // ring6-crash scripts joins at 0 and 3 and a crash at 3: of the 12
+  // ring automorphisms only the identity and the 0/3-axis mirror
+  // survive. star6-crash touches the hub and leaf 1, leaving leaves
+  // 2-5 interchangeable: 4! = 24.
+  EXPECT_EQ(scenario_symmetries(spec("ring6-crash")).size(), 2u);
+  EXPECT_EQ(scenario_symmetries(spec("star6-crash")).size(), 24u);
+  // The triangle scripts pin two of three switches; nothing survives.
+  EXPECT_EQ(scenario_symmetries(spec("triangle-2join")).size(), 1u);
+  for (const char* name : full_catalog()) {
+    std::vector<graph::Permutation> syms = scenario_symmetries(spec(name));
+    ASSERT_FALSE(syms.empty()) << name;
+    EXPECT_TRUE(syms.front().is_identity()) << name;
+  }
+}
+
+TEST(Symmetry, CanonicalFingerprintFoldsRelabeledStates) {
+  // Drive star6-crash along the native schedule until two deliveries
+  // to interchangeable leaves are simultaneously enabled, then take
+  // each in turn from a snapshot: the plain fingerprints must differ
+  // (different switch received the LSA) while the canonical
+  // fingerprints agree (the states are relabelings of each other).
+  const ScenarioSpec sc = spec("star6-crash");
+  const std::vector<graph::Permutation> syms = scenario_symmetries(sc);
+  ASSERT_EQ(syms.size(), 24u);
+  Executor exec(sc);
+  Executor::Snapshot snap;
+  for (int step = 0; step < 64 && !exec.done(); ++step) {
+    const std::vector<Executor::Action>& acts = exec.enabled();
+    int first = -1, second = -1;
+    for (std::size_t i = 0; i < acts.size(); ++i) {
+      const des::EventTag& t = acts[i].tag;
+      if (acts[i].kind != Executor::Action::Kind::kEvent) continue;
+      if (t.kind != des::EventTag::Kind::kDelivery) continue;
+      if (t.node < 2) continue;  // hub and leaf 1 are symmetry-pinned
+      for (std::size_t j = i + 1; j < acts.size(); ++j) {
+        const des::EventTag& u = acts[j].tag;
+        if (acts[j].kind != Executor::Action::Kind::kEvent) continue;
+        if (u.kind != des::EventTag::Kind::kDelivery || u.node < 2) continue;
+        if (u.node != t.node && u.peer == t.peer && u.seq == t.seq) {
+          first = static_cast<int>(i);
+          second = static_cast<int>(j);
+          break;
+        }
+      }
+      if (first >= 0) break;
+    }
+    if (first >= 0) {
+      exec.save(snap);
+      exec.step(static_cast<std::size_t>(first));
+      const std::uint64_t plain_a = exec.fingerprint();
+      const std::uint64_t canon_a = exec.canonical_fingerprint(syms);
+      exec.restore(snap);
+      exec.step(static_cast<std::size_t>(second));
+      const std::uint64_t plain_b = exec.fingerprint();
+      const std::uint64_t canon_b = exec.canonical_fingerprint(syms);
+      EXPECT_NE(plain_a, plain_b);
+      EXPECT_EQ(canon_a, canon_b);
+      return;
+    }
+    exec.step(0);
+  }
+  FAIL() << "no pair of symmetric deliveries became enabled";
+}
+
+// --- 4. The reduction contract --------------------------------------
+
+TEST(ReductionContract, ViolationSetsMatchAcrossCatalog) {
+  for (const char* name : full_catalog()) {
+    const ScenarioSpec sc = spec(name);
+    const SearchResult plain = explore_dfs(sc, limits_with(1));
+
+    // Reduced runs at intervals {0, 1, 16}: same violation set as the
+    // unreduced baseline, and bit-identical to each other (the
+    // checkpoint-interval invariance carries over to reduced mode).
+    const SearchResult reduced1 =
+        explore_dfs(sc, limits_with(1, 8, /*reduce=*/true));
+    EXPECT_TRUE(equivalent_violation_sets(plain, reduced1)) << name;
+    for (std::size_t interval : {std::size_t{0}, std::size_t{16}}) {
+      const SearchResult r =
+          explore_dfs(sc, limits_with(interval, 8, /*reduce=*/true));
+      EXPECT_TRUE(equivalent_results(reduced1, r)) << name << " @" << interval;
+    }
+
+    // Parallel frontier engine, jobs {1, 8}: same violation set, and
+    // bit-identical (transitions included) across job counts.
+    const SearchResult par1 =
+        explore_dfs_parallel(sc, limits_with(1, 8, /*reduce=*/true), 1);
+    const SearchResult par8 =
+        explore_dfs_parallel(sc, limits_with(1, 8, /*reduce=*/true), 8);
+    EXPECT_TRUE(equivalent_results(par1, par8, /*compare_transitions=*/true))
+        << name;
+    EXPECT_TRUE(equivalent_violation_sets(plain, par1)) << name;
+  }
+}
+
+TEST(ReductionContract, SeededDestroyBugFoundUnderReduction) {
+  ScenarioSpec sc = spec("triangle-join-leave");
+  sc.params.dgmc.premature_destroy_on_empty = true;
+  const SearchLimits plain = limits_with(1, /*depth=*/30);
+  const SearchResult unreduced = explore_dfs(sc, plain);
+  ASSERT_TRUE(unreduced.violation.has_value());
+  EXPECT_EQ(unreduced.violation->oracle, "agreement");
+  const SearchResult reduced =
+      explore_dfs(sc, limits_with(1, 30, /*reduce=*/true));
+  ASSERT_TRUE(reduced.violation.has_value());
+  EXPECT_TRUE(equivalent_violation_sets(unreduced, reduced));
+  const SearchResult par =
+      explore_dfs_parallel(sc, limits_with(1, 30, /*reduce=*/true), 8);
+  EXPECT_TRUE(equivalent_violation_sets(unreduced, par));
+}
+
+TEST(ReductionContract, SeededSyncBugFoundUnderReduction) {
+  ScenarioSpec sc = spec("diamond-crash-recover");
+  sc.params.dgmc.unguarded_sync = true;
+  const SearchResult unreduced = explore_dfs(sc, limits_with(1, /*depth=*/20));
+  ASSERT_TRUE(unreduced.violation.has_value());
+  EXPECT_EQ(unreduced.violation->oracle, "heard-within-known");
+  const SearchResult reduced =
+      explore_dfs(sc, limits_with(1, 20, /*reduce=*/true));
+  ASSERT_TRUE(reduced.violation.has_value());
+  EXPECT_TRUE(equivalent_violation_sets(unreduced, reduced));
+}
+
+// --- 5. Effectiveness -----------------------------------------------
+
+TEST(ReductionEffectiveness, StarScenarioShrinksStatesAtLeastThreeX) {
+  // The acceptance bar: on the symmetric 6-switch fault scenario the
+  // reduced search must visit at least 3x fewer states (canonical
+  // fingerprints fold the 24 leaf relabelings; sleep sets prune the
+  // commuting interleavings). Measured ~7x at this depth.
+  const ScenarioSpec sc = spec("star6-crash");
+  const SearchLimits plain = limits_with(1, /*depth=*/10);
+  const SearchResult unreduced = explore_dfs(sc, plain);
+  const SearchResult reduced =
+      explore_dfs(sc, limits_with(1, 10, /*reduce=*/true));
+  ASSERT_FALSE(unreduced.violation.has_value());
+  ASSERT_FALSE(reduced.violation.has_value());
+  EXPECT_GT(reduced.stats.sleep_pruned, 0u);
+  EXPECT_GE(unreduced.stats.states_seen, 3 * reduced.stats.states_seen)
+      << unreduced.stats.states_seen << " vs " << reduced.stats.states_seen;
+}
+
+// --- 6. Backward fault-directed search ------------------------------
+
+TEST(BackwardSearch, StripFaultsRemovesInjectionsAndPlan) {
+  const ScenarioSpec ring = spec("ring6-crash");
+  ASSERT_EQ(ring.injections.size(), 4u);  // 2 joins + crash + restart
+  const ScenarioSpec stripped = strip_faults(ring);
+  EXPECT_EQ(stripped.injections.size(), 2u);
+  for (const Injection& inj : stripped.injections) {
+    EXPECT_EQ(inj.kind, Injection::Kind::kJoin);
+  }
+  const ScenarioSpec star = spec("star6-crash");
+  ASSERT_FALSE(star.faults.crashes.empty());
+  const ScenarioSpec star_stripped = strip_faults(star);
+  EXPECT_TRUE(star_stripped.faults.crashes.empty());
+  EXPECT_TRUE(star_stripped.faults.flaps.empty());
+}
+
+TEST(BackwardSearch, ChurnOnlyViolationNeedsNoFaultSchedule) {
+  // The premature-destroy bug fires under pure churn, so the
+  // smallest-schedule-first enumeration must succeed on its very first
+  // candidate: the empty schedule.
+  ScenarioSpec sc = spec("triangle-join-leave");
+  sc.params.dgmc.premature_destroy_on_empty = true;
+  const SearchLimits limits = limits_with(1, /*depth=*/30);
+  const SearchResult witness = explore_dfs(sc, limits);
+  ASSERT_TRUE(witness.violation.has_value());
+  const BackwardResult back = backward_search(sc, *witness.violation, limits);
+  ASSERT_TRUE(back.found);
+  EXPECT_EQ(back.candidates_tried, 1u);
+  EXPECT_TRUE(back.schedule.crashes.empty());
+  EXPECT_TRUE(back.schedule.flaps.empty());
+  ASSERT_TRUE(back.search.violation.has_value());
+  EXPECT_EQ(back.search.violation->oracle, witness.violation->oracle);
+}
+
+}  // namespace
+}  // namespace dgmc::check

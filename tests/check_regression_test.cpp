@@ -1,0 +1,138 @@
+// Regression suite replaying the two protocol bugs the checker caught
+// during development from committed witness traces (tests/traces/):
+//
+//   premature_destroy.trace — destroy-on-empty racing a concurrent
+//     join: maybe_destroy tearing a connection down the moment the
+//     member list looks empty, without the R-dominates-E guard,
+//     desynchronizes member lists (agreement oracle). Seeded by the
+//     TEST-ONLY DgmcConfig::premature_destroy_on_empty knob.
+//
+//   unguarded_sync.trace — McSync advertising raw R[y] instead of the
+//     sync floor: a restarted switch re-learns its own history
+//     double-counted, so a neighbor directly hears a stamp beyond its
+//     known history (heard-within-known oracle). Seeded by
+//     DgmcConfig::unguarded_sync.
+//
+// Each bug is pinned three ways: (1) the committed trace still replays
+// to the same oracle, step for step; (2) a reduced DFS (sleep sets +
+// symmetry canonicalization) finds the violation from scratch —
+// reduction must not prune the buggy interleavings away; (3) backward
+// fault-directed search rediscovers a fault schedule reaching the
+// violation: the empty schedule for the churn-only destroy bug, a
+// crash/restart schedule for the sync bug (which needs a wiped switch
+// to resynchronize).
+//
+// DGMC_TRACE_DIR is injected by tests/CMakeLists.txt and points at the
+// source-tree tests/traces directory.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/backward.hpp"
+#include "check/explorer.hpp"
+#include "check/trace.hpp"
+
+namespace dgmc::check {
+namespace {
+
+struct Witness {
+  Trace trace;
+  ScenarioSpec spec;
+};
+
+Witness load(const char* file) {
+  const std::string path = std::string(DGMC_TRACE_DIR "/") + file;
+  std::string error;
+  std::optional<Trace> trace = load_trace(path, &error);
+  EXPECT_TRUE(trace.has_value()) << path << ": " << error;
+  std::optional<ScenarioSpec> spec = resolve_spec(*trace, &error);
+  EXPECT_TRUE(spec.has_value()) << path << ": " << error;
+  return Witness{std::move(*trace), std::move(*spec)};
+}
+
+SearchLimits limits_with(std::size_t depth) {
+  SearchLimits limits;
+  limits.max_depth = depth;
+  return limits;
+}
+
+// --- premature destroy-on-empty -------------------------------------
+
+TEST(PrematureDestroyRegression, TraceStillReplaysToAgreementViolation) {
+  const Witness w = load("premature_destroy.trace");
+  EXPECT_TRUE(w.spec.params.dgmc.premature_destroy_on_empty);
+  const ReplayResult r = replay(w.spec, w.trace);
+  EXPECT_FALSE(r.divergence.has_value()) << *r.divergence;
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->oracle, "agreement");
+  EXPECT_EQ(r.steps_executed, w.trace.choices.size());
+}
+
+TEST(PrematureDestroyRegression, ReducedDfsFindsTheBug) {
+  const Witness w = load("premature_destroy.trace");
+  SearchLimits limits = limits_with(/*depth=*/30);
+  limits.reduce = true;
+  const SearchResult r = explore_dfs(w.spec, limits);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->oracle, "agreement");
+}
+
+TEST(PrematureDestroyRegression, BackwardSearchAcceptsEmptySchedule) {
+  const Witness w = load("premature_destroy.trace");
+  const ReplayResult r = replay(w.spec, w.trace);
+  ASSERT_TRUE(r.violation.has_value());
+  const BackwardResult back =
+      backward_search(w.spec, *r.violation, limits_with(30));
+  ASSERT_TRUE(back.found) << back.candidates_tried << " candidates tried";
+  EXPECT_EQ(back.candidates_tried, 1u);
+  EXPECT_TRUE(back.schedule.crashes.empty());
+  EXPECT_TRUE(back.schedule.flaps.empty());
+  EXPECT_EQ(back.search.violation->oracle, "agreement");
+}
+
+// --- unguarded McSync double-count ----------------------------------
+
+TEST(UnguardedSyncRegression, TraceStillReplaysToHeardWithinKnown) {
+  const Witness w = load("unguarded_sync.trace");
+  EXPECT_TRUE(w.spec.params.dgmc.unguarded_sync);
+  const ReplayResult r = replay(w.spec, w.trace);
+  EXPECT_FALSE(r.divergence.has_value()) << *r.divergence;
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->oracle, "heard-within-known");
+  EXPECT_EQ(r.steps_executed, w.trace.choices.size());
+}
+
+TEST(UnguardedSyncRegression, ReducedDfsFindsTheBug) {
+  const Witness w = load("unguarded_sync.trace");
+  SearchLimits limits = limits_with(/*depth=*/20);
+  limits.reduce = true;
+  const SearchResult r = explore_dfs(w.spec, limits);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->oracle, "heard-within-known");
+}
+
+TEST(UnguardedSyncRegression, BackwardSearchRediscoversACrashSchedule) {
+  // The sync bug needs a crash/restart cycle: pure churn and the
+  // crash-free candidates must be rejected, and a single-switch
+  // crash/restart schedule accepted. Each candidate probe is bounded
+  // (depth 24, 300k transitions) so rejected candidates cannot blow up
+  // the diamond's depth-24 interleaving space.
+  const Witness w = load("unguarded_sync.trace");
+  const ReplayResult r = replay(w.spec, w.trace);
+  ASSERT_TRUE(r.violation.has_value());
+  SearchLimits limits = limits_with(/*depth=*/24);
+  limits.max_transitions = 300000;
+  const BackwardResult back = backward_search(w.spec, *r.violation, limits);
+  ASSERT_TRUE(back.found) << back.candidates_tried << " candidates tried";
+  EXPECT_GT(back.candidates_tried, 1u);  // empty schedule rejected
+  ASSERT_EQ(back.schedule.crashes.size(), 1u);
+  EXPECT_TRUE(back.schedule.flaps.empty());
+  EXPECT_EQ(back.search.violation->oracle, "heard-within-known");
+  // The accepted scenario replays like any counterexample.
+  const ReplayResult again = replay(back.scenario, back.search.trace);
+  ASSERT_TRUE(again.violation.has_value());
+  EXPECT_EQ(again.violation->oracle, "heard-within-known");
+}
+
+}  // namespace
+}  // namespace dgmc::check
