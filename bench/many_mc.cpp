@@ -1,0 +1,226 @@
+// Many-MC scale benchmark: sim::ManyMcEngine at 2000 switches × 20000
+// MCs (DESIGN.md §13).
+//
+// Three sections:
+//
+//   * Determinism: the engine's fingerprint and wire counters after an
+//     identical workload must be bit-identical across shard counts
+//     {1, 4, 16} × job counts {1, 8} (DESIGN.md §8). Exits non-zero on
+//     any mismatch.
+//   * Scale: builds the full population, runs churn rounds, and
+//     reports sustained events/sec (membership events + link events +
+//     per-MC recomputes over wall time), resident memory per MC (RSS
+//     delta across the build plus the engine's own record accounting),
+//     and the batched-vs-unbatched wire cost of the same workload —
+//     the engine charges both models simultaneously, so the comparison
+//     is exact, not run-to-run.
+//   * JSON: BENCH_many_mc.json for scripts/bench_compare.py. Timed
+//     metrics are marked clock_wall (machine-dependent); the wire
+//     counters and the determinism verdict are exact.
+//
+// DGMC_QUICK=1 drops to 200 switches × 2000 MCs (the CI bench lane
+// cap); the full run is the committed-baseline configuration.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "sim/many_mc.hpp"
+#include "soak/soak.hpp"
+
+namespace {
+
+using namespace dgmc;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+sim::ManyMcParams scaled_params(bool quick) {
+  sim::ManyMcParams p;
+  p.switches = quick ? 200 : 2000;
+  p.mcs = quick ? 2000 : 20000;
+  p.members_per_mc = 8;
+  p.shards = 16;
+  p.jobs = 0;  // hardware width
+  p.cores = 64;
+  p.seed = 42;
+  return p;
+}
+
+/// Identical workload at every (shards, jobs): build + churn.
+std::uint64_t run_small(int shards, int jobs, sim::ManyMcStats* stats) {
+  sim::ManyMcParams p;
+  p.switches = 64;
+  p.mcs = 512;
+  p.members_per_mc = 6;
+  p.shards = shards;
+  p.jobs = jobs;
+  p.cores = 16;
+  p.seed = 7;
+  sim::ManyMcEngine engine(p);
+  engine.build_population();
+  for (int r = 0; r < 4; ++r) engine.churn_round();
+  if (stats != nullptr) *stats = engine.stats();
+  return engine.fingerprint();
+}
+
+bool same_stats(const sim::ManyMcStats& a, const sim::ManyMcStats& b) {
+  return a.membership_events == b.membership_events &&
+         a.link_events == b.link_events &&
+         a.mc_recomputes == b.mc_recomputes && a.mc_lsas == b.mc_lsas &&
+         a.wire_ops_unbatched == b.wire_ops_unbatched &&
+         a.wire_ops_batched == b.wire_ops_batched &&
+         a.wire_bytes_unbatched == b.wire_bytes_unbatched &&
+         a.wire_bytes_batched == b.wire_bytes_batched &&
+         a.link_wire_ops_unbatched == b.link_wire_ops_unbatched &&
+         a.link_wire_ops_batched == b.link_wire_ops_batched &&
+         a.link_wire_bytes_unbatched == b.link_wire_bytes_unbatched &&
+         a.link_wire_bytes_batched == b.link_wire_bytes_batched;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = [] {
+    const char* env = std::getenv("DGMC_QUICK");
+    return env != nullptr && std::string(env) == "1";
+  }();
+
+  // --- Determinism across (shards, jobs) ---
+  sim::ManyMcStats ref_stats;
+  const std::uint64_t ref = run_small(1, 1, &ref_stats);
+  bool deterministic = true;
+  for (const int shards : {1, 4, 16}) {
+    for (const int jobs : {1, 8}) {
+      sim::ManyMcStats stats;
+      const std::uint64_t fp = run_small(shards, jobs, &stats);
+      const bool ok = fp == ref && same_stats(stats, ref_stats);
+      deterministic = deterministic && ok;
+      std::printf("determinism shards=%-2d jobs=%d fingerprint=%016llx %s\n",
+                  shards, jobs, static_cast<unsigned long long>(fp),
+                  ok ? "ok" : "MISMATCH");
+    }
+  }
+
+  // --- Scale run ---
+  const sim::ManyMcParams params = scaled_params(quick);
+  const double rss_before = soak::process_rss_mb();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::ManyMcEngine engine(params);
+  engine.build_population();
+  const double build_seconds = seconds_since(t0);
+  const double rss_after_build = soak::process_rss_mb();
+
+  const int churn_rounds = quick ? 8 : 16;
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int r = 0; r < churn_rounds; ++r) engine.churn_round();
+  const double churn_seconds = seconds_since(t1);
+  const double total_seconds = seconds_since(t0);
+
+  const sim::ManyMcStats& s = engine.stats();
+  const double events_per_sec =
+      total_seconds > 0 ? static_cast<double>(s.events()) / total_seconds
+                        : 0.0;
+  const double rss_kb_per_mc =
+      (rss_after_build - rss_before) * 1024.0 / params.mcs;
+  const double record_bytes_per_mc =
+      static_cast<double>(engine.record_bytes()) /
+      static_cast<double>(engine.mc_count());
+  const double op_ratio =
+      s.wire_ops_batched > 0
+          ? static_cast<double>(s.wire_ops_unbatched) /
+                static_cast<double>(s.wire_ops_batched)
+          : 0.0;
+  const double byte_ratio =
+      s.wire_bytes_batched > 0
+          ? static_cast<double>(s.wire_bytes_unbatched) /
+                static_cast<double>(s.wire_bytes_batched)
+          : 0.0;
+  const double link_op_ratio =
+      s.link_wire_ops_batched > 0
+          ? static_cast<double>(s.link_wire_ops_unbatched) /
+                static_cast<double>(s.link_wire_ops_batched)
+          : 0.0;
+  const double link_byte_ratio =
+      s.link_wire_bytes_batched > 0
+          ? static_cast<double>(s.link_wire_bytes_unbatched) /
+                static_cast<double>(s.link_wire_bytes_batched)
+          : 0.0;
+
+  std::printf("\nscale %dx%d (shards=%d cores=%d members=%d)\n",
+              params.switches, params.mcs, params.shards, params.cores,
+              params.members_per_mc);
+  std::printf("  build %.3fs, churn %d rounds %.3fs\n", build_seconds,
+              churn_rounds, churn_seconds);
+  std::printf("  events=%llu (%llu membership, %llu link, %llu recompute)"
+              "  %.0f events/s\n",
+              static_cast<unsigned long long>(s.events()),
+              static_cast<unsigned long long>(s.membership_events),
+              static_cast<unsigned long long>(s.link_events),
+              static_cast<unsigned long long>(s.mc_recomputes),
+              events_per_sec);
+  std::printf("  memory: %.1f KiB RSS per MC, %.0f record bytes per MC\n",
+              rss_kb_per_mc, record_bytes_per_mc);
+  std::printf("  wire ops:   %llu unbatched vs %llu batched (%.2fx)\n",
+              static_cast<unsigned long long>(s.wire_ops_unbatched),
+              static_cast<unsigned long long>(s.wire_ops_batched), op_ratio);
+  std::printf("  wire bytes: %llu unbatched vs %llu batched (%.2fx)\n",
+              static_cast<unsigned long long>(s.wire_bytes_unbatched),
+              static_cast<unsigned long long>(s.wire_bytes_batched),
+              byte_ratio);
+  std::printf("  link-event rounds alone: ops %.1fx, bytes %.2fx\n",
+              link_op_ratio, link_byte_ratio);
+
+  const bool batching_wins = s.wire_ops_batched < s.wire_ops_unbatched &&
+                             s.wire_bytes_batched < s.wire_bytes_unbatched;
+  std::printf("  batching %s\n",
+              batching_wins ? "reduces both ops and bytes"
+                            : "DOES NOT reduce wire cost");
+
+  using bench::json_num;
+  std::string json = "{\n \"bench\": \"many_mc\",\n \"quick\": ";
+  json += quick ? "true" : "false";
+  json += ",\n \"determinism\": \"";
+  json += deterministic ? "identical" : "MISMATCH";
+  json += "\",\n \"entries\": [\n  {\n";
+  json += "   \"scenario\": \"many_mc-" + std::to_string(params.switches) +
+          "x" + std::to_string(params.mcs) + "\",\n";
+  json += "   \"clock_wall\": 1,\n";
+  json += "   \"switches\": " + std::to_string(params.switches) + ",\n";
+  json += "   \"mcs\": " + std::to_string(params.mcs) + ",\n";
+  json += "   \"shards\": " + std::to_string(params.shards) + ",\n";
+  json += "   \"events\": " + std::to_string(s.events()) + ",\n";
+  json += "   \"events_per_sec\": " + json_num(events_per_sec) + ",\n";
+  json += "   \"build_seconds\": " + json_num(build_seconds) + ",\n";
+  json += "   \"churn_seconds\": " + json_num(churn_seconds) + ",\n";
+  json += "   \"rss_kb_per_mc\": " + json_num(rss_kb_per_mc) + ",\n";
+  json += "   \"record_bytes_per_mc\": " + json_num(record_bytes_per_mc) +
+          ",\n";
+  json += "   \"wire_ops_unbatched\": " +
+          std::to_string(s.wire_ops_unbatched) + ",\n";
+  json += "   \"wire_ops_batched\": " + std::to_string(s.wire_ops_batched) +
+          ",\n";
+  json += "   \"wire_bytes_unbatched\": " +
+          std::to_string(s.wire_bytes_unbatched) + ",\n";
+  json += "   \"wire_bytes_batched\": " +
+          std::to_string(s.wire_bytes_batched) + ",\n";
+  json += "   \"wire_op_reduction_speedup\": " + json_num(op_ratio) + ",\n";
+  json += "   \"wire_byte_reduction_speedup\": " + json_num(byte_ratio) +
+          ",\n";
+  json += "   \"link_event_op_reduction_speedup\": " +
+          json_num(link_op_ratio) + ",\n";
+  json += "   \"link_event_byte_reduction_speedup\": " +
+          json_num(link_byte_ratio) + ",\n";
+  json += "   \"determinism\": \"";
+  json += deterministic ? "identical" : "MISMATCH";
+  json += "\"\n  }\n ]\n}";
+  bench::write_bench_json("many_mc", json);
+
+  if (!deterministic || !batching_wins) return 1;
+  return 0;
+}

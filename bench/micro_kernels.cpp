@@ -7,6 +7,9 @@
 // artifact; items_per_second in that JSON is the ops/sec series.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "check/executor.hpp"
@@ -18,6 +21,9 @@
 #include "graph/generators.hpp"
 #include "lsr/flooding.hpp"
 #include "lsr/routing.hpp"
+#include "mc/algorithm.hpp"
+#include "mc/validation.hpp"
+#include "sim/network.hpp"
 #include "trees/incremental.hpp"
 #include "trees/steiner.hpp"
 #include "util/rng.hpp"
@@ -218,6 +224,97 @@ void BM_ExecutorSaveRestore(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExecutorSaveRestore);
+
+// --- Convergence sweep: per-MC holder index vs all-switch scan ---
+//
+// sim::DgmcNetwork::converged used to scan every switch per MC; with
+// the holders_ index it touches only the switches that hold state for
+// the MC. The scan kernel reproduces the old loop (probe every switch,
+// then the same comparisons and validity tail) through the same public
+// API, so the pair isolates exactly the holder-discovery cost. Both
+// share the per-MC validity tail, so the gap grows with the switch
+// count — the axis the index removes from the sweep.
+
+sim::DgmcNetwork& converged_bench_network(int switches, int mcs) {
+  static std::map<std::pair<int, int>, std::unique_ptr<sim::DgmcNetwork>>
+      cache;
+  auto& slot = cache[{switches, mcs}];
+  if (slot == nullptr) {
+    util::RngStream rng(7);
+    slot = std::make_unique<sim::DgmcNetwork>(
+        graph::random_connected(switches, 4.0, rng), sim::DgmcNetwork::Params{},
+        mc::make_incremental_algorithm());
+    util::RngStream members(11);
+    for (int m = 0; m < mcs; ++m) {
+      for (int j = 0; j < 3; ++j) {
+        slot->join(static_cast<graph::NodeId>(members.uniform_int(
+                       0, switches - 1)),
+                   static_cast<mc::McId>(m), mc::McType::kSymmetric);
+      }
+    }
+    slot->run_to_quiescence();
+  }
+  return *slot;
+}
+
+/// The pre-index converged() loop, field for field, over the public
+/// switch API: discover the holders by probing every switch, then the
+/// same comparisons and validity tail the indexed version runs.
+bool converged_by_scan(const sim::DgmcNetwork& net, int switches,
+                       mc::McId mcid) {
+  const core::DgmcSwitch* reference = nullptr;
+  for (graph::NodeId n = 0; n < switches; ++n) {
+    const core::DgmcSwitch& s = net.switch_at(n);
+    if (!s.has_state(mcid)) continue;
+    if (reference == nullptr) {
+      reference = &s;
+      continue;
+    }
+    if (!(*s.installed(mcid) == *reference->installed(mcid))) return false;
+    if (!(*s.members(mcid) == *reference->members(mcid))) return false;
+    if (!(*s.stamp_c(mcid) == *reference->stamp_c(mcid))) return false;
+  }
+  if (reference == nullptr) return true;
+  for (graph::NodeId n : reference->installed(mcid)->nodes()) {
+    if (!net.switch_at(n).has_state(mcid)) return false;
+  }
+  for (graph::NodeId n : reference->members(mcid)->all()) {
+    if (!net.switch_at(n).has_state(mcid)) return false;
+  }
+  return mc::is_valid_topology(net.physical(), reference->mc_type(mcid),
+                               *reference->members(mcid),
+                               *reference->installed(mcid));
+}
+
+void BM_ConvergedScanAllMcs(benchmark::State& state) {
+  const int switches = static_cast<int>(state.range(0));
+  const int mcs = static_cast<int>(state.range(1));
+  const sim::DgmcNetwork& net = converged_bench_network(switches, mcs);
+  for (auto _ : state) {
+    bool all = true;
+    for (int m = 0; m < mcs; ++m) {
+      all = all && converged_by_scan(net, switches, static_cast<mc::McId>(m));
+    }
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(state.iterations() * mcs);
+}
+BENCHMARK(BM_ConvergedScanAllMcs)->Args({64, 96})->Args({512, 96});
+
+void BM_ConvergedIndexAllMcs(benchmark::State& state) {
+  const int switches = static_cast<int>(state.range(0));
+  const int mcs = static_cast<int>(state.range(1));
+  const sim::DgmcNetwork& net = converged_bench_network(switches, mcs);
+  for (auto _ : state) {
+    bool all = true;
+    for (int m = 0; m < mcs; ++m) {
+      all = all && net.converged(static_cast<mc::McId>(m));
+    }
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(state.iterations() * mcs);
+}
+BENCHMARK(BM_ConvergedIndexAllMcs)->Args({64, 96})->Args({512, 96});
 
 }  // namespace
 

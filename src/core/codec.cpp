@@ -1,5 +1,7 @@
 #include "core/codec.hpp"
 
+#include "util/assert.hpp"
+
 namespace dgmc::core {
 
 namespace {
@@ -27,6 +29,16 @@ class Reader {
   bool ok() const { return ok_; }
   bool exhausted() const { return pos_ == bytes_.size(); }
   std::size_t remaining() const { return ok_ ? bytes_.size() - pos_ : 0; }
+  std::size_t pos() const { return pos_; }
+
+  bool skip(std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
 
   std::uint8_t u8() {
     if (pos_ + 1 > bytes_.size()) return fail<std::uint8_t>();
@@ -79,6 +91,27 @@ std::optional<VectorTimestamp> read_stamp(Reader& r) {
   return stamp;
 }
 
+/// Appends the kMcLsa frame without clearing (shared by the single
+/// encoding and the batch frame's sub-encodings).
+void append_mc_lsa(const McLsa& lsa, std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(WireType::kMcLsa));
+  put_i32(out, lsa.source);
+  put_u8(out, static_cast<std::uint8_t>(lsa.event));
+  put_i32(out, lsa.mc);
+  put_u8(out, static_cast<std::uint8_t>(lsa.mc_type));
+  put_u8(out, static_cast<std::uint8_t>(lsa.join_role));
+  put_i32(out, lsa.link);
+  put_stamp(out, lsa.stamp);
+  put_u8(out, lsa.proposal.has_value() ? 1 : 0);
+  if (lsa.proposal.has_value()) {
+    put_u32(out, static_cast<std::uint32_t>(lsa.proposal->edge_count()));
+    for (const graph::Edge& e : lsa.proposal->edges()) {
+      put_i32(out, e.a);
+      put_i32(out, e.b);
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode(const McLsa& lsa) {
@@ -99,25 +132,16 @@ std::vector<std::uint8_t> encode(const McSync& sync) {
   return out;
 }
 
+std::vector<std::uint8_t> encode(const McLsaBatch& batch) {
+  std::vector<std::uint8_t> out;
+  encode_into(batch, out);
+  return out;
+}
+
 void encode_into(const McLsa& lsa, std::vector<std::uint8_t>& out) {
   out.clear();
   out.reserve(encoded_size(lsa));
-  put_u8(out, static_cast<std::uint8_t>(WireType::kMcLsa));
-  put_i32(out, lsa.source);
-  put_u8(out, static_cast<std::uint8_t>(lsa.event));
-  put_i32(out, lsa.mc);
-  put_u8(out, static_cast<std::uint8_t>(lsa.mc_type));
-  put_u8(out, static_cast<std::uint8_t>(lsa.join_role));
-  put_i32(out, lsa.link);
-  put_stamp(out, lsa.stamp);
-  put_u8(out, lsa.proposal.has_value() ? 1 : 0);
-  if (lsa.proposal.has_value()) {
-    put_u32(out, static_cast<std::uint32_t>(lsa.proposal->edge_count()));
-    for (const graph::Edge& e : lsa.proposal->edges()) {
-      put_i32(out, e.a);
-      put_i32(out, e.b);
-    }
-  }
+  append_mc_lsa(lsa, out);
 }
 
 void encode_into(const lsr::LinkEventAd& ad, std::vector<std::uint8_t>& out) {
@@ -150,6 +174,26 @@ void encode_into(const McSync& sync, std::vector<std::uint8_t>& out) {
   }
 }
 
+void encode_into(const McLsaBatch& batch, std::vector<std::uint8_t>& out) {
+  DGMC_ASSERT(!batch.lsas.empty());
+  if (batch.lsas.size() == 1) {
+    // Degenerate form: byte-identical to the single-LSA frame.
+    encode_into(batch.lsas.front(), out);
+    return;
+  }
+  out.clear();
+  out.reserve(encoded_size(batch));
+  put_u8(out, static_cast<std::uint8_t>(WireType::kMcLsaBatch));
+  put_u8(out, kMcLsaBatchVersion);
+  put_u32(out, static_cast<std::uint32_t>(batch.lsas.size()));
+  for (const McLsa& lsa : batch.lsas) {
+    put_u32(out, static_cast<std::uint32_t>(encoded_size(lsa)));
+    const std::size_t start = out.size();
+    append_mc_lsa(lsa, out);
+    DGMC_ASSERT(out.size() - start == encoded_size(lsa));
+  }
+}
+
 std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {
   if (bytes.empty()) return std::nullopt;
   switch (bytes[0]) {
@@ -159,6 +203,8 @@ std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes) {
       return WireType::kLinkEvent;
     case static_cast<std::uint8_t>(WireType::kMcSync):
       return WireType::kMcSync;
+    case static_cast<std::uint8_t>(WireType::kMcLsaBatch):
+      return WireType::kMcLsaBatch;
     default:
       return std::nullopt;
   }
@@ -295,6 +341,47 @@ std::optional<McSync> decode_mc_sync(
   return sync;
 }
 
+std::optional<McLsaBatch> decode_mc_lsa_batch(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() > kMaxEncoded) return std::nullopt;
+  const std::optional<WireType> type = peek_type(bytes);
+  if (type == WireType::kMcLsa) {
+    // Degenerate form: a single-LSA frame is a batch of one.
+    std::optional<McLsa> lsa = decode_mc_lsa(bytes);
+    if (!lsa.has_value()) return std::nullopt;
+    McLsaBatch batch;
+    batch.lsas.push_back(std::move(*lsa));
+    return batch;
+  }
+  if (type != WireType::kMcLsaBatch) return std::nullopt;
+  Reader r(bytes);
+  (void)r.u8();  // type byte
+  const std::uint8_t version = r.u8();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || version != kMcLsaBatchVersion) return std::nullopt;
+  // A real batch carries at least 2 LSAs (size 1 encodes as kMcLsa);
+  // each needs a 4-byte length prefix plus a non-empty body, so a count
+  // the buffer cannot hold is rejected before any allocation.
+  if (count < 2 || count > kMaxBatchLsas) return std::nullopt;
+  if (count > r.remaining() / 5) return std::nullopt;
+  McLsaBatch batch;
+  batch.lsas.reserve(count);
+  std::vector<std::uint8_t> sub;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = r.u32();
+    if (!r.ok() || len == 0 || len > r.remaining()) return std::nullopt;
+    const std::size_t start = r.pos();
+    sub.assign(bytes.begin() + static_cast<std::ptrdiff_t>(start),
+               bytes.begin() + static_cast<std::ptrdiff_t>(start + len));
+    r.skip(len);
+    std::optional<McLsa> lsa = decode_mc_lsa(sub);
+    if (!lsa.has_value()) return std::nullopt;  // includes nested batches
+    batch.lsas.push_back(std::move(*lsa));
+  }
+  if (!r.exhausted()) return std::nullopt;  // trailing junk
+  return batch;
+}
+
 std::size_t encoded_size(const McLsa& lsa) {
   std::size_t size = 1 + 4 + 1 + 4 + 1 + 1 + 4;        // header fields
   size += 4 + 4 * static_cast<std::size_t>(lsa.stamp.size());  // stamp
@@ -302,6 +389,14 @@ std::size_t encoded_size(const McLsa& lsa) {
   if (lsa.proposal.has_value()) {
     size += 4 + 8 * lsa.proposal->edge_count();
   }
+  return size;
+}
+
+std::size_t encoded_size(const McLsaBatch& batch) {
+  DGMC_ASSERT(!batch.lsas.empty());
+  if (batch.lsas.size() == 1) return encoded_size(batch.lsas.front());
+  std::size_t size = 1 + 1 + 4;  // type, version, count
+  for (const McLsa& lsa : batch.lsas) size += 4 + encoded_size(lsa);
   return size;
 }
 

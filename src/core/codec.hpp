@@ -32,11 +32,25 @@ enum class WireType : std::uint8_t {
   kMcLsa = 0xD6,
   kLinkEvent = 0xD7,
   kMcSync = 0xD8,
+  /// Length-prefixed batch of MC LSAs carried as one wire op (see
+  /// core/mc_lsa.hpp and DESIGN.md §13). Decoders predating the batch
+  /// frame reject the unknown type byte cleanly (peek_type -> nullopt),
+  /// and the frame carries its own version byte for future layout
+  /// changes.
+  kMcLsaBatch = 0xD9,
 };
+
+/// Version byte of the batch frame layout.
+inline constexpr std::uint8_t kMcLsaBatchVersion = 1;
+
+/// Largest LSA count a batch frame may carry (also bounds what a
+/// forged count can make the decoder reserve).
+inline constexpr std::uint32_t kMaxBatchLsas = 4096;
 
 std::vector<std::uint8_t> encode(const McLsa& lsa);
 std::vector<std::uint8_t> encode(const lsr::LinkEventAd& ad);
 std::vector<std::uint8_t> encode(const McSync& sync);
+std::vector<std::uint8_t> encode(const McLsaBatch& batch);
 
 /// Buffer-reuse variants: clear `out`, then append the encoding. The
 /// buffer keeps its capacity across calls, so a caller encoding in a
@@ -45,6 +59,11 @@ std::vector<std::uint8_t> encode(const McSync& sync);
 void encode_into(const McLsa& lsa, std::vector<std::uint8_t>& out);
 void encode_into(const lsr::LinkEventAd& ad, std::vector<std::uint8_t>& out);
 void encode_into(const McSync& sync, std::vector<std::uint8_t>& out);
+/// A batch of exactly one LSA *degenerates* to the plain kMcLsa
+/// encoding — byte-identical to encode(batch.lsas[0]) — so enabling
+/// batching changes nothing on the wire until a round actually
+/// coalesces two LSAs. Asserts the batch is non-empty.
+void encode_into(const McLsaBatch& batch, std::vector<std::uint8_t>& out);
 
 /// Type of an encoded buffer, or nullopt if empty/unknown.
 std::optional<WireType> peek_type(const std::vector<std::uint8_t>& bytes);
@@ -54,7 +73,16 @@ std::optional<lsr::LinkEventAd> decode_link_event(
     const std::vector<std::uint8_t>& bytes);
 std::optional<McSync> decode_mc_sync(const std::vector<std::uint8_t>& bytes);
 
+/// Decodes a batch frame. Accepts a plain kMcLsa buffer too (wrapping
+/// it as a batch of one — the degenerate form encode_into emits), so a
+/// receiver can route both through one path. Every sub-LSA must decode
+/// exactly (per-LSA length prefixes must tile the frame; trailing junk
+/// anywhere rejects the whole batch).
+std::optional<McLsaBatch> decode_mc_lsa_batch(
+    const std::vector<std::uint8_t>& bytes);
+
 /// Encoded size in bytes (diagnostic; equals encode(lsa).size()).
 std::size_t encoded_size(const McLsa& lsa);
+std::size_t encoded_size(const McLsaBatch& batch);
 
 }  // namespace dgmc::core

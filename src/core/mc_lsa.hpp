@@ -12,6 +12,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "core/timestamp.hpp"
 #include "mc/types.hpp"
@@ -39,6 +40,22 @@ struct McLsa {
   graph::LinkId link = graph::kInvalidLink;
   std::optional<trees::Topology> proposal;     // P
   VectorTimestamp stamp;                       // T
+
+  friend bool operator==(const McLsa&, const McLsa&) = default;
+};
+
+/// A batch of MC LSAs flooded as ONE wire operation (DESIGN.md §13).
+/// When several MCs react to the same round — the canonical case being
+/// a link event, which makes every affected MC originate an LSA from
+/// the same detecting switch — their LSAs share every link on the
+/// flooding path, so carrying them in one frame turns k wire ops (and
+/// k acks, k retransmit timers) into one. The flooding layer treats the
+/// batch as a single reliability unit; receivers unpack and process
+/// each LSA exactly as if it had arrived alone, in batch order.
+struct McLsaBatch {
+  std::vector<McLsa> lsas;
+
+  friend bool operator==(const McLsaBatch&, const McLsaBatch&) = default;
 };
 
 inline const char* to_string(McEventType e) {

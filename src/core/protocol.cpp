@@ -20,7 +20,8 @@ DgmcSwitch::DgmcSwitch(graph::NodeId self, int network_size,
       exec_(exec),
       algorithm_(algorithm),
       config_(config),
-      hooks_(std::move(hooks)) {
+      hooks_(std::move(hooks)),
+      states_(config.mc_shards) {
   DGMC_ASSERT(self >= 0 && self < network_size);
   DGMC_ASSERT(hooks_.flood != nullptr);
   DGMC_ASSERT(hooks_.local_image != nullptr);
@@ -29,29 +30,28 @@ DgmcSwitch::DgmcSwitch(graph::NodeId self, int network_size,
 
 DgmcSwitch::McState& DgmcSwitch::get_or_create(mc::McId mcid,
                                                mc::McType type) {
-  auto it = states_.find(mcid);
-  if (it != states_.end()) {
-    DGMC_ASSERT_MSG(it->second.type == type, "MC type mismatch");
-    return it->second;
+  bool created = false;
+  McState& st = states_.get_or_create(mcid, &created);
+  if (!created) {
+    DGMC_ASSERT_MSG(st.type == type, "MC type mismatch");
+    return st;
   }
-  McState st;
   st.type = type;
   st.r = VectorTimestamp(network_size_);
   st.e = VectorTimestamp(network_size_);
   st.c = VectorTimestamp(network_size_);
   st.member_event_applied.assign(network_size_, 0);
   st.sync_floor = VectorTimestamp(network_size_);
-  return states_.emplace(mcid, std::move(st)).first->second;
+  if (hooks_.on_state_created) hooks_.on_state_created(mcid);
+  return st;
 }
 
 DgmcSwitch::McState* DgmcSwitch::find(mc::McId mcid) {
-  auto it = states_.find(mcid);
-  return it == states_.end() ? nullptr : &it->second;
+  return states_.find(mcid);
 }
 
 const DgmcSwitch::McState* DgmcSwitch::find(mc::McId mcid) const {
-  auto it = states_.find(mcid);
-  return it == states_.end() ? nullptr : &it->second;
+  return states_.find(mcid);
 }
 
 // --- Local events (paper Figure 4) ---
@@ -86,9 +86,9 @@ int DgmcSwitch::local_link_event(graph::LinkId link) {
   // installed topology, so k = 0 for up events by this definition; the
   // unicast LSR layer still floods its non-MC LSA.
   std::vector<mc::McId> affected;
-  for (auto& [mcid, st] : states_) {
+  states_.for_each([&](mc::McId mcid, const McState& st) {
     if (!l.up && st.installed.contains(edge)) affected.push_back(mcid);
-  }
+  });
   for (mc::McId mcid : affected) {
     McState* st = find(mcid);
     if (st == nullptr) continue;  // destroyed by an earlier iteration
@@ -223,6 +223,9 @@ void DgmcSwitch::crash() {
   alive_ = false;
   ++counters_.crashes;
   counters_.states_destroyed += states_.size();
+  if (hooks_.on_state_destroyed) {
+    for (mc::McId mcid : states_.keys()) hooks_.on_state_destroyed(mcid);
+  }
   states_.clear();
   if (current_.has_value()) {
     // The in-flight computation dies with the CPU; reclaim its
@@ -240,13 +243,7 @@ void DgmcSwitch::restart() {
 }
 
 std::vector<mc::McId> DgmcSwitch::known_mcs() const {
-  std::vector<mc::McId> out;
-  out.reserve(states_.size());
-  for (const auto& [mcid, st] : states_) {
-    (void)st;
-    out.push_back(mcid);
-  }
-  return out;
+  return states_.keys();
 }
 
 McSync DgmcSwitch::export_sync(mc::McId mcid) const {
@@ -395,11 +392,13 @@ void DgmcSwitch::evaluate_trigger_gate(mc::McId mcid) {
 }
 
 void DgmcSwitch::evaluate_all_trigger_gates() {
-  for (auto& [mcid, st] : states_) {
-    if (current_.has_value()) return;
-    (void)st;
+  // evaluate_trigger_gate never inserts or erases state, so iterating
+  // the live store is safe; stop once a computation claims the CPU.
+  states_.for_each_while([&](mc::McId mcid, McState&) {
+    if (current_.has_value()) return false;
     evaluate_trigger_gate(mcid);
-  }
+    return true;
+  });
 }
 
 // --- Computation lifecycle ---
@@ -547,6 +546,7 @@ void DgmcSwitch::maybe_destroy(mc::McId mcid) {
   if (!config_.premature_destroy_on_empty && !st->r.dominates(st->e)) return;
   ++counters_.states_destroyed;
   states_.erase(mcid);
+  if (hooks_.on_state_destroyed) hooks_.on_state_destroyed(mcid);
 }
 
 // --- Introspection ---
@@ -589,7 +589,8 @@ std::uint64_t mix_topology(std::uint64_t h, const trees::Topology& t,
 std::uint64_t DgmcSwitch::fingerprint(std::uint64_t h,
                                       const graph::Permutation* p) const {
   h = util::hash_mix(h, alive_ ? 1 : 2);
-  for (const auto& [mcid, st] : states_) {  // std::map: stable order
+  // Ascending-mcid store order: shard-count-invariant by contract.
+  states_.for_each([&](mc::McId mcid, const McState& st) {
     h = util::hash_mix(h, static_cast<std::uint64_t>(mcid));
     h = util::hash_mix(h, static_cast<std::uint64_t>(st.type));
     if (p == nullptr) {
@@ -627,7 +628,7 @@ std::uint64_t DgmcSwitch::fingerprint(std::uint64_t h,
                                                p->node_inv[w])]);
     }
     h = mix_stamp(h, st.sync_floor, p);
-  }
+  });
   if (current_.has_value()) {
     const Computation& c = *current_;
     h = util::hash_mix(h, 0xC0117u);

@@ -41,7 +41,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 
 #include "core/mc_lsa.hpp"
@@ -49,6 +48,7 @@
 #include "rt/executor.hpp"
 #include "mc/algorithm.hpp"
 #include "mc/member_list.hpp"
+#include "mc/shard_store.hpp"
 
 namespace dgmc::graph {
 struct Permutation;
@@ -103,6 +103,12 @@ struct DgmcConfig {
   /// event LSAs then counts the same event twice, pushing R past E.
   /// Never enable outside the check subsystem's regression tests.
   bool unguarded_sync = false;
+  /// Shard count for the per-MC state store (mc::ShardStore). Behavior
+  /// is bit-identical at any value (DESIGN.md §13's determinism
+  /// contract); more shards buy per-shard arenas sized for many-MC
+  /// workloads and give a parallel driver independent units of work.
+  /// 1 (the default) keeps the single-arena layout.
+  int mc_shards = 1;
 };
 
 /// Per-switch, per-MC protocol counters (the paper's metrics inputs).
@@ -135,6 +141,13 @@ class DgmcSwitch {
     std::function<void(mc::McId, const trees::Topology&)> on_install;
     /// Observer: a topology computation started (optional).
     std::function<void(mc::McId)> on_computation;
+    /// Observer: per-MC state was created here — by a local join or by
+    /// the first LSA/sync heard for the MC (optional). Lets a driver
+    /// maintain an mcid -> holders index instead of scanning switches.
+    std::function<void(mc::McId)> on_state_created;
+    /// Observer: per-MC state was destroyed here — destroy-on-empty or
+    /// a crash wipe (optional). Mirror of on_state_created.
+    std::function<void(mc::McId)> on_state_destroyed;
   };
 
   DgmcSwitch(graph::NodeId self, int network_size, rt::Executor& exec,
@@ -312,7 +325,11 @@ class DgmcSwitch {
   const mc::TopologyAlgorithm& algorithm_;
   DgmcConfig config_;
   Hooks hooks_;
-  std::map<mc::McId, McState> states_;  // ordered: deterministic iteration
+  /// MC-id-sharded per-MC state. Iteration (fingerprint, link events,
+  /// trigger gates) is ascending-mcid regardless of shard count — the
+  /// store's merge order reproduces the std::map order this field had
+  /// before sharding, keeping fingerprints bit-identical.
+  mc::ShardStore<McState> states_;
   std::optional<Computation> current_;
   rt::TimerId current_event_;  // completion event of current_
   bool alive_ = true;
@@ -329,7 +346,7 @@ class DgmcSwitch {
   /// restores the matching pending event (and the id counter).
   /// Opaque to callers — the state types are private by design.
   struct Snapshot {
-    std::map<mc::McId, McState> states;
+    mc::ShardStore<McState> states;  // deep copy of the shard arenas
     std::optional<Computation> current;
     rt::TimerId current_event;
     bool alive = true;

@@ -1,0 +1,180 @@
+// LsaBatcher: coalesces the MC LSAs one switch originates in one
+// round into a single flooded wire operation (DESIGN.md §13).
+//
+// The paper's cost model charges "k MC LSAs, where k is the number of
+// MCs whose topologies are affected by the event" for every link
+// event — and at many-MC scale k is the problem: one link failure on a
+// tree shared by hundreds of MCs makes the detecting switch originate
+// hundreds of floods, each a separate copy per link, ack per link, and
+// retransmit timer. All of those LSAs leave the same origin in the
+// same round and travel the same flooding paths, so they can share a
+// frame: the batcher buffers LSAs submitted during one executor round
+// and floods them as one core::McLsaBatch when the round's end-of-
+// round flush (scheduled at now()+0 with tag kBatchFlush) fires.
+//
+// One batch = one flooding sequence number = one reliability unit: the
+// FloodNode ack/retransmit machinery needs no changes, it simply sees
+// one payload. A batch of one degenerates to the plain single-LSA
+// frame (bit-identical bytes — see core/codec), so enabling batching
+// on a workload with no same-round coalescing changes nothing on the
+// wire.
+//
+// Disabled (the default), submit() floods immediately and the object
+// is a transparent pass-through — behavior, wire bytes and event
+// interleavings stay bit-for-bit what they were before batching
+// existed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/mc_lsa.hpp"
+#include "graph/graph.hpp"
+#include "rt/executor.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::lsr {
+
+class LsaBatcher {
+ public:
+  struct Hooks {
+    /// Floods one LSA as its own wire op (required; the pass-through
+    /// and flush-of-one path).
+    std::function<void(core::McLsa)> flood_single;
+    /// Floods a coalesced batch as one wire op (required).
+    std::function<void(core::McLsaBatch)> flood_batch;
+  };
+
+  struct Counters {
+    std::uint64_t lsas_submitted = 0;
+    std::uint64_t singles_flooded = 0;  // pass-through + flush-of-one
+    std::uint64_t batches_flooded = 0;  // flushes that coalesced >= 2
+    std::uint64_t batched_lsas = 0;     // LSAs carried inside batches
+  };
+
+  LsaBatcher(rt::Executor& exec, graph::NodeId origin, Hooks hooks)
+      : exec_(exec), origin_(origin), hooks_(std::move(hooks)) {
+    DGMC_ASSERT(hooks_.flood_single != nullptr);
+    DGMC_ASSERT(hooks_.flood_batch != nullptr);
+  }
+
+  LsaBatcher(const LsaBatcher&) = delete;
+  LsaBatcher& operator=(const LsaBatcher&) = delete;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Wire-size ceiling per flushed batch frame (0 = unbounded, the
+  /// simulation default). A datagram transport sets this below its MTU
+  /// so a flush that coalesced more than one frame's worth splits into
+  /// several maximal batches instead of emitting an unsendable one.
+  void set_max_batch_bytes(std::size_t cap) { max_batch_bytes_ = cap; }
+
+  /// Accepts an LSA the protocol wants flooded. Disabled: floods it
+  /// immediately. Enabled: buffers it and arms the end-of-round flush
+  /// (one timer per round, shared by every LSA buffered in it).
+  void submit(core::McLsa lsa) {
+    ++counters_.lsas_submitted;
+    if (!enabled_) {
+      ++counters_.singles_flooded;
+      hooks_.flood_single(std::move(lsa));
+      return;
+    }
+    pending_.push_back(std::move(lsa));
+    if (!flush_armed_) {
+      flush_armed_ = true;
+      rt::EventTag tag;
+      tag.kind = rt::EventTag::Kind::kBatchFlush;
+      tag.node = origin_;
+      flush_timer_ = exec_.schedule_after(0.0, tag, [this] {
+        flush_armed_ = false;
+        flush();
+      });
+    }
+  }
+
+  /// Floods everything buffered: one LSA goes out as the degenerate
+  /// single frame, two or more as one batch — split into several
+  /// maximal batches when the buffer exceeds the per-frame ceilings
+  /// (core::kMaxBatchLsas always; max_batch_bytes when set). Safe to
+  /// call with nothing pending (the armed timer then fires as a no-op).
+  void flush() {
+    if (pending_.empty()) return;
+    std::vector<core::McLsa> chunk;
+    std::size_t chunk_bytes = 6;  // batch frame header
+    auto emit = [&] {
+      if (chunk.size() == 1) {
+        ++counters_.singles_flooded;
+        hooks_.flood_single(std::move(chunk.front()));
+      } else {
+        core::McLsaBatch batch;
+        batch.lsas = std::move(chunk);
+        ++counters_.batches_flooded;
+        counters_.batched_lsas += batch.lsas.size();
+        hooks_.flood_batch(std::move(batch));
+      }
+      chunk.clear();
+      chunk_bytes = 6;
+    };
+    for (core::McLsa& lsa : pending_) {
+      const std::size_t sz = 4 + core::encoded_size(lsa);
+      if (!chunk.empty() &&
+          (chunk.size() >= core::kMaxBatchLsas ||
+           (max_batch_bytes_ != 0 && chunk_bytes + sz > max_batch_bytes_))) {
+        emit();
+      }
+      chunk.push_back(std::move(lsa));
+      chunk_bytes += sz;
+    }
+    emit();
+    pending_.clear();
+  }
+
+  std::size_t pending() const { return pending_.size(); }
+  const std::vector<core::McLsa>& pending_lsas() const { return pending_; }
+  const Counters& counters() const { return counters_; }
+
+  /// Checkpoint interface: the pending buffer and the armed flag are
+  /// restored together with the owning scheduler's calendar (which
+  /// holds the matching flush event), same contract as every other
+  /// snapshotted timer in the system.
+  struct Snapshot {
+    bool enabled = false;
+    std::vector<core::McLsa> pending;
+    bool flush_armed = false;
+    rt::TimerId flush_timer;
+    Counters counters;
+  };
+
+  void save(Snapshot& out) const {
+    out.enabled = enabled_;
+    out.pending = pending_;
+    out.flush_armed = flush_armed_;
+    out.flush_timer = flush_timer_;
+    out.counters = counters_;
+  }
+
+  void restore(const Snapshot& snap) {
+    enabled_ = snap.enabled;
+    pending_ = snap.pending;
+    flush_armed_ = snap.flush_armed;
+    flush_timer_ = snap.flush_timer;
+    counters_ = snap.counters;
+  }
+
+ private:
+  rt::Executor& exec_;
+  graph::NodeId origin_;
+  Hooks hooks_;
+  bool enabled_ = false;
+  std::size_t max_batch_bytes_ = 0;
+  std::vector<core::McLsa> pending_;
+  bool flush_armed_ = false;
+  rt::TimerId flush_timer_;
+  Counters counters_;
+};
+
+}  // namespace dgmc::lsr

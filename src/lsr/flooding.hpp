@@ -116,6 +116,14 @@ class FloodingNetwork {
     for (auto& node : nodes_) node->set_payload_digest(fn);
   }
 
+  /// Wire size in bytes of a payload, charged per data copy put on a
+  /// link (wire_bytes() accumulates it). Lets drivers compare batched
+  /// vs unbatched flooding by bytes actually on the wire, not just op
+  /// counts. Optional — null leaves wire_bytes() at 0.
+  void set_payload_size(std::function<std::size_t(const Payload&)> fn) {
+    payload_size_ = std::move(fn);
+  }
+
   /// Marks a switch's interface up or down. While down, copies
   /// addressed to the node are discarded on arrival, no acks are
   /// produced, and the node's own pending retransmissions are
@@ -169,6 +177,8 @@ class FloodingNetwork {
     return total;
   }
   std::uint64_t link_transmissions() const { return link_transmissions_; }
+  /// Payload bytes put on links (per data copy; needs set_payload_size).
+  std::uint64_t wire_bytes() const { return wire_bytes_; }
   std::uint64_t duplicates_dropped() const {
     std::uint64_t total = 0;
     for (const auto& node : nodes_) total += node->duplicates_dropped();
@@ -372,6 +382,7 @@ class FloodingNetwork {
     const graph::Link& l = physical_.link(id);
     const graph::NodeId to = physical_.other_end(id, from);
     ++link_transmissions_;
+    if (payload_size_) wire_bytes_ += payload_size_(msg->payload);
     if (fault_drop(id)) {
       ++messages_dropped_;
       return;
@@ -482,9 +493,11 @@ class FloodingNetwork {
   std::size_t queue_peak_ = 0;
   std::uint64_t sheds_ = 0;
   std::uint64_t link_transmissions_ = 0;
+  std::uint64_t wire_bytes_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  std::function<std::size_t(const Payload&)> payload_size_;
 
  public:
   // --- Checkpoint interface ---
@@ -502,6 +515,7 @@ class FloodingNetwork {
     std::size_t queue_peak = 0;
     std::uint64_t sheds = 0;
     std::uint64_t link_transmissions = 0;
+    std::uint64_t wire_bytes = 0;
     std::uint64_t in_flight = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t messages_dropped = 0;
@@ -519,6 +533,7 @@ class FloodingNetwork {
     out.queue_peak = queue_peak_;
     out.sheds = sheds_;
     out.link_transmissions = link_transmissions_;
+    out.wire_bytes = wire_bytes_;
     out.in_flight = in_flight_;
     out.acks_sent = acks_sent_;
     out.messages_dropped = messages_dropped_;
@@ -536,6 +551,7 @@ class FloodingNetwork {
     queue_peak_ = snap.queue_peak;
     sheds_ = snap.sheds;
     link_transmissions_ = snap.link_transmissions;
+    wire_bytes_ = snap.wire_bytes;
     in_flight_ = snap.in_flight;
     acks_sent_ = snap.acks_sent;
     messages_dropped_ = snap.messages_dropped;

@@ -1,0 +1,19 @@
+#include "mc/shard_store.hpp"
+
+#include <cstdlib>
+
+namespace dgmc::mc {
+
+int resolve_shard_count(int requested) {
+  if (requested > 0) return requested;
+  return 1;
+}
+
+int default_shard_count_from_env() {
+  const char* env = std::getenv("DGMC_MC_SHARDS");
+  if (env == nullptr) return 1;
+  const int v = std::atoi(env);
+  return v > 0 ? v : 1;
+}
+
+}  // namespace dgmc::mc

@@ -1,0 +1,312 @@
+// ShardStore: MC-id-sharded storage for per-MC protocol state.
+//
+// The protocol layer keys everything by mc::McId — member lists,
+// vector timestamps, installed topologies — and before this store
+// existed each owner kept them in one std::map. That representation
+// has two scaling problems the many-MC engine hits head on: every
+// insert/erase is a node allocation, and there is no unit of ownership
+// a parallel event loop can schedule. ShardStore fixes both:
+//
+//   * State is split across `shard_count` shards by the stable rule
+//     shard = mcid % shard_count. Each shard owns an *arena*: a slot
+//     vector holding the records (member lists, timestamps, LSAs —
+//     whatever T carries) plus a freelist, so records for thousands of
+//     MCs live in a handful of contiguous allocations and an
+//     insert/erase after warm-up allocates nothing.
+//   * A shard is the unit of parallel scheduling: two events for MCs
+//     in different shards touch disjoint arenas and may run on
+//     different workers with no synchronization. Events for the same
+//     shard must be applied in order by one worker at a time
+//     (shard-affine queues; see sim/many_mc.cpp).
+//
+// Determinism contract (DESIGN.md §8 and §13): every observable order
+// this container exposes is independent of shard_count. Iteration
+// (for_each / for_each_while / keys) is a k-way merge of the per-shard
+// ascending-mcid indexes with min-id-wins, which reproduces exactly
+// the global ascending order a single std::map would give. Fingerprints
+// and serialized snapshots are therefore bit-identical at any shard
+// count — pinned by tests/mc_shard_test.cpp at shards {1,4,16}.
+//
+// Handles: insert returns (and handle_of looks up) a stable McHandle
+// {shard, slot}. Slots are never moved by other inserts/erases — only
+// erase of the same MC frees a slot (to the freelist) — so a handle is
+// valid for the record's whole lifetime. Handles index, they do not
+// pin: the arena may *reallocate* on growth, so hold handles, not
+// pointers, across inserts.
+//
+// The store is deep-copyable (copy ctor/assign copy the arenas
+// wholesale), which is what checkpoint snapshot/restore relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mc/types.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::mc {
+
+/// Stable reference to a record in a ShardStore: which shard arena and
+/// which slot within it. Cheap to copy, meaningful only against the
+/// store (generation checking is the store's job via the mcid match).
+struct McHandle {
+  std::int32_t shard = -1;
+  std::int32_t slot = -1;
+  bool valid() const { return shard >= 0 && slot >= 0; }
+  friend bool operator==(const McHandle&, const McHandle&) = default;
+};
+
+/// Chooses the shard count: `requested` if positive, else 1 (the
+/// single-arena layout every pre-sharding caller gets by default).
+int resolve_shard_count(int requested);
+
+/// DGMC_MC_SHARDS from the environment (CLI/bench convenience), else 1.
+int default_shard_count_from_env();
+
+template <typename T>
+class ShardStore {
+ public:
+  explicit ShardStore(int shard_count = 1)
+      : shards_(static_cast<std::size_t>(resolve_shard_count(shard_count))) {}
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// The owning shard for an MC id (stable: id % shard_count).
+  int shard_of(McId mcid) const {
+    DGMC_ASSERT(mcid >= 0);
+    return static_cast<int>(mcid % static_cast<McId>(shards_.size()));
+  }
+
+  /// Total records, summed over the per-shard indexes. O(shard_count),
+  /// deliberately: a global counter would be the one piece of state
+  /// shared between shards, breaking the rule that same-shard-only
+  /// mutations from different workers need no synchronization.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& sh : shards_) n += sh.index.size();
+    return n;
+  }
+  bool empty() const { return size() == 0; }
+
+  bool contains(McId mcid) const { return find(mcid) != nullptr; }
+
+  /// Looks up the record for `mcid`; nullptr if absent. The pointer is
+  /// invalidated by any later insert into the same shard (arena
+  /// growth) — use within one event's processing only.
+  T* find(McId mcid) {
+    Shard& sh = shards_[static_cast<std::size_t>(shard_of(mcid))];
+    const int slot = sh.slot_of(mcid);
+    return slot >= 0 ? &sh.slots[static_cast<std::size_t>(slot)].value
+                     : nullptr;
+  }
+  const T* find(McId mcid) const {
+    const Shard& sh = shards_[static_cast<std::size_t>(shard_of(mcid))];
+    const int slot = sh.slot_of(mcid);
+    return slot >= 0 ? &sh.slots[static_cast<std::size_t>(slot)].value
+                     : nullptr;
+  }
+
+  /// Returns the record for `mcid`, creating a default-constructed one
+  /// if absent; `created` (when non-null) reports which happened.
+  T& get_or_create(McId mcid, bool* created = nullptr) {
+    Shard& sh = shards_[static_cast<std::size_t>(shard_of(mcid))];
+    const auto it = sh.lower_bound(mcid);
+    if (it != sh.index.end() && it->first == mcid) {
+      if (created != nullptr) *created = false;
+      return sh.slots[static_cast<std::size_t>(it->second)].value;
+    }
+    int slot;
+    if (!sh.freelist.empty()) {
+      slot = sh.freelist.back();
+      sh.freelist.pop_back();
+      Slot& s = sh.slots[static_cast<std::size_t>(slot)];
+      s.mcid = mcid;
+      s.value = T{};
+    } else {
+      slot = static_cast<int>(sh.slots.size());
+      sh.slots.push_back(Slot{mcid, T{}});
+    }
+    sh.index.insert(it, {mcid, slot});
+    if (created != nullptr) *created = true;
+    return sh.slots[static_cast<std::size_t>(slot)].value;
+  }
+
+  /// Removes the record for `mcid`; returns whether one existed. The
+  /// freed slot goes to the shard's freelist for reuse.
+  bool erase(McId mcid) {
+    Shard& sh = shards_[static_cast<std::size_t>(shard_of(mcid))];
+    const auto it = sh.lower_bound(mcid);
+    if (it == sh.index.end() || it->first != mcid) return false;
+    const int slot = it->second;
+    sh.index.erase(it);
+    Slot& s = sh.slots[static_cast<std::size_t>(slot)];
+    s.mcid = kInvalidMc;
+    s.value = T{};  // release the record's resources now, not at reuse
+    sh.freelist.push_back(slot);
+    return true;
+  }
+
+  /// Drops every record (arena capacity is retained).
+  void clear() {
+    for (Shard& sh : shards_) {
+      sh.index.clear();
+      sh.slots.clear();
+      sh.freelist.clear();
+    }
+  }
+
+  /// Stable handle for an existing record; invalid handle if absent.
+  McHandle handle_of(McId mcid) const {
+    const int shard = shard_of(mcid);
+    const int slot = shards_[static_cast<std::size_t>(shard)].slot_of(mcid);
+    return slot >= 0 ? McHandle{shard, slot} : McHandle{};
+  }
+
+  /// Dereferences a handle. Asserts the slot is live.
+  T& get(McHandle h) {
+    DGMC_ASSERT(h.valid() && h.shard < shard_count());
+    Shard& sh = shards_[static_cast<std::size_t>(h.shard)];
+    DGMC_ASSERT(h.slot < static_cast<int>(sh.slots.size()));
+    Slot& s = sh.slots[static_cast<std::size_t>(h.slot)];
+    DGMC_ASSERT(s.mcid != kInvalidMc);
+    return s.value;
+  }
+  const T& get(McHandle h) const {
+    return const_cast<ShardStore*>(this)->get(h);
+  }
+
+  /// The MC id a live handle refers to.
+  McId id_of(McHandle h) const {
+    DGMC_ASSERT(h.valid() && h.shard < shard_count());
+    const Shard& sh = shards_[static_cast<std::size_t>(h.shard)];
+    DGMC_ASSERT(h.slot < static_cast<int>(sh.slots.size()));
+    return sh.slots[static_cast<std::size_t>(h.slot)].mcid;
+  }
+
+  /// Ascending-mcid iteration over every record — the k-way merge that
+  /// makes iteration order shard-count-invariant. `f(McId, T&)`.
+  template <typename F>
+  void for_each(F&& f) {
+    merged([&](McId mcid, int shard, int slot) {
+      f(mcid, shards_[static_cast<std::size_t>(shard)]
+                  .slots[static_cast<std::size_t>(slot)]
+                  .value);
+      return true;
+    });
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    merged([&](McId mcid, int shard, int slot) {
+      f(mcid, shards_[static_cast<std::size_t>(shard)]
+                  .slots[static_cast<std::size_t>(slot)]
+                  .value);
+      return true;
+    });
+  }
+
+  /// Ascending-mcid iteration that stops when `f` returns false.
+  template <typename F>
+  void for_each_while(F&& f) {
+    merged([&](McId mcid, int shard, int slot) {
+      return f(mcid, shards_[static_cast<std::size_t>(shard)]
+                         .slots[static_cast<std::size_t>(slot)]
+                         .value);
+    });
+  }
+
+  /// Every stored MC id, ascending.
+  std::vector<McId> keys() const {
+    std::vector<McId> out;
+    out.reserve(size());
+    merged([&](McId mcid, int, int) {
+      out.push_back(mcid);
+      return true;
+    });
+    return out;
+  }
+
+  /// Records owned by one shard, ascending mcid within the shard.
+  /// This is the parallel loop's unit of work: distinct shards touch
+  /// disjoint arenas. `f(McId, T&)`.
+  template <typename F>
+  void for_each_in_shard(int shard, F&& f) {
+    DGMC_ASSERT(shard >= 0 && shard < shard_count());
+    Shard& sh = shards_[static_cast<std::size_t>(shard)];
+    for (const auto& [mcid, slot] : sh.index) {
+      f(mcid, sh.slots[static_cast<std::size_t>(slot)].value);
+    }
+  }
+  template <typename F>
+  void for_each_in_shard(int shard, F&& f) const {
+    DGMC_ASSERT(shard >= 0 && shard < shard_count());
+    const Shard& sh = shards_[static_cast<std::size_t>(shard)];
+    for (const auto& [mcid, slot] : sh.index) {
+      f(mcid, sh.slots[static_cast<std::size_t>(slot)].value);
+    }
+  }
+
+  std::size_t shard_size(int shard) const {
+    DGMC_ASSERT(shard >= 0 && shard < shard_count());
+    return shards_[static_cast<std::size_t>(shard)].index.size();
+  }
+
+ private:
+  struct Slot {
+    McId mcid = kInvalidMc;  // kInvalidMc marks a freelisted slot
+    T value{};
+  };
+
+  struct Shard {
+    /// Sorted (mcid -> slot) lookup index; binary-searched.
+    std::vector<std::pair<McId, int>> index;
+    /// The arena: records live here, addressed by slot, never moved
+    /// relative to each other (growth may reallocate the block).
+    std::vector<Slot> slots;
+    std::vector<int> freelist;
+
+    std::vector<std::pair<McId, int>>::iterator lower_bound(McId mcid) {
+      return std::lower_bound(
+          index.begin(), index.end(), mcid,
+          [](const std::pair<McId, int>& e, McId m) { return e.first < m; });
+    }
+    int slot_of(McId mcid) const {
+      const auto it = std::lower_bound(
+          index.begin(), index.end(), mcid,
+          [](const std::pair<McId, int>& e, McId m) { return e.first < m; });
+      return (it != index.end() && it->first == mcid) ? it->second : -1;
+    }
+  };
+
+  /// Min-id-wins merge across the per-shard sorted indexes. `f` gets
+  /// (mcid, shard, slot) and returns false to stop early.
+  template <typename F>
+  void merged(F&& f) const {
+    const int k = shard_count();
+    // Cursor per shard into its sorted index.
+    std::vector<std::size_t> cur(static_cast<std::size_t>(k), 0);
+    for (;;) {
+      int best = -1;
+      McId best_id = 0;
+      for (int s = 0; s < k; ++s) {
+        const Shard& sh = shards_[static_cast<std::size_t>(s)];
+        if (cur[static_cast<std::size_t>(s)] >= sh.index.size()) continue;
+        const McId id = sh.index[cur[static_cast<std::size_t>(s)]].first;
+        if (best < 0 || id < best_id) {
+          best = s;
+          best_id = id;
+        }
+      }
+      if (best < 0) return;
+      const Shard& sh = shards_[static_cast<std::size_t>(best)];
+      const int slot = sh.index[cur[static_cast<std::size_t>(best)]].second;
+      ++cur[static_cast<std::size_t>(best)];
+      if (!f(best_id, best, slot)) return;
+    }
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace dgmc::mc

@@ -48,8 +48,8 @@ using dgmc::sim::SpecError;
 int usage() {
   std::fprintf(stderr,
                "usage: dgmc_nethost SPEC_FILE [--time-scale S] [--max-wall T]\n"
-               "                    [--hello T] [--dead T] [--des-compare]\n"
-               "                    [--bench-json]\n");
+               "                    [--hello T] [--dead T] [--rto T]\n"
+               "                    [--des-compare] [--bench-json]\n");
   return 2;
 }
 
@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   double max_wall = 60.0;
   double hello = 0.05;
   double dead = 0.5;
+  double rto = 0.0;  // 0 = the FloodNode default (10ms)
   bool des_compare = false;
   bool want_bench_json = false;
 
@@ -94,6 +95,8 @@ int main(int argc, char** argv) {
       hello = std::atof(next());
     } else if (flag == "--dead") {
       dead = std::atof(next());
+    } else if (flag == "--rto") {
+      rto = std::atof(next());
     } else if (flag == "--des-compare") {
       des_compare = true;
     } else if (flag == "--bench-json") {
@@ -138,8 +141,13 @@ int main(int argc, char** argv) {
       spec.incremental ? dgmc::mc::make_incremental_algorithm()
                        : dgmc::mc::make_from_scratch_algorithm();
 
+  const dgmc::sim::DgmcNetwork::Params spec_params = spec.network_params();
   dgmc::net::NetCluster::Config config;
-  config.sw.dgmc = spec.network_params().dgmc;
+  config.sw.dgmc = spec_params.dgmc;
+  // One spec drives every backend: the batching and overload knobs the
+  // sim honors apply to the UDP switches too (DESIGN.md §13).
+  config.sw.lsa_batching = spec_params.lsa_batching;
+  config.sw.overload = spec_params.overload;
   // Event times are compressed by time_scale, so the protocol's own
   // time constants must compress identically or computations that were
   // sequential in spec time overlap in wall time (and vice versa),
@@ -150,6 +158,10 @@ int main(int argc, char** argv) {
   }
   config.sw.heartbeat.hello_interval = hello;
   config.sw.heartbeat.dead_interval = dead;
+  // Big populations saturate loopback; the 10ms default RTO then sits
+  // far below the real ack latency and every copy retransmits over and
+  // over (congestion collapse). Widen it for many-MC runs.
+  if (rto > 0.0) config.sw.reliable.initial_rto = rto;
   config.time_scale = time_scale;
   config.max_wall = max_wall;
 

@@ -27,6 +27,9 @@ NetSwitch::NetSwitch(EventLoop& loop, const graph::Graph& topo,
   node_ = std::make_unique<lsr::FloodNode<Payload>>(
       self_, topo_.node_count(), loop_, *wire_);
   if (config_.reliable.enabled) node_->set_reliable(config_.reliable);
+  if (config_.overload.max_dedup_ahead > 0) {
+    node_->set_max_dedup_ahead(config_.overload.max_dedup_ahead);
+  }
   node_->set_receiver([this](const lsr::FloodNode<Payload>::Delivery& d) {
     deliver(d);
   });
@@ -46,8 +49,21 @@ NetSwitch::NetSwitch(EventLoop& loop, const graph::Graph& topo,
       loop_, self_, topo_.links_of(self_), config_.heartbeat,
       std::move(nb_hooks));
 
+  lsr::LsaBatcher::Hooks bhooks;
+  bhooks.flood_single = [this](core::McLsa lsa) {
+    flood(Payload{std::move(lsa)});
+  };
+  bhooks.flood_batch = [this](core::McLsaBatch batch) {
+    flood(Payload{std::move(batch)});
+  };
+  batcher_ =
+      std::make_unique<lsr::LsaBatcher>(loop_, self_, std::move(bhooks));
+  batcher_->set_enabled(config_.lsa_batching);
+  // A flushed batch must still fit one datagram after framing.
+  batcher_->set_max_batch_bytes(kMaxDatagram - 256);
+
   core::DgmcSwitch::Hooks hooks;
-  hooks.flood = [this](core::McLsa lsa) { flood(Payload{std::move(lsa)}); };
+  hooks.flood = [this](core::McLsa lsa) { batcher_->submit(std::move(lsa)); };
   hooks.local_image = [this]() -> const graph::Graph& {
     return image_.graph();
   };
@@ -183,6 +199,13 @@ void NetSwitch::handle_datagram(const std::uint8_t* data, std::size_t len) {
           return;
         }
         payload = std::move(*sync);
+      } else if (type == core::WireType::kMcLsaBatch) {
+        auto batch = core::decode_mc_lsa_batch(f->payload);
+        if (!batch.has_value()) {
+          ++stats_.decode_errors;
+          return;
+        }
+        payload = std::move(*batch);
       } else {
         ++stats_.decode_errors;
         return;
@@ -204,6 +227,10 @@ void NetSwitch::deliver(const lsr::FloodNode<Payload>::Delivery& d) {
   }
   if (const auto* sync = std::get_if<core::McSync>(&d.payload)) {
     dgmc_->apply_sync(*sync);
+    return;
+  }
+  if (const auto* batch = std::get_if<core::McLsaBatch>(&d.payload)) {
+    for (const core::McLsa& lsa : batch->lsas) dgmc_->receive(lsa);
     return;
   }
   dgmc_->receive(std::get<core::McLsa>(d.payload));

@@ -36,6 +36,7 @@
 #include "core/protocol.hpp"
 #include "core/sync.hpp"
 #include "graph/graph.hpp"
+#include "lsr/batcher.hpp"
 #include "lsr/flood_node.hpp"
 #include "lsr/link_lsa.hpp"
 #include "lsr/local_image.hpp"
@@ -49,7 +50,8 @@ namespace dgmc::net {
 class NetSwitch {
  public:
   /// Same payload universe as the simulation's transport.
-  using Payload = std::variant<lsr::LinkEventAd, core::McLsa, core::McSync>;
+  using Payload = std::variant<lsr::LinkEventAd, core::McLsa, core::McSync,
+                               core::McLsaBatch>;
 
   struct Config {
     core::DgmcConfig dgmc;
@@ -57,6 +59,16 @@ class NetSwitch {
     /// Per-link ack + retransmit. UDP loses datagrams, so real
     /// deployments want this on (the default here, unlike the sim).
     lsr::ReliableFloodingConfig reliable{/*enabled=*/true};
+    /// Overload bounds. Only max_dedup_ahead applies here: the
+    /// inflight/queue fields are enforced by the sim's wire model, and
+    /// UDP has no admission control to hand them to. Bounding the
+    /// dedup buffer still caps per-origin memory during join storms.
+    lsr::OverloadConfig overload;
+    /// Coalesce same-round MC LSA originations into one batch frame
+    /// (one datagram per link, one ack, one retransmit timer —
+    /// lsr::LsaBatcher, DESIGN.md §13). Off by default; peers must run
+    /// a batch-aware codec to decode the 0xD9 frame.
+    bool lsa_batching = false;
   };
 
   struct Stats {
@@ -110,6 +122,9 @@ class NetSwitch {
   const core::DgmcSwitch& dgmc() const { return *dgmc_; }
   const lsr::LocalImage& image() const { return image_; }
   const NeighborTable& neighbors() const { return *neighbors_; }
+  const lsr::LsaBatcher::Counters& batching_counters() const {
+    return batcher_->counters();
+  }
   const Stats& stats() const { return stats_; }
   std::uint64_t retransmissions() const { return node_->retransmissions(); }
   std::size_t retransmit_timers_armed() const {
@@ -173,6 +188,7 @@ class NetSwitch {
   std::unique_ptr<UdpWire> wire_;
   std::unique_ptr<lsr::FloodNode<Payload>> node_;
   std::unique_ptr<NeighborTable> neighbors_;
+  std::unique_ptr<lsr::LsaBatcher> batcher_;
   std::unique_ptr<core::DgmcSwitch> dgmc_;
 };
 

@@ -19,6 +19,7 @@ struct EventTag {
     kCompute = 4,     // topology-computation completion at `node`
     kFault = 5,       // scheduled fault-plan action
     kHeartbeat = 6,   // neighbor HELLO / dead-interval timer (net backend)
+    kBatchFlush = 7,  // end-of-round LSA batch flush at origin `node`
   };
   Kind kind = Kind::kOpaque;
   std::int32_t node = -1;     // the switch the event happens at

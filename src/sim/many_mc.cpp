@@ -1,0 +1,356 @@
+#include "sim/many_mc.hpp"
+
+#include <algorithm>
+
+#include "core/codec.hpp"
+#include "core/mc_lsa.hpp"
+#include "core/timestamp.hpp"
+#include "graph/generators.hpp"
+#include "lsr/link_lsa.hpp"
+#include "trees/topology.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace dgmc::sim {
+
+namespace {
+int clamp_cores(const ManyMcParams& p) {
+  return std::max(1, std::min(p.cores, p.switches));
+}
+
+// Per-wire-op transport cost around the codec payload, from the real
+// datagram layout (net/frame.cpp): a data frame is magic(4) version(1)
+// kind(1) sender(4) link(4) origin(4) seq(4) payload_len(4) = 26 bytes
+// of framing, and each delivered copy is answered by one 22-byte ack
+// frame (magic..link + origin + seq). This is where batching's byte
+// win lives: k LSAs in one frame pay the 26 + 22 once instead of k
+// times (one batch = one reliability unit).
+constexpr std::size_t kDataFrameOverheadBytes = 26;
+constexpr std::size_t kAckFrameBytes = 22;
+
+std::size_t wire_op_bytes(std::size_t payload_bytes) {
+  return kDataFrameOverheadBytes + payload_bytes + kAckFrameBytes;
+}
+}  // namespace
+
+ManyMcEngine::ManyMcEngine(ManyMcParams params)
+    : params_(params),
+      physical_([&params] {
+        util::RngStream rng =
+            util::RngStream::derive(params.seed, "manymc-graph");
+        return graph::random_connected(params.switches, params.avg_degree,
+                                       rng);
+      }()),
+      pool_(static_cast<std::size_t>(std::max(0, params.jobs))),
+      churn_rng_(util::RngStream::derive(params.seed, "manymc-churn")),
+      records_(params.shards) {
+  DGMC_ASSERT(params_.switches >= 2);
+  DGMC_ASSERT(params_.mcs >= 1);
+  up_links_ = physical_.link_count();
+  recompute_core_trees();
+
+  // Honest wire sizes from the real codec at this network's stamp
+  // dimension: a membership LSA (no proposal), a proposal LSA as base
+  // plus a per-edge slope (both encodings are linear in edge count),
+  // and the non-MC link event ad.
+  core::McLsa scratch;
+  scratch.source = 0;
+  scratch.event = core::McEventType::kJoin;
+  scratch.mc = 0;
+  scratch.stamp = core::VectorTimestamp(params_.switches);
+  membership_lsa_bytes_ = core::encoded_size(scratch);
+  scratch.event = core::McEventType::kNone;
+  scratch.proposal = trees::Topology{};
+  proposal_lsa_base_bytes_ = core::encoded_size(scratch);
+  scratch.proposal = trees::Topology({graph::Edge{0, 1}});
+  proposal_lsa_edge_bytes_ =
+      core::encoded_size(scratch) - proposal_lsa_base_bytes_;
+  nonmc_lsa_bytes_ = core::encode(lsr::LinkEventAd{0, false}).size();
+}
+
+void ManyMcEngine::recompute_core_trees() {
+  const int cores = clamp_cores(params_);
+  core_trees_.resize(static_cast<std::size_t>(cores));
+  exec::parallel_for(pool_, static_cast<std::size_t>(cores),
+                     [this](std::size_t i) {
+                       core_trees_[i] = graph::dijkstra(
+                           physical_, static_cast<graph::NodeId>(i));
+                     });
+}
+
+void ManyMcEngine::append_core_path(int core, graph::NodeId from,
+                                    std::vector<graph::LinkId>& out) const {
+  const graph::ShortestPaths& tree =
+      core_trees_[static_cast<std::size_t>(core)];
+  if (!tree.reachable(from)) return;  // severed by a down link
+  graph::NodeId v = from;
+  while (v != tree.source) {
+    out.push_back(tree.parent_link[static_cast<std::size_t>(v)]);
+    v = tree.parent[static_cast<std::size_t>(v)];
+  }
+}
+
+void ManyMcEngine::rebuild_tree(mc::McId mcid, McRecord& rec) const {
+  const int core = static_cast<int>(mcid % clamp_cores(params_));
+  rec.tree_links.clear();
+  for (const mc::MemberList::Entry& e : rec.members.entries()) {
+    append_core_path(core, e.node, rec.tree_links);
+  }
+  std::sort(rec.tree_links.begin(), rec.tree_links.end());
+  rec.tree_links.erase(
+      std::unique(rec.tree_links.begin(), rec.tree_links.end()),
+      rec.tree_links.end());
+}
+
+void ManyMcEngine::account_single_lsa(std::size_t lsa_bytes,
+                                      ManyMcStats& into) const {
+  // A single-LSA round: the batch frame degenerates to the plain
+  // encoding, so both models charge identically.
+  const std::uint64_t copies = static_cast<std::uint64_t>(up_links_);
+  ++into.mc_lsas;
+  into.wire_ops_unbatched += copies;
+  into.wire_ops_batched += copies;
+  into.wire_bytes_unbatched += copies * wire_op_bytes(lsa_bytes);
+  into.wire_bytes_batched += copies * wire_op_bytes(lsa_bytes);
+}
+
+void ManyMcEngine::join(mc::McId mcid, graph::NodeId node,
+                        mc::MemberRole role) {
+  DGMC_ASSERT(physical_.valid_node(node));
+  McRecord& rec = records_.get_or_create(mcid);
+  rec.members.join(node, role);
+  // Graft the member's core path onto the installed tree (incremental
+  // join — the full rebuild only happens on leave and link events).
+  std::vector<graph::LinkId> path;
+  append_core_path(static_cast<int>(mcid % clamp_cores(params_)), node, path);
+  rec.tree_links.insert(rec.tree_links.end(), path.begin(), path.end());
+  std::sort(rec.tree_links.begin(), rec.tree_links.end());
+  rec.tree_links.erase(
+      std::unique(rec.tree_links.begin(), rec.tree_links.end()),
+      rec.tree_links.end());
+  ++stats_.membership_events;
+  account_single_lsa(membership_lsa_bytes_, stats_);  // the join LSA
+  account_single_lsa(proposal_lsa_base_bytes_ +
+                         rec.tree_links.size() * proposal_lsa_edge_bytes_,
+                     stats_);  // the computing switch's proposal
+}
+
+void ManyMcEngine::leave(mc::McId mcid, graph::NodeId node) {
+  McRecord* rec = records_.find(mcid);
+  DGMC_ASSERT(rec != nullptr && rec->members.contains(node));
+  rec->members.leave(node);
+  ++stats_.membership_events;
+  account_single_lsa(membership_lsa_bytes_, stats_);  // the leave LSA
+  if (rec->members.empty()) {
+    records_.erase(mcid);  // destroy-on-empty
+    return;
+  }
+  rebuild_tree(mcid, *rec);
+  account_single_lsa(proposal_lsa_base_bytes_ +
+                         rec->tree_links.size() * proposal_lsa_edge_bytes_,
+                     stats_);
+}
+
+void ManyMcEngine::build_population() {
+  const int shard_count = records_.shard_count();
+  const int members =
+      std::min(params_.members_per_mc, params_.switches);
+  // Each MC's membership is a pure function of (seed, mcid), and a
+  // shard's MCs are exactly the ids ≡ shard (mod shard_count), so the
+  // parallel build touches disjoint shards and produces bit-identical
+  // records at any (shards, jobs). Wire accounting accumulates into
+  // per-shard scratch and merges in shard order.
+  std::vector<ManyMcStats> scratch(static_cast<std::size_t>(shard_count));
+  exec::parallel_for(
+      pool_, static_cast<std::size_t>(shard_count), [&](std::size_t s) {
+        for (mc::McId mcid = static_cast<mc::McId>(s);
+             mcid < static_cast<mc::McId>(params_.mcs);
+             mcid += static_cast<mc::McId>(shard_count)) {
+          util::RngStream rng =
+              util::RngStream::derive(params_.seed, "manymc-members")
+                  .fork(static_cast<std::uint64_t>(mcid));
+          std::vector<graph::NodeId> chosen;
+          while (static_cast<int>(chosen.size()) < members) {
+            const graph::NodeId node = static_cast<graph::NodeId>(
+                rng.uniform_int(0, params_.switches - 1));
+            if (std::find(chosen.begin(), chosen.end(), node) ==
+                chosen.end()) {
+              chosen.push_back(node);
+            }
+          }
+          ManyMcStats& into = scratch[s];
+          McRecord& rec = records_.get_or_create(mcid);
+          for (const graph::NodeId node : chosen) {
+            rec.members.join(node, mc::MemberRole::kBoth);
+            append_core_path(
+                static_cast<int>(mcid % clamp_cores(params_)), node,
+                rec.tree_links);
+            ++into.membership_events;
+            account_single_lsa(membership_lsa_bytes_, into);
+          }
+          std::sort(rec.tree_links.begin(), rec.tree_links.end());
+          rec.tree_links.erase(
+              std::unique(rec.tree_links.begin(), rec.tree_links.end()),
+              rec.tree_links.end());
+          account_single_lsa(proposal_lsa_base_bytes_ +
+                                 rec.tree_links.size() *
+                                     proposal_lsa_edge_bytes_,
+                             into);
+        }
+      });
+  for (const ManyMcStats& s : scratch) {
+    stats_.membership_events += s.membership_events;
+    stats_.mc_lsas += s.mc_lsas;
+    stats_.wire_ops_unbatched += s.wire_ops_unbatched;
+    stats_.wire_ops_batched += s.wire_ops_batched;
+    stats_.wire_bytes_unbatched += s.wire_bytes_unbatched;
+    stats_.wire_bytes_batched += s.wire_bytes_batched;
+  }
+}
+
+int ManyMcEngine::fail_link(graph::LinkId link) {
+  DGMC_ASSERT(link >= 0 && link < physical_.link_count());
+  DGMC_ASSERT_MSG(physical_.link(link).up, "link already down");
+  physical_.set_link_up(link, false);
+  --up_links_;
+  recompute_core_trees();
+  ++stats_.link_events;
+  // The detector's one non-MC LSA (paper §3.1), identical in both
+  // models — batching coalesces MC LSAs only.
+  const std::uint64_t copies = static_cast<std::uint64_t>(up_links_);
+  stats_.wire_ops_unbatched += copies;
+  stats_.wire_ops_batched += copies;
+  stats_.wire_bytes_unbatched += copies * wire_op_bytes(nonmc_lsa_bytes_);
+  stats_.wire_bytes_batched += copies * wire_op_bytes(nonmc_lsa_bytes_);
+
+  // The many-MC hot path: sweep every record, rebuild exactly those
+  // whose installed tree used the link. Shards are disjoint, so the
+  // sweep fans out across the pool; per-shard findings merge in shard
+  // order below.
+  // The detecting switch (the paper's one-detector accounting)
+  // originates all k MC LSAs of this event in one round — the
+  // canonical batching case: same origin, same round, one batch.
+  struct ShardScratch {
+    std::uint64_t recomputes = 0;
+    std::vector<std::size_t> lsa_bytes;  // per affected MC
+  };
+  const int shard_count = records_.shard_count();
+  std::vector<ShardScratch> scratch(static_cast<std::size_t>(shard_count));
+  exec::parallel_for(
+      pool_, static_cast<std::size_t>(shard_count), [&](std::size_t s) {
+        records_.for_each_in_shard(
+            static_cast<int>(s), [&](mc::McId mcid, McRecord& rec) {
+              if (!std::binary_search(rec.tree_links.begin(),
+                                      rec.tree_links.end(), link)) {
+                return;
+              }
+              rebuild_tree(mcid, rec);
+              ++scratch[s].recomputes;
+              scratch[s].lsa_bytes.push_back(
+                  proposal_lsa_base_bytes_ +
+                  rec.tree_links.size() * proposal_lsa_edge_bytes_);
+            });
+      });
+
+  // Unbatched: each of the detector's k LSAs is its own flood (k wire
+  // ops per link, k frame headers, k acks). Batched: they share batch
+  // frames chunked at core::kMaxBatchLsas. Both sums are built from
+  // sizes and counts only, so the shard merge order cannot leak in.
+  std::vector<std::size_t> sizes;
+  for (const ShardScratch& s : scratch) {
+    stats_.mc_recomputes += s.recomputes;
+    sizes.insert(sizes.end(), s.lsa_bytes.begin(), s.lsa_bytes.end());
+  }
+  const int k = static_cast<int>(sizes.size());
+  stats_.mc_lsas += static_cast<std::uint64_t>(k);
+  for (const std::size_t bytes : sizes) {
+    stats_.wire_ops_unbatched += copies;
+    stats_.wire_bytes_unbatched += copies * wire_op_bytes(bytes);
+    stats_.link_wire_ops_unbatched += copies;
+    stats_.link_wire_bytes_unbatched += copies * wire_op_bytes(bytes);
+  }
+  for (std::size_t begin = 0; begin < sizes.size();
+       begin += core::kMaxBatchLsas) {
+    const std::size_t end =
+        std::min(sizes.size(), begin + core::kMaxBatchLsas);
+    std::size_t frame;
+    if (end - begin == 1) {  // degenerate single frame
+      frame = sizes[begin];
+    } else {
+      frame = 6;  // batch header: type, version, count
+      for (std::size_t i = begin; i < end; ++i) frame += 4 + sizes[i];
+    }
+    stats_.wire_ops_batched += copies;
+    stats_.wire_bytes_batched += copies * wire_op_bytes(frame);
+    stats_.link_wire_ops_batched += copies;
+    stats_.link_wire_bytes_batched += copies * wire_op_bytes(frame);
+  }
+  return k;
+}
+
+void ManyMcEngine::restore_link(graph::LinkId link) {
+  DGMC_ASSERT(link >= 0 && link < physical_.link_count());
+  DGMC_ASSERT_MSG(!physical_.link(link).up, "link already up");
+  physical_.set_link_up(link, true);
+  ++up_links_;
+  recompute_core_trees();
+  ++stats_.link_events;
+  // An up event affects no installed topology (paper: k = 0): one
+  // non-MC LSA and nothing else.
+  const std::uint64_t copies = static_cast<std::uint64_t>(up_links_);
+  stats_.wire_ops_unbatched += copies;
+  stats_.wire_ops_batched += copies;
+  stats_.wire_bytes_unbatched += copies * wire_op_bytes(nonmc_lsa_bytes_);
+  stats_.wire_bytes_batched += copies * wire_op_bytes(nonmc_lsa_bytes_);
+}
+
+void ManyMcEngine::churn_round() {
+  util::RngStream rng = churn_rng_.fork(churn_rounds_++);
+  for (int e = 0; e < params_.churn_events_per_round; ++e) {
+    const mc::McId mcid =
+        static_cast<mc::McId>(rng.uniform_int(0, params_.mcs - 1));
+    McRecord* rec = records_.find(mcid);
+    if (rec != nullptr && rec->members.size() > 1 && rng.bernoulli(0.5)) {
+      const std::vector<graph::NodeId> members = rec->members.all();
+      leave(mcid, members[rng.index(members.size())]);
+    } else {
+      join(mcid, static_cast<graph::NodeId>(
+                     rng.uniform_int(0, params_.switches - 1)));
+    }
+  }
+  const graph::LinkId link = static_cast<graph::LinkId>(
+      rng.uniform_int(0, physical_.link_count() - 1));
+  if (physical_.link(link).up) {
+    fail_link(link);
+    restore_link(link);
+  }
+}
+
+std::uint64_t ManyMcEngine::fingerprint() const {
+  std::uint64_t h = 0x9E3779B9u;
+  records_.for_each([&](mc::McId mcid, const McRecord& rec) {
+    h = util::hash_mix(h, static_cast<std::uint64_t>(mcid) + 1);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(rec.type));
+    for (const mc::MemberList::Entry& e : rec.members.entries()) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.node));
+      h = util::hash_mix(h, static_cast<std::uint64_t>(e.role));
+    }
+    for (const graph::LinkId id : rec.tree_links) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(id) + 7);
+    }
+    h = util::hash_mix(h, rec.tree_links.size());
+  });
+  return h;
+}
+
+std::size_t ManyMcEngine::record_bytes() const {
+  std::size_t total = 0;
+  records_.for_each([&](mc::McId, const McRecord& rec) {
+    total += sizeof(McRecord);
+    total += rec.members.entries().size() * sizeof(mc::MemberList::Entry);
+    total += rec.tree_links.size() * sizeof(graph::LinkId);
+  });
+  return total;
+}
+
+}  // namespace dgmc::sim

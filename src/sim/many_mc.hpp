@@ -1,0 +1,165 @@
+// ManyMcEngine: the many-MC scale model (DESIGN.md §13).
+//
+// sim::DgmcNetwork replicates protocol state per switch — every holder
+// of an MC keeps members, dimension-n vector stamps and an installed
+// topology, which is the right fidelity for protocol checking but caps
+// a single process at hundreds of switches × hundreds of MCs (2000
+// switches × 20000 MCs of per-switch dimension-2000 stamps is
+// terabytes). This engine models the *converged agreement* instead: ONE
+// canonical record per MC (members + installed shared-tree links) in an
+// mc::ShardStore, with the paper's event accounting (§3.1: one non-MC
+// LSA then k MC LSAs per link event) charged in honest wire bytes taken
+// from the real core/codec encoding at the full stamp dimension.
+//
+// Trees are core-based shared trees: core c = mcid % cores, and an MC's
+// installed topology is the union of its members' shortest paths to the
+// core in the per-core Dijkstra tree. A link event recomputes the
+// `cores` parent trees once (shared by every MC on that core — the
+// aggregated link-state trick) and then rebuilds exactly the MCs whose
+// installed tree used the failed link; that per-MC sweep is the many-MC
+// hot path and fans out across shards on an exec::Pool.
+//
+// Determinism contract (DESIGN.md §8): every public mutation and the
+// fingerprint are bit-identical at any (shards, jobs) combination.
+// Parallel phases write only shard-local state, per-shard accounting
+// merges in shard index order, and the batched-wire model is computed
+// from order-independent per-origin aggregates.
+//
+// Wire model per flooded LSA: one copy on every up link (`L` ops).
+// Unbatched, each of the k MC LSAs a link event triggers pays L ops and
+// its own encoded bytes per op. Batched, LSAs sharing an origin switch
+// (the MC's computing switch — its lowest member) and round share one
+// core::McLsaBatch frame: L ops per origin group, batch-framed bytes,
+// chunked at core::kMaxBatchLsas. Membership events are single-LSA
+// rounds, where the batch frame degenerates to the plain encoding and
+// both models charge the same — exactly the behavior of the real
+// lsr::LsaBatcher + codec pair this engine's numbers stand in for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "mc/member_list.hpp"
+#include "mc/shard_store.hpp"
+#include "mc/types.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc::sim {
+
+struct ManyMcParams {
+  int switches = 64;
+  int mcs = 512;
+  int members_per_mc = 8;
+  /// ShardStore shard count; any value yields bit-identical results.
+  int shards = 16;
+  /// exec::Pool width for the per-shard sweeps (0 = hardware); any
+  /// value yields bit-identical results.
+  int jobs = 1;
+  /// Shared-tree cores (capped at `switches`).
+  int cores = 64;
+  double avg_degree = 4.0;
+  std::uint64_t seed = 1;
+  /// Membership events per churn round (each a join or leave on a
+  /// deterministically chosen MC).
+  int churn_events_per_round = 8;
+};
+
+struct ManyMcStats {
+  std::uint64_t membership_events = 0;
+  std::uint64_t link_events = 0;
+  /// Per-MC installed-tree rebuilds (the fanned-out work unit).
+  std::uint64_t mc_recomputes = 0;
+  /// MC LSAs the real protocol would flood for these events.
+  std::uint64_t mc_lsas = 0;
+  /// Wire cost of those floods under both models, same workload.
+  std::uint64_t wire_ops_unbatched = 0;
+  std::uint64_t wire_ops_batched = 0;
+  std::uint64_t wire_bytes_unbatched = 0;
+  std::uint64_t wire_bytes_batched = 0;
+  /// The link-event MC-LSA share of the above — the rounds where the
+  /// detector originates k LSAs at once and batching actually
+  /// coalesces (membership rounds are single-LSA and identical in
+  /// both models).
+  std::uint64_t link_wire_ops_unbatched = 0;
+  std::uint64_t link_wire_ops_batched = 0;
+  std::uint64_t link_wire_bytes_unbatched = 0;
+  std::uint64_t link_wire_bytes_batched = 0;
+
+  std::uint64_t events() const {
+    return membership_events + link_events + mc_recomputes;
+  }
+};
+
+class ManyMcEngine {
+ public:
+  explicit ManyMcEngine(ManyMcParams params);
+
+  const graph::Graph& physical() const { return physical_; }
+  std::size_t mc_count() const { return records_.size(); }
+  const ManyMcStats& stats() const { return stats_; }
+
+  /// Creates params.mcs MCs with params.members_per_mc members each at
+  /// deterministic pseudo-random switches. Fans out across shards.
+  void build_population();
+
+  /// Single membership events (used by build_population and churn).
+  void join(mc::McId mcid, graph::NodeId node,
+            mc::MemberRole role = mc::MemberRole::kBoth);
+  void leave(mc::McId mcid, graph::NodeId node);
+
+  /// Fails an up link: recomputes the core trees, rebuilds every MC
+  /// whose installed tree used the link (parallel over shards), and
+  /// charges the paper's 1 + k LSA floods. Returns k.
+  int fail_link(graph::LinkId link);
+
+  /// Restores a down link: core trees follow the new graph, installed
+  /// trees keep their (still valid) links — the paper's k = 0 case.
+  void restore_link(graph::LinkId link);
+
+  /// One deterministic churn round: churn_events_per_round membership
+  /// events plus one link fail + restore.
+  void churn_round();
+
+  /// Canonical state hash over all MCs in ascending mcid order;
+  /// bit-identical at any (shards, jobs).
+  std::uint64_t fingerprint() const;
+
+  /// Bytes of per-MC record state currently held (members + tree
+  /// links), for the memory-per-MC benchmark alongside process RSS.
+  std::size_t record_bytes() const;
+
+ private:
+  struct McRecord {
+    mc::McType type = mc::McType::kSymmetric;
+    mc::MemberList members;
+    /// Installed shared-tree links, ascending, unique.
+    std::vector<graph::LinkId> tree_links;
+  };
+
+  void recompute_core_trees();
+  void append_core_path(int core, graph::NodeId from,
+                        std::vector<graph::LinkId>& out) const;
+  void rebuild_tree(mc::McId mcid, McRecord& rec) const;
+  /// Charges one single-LSA flood round to both wire models.
+  void account_single_lsa(std::size_t lsa_bytes, ManyMcStats& into) const;
+
+  ManyMcParams params_;
+  graph::Graph physical_;
+  exec::Pool pool_;
+  util::RngStream churn_rng_;
+  std::uint64_t churn_rounds_ = 0;
+  int up_links_ = 0;
+  std::vector<graph::ShortestPaths> core_trees_;
+  mc::ShardStore<McRecord> records_;
+  ManyMcStats stats_;
+  // Codec-derived wire sizes at stamp dimension `switches` (see .cpp).
+  std::size_t membership_lsa_bytes_ = 0;
+  std::size_t proposal_lsa_base_bytes_ = 0;
+  std::size_t proposal_lsa_edge_bytes_ = 0;
+  std::size_t nonmc_lsa_bytes_ = 0;
+};
+
+}  // namespace dgmc::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/codec.hpp"
 #include "graph/algorithms.hpp"
 #include "mc/validation.hpp"
 #include "util/hash.hpp"
@@ -45,23 +46,47 @@ std::uint64_t payload_digest(const DgmcNetwork::Payload& p) {
     h = util::hash_mix(h, static_cast<std::uint64_t>(sync->c_origin));
     return h;
   }
-  const auto& lsa = std::get<core::McLsa>(p);
-  h = util::hash_mix(h, 0x33u);
-  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.source));
-  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.event));
-  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.mc));
-  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.mc_type));
-  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.join_role));
-  h = util::hash_mix(h, static_cast<std::uint64_t>(lsa.link));
-  if (lsa.proposal.has_value()) {
-    for (const graph::Edge& e : lsa.proposal->edges()) {
-      h = util::hash_mix(h, static_cast<std::uint64_t>(e.a));
-      h = util::hash_mix(h, static_cast<std::uint64_t>(e.b));
+  auto mix_mc_lsa = [](std::uint64_t acc, const core::McLsa& lsa) {
+    acc = util::hash_mix(acc, 0x33u);
+    acc = util::hash_mix(acc, static_cast<std::uint64_t>(lsa.source));
+    acc = util::hash_mix(acc, static_cast<std::uint64_t>(lsa.event));
+    acc = util::hash_mix(acc, static_cast<std::uint64_t>(lsa.mc));
+    acc = util::hash_mix(acc, static_cast<std::uint64_t>(lsa.mc_type));
+    acc = util::hash_mix(acc, static_cast<std::uint64_t>(lsa.join_role));
+    acc = util::hash_mix(acc, static_cast<std::uint64_t>(lsa.link));
+    if (lsa.proposal.has_value()) {
+      for (const graph::Edge& e : lsa.proposal->edges()) {
+        acc = util::hash_mix(acc, static_cast<std::uint64_t>(e.a));
+        acc = util::hash_mix(acc, static_cast<std::uint64_t>(e.b));
+      }
+      acc = util::hash_mix(acc, lsa.proposal->edge_count() + 1);
     }
-    h = util::hash_mix(h, lsa.proposal->edge_count() + 1);
+    acc = mix_stamp(acc, lsa.stamp);
+    return acc;
+  };
+  if (const auto* batch = std::get_if<core::McLsaBatch>(&p)) {
+    h = util::hash_mix(h, 0x44u);
+    for (const core::McLsa& lsa : batch->lsas) h = mix_mc_lsa(h, lsa);
+    h = util::hash_mix(h, batch->lsas.size());
+    return h;
   }
-  h = mix_stamp(h, lsa.stamp);
-  return h;
+  return mix_mc_lsa(h, std::get<core::McLsa>(p));
+}
+
+/// Wire-encoding size of a flooded payload (core/codec), charged per
+/// link copy by the transport — the unit in which batching's
+/// bytes-on-the-wire savings are measured.
+std::size_t payload_wire_size(const DgmcNetwork::Payload& p) {
+  if (const auto* lsa = std::get_if<core::McLsa>(&p)) {
+    return core::encoded_size(*lsa);
+  }
+  if (const auto* batch = std::get_if<core::McLsaBatch>(&p)) {
+    return core::encoded_size(*batch);
+  }
+  if (const auto* ad = std::get_if<lsr::LinkEventAd>(&p)) {
+    return core::encode(*ad).size();
+  }
+  return core::encode(std::get<core::McSync>(p)).size();
 }
 }  // namespace
 
@@ -80,15 +105,33 @@ DgmcNetwork::DgmcNetwork(graph::Graph physical, Params params,
   for (graph::NodeId id = 0; id < n; ++id) {
     hosts_.emplace_back(physical_);
     Host& host = hosts_.back();
-    core::DgmcSwitch::Hooks hooks;
-    hooks.flood = [this, id](core::McLsa lsa) {
-      // A transport-silenced switch (gray failure, silence_transport)
-      // keeps producing LSAs, but they die at its interface.
+    // A transport-silenced switch (gray failure, silence_transport)
+    // keeps producing LSAs, but they die at its interface — checked at
+    // flood time, so a batch buffered before the silencing dies too.
+    lsr::LsaBatcher::Hooks bhooks;
+    bhooks.flood_single = [this, id](core::McLsa lsa) {
       if (!flooding_.node_up(id)) return;
       flooding_.flood(id, Payload{std::move(lsa)});
     };
+    bhooks.flood_batch = [this, id](core::McLsaBatch batch) {
+      if (!flooding_.node_up(id)) return;
+      flooding_.flood(id, Payload{std::move(batch)});
+    };
+    host.batcher =
+        std::make_unique<lsr::LsaBatcher>(sched_, id, std::move(bhooks));
+    host.batcher->set_enabled(params.lsa_batching);
+    core::DgmcSwitch::Hooks hooks;
+    hooks.flood = [batcher = host.batcher.get()](core::McLsa lsa) {
+      batcher->submit(std::move(lsa));
+    };
     hooks.local_image = [&host]() -> const graph::Graph& {
       return host.image.graph();
+    };
+    hooks.on_state_created = [this, id](mc::McId mcid) {
+      note_state_created(mcid, id);
+    };
+    hooks.on_state_destroyed = [this, id](mc::McId mcid) {
+      note_state_destroyed(mcid, id);
     };
     hooks.on_install = [this](mc::McId, const trees::Topology&) {
       ++installs_;
@@ -102,6 +145,7 @@ DgmcNetwork::DgmcNetwork(graph::Graph physical, Params params,
         deliver(d);
       });
   flooding_.set_payload_digest(payload_digest);
+  flooding_.set_payload_size(payload_wire_size);
 }
 
 core::DgmcSwitch& DgmcNetwork::switch_at(graph::NodeId n) {
@@ -129,7 +173,32 @@ void DgmcNetwork::deliver(
     hosts_[d.at].dgmc->apply_sync(*sync);
     return;
   }
+  if (const auto* batch = std::get_if<core::McLsaBatch>(&d.payload)) {
+    // One delivery (one wire op, one ack) fans out to per-LSA receipt,
+    // in origination order — what the unbatched wire would produce.
+    for (const core::McLsa& lsa : batch->lsas) {
+      hosts_[d.at].dgmc->receive(lsa);
+    }
+    return;
+  }
   hosts_[d.at].dgmc->receive(std::get<core::McLsa>(d.payload));
+}
+
+void DgmcNetwork::note_state_created(mc::McId mcid, graph::NodeId at) {
+  std::vector<graph::NodeId>& holding = holders_[mcid];
+  auto it = std::lower_bound(holding.begin(), holding.end(), at);
+  DGMC_ASSERT(it == holding.end() || *it != at);
+  holding.insert(it, at);
+}
+
+void DgmcNetwork::note_state_destroyed(mc::McId mcid, graph::NodeId at) {
+  auto entry = holders_.find(mcid);
+  DGMC_ASSERT(entry != holders_.end());
+  std::vector<graph::NodeId>& holding = entry->second;
+  auto it = std::lower_bound(holding.begin(), holding.end(), at);
+  DGMC_ASSERT(it != holding.end() && *it == at);
+  holding.erase(it);
+  if (holding.empty()) holders_.erase(entry);
 }
 
 void DgmcNetwork::join(graph::NodeId at, mc::McId mcid, mc::McType type,
@@ -374,9 +443,32 @@ DgmcNetwork::Totals DgmcNetwork::totals() const {
   return t;
 }
 
+lsr::LsaBatcher::Counters DgmcNetwork::batching_counters() const {
+  lsr::LsaBatcher::Counters total;
+  for (const Host& h : hosts_) {
+    const lsr::LsaBatcher::Counters& c = h.batcher->counters();
+    total.lsas_submitted += c.lsas_submitted;
+    total.singles_flooded += c.singles_flooded;
+    total.batches_flooded += c.batches_flooded;
+    total.batched_lsas += c.batched_lsas;
+  }
+  return total;
+}
+
 std::uint64_t DgmcNetwork::fingerprint() const {
   std::uint64_t h = 0x9E3779B9u;
   for (const Host& host : hosts_) h = host.dgmc->fingerprint(h);
+  if (params_.lsa_batching) {
+    // Buffered-but-unflushed LSAs are behavioral state. Hashed only
+    // when batching is on so the hash stays what it always was for
+    // every pre-batching configuration.
+    for (const Host& host : hosts_) {
+      for (const core::McLsa& lsa : host.batcher->pending_lsas()) {
+        h = util::hash_mix(h, payload_digest(Payload{lsa}));
+      }
+      h = util::hash_mix(h, host.batcher->pending());
+    }
+  }
   for (graph::LinkId id = 0; id < physical_.link_count(); ++id) {
     h = util::hash_mix(h, physical_.link(id).up ? 1 : 2);
   }
@@ -433,10 +525,13 @@ void DgmcNetwork::save(Snapshot& out) const {
   flooding_.save(out.flooding);
   out.images.resize(hosts_.size());
   out.switches.resize(hosts_.size());
+  out.batchers.resize(hosts_.size());
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     hosts_[i].image.save_link_flags(out.images[i]);
     hosts_[i].dgmc->save(out.switches[i]);
+    hosts_[i].batcher->save(out.batchers[i]);
   }
+  out.holders = holders_;
   if (injector_ != nullptr) {
     if (out.injector != nullptr) {
       *out.injector = *injector_;
@@ -465,10 +560,13 @@ void DgmcNetwork::restore(const Snapshot& snap) {
   flooding_.restore(snap.flooding);
   DGMC_ASSERT(snap.images.size() == hosts_.size());
   DGMC_ASSERT(snap.switches.size() == hosts_.size());
+  DGMC_ASSERT(snap.batchers.size() == hosts_.size());
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     hosts_[i].image.restore_link_flags(snap.images[i]);
     hosts_[i].dgmc->restore(snap.switches[i]);
+    hosts_[i].batcher->restore(snap.batchers[i]);
   }
+  holders_ = snap.holders;
   if (snap.injector != nullptr) {
     DGMC_ASSERT_MSG(injector_ != nullptr,
                     "snapshot has faults the network never installed");
@@ -488,20 +586,21 @@ double DgmcNetwork::flooding_diameter() const {
 }
 
 bool DgmcNetwork::converged(mc::McId mcid) const {
-  const core::DgmcSwitch* reference = nullptr;
-  for (const Host& h : hosts_) {
-    if (!h.dgmc->has_state(mcid)) continue;
-    if (reference == nullptr) {
-      reference = h.dgmc.get();
-      continue;
-    }
-    if (!(*h.dgmc->installed(mcid) == *reference->installed(mcid))) {
-      return false;
-    }
-    if (!(*h.dgmc->members(mcid) == *reference->members(mcid))) return false;
-    if (!(*h.dgmc->stamp_c(mcid) == *reference->stamp_c(mcid))) return false;
+  // The holders_ index makes this O(holders) instead of O(switches):
+  // with thousands of MCs each held by a handful of switches, the scan
+  // over every host per MC was the dominant cost of a convergence
+  // sweep (bench/micro_kernels: converged_scan vs converged_index).
+  auto entry = holders_.find(mcid);
+  if (entry == holders_.end()) return true;  // destroyed everywhere
+  const std::vector<graph::NodeId>& holding = entry->second;
+  DGMC_ASSERT(!holding.empty());
+  const core::DgmcSwitch* reference = hosts_[holding.front()].dgmc.get();
+  for (std::size_t i = 1; i < holding.size(); ++i) {
+    const core::DgmcSwitch& s = *hosts_[holding[i]].dgmc;
+    if (!(*s.installed(mcid) == *reference->installed(mcid))) return false;
+    if (!(*s.members(mcid) == *reference->members(mcid))) return false;
+    if (!(*s.stamp_c(mcid) == *reference->stamp_c(mcid))) return false;
   }
-  if (reference == nullptr) return true;  // destroyed everywhere
   // A switch that the agreed tree or member list involves but that
   // holds no state cannot forward for the connection. It never
   // *disagrees* on content, so the comparisons above miss it — this is
@@ -520,10 +619,9 @@ bool DgmcNetwork::converged(mc::McId mcid) const {
 
 trees::Topology DgmcNetwork::agreed_topology(mc::McId mcid) const {
   DGMC_ASSERT(converged(mcid));
-  for (const Host& h : hosts_) {
-    if (h.dgmc->has_state(mcid)) return *h.dgmc->installed(mcid);
-  }
-  return trees::Topology{};
+  auto entry = holders_.find(mcid);
+  if (entry == holders_.end()) return trees::Topology{};
+  return *hosts_[entry->second.front()].dgmc->installed(mcid);
 }
 
 }  // namespace dgmc::sim

@@ -3,6 +3,7 @@
 // flooding transport carrying both non-MC link LSAs and MC LSAs.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <variant>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "des/scheduler.hpp"
 #include "fault/fault.hpp"
 #include "graph/graph.hpp"
+#include "lsr/batcher.hpp"
 #include "lsr/flooding.hpp"
 #include "lsr/link_lsa.hpp"
 #include "lsr/local_image.hpp"
@@ -21,8 +23,11 @@ namespace dgmc::sim {
 class DgmcNetwork {
  public:
   /// Payload of a flooding: F = mc selects the McLsa alternative;
-  /// McSync is the partition-resync extension (core/sync.hpp).
-  using Payload = std::variant<lsr::LinkEventAd, core::McLsa, core::McSync>;
+  /// McSync is the partition-resync extension (core/sync.hpp);
+  /// McLsaBatch carries one round's coalesced MC LSAs as one wire op
+  /// (DESIGN.md §13, Params::lsa_batching).
+  using Payload = std::variant<lsr::LinkEventAd, core::McLsa, core::McSync,
+                               core::McLsaBatch>;
 
   struct Params {
     double per_hop_overhead = 0.0;
@@ -42,6 +47,12 @@ class DgmcNetwork {
     /// Backpressure bounds for overload survival (all-zero — the
     /// default — is unlimited and preserves historical behavior).
     lsr::OverloadConfig overload;
+    /// Coalesce the MC LSAs a switch originates in one round into one
+    /// flooded batch (lsr::LsaBatcher; one wire op, one ack, one
+    /// retransmit unit for all of them). Off — the default — floods
+    /// every LSA as its own operation, bit-identical to the
+    /// pre-batching simulator.
+    bool lsa_batching = false;
   };
 
   DgmcNetwork(graph::Graph physical, Params params,
@@ -147,6 +158,14 @@ class DgmcNetwork {
     return flooding_.link_transmissions();
   }
 
+  /// Payload bytes the flooding transport put on links (codec wire
+  /// encoding sizes; the batched-vs-unbatched comparison unit).
+  std::uint64_t lsa_wire_bytes() const { return flooding_.wire_bytes(); }
+
+  /// Aggregated LSA-batching counters across all switches (zeros when
+  /// Params::lsa_batching is off).
+  lsr::LsaBatcher::Counters batching_counters() const;
+
   /// The flooding transport, for reliability metrics (retransmissions,
   /// acks, drops, give-ups).
   const lsr::FloodingNetwork<Payload>& transport() const {
@@ -193,6 +212,8 @@ class DgmcNetwork {
     lsr::FloodingNetwork<Payload>::Snapshot flooding;
     std::vector<std::vector<std::uint8_t>> images;  // per-host link flags
     std::vector<core::DgmcSwitch::Snapshot> switches;
+    std::vector<lsr::LsaBatcher::Snapshot> batchers;
+    std::map<mc::McId, std::vector<graph::NodeId>> holders;
     std::unique_ptr<fault::FaultInjector> injector;  // null if none
     std::vector<std::vector<graph::LinkId>> crashed_links;
     std::uint64_t nonmc_floodings = 0;
@@ -221,12 +242,15 @@ class DgmcNetwork {
     explicit Host(const graph::Graph& physical) : image(physical) {}
     lsr::LocalImage image;
     std::unique_ptr<core::DgmcSwitch> dgmc;
+    std::unique_ptr<lsr::LsaBatcher> batcher;
   };
 
   void deliver(const lsr::FloodingNetwork<Payload>::Delivery& d);
   graph::NodeId pick_detector(graph::LinkId link,
                               graph::NodeId requested) const;
   void resync_over(const std::vector<graph::NodeId>& endpoints);
+  void note_state_created(mc::McId mcid, graph::NodeId at);
+  void note_state_destroyed(mc::McId mcid, graph::NodeId at);
 
   des::Scheduler sched_;
   graph::Graph physical_;
@@ -234,6 +258,11 @@ class DgmcNetwork {
   std::unique_ptr<mc::TopologyAlgorithm> algorithm_;
   lsr::FloodingNetwork<Payload> flooding_;
   std::vector<Host> hosts_;
+  /// mcid -> hosts holding state for it, ascending. Maintained by the
+  /// DgmcSwitch state-lifecycle hooks so convergence queries touch
+  /// only the holders instead of scanning every switch (the many-MC
+  /// hot path; see converged()).
+  std::map<mc::McId, std::vector<graph::NodeId>> holders_;
   std::unique_ptr<fault::FaultInjector> injector_;
   /// Links each crashed switch's failure took down, pending restore.
   std::vector<std::vector<graph::LinkId>> crashed_links_;

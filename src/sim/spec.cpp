@@ -183,13 +183,14 @@ std::variant<SoakSpec, SpecError> SoakSpec::parse(std::string_view text) {
           else if (kv->second == "fromscratch") sp.incremental = false;
           else return fail("algorithm must be incremental|fromscratch");
         } else if (kv->first == "resync" || kv->first == "dualdetect" ||
-                   kv->first == "reliable") {
+                   kv->first == "reliable" || kv->first == "batching") {
           bool value;
           if (kv->second == "on") value = true;
           else if (kv->second == "off") value = false;
           else return fail("expected on|off");
           if (kv->first == "resync") sp.resync = value;
           else if (kv->first == "dualdetect") sp.dual_detect = value;
+          else if (kv->first == "batching") sp.lsa_batching = value;
           else sp.reliable = value;
         } else {
           return fail("unknown option '" + std::string(kv->first) + "'");
@@ -297,6 +298,7 @@ std::variant<SoakSpec, SpecError> SoakSpec::parse(std::string_view text) {
       else if (tok[1] == "poisson") p.kind = ChurnProgram::Kind::kPoisson;
       else if (tok[1] == "drift") p.kind = ChurnProgram::Kind::kDrift;
       else if (tok[1] == "rolling") p.kind = ChurnProgram::Kind::kRolling;
+      else if (tok[1] == "manymc") p.kind = ChurnProgram::Kind::kManyMc;
       else return fail("unknown churn program '" + tok[1] + "'");
       for (std::size_t i = 2; i < tok.size(); ++i) {
         const auto kv = split_kv(tok[i]);
@@ -380,6 +382,10 @@ std::variant<SoakSpec, SpecError> SoakSpec::parse(std::string_view text) {
           const auto n = want_int();
           if (!n || *n < 0) return fail("bad count");
           p.count = static_cast<int>(*n);
+        } else if (key == "mcs") {
+          const auto n = want_int();
+          if (!n || *n < 1) return fail("bad mc count");
+          p.mcs = static_cast<int>(*n);
         } else {
           return fail("unknown churn key '" + key + "'");
         }
@@ -401,11 +407,19 @@ std::variant<SoakSpec, SpecError> SoakSpec::parse(std::string_view text) {
     const ChurnProgram& p = sp.churn[pi];
     line_no = churn_lines[pi];
     const bool membership = p.kind == ChurnProgram::Kind::kFlashCrowd ||
-                            p.kind == ChurnProgram::Kind::kPoisson;
+                            p.kind == ChurnProgram::Kind::kPoisson ||
+                            p.kind == ChurnProgram::Kind::kManyMc;
     if (membership) {
-      if (!membership_mcs.insert(p.mcid).second) {
-        return fail("mc " + std::to_string(p.mcid) +
-                    " appears in more than one membership program");
+      const int span = p.kind == ChurnProgram::Kind::kManyMc ? p.mcs : 1;
+      for (int m = 0; m < span; ++m) {
+        if (!membership_mcs.insert(p.mcid + m).second) {
+          return fail("mc " + std::to_string(p.mcid + m) +
+                      " appears in more than one membership program");
+        }
+      }
+      if (p.kind == ChurnProgram::Kind::kManyMc &&
+          p.members > sp.network_size) {
+        return fail("manymc members exceed the network size");
       }
       if (p.kind == ChurnProgram::Kind::kFlashCrowd &&
           p.members > sp.network_size) {
@@ -452,7 +466,8 @@ std::string SoakSpec::serialize() const {
        (incremental ? "incremental" : "fromscratch") +
        " resync=" + (resync ? "on" : "off") +
        " dualdetect=" + (dual_detect ? "on" : "off") +
-       " reliable=" + (reliable ? "on" : "off"));
+       " reliable=" + (reliable ? "on" : "off") +
+       " batching=" + (lsa_batching ? "on" : "off"));
   if (overload.max_inflight_per_link > 0 || overload.max_queue_per_link > 0 ||
       overload.max_dedup_ahead > 0) {
     line("overload inflight=" + std::to_string(overload.max_inflight_per_link) +
@@ -514,6 +529,21 @@ std::string SoakSpec::serialize() const {
              " downtime=" + fmt_time(p.downtime) +
              " count=" + std::to_string(p.count));
         break;
+      case ChurnProgram::Kind::kManyMc: {
+        std::string s = "churn manymc mc=" + std::to_string(p.mcid) +
+                        " mcs=" + std::to_string(p.mcs) +
+                        " start=" + fmt_time(p.start) +
+                        " members=" + std::to_string(p.members) +
+                        " gap=" + fmt_time(p.gap);
+        if (p.type == mc::McType::kReceiverOnly) s += " type=receiver";
+        else if (p.type == mc::McType::kAsymmetric) s += " type=asymmetric";
+        if (p.type != mc::McType::kReceiverOnly) {
+          if (p.role == mc::MemberRole::kSender) s += " role=sender";
+          else if (p.role == mc::MemberRole::kReceiver) s += " role=receiver";
+        }
+        line(s);
+        break;
+      }
     }
   }
   return out;
@@ -550,6 +580,7 @@ DgmcNetwork::Params SoakSpec::network_params() const {
   params.dgmc.partition_resync = resync;
   params.dual_link_detection = dual_detect;
   params.reliable.enabled = reliable;
+  params.lsa_batching = lsa_batching;
   params.overload = overload;
   return params;
 }
@@ -560,6 +591,8 @@ std::vector<mc::McId> SoakSpec::mcs() const {
     if (p.kind == ChurnProgram::Kind::kFlashCrowd ||
         p.kind == ChurnProgram::Kind::kPoisson) {
       out.push_back(p.mcid);
+    } else if (p.kind == ChurnProgram::Kind::kManyMc) {
+      for (int m = 0; m < p.mcs; ++m) out.push_back(p.mcid + m);
     }
   }
   std::sort(out.begin(), out.end());
@@ -675,6 +708,25 @@ void ChurnEngine::build_schedule(Program& p, const graph::Graph& graph,
                        [](const SoakEvent& a, const SoakEvent& b) {
                          return a.at < b.at;
                        });
+      break;
+    }
+    case ChurnProgram::Kind::kManyMc: {
+      // The many-MC population: MC base+i is created at start + i*gap
+      // by `members` distinct seeded switches joining in one burst.
+      for (int m = 0; m < p.cfg.mcs; ++m) {
+        const std::vector<graph::NodeId> nodes =
+            random_members(n, std::min(p.cfg.members, n), p.rng);
+        for (graph::NodeId node : nodes) {
+          SoakEvent ev;
+          ev.at = p.cfg.start + m * p.cfg.gap;
+          ev.kind = SoakEvent::Kind::kJoin;
+          ev.node = node;
+          ev.mcid = p.cfg.mcid + m;
+          ev.type = p.cfg.type;
+          ev.role = p.cfg.role;
+          p.schedule.push_back(ev);
+        }
+      }
       break;
     }
   }

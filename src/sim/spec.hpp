@@ -12,7 +12,7 @@
 //   delay uniform <time> | delay mean <time>
 //   timing tc=<time> perhop=<time>
 //   option algorithm=incremental|fromscratch resync=on|off
-//          dualdetect=on|off reliable=on|off
+//          dualdetect=on|off reliable=on|off batching=on|off
 //   overload inflight=<n> queue=<n> dedupcap=<n>   — backpressure knobs
 //   soak duration=<time> phases=<n> trials=<n> seed=<u64>
 //   watchdog deadline=<time>
@@ -24,6 +24,8 @@
 //   churn poisson mc=<id> start=<time> members=<n> events=<n> gap=<time>
 //   churn drift links=<n> period=<time> sigma=<f> down=<f> up=<f>
 //   churn rolling start=<time> interval=<time> downtime=<time> count=<n>
+//   churn manymc mc=<base> mcs=<n> start=<time> members=<n> gap=<time>
+//         [type=symmetric|receiver|asymmetric] [role=sender|receiver|both]
 //
 // Times accept s/ms/us suffixes (sim/scenario.hpp parse_time). Parsing
 // is total — errors carry line number and reason — and `serialize()`
@@ -44,9 +46,15 @@
 //     LSAs, not costs, so flaps are the protocol-visible projection.
 //   rolling    — a rolling switch upgrade wave: a seeded permutation of
 //     switches crash/restart one after another, `interval` apart.
+//   manymc     — the many-MC population workload (DESIGN.md §13): `mcs`
+//     connections with ids [base, base+mcs), each created `gap` apart
+//     by a burst of `members` distinct seeded switches joining at once.
+//     One spec line stands up hundreds of concurrent MCs for the sim,
+//     soak, and net backends alike.
 //
 // Each MC id may appear in at most one membership program (flashcrowd/
-// poisson) so join/leave sequences stay well-formed per MC.
+// poisson/manymc id range) so join/leave sequences stay well-formed per
+// MC.
 #pragma once
 
 #include <cstdint>
@@ -78,6 +86,7 @@ struct ChurnProgram {
     kPoisson = 1,
     kDrift = 2,
     kRolling = 3,
+    kManyMc = 4,
   };
   Kind kind = Kind::kFlashCrowd;
   // flashcrowd / poisson
@@ -100,6 +109,9 @@ struct ChurnProgram {
   des::SimTime interval = 5.0;
   des::SimTime downtime = 0.5;
   int count = 0;  // switches in the wave; 0 = every switch
+  // manymc: population size; ids are [mcid, mcid + mcs), one creation
+  // burst of `members` joins per MC, `gap` apart.
+  int mcs = 256;
 };
 
 /// Steady-state bounds asserted at every phase boundary of a soak.
@@ -149,6 +161,10 @@ class SoakSpec {
   bool resync = true;
   bool dual_detect = false;
   bool reliable = true;
+  /// Coalesce same-round MC LSA originations into batch frames
+  /// (DESIGN.md §13). One knob for every backend the spec drives: the
+  /// DES sim, dgmc_soak, and the UDP nethost all honor it.
+  bool lsa_batching = false;
   lsr::OverloadConfig overload;
 
   // --- soak controls ---

@@ -201,6 +201,23 @@ TEST(CheckpointEquivalence, DfsMatchesReplayAcrossCatalogAndIntervals) {
   }
 }
 
+// config.mc_shards is a storage-layout knob (DESIGN.md §13): snapshots
+// deep-copy the per-shard arenas, so checkpointed search through a
+// sharded store must be fully bit-identical — transitions included —
+// to the single-arena search, across the whole catalog.
+TEST(CheckpointEquivalence, DfsInvariantAcrossMcShards) {
+  for (const char* name : catalog()) {
+    ScenarioSpec s = spec(name);
+    const SearchResult base = explore_dfs(s, limits_with(4));
+    for (const int shards : {4, 16}) {
+      s.params.dgmc.mc_shards = shards;
+      const SearchResult r = explore_dfs(s, limits_with(4));
+      EXPECT_TRUE(equivalent_results(base, r, /*compare_transitions=*/true))
+          << name << " mc_shards=" << shards;
+    }
+  }
+}
+
 TEST(CheckpointEquivalence, DelayBoundedMatchesReplay) {
   SearchLimits replay_limits = limits_with(0, /*depth=*/40);
   replay_limits.delay_budget = 2;

@@ -47,6 +47,13 @@ McLsa sample_lsa(util::RngStream& rng) {
   return lsa;
 }
 
+McLsaBatch sample_batch(util::RngStream& rng) {
+  McLsaBatch batch;
+  const int n = static_cast<int>(rng.uniform_int(1, 5));
+  for (int i = 0; i < n; ++i) batch.lsas.push_back(sample_lsa(rng));
+  return batch;
+}
+
 McSync sample_sync(util::RngStream& rng) {
   McSync sync;
   sync.source = static_cast<graph::NodeId>(rng.uniform_int(0, 7));
@@ -78,6 +85,9 @@ void probe(const Bytes& bytes) {
   }
   if (const auto sync = decode_mc_sync(bytes)) {
     EXPECT_TRUE(decode_mc_sync(encode(*sync)).has_value());
+  }
+  if (const auto batch = decode_mc_lsa_batch(bytes)) {
+    EXPECT_TRUE(decode_mc_lsa_batch(encode(*batch)).has_value());
   }
   (void)peek_type(bytes);
 }
@@ -114,7 +124,7 @@ TEST(CodecFuzz, MutatedEncodingsNeverCrashDecode) {
   util::RngStream rng(20260806);
   for (int round = 0; round < 2000; ++round) {
     Bytes base;
-    switch (rng.uniform_int(0, 2)) {
+    switch (rng.uniform_int(0, 3)) {
       case 0:
         base = encode(sample_lsa(rng));
         break;
@@ -123,8 +133,11 @@ TEST(CodecFuzz, MutatedEncodingsNeverCrashDecode) {
             static_cast<graph::LinkId>(rng.uniform_int(0, 40)),
             rng.bernoulli(0.5)});
         break;
-      default:
+      case 2:
         base = encode(sample_sync(rng));
+        break;
+      default:
+        base = encode(sample_batch(rng));
         break;
     }
     const int mutations = static_cast<int>(rng.uniform_int(1, 4));
@@ -175,6 +188,31 @@ TEST(CodecFuzz, ForgedCountsRejectBeforeAllocating) {
   Bytes oversized = encode(lsa);
   oversized.resize(kMaxEncoded + 1, 0);
   EXPECT_FALSE(decode_mc_lsa(oversized).has_value());
+}
+
+/// A forged batch count beyond kMaxBatchLsas (or beyond what the bytes
+/// hold) must reject without reserving the claimed size, and a
+/// corrupted sub-LSA must poison the whole batch.
+TEST(CodecFuzz, BatchForgedCountsAndBadSubLsasReject) {
+  util::RngStream rng(1009);
+  McLsaBatch batch;
+  for (int i = 0; i < 3; ++i) batch.lsas.push_back(sample_lsa(rng));
+  const Bytes bytes = encode(batch);  // >= 2 LSAs: real batch frame
+  // count lives after [type, version]; forge it over the cap and over
+  // what the buffer actually carries.
+  for (const std::uint32_t forged_count :
+       {kMaxBatchLsas + 1, std::uint32_t{0xFFFFFFFF}, std::uint32_t{200}}) {
+    Bytes forged = bytes;
+    for (int i = 0; i < 4; ++i) {
+      forged[2 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(forged_count >> (8 * i));
+    }
+    EXPECT_FALSE(decode_mc_lsa_batch(forged).has_value());
+  }
+  // A batch whose first sub-LSA length points past the end rejects.
+  Bytes truncated = bytes;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(decode_mc_lsa_batch(truncated).has_value());
 }
 
 // --- UDP-frame corpus: the socket backend's framing around the codec ---

@@ -1,0 +1,422 @@
+// The sharding + batching determinism suite (DESIGN.md §13).
+//
+// Three layers share one contract — observable behavior is independent
+// of how state is sharded and whether LSA floods are batched:
+//
+//   * mc::ShardStore: iteration order, handles and deep copies are
+//     shard-count-invariant (the container-level guarantee everything
+//     above leans on).
+//   * core codec: a McLsaBatch round-trips losslessly, a size-1 batch
+//     is byte-identical to the plain McLsa frame, and either frame
+//     decodes through decode_mc_lsa_batch.
+//   * sim::DgmcNetwork / sim::ManyMcEngine: fingerprints and agreed
+//     trees are bit-identical across config.mc_shards, exec jobs, and
+//     lsa_batching on/off.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/codec.hpp"
+#include "core/mc_lsa.hpp"
+#include "graph/generators.hpp"
+#include "mc/algorithm.hpp"
+#include "mc/shard_store.hpp"
+#include "sim/many_mc.hpp"
+#include "sim/network.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dgmc {
+namespace {
+
+// --- mc::ShardStore -------------------------------------------------
+
+TEST(ShardStore, InsertFindEraseAcrossShards) {
+  mc::ShardStore<int> store(4);
+  EXPECT_EQ(store.shard_count(), 4);
+  EXPECT_TRUE(store.empty());
+
+  bool created = false;
+  store.get_or_create(7, &created) = 70;
+  EXPECT_TRUE(created);
+  store.get_or_create(7, &created) += 7;
+  EXPECT_FALSE(created);
+  store.get_or_create(11) = 110;
+
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.find(7), nullptr);
+  EXPECT_EQ(*store.find(7), 77);
+  EXPECT_TRUE(store.contains(11));
+  EXPECT_EQ(store.find(8), nullptr);
+
+  EXPECT_TRUE(store.erase(7));
+  EXPECT_FALSE(store.erase(7));
+  EXPECT_FALSE(store.contains(7));
+  EXPECT_EQ(store.size(), 1u);
+
+  store.clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.find(11), nullptr);
+}
+
+/// Irregular id set (gaps, shard collisions, out-of-order inserts):
+/// keys() and for_each visit the identical ascending sequence whether
+/// there is one arena or sixteen.
+TEST(ShardStore, IterationOrderIsShardCountInvariant) {
+  const std::vector<mc::McId> ids = {33, 2, 48, 17, 1, 32, 16, 3, 1000, 255};
+  std::vector<std::vector<std::pair<mc::McId, int>>> visits;
+  for (const int shards : {1, 4, 16}) {
+    mc::ShardStore<int> store(shards);
+    for (const mc::McId id : ids) store.get_or_create(id) = static_cast<int>(id) * 3;
+    store.erase(16);  // erasure must not disturb the merge either
+    std::vector<std::pair<mc::McId, int>> seen;
+    store.for_each([&](mc::McId id, int& v) { seen.emplace_back(id, v); });
+    EXPECT_EQ(store.keys().size(), seen.size());
+    visits.push_back(std::move(seen));
+  }
+  for (std::size_t i = 1; i < visits.size(); ++i) EXPECT_EQ(visits[0], visits[i]);
+  // And the merged order is globally ascending.
+  for (std::size_t i = 1; i < visits[0].size(); ++i) {
+    EXPECT_LT(visits[0][i - 1].first, visits[0][i].first);
+  }
+}
+
+TEST(ShardStore, ForEachWhileStopsEarly) {
+  mc::ShardStore<int> store(4);
+  for (mc::McId id = 0; id < 10; ++id) store.get_or_create(id) = 1;
+  int visited = 0;
+  store.for_each_while([&](mc::McId id, int&) {
+    ++visited;
+    return id < 4;  // stop after visiting id 4
+  });
+  EXPECT_EQ(visited, 5);
+}
+
+/// A handle survives unrelated churn in its own shard: later inserts
+/// and erases never move an occupied slot.
+TEST(ShardStore, HandlesStayValidAcrossUnrelatedChurn) {
+  mc::ShardStore<std::vector<int>> store(4);
+  store.get_or_create(6) = {6, 6, 6};
+  const mc::McHandle h = store.handle_of(6);
+  ASSERT_TRUE(h.valid());
+
+  // Grow the same shard far past its initial capacity, then churn.
+  for (mc::McId id = 10; id < 410; id += 4) store.get_or_create(id) = {1};
+  for (mc::McId id = 10; id < 210; id += 4) store.erase(id);
+  for (mc::McId id = 10; id < 110; id += 4) store.get_or_create(id) = {2};
+
+  EXPECT_EQ(store.id_of(h), 6);
+  EXPECT_EQ(store.get(h), (std::vector<int>{6, 6, 6}));
+  EXPECT_EQ(store.handle_of(6), h);
+  EXPECT_FALSE(store.handle_of(999).valid());
+}
+
+/// erase() frees the slot to the shard freelist and resets the value
+/// immediately; the next same-shard insert reuses the slot with a
+/// default-constructed record.
+TEST(ShardStore, ErasedSlotIsReusedViaFreelist) {
+  mc::ShardStore<std::vector<int>> store(4);
+  store.get_or_create(4) = {1, 2, 3};
+  const mc::McHandle freed = store.handle_of(4);
+  store.erase(4);
+  store.get_or_create(8);  // same shard (both ≡ 0 mod 4)
+  const mc::McHandle reused = store.handle_of(8);
+  EXPECT_EQ(reused, freed);
+  EXPECT_TRUE(store.get(reused).empty());
+}
+
+TEST(ShardStore, ShardOwnershipAndPerShardIteration) {
+  mc::ShardStore<int> store(4);
+  for (mc::McId id = 0; id < 23; ++id) store.get_or_create(id) = 0;
+  std::size_t total = 0;
+  for (int s = 0; s < store.shard_count(); ++s) {
+    mc::McId prev = -1;
+    std::size_t in_shard = 0;
+    store.for_each_in_shard(s, [&](mc::McId id, int&) {
+      EXPECT_EQ(store.shard_of(id), s);
+      EXPECT_EQ(id % 4, s);
+      EXPECT_LT(prev, id);  // ascending within the shard
+      prev = id;
+      ++in_shard;
+    });
+    EXPECT_EQ(in_shard, store.shard_size(s));
+    total += in_shard;
+  }
+  EXPECT_EQ(total, store.size());
+}
+
+/// Checkpoint snapshot/restore relies on the store being deep-copyable:
+/// mutating the original must not leak into a copy.
+TEST(ShardStore, DeepCopyIsIndependent) {
+  mc::ShardStore<std::vector<int>> store(4);
+  for (mc::McId id = 0; id < 12; ++id) store.get_or_create(id) = {static_cast<int>(id)};
+  const mc::ShardStore<std::vector<int>> snapshot = store;
+
+  store.erase(3);
+  store.get_or_create(100) = {100};
+  store.get_or_create(5).push_back(55);
+
+  EXPECT_EQ(snapshot.size(), 12u);
+  EXPECT_TRUE(snapshot.contains(3));
+  EXPECT_FALSE(snapshot.contains(100));
+  ASSERT_NE(snapshot.find(5), nullptr);
+  EXPECT_EQ(*snapshot.find(5), (std::vector<int>{5}));
+}
+
+TEST(ShardStore, ResolveShardCount) {
+  EXPECT_EQ(mc::resolve_shard_count(16), 16);
+  EXPECT_EQ(mc::resolve_shard_count(1), 1);
+  EXPECT_EQ(mc::resolve_shard_count(0), 1);
+  EXPECT_EQ(mc::resolve_shard_count(-3), 1);
+}
+
+// --- core codec: the batch frame ------------------------------------
+
+core::McLsa batch_sample_lsa(int i) {
+  core::McLsa lsa;
+  lsa.source = static_cast<graph::NodeId>(i % 5);
+  lsa.event = static_cast<core::McEventType>(i % 4);
+  lsa.mc = static_cast<mc::McId>(10 + i);
+  lsa.mc_type = i % 2 == 0 ? mc::McType::kSymmetric : mc::McType::kReceiverOnly;
+  lsa.join_role = static_cast<mc::MemberRole>(1 + i % 3);  // 0 is invalid
+  lsa.link = i % 3 == 0 ? graph::kInvalidLink : static_cast<graph::LinkId>(i);
+  core::VectorTimestamp stamp(6);
+  for (int j = 0; j <= i; ++j) stamp.increment(static_cast<graph::NodeId>(j % 6));
+  lsa.stamp = stamp;
+  if (i % 2 == 1) {
+    std::vector<graph::Edge> edges = {{0, 1},
+                                      {1, static_cast<graph::NodeId>(2 + i)}};
+    lsa.proposal = trees::Topology(std::move(edges));
+  }
+  return lsa;
+}
+
+TEST(McLsaBatchCodec, RoundTripPreservesEveryLsa) {
+  core::McLsaBatch batch;
+  for (int i = 0; i < 5; ++i) batch.lsas.push_back(batch_sample_lsa(i));
+  const std::vector<std::uint8_t> bytes = core::encode(batch);
+  EXPECT_EQ(bytes.size(), core::encoded_size(batch));
+  EXPECT_EQ(core::peek_type(bytes), core::WireType::kMcLsaBatch);
+  const auto decoded = core::decode_mc_lsa_batch(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, batch);
+}
+
+/// The degenerate single-LSA batch costs nothing: it is emitted as (and
+/// therefore indistinguishable from) the plain kMcLsa frame.
+TEST(McLsaBatchCodec, SizeOneBatchIsByteIdenticalToPlainFrame) {
+  core::McLsaBatch batch;
+  batch.lsas.push_back(batch_sample_lsa(3));
+  EXPECT_EQ(core::encode(batch), core::encode(batch.lsas[0]));
+  EXPECT_EQ(core::encoded_size(batch),
+            core::encoded_size(batch.lsas[0]));
+}
+
+/// ...and the decoder is symmetric: a plain frame is a batch of one, so
+/// a receiver can route everything through decode_mc_lsa_batch.
+TEST(McLsaBatchCodec, PlainFrameDecodesAsBatchOfOne) {
+  const core::McLsa lsa = batch_sample_lsa(2);
+  const auto batch = core::decode_mc_lsa_batch(core::encode(lsa));
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->lsas.size(), 1u);
+  EXPECT_EQ(batch->lsas[0], lsa);
+}
+
+TEST(McLsaBatchCodec, RejectsWrongVersionAndTrailingJunk) {
+  core::McLsaBatch batch;
+  for (int i = 0; i < 3; ++i) batch.lsas.push_back(batch_sample_lsa(i));
+  const std::vector<std::uint8_t> bytes = core::encode(batch);
+
+  std::vector<std::uint8_t> wrong_version = bytes;
+  wrong_version[1] = core::kMcLsaBatchVersion + 1;
+  EXPECT_FALSE(core::decode_mc_lsa_batch(wrong_version).has_value());
+
+  std::vector<std::uint8_t> junk = bytes;
+  junk.push_back(0);
+  EXPECT_FALSE(core::decode_mc_lsa_batch(junk).has_value());
+
+  EXPECT_FALSE(core::decode_mc_lsa_batch({}).has_value());
+}
+
+// --- sim::DgmcNetwork across shard counts and batching ---------------
+
+struct SimOutcome {
+  std::uint64_t fingerprint = 0;
+  bool all_converged = true;
+  std::vector<trees::Topology> trees;
+  lsr::LsaBatcher::Counters counters;
+};
+
+/// Joins 10 MCs of 3 members each, quiesces, fails the link shared by
+/// the most agreed trees (the detector's k-LSA round), quiesces, then
+/// drains one MC. Fully deterministic for fixed (shards, batching).
+SimOutcome run_sim_scenario(int mc_shards, bool batching) {
+  util::RngStream topo_rng(21);
+  graph::Graph g = graph::random_connected(20, 4.0, topo_rng);
+
+  sim::DgmcNetwork::Params params;
+  params.dgmc.mc_shards = mc_shards;
+  params.lsa_batching = batching;
+  sim::DgmcNetwork net(g, params, mc::make_incremental_algorithm());
+
+  const int kMcs = 10;
+  util::RngStream member_rng(5);
+  std::vector<std::vector<graph::NodeId>> members;
+  for (mc::McId m = 0; m < kMcs; ++m) {
+    members.push_back(sim::random_members(net.size(), 3, member_rng));
+    for (graph::NodeId node : members.back()) {
+      net.join(node, m, m % 2 == 0 ? mc::McType::kSymmetric
+                                   : mc::McType::kReceiverOnly);
+    }
+  }
+  net.run_to_quiescence();
+
+  SimOutcome out;
+  std::vector<int> link_use(static_cast<std::size_t>(g.link_count()), 0);
+  for (mc::McId m = 0; m < kMcs; ++m) {
+    if (!net.converged(m)) {
+      out.all_converged = false;
+      continue;
+    }
+    const trees::Topology agreed = net.agreed_topology(m);
+    for (const graph::Edge& e : agreed.edges()) {
+      const graph::LinkId l = g.find_link(e.a, e.b);
+      if (l != graph::kInvalidLink) ++link_use[static_cast<std::size_t>(l)];
+    }
+  }
+  graph::LinkId shared = 0;
+  for (graph::LinkId l = 1; l < g.link_count(); ++l) {
+    if (link_use[static_cast<std::size_t>(l)] >
+        link_use[static_cast<std::size_t>(shared)]) {
+      shared = l;
+    }
+  }
+  net.fail_link(shared);
+  net.run_to_quiescence();
+
+  for (graph::NodeId node : members[1]) net.leave(node, 1);
+  net.run_to_quiescence();
+
+  for (mc::McId m = 0; m < kMcs; ++m) {
+    if (m == 1) continue;  // drained
+    if (!net.converged(m)) {
+      out.all_converged = false;
+      out.trees.emplace_back();
+      continue;
+    }
+    out.trees.push_back(net.agreed_topology(m));
+  }
+  out.fingerprint = net.fingerprint();
+  out.counters = net.batching_counters();
+  return out;
+}
+
+/// config.mc_shards is a pure storage-layout knob: the protocol's
+/// fingerprint (stamps, members, installed trees, calendar) must be
+/// bit-identical at any shard count.
+TEST(ShardedSim, FingerprintInvariantAcrossMcShards) {
+  const SimOutcome base = run_sim_scenario(1, false);
+  EXPECT_TRUE(base.all_converged);
+  for (const int shards : {4, 16}) {
+    const SimOutcome other = run_sim_scenario(shards, false);
+    EXPECT_EQ(other.fingerprint, base.fingerprint) << "shards=" << shards;
+    EXPECT_EQ(other.trees, base.trees) << "shards=" << shards;
+  }
+}
+
+/// Batching coalesces the detector's k-LSA round into fewer wire ops
+/// but must not change what the network agrees on.
+TEST(BatchedSim, BatchingPreservesAgreedTrees) {
+  const SimOutcome plain = run_sim_scenario(1, false);
+  const SimOutcome batched = run_sim_scenario(4, true);
+  ASSERT_TRUE(plain.all_converged);
+  ASSERT_TRUE(batched.all_converged);
+  EXPECT_EQ(plain.trees, batched.trees);
+
+  // The shared-link failure produced at least one real multi-LSA batch,
+  // and every submitted LSA went out exactly once (as a single or
+  // inside a batch).
+  EXPECT_GE(batched.counters.batches_flooded, 1u);
+  EXPECT_GT(batched.counters.batched_lsas, batched.counters.batches_flooded);
+  EXPECT_EQ(batched.counters.singles_flooded + batched.counters.batched_lsas,
+            batched.counters.lsas_submitted);
+  EXPECT_EQ(plain.counters.batches_flooded, 0u);
+  EXPECT_EQ(plain.counters.lsas_submitted, plain.counters.singles_flooded);
+}
+
+// --- sim::ManyMcEngine across (shards, jobs) -------------------------
+
+std::vector<std::uint64_t> many_mc_signature(int shards, int jobs) {
+  sim::ManyMcParams p;
+  p.switches = 32;
+  p.mcs = 128;
+  p.members_per_mc = 4;
+  p.shards = shards;
+  p.jobs = jobs;
+  p.cores = 16;
+  p.seed = 7;
+  sim::ManyMcEngine engine(p);
+  engine.build_population();
+  engine.churn_round();
+  engine.churn_round();
+  const sim::ManyMcStats& s = engine.stats();
+  return {engine.fingerprint(),
+          static_cast<std::uint64_t>(engine.mc_count()),
+          static_cast<std::uint64_t>(engine.record_bytes()),
+          s.membership_events,
+          s.link_events,
+          s.mc_recomputes,
+          s.mc_lsas,
+          s.wire_ops_unbatched,
+          s.wire_ops_batched,
+          s.wire_bytes_unbatched,
+          s.wire_bytes_batched,
+          s.link_wire_ops_unbatched,
+          s.link_wire_ops_batched,
+          s.link_wire_bytes_unbatched,
+          s.link_wire_bytes_batched};
+}
+
+/// The engine's determinism contract: fingerprint AND every stats
+/// counter (including the batched wire model) are bit-identical at any
+/// (shard count, pool width) combination.
+TEST(ManyMcEngine, DeterministicAcrossShardsAndJobs) {
+  const std::vector<std::uint64_t> base = many_mc_signature(1, 1);
+  for (const int shards : {1, 4, 16}) {
+    for (const int jobs : {1, 8}) {
+      if (shards == 1 && jobs == 1) continue;
+      EXPECT_EQ(many_mc_signature(shards, jobs), base)
+          << "shards=" << shards << " jobs=" << jobs;
+    }
+  }
+}
+
+/// The batched wire model must be a genuine saving on link rounds and
+/// agree with the unbatched model everywhere else.
+TEST(ManyMcEngine, BatchedWireModelSavesOnLinkRounds) {
+  sim::ManyMcParams p;
+  p.switches = 32;
+  p.mcs = 256;
+  p.members_per_mc = 4;
+  p.shards = 8;
+  p.jobs = 2;
+  p.cores = 8;  // few cores => many MCs share a core => large k per link
+  p.seed = 3;
+  sim::ManyMcEngine engine(p);
+  engine.build_population();
+  for (int r = 0; r < 3; ++r) engine.churn_round();
+  const sim::ManyMcStats& s = engine.stats();
+  ASSERT_GT(s.link_events, 0u);
+  EXPECT_LT(s.link_wire_ops_batched, s.link_wire_ops_unbatched);
+  // Membership rounds are single-LSA: both models must charge them
+  // identically, so the totals differ by exactly the link-round delta.
+  EXPECT_EQ(s.wire_ops_unbatched - s.link_wire_ops_unbatched,
+            s.wire_ops_batched - s.link_wire_ops_batched);
+  EXPECT_EQ(s.wire_bytes_unbatched - s.link_wire_bytes_unbatched,
+            s.wire_bytes_batched - s.link_wire_bytes_batched);
+}
+
+}  // namespace
+}  // namespace dgmc
