@@ -65,10 +65,15 @@ for pid in "${PIDS[@]}"; do
 done
 
 echo "== comparing state dumps"
+# The trailing `stats` line is per-process transmit accounting, not
+# consensus state — compare only the `mc ` lines.
+for node in 0 1 2 3; do
+  grep '^mc ' "$OUT/state.$node" > "$OUT/mc.$node" || true
+done
 for node in 1 2 3; do
-  if ! diff -u "$OUT/state.0" "$OUT/state.$node" >/dev/null; then
+  if ! diff -u "$OUT/mc.0" "$OUT/mc.$node" >/dev/null; then
     echo "MISMATCH: switch $node disagrees with switch 0:"
-    diff -u "$OUT/state.0" "$OUT/state.$node" | sed 's/^/  /'
+    diff -u "$OUT/mc.0" "$OUT/mc.$node" | sed 's/^/  /'
     FAIL=1
   fi
 done

@@ -37,8 +37,15 @@ LOWER_IS_BETTER = ("seconds", "_time", "time_")
 # tree (the determinism contract), not merely within tolerance.
 # "converged" joins them: a wall-clock run may be slower, but a run
 # that stopped converging is a correctness regression, never noise.
+# "syscalls_per_packet" is the bench/net_io batching ratio: the bench
+# drives a fixed lockstep datagram schedule, so tx syscalls over tx
+# datagrams is pure arithmetic (ceil(burst/64)/burst for the mmsg
+# flavor, 1.0 for per-packet) and must reproduce bit-for-bit. Entries
+# whose syscall count is load-dependent (dgmc_nethost wall runs, the
+# uring flavor's enter count) use different field names and stay
+# informational.
 EXACT_FIELDS = ("determinism", "states", "transitions", "violations",
-                "converged")
+                "converged", "syscalls_per_packet")
 
 
 def load(path):

@@ -10,7 +10,7 @@ namespace dgmc::net {
 
 NetCluster::NetCluster(const graph::Graph& topo,
                        const mc::TopologyAlgorithm& algorithm, Config config)
-    : topo_(topo), config_(config) {
+    : topo_(topo), config_(config), loop_(make_io_loop(config.loop)) {
   const int n = topo_.node_count();
   for (graph::LinkId id = 0; id < topo_.link_count(); ++id) {
     DGMC_ASSERT_MSG(topo_.link(id).up, "cluster graphs start fully up");
@@ -18,7 +18,7 @@ NetCluster::NetCluster(const graph::Graph& topo,
   switches_.reserve(n);
   for (graph::NodeId id = 0; id < n; ++id) {
     switches_.push_back(
-        std::make_unique<NetSwitch>(loop_, topo_, id, algorithm, config_.sw));
+        std::make_unique<NetSwitch>(*loop_, topo_, id, algorithm, config_.sw));
     switches_.back()->bind_local(0);
   }
   // Cross-wire: each endpoint of a link sends to the other end's port.
@@ -56,12 +56,12 @@ NetCluster::RunResult NetCluster::run(
     const std::vector<sim::SoakEvent>& events,
     const std::vector<mc::McId>& mcs) {
   RunResult result;
-  const rt::Time t0 = loop_.now();
+  const rt::Time t0 = loop_->now();
   rt::Time last_event = 0.0;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const rt::Time at = events[i].at * config_.time_scale;
     last_event = std::max(last_event, at);
-    loop_.schedule_after(
+    loop_->schedule_after(
         at, [this, &events, &result, i] { apply_event(events[i], result); });
   }
   const rt::Time events_done = t0 + last_event;
@@ -70,14 +70,14 @@ NetCluster::RunResult NetCluster::run(
   rt::Time first_stable_at = 0.0;
   std::function<void()> poll = [&] {
     bool agreed = false;
-    if (loop_.now() >= events_done && quiescent()) {
+    if (loop_->now() >= events_done && quiescent()) {
       agreed = true;
       for (mc::McId mcid : mcs) agreed = agreed && converged(mcid);
     }
     if (!agreed) {
       stable = 0;
     } else {
-      if (stable == 0) first_stable_at = loop_.now();
+      if (stable == 0) first_stable_at = loop_->now();
       ++stable;
     }
     if (stable >= config_.stable_polls) {
@@ -86,24 +86,26 @@ NetCluster::RunResult NetCluster::run(
       // the confirmation polls are measurement overhead, not protocol.
       result.wall_seconds = first_stable_at - t0;
       result.convergence_seconds = std::max(0.0, first_stable_at - events_done);
-      loop_.stop();
+      loop_->stop();
       return;
     }
-    loop_.schedule_after(config_.poll_interval, [&poll] { poll(); });
+    loop_->schedule_after(config_.poll_interval, [&poll] { poll(); });
   };
-  loop_.schedule_after(config_.poll_interval, [&poll] { poll(); });
+  loop_->schedule_after(config_.poll_interval, [&poll] { poll(); });
   const rt::TimerId cap =
-      loop_.schedule_after(config_.max_wall, [this] { loop_.stop(); });
+      loop_->schedule_after(config_.max_wall, [this] { loop_->stop(); });
 
-  loop_.run();
-  loop_.cancel(cap);
+  loop_->run();
+  loop_->cancel(cap);
 
-  if (!result.converged) result.wall_seconds = loop_.now() - t0;
+  if (!result.converged) result.wall_seconds = loop_->now() - t0;
   for (const auto& sw : switches_) {
     result.datagrams_sent += sw->stats().datagrams_sent;
     result.datagrams_received += sw->stats().datagrams_received;
     result.retransmissions += sw->retransmissions();
     result.installs += sw->stats().installs;
+    result.tx_requeued += sw->tx_counters().requeued;
+    result.tx_dropped += sw->tx_counters().dropped;
   }
   return result;
 }

@@ -1,5 +1,5 @@
-// NetCluster: N NetSwitches on one EventLoop, cross-wired over
-// 127.0.0.1 UDP — the in-process loopback deployment.
+// NetCluster: N NetSwitches on one wall-clock IoLoop (any flavor),
+// cross-wired over 127.0.0.1 UDP — the in-process loopback deployment.
 //
 // This is the socket backend's counterpart of sim::DgmcNetwork: the
 // same topology, the same protocol objects, but real datagrams through
@@ -23,7 +23,7 @@
 
 #include "graph/graph.hpp"
 #include "mc/algorithm.hpp"
-#include "net/event_loop.hpp"
+#include "net/io_loop.hpp"
 #include "net/switch.hpp"
 #include "sim/spec.hpp"
 #include "trees/topology.hpp"
@@ -34,6 +34,10 @@ class NetCluster {
  public:
   struct Config {
     NetSwitch::Config sw;
+    /// Which loop drives the sockets. kUring silently falls back to
+    /// the batched epoll loop when the kernel lacks io_uring (query
+    /// loop().flavor() for what actually ran).
+    LoopFlavor loop = LoopFlavor::kEpoll;
     /// Wall seconds per spec second when replaying event times. Spec
     /// scenarios are written for simulated seconds; loopback runs
     /// compress them (e.g. 0.1 replays a 30 s scenario in 3 s).
@@ -66,6 +70,9 @@ class NetCluster {
     std::uint64_t datagrams_received = 0;
     std::uint64_t retransmissions = 0;
     std::uint64_t installs = 0;
+    /// Summed kernel-facing transmit accounting across all switches.
+    std::uint64_t tx_requeued = 0;
+    std::uint64_t tx_dropped = 0;
     std::uint64_t events_applied = 0;
     std::uint64_t events_skipped = 0;  // non-membership kinds
   };
@@ -79,7 +86,7 @@ class NetCluster {
   int size() const { return static_cast<int>(switches_.size()); }
   NetSwitch& at(graph::NodeId n) { return *switches_[n]; }
   const NetSwitch& at(graph::NodeId n) const { return *switches_[n]; }
-  EventLoop& loop() { return loop_; }
+  IoLoop& loop() { return *loop_; }
 
   /// Same agreement test as sim::DgmcNetwork::converged, over the
   /// socket switches' protocol state.
@@ -97,7 +104,7 @@ class NetCluster {
 
   graph::Graph topo_;
   Config config_;
-  EventLoop loop_;
+  std::unique_ptr<IoLoop> loop_;
   std::vector<std::unique_ptr<NetSwitch>> switches_;
 };
 

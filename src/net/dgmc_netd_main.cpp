@@ -12,6 +12,10 @@
 //   --hello T       heartbeat interval in seconds (default 0.05)
 //   --dead T        dead interval in seconds (default 0.5)
 //   --state-out F   write the final state dump to F (default stdout)
+//   --loop L        event loop flavor: epoll (batched recvmmsg/sendmmsg,
+//                   the default), epoll-packet (one syscall per
+//                   datagram), uring (io_uring; falls back to epoll if
+//                   the kernel lacks support)
 //
 // Every process parses the same spec and deterministically expands the
 // same churn event list (ChurnEngine is seeded by the spec), then
@@ -22,7 +26,9 @@
 // On exit (signal or --run-for) the process dumps its protocol state —
 // one line per known MC: sorted members, installed tree edges, and the
 // C timestamp — in a canonical text form, so an external harness can
-// diff the dumps of all N processes to check agreement.
+// diff the dumps of all N processes to check agreement, plus one
+// per-process `stats` line with the transmit-loss accounting (diffing
+// harnesses must compare only the `mc ` lines).
 //
 // Exit status: 0 = clean shutdown; 2 = usage / malformed spec.
 
@@ -38,13 +44,14 @@
 
 #include "core/protocol.hpp"
 #include "mc/algorithm.hpp"
-#include "net/event_loop.hpp"
+#include "net/io_loop.hpp"
+#include "net/state_dump.hpp"
 #include "net/switch.hpp"
 #include "sim/spec.hpp"
 
 namespace {
 
-dgmc::net::EventLoop* g_loop = nullptr;
+dgmc::net::IoLoop* g_loop = nullptr;
 
 void on_signal(int) {
   if (g_loop != nullptr) g_loop->request_stop_from_signal();
@@ -54,25 +61,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: dgmc_netd SPEC_FILE --node N --base-port P\n"
                "                 [--time-scale S] [--run-for T] [--hello T]\n"
-               "                 [--dead T] [--state-out FILE]\n");
+               "                 [--dead T] [--state-out FILE]\n"
+               "                 [--loop epoll|epoll-packet|uring]\n");
   return 2;
-}
-
-std::string dump_state(const dgmc::core::DgmcSwitch& sw) {
-  std::ostringstream out;
-  for (dgmc::mc::McId mcid : sw.known_mcs()) {
-    out << "mc " << mcid << " members";
-    for (dgmc::graph::NodeId n : sw.members(mcid)->all()) out << ' ' << n;
-    out << " tree";
-    for (const dgmc::graph::Edge& e : sw.installed(mcid)->edges()) {
-      out << ' ' << e.a << '-' << e.b;
-    }
-    out << " stamp";
-    const dgmc::core::VectorTimestamp& c = *sw.stamp_c(mcid);
-    for (dgmc::graph::NodeId i = 0; i < c.size(); ++i) out << ' ' << c[i];
-    out << '\n';
-  }
-  return out.str();
 }
 
 }  // namespace
@@ -88,6 +79,7 @@ int main(int argc, char** argv) {
   double hello = 0.05;
   double dead = 0.5;
   std::string state_out;
+  dgmc::net::LoopFlavor flavor = dgmc::net::LoopFlavor::kEpoll;
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -112,6 +104,10 @@ int main(int argc, char** argv) {
       dead = std::atof(next());
     } else if (flag == "--state-out") {
       state_out = next();
+    } else if (flag == "--loop") {
+      const auto parsed_flavor = dgmc::net::parse_flavor(next());
+      if (!parsed_flavor.has_value()) return usage();
+      flavor = *parsed_flavor;
     } else {
       std::fprintf(stderr, "dgmc_netd: unknown flag %s\n", flag.c_str());
       return usage();
@@ -148,7 +144,10 @@ int main(int argc, char** argv) {
   config.heartbeat.hello_interval = hello;
   config.heartbeat.dead_interval = dead;
 
-  dgmc::net::EventLoop loop;
+  bool fell_back = false;
+  const std::unique_ptr<dgmc::net::IoLoop> loop_ptr =
+      dgmc::net::make_io_loop(flavor, &fell_back);
+  dgmc::net::IoLoop& loop = *loop_ptr;
   dgmc::net::NetSwitch sw(loop, graph, self, *algorithm, config);
   sw.bind_local(static_cast<std::uint16_t>(base_port + node));
   for (dgmc::graph::LinkId id : graph.links_of(self)) {
@@ -173,8 +172,12 @@ int main(int argc, char** argv) {
       loop.schedule_after(ev.at * time_scale, [&sw, ev] { sw.leave(ev.mcid); });
     }
   }
-  std::printf("dgmc_netd: node %ld on port %ld (%d switches, %zu own events)\n",
-              node, base_port + node, graph.node_count(), mine);
+  std::printf(
+      "dgmc_netd: node %ld on port %ld (%d switches, %zu own events, "
+      "loop %s%s)\n",
+      node, base_port + node, graph.node_count(), mine,
+      dgmc::net::flavor_name(loop.flavor()),
+      fell_back ? " [uring unavailable, fell back]" : "");
   std::fflush(stdout);
 
   g_loop = &loop;
@@ -184,9 +187,12 @@ int main(int argc, char** argv) {
     loop.schedule_after(run_for, [&loop] { loop.stop(); });
   }
   loop.run();
+  // Read the socket's transmit accounting before stop() deregisters it.
+  const dgmc::net::TxCounters tx = sw.tx_counters();
   sw.stop();
 
-  const std::string dump = dump_state(sw.dgmc());
+  const std::string dump =
+      dgmc::net::dump_state(sw.dgmc()) + dgmc::net::dump_tx_stats(tx);
   if (state_out.empty()) {
     std::fputs(dump.c_str(), stdout);
   } else {
@@ -195,12 +201,14 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "dgmc_netd: node %ld done (tx %llu rx %llu retransmissions %llu "
-      "link downs %llu ups %llu)\n",
+      "link downs %llu ups %llu tx_requeued %llu tx_dropped %llu)\n",
       node,
       static_cast<unsigned long long>(sw.stats().datagrams_sent),
       static_cast<unsigned long long>(sw.stats().datagrams_received),
       static_cast<unsigned long long>(sw.retransmissions()),
       static_cast<unsigned long long>(sw.stats().link_downs),
-      static_cast<unsigned long long>(sw.stats().link_ups));
+      static_cast<unsigned long long>(sw.stats().link_ups),
+      static_cast<unsigned long long>(tx.requeued),
+      static_cast<unsigned long long>(tx.dropped));
   return 0;
 }

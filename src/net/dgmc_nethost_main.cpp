@@ -17,6 +17,10 @@
 //                    backend (sim::DgmcNetwork) and require identical
 //                    agreed trees and member lists per MC
 //   --bench-json     write BENCH_net.json (honors DGMC_BENCH_DIR)
+//   --loop L         event loop flavor: epoll (batched recvmmsg/sendmmsg,
+//                    the default), epoll-packet (one syscall per
+//                    datagram), uring (io_uring; falls back to epoll if
+//                    the kernel lacks support)
 //
 // Exit status: 0 = converged (and, with --des-compare, matched the DES
 // run); 1 = no convergence inside max-wall or a backend mismatch;
@@ -36,6 +40,7 @@
 #include "bench_json.hpp"
 #include "mc/algorithm.hpp"
 #include "net/cluster.hpp"
+#include "net/io_loop.hpp"
 #include "sim/network.hpp"
 #include "sim/spec.hpp"
 
@@ -49,7 +54,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: dgmc_nethost SPEC_FILE [--time-scale S] [--max-wall T]\n"
                "                    [--hello T] [--dead T] [--rto T]\n"
-               "                    [--des-compare] [--bench-json]\n");
+               "                    [--des-compare] [--bench-json]\n"
+               "                    [--loop epoll|epoll-packet|uring]\n");
   return 2;
 }
 
@@ -77,6 +83,7 @@ int main(int argc, char** argv) {
   double rto = 0.0;  // 0 = the FloodNode default (10ms)
   bool des_compare = false;
   bool want_bench_json = false;
+  dgmc::net::LoopFlavor flavor = dgmc::net::LoopFlavor::kEpoll;
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -101,6 +108,10 @@ int main(int argc, char** argv) {
       des_compare = true;
     } else if (flag == "--bench-json") {
       want_bench_json = true;
+    } else if (flag == "--loop") {
+      const auto parsed_flavor = dgmc::net::parse_flavor(next());
+      if (!parsed_flavor.has_value()) return usage();
+      flavor = *parsed_flavor;
     } else {
       std::fprintf(stderr, "dgmc_nethost: unknown flag %s\n", flag.c_str());
       return usage();
@@ -164,15 +175,34 @@ int main(int argc, char** argv) {
   if (rto > 0.0) config.sw.reliable.initial_rto = rto;
   config.time_scale = time_scale;
   config.max_wall = max_wall;
-
-  std::printf(
-      "nethost '%s': %d switches on loopback, %zu membership events "
-      "(%zu fault events skipped), time-scale %g\n",
-      spec.name.c_str(), graph.node_count(), events.size(), skipped,
-      time_scale);
+  config.loop = flavor;
 
   dgmc::net::NetCluster cluster(graph, *algorithm, config);
+  // The cluster resolves the flavor (uring may fall back): report what
+  // actually ran, not what was asked for.
+  const dgmc::net::LoopFlavor actual = cluster.loop().flavor();
+  std::printf(
+      "nethost '%s': %d switches on loopback, %zu membership events "
+      "(%zu fault events skipped), time-scale %g, loop %s%s\n",
+      spec.name.c_str(), graph.node_count(), events.size(), skipped,
+      time_scale, dgmc::net::flavor_name(actual),
+      actual != flavor ? " [uring unavailable, fell back]" : "");
+
   const dgmc::net::NetCluster::RunResult r = cluster.run(events, mcs);
+  const dgmc::net::IoStats& io = cluster.loop().io_stats();
+  // Datagram syscalls per datagram moved: recv/recvmmsg + sendto/
+  // sendmmsg (epoll flavors) or io_uring_enter (uring) over rx+tx
+  // datagrams. Wall-clock runs interleave timers and convergence polls
+  // with I/O, so this is load-dependent: the JSON field is named
+  // io_syscalls_per_packet to stay informational in bench_compare; the
+  // exact syscalls_per_packet measurement lives in bench/net_io.
+  const std::uint64_t io_calls =
+      io.rx_syscalls + io.tx_syscalls + io.uring_enters;
+  const std::uint64_t io_datagrams = io.rx_datagrams + io.tx_datagrams;
+  const double syscalls_per_packet =
+      io_datagrams > 0
+          ? static_cast<double>(io_calls) / static_cast<double>(io_datagrams)
+          : 0.0;
 
   const double pps =
       r.wall_seconds > 0.0
@@ -186,14 +216,18 @@ int main(int argc, char** argv) {
   std::printf(
       "%s: wall %.3fs, convergence %.3fs after last event\n"
       "  %llu datagrams sent (%.0f pkts/s), %llu retransmissions "
-      "(%.4f overhead), %llu installs, %llu/%llu events applied\n",
+      "(%.4f overhead), %llu installs, %llu/%llu events applied\n"
+      "  %.3f syscalls/packet, tx_requeued %llu, tx_dropped %llu\n",
       r.converged ? "converged" : "NOT CONVERGED", r.wall_seconds,
       r.convergence_seconds,
       static_cast<unsigned long long>(r.datagrams_sent), pps,
       static_cast<unsigned long long>(r.retransmissions), retx_overhead,
       static_cast<unsigned long long>(r.installs),
       static_cast<unsigned long long>(r.events_applied),
-      static_cast<unsigned long long>(r.events_applied + r.events_skipped));
+      static_cast<unsigned long long>(r.events_applied + r.events_skipped),
+      syscalls_per_packet,
+      static_cast<unsigned long long>(r.tx_requeued),
+      static_cast<unsigned long long>(r.tx_dropped));
 
   bool parity_ok = true;
   if (des_compare && r.converged) {
@@ -264,6 +298,8 @@ int main(int argc, char** argv) {
     body += "  \"time_scale\": " + json_num(time_scale) + ",\n";
     body += "  \"entries\": [\n    {\n";
     body += "      \"name\": " + json_str("loopback_" + spec.name) + ",\n";
+    body += "      \"mode\": " +
+            json_str(dgmc::net::flavor_name(actual)) + ",\n";
     body += "      \"clock_wall\": 1,\n";
     body += "      \"converged\": " + json_num(r.converged ? 1 : 0) + ",\n";
     body += "      \"wall_seconds\": " + json_num(r.wall_seconds) + ",\n";
@@ -272,6 +308,12 @@ int main(int argc, char** argv) {
     body += "      \"datagrams\": " +
             json_num(static_cast<double>(r.datagrams_sent)) + ",\n";
     body += "      \"packets_per_sec\": " + json_num(pps) + ",\n";
+    body += "      \"io_syscalls_per_packet\": " +
+            json_num(syscalls_per_packet) + ",\n";
+    body += "      \"tx_requeued\": " +
+            json_num(static_cast<double>(r.tx_requeued)) + ",\n";
+    body += "      \"tx_dropped\": " +
+            json_num(static_cast<double>(r.tx_dropped)) + ",\n";
     body += "      \"retransmit_overhead\": " + json_num(retx_overhead) +
             ",\n";
     body += "      \"installs\": " +

@@ -1,113 +1,107 @@
-// net::EventLoop: the wall-clock rt::Executor — an epoll loop over
-// real file descriptors plus a timer heap.
+// net::EventLoop: the epoll flavors of the wall-clock IoLoop.
 //
-// This is the deployment-side counterpart of des::Scheduler: protocol
-// code written against rt::Executor runs unchanged on either. now() is
-// monotonic wall-clock seconds since the loop was constructed; timers
-// fire when the hardware clock says so (EventTags are accepted for
-// interface parity and ignored — a wall-clock run cannot be interposed
-// on the way the model checker interposes on the calendar).
+// Two flavors share this class (DESIGN.md §14):
 //
-// Threading model: everything — timer callbacks, fd readiness
-// callbacks, posted functions — runs on the single thread inside
-// run(). schedule_after()/cancel()/add_fd() must be called from that
-// thread (or before run() starts); post() and stop() are the only
-// thread-safe entry points, waking the loop through an eventfd.
+//   * LoopFlavor::kEpoll (default) — the batched fast path. Readiness
+//     drains up to kRxBatch datagrams per recvmmsg() into a loop-owned
+//     receive ring; sends queue per socket and flush at
+//     end-of-callback as one sendmmsg() (per-destination addresses in
+//     the msghdrs, so one syscall covers every peer a switch emitted
+//     to in that callback). Frames the kernel refuses (EAGAIN, short
+//     batch) stay queued and EPOLLOUT is armed to finish the flush —
+//     no silent drops.
+//   * LoopFlavor::kEpollPacket — the PR 6 per-packet baseline: one
+//     recv() per datagram, one immediate sendto() per frame. Kept as
+//     the measured reference for bench/net_io and as a parity foil;
+//     even here, EAGAIN queues the frame and arms EPOLLOUT instead of
+//     losing it, and hard errors are counted per socket.
 //
-// The timer heap copies des::Scheduler's lazy-deletion scheme: heap
-// nodes carry only (time, seq, id) ordering data, callbacks live in a
-// side map, and cancellation just erases the map entry — a stale heap
-// node is skipped on pop.
+// Timers, cross-thread post, stop and signal-stop semantics live in
+// IoLoop and are identical across flavors; see io_loop.hpp. add_fd()
+// remains for generic non-datagram fds (readable callback, no
+// batching) — the wake eventfd and tests use it.
 #pragma once
 
-#include <csignal>
+#include <sys/socket.h>  // mmsghdr (glibc exposes it under _GNU_SOURCE)
+#include <sys/uio.h>     // iovec
+
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
-#include "rt/executor.hpp"
+#include "net/io_loop.hpp"
 
 namespace dgmc::net {
 
-class EventLoop final : public rt::Executor {
+class EventLoop final : public IoLoop {
  public:
-  EventLoop();
+  /// How many datagrams one recvmmsg()/sendmmsg() moves at most.
+  static constexpr int kRxBatch = 64;
+  static constexpr int kTxBatch = 64;
+  /// Packed receive tier: datagrams up to this size land in a dense
+  /// 2 KiB-per-slot region (see ensure_rx_ring for why packing
+  /// matters); larger ones spill and are reassembled before delivery.
+  static constexpr std::size_t kRxHotSlot = 2048;
+
+  explicit EventLoop(LoopFlavor flavor = LoopFlavor::kEpoll);
   ~EventLoop() override;
 
-  EventLoop(const EventLoop&) = delete;
-  EventLoop& operator=(const EventLoop&) = delete;
+  LoopFlavor flavor() const override { return flavor_; }
 
-  /// Monotonic wall-clock seconds since construction.
-  rt::Time now() const override;
-
-  rt::TimerId schedule_after(rt::Time delay, rt::EventTag tag,
-                             Callback cb) override;
-  using rt::Executor::schedule_after;
-
-  bool cancel(rt::TimerId id) override;
-
-  /// Registers `on_readable` to run whenever `fd` has data. The fd is
-  /// not owned; remove it before closing.
+  /// Registers `on_readable` to run whenever `fd` has data (generic,
+  /// non-batched path). The fd is not owned; remove it before closing.
   void add_fd(int fd, std::function<void()> on_readable);
   void remove_fd(int fd);
 
-  /// Thread-safe: enqueues `fn` to run on the loop thread, waking it.
-  void post(std::function<void()> fn);
+  void send_udp(int fd, const sockaddr_in& dest, const std::uint8_t* data,
+                std::size_t len) override;
 
-  /// Runs until stop(). Returns the number of callbacks executed.
-  std::uint64_t run();
+  std::uint64_t run() override;
 
-  /// Thread-safe and async-signal-safe via the wake eventfd when
-  /// called from a signal handler through request_stop_from_signal().
-  void stop();
-
-  /// Async-signal-safe stop request: writes the wake eventfd. Safe to
-  /// call from a POSIX signal handler. Unlike stop() (which only ends
-  /// the current run() and allows a later re-run), a signal stop is
-  /// terminal: it sticks even if it lands before run() starts, so a
-  /// SIGTERM during daemon setup can never be lost to the race with
-  /// entering the loop.
-  void request_stop_from_signal();
-
-  std::uint64_t timers_fired() const { return timers_fired_; }
+  /// TEST-ONLY: interposes on every transmit syscall the flush makes.
+  /// Called with the number of frames about to be offered; the return
+  /// value simulates kernel behavior:
+  ///   >= 0        — accept at most that many frames (0 simulates
+  ///                 EAGAIN: nothing taken, EPOLLOUT re-arm path runs)
+  ///   kTxHookFail — simulate a hard per-frame error on the head frame
+  /// Real syscalls still happen for accepted frames. Reset with
+  /// nullptr.
+  static constexpr int kTxHookFail = -1;
+  void set_tx_test_hook(std::function<int(std::size_t queued)> hook) {
+    tx_test_hook_ = std::move(hook);
+  }
 
  private:
-  struct TimerNode {
-    rt::Time time;
-    std::uint64_t seq;
-    std::uint64_t id;
-  };
-  struct Later {
-    bool operator()(const TimerNode& a, const TimerNode& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  void on_udp_added(int fd) override;
+  void on_udp_removed(int fd) override;
+  void flush_socket(int fd, Socket& s) override;
 
-  void run_due_timers(std::uint64_t* executed);
-  void drain_posted(std::uint64_t* executed);
-  int next_timeout_ms() const;
+  void set_writable_watch(int fd, Socket& s, bool on);
+  void drain_udp(int fd, Socket& s, std::uint64_t* executed);
+  void drain_udp_batched(int fd, Socket& s, std::uint64_t* executed);
+  void drain_udp_packet(int fd, Socket& s, std::uint64_t* executed);
+  void ensure_rx_ring();
 
+  LoopFlavor flavor_;
   int epoll_fd_ = -1;
-  int wake_fd_ = -1;
-  std::int64_t start_ns_ = 0;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t timers_fired_ = 0;
-  std::priority_queue<TimerNode, std::vector<TimerNode>, Later> heap_;
-  std::unordered_map<std::uint64_t, Callback> timers_;
-  std::unordered_map<int, std::function<void()>> fds_;
+  std::unordered_map<int, std::function<void()>> fds_;  // generic fds
 
-  std::mutex posted_mu_;
-  std::vector<std::function<void()>> posted_;
-  volatile bool stop_ = false;
-  // Set only by request_stop_from_signal and never cleared: run()
-  // resets stop_ on entry (so the loop is re-runnable after stop()),
-  // which would silently swallow a signal that fired before run().
-  volatile sig_atomic_t signal_stop_ = 0;
+  // Receive ring: kRxBatch two-tier buffers (packed hot slots + jumbo
+  // spill) and the iovec/mmsghdr arrays recvmmsg scatters into,
+  // allocated once on first add_udp. rx_bounce_ reassembles the rare
+  // datagram that overflows its hot slot into contiguous bytes.
+  std::vector<std::uint8_t> rx_hot_;
+  std::vector<std::uint8_t> rx_spill_;
+  std::vector<std::uint8_t> rx_bounce_;
+  std::vector<mmsghdr> rx_hdrs_;
+  std::vector<iovec> rx_iovs_;
+
+  // Transmit scatter arrays reused by every flush.
+  std::vector<mmsghdr> tx_hdrs_;
+  std::vector<iovec> tx_iovs_;
+
+  std::function<int(std::size_t)> tx_test_hook_;
 };
 
 }  // namespace dgmc::net

@@ -1,0 +1,214 @@
+#include "net/io_loop.hpp"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "net/event_loop.hpp"
+#include "util/assert.hpp"
+#if DGMC_WITH_URING
+#include "net/uring_loop.hpp"
+#endif
+
+namespace dgmc::net {
+
+namespace {
+
+std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* flavor_name(LoopFlavor f) {
+  switch (f) {
+    case LoopFlavor::kEpollPacket:
+      return "epoll-packet";
+    case LoopFlavor::kEpoll:
+      return "epoll";
+    case LoopFlavor::kUring:
+      return "uring";
+  }
+  return "?";
+}
+
+std::optional<LoopFlavor> parse_flavor(std::string_view s) {
+  if (s == "epoll-packet" || s == "packet") return LoopFlavor::kEpollPacket;
+  if (s == "epoll" || s == "mmsg") return LoopFlavor::kEpoll;
+  if (s == "uring" || s == "io_uring") return LoopFlavor::kUring;
+  return std::nullopt;
+}
+
+IoLoop::IoLoop() : start_ns_(monotonic_ns()) {
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  DGMC_ASSERT_MSG(wake_fd_ >= 0, "eventfd failed");
+}
+
+IoLoop::~IoLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+rt::Time IoLoop::now() const {
+  return static_cast<rt::Time>(monotonic_ns() - start_ns_) * 1e-9;
+}
+
+rt::TimerId IoLoop::schedule_after(rt::Time delay, rt::EventTag /*tag*/,
+                                   Callback cb) {
+  DGMC_ASSERT_MSG(delay >= 0.0, "negative delay");
+  DGMC_ASSERT(cb != nullptr);
+  const std::uint64_t id = next_id_++;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(TimerNode{now() + delay, seq, id});
+  timers_.emplace(id, std::move(cb));
+  return rt::TimerId{id};
+}
+
+bool IoLoop::cancel(rt::TimerId id) {
+  // The heap node is left in place and skipped lazily on pop.
+  return timers_.erase(id.value) != 0;
+}
+
+void IoLoop::add_udp(int fd, DatagramHandler on_datagram) {
+  DGMC_ASSERT(fd >= 0);
+  DGMC_ASSERT(on_datagram != nullptr);
+  Socket& s = socks_[fd];
+  s.on_datagram = std::move(on_datagram);
+  on_udp_added(fd);
+}
+
+void IoLoop::remove_udp(int fd) {
+  auto it = socks_.find(fd);
+  if (it == socks_.end()) return;
+  // Undelivered frames die with the registration; that is explicit
+  // caller intent (stop()), not a silent send failure.
+  for (PendingTx& p : it->second.txq) pool_.release(std::move(p.buf));
+  socks_.erase(it);
+  ++socks_gen_;
+  on_udp_removed(fd);
+}
+
+void IoLoop::send_udp(int fd, const sockaddr_in& dest,
+                      const std::uint8_t* data, std::size_t len) {
+  const bool queued = queue_tx(fd, dest, data, len);
+  DGMC_ASSERT_MSG(queued, "send_udp on an unregistered fd");
+}
+
+bool IoLoop::queue_tx(int fd, const sockaddr_in& dest,
+                      const std::uint8_t* data, std::size_t len) {
+  auto it = socks_.find(fd);
+  if (it == socks_.end()) return false;
+  PendingTx p;
+  p.buf = pool_.acquire(len);
+  std::memcpy(p.buf.data(), data, len);
+  p.dest = dest;
+  it->second.txq.push_back(std::move(p));
+  return true;
+}
+
+void IoLoop::flush_all_tx() {
+  // Socket count is small (one per switch in-process); walking the map
+  // beats maintaining a dirty list that remove_udp would have to scrub.
+  for (auto& [fd, s] : socks_) {
+    if (!s.txq.empty() && !s.want_writable) flush_socket(fd, s);
+  }
+}
+
+void IoLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void IoLoop::stop() {
+  post([this] { stop_ = true; });
+}
+
+void IoLoop::request_stop_from_signal() {
+  signal_stop_ = 1;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void IoLoop::run_due_timers(std::uint64_t* executed) {
+  // Bound the sweep to timers due at entry: a callback that re-arms a
+  // zero-delay timer must not starve fd readiness.
+  const rt::Time deadline = now();
+  while (!heap_.empty()) {
+    TimerNode n = heap_.top();
+    auto it = timers_.find(n.id);
+    if (it == timers_.end()) {
+      heap_.pop();  // cancelled: drop the stale node
+      continue;
+    }
+    if (n.time > deadline) break;
+    heap_.pop();
+    Callback cb = std::move(it->second);
+    timers_.erase(it);
+    ++timers_fired_;
+    ++*executed;
+    cb();
+    // End-of-callback: everything this timer emitted goes out as one
+    // batch before the next callback observes the world.
+    flush_all_tx();
+  }
+}
+
+void IoLoop::drain_posted(std::uint64_t* executed) {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) {
+    ++*executed;
+    fn();
+    flush_all_tx();
+  }
+}
+
+int IoLoop::next_timeout_ms() const {
+  // Peek past stale (cancelled) heap nodes without mutating the heap;
+  // a stale head only costs one early wakeup.
+  if (heap_.empty()) return -1;
+  const rt::Time dt = heap_.top().time - now();
+  if (dt <= 0.0) return 0;
+  const double ms = std::ceil(dt * 1e3);
+  if (ms > 60'000.0) return 60'000;
+  return static_cast<int>(ms);
+}
+
+TxCounters IoLoop::tx_counters(int fd) const {
+  auto it = socks_.find(fd);
+  return it == socks_.end() ? TxCounters{} : it->second.tx;
+}
+
+std::unique_ptr<IoLoop> make_io_loop(LoopFlavor flavor, bool* fell_back) {
+  if (fell_back != nullptr) *fell_back = false;
+  switch (flavor) {
+    case LoopFlavor::kEpollPacket:
+      return std::make_unique<EventLoop>(LoopFlavor::kEpollPacket);
+    case LoopFlavor::kEpoll:
+      return std::make_unique<EventLoop>(LoopFlavor::kEpoll);
+    case LoopFlavor::kUring: {
+#if DGMC_WITH_URING
+      std::unique_ptr<UringLoop> ul = UringLoop::make();
+      if (ul != nullptr) return ul;
+#endif
+      if (fell_back != nullptr) *fell_back = true;
+      return std::make_unique<EventLoop>(LoopFlavor::kEpoll);
+    }
+  }
+  return std::make_unique<EventLoop>(LoopFlavor::kEpoll);
+}
+
+}  // namespace dgmc::net

@@ -1,0 +1,224 @@
+// IoLoop: the wall-clock rt::Executor family — shared machinery for
+// every loop flavor the socket backend can run on.
+//
+// PR 6 introduced one wall-clock loop (epoll). The batched-I/O fast
+// path adds flavors — epoll draining per packet, epoll draining with
+// recvmmsg/sendmmsg, io_uring — and everything that is *not* the
+// poller must behave identically across them or the protocol would
+// observe the flavor: the monotonic clock, the lazy-deletion timer
+// heap, the eventfd cross-thread post, the terminal signal-stop, and
+// the per-socket transmit queues with their loss accounting. All of
+// that lives here, once; a concrete loop only implements how fds are
+// watched, how datagrams are drained, and how a queue of frames is
+// handed to the kernel.
+//
+// Transmit model (shared by every flavor): send_udp() never hands a
+// frame straight to sendto(). Frames queue per socket in FIFO order
+// and the loop flushes a socket's queue at end-of-callback — after
+// the timer/posted/receive callback that emitted them returns. One
+// callback's worth of frames becomes one syscall (sendmmsg) or one
+// submission chain (io_uring). Because no receive or timer callback
+// can run between emission and flush, protocol-visible ordering is
+// exactly what per-frame sendto() gave: frames to the same
+// destination leave in emission order, and every frame emitted by
+// callback N is on the wire before callback N+1 runs (DESIGN.md §14).
+// Frames the kernel will not take (EAGAIN, short sendmmsg) stay
+// queued and the loop re-arms writability instead of dropping them —
+// counted per socket in TxCounters::requeued; frames lost to hard
+// send errors are counted in TxCounters::dropped, never silently.
+//
+// Threading model is unchanged from PR 6: everything runs on the
+// single thread inside run(); post() and stop() are the only
+// thread-safe entry points.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/buffer_pool.hpp"
+#include "rt/executor.hpp"
+
+namespace dgmc::net {
+
+/// Which wall-clock loop implementation drives the sockets.
+///   kEpollPacket — epoll, one recv/sendto syscall per datagram (the
+///                  PR 6 baseline, kept as the bench reference).
+///   kEpoll       — epoll with recvmmsg/sendmmsg batching (default).
+///   kUring       — io_uring submission/completion rings (needs
+///                  kernel support; callers use make_io_loop for the
+///                  auto-fallback to kEpoll).
+enum class LoopFlavor { kEpollPacket, kEpoll, kUring };
+
+const char* flavor_name(LoopFlavor f);
+
+/// Parses "epoll-packet" | "epoll" | "uring" (the --loop flag).
+std::optional<LoopFlavor> parse_flavor(std::string_view s);
+
+/// Per-socket transmit accounting (one socket = one NetSwitch, so
+/// these are the per-switch tx_* counters the state dump surfaces).
+struct TxCounters {
+  std::uint64_t sent = 0;      // datagrams the kernel accepted
+  std::uint64_t requeued = 0;  // frames deferred by EAGAIN/short batch
+  std::uint64_t dropped = 0;   // frames lost to hard send errors
+};
+
+/// Loop-wide datagram syscall accounting, for syscalls-per-packet.
+struct IoStats {
+  std::uint64_t rx_syscalls = 0;   // recv/recvmmsg calls
+  std::uint64_t tx_syscalls = 0;   // sendto/sendmmsg calls
+  std::uint64_t uring_enters = 0;  // io_uring_enter calls (uring only)
+  std::uint64_t rx_datagrams = 0;
+  std::uint64_t tx_datagrams = 0;
+};
+
+class IoLoop : public rt::Executor {
+ public:
+  /// Receive callback: one decoded-length datagram. The buffer is
+  /// loop-owned and only valid for the duration of the call.
+  using DatagramHandler =
+      std::function<void(const std::uint8_t* data, std::size_t len)>;
+
+  IoLoop(const IoLoop&) = delete;
+  IoLoop& operator=(const IoLoop&) = delete;
+  ~IoLoop() override;
+
+  // --- rt::Executor (shared across flavors) ---
+  rt::Time now() const override;
+  rt::TimerId schedule_after(rt::Time delay, rt::EventTag tag,
+                             Callback cb) override;
+  using rt::Executor::schedule_after;
+  bool cancel(rt::TimerId id) override;
+
+  virtual LoopFlavor flavor() const = 0;
+
+  // --- datagram sockets ---
+
+  /// Registers a (bound, non-blocking) UDP socket. Incoming datagrams
+  /// are drained in batches and handed to `on_datagram` one by one, in
+  /// kernel receive order. The fd is not owned; remove it before
+  /// closing.
+  void add_udp(int fd, DatagramHandler on_datagram);
+  void remove_udp(int fd);
+
+  /// Queues one datagram for `fd` toward `dest`; the queue flushes at
+  /// end-of-callback (see file header). The bytes are copied into a
+  /// pooled buffer, so the caller's storage may be reused immediately.
+  virtual void send_udp(int fd, const sockaddr_in& dest,
+                        const std::uint8_t* data, std::size_t len);
+
+  // --- loop control (shared) ---
+
+  /// Runs until stop(). Returns the number of callbacks executed.
+  virtual std::uint64_t run() = 0;
+
+  /// Thread-safe: enqueues `fn` to run on the loop thread, waking it.
+  void post(std::function<void()> fn);
+
+  /// Thread-safe; ends the current run() (a later run() is allowed).
+  void stop();
+
+  /// Async-signal-safe terminal stop (see EventLoop's PR 6 contract:
+  /// sticks even if it lands before run() starts).
+  void request_stop_from_signal();
+
+  // --- introspection ---
+  std::uint64_t timers_fired() const { return timers_fired_; }
+  const IoStats& io_stats() const { return io_; }
+  /// Zeroed counters for an unknown fd (e.g. a never-started switch).
+  TxCounters tx_counters(int fd) const;
+  BufferPool& buffer_pool() { return pool_; }
+
+ protected:
+  IoLoop();
+
+  struct PendingTx {
+    std::vector<std::uint8_t> buf;
+    sockaddr_in dest;
+  };
+  struct Socket {
+    DatagramHandler on_datagram;
+    std::deque<PendingTx> txq;
+    TxCounters tx;
+    bool want_writable = false;  // waiting for the kernel to drain
+  };
+
+  // Poller hooks implemented per flavor.
+  virtual void on_udp_added(int fd) = 0;
+  virtual void on_udp_removed(int fd) = 0;
+  /// Move as much of `s.txq` into the kernel as it will take, updating
+  /// `s.tx` and the loop IoStats; arrange for a later retry (writable
+  /// watch, poll op) when frames remain.
+  virtual void flush_socket(int fd, Socket& s) = 0;
+
+  /// Copies the frame into a pooled buffer and appends to the socket's
+  /// queue. Returns false if the fd is not registered.
+  bool queue_tx(int fd, const sockaddr_in& dest, const std::uint8_t* data,
+                std::size_t len);
+
+  /// Flushes every socket with queued frames (end-of-callback point).
+  void flush_all_tx();
+
+  /// Runs timers due at entry (bounded sweep — a callback re-arming a
+  /// zero-delay timer must not starve I/O), flushing tx after each.
+  void run_due_timers(std::uint64_t* executed);
+  void drain_posted(std::uint64_t* executed);
+  int next_timeout_ms() const;
+  bool stopping() const { return stop_ || signal_stop_ != 0; }
+  void begin_run() { stop_ = false; }  // signal_stop_ stays terminal
+
+  /// Generation counter bumped by remove_udp: a drain loop snapshots
+  /// it before invoking a handler and aborts if the handler removed
+  /// sockets (its Socket reference may be gone).
+  std::uint64_t socket_generation() const { return socks_gen_; }
+
+  std::unordered_map<int, Socket> socks_;
+  std::uint64_t socks_gen_ = 0;
+  BufferPool pool_;
+  IoStats io_;
+  int wake_fd_ = -1;  // eventfd: post()/signal-stop wakeups
+  std::uint64_t timers_fired_ = 0;
+
+ private:
+  struct TimerNode {
+    rt::Time time;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const TimerNode& a, const TimerNode& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::int64_t start_ns_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<TimerNode, std::vector<TimerNode>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> timers_;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+  volatile bool stop_ = false;
+  volatile sig_atomic_t signal_stop_ = 0;
+};
+
+/// Builds a loop of the requested flavor. kUring falls back to the
+/// batched epoll loop when the kernel (or the build) lacks io_uring;
+/// `*fell_back` reports that so daemons can say which loop actually
+/// ran. Never returns null.
+std::unique_ptr<IoLoop> make_io_loop(LoopFlavor flavor,
+                                     bool* fell_back = nullptr);
+
+}  // namespace dgmc::net

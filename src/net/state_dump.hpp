@@ -1,0 +1,46 @@
+// Canonical protocol-state dump, shared by dgmc_netd and the
+// loop-flavor parity tests: one line per known MC with sorted members,
+// installed tree edges, and the C timestamp. Two switches (or two
+// whole runs under different loop flavors) agree exactly when their
+// `mc` lines match byte-for-byte.
+//
+// The optional trailing `stats` line carries per-process transmit
+// accounting (frames deferred by EAGAIN, frames lost to hard send
+// errors). It is per-process — NOT consensus state — so harnesses that
+// diff dumps across processes must restrict the comparison to the
+// `mc ` lines (examples/real_sockets/run.sh does).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "core/protocol.hpp"
+#include "net/io_loop.hpp"
+
+namespace dgmc::net {
+
+inline std::string dump_state(const core::DgmcSwitch& sw) {
+  std::ostringstream out;
+  for (mc::McId mcid : sw.known_mcs()) {
+    out << "mc " << mcid << " members";
+    for (graph::NodeId n : sw.members(mcid)->all()) out << ' ' << n;
+    out << " tree";
+    for (const graph::Edge& e : sw.installed(mcid)->edges()) {
+      out << ' ' << e.a << '-' << e.b;
+    }
+    out << " stamp";
+    const core::VectorTimestamp& c = *sw.stamp_c(mcid);
+    for (graph::NodeId i = 0; i < c.size(); ++i) out << ' ' << c[i];
+    out << '\n';
+  }
+  return out.str();
+}
+
+inline std::string dump_tx_stats(const TxCounters& tx) {
+  std::ostringstream out;
+  out << "stats tx_dropped " << tx.dropped << " tx_requeued " << tx.requeued
+      << '\n';
+  return out.str();
+}
+
+}  // namespace dgmc::net

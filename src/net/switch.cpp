@@ -13,7 +13,7 @@
 
 namespace dgmc::net {
 
-NetSwitch::NetSwitch(EventLoop& loop, const graph::Graph& topo,
+NetSwitch::NetSwitch(IoLoop& loop, const graph::Graph& topo,
                      graph::NodeId self,
                      const mc::TopologyAlgorithm& algorithm, Config config)
     : loop_(loop),
@@ -113,7 +113,9 @@ void NetSwitch::start() {
   }
   if (started_) return;
   started_ = true;
-  loop_.add_fd(fd_, [this] { on_readable(); });
+  loop_.add_udp(fd_, [this](const std::uint8_t* data, std::size_t len) {
+    on_datagram(data, len);
+  });
   neighbors_->start();
 }
 
@@ -122,27 +124,18 @@ void NetSwitch::stop() {
   started_ = false;
   neighbors_->stop();
   node_->abandon_all_pending();
-  loop_.remove_fd(fd_);
+  loop_.remove_udp(fd_);
 }
 
-void NetSwitch::on_readable() {
-  // Drain the socket: epoll is level-triggered, but one readiness
-  // callback handling every queued datagram keeps the loop's epoll_wait
-  // count proportional to wakeups, not packets.
-  std::uint8_t buf[kMaxDatagram];
-  for (;;) {
-    const ssize_t n = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      return;  // transient socket error: next readiness retries
-    }
-    ++stats_.datagrams_received;
-    if (rx_drop_ && rx_drop_()) {
-      ++stats_.rx_dropped;
-      continue;
-    }
-    handle_datagram(buf, static_cast<std::size_t>(n));
+void NetSwitch::on_datagram(const std::uint8_t* data, std::size_t len) {
+  // The loop owns the batched drain (recvmmsg ring / uring multishot);
+  // this runs once per datagram in kernel receive order.
+  ++stats_.datagrams_received;
+  if (rx_drop_ && rx_drop_()) {
+    ++stats_.rx_dropped;
+    return;
   }
+  handle_datagram(data, len);
 }
 
 void NetSwitch::handle_datagram(const std::uint8_t* data, std::size_t len) {
@@ -309,11 +302,12 @@ void NetSwitch::send_to_link(graph::LinkId link) {
   auto it = peers_.find(link);
   DGMC_ASSERT_MSG(it != peers_.end(), "send on a link with no peer");
   ++stats_.datagrams_sent;
-  // A failed send is indistinguishable from wire loss; the ack +
-  // retransmit machinery (and heartbeats) absorb it.
-  [[maybe_unused]] const ssize_t n = ::sendto(
-      fd_, tx_buf_.data(), tx_buf_.size(), 0,
-      reinterpret_cast<const sockaddr*>(&it->second), sizeof it->second);
+  // The loop queues the frame and flushes at end-of-callback; frames
+  // the kernel defers or refuses are counted in tx_counters() instead
+  // of vanishing (a dropped frame is still indistinguishable from wire
+  // loss to the protocol — the ack + retransmit machinery and
+  // heartbeats absorb it — but now it is *visible* in the state dump).
+  loop_.send_udp(fd_, it->second, tx_buf_.data(), tx_buf_.size());
 }
 
 }  // namespace dgmc::net

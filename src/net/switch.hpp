@@ -3,12 +3,15 @@
 // This is the deployment assembly of the same protocol objects the
 // simulation runs — core::DgmcSwitch (paper §3.3), lsr::FloodNode (the
 // per-switch flooding engine), lsr::LocalImage — driven by a
-// net::EventLoop instead of des::Scheduler and wired to the network
+// wall-clock net::IoLoop (any flavor — epoll or io_uring, see
+// DESIGN.md §14) instead of des::Scheduler and wired to the network
 // through datagrams instead of calendar insertions:
 //
 //   * UdpWire implements lsr::FloodWire by framing each flooding copy /
 //     ack (net/frame.hpp) around the core/codec payload encoding and
-//     sendto()ing it to the peer on that link;
+//     handing it to the loop's per-socket transmit queue, which
+//     coalesces everything one callback emits into a single batched
+//     send (IoLoop's end-of-callback flush keeps sendto() ordering);
 //   * a NeighborTable senses link liveness from HELLO heartbeats and
 //     stands in for the simulation's omniscient link-status oracle:
 //     its down/up transitions drive the same image-update → non-MC-LSA
@@ -41,7 +44,7 @@
 #include "lsr/link_lsa.hpp"
 #include "lsr/local_image.hpp"
 #include "mc/algorithm.hpp"
-#include "net/event_loop.hpp"
+#include "net/io_loop.hpp"
 #include "net/frame.hpp"
 #include "net/neighbor.hpp"
 
@@ -84,7 +87,7 @@ class NetSwitch {
     std::uint64_t installs = 0;
   };
 
-  NetSwitch(EventLoop& loop, const graph::Graph& topo, graph::NodeId self,
+  NetSwitch(IoLoop& loop, const graph::Graph& topo, graph::NodeId self,
             const mc::TopologyAlgorithm& algorithm, Config config);
   ~NetSwitch();
 
@@ -126,6 +129,9 @@ class NetSwitch {
     return batcher_->counters();
   }
   const Stats& stats() const { return stats_; }
+  /// Kernel-facing transmit accounting for this switch's socket: sent /
+  /// requeued-on-EAGAIN / dropped-on-hard-error (live from the loop).
+  TxCounters tx_counters() const { return loop_.tx_counters(fd_); }
   std::uint64_t retransmissions() const { return node_->retransmissions(); }
   std::size_t retransmit_timers_armed() const {
     return node_->retransmit_timers_armed();
@@ -159,7 +165,7 @@ class NetSwitch {
     NetSwitch& owner_;
   };
 
-  void on_readable();
+  void on_datagram(const std::uint8_t* data, std::size_t len);
   void handle_datagram(const std::uint8_t* data, std::size_t len);
   void deliver(const lsr::FloodNode<Payload>::Delivery& d);
   void flood(Payload payload);
@@ -172,7 +178,7 @@ class NetSwitch {
                         std::uint32_t echo_seq, rt::Time echo_hold);
   void send_to_link(graph::LinkId link);
 
-  EventLoop& loop_;
+  IoLoop& loop_;
   graph::Graph topo_;  // static wiring plan: who is on the far end of what
   graph::NodeId self_;
   Config config_;

@@ -1,0 +1,529 @@
+#include "net/uring_loop.hpp"
+
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/frame.hpp"
+#include "util/assert.hpp"
+
+namespace dgmc::net {
+
+namespace {
+
+// user_data layout: tag(4) | gen(16) | fd(28) | slot(16). The gen ties
+// every CQE to one add_udp registration; see USock.
+enum class OpTag : std::uint64_t {
+  kWake = 1,
+  kRecv = 2,
+  kSend = 3,
+  kPollOut = 4,
+  kCancel = 5,
+  kProvide = 6,
+};
+
+std::uint64_t mk_data(OpTag tag, std::uint16_t gen, int fd,
+                      std::uint16_t slot) {
+  return (static_cast<std::uint64_t>(tag) << 60) |
+         (static_cast<std::uint64_t>(gen) << 44) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(fd) &
+                                     0xfffffffu)
+          << 16) |
+         slot;
+}
+
+OpTag data_tag(std::uint64_t d) { return static_cast<OpTag>(d >> 60); }
+std::uint16_t data_gen(std::uint64_t d) {
+  return static_cast<std::uint16_t>((d >> 44) & 0xffff);
+}
+int data_fd(std::uint64_t d) {
+  return static_cast<int>((d >> 16) & 0xfffffffu);
+}
+std::uint16_t data_slot(std::uint64_t d) {
+  return static_cast<std::uint16_t>(d & 0xffff);
+}
+std::uint64_t data_key(std::uint64_t d) {
+  return (static_cast<std::uint64_t>(data_fd(d)) << 16) | data_gen(d);
+}
+std::uint64_t sock_key(int fd, std::uint16_t gen) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(fd)) << 16) |
+         gen;
+}
+
+int sys_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+long sys_enter(int fd, unsigned to_submit, unsigned min_complete,
+               unsigned flags, const void* arg, std::size_t arg_sz) {
+  return ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+                   arg, arg_sz);
+}
+// io_uring honors O_NONBLOCK: a READ/RECV on a nonblocking fd
+// completes immediately with -EAGAIN instead of arming poll, which
+// would turn every armed op into a hot spin. Ring ops are async at the
+// ring level regardless, so fds handed to this loop run in blocking
+// mode.
+void clear_nonblock(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL);
+  if (fl >= 0 && (fl & O_NONBLOCK) != 0) {
+    ::fcntl(fd, F_SETFL, fl & ~O_NONBLOCK);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<UringLoop> UringLoop::make() {
+  std::unique_ptr<UringLoop> loop(new UringLoop());
+  if (!loop->init()) return nullptr;
+  return loop;
+}
+
+bool UringLoop::init() {
+  io_uring_params p{};
+  p.flags = IORING_SETUP_CQSIZE;
+  p.cq_entries = kCqEntries;
+  ring_fd_ = sys_setup(kSqEntries, &p);
+  if (ring_fd_ < 0) return false;  // old kernel or seccomp: fall back
+  const unsigned need =
+      IORING_FEAT_SINGLE_MMAP | IORING_FEAT_EXT_ARG | IORING_FEAT_NODROP;
+  if ((p.features & need) != need) return false;
+
+  const std::size_t sq_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  const std::size_t cq_sz =
+      p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  ring_sz_ = sq_sz > cq_sz ? sq_sz : cq_sz;
+  ring_mem_ = ::mmap(nullptr, ring_sz_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (ring_mem_ == MAP_FAILED) {
+    ring_mem_ = nullptr;
+    return false;
+  }
+  sqe_sz_ = p.sq_entries * sizeof(io_uring_sqe);
+  sqe_mem_ = ::mmap(nullptr, sqe_sz_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sqe_mem_ == MAP_FAILED) {
+    sqe_mem_ = nullptr;
+    return false;
+  }
+  auto* base = static_cast<std::uint8_t*>(ring_mem_);
+  sq_head_ = reinterpret_cast<unsigned*>(base + p.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(base + p.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(base + p.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(base + p.sq_off.array);
+  sqes_ = static_cast<io_uring_sqe*>(sqe_mem_);
+  cq_head_ = reinterpret_cast<unsigned*>(base + p.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(base + p.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(base + p.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(base + p.cq_off.cqes);
+
+  // Provided-buffer pool: hand the kernel all kBufCount slabs in one
+  // op and wait for its CQE — this doubles as the runtime probe that
+  // buffer-select receives will work at all; any failure falls back.
+  buf_mem_sz_ = static_cast<std::size_t>(kBufCount) * kMaxDatagram;
+  void* bm = ::mmap(nullptr, buf_mem_sz_, PROT_READ | PROT_WRITE,
+                    MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (bm == MAP_FAILED) return false;
+  buf_mem_ = static_cast<std::uint8_t*>(bm);
+  io_uring_sqe* sqe = get_sqe();
+  sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+  sqe->fd = static_cast<int>(kBufCount);  // nbufs rides the fd field
+  sqe->addr = reinterpret_cast<std::uint64_t>(buf_mem_);
+  sqe->len = kMaxDatagram;
+  sqe->buf_group = 0;
+  sqe->off = 0;  // starting buffer id
+  sqe->user_data = mk_data(OpTag::kProvide, 0, 0, 0);
+  if (sys_enter(ring_fd_, 1, 1, IORING_ENTER_GETEVENTS, nullptr, 0) < 0) {
+    return false;
+  }
+  const unsigned head = *cq_head_;
+  if (head == __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE)) return false;
+  const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+  const bool ok = cqe.res >= 0;
+  __atomic_store_n(cq_head_, head + 1, __ATOMIC_RELEASE);
+  if (!ok) return false;
+  clear_nonblock(wake_fd_);
+  return true;
+}
+
+UringLoop::~UringLoop() {
+  // Closing the ring fd cancels every outstanding op; the kernel keeps
+  // its own references to the mappings until then.
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+  if (sqe_mem_ != nullptr) ::munmap(sqe_mem_, sqe_sz_);
+  if (ring_mem_ != nullptr) ::munmap(ring_mem_, ring_sz_);
+  if (buf_mem_ != nullptr) ::munmap(buf_mem_, buf_mem_sz_);
+}
+
+void UringLoop::readd_buffer(std::uint16_t bid) {
+  // Returns one consumed slab to group 0. The op's CQE is ignored
+  // (kProvide); it rides the next enter, costing no syscall of its own.
+  io_uring_sqe* sqe = get_sqe();
+  sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+  sqe->fd = 1;  // nbufs
+  sqe->addr = reinterpret_cast<std::uint64_t>(buf_mem_ +
+                                              std::size_t(bid) * kMaxDatagram);
+  sqe->len = kMaxDatagram;
+  sqe->buf_group = 0;
+  sqe->off = bid;
+  sqe->user_data = mk_data(OpTag::kProvide, 0, 0, bid);
+}
+
+io_uring_sqe* UringLoop::get_sqe() {
+  unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+  if (*sq_tail_ - head == kSqEntries) {
+    // SQ full: hand the backlog to the kernel and retry.
+    enter(0, 0, nullptr, 0);
+    head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+    DGMC_ASSERT(*sq_tail_ - head < kSqEntries);
+  }
+  const unsigned tail = *sq_tail_;
+  const unsigned idx = tail & sq_mask_;
+  io_uring_sqe* sqe = &sqes_[idx];
+  std::memset(sqe, 0, sizeof *sqe);
+  sq_array_[idx] = idx;
+  __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+  return sqe;
+}
+
+void UringLoop::enter(unsigned min_complete, unsigned flags, void* arg,
+                      std::size_t arg_sz) {
+  for (;;) {
+    const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+    const unsigned to_submit = *sq_tail_ - head;
+    const long r = sys_enter(ring_fd_, to_submit, min_complete, flags, arg,
+                             arg_sz);
+    ++io_.uring_enters;
+    if (r >= 0) return;
+    if (errno == EINTR) {
+      if (stopping()) return;
+      continue;  // to_submit recomputed: partial submission is visible
+    }
+    if (errno == ETIME) return;  // EXT_ARG timeout expired, no events
+    if (errno == EBUSY) return;  // CQ saturated: drain, then resubmit
+    DGMC_ASSERT_MSG(false, "io_uring_enter failed");
+  }
+}
+
+void UringLoop::wait_for_events(int timeout_ms) {
+  if (timeout_ms == 0) {
+    enter(0, IORING_ENTER_GETEVENTS, nullptr, 0);
+    return;
+  }
+  if (timeout_ms < 0) {
+    enter(1, IORING_ENTER_GETEVENTS, nullptr, 0);
+    return;
+  }
+  __kernel_timespec ts{};
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1'000'000;
+  io_uring_getevents_arg arg{};
+  arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+  enter(1, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg, sizeof arg);
+}
+
+UringLoop::USock* UringLoop::find_live(std::uint64_t key) {
+  auto it = usocks_.find(key);
+  if (it == usocks_.end() || it->second.dead) return nullptr;
+  return &it->second;
+}
+
+void UringLoop::reap_if_done(std::uint64_t key) {
+  auto it = usocks_.find(key);
+  if (it != usocks_.end() && it->second.dead && it->second.outstanding == 0) {
+    for (PendingTx& p : it->second.inflight) pool_.release(std::move(p.buf));
+    for (PendingTx& p : it->second.resurrect) pool_.release(std::move(p.buf));
+    usocks_.erase(it);
+  }
+}
+
+void UringLoop::arm_recv(int fd, USock& u) {
+  io_uring_sqe* sqe = get_sqe();
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = fd;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = 0;
+  u.multishot = multishot_ok_;
+  if (u.multishot) sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->user_data = mk_data(OpTag::kRecv, u.gen, fd, 0);
+  u.recv_armed = true;
+  ++u.outstanding;
+}
+
+void UringLoop::arm_pollout(int fd, USock& u) {
+  io_uring_sqe* sqe = get_sqe();
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = fd;
+  sqe->poll32_events = POLLOUT;
+  sqe->user_data = mk_data(OpTag::kPollOut, u.gen, fd, 0);
+  u.pollout_active = true;
+  ++u.outstanding;
+}
+
+void UringLoop::arm_wake_read() {
+  io_uring_sqe* sqe = get_sqe();
+  sqe->opcode = IORING_OP_READ;
+  sqe->fd = wake_fd_;
+  sqe->addr = reinterpret_cast<std::uint64_t>(&wake_buf_);
+  sqe->len = sizeof wake_buf_;
+  sqe->user_data = mk_data(OpTag::kWake, 0, wake_fd_, 0);
+  wake_armed_ = true;
+}
+
+void UringLoop::on_udp_added(int fd) {
+  clear_nonblock(fd);
+  const std::uint16_t gen = ++cur_gen_[fd];
+  USock& u = usocks_[sock_key(fd, gen)];
+  u.gen = gen;
+  arm_recv(fd, u);
+}
+
+void UringLoop::on_udp_removed(int fd) {
+  auto git = cur_gen_.find(fd);
+  if (git == cur_gen_.end()) return;
+  const std::uint64_t key = sock_key(fd, git->second);
+  auto it = usocks_.find(key);
+  if (it == usocks_.end()) return;
+  USock& u = it->second;
+  u.dead = true;
+  // Cancel the armed ops; in-flight sends run out naturally and the
+  // zombie entry keeps their msghdrs/frames alive until the CQEs land.
+  if (u.recv_armed) {
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->addr = mk_data(OpTag::kRecv, u.gen, fd, 0);
+    sqe->user_data = mk_data(OpTag::kCancel, u.gen, fd, 0);
+  }
+  if (u.pollout_active) {
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->addr = mk_data(OpTag::kPollOut, u.gen, fd, 0);
+    sqe->user_data = mk_data(OpTag::kCancel, u.gen, fd, 1);
+  }
+  reap_if_done(key);
+}
+
+void UringLoop::flush_socket(int fd, Socket& s) {
+  auto git = cur_gen_.find(fd);
+  DGMC_ASSERT_MSG(git != cur_gen_.end(), "flush on an unregistered fd");
+  USock* u = find_live(sock_key(fd, git->second));
+  DGMC_ASSERT(u != nullptr);
+  if (u->chain_active || u->pollout_active) {
+    // One chain in flight per socket: linked SQEs complete in order
+    // only relative to each other, so a second concurrent chain could
+    // overtake the first. want_writable gates flush_all_tx meanwhile.
+    s.want_writable = true;
+    return;
+  }
+  const int n = static_cast<int>(
+      std::min<std::size_t>(s.txq.size(), kTxChain));
+  if (n == 0) return;
+  u->inflight.clear();
+  u->inflight.reserve(static_cast<std::size_t>(n));
+  u->hdrs.assign(static_cast<std::size_t>(n), msghdr{});
+  u->iovs.assign(static_cast<std::size_t>(n), iovec{});
+  for (int i = 0; i < n; ++i) {
+    u->inflight.push_back(std::move(s.txq.front()));
+    s.txq.pop_front();
+  }
+  for (int i = 0; i < n; ++i) {
+    PendingTx& p = u->inflight[static_cast<std::size_t>(i)];
+    u->iovs[i].iov_base = p.buf.data();
+    u->iovs[i].iov_len = p.buf.size();
+    u->hdrs[i].msg_name = &p.dest;
+    u->hdrs[i].msg_namelen = sizeof p.dest;
+    u->hdrs[i].msg_iov = &u->iovs[i];
+    u->hdrs[i].msg_iovlen = 1;
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_SENDMSG;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(&u->hdrs[i]);
+    if (i + 1 < n) sqe->flags = IOSQE_IO_LINK;
+    sqe->user_data =
+        mk_data(OpTag::kSend, u->gen, fd, static_cast<std::uint16_t>(i));
+  }
+  u->chain_active = true;
+  u->chain_left = n;
+  u->outstanding += n;
+  u->resurrect.clear();
+  s.want_writable = true;
+}
+
+void UringLoop::handle_send_cqe(const io_uring_cqe& cqe, std::uint64_t key,
+                                std::uint16_t slot) {
+  auto it = usocks_.find(key);
+  if (it == usocks_.end()) return;  // reaped: nothing left to account
+  USock& u = it->second;
+  --u.outstanding;
+  --u.chain_left;
+  PendingTx& frame = u.inflight[slot];
+  auto sit = socks_.find(data_fd(cqe.user_data));
+  Socket* s = (!u.dead && sit != socks_.end()) ? &sit->second : nullptr;
+  if (cqe.res >= 0) {
+    ++io_.tx_datagrams;
+    if (s != nullptr) ++s->tx.sent;
+    pool_.release(std::move(frame.buf));
+  } else if (cqe.res == -EAGAIN || cqe.res == -ECANCELED) {
+    // -ECANCELED: a link upstream failed, this frame never ran. CQEs
+    // of a chain arrive in order, so resurrect keeps emission order.
+    u.resurrect.push_back(std::move(frame));
+  } else {
+    if (s != nullptr) ++s->tx.dropped;
+    pool_.release(std::move(frame.buf));
+  }
+  if (u.chain_left == 0) finish_chain(key);
+}
+
+void UringLoop::finish_chain(std::uint64_t key) {
+  auto it = usocks_.find(key);
+  if (it == usocks_.end()) return;
+  USock& u = it->second;
+  u.chain_active = false;
+  u.inflight.clear();
+  if (u.dead) {
+    for (PendingTx& p : u.resurrect) pool_.release(std::move(p.buf));
+    u.resurrect.clear();
+    reap_if_done(key);
+    return;
+  }
+  const int fd = static_cast<int>(key >> 16);
+  auto sit = socks_.find(fd);
+  if (sit == socks_.end()) return;
+  Socket& s = sit->second;
+  if (!u.resurrect.empty()) {
+    s.tx.requeued += u.resurrect.size();
+    s.txq.insert(s.txq.begin(),
+                 std::make_move_iterator(u.resurrect.begin()),
+                 std::make_move_iterator(u.resurrect.end()));
+    u.resurrect.clear();
+    arm_pollout(fd, u);  // want_writable stays set until the retry
+    return;
+  }
+  s.want_writable = false;
+  if (!s.txq.empty()) flush_socket(fd, s);  // frames queued mid-flight
+}
+
+void UringLoop::handle_recv_cqe(const io_uring_cqe& cqe, std::uint64_t key,
+                                std::uint64_t* executed) {
+  const int fd = data_fd(cqe.user_data);
+  auto it = usocks_.find(key);
+  USock* u = it == usocks_.end() ? nullptr : &it->second;
+
+  std::uint16_t bid = 0;
+  const bool has_buf = (cqe.flags & IORING_CQE_F_BUFFER) != 0;
+  if (has_buf) {
+    bid = static_cast<std::uint16_t>(cqe.flags >> IORING_CQE_BUFFER_SHIFT);
+  }
+  if (cqe.res >= 0 && has_buf) {
+    ++io_.rx_datagrams;
+    auto sit = socks_.find(fd);
+    if (u != nullptr && !u->dead && sit != socks_.end()) {
+      ++*executed;
+      sit->second.on_datagram(buf_mem_ + std::size_t(bid) * kMaxDatagram,
+                              static_cast<std::size_t>(cqe.res));
+      // The handler may have removed/re-added sockets; the map can
+      // rehash and our pointer with it.
+      it = usocks_.find(key);
+      u = it == usocks_.end() ? nullptr : &it->second;
+    }
+  }
+  if (has_buf) readd_buffer(bid);  // always recycle, even stale CQEs
+
+  if ((cqe.flags & IORING_CQE_F_MORE) != 0) return;  // multishot lives on
+  if (u == nullptr) return;
+  u->recv_armed = false;
+  --u->outstanding;
+  if (u->dead) {
+    reap_if_done(key);
+    return;
+  }
+  if (cqe.res == -EINVAL && u->multishot) {
+    // Kernel predates multishot recv: downgrade globally and re-arm
+    // this socket single-shot (others downgrade as their arms cycle).
+    multishot_ok_ = false;
+  }
+  // Single-shot completion, multishot termination (-ENOBUFS after a
+  // burst outran the ring, or any transient error): re-arm.
+  arm_recv(fd, *u);
+}
+
+void UringLoop::handle_cqe(const io_uring_cqe& cqe, std::uint64_t* executed) {
+  const std::uint64_t d = cqe.user_data;
+  switch (data_tag(d)) {
+    case OpTag::kWake: {
+      wake_armed_ = false;
+      if (!stopping()) arm_wake_read();
+      return;  // posted work / stop handled at loop top
+    }
+    case OpTag::kRecv:
+      handle_recv_cqe(cqe, data_key(d), executed);
+      return;
+    case OpTag::kSend:
+      handle_send_cqe(cqe, data_key(d), data_slot(d));
+      return;
+    case OpTag::kPollOut: {
+      auto it = usocks_.find(data_key(d));
+      if (it == usocks_.end()) return;
+      USock& u = it->second;
+      u.pollout_active = false;
+      --u.outstanding;
+      if (u.dead) {
+        reap_if_done(data_key(d));
+        return;
+      }
+      const int fd = data_fd(d);
+      auto sit = socks_.find(fd);
+      if (sit == socks_.end()) return;
+      sit->second.want_writable = false;
+      if (!sit->second.txq.empty()) flush_socket(fd, sit->second);
+      return;
+    }
+    case OpTag::kCancel:
+      return;  // the cancelled op's own CQE does the accounting
+    case OpTag::kProvide:
+      DGMC_ASSERT_MSG(cqe.res >= 0, "PROVIDE_BUFFERS refill failed");
+      return;
+  }
+}
+
+void UringLoop::process_cqes(std::uint64_t* executed) {
+  unsigned head = *cq_head_;
+  for (;;) {
+    const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+    if (head == tail) break;
+    while (head != tail && !stopping()) {
+      const io_uring_cqe cqe = cqes_[head & cq_mask_];
+      ++head;
+      __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+      handle_cqe(cqe, executed);
+    }
+    if (stopping()) break;
+  }
+  // End-of-callback for this completion batch, mirroring the epoll
+  // drain: everything the handlers emitted leaves as chained sends.
+  flush_all_tx();
+}
+
+std::uint64_t UringLoop::run() {
+  std::uint64_t executed = 0;
+  begin_run();
+  if (!wake_armed_) arm_wake_read();
+  while (!stopping()) {
+    drain_posted(&executed);
+    if (stopping()) break;
+    run_due_timers(&executed);
+    if (stopping()) break;
+    flush_all_tx();
+    wait_for_events(next_timeout_ms());
+    process_cqes(&executed);
+  }
+  return executed;
+}
+
+}  // namespace dgmc::net

@@ -1,0 +1,139 @@
+// net::UringLoop: the io_uring flavor of the wall-clock IoLoop.
+//
+// Speaks raw io_uring syscalls (io_uring_setup/enter/register) against
+// the kernel uapi header — no liburing in the build. The receive path
+// uses a provided-buffer pool (IORING_OP_PROVIDE_BUFFERS) plus
+// multishot IORING_OP_RECV: one armed SQE per socket yields a CQE per
+// datagram with a buffer the kernel picked from the pool, so
+// steady-state receive costs zero syscalls — only io_uring_enter
+// wakeups (counted in IoStats::uring_enters). Consumed buffers are
+// re-provided by an SQE that rides the next enter batch. (The newer
+// IORING_REGISTER_PBUF_RING mapping is deliberately not used: kernels
+// vary on it, and the classic op reaches back to 5.7.) Kernels that
+// reject multishot recv (-EINVAL) are downgraded to single-shot re-arm
+// automatically; a burst that outruns the pool terminates the
+// multishot with -ENOBUFS and the arm is simply reposted.
+//
+// The transmit path keeps the IoLoop end-of-callback flush contract
+// with a per-socket chain: flush_socket turns the queued frames into
+// IOSQE_IO_LINK-ed IORING_OP_SENDMSG SQEs (link = in-order completion)
+// and at most ONE chain per socket is in flight — both are required
+// for per-destination FIFO, since unlinked SQEs may complete out of
+// order when one punts to async. Frames a chain could not deliver
+// (-EAGAIN, or -ECANCELED from a broken link) resurrect at the front
+// of the queue in order and IORING_OP_POLL_ADD(POLLOUT) schedules the
+// retry — same no-silent-drop accounting as the epoll flavors.
+//
+// Construction can fail (old kernel, seccomp): use make(), which
+// returns null when io_uring is unusable so make_io_loop can fall back
+// to the batched epoll loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/io_loop.hpp"
+
+struct io_uring_sqe;
+struct io_uring_cqe;
+
+namespace dgmc::net {
+
+class UringLoop final : public IoLoop {
+ public:
+  static constexpr unsigned kSqEntries = 256;
+  static constexpr unsigned kCqEntries = 4096;
+  static constexpr unsigned kBufCount = 128;  // provided-buffer pool slots
+  static constexpr int kTxChain = 64;         // max frames per send chain
+
+  /// Null if the kernel cannot run this loop (setup failure, missing
+  /// EXT_ARG support, provided-buffer registration failure). Never
+  /// throws.
+  static std::unique_ptr<UringLoop> make();
+
+  ~UringLoop() override;
+
+  LoopFlavor flavor() const override { return LoopFlavor::kUring; }
+  std::uint64_t run() override;
+
+  /// True if multishot recv survived first contact with the kernel.
+  bool multishot_active() const { return multishot_ok_; }
+
+ private:
+  UringLoop() = default;
+  bool init();  // called by make(); false = unusable, destroy me
+
+  // Per-registration socket state. Keyed by (fd, generation) so CQEs
+  // from a removed registration can never touch a re-added fd's state;
+  // entries with in-flight kernel ops outlive remove_udp as zombies
+  // (dead=true) until their last CQE lands, because the send msghdrs
+  // and frames below are what the kernel is still reading.
+  struct USock {
+    std::uint16_t gen = 0;
+    bool dead = false;
+    bool recv_armed = false;
+    bool multishot = false;
+    bool chain_active = false;
+    bool pollout_active = false;
+    int outstanding = 0;  // CQEs still owed to this registration
+    int chain_left = 0;   // send CQEs still owed to the active chain
+    std::vector<PendingTx> inflight;  // frames of the active chain
+    std::vector<msghdr> hdrs;         // stable storage the SQEs point at
+    std::vector<iovec> iovs;
+    std::vector<PendingTx> resurrect;  // chain failures, in CQE order
+  };
+
+  void on_udp_added(int fd) override;
+  void on_udp_removed(int fd) override;
+  void flush_socket(int fd, Socket& s) override;
+
+  io_uring_sqe* get_sqe();
+  void enter(unsigned min_complete, unsigned flags, void* arg,
+             std::size_t arg_sz);
+  void wait_for_events(int timeout_ms);
+  void process_cqes(std::uint64_t* executed);
+  void handle_cqe(const io_uring_cqe& cqe, std::uint64_t* executed);
+  void handle_recv_cqe(const io_uring_cqe& cqe, std::uint64_t key,
+                       std::uint64_t* executed);
+  void handle_send_cqe(const io_uring_cqe& cqe, std::uint64_t key,
+                       std::uint16_t slot);
+  void finish_chain(std::uint64_t key);
+  void arm_recv(int fd, USock& u);
+  void arm_pollout(int fd, USock& u);
+  void arm_wake_read();
+  void readd_buffer(std::uint16_t bid);
+  void reap_if_done(std::uint64_t key);
+  USock* find_live(std::uint64_t key);
+
+  int ring_fd_ = -1;
+  // SQ/CQ ring mappings (IORING_FEAT_SINGLE_MMAP: one region).
+  void* ring_mem_ = nullptr;
+  std::size_t ring_sz_ = 0;
+  void* sqe_mem_ = nullptr;
+  std::size_t sqe_sz_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  // Provided-buffer pool: kBufCount × kMaxDatagram datagram slabs the
+  // kernel picks receive buffers from (buffer group 0).
+  std::uint8_t* buf_mem_ = nullptr;
+  std::size_t buf_mem_sz_ = 0;
+
+  bool multishot_ok_ = true;
+  bool wake_armed_ = false;
+  std::uint64_t wake_buf_ = 0;
+
+  std::unordered_map<std::uint64_t, USock> usocks_;  // key = fd<<16 | gen
+  std::unordered_map<int, std::uint16_t> cur_gen_;
+};
+
+}  // namespace dgmc::net

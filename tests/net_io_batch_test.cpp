@@ -1,0 +1,431 @@
+// Batched-I/O fast path: the buffer pool, the coalescing flush queues,
+// the EAGAIN/hard-error transmit accounting, and the io_uring flavor's
+// conformance to the same IoLoop contract.
+//
+// The transmit-failure tests use EventLoop::set_tx_test_hook — real
+// loopback UDP essentially never returns EAGAIN, so the kernel's
+// refusals are simulated at the syscall boundary while everything
+// around them (queues, counters, EPOLLOUT re-arm, delivery) is real.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/buffer_pool.hpp"
+#include "net/event_loop.hpp"
+#include "net/io_loop.hpp"
+
+namespace dgmc::net {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(BufferPool, ExhaustionFallsBackToHeapAndNeverFails) {
+  BufferPool pool(/*max_pooled=*/2, /*slab_bytes=*/64);
+  // Fresh pool: every acquire is a heap fallback (freelist is empty).
+  std::vector<std::vector<std::uint8_t>> live;
+  for (int i = 0; i < 4; ++i) live.push_back(pool.acquire(16));
+  EXPECT_EQ(pool.counters().heap_fallbacks, 4u);
+  EXPECT_EQ(pool.counters().pool_hits, 0u);
+  for (auto& b : live) {
+    EXPECT_EQ(b.size(), 16u);
+    pool.release(std::move(b));
+  }
+  live.clear();
+  // All four came back; the adaptive bound (high water = 4 outstanding)
+  // lets the pool retain more than max_pooled.
+  EXPECT_EQ(pool.pooled(), 4u);
+  EXPECT_EQ(pool.high_water(), 4u);
+  // Steady state at the same concurrency: all hits, no new mallocs.
+  for (int i = 0; i < 4; ++i) live.push_back(pool.acquire(32));
+  EXPECT_EQ(pool.counters().pool_hits, 4u);
+  EXPECT_EQ(pool.counters().heap_fallbacks, 4u);
+  for (auto& b : live) pool.release(std::move(b));
+}
+
+TEST(BufferPool, OversizedBuffersAreNotPooled) {
+  BufferPool pool(/*max_pooled=*/8, /*slab_bytes=*/64);
+  auto big = pool.acquire(1000);  // larger than a slab: heap fallback
+  EXPECT_EQ(big.size(), 1000u);
+  EXPECT_EQ(pool.counters().heap_fallbacks, 1u);
+  pool.release(std::move(big));
+  EXPECT_EQ(pool.pooled(), 0u);  // oversized capacity is never retained
+}
+
+TEST(BufferPool, ReleasedBuffersKeepSlabCapacity) {
+  BufferPool pool(/*max_pooled=*/8, /*slab_bytes=*/64);
+  auto a = pool.acquire(10);
+  const auto cap = a.capacity();
+  EXPECT_GE(cap, 64u);
+  pool.release(std::move(a));
+  auto b = pool.acquire(64);  // recycled slab serves the full slab size
+  EXPECT_EQ(pool.counters().pool_hits, 1u);
+  EXPECT_EQ(b.capacity(), cap);
+  pool.release(std::move(b));
+}
+
+// ------------------------------------------------------- loop fixtures
+
+int make_loopback_udp(sockaddr_in* addr) {
+  const int fd =
+      ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  bind_addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&bind_addr),
+                   sizeof bind_addr),
+            0);
+  socklen_t len = sizeof *addr;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(addr), &len), 0);
+  return fd;
+}
+
+std::vector<std::uint8_t> frame_bytes(int seq) {
+  std::vector<std::uint8_t> b(8);
+  std::memcpy(b.data(), &seq, sizeof seq);
+  return b;
+}
+
+int frame_seq(const std::uint8_t* data, std::size_t len) {
+  EXPECT_EQ(len, 8u);
+  int seq = -1;
+  std::memcpy(&seq, data, sizeof seq);
+  return seq;
+}
+
+// Runs `loop` until `done()` or a 5 s deadline (fails the test).
+template <typename Loop, typename Done>
+void run_until(Loop& loop, Done done) {
+  bool timed_out = false;
+  std::function<void()> poll = [&] {
+    if (done() || timed_out) {
+      loop.stop();
+      return;
+    }
+    loop.schedule_after(0.002, [&] { poll(); });
+  };
+  loop.schedule_after(0.0, [&] { poll(); });
+  loop.schedule_after(5.0, [&] {
+    timed_out = true;
+    loop.stop();
+  });
+  loop.run();
+  EXPECT_FALSE(timed_out) << "run_until deadline hit";
+}
+
+// ------------------------------------------- coalesced flush semantics
+
+TEST(NetBatchedTx, OneCallbackManyDestinationsOneSyscallFifoOrder) {
+  EventLoop loop(LoopFlavor::kEpoll);
+  sockaddr_in dst_a{}, dst_b{};
+  const int rx_a = make_loopback_udp(&dst_a);
+  const int rx_b = make_loopback_udp(&dst_b);
+  sockaddr_in src_addr{};
+  const int tx = make_loopback_udp(&src_addr);
+
+  std::vector<int> got_a, got_b;
+  loop.add_udp(rx_a, [&](const std::uint8_t* d, std::size_t n) {
+    got_a.push_back(frame_seq(d, n));
+  });
+  loop.add_udp(rx_b, [&](const std::uint8_t* d, std::size_t n) {
+    got_b.push_back(frame_seq(d, n));
+  });
+  loop.add_udp(tx, [](const std::uint8_t*, std::size_t) {});
+
+  const std::uint64_t tx_syscalls_before = loop.io_stats().tx_syscalls;
+  loop.schedule_after(0.0, [&] {
+    // Interleave destinations inside one callback: the flush must
+    // still be a single sendmmsg (per-destination addresses in the
+    // batch) and per-destination order must survive.
+    for (int i = 0; i < 6; ++i) {
+      const auto f = frame_bytes(i);
+      loop.send_udp(tx, (i % 2 == 0) ? dst_a : dst_b, f.data(), f.size());
+    }
+  });
+  run_until(loop, [&] { return got_a.size() == 3 && got_b.size() == 3; });
+
+  EXPECT_EQ(loop.io_stats().tx_syscalls - tx_syscalls_before, 1u);
+  EXPECT_EQ(got_a, (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(got_b, (std::vector<int>{1, 3, 5}));
+  const TxCounters tx_counters = loop.tx_counters(tx);
+  EXPECT_EQ(tx_counters.sent, 6u);
+  EXPECT_EQ(tx_counters.requeued, 0u);
+  EXPECT_EQ(tx_counters.dropped, 0u);
+
+  loop.remove_udp(rx_a);
+  loop.remove_udp(rx_b);
+  loop.remove_udp(tx);
+  ::close(rx_a);
+  ::close(rx_b);
+  ::close(tx);
+}
+
+TEST(NetBatchedTx, EagainRequeuesAndEpolloutFinishesTheFlush) {
+  EventLoop loop(LoopFlavor::kEpoll);
+  sockaddr_in dst{};
+  const int rx = make_loopback_udp(&dst);
+  sockaddr_in src_addr{};
+  const int tx = make_loopback_udp(&src_addr);
+
+  std::vector<int> got;
+  loop.add_udp(rx, [&](const std::uint8_t* d, std::size_t n) {
+    got.push_back(frame_seq(d, n));
+  });
+  loop.add_udp(tx, [](const std::uint8_t*, std::size_t) {});
+
+  // First flush attempt: kernel "takes" nothing (EAGAIN). The frames
+  // must stay queued, count as requeued, and go out when EPOLLOUT
+  // fires — in the original order, with nothing dropped.
+  int refusals = 2;
+  loop.set_tx_test_hook([&](std::size_t) -> int {
+    if (refusals > 0) {
+      --refusals;
+      return 0;  // simulate EAGAIN: nothing accepted
+    }
+    return 1 << 20;  // accept everything
+  });
+
+  loop.schedule_after(0.0, [&] {
+    for (int i = 0; i < 5; ++i) {
+      const auto f = frame_bytes(i);
+      loop.send_udp(tx, dst, f.data(), f.size());
+    }
+  });
+  run_until(loop, [&] { return got.size() == 5; });
+
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  const TxCounters tx_counters = loop.tx_counters(tx);
+  EXPECT_EQ(tx_counters.sent, 5u);
+  // Each refused flush counts every still-queued frame once.
+  EXPECT_EQ(tx_counters.requeued, 10u);
+  EXPECT_EQ(tx_counters.dropped, 0u);
+
+  loop.set_tx_test_hook(nullptr);
+  loop.remove_udp(rx);
+  loop.remove_udp(tx);
+  ::close(rx);
+  ::close(tx);
+}
+
+TEST(NetBatchedTx, HardErrorDropsHeadFrameAndKeepsGoing) {
+  EventLoop loop(LoopFlavor::kEpoll);
+  sockaddr_in dst{};
+  const int rx = make_loopback_udp(&dst);
+  sockaddr_in src_addr{};
+  const int tx = make_loopback_udp(&src_addr);
+
+  std::vector<int> got;
+  loop.add_udp(rx, [&](const std::uint8_t* d, std::size_t n) {
+    got.push_back(frame_seq(d, n));
+  });
+  loop.add_udp(tx, [](const std::uint8_t*, std::size_t) {});
+
+  // One hard failure: the head frame is dropped (counted) and the
+  // remaining frames still flush.
+  bool failed_once = false;
+  loop.set_tx_test_hook([&](std::size_t) -> int {
+    if (!failed_once) {
+      failed_once = true;
+      return EventLoop::kTxHookFail;
+    }
+    return 1 << 20;
+  });
+
+  loop.schedule_after(0.0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      const auto f = frame_bytes(i);
+      loop.send_udp(tx, dst, f.data(), f.size());
+    }
+  });
+  run_until(loop, [&] { return got.size() == 3; });
+
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));  // frame 0 was the casualty
+  const TxCounters tx_counters = loop.tx_counters(tx);
+  EXPECT_EQ(tx_counters.sent, 3u);
+  EXPECT_EQ(tx_counters.dropped, 1u);
+
+  loop.set_tx_test_hook(nullptr);
+  loop.remove_udp(rx);
+  loop.remove_udp(tx);
+  ::close(rx);
+  ::close(tx);
+}
+
+TEST(NetBatchedTx, PerPacketFlavorRequeuesBehindEagainInOrder) {
+  EventLoop loop(LoopFlavor::kEpollPacket);
+  sockaddr_in dst{};
+  const int rx = make_loopback_udp(&dst);
+  sockaddr_in src_addr{};
+  const int tx = make_loopback_udp(&src_addr);
+
+  std::vector<int> got;
+  loop.add_udp(rx, [&](const std::uint8_t* d, std::size_t n) {
+    got.push_back(frame_seq(d, n));
+  });
+  loop.add_udp(tx, [](const std::uint8_t*, std::size_t) {});
+
+  // The immediate sendto of frame 0 is refused: it parks in the queue
+  // and later frames must queue BEHIND it (overtaking would break
+  // per-destination FIFO) even though the kernel would take them.
+  bool refused_once = false;
+  loop.set_tx_test_hook([&](std::size_t) -> int {
+    if (!refused_once) {
+      refused_once = true;
+      return 0;
+    }
+    return 1 << 20;
+  });
+
+  loop.schedule_after(0.0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      const auto f = frame_bytes(i);
+      loop.send_udp(tx, dst, f.data(), f.size());
+    }
+  });
+  run_until(loop, [&] { return got.size() == 3; });
+
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+  const TxCounters tx_counters = loop.tx_counters(tx);
+  EXPECT_EQ(tx_counters.sent, 3u);
+  EXPECT_GE(tx_counters.requeued, 1u);
+  EXPECT_EQ(tx_counters.dropped, 0u);
+
+  loop.set_tx_test_hook(nullptr);
+  loop.remove_udp(rx);
+  loop.remove_udp(tx);
+  ::close(rx);
+  ::close(tx);
+}
+
+// ------------------------------------------------------- uring flavor
+
+// The io_uring flavor must satisfy the same observable contract. Each
+// test skips cleanly where the kernel (or the build) lacks support —
+// the CI uring lane turns into a no-op instead of a failure.
+std::unique_ptr<IoLoop> make_uring_or_skip() {
+  bool fell_back = false;
+  auto loop = make_io_loop(LoopFlavor::kUring, &fell_back);
+  if (fell_back) return nullptr;
+  return loop;
+}
+
+TEST(NetUringLoop, DeliversDatagramsInOrder) {
+  auto loop = make_uring_or_skip();
+  if (!loop) GTEST_SKIP() << "io_uring unavailable on this kernel/build";
+
+  sockaddr_in dst{};
+  const int rx = make_loopback_udp(&dst);
+  sockaddr_in src_addr{};
+  const int tx = make_loopback_udp(&src_addr);
+
+  std::vector<int> got;
+  loop->add_udp(rx, [&](const std::uint8_t* d, std::size_t n) {
+    got.push_back(frame_seq(d, n));
+  });
+  loop->add_udp(tx, [](const std::uint8_t*, std::size_t) {});
+
+  loop->schedule_after(0.0, [&] {
+    for (int i = 0; i < 100; ++i) {
+      const auto f = frame_bytes(i);
+      loop->send_udp(tx, dst, f.data(), f.size());
+    }
+  });
+  run_until(*loop, [&] { return got.size() == 100; });
+
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  const TxCounters tx_counters = loop->tx_counters(tx);
+  EXPECT_EQ(tx_counters.sent, 100u);
+  EXPECT_EQ(tx_counters.dropped, 0u);
+  // 100 frames left as linked chains, not per-datagram syscalls.
+  EXPECT_LT(loop->io_stats().uring_enters, 50u);
+
+  loop->remove_udp(rx);
+  loop->remove_udp(tx);
+  ::close(rx);
+  ::close(tx);
+}
+
+TEST(NetUringLoop, TimersAndPostBehaveLikeEpoll) {
+  auto loop = make_uring_or_skip();
+  if (!loop) GTEST_SKIP() << "io_uring unavailable on this kernel/build";
+
+  std::vector<int> order;
+  loop->schedule_after(0.02, [&] { order.push_back(2); });
+  loop->schedule_after(0.01, [&] { order.push_back(1); });
+  const rt::TimerId id = loop->schedule_after(0.015, [&] {
+    order.push_back(99);  // must never run
+  });
+  EXPECT_TRUE(loop->cancel(id));
+  loop->post([&] { order.push_back(0); });
+  loop->schedule_after(0.03, [&] { loop->stop(); });
+  loop->run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(NetUringLoop, RemoveUdpDuringTrafficIsSafe) {
+  auto loop = make_uring_or_skip();
+  if (!loop) GTEST_SKIP() << "io_uring unavailable on this kernel/build";
+
+  sockaddr_in dst{};
+  const int rx = make_loopback_udp(&dst);
+  sockaddr_in src_addr{};
+  const int tx = make_loopback_udp(&src_addr);
+
+  int got = 0;
+  loop->add_udp(rx, [&](const std::uint8_t*, std::size_t) {
+    // Deregister from inside the handler mid-burst: in-flight
+    // completions for the old registration must not touch the loop.
+    if (++got == 3) loop->remove_udp(rx);
+  });
+  loop->add_udp(tx, [](const std::uint8_t*, std::size_t) {});
+
+  loop->schedule_after(0.0, [&] {
+    for (int i = 0; i < 20; ++i) {
+      const auto f = frame_bytes(i);
+      loop->send_udp(tx, dst, f.data(), f.size());
+    }
+  });
+  run_until(*loop, [&] { return got >= 3; });
+  EXPECT_GE(got, 3);
+
+  loop->remove_udp(tx);
+  ::close(rx);
+  ::close(tx);
+}
+
+// ---------------------------------------------------- factory fallback
+
+TEST(NetIoLoopFactory, UringRequestNeverReturnsNull) {
+  bool fell_back = true;
+  auto loop = make_io_loop(LoopFlavor::kUring, &fell_back);
+  ASSERT_NE(loop, nullptr);
+  if (fell_back) {
+    EXPECT_EQ(loop->flavor(), LoopFlavor::kEpoll);
+  } else {
+    EXPECT_EQ(loop->flavor(), LoopFlavor::kUring);
+  }
+}
+
+TEST(NetIoLoopFactory, FlavorNamesRoundTrip) {
+  for (LoopFlavor f : {LoopFlavor::kEpollPacket, LoopFlavor::kEpoll,
+                       LoopFlavor::kUring}) {
+    const auto parsed = parse_flavor(flavor_name(f));
+    ASSERT_TRUE(parsed.has_value()) << flavor_name(f);
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_FALSE(parse_flavor("kqueue").has_value());
+}
+
+}  // namespace
+}  // namespace dgmc::net

@@ -119,7 +119,7 @@ TEST(NetLoopback, HeartbeatDetectsOutageAndReconverges) {
   const graph::Graph g = graph::ring(4);
   const auto algorithm = mc::make_incremental_algorithm();
   NetCluster cluster(g, *algorithm, fast_config());
-  EventLoop& loop = cluster.loop();
+  IoLoop& loop = cluster.loop();
 
   const graph::LinkId l23 = g.find_link(2, 3);
   const graph::LinkId l30 = g.find_link(3, 0);
@@ -159,7 +159,7 @@ TEST(NetLoopback, MalformedDatagramsAreCountedAndIgnored) {
   const graph::Graph g = graph::line(2);
   const auto algorithm = mc::make_incremental_algorithm();
   NetCluster cluster(g, *algorithm, fast_config());
-  EventLoop& loop = cluster.loop();
+  IoLoop& loop = cluster.loop();
 
   // Inject garbage and misaddressed-but-valid frames at switch 0's
   // port from a separate socket.

@@ -5,8 +5,13 @@
 // code driven through rt::Executor.
 //
 // This is the in-tree version of `dgmc_nethost --des-compare`, sized to
-// the ISSUE acceptance floor (16 switches). Two determinism rules make
-// wall-clock parity reliable (learned the hard way):
+// the ISSUE acceptance floor (16 switches) and run once per loop
+// flavor (per-packet epoll, batched epoll, io_uring — skipped with a
+// note where the kernel lacks it): the batching fast path must be
+// invisible to the protocol. Beyond the DES comparison, every switch's
+// canonical state dump must agree within a run (the consensus
+// property) and across flavors byte-for-byte. Two determinism rules
+// make wall-clock parity reliable (learned the hard way):
 //   1. Protocol time constants (computation_time) scale with time_scale
 //      exactly like the event times do, or proposal races resolve
 //      differently across backends.
@@ -15,7 +20,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -23,6 +30,7 @@
 
 #include "mc/algorithm.hpp"
 #include "net/cluster.hpp"
+#include "net/state_dump.hpp"
 #include "sim/network.hpp"
 #include "sim/spec.hpp"
 
@@ -56,7 +64,64 @@ std::vector<std::pair<int, int>> canonical_edges(const trees::Topology& t) {
   return edges;
 }
 
-TEST(NetParity, LoopbackMatchesDesOnSpecChurn) {
+struct FlavorRun {
+  std::vector<std::vector<std::pair<int, int>>> trees;  // per mc
+  std::vector<std::vector<graph::NodeId>> members;      // per mc
+  std::string dump;  // canonical state dump (identical on all switches)
+};
+
+// Runs the spec's churn through the socket backend under `flavor` and
+// returns the converged state. Returns nullopt when the flavor is
+// unavailable (uring on an old kernel / DGMC_WITH_URING=OFF build).
+std::optional<FlavorRun> run_socket_flavor(const SoakSpec& spec,
+                                           const graph::Graph& graph,
+                                           const std::vector<SoakEvent>& events,
+                                           const std::vector<mc::McId>& mcs,
+                                           LoopFlavor flavor) {
+  const double time_scale = 0.25;
+  NetCluster::Config config;
+  config.sw.dgmc = spec.network_params().dgmc;
+  config.sw.dgmc.computation_time *= time_scale;
+  if (config.sw.dgmc.incremental_computation_time > 0.0) {
+    config.sw.dgmc.incremental_computation_time *= time_scale;
+  }
+  config.time_scale = time_scale;
+  config.max_wall = 30.0;
+  config.loop = flavor;
+  const auto algorithm = mc::make_incremental_algorithm();
+  NetCluster cluster(graph, *algorithm, config);
+  if (cluster.loop().flavor() != flavor) return std::nullopt;  // fell back
+
+  const NetCluster::RunResult r = cluster.run(events, mcs);
+  EXPECT_TRUE(r.converged)
+      << flavor_name(flavor) << " loopback run did not converge";
+  EXPECT_EQ(r.events_applied, events.size());
+  EXPECT_EQ(r.tx_dropped, 0u) << flavor_name(flavor) << " dropped frames";
+
+  FlavorRun out;
+  for (mc::McId mcid : mcs) {
+    out.trees.push_back(canonical_edges(cluster.agreed_topology(mcid)));
+    std::vector<graph::NodeId> members;
+    for (int n = 0; n < cluster.size(); ++n) {
+      if (cluster.at(n).dgmc().has_state(mcid)) {
+        members = cluster.at(n).dgmc().members(mcid)->all();
+        break;
+      }
+    }
+    out.members.push_back(std::move(members));
+  }
+  // The consensus property netd relies on: every switch dumps the
+  // same canonical state.
+  out.dump = dump_state(cluster.at(0).dgmc());
+  for (int n = 1; n < cluster.size(); ++n) {
+    EXPECT_EQ(out.dump, dump_state(cluster.at(n).dgmc()))
+        << flavor_name(flavor) << ": switch " << n
+        << " disagrees with switch 0";
+  }
+  return out;
+}
+
+TEST(NetParity, AllLoopFlavorsMatchDesOnSpecChurn) {
   const auto parsed = SoakSpec::parse(kSpecText);
   const auto* err = std::get_if<SpecError>(&parsed);
   ASSERT_EQ(err, nullptr) << (err ? err->message : "");
@@ -76,23 +141,7 @@ TEST(NetParity, LoopbackMatchesDesOnSpecChurn) {
   }
   ASSERT_GT(events.size(), 10u);
 
-  // --- Socket backend (wall clock, compressed 4x) ---
-  const double time_scale = 0.25;
-  NetCluster::Config config;
-  config.sw.dgmc = spec.network_params().dgmc;
-  config.sw.dgmc.computation_time *= time_scale;
-  if (config.sw.dgmc.incremental_computation_time > 0.0) {
-    config.sw.dgmc.incremental_computation_time *= time_scale;
-  }
-  config.time_scale = time_scale;
-  config.max_wall = 30.0;
-  const auto net_algorithm = mc::make_incremental_algorithm();
-  NetCluster cluster(graph, *net_algorithm, config);
-  const NetCluster::RunResult r = cluster.run(events, mcs);
-  ASSERT_TRUE(r.converged) << "loopback run did not converge";
-  EXPECT_EQ(r.events_applied, events.size());
-
-  // --- DES backend (simulated clock, uncompressed) ---
+  // --- DES backend (simulated clock, uncompressed): the reference ---
   sim::DgmcNetwork des(graph, spec.network_params(),
                        mc::make_incremental_algorithm());
   for (const SoakEvent& ev : events) {
@@ -106,29 +155,49 @@ TEST(NetParity, LoopbackMatchesDesOnSpecChurn) {
     }
   }
   des.run_to_quiescence();
-
+  std::vector<std::vector<std::pair<int, int>>> des_trees;
+  std::vector<std::vector<graph::NodeId>> des_members;
   for (mc::McId mcid : mcs) {
     ASSERT_TRUE(des.converged(mcid)) << "DES not converged for mc " << mcid;
-    EXPECT_EQ(canonical_edges(des.agreed_topology(mcid)),
-              canonical_edges(cluster.agreed_topology(mcid)))
-        << "installed trees differ for mc " << mcid;
-
-    std::vector<graph::NodeId> des_members, net_members;
+    des_trees.push_back(canonical_edges(des.agreed_topology(mcid)));
+    std::vector<graph::NodeId> members;
     for (int n = 0; n < des.size(); ++n) {
       if (des.switch_at(n).has_state(mcid)) {
-        des_members = des.switch_at(n).members(mcid)->all();
+        members = des.switch_at(n).members(mcid)->all();
         break;
       }
     }
-    for (int n = 0; n < cluster.size(); ++n) {
-      if (cluster.at(n).dgmc().has_state(mcid)) {
-        net_members = cluster.at(n).dgmc().members(mcid)->all();
-        break;
-      }
-    }
-    EXPECT_EQ(des_members, net_members)
-        << "member lists differ for mc " << mcid;
+    des_members.push_back(std::move(members));
   }
+
+  // --- Socket backend, once per loop flavor ---
+  std::optional<std::string> reference_dump;
+  for (LoopFlavor flavor : {LoopFlavor::kEpollPacket, LoopFlavor::kEpoll,
+                            LoopFlavor::kUring}) {
+    SCOPED_TRACE(flavor_name(flavor));
+    const std::optional<FlavorRun> run =
+        run_socket_flavor(spec, graph, events, mcs, flavor);
+    if (!run.has_value()) {
+      ASSERT_EQ(flavor, LoopFlavor::kUring)
+          << "only uring may be unavailable";
+      std::printf("note: io_uring unavailable, flavor skipped\n");
+      continue;
+    }
+    for (std::size_t m = 0; m < mcs.size(); ++m) {
+      EXPECT_EQ(des_trees[m], run->trees[m])
+          << "installed trees differ from DES for mc " << mcs[m];
+      EXPECT_EQ(des_members[m], run->members[m])
+          << "member lists differ from DES for mc " << mcs[m];
+    }
+    // Canonical dumps must agree across flavors byte-for-byte.
+    if (!reference_dump.has_value()) {
+      reference_dump = run->dump;
+    } else {
+      EXPECT_EQ(*reference_dump, run->dump)
+          << "canonical dump differs between loop flavors";
+    }
+  }
+  ASSERT_TRUE(reference_dump.has_value());
 }
 
 }  // namespace
