@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mc_types.dir/ablation_mc_types.cpp.o"
+  "CMakeFiles/ablation_mc_types.dir/ablation_mc_types.cpp.o.d"
+  "ablation_mc_types"
+  "ablation_mc_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mc_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

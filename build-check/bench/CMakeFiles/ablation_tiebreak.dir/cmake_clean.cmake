@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tiebreak.dir/ablation_tiebreak.cpp.o"
+  "CMakeFiles/ablation_tiebreak.dir/ablation_tiebreak.cpp.o.d"
+  "ablation_tiebreak"
+  "ablation_tiebreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tiebreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

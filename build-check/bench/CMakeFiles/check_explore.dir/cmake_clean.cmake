@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_explore.dir/check_explore.cpp.o"
+  "CMakeFiles/check_explore.dir/check_explore.cpp.o.d"
+  "check_explore"
+  "check_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_reduction.dir/check_reduction.cpp.o"
+  "CMakeFiles/check_reduction.dir/check_reduction.cpp.o.d"
+  "check_reduction"
+  "check_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_burst_size_sweep.dir/fig6_burst_size_sweep.cpp.o"
+  "CMakeFiles/fig6_burst_size_sweep.dir/fig6_burst_size_sweep.cpp.o.d"
+  "fig6_burst_size_sweep"
+  "fig6_burst_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_burst_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

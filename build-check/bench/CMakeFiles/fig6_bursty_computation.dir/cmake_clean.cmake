@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bursty_computation.dir/fig6_bursty_computation.cpp.o"
+  "CMakeFiles/fig6_bursty_computation.dir/fig6_bursty_computation.cpp.o.d"
+  "fig6_bursty_computation"
+  "fig6_bursty_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bursty_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bursty_communication.dir/fig7_bursty_communication.cpp.o"
+  "CMakeFiles/fig7_bursty_communication.dir/fig7_bursty_communication.cpp.o.d"
+  "fig7_bursty_communication"
+  "fig7_bursty_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bursty_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

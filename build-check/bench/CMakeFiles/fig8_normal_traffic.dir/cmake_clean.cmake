@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_normal_traffic.dir/fig8_normal_traffic.cpp.o"
+  "CMakeFiles/fig8_normal_traffic.dir/fig8_normal_traffic.cpp.o.d"
+  "fig8_normal_traffic"
+  "fig8_normal_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_normal_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_io.dir/net_io.cpp.o"
+  "CMakeFiles/net_io.dir/net_io.cpp.o.d"
+  "net_io"
+  "net_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

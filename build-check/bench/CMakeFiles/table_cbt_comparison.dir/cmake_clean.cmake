@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_cbt_comparison.dir/table_cbt_comparison.cpp.o"
+  "CMakeFiles/table_cbt_comparison.dir/table_cbt_comparison.cpp.o.d"
+  "table_cbt_comparison"
+  "table_cbt_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_cbt_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

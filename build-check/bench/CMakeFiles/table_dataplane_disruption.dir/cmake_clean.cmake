@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_dataplane_disruption.dir/table_dataplane_disruption.cpp.o"
+  "CMakeFiles/table_dataplane_disruption.dir/table_dataplane_disruption.cpp.o.d"
+  "table_dataplane_disruption"
+  "table_dataplane_disruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_dataplane_disruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_dataplane_disruption.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_hierarchy.dir/table_hierarchy.cpp.o"
+  "CMakeFiles/table_hierarchy.dir/table_hierarchy.cpp.o.d"
+  "table_hierarchy"
+  "table_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_protocol_comparison.dir/table_protocol_comparison.cpp.o"
+  "CMakeFiles/table_protocol_comparison.dir/table_protocol_comparison.cpp.o.d"
+  "table_protocol_comparison"
+  "table_protocol_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_protocol_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_wire_overhead.dir/table_wire_overhead.cpp.o"
+  "CMakeFiles/table_wire_overhead.dir/table_wire_overhead.cpp.o.d"
+  "table_wire_overhead"
+  "table_wire_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_wire_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_wan.dir/hierarchical_wan.cpp.o"
+  "CMakeFiles/hierarchical_wan.dir/hierarchical_wan.cpp.o.d"
+  "hierarchical_wan"
+  "hierarchical_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

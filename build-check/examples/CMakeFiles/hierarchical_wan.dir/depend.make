@@ -1,0 +1,2 @@
+# Empty dependencies file for hierarchical_wan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/many_mc_example.dir/many_mc.cpp.o"
+  "CMakeFiles/many_mc_example.dir/many_mc.cpp.o.d"
+  "many_mc"
+  "many_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/many_mc_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

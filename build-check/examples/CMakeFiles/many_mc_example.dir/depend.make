@@ -1,0 +1,2 @@
+# Empty dependencies file for many_mc_example.
+# This may be replaced when dependencies are built.

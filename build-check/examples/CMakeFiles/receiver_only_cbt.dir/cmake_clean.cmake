@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receiver_only_cbt.dir/receiver_only_cbt.cpp.o"
+  "CMakeFiles/receiver_only_cbt.dir/receiver_only_cbt.cpp.o.d"
+  "receiver_only_cbt"
+  "receiver_only_cbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receiver_only_cbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

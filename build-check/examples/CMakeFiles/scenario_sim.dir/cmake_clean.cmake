@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_sim.dir/scenario_sim.cpp.o"
+  "CMakeFiles/scenario_sim.dir/scenario_sim.cpp.o.d"
+  "scenario_sim"
+  "scenario_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

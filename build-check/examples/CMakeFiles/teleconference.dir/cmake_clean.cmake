@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleconference.dir/teleconference.cpp.o"
+  "CMakeFiles/teleconference.dir/teleconference.cpp.o.d"
+  "teleconference"
+  "teleconference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleconference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

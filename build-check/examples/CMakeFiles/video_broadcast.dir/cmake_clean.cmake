@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_broadcast.dir/video_broadcast.cpp.o"
+  "CMakeFiles/video_broadcast.dir/video_broadcast.cpp.o.d"
+  "video_broadcast"
+  "video_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

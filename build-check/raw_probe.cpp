@@ -1,0 +1,77 @@
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+#include <cstring>
+#include <cstdio>
+#include <cstdint>
+#include <cerrno>
+int main() {
+  io_uring_params p{};
+  p.flags = IORING_SETUP_CQSIZE; p.cq_entries = 256;
+  int rfd = syscall(__NR_io_uring_setup, 64, &p);
+  printf("setup=%d features=%#x\n", rfd, p.features);
+  size_t sq_sz = p.sq_off.array + p.sq_entries*4;
+  size_t cq_sz = p.cq_off.cqes + p.cq_entries*sizeof(io_uring_cqe);
+  size_t ring_sz = sq_sz > cq_sz ? sq_sz : cq_sz;
+  auto* base = (uint8_t*)mmap(0, ring_sz, PROT_READ|PROT_WRITE, MAP_SHARED|MAP_POPULATE, rfd, IORING_OFF_SQ_RING);
+  auto* sqes = (io_uring_sqe*)mmap(0, p.sq_entries*sizeof(io_uring_sqe), PROT_READ|PROT_WRITE, MAP_SHARED|MAP_POPULATE, rfd, IORING_OFF_SQES);
+  auto* sq_tail = (unsigned*)(base + p.sq_off.tail);
+  unsigned sq_mask = *(unsigned*)(base + p.sq_off.ring_mask);
+  auto* sq_array = (unsigned*)(base + p.sq_off.array);
+  auto* cq_head = (unsigned*)(base + p.cq_off.head);
+  auto* cq_tail = (unsigned*)(base + p.cq_off.tail);
+  unsigned cq_mask = *(unsigned*)(base + p.cq_off.ring_mask);
+  auto* cqes = (io_uring_cqe*)(base + p.cq_off.cqes);
+  // pbuf ring: 8 bufs of 2048
+  size_t brsz = 8*sizeof(io_uring_buf);
+  auto* br = (io_uring_buf_ring*)mmap(0, 4096, PROT_READ|PROT_WRITE, MAP_ANONYMOUS|MAP_PRIVATE, -1, 0);
+  io_uring_buf_reg reg{};
+  reg.ring_addr = (uint64_t)br; reg.ring_entries = 8; reg.bgid = 0;
+  long rr = syscall(__NR_io_uring_register, rfd, IORING_REGISTER_PBUF_RING, &reg, 1);
+  printf("pbuf_reg=%ld errno=%d (brsz=%zu)\n", rr, errno, brsz);
+  static uint8_t bufmem[8*2048];
+  uint16_t tail = 0;
+  for (uint16_t b = 0; b < 8; ++b) {
+    io_uring_buf* e = &br->bufs[tail & 7];
+    e->addr = (uint64_t)(bufmem + b*2048); e->len = 2048; e->bid = b;
+    tail++;
+  }
+  __atomic_store_n(&br->tail, tail, __ATOMIC_RELEASE);
+  // udp socket pair (blocking)
+  int a = socket(AF_INET, SOCK_DGRAM, 0), b2 = socket(AF_INET, SOCK_DGRAM, 0);
+  sockaddr_in addr{}; addr.sin_family = AF_INET; addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  bind(a,(sockaddr*)&addr,sizeof addr); bind(b2,(sockaddr*)&addr,sizeof addr);
+  sockaddr_in ba{}; socklen_t blen = sizeof ba; getsockname(b2,(sockaddr*)&ba,&blen);
+  // arm multishot recv on b2
+  unsigned t = *sq_tail; unsigned idx = t & sq_mask;
+  io_uring_sqe* s = &sqes[idx]; memset(s, 0, sizeof *s);
+  s->opcode = IORING_OP_RECV; s->fd = b2; s->flags = IOSQE_BUFFER_SELECT; s->buf_group = 0;
+  s->ioprio = IORING_RECV_MULTISHOT; s->user_data = 42;
+  sq_array[idx] = idx;
+  __atomic_store_n(sq_tail, t+1, __ATOMIC_RELEASE);
+  long er = syscall(__NR_io_uring_enter, rfd, 1, 0, 0, nullptr, 0);
+  printf("enter(submit recv)=%ld errno=%d\n", er, errno);
+  // send two datagrams
+  sendto(a, "hello", 5, 0, (sockaddr*)&ba, sizeof ba);
+  sendto(a, "world", 5, 0, (sockaddr*)&ba, sizeof ba);
+  er = syscall(__NR_io_uring_enter, rfd, 0, 1, IORING_ENTER_GETEVENTS, nullptr, 0);
+  printf("enter(wait)=%ld errno=%d\n", er, errno);
+  unsigned h = *cq_head; unsigned ct = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+  while (h != ct) {
+    io_uring_cqe* c = &cqes[h & cq_mask];
+    printf("cqe ud=%llu res=%d flags=%#x%s%s\n", (unsigned long long)c->user_data, c->res, c->flags,
+           (c->flags & IORING_CQE_F_BUFFER) ? " BUF" : "", (c->flags & IORING_CQE_F_MORE) ? " MORE" : "");
+    if (c->res > 0 && (c->flags & IORING_CQE_F_BUFFER)) {
+      int bid = c->flags >> IORING_CQE_BUFFER_SHIFT;
+      printf("  data[bid=%d]: %.*s\n", bid, c->res, bufmem + bid*2048);
+    }
+    h++;
+    __atomic_store_n(cq_head, h, __ATOMIC_RELEASE);
+    ct = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+#include <cstring>
+#include <cstdio>
+#include <cstdint>
+#include <cerrno>
+
+struct Ring {
+  int fd; io_uring_params p;
+  uint8_t* base; io_uring_sqe* sqes;
+  unsigned *sq_tail, sq_mask, *sq_array, *cq_head, *cq_tail, cq_mask;
+  io_uring_cqe* cqes;
+};
+bool setup(Ring& r) {
+  memset(&r.p, 0, sizeof r.p);
+  r.p.flags = IORING_SETUP_CQSIZE; r.p.cq_entries = 256;
+  r.fd = syscall(__NR_io_uring_setup, 64, &r.p);
+  if (r.fd < 0) return false;
+  size_t sq_sz = r.p.sq_off.array + r.p.sq_entries*4;
+  size_t cq_sz = r.p.cq_off.cqes + r.p.cq_entries*sizeof(io_uring_cqe);
+  size_t ring_sz = sq_sz > cq_sz ? sq_sz : cq_sz;
+  r.base = (uint8_t*)mmap(0, ring_sz, PROT_READ|PROT_WRITE, MAP_SHARED|MAP_POPULATE, r.fd, IORING_OFF_SQ_RING);
+  r.sqes = (io_uring_sqe*)mmap(0, r.p.sq_entries*sizeof(io_uring_sqe), PROT_READ|PROT_WRITE, MAP_SHARED|MAP_POPULATE, r.fd, IORING_OFF_SQES);
+  r.sq_tail = (unsigned*)(r.base + r.p.sq_off.tail);
+  r.sq_mask = *(unsigned*)(r.base + r.p.sq_off.ring_mask);
+  r.sq_array = (unsigned*)(r.base + r.p.sq_off.array);
+  r.cq_head = (unsigned*)(r.base + r.p.cq_off.head);
+  r.cq_tail = (unsigned*)(r.base + r.p.cq_off.tail);
+  r.cq_mask = *(unsigned*)(r.base + r.p.cq_off.ring_mask);
+  r.cqes = (io_uring_cqe*)(r.base + r.p.cq_off.cqes);
+  return true;
+}
+io_uring_sqe* sqe(Ring& r) {
+  unsigned t = *r.sq_tail, idx = t & r.sq_mask;
+  io_uring_sqe* s = &r.sqes[idx]; memset(s, 0, sizeof *s);
+  r.sq_array[idx] = idx;
+  __atomic_store_n(r.sq_tail, t+1, __ATOMIC_RELEASE);
+  return s;
+}
+void drain(Ring& r, const char* tag, uint8_t* bufmem, size_t bsz) {
+  unsigned h = *r.cq_head, ct = __atomic_load_n(r.cq_tail, __ATOMIC_ACQUIRE);
+  while (h != ct) {
+    io_uring_cqe* c = &r.cqes[h & r.cq_mask];
+    printf("[%s] cqe ud=%llu res=%d flags=%#x%s%s\n", tag, (unsigned long long)c->user_data, c->res, c->flags,
+           (c->flags & IORING_CQE_F_BUFFER) ? " BUF" : "", (c->flags & IORING_CQE_F_MORE) ? " MORE" : "");
+    if (c->res > 0 && (c->flags & IORING_CQE_F_BUFFER) && bufmem) {
+      int bid = c->flags >> IORING_CQE_BUFFER_SHIFT;
+      printf("  data[bid=%d]: %.*s\n", bid, c->res, bufmem + bid*bsz);
+    }
+    h++; __atomic_store_n(r.cq_head, h, __ATOMIC_RELEASE);
+    ct = __atomic_load_n(r.cq_tail, __ATOMIC_ACQUIRE);
+  }
+}
+int main() {
+  // test A: legacy PROVIDE_BUFFERS + single-shot recv, bgid 1
+  Ring r{}; setup(r);
+  int a = socket(AF_INET, SOCK_DGRAM, 0), b = socket(AF_INET, SOCK_DGRAM, 0);
+  sockaddr_in addr{}; addr.sin_family = AF_INET; addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  bind(a,(sockaddr*)&addr,sizeof addr); bind(b,(sockaddr*)&addr,sizeof addr);
+  sockaddr_in ba{}; socklen_t blen = sizeof ba; getsockname(b,(sockaddr*)&ba,&blen);
+  static uint8_t legacy[8*2048];
+  io_uring_sqe* s = sqe(r);
+  s->opcode = IORING_OP_PROVIDE_BUFFERS; s->fd = 8; // nbufs
+  s->addr = (uint64_t)legacy; s->len = 2048; s->buf_group = 1; s->off = 0; s->user_data = 1;
+  long er = syscall(__NR_io_uring_enter, r.fd, 1, 1, IORING_ENTER_GETEVENTS, nullptr, 0);
+  printf("A provide enter=%ld errno=%d\n", er, errno);
+  drain(r, "A", nullptr, 0);
+  s = sqe(r);
+  s->opcode = IORING_OP_RECV; s->fd = b; s->flags = IOSQE_BUFFER_SELECT; s->buf_group = 1; s->user_data = 2;
+  er = syscall(__NR_io_uring_enter, r.fd, 1, 0, 0, nullptr, 0);
+  sendto(a, "hello", 5, 0, (sockaddr*)&ba, sizeof ba);
+  er = syscall(__NR_io_uring_enter, r.fd, 0, 1, IORING_ENTER_GETEVENTS, nullptr, 0);
+  printf("A wait=%ld errno=%d\n", er, errno);
+  drain(r, "A-recv", legacy, 2048);
+
+  // test B: pbuf ring, single-shot, bgid 3
+  void* brm = mmap(0, 4096, PROT_READ|PROT_WRITE, MAP_ANONYMOUS|MAP_PRIVATE, -1, 0);
+  auto* br = (io_uring_buf_ring*)brm;
+  io_uring_buf_reg reg{}; reg.ring_addr = (uint64_t)br; reg.ring_entries = 8; reg.bgid = 3;
+  long rr = syscall(__NR_io_uring_register, r.fd, IORING_REGISTER_PBUF_RING, &reg, 1);
+  printf("B pbuf_reg=%ld errno=%d\n", rr, errno);
+  static uint8_t bufmem[8*2048];
+  uint16_t tail = 0;
+  for (uint16_t i = 0; i < 8; ++i) {
+    io_uring_buf* e = &br->bufs[tail & 7];
+    e->addr = (uint64_t)(bufmem + i*2048); e->len = 2048; e->bid = i; tail++;
+  }
+  __atomic_store_n(&br->tail, tail, __ATOMIC_RELEASE);
+  printf("B tail published=%u sizeof(io_uring_buf)=%zu offsetof tail=%zu\n", tail,
+         sizeof(io_uring_buf), (size_t)((uint8_t*)&br->tail - (uint8_t*)br));
+  s = sqe(r);
+  s->opcode = IORING_OP_RECV; s->fd = b; s->flags = IOSQE_BUFFER_SELECT; s->buf_group = 3; s->user_data = 3;
+  er = syscall(__NR_io_uring_enter, r.fd, 1, 0, 0, nullptr, 0);
+  sendto(a, "world", 5, 0, (sockaddr*)&ba, sizeof ba);
+  er = syscall(__NR_io_uring_enter, r.fd, 0, 1, IORING_ENTER_GETEVENTS, nullptr, 0);
+  printf("B wait=%ld errno=%d\n", er, errno);
+  drain(r, "B-recv", bufmem, 2048);
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+#include <cstring>
+#include <cstdio>
+#include <cstdint>
+#include <cerrno>
+int main() {
+  io_uring_params p{};
+  p.flags = IORING_SETUP_CQSIZE; p.cq_entries = 256;
+  int rfd = syscall(__NR_io_uring_setup, 64, &p);
+  size_t sq_sz = p.sq_off.array + p.sq_entries*4;
+  size_t cq_sz = p.cq_off.cqes + p.cq_entries*sizeof(io_uring_cqe);
+  size_t ring_sz = sq_sz > cq_sz ? sq_sz : cq_sz;
+  auto* base = (uint8_t*)mmap(0, ring_sz, PROT_READ|PROT_WRITE, MAP_SHARED|MAP_POPULATE, rfd, IORING_OFF_SQ_RING);
+  auto* sqes = (io_uring_sqe*)mmap(0, p.sq_entries*sizeof(io_uring_sqe), PROT_READ|PROT_WRITE, MAP_SHARED|MAP_POPULATE, rfd, IORING_OFF_SQES);
+  auto* sq_tail = (unsigned*)(base + p.sq_off.tail);
+  unsigned sq_mask = *(unsigned*)(base + p.sq_off.ring_mask);
+  auto* sq_array = (unsigned*)(base + p.sq_off.array);
+  auto* cq_head = (unsigned*)(base + p.cq_off.head);
+  auto* cq_tail = (unsigned*)(base + p.cq_off.tail);
+  unsigned cq_mask = *(unsigned*)(base + p.cq_off.ring_mask);
+  auto* cqes = (io_uring_cqe*)(base + p.cq_off.cqes);
+  auto mksqe = [&]() { unsigned t = *sq_tail, idx = t & sq_mask;
+    io_uring_sqe* s = &sqes[idx]; memset(s, 0, sizeof *s);
+    sq_array[idx] = idx; __atomic_store_n(sq_tail, t+1, __ATOMIC_RELEASE); return s; };
+  int a = socket(AF_INET, SOCK_DGRAM, 0), b = socket(AF_INET, SOCK_DGRAM, 0);
+  sockaddr_in addr{}; addr.sin_family = AF_INET; addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  bind(a,(sockaddr*)&addr,sizeof addr); bind(b,(sockaddr*)&addr,sizeof addr);
+  sockaddr_in ba{}; socklen_t blen = sizeof ba; getsockname(b,(sockaddr*)&ba,&blen);
+  static uint8_t bufs[4*2048];
+  io_uring_sqe* s = mksqe();
+  s->opcode = IORING_OP_PROVIDE_BUFFERS; s->fd = 4;
+  s->addr = (uint64_t)bufs; s->len = 2048; s->buf_group = 1; s->off = 0; s->user_data = 1;
+  s = mksqe();
+  s->opcode = IORING_OP_RECV; s->fd = b; s->flags = IOSQE_BUFFER_SELECT;
+  s->buf_group = 1; s->ioprio = IORING_RECV_MULTISHOT; s->user_data = 2;
+  long er = syscall(__NR_io_uring_enter, rfd, 2, 1, IORING_ENTER_GETEVENTS, nullptr, 0);
+  printf("enter=%ld\n", er);
+  for (int i = 0; i < 6; ++i) { char m[16]; int n = snprintf(m, 16, "msg%d", i);
+    sendto(a, m, n, 0, (sockaddr*)&ba, sizeof ba); }
+  usleep(50000);
+  er = syscall(__NR_io_uring_enter, rfd, 0, 1, IORING_ENTER_GETEVENTS, nullptr, 0);
+  unsigned h = *cq_head, ct = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+  while (h != ct) {
+    io_uring_cqe* c = &cqes[h & cq_mask];
+    printf("cqe ud=%llu res=%d flags=%#x%s%s", (unsigned long long)c->user_data, c->res, c->flags,
+           (c->flags & IORING_CQE_F_BUFFER) ? " BUF" : "", (c->flags & IORING_CQE_F_MORE) ? " MORE" : "");
+    if (c->res > 0 && (c->flags & IORING_CQE_F_BUFFER)) {
+      int bid = c->flags >> IORING_CQE_BUFFER_SHIFT;
+      printf("  data[bid=%d]: %.*s", bid, c->res, bufs + bid*2048);
+    }
+    printf("\n");
+    h++; __atomic_store_n(cq_head, h, __ATOMIC_RELEASE);
+    ct = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-check/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rt")
+subdirs("exec")
+subdirs("des")
+subdirs("graph")
+subdirs("fault")
+subdirs("trees")
+subdirs("lsr")
+subdirs("mc")
+subdirs("core")
+subdirs("baselines")
+subdirs("sim")
+subdirs("check")
+subdirs("soak")
+subdirs("net")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_baselines.dir/bruteforce.cpp.o"
+  "CMakeFiles/dgmc_baselines.dir/bruteforce.cpp.o.d"
+  "CMakeFiles/dgmc_baselines.dir/cbt.cpp.o"
+  "CMakeFiles/dgmc_baselines.dir/cbt.cpp.o.d"
+  "CMakeFiles/dgmc_baselines.dir/mospf.cpp.o"
+  "CMakeFiles/dgmc_baselines.dir/mospf.cpp.o.d"
+  "libdgmc_baselines.a"
+  "libdgmc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

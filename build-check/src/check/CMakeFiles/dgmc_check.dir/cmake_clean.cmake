@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_check.dir/backward.cpp.o"
+  "CMakeFiles/dgmc_check.dir/backward.cpp.o.d"
+  "CMakeFiles/dgmc_check.dir/checkpoint.cpp.o"
+  "CMakeFiles/dgmc_check.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/dgmc_check.dir/executor.cpp.o"
+  "CMakeFiles/dgmc_check.dir/executor.cpp.o.d"
+  "CMakeFiles/dgmc_check.dir/explorer.cpp.o"
+  "CMakeFiles/dgmc_check.dir/explorer.cpp.o.d"
+  "CMakeFiles/dgmc_check.dir/invariants.cpp.o"
+  "CMakeFiles/dgmc_check.dir/invariants.cpp.o.d"
+  "CMakeFiles/dgmc_check.dir/minimize.cpp.o"
+  "CMakeFiles/dgmc_check.dir/minimize.cpp.o.d"
+  "CMakeFiles/dgmc_check.dir/reduction.cpp.o"
+  "CMakeFiles/dgmc_check.dir/reduction.cpp.o.d"
+  "CMakeFiles/dgmc_check.dir/scenario.cpp.o"
+  "CMakeFiles/dgmc_check.dir/scenario.cpp.o.d"
+  "CMakeFiles/dgmc_check.dir/trace.cpp.o"
+  "CMakeFiles/dgmc_check.dir/trace.cpp.o.d"
+  "libdgmc_check.a"
+  "libdgmc_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_check_cli.dir/dgmc_check_main.cpp.o"
+  "CMakeFiles/dgmc_check_cli.dir/dgmc_check_main.cpp.o.d"
+  "dgmc_check"
+  "dgmc_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_check_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

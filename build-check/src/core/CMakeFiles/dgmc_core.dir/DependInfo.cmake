@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/dgmc_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/dgmc_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/dgmc_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/dgmc_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/timestamp.cpp" "src/core/CMakeFiles/dgmc_core.dir/timestamp.cpp.o" "gcc" "src/core/CMakeFiles/dgmc_core.dir/timestamp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/mc/CMakeFiles/dgmc_mc.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/lsr/CMakeFiles/dgmc_lsr.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/trees/CMakeFiles/dgmc_trees.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/graph/CMakeFiles/dgmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/dgmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

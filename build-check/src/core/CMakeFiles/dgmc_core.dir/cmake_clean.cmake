@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_core.dir/codec.cpp.o"
+  "CMakeFiles/dgmc_core.dir/codec.cpp.o.d"
+  "CMakeFiles/dgmc_core.dir/protocol.cpp.o"
+  "CMakeFiles/dgmc_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/dgmc_core.dir/timestamp.cpp.o"
+  "CMakeFiles/dgmc_core.dir/timestamp.cpp.o.d"
+  "libdgmc_core.a"
+  "libdgmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_des.dir/scheduler.cpp.o"
+  "CMakeFiles/dgmc_des.dir/scheduler.cpp.o.d"
+  "libdgmc_des.a"
+  "libdgmc_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

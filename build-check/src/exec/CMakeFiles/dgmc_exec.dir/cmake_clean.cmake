@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_exec.dir/pool.cpp.o"
+  "CMakeFiles/dgmc_exec.dir/pool.cpp.o.d"
+  "libdgmc_exec.a"
+  "libdgmc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgmc_exec.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/dgmc_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/dgmc_fault.dir/fault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/graph/CMakeFiles/dgmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/des/CMakeFiles/dgmc_des.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/dgmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

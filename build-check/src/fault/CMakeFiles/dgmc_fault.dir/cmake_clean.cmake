@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_fault.dir/fault.cpp.o"
+  "CMakeFiles/dgmc_fault.dir/fault.cpp.o.d"
+  "libdgmc_fault.a"
+  "libdgmc_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/dgmc_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/dgmc_graph.dir/generators.cpp.o"
+  "CMakeFiles/dgmc_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/dgmc_graph.dir/graph.cpp.o"
+  "CMakeFiles/dgmc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dgmc_graph.dir/permutation.cpp.o"
+  "CMakeFiles/dgmc_graph.dir/permutation.cpp.o.d"
+  "libdgmc_graph.a"
+  "libdgmc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_lsr.dir/routing.cpp.o"
+  "CMakeFiles/dgmc_lsr.dir/routing.cpp.o.d"
+  "libdgmc_lsr.a"
+  "libdgmc_lsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_lsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/algorithm.cpp" "src/mc/CMakeFiles/dgmc_mc.dir/algorithm.cpp.o" "gcc" "src/mc/CMakeFiles/dgmc_mc.dir/algorithm.cpp.o.d"
+  "/root/repo/src/mc/member_list.cpp" "src/mc/CMakeFiles/dgmc_mc.dir/member_list.cpp.o" "gcc" "src/mc/CMakeFiles/dgmc_mc.dir/member_list.cpp.o.d"
+  "/root/repo/src/mc/qos.cpp" "src/mc/CMakeFiles/dgmc_mc.dir/qos.cpp.o" "gcc" "src/mc/CMakeFiles/dgmc_mc.dir/qos.cpp.o.d"
+  "/root/repo/src/mc/shard_store.cpp" "src/mc/CMakeFiles/dgmc_mc.dir/shard_store.cpp.o" "gcc" "src/mc/CMakeFiles/dgmc_mc.dir/shard_store.cpp.o.d"
+  "/root/repo/src/mc/validation.cpp" "src/mc/CMakeFiles/dgmc_mc.dir/validation.cpp.o" "gcc" "src/mc/CMakeFiles/dgmc_mc.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/trees/CMakeFiles/dgmc_trees.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/graph/CMakeFiles/dgmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/dgmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

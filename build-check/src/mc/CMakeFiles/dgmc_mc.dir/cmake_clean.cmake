@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_mc.dir/algorithm.cpp.o"
+  "CMakeFiles/dgmc_mc.dir/algorithm.cpp.o.d"
+  "CMakeFiles/dgmc_mc.dir/member_list.cpp.o"
+  "CMakeFiles/dgmc_mc.dir/member_list.cpp.o.d"
+  "CMakeFiles/dgmc_mc.dir/qos.cpp.o"
+  "CMakeFiles/dgmc_mc.dir/qos.cpp.o.d"
+  "CMakeFiles/dgmc_mc.dir/shard_store.cpp.o"
+  "CMakeFiles/dgmc_mc.dir/shard_store.cpp.o.d"
+  "CMakeFiles/dgmc_mc.dir/validation.cpp.o"
+  "CMakeFiles/dgmc_mc.dir/validation.cpp.o.d"
+  "libdgmc_mc.a"
+  "libdgmc_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

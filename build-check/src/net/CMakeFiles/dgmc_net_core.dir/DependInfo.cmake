@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event_loop.cpp" "src/net/CMakeFiles/dgmc_net_core.dir/event_loop.cpp.o" "gcc" "src/net/CMakeFiles/dgmc_net_core.dir/event_loop.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/dgmc_net_core.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/dgmc_net_core.dir/frame.cpp.o.d"
+  "/root/repo/src/net/io_loop.cpp" "src/net/CMakeFiles/dgmc_net_core.dir/io_loop.cpp.o" "gcc" "src/net/CMakeFiles/dgmc_net_core.dir/io_loop.cpp.o.d"
+  "/root/repo/src/net/neighbor.cpp" "src/net/CMakeFiles/dgmc_net_core.dir/neighbor.cpp.o" "gcc" "src/net/CMakeFiles/dgmc_net_core.dir/neighbor.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/dgmc_net_core.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/dgmc_net_core.dir/switch.cpp.o.d"
+  "/root/repo/src/net/uring_loop.cpp" "src/net/CMakeFiles/dgmc_net_core.dir/uring_loop.cpp.o" "gcc" "src/net/CMakeFiles/dgmc_net_core.dir/uring_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/core/CMakeFiles/dgmc_core.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/lsr/CMakeFiles/dgmc_lsr.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/graph/CMakeFiles/dgmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/dgmc_util.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/mc/CMakeFiles/dgmc_mc.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/trees/CMakeFiles/dgmc_trees.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

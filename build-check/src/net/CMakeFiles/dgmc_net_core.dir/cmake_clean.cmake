@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_net_core.dir/event_loop.cpp.o"
+  "CMakeFiles/dgmc_net_core.dir/event_loop.cpp.o.d"
+  "CMakeFiles/dgmc_net_core.dir/frame.cpp.o"
+  "CMakeFiles/dgmc_net_core.dir/frame.cpp.o.d"
+  "CMakeFiles/dgmc_net_core.dir/io_loop.cpp.o"
+  "CMakeFiles/dgmc_net_core.dir/io_loop.cpp.o.d"
+  "CMakeFiles/dgmc_net_core.dir/neighbor.cpp.o"
+  "CMakeFiles/dgmc_net_core.dir/neighbor.cpp.o.d"
+  "CMakeFiles/dgmc_net_core.dir/switch.cpp.o"
+  "CMakeFiles/dgmc_net_core.dir/switch.cpp.o.d"
+  "CMakeFiles/dgmc_net_core.dir/uring_loop.cpp.o"
+  "CMakeFiles/dgmc_net_core.dir/uring_loop.cpp.o.d"
+  "libdgmc_net_core.a"
+  "libdgmc_net_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_net_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_net_harness.dir/cluster.cpp.o"
+  "CMakeFiles/dgmc_net_harness.dir/cluster.cpp.o.d"
+  "libdgmc_net_harness.a"
+  "libdgmc_net_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_net_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgmc_net_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_netd_cli.dir/dgmc_netd_main.cpp.o"
+  "CMakeFiles/dgmc_netd_cli.dir/dgmc_netd_main.cpp.o.d"
+  "dgmc_netd"
+  "dgmc_netd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_netd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_nethost_cli.dir/dgmc_nethost_main.cpp.o"
+  "CMakeFiles/dgmc_nethost_cli.dir/dgmc_nethost_main.cpp.o.d"
+  "dgmc_nethost"
+  "dgmc_nethost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_nethost_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataplane.cpp" "src/sim/CMakeFiles/dgmc_sim.dir/dataplane.cpp.o" "gcc" "src/sim/CMakeFiles/dgmc_sim.dir/dataplane.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/dgmc_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/dgmc_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/sim/CMakeFiles/dgmc_sim.dir/hierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/dgmc_sim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/hosts.cpp" "src/sim/CMakeFiles/dgmc_sim.dir/hosts.cpp.o" "gcc" "src/sim/CMakeFiles/dgmc_sim.dir/hosts.cpp.o.d"
+  "/root/repo/src/sim/many_mc.cpp" "src/sim/CMakeFiles/dgmc_sim.dir/many_mc.cpp.o" "gcc" "src/sim/CMakeFiles/dgmc_sim.dir/many_mc.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/dgmc_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/dgmc_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/dgmc_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/dgmc_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/spec.cpp" "src/sim/CMakeFiles/dgmc_sim.dir/spec.cpp.o" "gcc" "src/sim/CMakeFiles/dgmc_sim.dir/spec.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/dgmc_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/dgmc_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/core/CMakeFiles/dgmc_core.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/fault/CMakeFiles/dgmc_fault.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/lsr/CMakeFiles/dgmc_lsr.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/mc/CMakeFiles/dgmc_mc.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/trees/CMakeFiles/dgmc_trees.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/graph/CMakeFiles/dgmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/des/CMakeFiles/dgmc_des.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/exec/CMakeFiles/dgmc_exec.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/dgmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

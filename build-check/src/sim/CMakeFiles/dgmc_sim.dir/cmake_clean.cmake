@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_sim.dir/dataplane.cpp.o"
+  "CMakeFiles/dgmc_sim.dir/dataplane.cpp.o.d"
+  "CMakeFiles/dgmc_sim.dir/experiment.cpp.o"
+  "CMakeFiles/dgmc_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/dgmc_sim.dir/hierarchy.cpp.o"
+  "CMakeFiles/dgmc_sim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/dgmc_sim.dir/hosts.cpp.o"
+  "CMakeFiles/dgmc_sim.dir/hosts.cpp.o.d"
+  "CMakeFiles/dgmc_sim.dir/many_mc.cpp.o"
+  "CMakeFiles/dgmc_sim.dir/many_mc.cpp.o.d"
+  "CMakeFiles/dgmc_sim.dir/network.cpp.o"
+  "CMakeFiles/dgmc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dgmc_sim.dir/scenario.cpp.o"
+  "CMakeFiles/dgmc_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/dgmc_sim.dir/spec.cpp.o"
+  "CMakeFiles/dgmc_sim.dir/spec.cpp.o.d"
+  "CMakeFiles/dgmc_sim.dir/workload.cpp.o"
+  "CMakeFiles/dgmc_sim.dir/workload.cpp.o.d"
+  "libdgmc_sim.a"
+  "libdgmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_soak_cli.dir/dgmc_soak_main.cpp.o"
+  "CMakeFiles/dgmc_soak_cli.dir/dgmc_soak_main.cpp.o.d"
+  "dgmc_soak"
+  "dgmc_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_soak_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_soak_lib.dir/soak.cpp.o"
+  "CMakeFiles/dgmc_soak_lib.dir/soak.cpp.o.d"
+  "libdgmc_soak_lib.a"
+  "libdgmc_soak_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_soak_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/exact.cpp" "src/trees/CMakeFiles/dgmc_trees.dir/exact.cpp.o" "gcc" "src/trees/CMakeFiles/dgmc_trees.dir/exact.cpp.o.d"
+  "/root/repo/src/trees/incremental.cpp" "src/trees/CMakeFiles/dgmc_trees.dir/incremental.cpp.o" "gcc" "src/trees/CMakeFiles/dgmc_trees.dir/incremental.cpp.o.d"
+  "/root/repo/src/trees/load.cpp" "src/trees/CMakeFiles/dgmc_trees.dir/load.cpp.o" "gcc" "src/trees/CMakeFiles/dgmc_trees.dir/load.cpp.o.d"
+  "/root/repo/src/trees/spt.cpp" "src/trees/CMakeFiles/dgmc_trees.dir/spt.cpp.o" "gcc" "src/trees/CMakeFiles/dgmc_trees.dir/spt.cpp.o.d"
+  "/root/repo/src/trees/steiner.cpp" "src/trees/CMakeFiles/dgmc_trees.dir/steiner.cpp.o" "gcc" "src/trees/CMakeFiles/dgmc_trees.dir/steiner.cpp.o.d"
+  "/root/repo/src/trees/topology.cpp" "src/trees/CMakeFiles/dgmc_trees.dir/topology.cpp.o" "gcc" "src/trees/CMakeFiles/dgmc_trees.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/graph/CMakeFiles/dgmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/dgmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_trees.dir/exact.cpp.o"
+  "CMakeFiles/dgmc_trees.dir/exact.cpp.o.d"
+  "CMakeFiles/dgmc_trees.dir/incremental.cpp.o"
+  "CMakeFiles/dgmc_trees.dir/incremental.cpp.o.d"
+  "CMakeFiles/dgmc_trees.dir/load.cpp.o"
+  "CMakeFiles/dgmc_trees.dir/load.cpp.o.d"
+  "CMakeFiles/dgmc_trees.dir/spt.cpp.o"
+  "CMakeFiles/dgmc_trees.dir/spt.cpp.o.d"
+  "CMakeFiles/dgmc_trees.dir/steiner.cpp.o"
+  "CMakeFiles/dgmc_trees.dir/steiner.cpp.o.d"
+  "CMakeFiles/dgmc_trees.dir/topology.cpp.o"
+  "CMakeFiles/dgmc_trees.dir/topology.cpp.o.d"
+  "libdgmc_trees.a"
+  "libdgmc_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

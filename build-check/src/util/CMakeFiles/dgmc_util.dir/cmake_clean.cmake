@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgmc_util.dir/log.cpp.o"
+  "CMakeFiles/dgmc_util.dir/log.cpp.o.d"
+  "CMakeFiles/dgmc_util.dir/rng.cpp.o"
+  "CMakeFiles/dgmc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dgmc_util.dir/stats.cpp.o"
+  "CMakeFiles/dgmc_util.dir/stats.cpp.o.d"
+  "libdgmc_util.a"
+  "libdgmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgmc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

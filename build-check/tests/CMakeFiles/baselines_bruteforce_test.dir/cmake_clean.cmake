@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_bruteforce_test.dir/baselines_bruteforce_test.cpp.o"
+  "CMakeFiles/baselines_bruteforce_test.dir/baselines_bruteforce_test.cpp.o.d"
+  "baselines_bruteforce_test"
+  "baselines_bruteforce_test.pdb"
+  "baselines_bruteforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_bruteforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

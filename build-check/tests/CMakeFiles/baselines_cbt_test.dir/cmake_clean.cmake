@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_cbt_test.dir/baselines_cbt_test.cpp.o"
+  "CMakeFiles/baselines_cbt_test.dir/baselines_cbt_test.cpp.o.d"
+  "baselines_cbt_test"
+  "baselines_cbt_test.pdb"
+  "baselines_cbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_cbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_mospf_test.dir/baselines_mospf_test.cpp.o"
+  "CMakeFiles/baselines_mospf_test.dir/baselines_mospf_test.cpp.o.d"
+  "baselines_mospf_test"
+  "baselines_mospf_test.pdb"
+  "baselines_mospf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_mospf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

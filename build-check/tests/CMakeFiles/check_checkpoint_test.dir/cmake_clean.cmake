@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_checkpoint_test.dir/check_checkpoint_test.cpp.o"
+  "CMakeFiles/check_checkpoint_test.dir/check_checkpoint_test.cpp.o.d"
+  "check_checkpoint_test"
+  "check_checkpoint_test.pdb"
+  "check_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

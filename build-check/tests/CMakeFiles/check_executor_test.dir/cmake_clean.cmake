@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_executor_test.dir/check_executor_test.cpp.o"
+  "CMakeFiles/check_executor_test.dir/check_executor_test.cpp.o.d"
+  "check_executor_test"
+  "check_executor_test.pdb"
+  "check_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

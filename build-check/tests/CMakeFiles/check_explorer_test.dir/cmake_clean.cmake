@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_explorer_test.dir/check_explorer_test.cpp.o"
+  "CMakeFiles/check_explorer_test.dir/check_explorer_test.cpp.o.d"
+  "check_explorer_test"
+  "check_explorer_test.pdb"
+  "check_explorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_reduction_test.dir/check_reduction_test.cpp.o"
+  "CMakeFiles/check_reduction_test.dir/check_reduction_test.cpp.o.d"
+  "check_reduction_test"
+  "check_reduction_test.pdb"
+  "check_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

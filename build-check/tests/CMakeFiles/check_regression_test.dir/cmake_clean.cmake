@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_regression_test.dir/check_regression_test.cpp.o"
+  "CMakeFiles/check_regression_test.dir/check_regression_test.cpp.o.d"
+  "check_regression_test"
+  "check_regression_test.pdb"
+  "check_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

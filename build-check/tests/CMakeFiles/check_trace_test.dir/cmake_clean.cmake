@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_trace_test.dir/check_trace_test.cpp.o"
+  "CMakeFiles/check_trace_test.dir/check_trace_test.cpp.o.d"
+  "check_trace_test"
+  "check_trace_test.pdb"
+  "check_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

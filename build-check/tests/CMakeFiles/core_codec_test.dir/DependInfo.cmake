@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_codec_test.cpp" "tests/CMakeFiles/core_codec_test.dir/core_codec_test.cpp.o" "gcc" "tests/CMakeFiles/core_codec_test.dir/core_codec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/net/CMakeFiles/dgmc_net_harness.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/net/CMakeFiles/dgmc_net_core.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/soak/CMakeFiles/dgmc_soak_lib.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/check/CMakeFiles/dgmc_check.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/sim/CMakeFiles/dgmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/baselines/CMakeFiles/dgmc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/core/CMakeFiles/dgmc_core.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/fault/CMakeFiles/dgmc_fault.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/lsr/CMakeFiles/dgmc_lsr.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/mc/CMakeFiles/dgmc_mc.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/trees/CMakeFiles/dgmc_trees.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/graph/CMakeFiles/dgmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/des/CMakeFiles/dgmc_des.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/exec/CMakeFiles/dgmc_exec.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/dgmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sync_test.dir/core_sync_test.cpp.o"
+  "CMakeFiles/core_sync_test.dir/core_sync_test.cpp.o.d"
+  "core_sync_test"
+  "core_sync_test.pdb"
+  "core_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

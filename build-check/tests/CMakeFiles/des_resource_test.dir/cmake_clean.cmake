@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_resource_test.dir/des_resource_test.cpp.o"
+  "CMakeFiles/des_resource_test.dir/des_resource_test.cpp.o.d"
+  "des_resource_test"
+  "des_resource_test.pdb"
+  "des_resource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_scheduler_test.dir/des_scheduler_test.cpp.o"
+  "CMakeFiles/des_scheduler_test.dir/des_scheduler_test.cpp.o.d"
+  "des_scheduler_test"
+  "des_scheduler_test.pdb"
+  "des_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

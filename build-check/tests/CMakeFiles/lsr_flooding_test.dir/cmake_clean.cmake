@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_flooding_test.dir/lsr_flooding_test.cpp.o"
+  "CMakeFiles/lsr_flooding_test.dir/lsr_flooding_test.cpp.o.d"
+  "lsr_flooding_test"
+  "lsr_flooding_test.pdb"
+  "lsr_flooding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_flooding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

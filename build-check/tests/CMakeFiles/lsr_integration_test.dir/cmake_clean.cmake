@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_integration_test.dir/lsr_integration_test.cpp.o"
+  "CMakeFiles/lsr_integration_test.dir/lsr_integration_test.cpp.o.d"
+  "lsr_integration_test"
+  "lsr_integration_test.pdb"
+  "lsr_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_routing_test.dir/lsr_routing_test.cpp.o"
+  "CMakeFiles/lsr_routing_test.dir/lsr_routing_test.cpp.o.d"
+  "lsr_routing_test"
+  "lsr_routing_test.pdb"
+  "lsr_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_algorithm_test.dir/mc_algorithm_test.cpp.o"
+  "CMakeFiles/mc_algorithm_test.dir/mc_algorithm_test.cpp.o.d"
+  "mc_algorithm_test"
+  "mc_algorithm_test.pdb"
+  "mc_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

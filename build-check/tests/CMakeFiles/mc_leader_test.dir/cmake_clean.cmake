@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_leader_test.dir/mc_leader_test.cpp.o"
+  "CMakeFiles/mc_leader_test.dir/mc_leader_test.cpp.o.d"
+  "mc_leader_test"
+  "mc_leader_test.pdb"
+  "mc_leader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_leader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

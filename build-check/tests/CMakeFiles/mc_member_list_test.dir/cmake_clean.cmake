@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_member_list_test.dir/mc_member_list_test.cpp.o"
+  "CMakeFiles/mc_member_list_test.dir/mc_member_list_test.cpp.o.d"
+  "mc_member_list_test"
+  "mc_member_list_test.pdb"
+  "mc_member_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_member_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

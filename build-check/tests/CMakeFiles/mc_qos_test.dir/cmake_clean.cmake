@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_qos_test.dir/mc_qos_test.cpp.o"
+  "CMakeFiles/mc_qos_test.dir/mc_qos_test.cpp.o.d"
+  "mc_qos_test"
+  "mc_qos_test.pdb"
+  "mc_qos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_qos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

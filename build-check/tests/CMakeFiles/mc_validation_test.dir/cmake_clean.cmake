@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_validation_test.dir/mc_validation_test.cpp.o"
+  "CMakeFiles/mc_validation_test.dir/mc_validation_test.cpp.o.d"
+  "mc_validation_test"
+  "mc_validation_test.pdb"
+  "mc_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_event_loop_test.dir/net_event_loop_test.cpp.o"
+  "CMakeFiles/net_event_loop_test.dir/net_event_loop_test.cpp.o.d"
+  "net_event_loop_test"
+  "net_event_loop_test.pdb"
+  "net_event_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_event_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_frame_test.dir/net_frame_test.cpp.o"
+  "CMakeFiles/net_frame_test.dir/net_frame_test.cpp.o.d"
+  "net_frame_test"
+  "net_frame_test.pdb"
+  "net_frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_io_batch_test.dir/net_io_batch_test.cpp.o"
+  "CMakeFiles/net_io_batch_test.dir/net_io_batch_test.cpp.o.d"
+  "net_io_batch_test"
+  "net_io_batch_test.pdb"
+  "net_io_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_io_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

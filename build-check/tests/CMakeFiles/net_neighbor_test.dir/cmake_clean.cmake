@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_neighbor_test.dir/net_neighbor_test.cpp.o"
+  "CMakeFiles/net_neighbor_test.dir/net_neighbor_test.cpp.o.d"
+  "net_neighbor_test"
+  "net_neighbor_test.pdb"
+  "net_neighbor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_neighbor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_chaos_test.dir/sim_chaos_test.cpp.o"
+  "CMakeFiles/sim_chaos_test.dir/sim_chaos_test.cpp.o.d"
+  "sim_chaos_test"
+  "sim_chaos_test.pdb"
+  "sim_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dataplane_test.dir/sim_dataplane_test.cpp.o"
+  "CMakeFiles/sim_dataplane_test.dir/sim_dataplane_test.cpp.o.d"
+  "sim_dataplane_test"
+  "sim_dataplane_test.pdb"
+  "sim_dataplane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dataplane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_hierarchy_test.dir/sim_hierarchy_test.cpp.o"
+  "CMakeFiles/sim_hierarchy_test.dir/sim_hierarchy_test.cpp.o.d"
+  "sim_hierarchy_test"
+  "sim_hierarchy_test.pdb"
+  "sim_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_hosts_test.dir/sim_hosts_test.cpp.o"
+  "CMakeFiles/sim_hosts_test.dir/sim_hosts_test.cpp.o.d"
+  "sim_hosts_test"
+  "sim_hosts_test.pdb"
+  "sim_hosts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_hosts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

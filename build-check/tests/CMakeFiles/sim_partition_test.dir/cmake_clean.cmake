@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_partition_test.dir/sim_partition_test.cpp.o"
+  "CMakeFiles/sim_partition_test.dir/sim_partition_test.cpp.o.d"
+  "sim_partition_test"
+  "sim_partition_test.pdb"
+  "sim_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

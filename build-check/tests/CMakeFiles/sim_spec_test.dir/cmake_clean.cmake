@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_spec_test.dir/sim_spec_test.cpp.o"
+  "CMakeFiles/sim_spec_test.dir/sim_spec_test.cpp.o.d"
+  "sim_spec_test"
+  "sim_spec_test.pdb"
+  "sim_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trees_incremental_test.dir/trees_incremental_test.cpp.o"
+  "CMakeFiles/trees_incremental_test.dir/trees_incremental_test.cpp.o.d"
+  "trees_incremental_test"
+  "trees_incremental_test.pdb"
+  "trees_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trees_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

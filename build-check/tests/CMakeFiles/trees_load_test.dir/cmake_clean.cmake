@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trees_load_test.dir/trees_load_test.cpp.o"
+  "CMakeFiles/trees_load_test.dir/trees_load_test.cpp.o.d"
+  "trees_load_test"
+  "trees_load_test.pdb"
+  "trees_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trees_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

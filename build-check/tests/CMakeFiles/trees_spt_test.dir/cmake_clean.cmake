@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trees_spt_test.dir/trees_spt_test.cpp.o"
+  "CMakeFiles/trees_spt_test.dir/trees_spt_test.cpp.o.d"
+  "trees_spt_test"
+  "trees_spt_test.pdb"
+  "trees_spt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trees_spt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trees_steiner_test.dir/trees_steiner_test.cpp.o"
+  "CMakeFiles/trees_steiner_test.dir/trees_steiner_test.cpp.o.d"
+  "trees_steiner_test"
+  "trees_steiner_test.pdb"
+  "trees_steiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trees_steiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

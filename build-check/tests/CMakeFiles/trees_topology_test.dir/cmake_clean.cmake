@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trees_topology_test.dir/trees_topology_test.cpp.o"
+  "CMakeFiles/trees_topology_test.dir/trees_topology_test.cpp.o.d"
+  "trees_topology_test"
+  "trees_topology_test.pdb"
+  "trees_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trees_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[NetParity.AllLoopFlavorsMatchDesOnSpecChurn]=]  /root/repo/build-check/tests/net_parity_test [==[--gtest_filter=NetParity.AllLoopFlavorsMatchDesOnSpecChurn]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[NetParity.AllLoopFlavorsMatchDesOnSpecChurn]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-check/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] LABELS net RUN_SERIAL TRUE)
+set(  net_parity_test_TESTS NetParity.AllLoopFlavorsMatchDesOnSpecChurn)

@@ -1,0 +1,41 @@
+#include "net/io_loop.hpp"
+#include <arpa/inet.h>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+using namespace dgmc::net;
+int main() {
+  bool fell_back = false;
+  auto loop = make_io_loop(LoopFlavor::kUring, &fell_back);
+  std::printf("flavor=%s fell_back=%d\n", flavor_name(loop->flavor()), int(fell_back));
+  if (fell_back) return 1;
+  int a = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  int b = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  sockaddr_in addr{}; addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); addr.sin_port = 0;
+  ::bind(a, (sockaddr*)&addr, sizeof addr);
+  ::bind(b, (sockaddr*)&addr, sizeof addr);
+  sockaddr_in ba{}; socklen_t len = sizeof ba;
+  ::getsockname(b, (sockaddr*)&ba, &len);
+  int got = 0;
+  loop->add_udp(a, [](const std::uint8_t*, std::size_t) {});
+  loop->add_udp(b, [&](const std::uint8_t* d, std::size_t n) {
+    ++got;
+    std::printf("rx %zu bytes: %.*s (got=%d)\n", n, int(n), d, got);
+    if (got == 3) loop->stop();
+  });
+  loop->schedule_after(0.01, [&] {
+    const char* m[3] = {"one", "two", "three"};
+    for (int i = 0; i < 3; ++i)
+      loop->send_udp(a, ba, (const std::uint8_t*)m[i], std::strlen(m[i]));
+  });
+  loop->schedule_after(2.0, [&] { std::printf("TIMEOUT\n"); loop->stop(); });
+  loop->run();
+  const auto& st = loop->io_stats();
+  std::printf("enters=%llu rx_dg=%llu tx_dg=%llu timers=%llu\n",
+              (unsigned long long)st.uring_enters,
+              (unsigned long long)st.rx_datagrams,
+              (unsigned long long)st.tx_datagrams,
+              (unsigned long long)loop->timers_fired());
+  return got == 3 ? 0 : 2;
+}
